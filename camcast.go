@@ -1,0 +1,390 @@
+// Package camcast is a capacity-aware overlay multicast library implementing
+// the two systems of "Resilient Capacity-Aware Multicast Based on Overlay
+// Networks" (Zhang, Chen, Ling, Chow — ICDCS 2005): CAM-Chord and
+// CAM-Koorde.
+//
+// Every group member declares a capacity c — the maximum number of direct
+// children it is willing to forward multicast traffic to, typically derived
+// from its upload bandwidth. The library builds a dedicated structured
+// overlay per multicast group and disseminates every message along an
+// implicit, roughly balanced, degree-varying tree rooted at the sender: no
+// explicit tree state exists anywhere, any member can send, members may join
+// and leave freely, and no member ever forwards to more children than its
+// capacity allows.
+//
+// # Quick start
+//
+//	net := camcast.NewNetwork()
+//	defer net.Close()
+//
+//	alice, _ := net.Create("alice", camcast.Options{
+//		Capacity:  6,
+//		OnDeliver: func(m camcast.Message) { fmt.Printf("%s got %q\n", "alice", m.Payload) },
+//	})
+//	bob, _ := net.Join("bob", "alice", camcast.Options{Capacity: 4, OnDeliver: ...})
+//
+//	net.Settle()                      // let maintenance converge
+//	_, _ = bob.Multicast([]byte("hi")) // any member can send
+//
+// Network here is an in-process simulated transport (internal/transport)
+// with injectable latency, loss and partitions; the protocol code in
+// internal/runtime is transport-agnostic.
+//
+// For the paper's large-scale measurements (100,000-node trees, the
+// Figure 6-11 experiment suite) see the static simulator under
+// internal/experiments and the cmd/camfigs and cmd/camsim commands.
+package camcast
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"camcast/internal/ring"
+	"camcast/internal/runtime"
+	"camcast/internal/trace"
+	"camcast/internal/transport"
+)
+
+// Protocol selects which CAM system a member speaks. All members of one
+// group must use the same protocol.
+type Protocol int
+
+// Supported protocols.
+const (
+	// CAMChord extends Chord with capacity-dependent neighbor sets and
+	// segment-splitting multicast (paper Section 3). Best for small node
+	// capacities and moderate churn.
+	CAMChord Protocol = iota + 1
+	// CAMKoorde embeds a de Bruijn-style graph with exactly c neighbors
+	// per node and flooding multicast with duplicate suppression (paper
+	// Section 4). Best for large node capacities and heavy churn.
+	CAMKoorde
+)
+
+// String implements fmt.Stringer.
+func (p Protocol) String() string {
+	switch p {
+	case CAMChord:
+		return "CAM-Chord"
+	case CAMKoorde:
+		return "CAM-Koorde"
+	default:
+		return fmt.Sprintf("Protocol(%d)", int(p))
+	}
+}
+
+// Message is one multicast delivery handed to the application.
+type Message struct {
+	ID      string // globally unique message identifier
+	From    string // address of the originating member
+	Payload []byte
+	Hops    int // overlay hops travelled from the source
+}
+
+// Stats are cumulative per-member protocol counters.
+type Stats = runtime.Stats
+
+// Options configures a member.
+type Options struct {
+	// Protocol defaults to CAMChord.
+	Protocol Protocol
+	// Capacity is c_x, the maximum number of direct multicast children
+	// (>= 2 for CAMChord, >= 4 for CAMKoorde). If zero it is derived from
+	// UploadKbps/LinkKbps, or defaults to 8.
+	Capacity int
+	// UploadKbps and LinkKbps derive Capacity = ceil(UploadKbps/LinkKbps)
+	// when Capacity is zero, mirroring the paper's c_x = ceil(B_x/p).
+	UploadKbps float64
+	LinkKbps   float64
+	// Bits is the identifier-space width (default 32).
+	Bits uint
+	// OnDeliver receives every multicast message, including the member's
+	// own. Called synchronously from protocol goroutines; keep it fast.
+	OnDeliver func(Message)
+	// OnRequest serves unicast requests other members send with
+	// Member.Request — the escape hatch layers like reliable delivery use
+	// for retransmission. nil rejects such requests.
+	OnRequest func(from string, payload []byte) ([]byte, error)
+	// Stabilize and Fix set the background maintenance cadence. Zero means
+	// the Network's defaults (20ms in-process). Negative disables
+	// background maintenance; drive it explicitly with Network.Settle.
+	Stabilize time.Duration
+	Fix       time.Duration
+	// Tracer optionally records protocol events.
+	Tracer *trace.Tracer
+}
+
+// ErrMemberExists reports a Create/Join with an address already in use.
+var ErrMemberExists = errors.New("camcast: member address already in use")
+
+// ErrNoSuchMember reports an operation on an unknown member address.
+var ErrNoSuchMember = errors.New("camcast: no such member")
+
+const (
+	defaultBits      = 32
+	defaultCapacity  = 8
+	defaultStabilize = 20 * time.Millisecond
+	defaultFix       = 20 * time.Millisecond
+)
+
+// Network is an in-process multicast group: a simulated transport plus the
+// members running on it. It is safe for concurrent use.
+type Network struct {
+	tr *transport.Network
+
+	mu      sync.Mutex
+	members map[string]*Member
+	closed  bool
+}
+
+// NewNetwork creates an empty in-process network.
+func NewNetwork() *Network {
+	return &Network{
+		tr:      transport.NewNetwork(1),
+		members: make(map[string]*Member),
+	}
+}
+
+// Transport exposes the underlying simulated transport for fault injection
+// (latency, loss, partitions).
+func (n *Network) Transport() *transport.Network { return n.tr }
+
+// Create starts the first member of a fresh group at addr.
+func (n *Network) Create(addr string, opts Options) (*Member, error) {
+	return n.start(addr, "", opts)
+}
+
+// Join adds a member at addr, entering the group through the existing
+// member at via.
+func (n *Network) Join(addr, via string, opts Options) (*Member, error) {
+	if via == "" {
+		return nil, fmt.Errorf("camcast: join requires a bootstrap address")
+	}
+	return n.start(addr, via, opts)
+}
+
+func (n *Network) start(addr, via string, opts Options) (*Member, error) {
+	cfg, err := buildConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, errors.New("camcast: network closed")
+	}
+	if _, ok := n.members[addr]; ok {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrMemberExists, addr)
+	}
+	n.mu.Unlock()
+
+	m := &Member{net: n, addr: addr}
+	cfg.OnDeliver = func(d runtime.Delivery) {
+		if opts.OnDeliver != nil {
+			opts.OnDeliver(Message{ID: d.MsgID, From: d.Source.Addr, Payload: d.Payload, Hops: d.Hops})
+		}
+	}
+	cfg.OnRequest = opts.OnRequest
+	node, err := runtime.NewNode(n.tr, addr, cfg)
+	if err != nil {
+		return nil, err
+	}
+	m.node = node
+
+	if via == "" {
+		err = node.Bootstrap()
+	} else {
+		err = node.Join(via)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	n.mu.Lock()
+	if _, ok := n.members[addr]; ok {
+		n.mu.Unlock()
+		node.Stop()
+		return nil, fmt.Errorf("%w: %s", ErrMemberExists, addr)
+	}
+	n.members[addr] = m
+	n.mu.Unlock()
+	return m, nil
+}
+
+// Member returns the live member at addr.
+func (n *Network) Member(addr string) (*Member, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	m, ok := n.members[addr]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchMember, addr)
+	}
+	return m, nil
+}
+
+// Members returns the addresses of all live members, unordered.
+func (n *Network) Members() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.members))
+	for addr := range n.members {
+		out = append(out, addr)
+	}
+	return out
+}
+
+// Settle drives maintenance to convergence synchronously: the given number
+// of global stabilize rounds, each followed by a full routing-table refresh
+// at every member. Tests and batch tools call this instead of sleeping.
+func (n *Network) Settle(rounds int) {
+	for r := 0; r < rounds; r++ {
+		for _, m := range n.snapshot() {
+			m.node.StabilizeOnce()
+		}
+		for _, m := range n.snapshot() {
+			m.node.FixAll()
+		}
+	}
+}
+
+func (n *Network) snapshot() []*Member {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]*Member, 0, len(n.members))
+	for _, m := range n.members {
+		out = append(out, m)
+	}
+	return out
+}
+
+// Close stops every member and shuts the network down.
+func (n *Network) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	members := make([]*Member, 0, len(n.members))
+	for _, m := range n.members {
+		members = append(members, m)
+	}
+	n.members = make(map[string]*Member)
+	n.mu.Unlock()
+	for _, m := range members {
+		m.node.Stop()
+	}
+}
+
+func (n *Network) remove(addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.members, addr)
+}
+
+// Member is one live group member.
+type Member struct {
+	net  *Network
+	addr string
+	node *runtime.Node
+}
+
+// Addr returns the member's transport address.
+func (m *Member) Addr() string { return m.addr }
+
+// ID returns the member's ring identifier.
+func (m *Member) ID() uint64 { return m.node.Self().ID }
+
+// Capacity returns the member's multicast capacity c_x.
+func (m *Member) Capacity() int { return m.node.Capacity() }
+
+// Multicast sends payload to every group member (including this one) and
+// returns the message ID.
+func (m *Member) Multicast(payload []byte) (string, error) {
+	return m.node.Multicast(payload)
+}
+
+// Leave departs gracefully, telling ring neighbors to splice the member out.
+func (m *Member) Leave() error {
+	err := m.node.Leave()
+	m.net.remove(m.addr)
+	return err
+}
+
+// Crash stops the member without any notification, as a real failure would.
+func (m *Member) Crash() {
+	m.node.Stop()
+	m.net.remove(m.addr)
+}
+
+// Stats returns a snapshot of the member's protocol counters.
+func (m *Member) Stats() Stats { return m.node.Stats() }
+
+// Request sends a unicast request to the member at addr and returns its
+// response; the remote member must have configured Options.OnRequest.
+func (m *Member) Request(addr string, payload []byte) ([]byte, error) {
+	return m.node.Request(addr, payload)
+}
+
+func buildConfig(opts Options) (runtime.Config, error) {
+	bits := opts.Bits
+	if bits == 0 {
+		bits = defaultBits
+	}
+	space, err := ring.NewSpace(bits)
+	if err != nil {
+		return runtime.Config{}, err
+	}
+
+	capacity := opts.Capacity
+	if capacity == 0 && opts.UploadKbps > 0 && opts.LinkKbps > 0 {
+		capacity = int(math.Ceil(opts.UploadKbps / opts.LinkKbps))
+	}
+	if capacity == 0 {
+		capacity = defaultCapacity
+	}
+
+	var mode runtime.Mode
+	switch opts.Protocol {
+	case CAMChord, 0:
+		mode = runtime.ModeCAMChord
+	case CAMKoorde:
+		mode = runtime.ModeCAMKoorde
+	default:
+		return runtime.Config{}, fmt.Errorf("camcast: unknown protocol %v", opts.Protocol)
+	}
+	if mode == runtime.ModeCAMKoorde && capacity < 4 {
+		return runtime.Config{}, fmt.Errorf("camcast: CAM-Koorde needs capacity >= 4, got %d", capacity)
+	}
+	if capacity < 2 {
+		return runtime.Config{}, fmt.Errorf("camcast: capacity %d must be >= 2", capacity)
+	}
+
+	stabilize := opts.Stabilize
+	if stabilize == 0 {
+		stabilize = defaultStabilize
+	}
+	if stabilize < 0 {
+		stabilize = 0 // disabled; drive with Network.Settle
+	}
+	fix := opts.Fix
+	if fix == 0 {
+		fix = defaultFix
+	}
+	if fix < 0 {
+		fix = 0
+	}
+
+	return runtime.Config{
+		Space:          space,
+		Mode:           mode,
+		Capacity:       capacity,
+		StabilizeEvery: stabilize,
+		FixEvery:       fix,
+		Tracer:         opts.Tracer,
+	}, nil
+}

@@ -1,0 +1,25 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSmallSweep(t *testing.T) {
+	out := &strings.Builder{}
+	err := run([]string{"-initial", "10", "-events", "12"}, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"cam-chord", "cam-koorde", "mean delivery", "none (fastest churn)"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-nope"}, &strings.Builder{}); err == nil {
+		t.Error("bad flag should fail")
+	}
+}

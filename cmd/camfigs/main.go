@@ -1,0 +1,89 @@
+// Command camfigs regenerates the figures of the paper's evaluation
+// (Section 6) as TSV series.
+//
+// Usage:
+//
+//	camfigs [-fig all|figure6,figure8,...] [-n 100000] [-sources 3]
+//	        [-seed 1] [-bits 19] [-out DIR]
+//
+// With -out, each figure is written to DIR/<name>.tsv; otherwise all series
+// stream to stdout. The defaults reproduce the paper's setup: 100,000
+// members on a 2^19 identifier ring, bandwidths U[400,1000] kbps.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"camcast/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "camfigs:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("camfigs", flag.ContinueOnError)
+	var (
+		figs    = fs.String("fig", "all", "comma-separated figure/ablation names, \"all\" (paper figures), or \"ablations\"")
+		n       = fs.Int("n", 100000, "multicast group size")
+		sources = fs.Int("sources", 3, "multicast sources averaged per data point")
+		seed    = fs.Int64("seed", 1, "RNG seed")
+		bits    = fs.Uint("bits", 19, "identifier space width in bits")
+		outDir  = fs.String("out", "", "directory to write <figure>.tsv files (default: stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	lookup := func(name string) func(experiments.Config) (experiments.FigureResult, error) {
+		if fn := experiments.All[name]; fn != nil {
+			return fn
+		}
+		return experiments.Ablations[name]
+	}
+
+	var names []string
+	switch *figs {
+	case "all":
+		names = experiments.FigureNames
+	case "ablations":
+		names = experiments.AblationNames
+	default:
+		for _, name := range strings.Split(*figs, ",") {
+			name = strings.TrimSpace(name)
+			if lookup(name) == nil {
+				return fmt.Errorf("unknown figure %q (known: %s; %s)", name,
+					strings.Join(experiments.FigureNames, ", "),
+					strings.Join(experiments.AblationNames, ", "))
+			}
+			names = append(names, name)
+		}
+	}
+
+	cfg := experiments.Config{N: *n, Sources: *sources, Seed: *seed, Bits: *bits}
+	for _, name := range names {
+		fmt.Fprintf(os.Stderr, "camfigs: generating %s (n=%d, sources=%d)...\n", name, cfg.N, cfg.Sources)
+		res, err := lookup(name)(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		if *outDir == "" {
+			fmt.Fprintln(stdout, res.TSV())
+			continue
+		}
+		path := filepath.Join(*outDir, name+".tsv")
+		if err := os.WriteFile(path, []byte(res.TSV()), 0o644); err != nil {
+			return fmt.Errorf("write %s: %w", path, err)
+		}
+		fmt.Fprintf(os.Stderr, "camfigs: wrote %s\n", path)
+	}
+	return nil
+}

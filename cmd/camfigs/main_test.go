@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleFigureToStdout(t *testing.T) {
+	out := &strings.Builder{}
+	err := run([]string{"-fig", "figure11", "-n", "400", "-sources", "1", "-bits", "11"}, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "# figure11") || !strings.Contains(out.String(), "# CAM-Chord") {
+		t.Errorf("output missing figure series:\n%.300s", out.String())
+	}
+}
+
+func TestRunAblationToFile(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{"-fig", "ablation-shift", "-n", "400", "-sources", "1", "-bits", "11", "-out", dir}, &strings.Builder{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "ablation-shift.tsv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "right-shift") {
+		t.Error("written TSV missing series")
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if err := run([]string{"-fig", "figure99"}, &strings.Builder{}); err == nil {
+		t.Error("unknown figure should fail")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}, &strings.Builder{}); err == nil {
+		t.Error("bad flag should fail")
+	}
+}

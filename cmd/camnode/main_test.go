@@ -1,0 +1,103 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"camcast"
+)
+
+func newTestSession(t *testing.T) (*session, *strings.Builder) {
+	t.Helper()
+	out := &strings.Builder{}
+	s := &session{net: camcast.NewNetwork(), protocol: camcast.CAMChord, out: out}
+	t.Cleanup(s.net.Close)
+	return s, out
+}
+
+func exec(t *testing.T, s *session, line string) {
+	t.Helper()
+	if _, err := s.execute(line); err != nil {
+		t.Fatalf("%q: %v", line, err)
+	}
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	s, out := newTestSession(t)
+	exec(t, s, "create alice 6")
+	exec(t, s, "join bob alice 4")
+	exec(t, s, "join carol alice 4")
+	exec(t, s, "settle")
+	exec(t, s, "send bob hello world")
+	exec(t, s, "members")
+	exec(t, s, "stats bob")
+	exec(t, s, "leave carol")
+	exec(t, s, "crash bob")
+
+	text := out.String()
+	for _, want := range []string{
+		"alice bootstrapped",
+		"bob joined via alice",
+		"[alice] bob: hello world",
+		"3 members",
+		"delivered=",
+		"carol left",
+		"bob crashed",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q\n%s", want, text)
+		}
+	}
+}
+
+func TestSessionQuit(t *testing.T) {
+	s, _ := newTestSession(t)
+	quit, err := s.execute("quit")
+	if err != nil || !quit {
+		t.Fatalf("quit = (%v, %v)", quit, err)
+	}
+}
+
+func TestSessionErrors(t *testing.T) {
+	s, _ := newTestSession(t)
+	bad := []string{
+		"bogus",
+		"create",
+		"join onlyone",
+		"send ghost hi",
+		"send",
+		"leave",
+		"stats ghost",
+		"create alice notanumber",
+	}
+	for _, line := range bad {
+		if _, err := s.execute(line); err == nil {
+			t.Errorf("%q should error", line)
+		}
+	}
+}
+
+func TestSessionHelp(t *testing.T) {
+	s, out := newTestSession(t)
+	exec(t, s, "help")
+	if !strings.Contains(out.String(), "create <addr>") {
+		t.Error("help output wrong")
+	}
+}
+
+func TestRunUnknownProtocol(t *testing.T) {
+	if err := run("bogus", strings.NewReader(""), &strings.Builder{}); err == nil {
+		t.Error("unknown protocol should fail")
+	}
+}
+
+func TestRunKoordeSession(t *testing.T) {
+	in := strings.NewReader("create a 5\njoin b a 5\nsettle\nsend a hi\nquit\n")
+	out := &strings.Builder{}
+	if err := run("cam-koorde", in, out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "[b] a: hi") {
+		t.Errorf("koorde session output:\n%s", out.String())
+	}
+}

@@ -1,0 +1,127 @@
+// Command camsim runs one multicast simulation and prints the measured tree
+// metrics: average path length, depth histogram, average children, and the
+// sustainable throughput under the paper's bandwidth-allocation model.
+//
+// Usage:
+//
+//	camsim [-system cam-chord|cam-koorde|chord|koorde] [-n 100000]
+//	       [-bits 19] [-sources 3] [-seed 1]
+//	       [-bw-lo 400] [-bw-hi 1000]
+//	       [-p 100 | -cap-lo 4 -cap-hi 10 | -degree 7]
+//
+// Capacity selection: -p derives capacities from bandwidth (c = ceil(B/p));
+// otherwise capacities are uniform in [-cap-lo, -cap-hi]. The baselines
+// (chord, koorde) ignore capacities and use -degree.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"camcast/internal/camchord"
+	"camcast/internal/camkoorde"
+	"camcast/internal/experiments"
+	"camcast/internal/ring"
+	"camcast/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "camsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("camsim", flag.ContinueOnError)
+	var (
+		system  = fs.String("system", "cam-chord", "cam-chord | cam-koorde | chord | koorde")
+		n       = fs.Int("n", 100000, "multicast group size")
+		bits    = fs.Uint("bits", 19, "identifier space width in bits")
+		sources = fs.Int("sources", 3, "number of multicast sources to average")
+		seed    = fs.Int64("seed", 1, "RNG seed")
+		bwLo    = fs.Float64("bw-lo", workload.DefaultBandwidthLo, "lowest upload bandwidth (kbps)")
+		bwHi    = fs.Float64("bw-hi", workload.DefaultBandwidthHi, "highest upload bandwidth (kbps)")
+		p       = fs.Float64("p", 0, "per-link bandwidth target; derives capacities c=ceil(B/p)")
+		capLo   = fs.Int("cap-lo", workload.DefaultCapacityLo, "lowest capacity (uniform mode)")
+		capHi   = fs.Int("cap-hi", workload.DefaultCapacityHi, "highest capacity (uniform mode)")
+		degree  = fs.Int("degree", 7, "uniform degree for the chord/koorde baselines")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var sys experiments.System
+	switch strings.ToLower(*system) {
+	case "cam-chord":
+		sys = experiments.SystemCAMChord
+	case "cam-koorde":
+		sys = experiments.SystemCAMKoorde
+	case "chord":
+		sys = experiments.SystemChord
+	case "koorde":
+		sys = experiments.SystemKoorde
+	default:
+		return fmt.Errorf("unknown system %q", *system)
+	}
+
+	space, err := ring.NewSpace(*bits)
+	if err != nil {
+		return err
+	}
+	wcfg := workload.Config{
+		Space:       space,
+		N:           *n,
+		Seed:        *seed,
+		BandwidthLo: *bwLo,
+		BandwidthHi: *bwHi,
+		Mode:        workload.CapacityUniform,
+		CapacityLo:  *capLo,
+		CapacityHi:  *capHi,
+	}
+	pop, err := experiments.NewPopulation(wcfg)
+	if err != nil {
+		return err
+	}
+
+	caps := pop.Caps
+	if *p > 0 {
+		minCap := camchord.MinCapacity
+		if sys == experiments.SystemCAMKoorde {
+			minCap = camkoorde.MinCapacity
+		}
+		caps = pop.CapsFromBandwidth(*p, minCap)
+	}
+	provision := caps
+	if sys == experiments.SystemChord || sys == experiments.SystemKoorde {
+		provision = pop.UniformCaps(*degree)
+	}
+
+	builder, err := experiments.NewOverlay(sys, pop, caps, *degree)
+	if err != nil {
+		return err
+	}
+	srcList := experiments.PickSources(pop.Ring.Len(), *sources, *seed+1000)
+	m, err := experiments.MeasureTrees(builder, pop.Bandwidth, provision, srcList)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "system:            %s\n", sys)
+	fmt.Fprintf(w, "members:           %d (identifier space 2^%d)\n", *n, *bits)
+	fmt.Fprintf(w, "sources averaged:  %d\n", *sources)
+	fmt.Fprintf(w, "avg path length:   %.2f hops\n", m.AvgPathLength)
+	fmt.Fprintf(w, "max depth:         %.1f hops\n", m.MaxDepth)
+	fmt.Fprintf(w, "avg children:      %.2f per non-leaf node\n", m.AvgChildren)
+	fmt.Fprintf(w, "throughput:        %.1f kbps (min allocated link bandwidth)\n", m.Throughput)
+	fmt.Fprintf(w, "depth histogram:\n")
+	for bin := 0; bin < m.DepthHist.Bins(); bin++ {
+		if c := m.DepthHist.Count(bin); c > 0 {
+			fmt.Fprintf(w, "  %3d hops: %.0f nodes\n", bin, c)
+		}
+	}
+	return nil
+}

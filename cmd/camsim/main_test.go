@@ -1,0 +1,42 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunCAMChord(t *testing.T) {
+	out := &strings.Builder{}
+	err := run([]string{"-system", "cam-chord", "-n", "500", "-bits", "12", "-sources", "1", "-p", "100"}, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"system:", "CAM-Chord", "avg path length:", "throughput:", "depth histogram:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunBaselineKoorde(t *testing.T) {
+	out := &strings.Builder{}
+	err := run([]string{"-system", "koorde", "-n", "300", "-bits", "11", "-sources", "1", "-degree", "6"}, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Koorde") {
+		t.Error("output missing system name")
+	}
+}
+
+func TestRunUnknownSystem(t *testing.T) {
+	if err := run([]string{"-system", "bogus"}, &strings.Builder{}); err == nil {
+		t.Error("unknown system should fail")
+	}
+}
+
+func TestRunBadBits(t *testing.T) {
+	if err := run([]string{"-bits", "99"}, &strings.Builder{}); err == nil {
+		t.Error("bad bits should fail")
+	}
+}

@@ -1,0 +1,64 @@
+package camcast_test
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"camcast"
+)
+
+// Example builds a small heterogeneous CAM-Chord group, multicasts from one
+// member, and prints who received the message.
+func Example() {
+	net := camcast.NewNetwork()
+	defer net.Close()
+
+	var (
+		mu       sync.Mutex
+		received []string
+	)
+	opts := func(who string, capacity int) camcast.Options {
+		return camcast.Options{
+			Protocol:  camcast.CAMChord,
+			Capacity:  capacity,
+			Stabilize: -1, // maintenance driven explicitly via Settle
+			Fix:       -1,
+			OnDeliver: func(m camcast.Message) {
+				mu.Lock()
+				defer mu.Unlock()
+				received = append(received, who)
+			},
+		}
+	}
+
+	// The first member bootstraps the group; others join through it.
+	if _, err := net.Create("server", opts("server", 6)); err != nil {
+		fmt.Println("create:", err)
+		return
+	}
+	for _, member := range []string{"laptop", "phone", "tablet"} {
+		if _, err := net.Join(member, "server", opts(member, 2)); err != nil {
+			fmt.Println("join:", err)
+			return
+		}
+		net.Settle(1)
+	}
+	net.Settle(3)
+
+	sender, err := net.Member("phone")
+	if err != nil {
+		fmt.Println("member:", err)
+		return
+	}
+	if _, err := sender.Multicast([]byte("hello group")); err != nil {
+		fmt.Println("multicast:", err)
+		return
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	sort.Strings(received)
+	fmt.Println(received)
+	// Output: [laptop phone server tablet]
+}

@@ -1,0 +1,171 @@
+// Chatroom: any-source multicast with dynamic membership on the live
+// runtime. Members join mid-session, chat, and leave — with background
+// stabilization running, exactly as a deployed group would. CAM-Koorde is
+// used here: the paper recommends it when membership changes frequently.
+//
+// Run with: go run ./examples/chatroom
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"camcast"
+)
+
+type chatLog struct {
+	mu       sync.Mutex
+	received map[string]map[string]string // member -> msgID -> text
+}
+
+func newChatLog() *chatLog {
+	return &chatLog{received: make(map[string]map[string]string)}
+}
+
+func (l *chatLog) handler(member string) func(camcast.Message) {
+	return func(m camcast.Message) {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		if l.received[member] == nil {
+			l.received[member] = make(map[string]string)
+		}
+		l.received[member][m.ID] = fmt.Sprintf("%s: %s", m.From, m.Payload)
+	}
+}
+
+func (l *chatLog) whoGot(msgID string) []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []string
+	for member, msgs := range l.received {
+		if _, ok := msgs[msgID]; ok {
+			out = append(out, member)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "chatroom:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	net := camcast.NewNetwork()
+	defer net.Close()
+	log := newChatLog()
+
+	opts := func(member string) camcast.Options {
+		return camcast.Options{
+			Protocol:  camcast.CAMKoorde,
+			Capacity:  5,
+			Stabilize: 2 * time.Millisecond, // real background maintenance
+			Fix:       2 * time.Millisecond,
+			OnDeliver: log.handler(member),
+		}
+	}
+
+	say := func(member, text string) (string, error) {
+		m, err := net.Member(member)
+		if err != nil {
+			return "", err
+		}
+		return m.Multicast([]byte(text))
+	}
+
+	// waitFor polls until msgID reached want members (maintenance is
+	// asynchronous, so stale tables may delay full coverage briefly).
+	waitFor := func(msgID string, want int) []string {
+		deadline := time.Now().Add(3 * time.Second)
+		for {
+			got := log.whoGot(msgID)
+			if len(got) >= want || time.Now().After(deadline) {
+				return got
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	// settle waits until a probe message reaches the whole current group.
+	settle := func(from string) error {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			id, err := say(from, "(probe)")
+			if err != nil {
+				return err
+			}
+			if got := waitFor(id, len(net.Members())); len(got) == len(net.Members()) {
+				return nil
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("group never converged")
+			}
+		}
+	}
+
+	if _, err := net.Create("alice", opts("alice")); err != nil {
+		return err
+	}
+	for _, member := range []string{"bob", "carol", "dave"} {
+		if _, err := net.Join(member, "alice", opts(member)); err != nil {
+			return err
+		}
+	}
+	if err := settle("alice"); err != nil {
+		return err
+	}
+	fmt.Println("room open:", len(net.Members()), "members")
+
+	id, err := say("alice", "hi everyone!")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("alice said hi     -> %v\n", waitFor(id, 4))
+
+	id, err = say("dave", "hey alice")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dave replied      -> %v\n", waitFor(id, 4))
+
+	// Two more members join mid-conversation.
+	for _, member := range []string{"erin", "frank"} {
+		if _, err := net.Join(member, "bob", opts(member)); err != nil {
+			return err
+		}
+	}
+	if err := settle("bob"); err != nil {
+		return err
+	}
+	fmt.Println("erin and frank joined:", len(net.Members()), "members")
+
+	id, err = say("erin", "what did I miss?")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("erin asked        -> %v\n", waitFor(id, 6))
+
+	// Carol leaves gracefully; chat continues.
+	carol, err := net.Member("carol")
+	if err != nil {
+		return err
+	}
+	if err := carol.Leave(); err != nil {
+		return err
+	}
+	if err := settle("alice"); err != nil {
+		return err
+	}
+	id, err = say("frank", "bye carol")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("carol left; frank -> %v\n", waitFor(id, 5))
+	return nil
+}

@@ -1,0 +1,139 @@
+// Quickstart: build a small CAM-Chord multicast group with the public API,
+// send messages from several members, and show that every member receives
+// every message exactly once, no member exceeds its capacity, and the group
+// survives a graceful departure.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"camcast"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	net := camcast.NewNetwork()
+	defer net.Close()
+
+	// A shared delivery log (OnDeliver runs on protocol goroutines).
+	var (
+		mu  sync.Mutex
+		log = map[string][]string{} // msgID -> receivers
+	)
+	record := func(addr string) func(camcast.Message) {
+		return func(m camcast.Message) {
+			mu.Lock()
+			defer mu.Unlock()
+			log[m.ID] = append(log[m.ID], fmt.Sprintf("%s(%d hops)", addr, m.Hops))
+		}
+	}
+
+	// Members with heterogeneous capacities, as the paper assumes: a beefy
+	// server can feed six children, a phone only two.
+	members := []struct {
+		addr     string
+		capacity int
+	}{
+		{"server-1", 6}, {"desktop-1", 4}, {"desktop-2", 4},
+		{"laptop-1", 3}, {"laptop-2", 3}, {"phone-1", 2},
+		{"phone-2", 2}, {"phone-3", 2},
+	}
+
+	opts := func(addr string, capacity int) camcast.Options {
+		return camcast.Options{
+			Protocol:  camcast.CAMChord,
+			Capacity:  capacity,
+			Stabilize: -1, // drive maintenance explicitly for a deterministic demo
+			Fix:       -1,
+			OnDeliver: record(addr),
+		}
+	}
+
+	// First member bootstraps the group; the rest join through it.
+	first := members[0]
+	if _, err := net.Create(first.addr, opts(first.addr, first.capacity)); err != nil {
+		return err
+	}
+	for _, m := range members[1:] {
+		if _, err := net.Join(m.addr, first.addr, opts(m.addr, m.capacity)); err != nil {
+			return err
+		}
+		net.Settle(1)
+	}
+	net.Settle(3)
+	fmt.Printf("group formed: %d members\n\n", len(net.Members()))
+
+	// Any-source multicast: three different members send.
+	for _, sender := range []string{"server-1", "phone-3", "laptop-2"} {
+		m, err := net.Member(sender)
+		if err != nil {
+			return err
+		}
+		msgID, err := m.Multicast([]byte("hello from " + sender))
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		receivers := append([]string(nil), log[msgID]...)
+		mu.Unlock()
+		sort.Strings(receivers)
+		fmt.Printf("%s multicast %s -> %d/%d members\n  %v\n",
+			sender, msgID, len(receivers), len(members), receivers)
+		if len(receivers) != len(members) {
+			return fmt.Errorf("message %s missed members", msgID)
+		}
+	}
+
+	// Capacity bound: no member forwarded more copies per message than its
+	// capacity allows.
+	fmt.Println("\nper-member forwarding totals over 3 messages (capacity bound):")
+	for _, m := range members {
+		member, err := net.Member(m.addr)
+		if err != nil {
+			return err
+		}
+		st := member.Stats()
+		fmt.Printf("  %-10s capacity=%d forwarded=%d (max allowed %d)\n",
+			m.addr, m.capacity, st.Forwarded, 3*m.capacity)
+		if st.Forwarded > uint64(3*m.capacity) {
+			return fmt.Errorf("%s exceeded its capacity", m.addr)
+		}
+	}
+
+	// Dynamic membership: a member leaves, the group keeps working.
+	leaver, err := net.Member("desktop-2")
+	if err != nil {
+		return err
+	}
+	if err := leaver.Leave(); err != nil {
+		return err
+	}
+	net.Settle(3)
+	m, err := net.Member("phone-1")
+	if err != nil {
+		return err
+	}
+	msgID, err := m.Multicast([]byte("after departure"))
+	if err != nil {
+		return err
+	}
+	mu.Lock()
+	n := len(log[msgID])
+	mu.Unlock()
+	fmt.Printf("\nafter desktop-2 left: multicast reached %d/%d remaining members\n", n, len(members)-1)
+	if n != len(members)-1 {
+		return fmt.Errorf("post-departure message missed members")
+	}
+	return nil
+}

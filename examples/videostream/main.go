@@ -1,0 +1,96 @@
+// Videostream: the paper's motivating workload. A 20,000-member group wants
+// to stream video from any member; upload bandwidths are heterogeneous
+// (U[400,1000] kbps). This example uses the large-scale simulator to compare
+// the sustainable streaming rate of capacity-aware CAM-Chord against a
+// capacity-unaware Chord overlay at the same average degree, and shows the
+// throughput/latency dial the per-link target p provides.
+//
+// Run with: go run ./examples/videostream
+package main
+
+import (
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"camcast/internal/camchord"
+	"camcast/internal/experiments"
+	"camcast/internal/ring"
+	"camcast/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "videostream:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const (
+		groupSize = 20000
+		bits      = 17 // keeps the paper's node density at this scale
+		seed      = 7
+	)
+	wcfg := workload.DefaultConfig(groupSize, seed)
+	wcfg.Space = ring.MustSpace(bits)
+	pop, err := experiments.NewPopulation(wcfg)
+	if err != nil {
+		return err
+	}
+	sources := experiments.PickSources(pop.Ring.Len(), 3, seed)
+
+	fmt.Printf("streaming group: %d members, upload bandwidth %d..%d kbps\n\n",
+		groupSize, workload.DefaultBandwidthLo, workload.DefaultBandwidthHi)
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "per-link target p\tsystem\tsustainable rate\tavg latency\tmax depth")
+	fmt.Fprintln(w, "(kbps)\t\t(kbps)\t(hops)\t(hops)")
+
+	// Sweep the throughput/latency dial: small p = many children = lower
+	// rate but shallower trees.
+	for _, p := range []float64{175, 100, 50} {
+		caps := pop.CapsFromBandwidth(p, camchord.MinCapacity)
+		cam, err := experiments.NewOverlay(experiments.SystemCAMChord, pop, caps, 0)
+		if err != nil {
+			return err
+		}
+		camStats, err := experiments.MeasureTrees(cam, pop.Bandwidth, caps, sources)
+		if err != nil {
+			return err
+		}
+
+		// The capacity-unaware competitor at the same average degree.
+		avgDegree := int(workload.AverageCapacity(toMembers(caps)) + 0.5)
+		base, err := experiments.NewOverlay(experiments.SystemChord, pop, nil, avgDegree)
+		if err != nil {
+			return err
+		}
+		baseStats, err := experiments.MeasureTrees(base, pop.Bandwidth, pop.UniformCaps(avgDegree), sources)
+		if err != nil {
+			return err
+		}
+
+		fmt.Fprintf(w, "%.0f\tCAM-Chord\t%.1f\t%.2f\t%.0f\n",
+			p, camStats.Throughput, camStats.AvgPathLength, camStats.MaxDepth)
+		fmt.Fprintf(w, "\tChord (uniform %d children)\t%.1f\t%.2f\t%.0f\n",
+			avgDegree, baseStats.Throughput, baseStats.AvgPathLength, baseStats.MaxDepth)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+
+	fmt.Println("\nCAM-Chord sustains a higher streaming rate at every setting because")
+	fmt.Println("low-bandwidth members are never asked to feed more children than their")
+	fmt.Println("uplink supports; smaller p trades rate for shallower trees (lower latency).")
+	return nil
+}
+
+// toMembers adapts a capacity slice for workload.AverageCapacity.
+func toMembers(caps []int) []workload.Member {
+	members := make([]workload.Member, len(caps))
+	for i, c := range caps {
+		members[i].Capacity = c
+	}
+	return members
+}

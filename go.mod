@@ -1,0 +1,3 @@
+module camcast
+
+go 1.22

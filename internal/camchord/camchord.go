@@ -1,0 +1,274 @@
+// Package camchord implements CAM-Chord (Section 3 of the paper): the
+// capacity-aware generalization of Chord in which a node x of capacity c_x
+// keeps neighbors responsible for the identifiers
+//
+//	x_{i,j} = (x + j * c_x^i) mod N,  j ∈ [1 .. c_x-1],  i ∈ [0 .. ⌈log N / log c_x⌉ - 1],
+//
+// looks up identifiers greedily through those neighbors (Section 3.2), and
+// multicasts by recursively splitting the identifier segment (x, k] across
+// up to c_x children as evenly as possible (Section 3.4). The multicast tree
+// is implicit: no tree state is kept anywhere; the tree emerges from the
+// collective execution of the Multicast routine.
+//
+// This package is the simulator-mode implementation: it resolves "the node
+// responsible for identifier y" against a static topology.Ring snapshot. The
+// dynamic runtime in internal/runtime reuses the same neighbor and segment
+// arithmetic through the exported helpers.
+package camchord
+
+import (
+	"fmt"
+	"math"
+
+	"camcast/internal/multicast"
+	"camcast/internal/ring"
+	"camcast/internal/topology"
+)
+
+// MinCapacity is the smallest capacity CAM-Chord supports: the level/
+// sequence arithmetic (equations 1-2) requires a branching base of at
+// least 2.
+const MinCapacity = 2
+
+// Spacing selects how MULTICAST picks its level-(i-1) children (Lines
+// 10-14 of the routine).
+type Spacing int
+
+// Spacing modes.
+const (
+	// SpacingEven spreads the remaining children evenly over the lower
+	// level, the paper's design for balanced subtrees.
+	SpacingEven Spacing = iota + 1
+	// SpacingContiguous naively takes the highest consecutive sequence
+	// numbers; subtree sizes become badly skewed. Kept as the ablation
+	// baseline for the "even separation" design choice.
+	SpacingContiguous
+)
+
+// Network is a CAM-Chord overlay over a static membership snapshot.
+type Network struct {
+	ring    *topology.Ring
+	caps    []int // capacity per ring position
+	spacing Spacing
+}
+
+// New builds a CAM-Chord network over the given ring. caps[i] is the
+// capacity of the node at ring position i and must be >= MinCapacity.
+func New(r *topology.Ring, caps []int) (*Network, error) {
+	return NewWithSpacing(r, caps, SpacingEven)
+}
+
+// NewWithSpacing builds a CAM-Chord network with an explicit child-spacing
+// mode (see Spacing).
+func NewWithSpacing(r *topology.Ring, caps []int, spacing Spacing) (*Network, error) {
+	if r == nil {
+		return nil, fmt.Errorf("camchord: nil ring")
+	}
+	if spacing != SpacingEven && spacing != SpacingContiguous {
+		return nil, fmt.Errorf("camchord: unknown spacing mode %d", spacing)
+	}
+	if len(caps) != r.Len() {
+		return nil, fmt.Errorf("camchord: %d capacities for %d nodes", len(caps), r.Len())
+	}
+	owned := make([]int, len(caps))
+	copy(owned, caps)
+	for i, c := range owned {
+		if c < MinCapacity {
+			return nil, fmt.Errorf("camchord: node %d capacity %d below minimum %d", i, c, MinCapacity)
+		}
+	}
+	return &Network{ring: r, caps: owned, spacing: spacing}, nil
+}
+
+// Ring returns the underlying membership snapshot.
+func (n *Network) Ring() *topology.Ring { return n.ring }
+
+// Capacity returns the capacity of the node at ring position pos.
+func (n *Network) Capacity(pos int) int { return n.caps[pos] }
+
+// NeighborIDs enumerates the neighbor identifiers x_{i,j} of the node at
+// ring position pos, in ascending (i, j) order. This is the full identifier
+// list of Section 3.1; several identifiers may resolve to the same physical
+// node, exactly as in Chord.
+func (n *Network) NeighborIDs(pos int) []ring.ID {
+	s := n.ring.Space()
+	x := n.ring.IDAt(pos)
+	c := uint64(n.caps[pos])
+	out := make([]ring.ID, 0, 4*int(c))
+	for pow := uint64(1); pow < s.Size(); pow *= c {
+		for j := uint64(1); j <= c-1; j++ {
+			d := j * pow
+			if d >= s.Size() {
+				break
+			}
+			out = append(out, s.Add(x, d))
+		}
+		if pow > s.Size()/c { // next multiply would overflow past the space
+			break
+		}
+	}
+	return out
+}
+
+// NeighborNodes resolves NeighborIDs to distinct ring positions (excluding
+// pos itself). This is the actual routing-table contents a live node would
+// maintain.
+func (n *Network) NeighborNodes(pos int) []int {
+	idList := n.NeighborIDs(pos)
+	seen := make(map[int]bool, len(idList))
+	out := make([]int, 0, len(idList))
+	for _, id := range idList {
+		p := n.ring.Responsible(id)
+		if p == pos || seen[p] {
+			continue
+		}
+		seen[p] = true
+		out = append(out, p)
+	}
+	return out
+}
+
+// Lookup resolves the node responsible for identifier k starting from the
+// node at position from, following the LOOKUP routine of Section 3.2. It
+// returns the position of the responsible node and the forwarding path
+// (inclusive of the starting node, exclusive of the returned node unless the
+// start is itself responsible).
+//
+// Unlike the paper's pseudo-code, which assumes a ring dense enough that the
+// greedy neighbor x̂_{i,j} always lies inside (x, k], this implementation
+// also handles the sparse-ring case where resolution wraps all the way back
+// to the querying node.
+func (n *Network) Lookup(from int, k ring.ID) (resp int, path []int) {
+	s := n.ring.Space()
+	x := from
+	path = append(path, x)
+	for {
+		xid := n.ring.IDAt(x)
+		if xid == k {
+			return x, path
+		}
+		succ := n.ring.Successor(x)
+		if s.InOC(k, xid, n.ring.IDAt(succ)) {
+			return succ, path
+		}
+
+		c := uint64(n.caps[x])
+		_, seq, pow := s.LevelSeq(xid, k, c)
+		// The greedy neighbor x̂_{i,j}: x_{i,j} is the neighbor identifier
+		// counter-clockwise closest to k (equations 1-2).
+		y := s.Add(xid, seq*pow)
+		z := n.ring.Responsible(y)
+		if z == x {
+			// Sparse ring: no member in [y, x), so no member in [y, k]
+			// either — x itself is responsible for k. (The paper's
+			// pseudo-code assumes a dense ring and misses this case.)
+			return x, path
+		}
+		if s.InOC(k, xid, n.ring.IDAt(z)) {
+			// k ∈ (x, x̂_{i,j}]: z is responsible for k (Lines 6-7).
+			return z, path
+		}
+		// Otherwise x̂_{i,j} precedes k: forward greedily (Line 9).
+		x = z
+		path = append(path, x)
+	}
+}
+
+// BuildTree runs the MULTICAST routine of Section 3.4 from the source at
+// ring position src and returns the resulting implicit multicast tree. The
+// collective recursion is simulated with an explicit work queue; each queue
+// entry is one invocation x.MULTICAST(msg, k) meaning "x must deliver to
+// every node in (x, k]".
+func (n *Network) BuildTree(src int) (*multicast.Tree, error) {
+	tree, err := multicast.NewTree(n.ring.Len(), src)
+	if err != nil {
+		return nil, err
+	}
+	s := n.ring.Space()
+
+	type task struct {
+		node int
+		k    ring.ID
+	}
+	queue := make([]task, 0, n.ring.Len())
+	// The source initiates delivery to (x, x-1], i.e. the whole ring but x.
+	queue = append(queue, task{node: src, k: s.Sub(n.ring.IDAt(src), 1)})
+
+	for head := 0; head < len(queue); head++ {
+		t := queue[head]
+		x := t.node
+		xid := n.ring.IDAt(x)
+		c := uint64(n.caps[x])
+		k := t.k
+		if s.Dist(xid, k) == 0 {
+			continue // empty segment: nothing left to cover
+		}
+
+		// send forwards msg to the node responsible for identifier y,
+		// assigning it the remaining segment, then shrinks the segment to
+		// (x, y-1]. It skips identifiers whose responsible node lies outside
+		// the remaining segment (no member nodes are there to cover).
+		send := func(y ring.ID) error {
+			if s.Dist(xid, k) == 0 || !s.InOC(y, xid, k) {
+				return nil
+			}
+			z := n.ring.Responsible(y)
+			if z != x && s.InOC(n.ring.IDAt(z), xid, k) {
+				if err := tree.Deliver(x, z); err != nil {
+					return err
+				}
+				queue = append(queue, task{node: z, k: k})
+			}
+			k = s.Sub(y, 1)
+			return nil
+		}
+
+		level, seq, pow := s.LevelSeq(xid, k, c)
+
+		// Lines 6-9: level-i neighbors preceding k, highest first.
+		for m := seq; m >= 1; m-- {
+			if err := send(s.Add(xid, m*pow)); err != nil {
+				return nil, err
+			}
+		}
+
+		// Lines 10-14: fill the remaining capacity with (c - seq - 1)
+		// level-(i-1) neighbors, evenly spaced over [1, c). The paper's
+		// pseudo-code writes x̂_{i-1,⌊l⌋}, but its own worked example
+		// (x̂_{2,2} for c=3, j=1, where l = 3 - 3/2 = 1.5) is consistent
+		// only with rounding l up, so we use the ceiling.
+		if level >= 1 {
+			prevPow := pow / c
+			switch n.spacing {
+			case SpacingEven:
+				l := float64(c)
+				step := float64(c) / float64(c-seq)
+				for m := int64(c) - int64(seq) - 1; m >= 1; m-- {
+					l -= step
+					j := uint64(math.Ceil(l))
+					if j < 1 {
+						j = 1
+					}
+					if err := send(s.Add(xid, j*prevPow)); err != nil {
+						return nil, err
+					}
+				}
+			case SpacingContiguous:
+				// Ablation baseline: take the (c-seq-1) highest sequence
+				// numbers back to back, clustering children near the top of
+				// the remaining segment.
+				for j := c - 1; j > seq && j >= 1; j-- {
+					if err := send(s.Add(xid, j*prevPow)); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+
+		// Line 15: the successor x̂_{0,1}.
+		if err := send(s.Add(xid, 1)); err != nil {
+			return nil, err
+		}
+	}
+	return tree, nil
+}

@@ -1,0 +1,93 @@
+package camchord
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"camcast/internal/ring"
+	"camcast/internal/topology"
+)
+
+// networkFromSeed derives a whole random network (membership, capacities,
+// source) from a single seed so testing/quick can explore the space.
+func networkFromSeed(seed int64) (*Network, int, error) {
+	rng := rand.New(rand.NewSource(seed))
+	s := ring.MustSpace(uint(8 + rng.Intn(8))) // 8..15 bits
+	n := 2 + rng.Intn(120)
+	if uint64(n) > s.Size()/2 {
+		n = int(s.Size() / 2)
+	}
+	seen := make(map[ring.ID]bool, n)
+	idList := make([]ring.ID, 0, n)
+	for len(idList) < n {
+		id := s.Reduce(rng.Uint64())
+		if !seen[id] {
+			seen[id] = true
+			idList = append(idList, id)
+		}
+	}
+	r, err := topology.New(s, idList)
+	if err != nil {
+		return nil, 0, err
+	}
+	caps := make([]int, n)
+	for i := range caps {
+		caps[i] = 2 + rng.Intn(30)
+	}
+	net, err := New(r, caps)
+	if err != nil {
+		return nil, 0, err
+	}
+	return net, rng.Intn(n), nil
+}
+
+// Property: for any membership, any capacity vector and any source, the
+// implicit multicast tree delivers to every member exactly once and never
+// exceeds any node's capacity.
+func TestQuickMulticastInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		net, src, err := networkFromSeed(seed)
+		if err != nil {
+			t.Logf("seed %d: setup: %v", seed, err)
+			return false
+		}
+		tree, err := net.BuildTree(src)
+		if err != nil {
+			t.Logf("seed %d: build: %v", seed, err)
+			return false
+		}
+		if err := tree.VerifyComplete(); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		for pos := 0; pos < net.Ring().Len(); pos++ {
+			if tree.Degree(pos) > net.Capacity(pos) {
+				t.Logf("seed %d: node %d degree %d > capacity %d",
+					seed, pos, tree.Degree(pos), net.Capacity(pos))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: lookup from any node for any identifier agrees with the global
+// successor function.
+func TestQuickLookupMatchesResponsible(t *testing.T) {
+	f := func(seed int64, rawK uint64) bool {
+		net, from, err := networkFromSeed(seed)
+		if err != nil {
+			return false
+		}
+		k := net.Ring().Space().Reduce(rawK)
+		got, _ := net.Lookup(from, k)
+		return got == net.Ring().Responsible(k)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

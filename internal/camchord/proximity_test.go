@@ -1,0 +1,126 @@
+package camchord
+
+import (
+	"math/rand"
+	"testing"
+
+	"camcast/internal/geo"
+)
+
+func geoModel(t *testing.T, n int, seed int64) *geo.Model {
+	t.Helper()
+	m, err := geo.NewClustered(n, 8, 120, 1, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestBuildTreeProximityExactlyOnce(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		net := randomNetwork(t, 14, 500, 3, 10, seed)
+		m := geoModel(t, net.Ring().Len(), seed)
+		tree, delays, err := net.BuildTreeProximity(int(seed)*7%net.Ring().Len(), m.Delay, 8)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := tree.VerifyComplete(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if delays[tree.Root()] != 0 {
+			t.Fatalf("root delay %g", delays[tree.Root()])
+		}
+	}
+}
+
+func TestBuildTreeProximityEverySource(t *testing.T) {
+	net := randomNetwork(t, 12, 120, 2, 8, 21)
+	m := geoModel(t, net.Ring().Len(), 21)
+	for src := 0; src < net.Ring().Len(); src++ {
+		tree, _, err := net.BuildTreeProximity(src, m.Delay, 6)
+		if err != nil {
+			t.Fatalf("src %d: %v", src, err)
+		}
+		if err := tree.VerifyComplete(); err != nil {
+			t.Fatalf("src %d: %v", src, err)
+		}
+	}
+}
+
+// PNS adds at most one child (the head of a backward walk) beyond the
+// node's own capacity-bounded selection.
+func TestBuildTreeProximityDegreeBound(t *testing.T) {
+	net := randomNetwork(t, 14, 600, 3, 12, 31)
+	m := geoModel(t, net.Ring().Len(), 31)
+	tree, _, err := net.BuildTreeProximity(0, m.Delay, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pos := 0; pos < net.Ring().Len(); pos++ {
+		if d := tree.Degree(pos); d > net.Capacity(pos)+1 {
+			t.Fatalf("node %d has %d children, capacity %d (+1 backward)", pos, d, net.Capacity(pos))
+		}
+	}
+}
+
+// The point of PNS: under a clustered latency model, least-delay-first
+// selection must reduce the average source-to-member delay relative to
+// arithmetic selection (sample = 1).
+func TestBuildTreeProximityReducesDelay(t *testing.T) {
+	net := randomNetwork(t, 15, 1500, 4, 10, 41)
+	m := geoModel(t, net.Ring().Len(), 41)
+	rng := rand.New(rand.NewSource(5))
+
+	var arithTotal, pnsTotal float64
+	for trial := 0; trial < 3; trial++ {
+		src := rng.Intn(net.Ring().Len())
+		arithTree, arithDelays, err := net.BuildTreeProximity(src, m.Delay, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pnsTree, pnsDelays, err := net.BuildTreeProximity(src, m.Delay, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		arithTotal += AvgDelay(arithTree, arithDelays)
+		pnsTotal += AvgDelay(pnsTree, pnsDelays)
+	}
+	if pnsTotal >= arithTotal {
+		t.Errorf("PNS delay %.1f should beat arithmetic %.1f", pnsTotal/3, arithTotal/3)
+	}
+	improvement := 1 - pnsTotal/arithTotal
+	if improvement < 0.1 {
+		t.Errorf("PNS improvement only %.1f%%, expected >= 10%% under clustered geography", improvement*100)
+	}
+}
+
+// With sample = 1 the proximate tree has the same shape as BuildTree.
+func TestBuildTreeProximitySampleOneMatchesArithmetic(t *testing.T) {
+	net := randomNetwork(t, 13, 300, 3, 8, 51)
+	m := geoModel(t, net.Ring().Len(), 51)
+	base, err := net.BuildTree(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pns, _, err := net.BuildTreeProximity(5, m.Delay, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pos := 0; pos < net.Ring().Len(); pos++ {
+		if base.Parent(pos) != pns.Parent(pos) {
+			t.Fatalf("node %d: parent %d vs %d", pos, base.Parent(pos), pns.Parent(pos))
+		}
+	}
+}
+
+func TestAvgDelayEmpty(t *testing.T) {
+	net := randomNetwork(t, 10, 1, 2, 2, 61)
+	m := geoModel(t, 1, 61)
+	tree, delays, err := net.BuildTreeProximity(0, m.Delay, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if AvgDelay(tree, delays) != 0 {
+		t.Error("single-node tree should have zero average delay")
+	}
+}

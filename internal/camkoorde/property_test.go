@@ -1,0 +1,112 @@
+package camkoorde
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"camcast/internal/ring"
+	"camcast/internal/topology"
+)
+
+func networkFromSeed(seed int64) (*Network, int, error) {
+	rng := rand.New(rand.NewSource(seed))
+	s := ring.MustSpace(uint(8 + rng.Intn(8)))
+	n := 2 + rng.Intn(120)
+	if uint64(n) > s.Size()/2 {
+		n = int(s.Size() / 2)
+	}
+	seen := make(map[ring.ID]bool, n)
+	idList := make([]ring.ID, 0, n)
+	for len(idList) < n {
+		id := s.Reduce(rng.Uint64())
+		if !seen[id] {
+			seen[id] = true
+			idList = append(idList, id)
+		}
+	}
+	r, err := topology.New(s, idList)
+	if err != nil {
+		return nil, 0, err
+	}
+	caps := make([]int, n)
+	for i := range caps {
+		caps[i] = 4 + rng.Intn(30)
+	}
+	net, err := New(r, caps)
+	if err != nil {
+		return nil, 0, err
+	}
+	return net, rng.Intn(n), nil
+}
+
+// Property: flooding reaches every member exactly once from any source over
+// any membership/capacity draw, and no node forwards beyond its capacity.
+func TestQuickFloodInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		net, src, err := networkFromSeed(seed)
+		if err != nil {
+			t.Logf("seed %d: setup: %v", seed, err)
+			return false
+		}
+		tree, _, err := net.BuildTree(src)
+		if err != nil {
+			t.Logf("seed %d: build: %v", seed, err)
+			return false
+		}
+		if err := tree.VerifyComplete(); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		for pos := 0; pos < net.Ring().Len(); pos++ {
+			if tree.Degree(pos) > net.Capacity(pos) {
+				t.Logf("seed %d: node %d degree %d > capacity %d",
+					seed, pos, tree.Degree(pos), net.Capacity(pos))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the neighbor identifier groups always comprise at most c_x
+// identifiers, with the documented group sizes (Section 4.1).
+func TestQuickGroupSizes(t *testing.T) {
+	f := func(seed int64) bool {
+		net, pos, err := networkFromSeed(seed)
+		if err != nil {
+			return false
+		}
+		basic, second, third := net.Groups(pos)
+		c := net.Capacity(pos)
+		if len(basic) != 4 {
+			return false
+		}
+		if len(second) != 0 && len(second)&(len(second)-1) != 0 {
+			return false // second group size must be a power of two (2^s)
+		}
+		return 4+len(second)+len(third) <= c
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: lookup agrees with the global successor function.
+func TestQuickLookupMatchesResponsible(t *testing.T) {
+	f := func(seed int64, rawK uint64) bool {
+		net, from, err := networkFromSeed(seed)
+		if err != nil {
+			return false
+		}
+		k := net.Ring().Space().Reduce(rawK)
+		got, _ := net.Lookup(from, k)
+		return got == net.Ring().Responsible(k)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,198 @@
+package chord
+
+import (
+	"math/rand"
+	"testing"
+
+	"camcast/internal/ring"
+	"camcast/internal/topology"
+)
+
+func randomRing(t testing.TB, bits uint, nodes int, seed int64) *topology.Ring {
+	t.Helper()
+	s := ring.MustSpace(bits)
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[ring.ID]bool, nodes)
+	ids := make([]ring.ID, 0, nodes)
+	for len(ids) < nodes {
+		id := s.Reduce(rng.Uint64())
+		if !seen[id] {
+			seen[id] = true
+			ids = append(ids, id)
+		}
+	}
+	r, err := topology.New(s, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewValidation(t *testing.T) {
+	r := randomRing(t, 8, 10, 1)
+	if _, err := New(nil, 2); err == nil {
+		t.Error("nil ring should fail")
+	}
+	if _, err := New(r, 1); err == nil {
+		t.Error("base 1 should fail")
+	}
+	n, err := New(r, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Base() != 2 {
+		t.Errorf("Base() = %d", n.Base())
+	}
+}
+
+// Classic Chord (base 2): fingers of x are x + 2^i for i in [0, b).
+func TestFingerIDsClassic(t *testing.T) {
+	r, err := topology.New(ring.MustSpace(5), []ring.ID{0, 7, 12, 20, 28})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := New(r, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos, _ := r.PosOf(0)
+	got := n.FingerIDs(pos)
+	want := []ring.ID{1, 2, 4, 8, 16}
+	if len(got) != len(want) {
+		t.Fatalf("FingerIDs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("FingerIDs = %v, want %v", got, want)
+		}
+	}
+}
+
+// Base-c fingers match CAM-Chord's neighbor identifiers for uniform c.
+func TestFingerIDsBase3(t *testing.T) {
+	r, _ := topology.New(ring.MustSpace(5), []ring.ID{0, 15})
+	n, _ := New(r, 3)
+	pos, _ := r.PosOf(0)
+	got := n.FingerIDs(pos)
+	want := []ring.ID{1, 2, 3, 6, 9, 18, 27}
+	if len(got) != len(want) {
+		t.Fatalf("FingerIDs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("FingerIDs = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLookupMatchesResponsible(t *testing.T) {
+	for _, base := range []int{2, 3, 8} {
+		r := randomRing(t, 13, 250, int64(base))
+		n, err := New(r, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(99))
+		for trial := 0; trial < 1500; trial++ {
+			from := rng.Intn(r.Len())
+			k := r.Space().Reduce(rng.Uint64())
+			want := r.Responsible(k)
+			got, _ := n.Lookup(from, k)
+			if got != want {
+				t.Fatalf("base %d: Lookup(k=%d) = node %d, want %d", base, k, got, want)
+			}
+		}
+	}
+}
+
+func TestLookupPathLogarithmic(t *testing.T) {
+	r := randomRing(t, 19, 2000, 5)
+	n, _ := New(r, 2)
+	rng := rand.New(rand.NewSource(6))
+	var total int
+	const trials = 500
+	for i := 0; i < trials; i++ {
+		_, path := n.Lookup(rng.Intn(r.Len()), r.Space().Reduce(rng.Uint64()))
+		total += len(path)
+	}
+	// log2(2000) ≈ 11; the average Chord path is ~(1/2)·log2 n.
+	if avg := float64(total) / trials; avg > 12 {
+		t.Errorf("average lookup path %.1f hops is not logarithmic", avg)
+	}
+}
+
+func TestBuildTreeExactlyOnce(t *testing.T) {
+	for _, base := range []int{2, 4, 7} {
+		r := randomRing(t, 14, 500, int64(base)*3)
+		n, err := New(r, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, src := range []int{0, 100, r.Len() - 1} {
+			tree, err := n.BuildTree(src)
+			if err != nil {
+				t.Fatalf("base %d src %d: %v", base, src, err)
+			}
+			if err := tree.VerifyComplete(); err != nil {
+				t.Fatalf("base %d src %d: %v", base, src, err)
+			}
+		}
+	}
+}
+
+// The broadcast tree is unbalanced: with base 2 the source has ~log2 n
+// children while deep nodes have few — the property the paper criticizes.
+func TestBuildTreeRootDegreeGrowsWithLogN(t *testing.T) {
+	r := randomRing(t, 16, 2048, 8)
+	n, _ := New(r, 2)
+	tree, err := n.BuildTree(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tree.Degree(0); d < 8 || d > 16 {
+		t.Errorf("root degree %d; expected ~log2(2048) = 11", d)
+	}
+}
+
+// Degree is independent of any capacity notion but bounded by the finger
+// count: at most (c-1)·ceil(log_c N) children.
+func TestBuildTreeDegreeBoundedByFingers(t *testing.T) {
+	r := randomRing(t, 14, 600, 9)
+	n, _ := New(r, 4)
+	tree, err := n.BuildTree(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxFingers := len(n.FingerIDs(0))
+	for pos := 0; pos < r.Len(); pos++ {
+		if d := tree.Degree(pos); d > maxFingers {
+			t.Fatalf("node %d degree %d exceeds finger count %d", pos, d, maxFingers)
+		}
+	}
+}
+
+func TestBuildTreeSingleNode(t *testing.T) {
+	r, _ := topology.New(ring.MustSpace(5), []ring.ID{3})
+	n, _ := New(r, 2)
+	tree, err := n.BuildTree(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.VerifyComplete(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildTreeEverySource(t *testing.T) {
+	r := randomRing(t, 12, 120, 10)
+	n, _ := New(r, 2)
+	for src := 0; src < r.Len(); src++ {
+		tree, err := n.BuildTree(src)
+		if err != nil {
+			t.Fatalf("src %d: %v", src, err)
+		}
+		if err := tree.VerifyComplete(); err != nil {
+			t.Fatalf("src %d: %v", src, err)
+		}
+	}
+}

@@ -1,0 +1,421 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"camcast/internal/camchord"
+	"camcast/internal/camkoorde"
+	"camcast/internal/geo"
+	"camcast/internal/koorde"
+	"camcast/internal/metrics"
+	"camcast/internal/multicast"
+)
+
+// This file implements the ablation experiments for the design choices
+// DESIGN.md calls out. They are not figures from the paper; each isolates
+// one mechanism the paper claims matters and quantifies it.
+
+// AblationShift compares CAM-Koorde's right-shift (spread) neighbor
+// derivation against Koorde's left-shift (clustered) one at equal uniform
+// degree, plotting average multicast path length against degree. The paper
+// (Section 4) argues the spread is "critical to our capacity-aware multicast
+// service"; the gap between the two curves is that claim, quantified.
+func AblationShift(cfg Config) (FigureResult, error) {
+	if err := cfg.validate(); err != nil {
+		return FigureResult{}, err
+	}
+	pop, err := defaultPopulation(cfg)
+	if err != nil {
+		return FigureResult{}, err
+	}
+	sources := PickSources(pop.Ring.Len(), cfg.Sources, cfg.Seed+600)
+
+	spread := metrics.Series{Label: "right-shift (CAM-Koorde)"}
+	clustered := metrics.Series{Label: "left-shift (Koorde)"}
+	for _, degree := range []int{4, 6, 8, 12, 16, 24, 32} {
+		caps := pop.UniformCaps(degree)
+		cam, err := camkoorde.New(pop.Ring, caps)
+		if err != nil {
+			return FigureResult{}, err
+		}
+		base, err := koorde.New(pop.Ring, degree)
+		if err != nil {
+			return FigureResult{}, err
+		}
+		camLen, err := avgPathLength(func(src int) (*multicast.Tree, error) {
+			tree, _, err := cam.BuildTree(src)
+			return tree, err
+		}, sources)
+		if err != nil {
+			return FigureResult{}, err
+		}
+		baseLen, err := avgPathLength(func(src int) (*multicast.Tree, error) {
+			tree, _, err := base.BuildTree(src)
+			return tree, err
+		}, sources)
+		if err != nil {
+			return FigureResult{}, err
+		}
+		spread.Points = append(spread.Points, metrics.Point{X: float64(degree), Y: camLen})
+		clustered.Points = append(clustered.Points, metrics.Point{X: float64(degree), Y: baseLen})
+	}
+	return FigureResult{
+		Name:   "ablation-shift",
+		Title:  "Neighbor derivation: right-shift (spread) vs left-shift (clustered)",
+		XLabel: "uniform node degree",
+		YLabel: "average multicast path length (hops)",
+		Series: []metrics.Series{spread, clustered},
+	}, nil
+}
+
+// AblationSpacing compares CAM-Chord's even child separation (Lines 10-14
+// of MULTICAST) against naive contiguous selection, plotting average path
+// length against capacity. Even spacing is what keeps subtree sizes — and
+// therefore tree depth — balanced.
+func AblationSpacing(cfg Config) (FigureResult, error) {
+	if err := cfg.validate(); err != nil {
+		return FigureResult{}, err
+	}
+	pop, err := defaultPopulation(cfg)
+	if err != nil {
+		return FigureResult{}, err
+	}
+	sources := PickSources(pop.Ring.Len(), cfg.Sources, cfg.Seed+700)
+
+	even := metrics.Series{Label: "even separation"}
+	contiguous := metrics.Series{Label: "contiguous selection"}
+	for _, capacity := range []int{3, 4, 6, 8, 12, 16, 24} {
+		caps := pop.UniformCaps(capacity)
+		for _, mode := range []camchord.Spacing{camchord.SpacingEven, camchord.SpacingContiguous} {
+			net, err := camchord.NewWithSpacing(pop.Ring, caps, mode)
+			if err != nil {
+				return FigureResult{}, err
+			}
+			length, err := avgPathLength(net.BuildTree, sources)
+			if err != nil {
+				return FigureResult{}, err
+			}
+			pt := metrics.Point{X: float64(capacity), Y: length}
+			if mode == camchord.SpacingEven {
+				even.Points = append(even.Points, pt)
+			} else {
+				contiguous.Points = append(contiguous.Points, pt)
+			}
+		}
+	}
+	return FigureResult{
+		Name:   "ablation-spacing",
+		Title:  "CAM-Chord child selection: even separation vs contiguous",
+		XLabel: "uniform node capacity",
+		YLabel: "average multicast path length (hops)",
+		Series: []metrics.Series{even, contiguous},
+	}, nil
+}
+
+// AblationLoadSpread quantifies Section 5.1's load argument: with one
+// implicit tree per source (the flooding approach), forwarding work spreads
+// across members; with a single shared tree, a fixed minority of internal
+// nodes forwards everything. The series plot the maximum per-node forwarding
+// load (copies forwarded, normalized per message) against the number of
+// concurrently active sources.
+func AblationLoadSpread(cfg Config) (FigureResult, error) {
+	if err := cfg.validate(); err != nil {
+		return FigureResult{}, err
+	}
+	pop, err := defaultPopulation(cfg)
+	if err != nil {
+		return FigureResult{}, err
+	}
+	net, err := camchord.New(pop.Ring, pop.Caps)
+	if err != nil {
+		return FigureResult{}, err
+	}
+
+	perSource := metrics.Series{Label: "per-source implicit trees"}
+	shared := metrics.Series{Label: "single shared tree"}
+	sourceCounts := []int{1, 2, 4, 8, 16, 32}
+	maxSources := sourceCounts[len(sourceCounts)-1]
+	sources := PickSources(pop.Ring.Len(), maxSources, cfg.Seed+800)
+
+	sharedTree, err := net.BuildTree(sources[0])
+	if err != nil {
+		return FigureResult{}, err
+	}
+	for _, count := range sourceCounts {
+		loadPerSource := make([]float64, pop.Ring.Len())
+		loadShared := make([]float64, pop.Ring.Len())
+		for _, src := range sources[:count] {
+			tree, err := net.BuildTree(src)
+			if err != nil {
+				return FigureResult{}, err
+			}
+			for pos := 0; pos < pop.Ring.Len(); pos++ {
+				loadPerSource[pos] += float64(tree.Degree(pos))
+				// In the shared-tree approach every message traverses the
+				// same tree regardless of who sent it.
+				loadShared[pos] += float64(sharedTree.Degree(pos))
+			}
+		}
+		norm := 1 / float64(count)
+		perSource.Points = append(perSource.Points,
+			metrics.Point{X: float64(count), Y: maxOf(loadPerSource) * norm})
+		shared.Points = append(shared.Points,
+			metrics.Point{X: float64(count), Y: maxOf(loadShared) * norm})
+	}
+	return FigureResult{
+		Name:   "ablation-load",
+		Title:  "Forwarding load: per-source implicit trees vs one shared tree",
+		XLabel: "active sources",
+		YLabel: "max per-node forwarding load (copies per message)",
+		Series: []metrics.Series{perSource, shared},
+	}, nil
+}
+
+// AblationResilience measures delivery after mass failure with NO repair
+// round, for both CAMs at a small and a large capacity. For CAM-Chord a
+// member is lost when any node on its tree path from the source has failed;
+// for CAM-Koorde the flooding re-routes around failures over the remaining
+// mesh. The paper (Sections 2 and 7) predicts CAM-Koorde's resilience
+// improves with capacity while at small capacities its mesh may even
+// partition.
+func AblationResilience(cfg Config) (FigureResult, error) {
+	if err := cfg.validate(); err != nil {
+		return FigureResult{}, err
+	}
+	pop, err := defaultPopulation(cfg)
+	if err != nil {
+		return FigureResult{}, err
+	}
+	failFracs := []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5}
+
+	result := FigureResult{
+		Name:   "ablation-resilience",
+		Title:  "Delivery ratio after mass failure (no repair)",
+		XLabel: "fraction of members failed",
+		YLabel: "fraction of surviving members reached",
+	}
+	for _, capacity := range []int{4, 16} {
+		caps := pop.UniformCaps(capacity)
+		chordNet, err := camchord.New(pop.Ring, caps)
+		if err != nil {
+			return FigureResult{}, err
+		}
+		koordeNet, err := camkoorde.New(pop.Ring, caps)
+		if err != nil {
+			return FigureResult{}, err
+		}
+
+		chordSeries := metrics.Series{Label: fmt.Sprintf("CAM-Chord c=%d", capacity)}
+		koordeSeries := metrics.Series{Label: fmt.Sprintf("CAM-Koorde c=%d", capacity)}
+		for fi, frac := range failFracs {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(fi)*37))
+			src := rng.Intn(pop.Ring.Len())
+			dead := failSet(pop.Ring.Len(), src, frac, rng)
+
+			tree, err := chordNet.BuildTree(src)
+			if err != nil {
+				return FigureResult{}, err
+			}
+			chordSeries.Points = append(chordSeries.Points,
+				metrics.Point{X: frac, Y: treeSurvival(tree, dead)})
+
+			koordeSeries.Points = append(koordeSeries.Points,
+				metrics.Point{X: frac, Y: floodSurvival(koordeNet, src, dead)})
+		}
+		result.Series = append(result.Series, chordSeries, koordeSeries)
+	}
+	return result, nil
+}
+
+// AblationProximity quantifies the Section 5.2 extension: Proximity
+// Neighbor Selection (least-delay-first child choice within each neighbor
+// slot's identifier segment) under a clustered latency model, against plain
+// arithmetic selection. The series plot average source-to-member delay
+// against the candidate sample size (sample 1 = arithmetic selection).
+func AblationProximity(cfg Config) (FigureResult, error) {
+	if err := cfg.validate(); err != nil {
+		return FigureResult{}, err
+	}
+	pop, err := defaultPopulation(cfg)
+	if err != nil {
+		return FigureResult{}, err
+	}
+	model, err := geo.NewClustered(pop.Ring.Len(), 12, 120, 1, cfg.Seed)
+	if err != nil {
+		return FigureResult{}, err
+	}
+	net, err := camchord.New(pop.Ring, pop.Caps)
+	if err != nil {
+		return FigureResult{}, err
+	}
+	sources := PickSources(pop.Ring.Len(), cfg.Sources, cfg.Seed+900)
+
+	delaySeries := metrics.Series{Label: "avg delivery delay (ms)"}
+	hopSeries := metrics.Series{Label: "avg path length (hops)"}
+	for _, sample := range []int{1, 2, 4, 8, 16} {
+		var delaySum, hopSum float64
+		for _, src := range sources {
+			tree, delays, err := net.BuildTreeProximity(src, model.Delay, sample)
+			if err != nil {
+				return FigureResult{}, err
+			}
+			if err := tree.VerifyComplete(); err != nil {
+				return FigureResult{}, err
+			}
+			delaySum += camchord.AvgDelay(tree, delays)
+			hopSum += tree.AvgPathLength()
+		}
+		w := float64(len(sources))
+		delaySeries.Points = append(delaySeries.Points,
+			metrics.Point{X: float64(sample), Y: delaySum / w})
+		hopSeries.Points = append(hopSeries.Points,
+			metrics.Point{X: float64(sample), Y: hopSum / w})
+	}
+	return FigureResult{
+		Name:   "ablation-proximity",
+		Title:  "Proximity Neighbor Selection: delay vs candidate sample size",
+		XLabel: "candidates sampled per neighbor slot (1 = arithmetic selection)",
+		YLabel: "average delivery delay (ms) / path length (hops)",
+		Series: []metrics.Series{delaySeries, hopSeries},
+	}, nil
+}
+
+// Ablations maps ablation names to their generators, mirroring All.
+var Ablations = map[string]func(Config) (FigureResult, error){
+	"ablation-shift":      AblationShift,
+	"ablation-spacing":    AblationSpacing,
+	"ablation-load":       AblationLoadSpread,
+	"ablation-resilience": AblationResilience,
+	"ablation-proximity":  AblationProximity,
+	"ablation-layout":     AblationLayout,
+	"ablation-lookup":     AblationLookup,
+}
+
+// AblationNames lists the ablations in a stable order.
+var AblationNames = []string{
+	"ablation-shift", "ablation-spacing", "ablation-load",
+	"ablation-resilience", "ablation-proximity", "ablation-layout",
+	"ablation-lookup",
+}
+
+func avgPathLength(build func(int) (*multicast.Tree, error), sources []int) (float64, error) {
+	var sum float64
+	for _, src := range sources {
+		tree, err := build(src)
+		if err != nil {
+			return 0, err
+		}
+		if err := tree.VerifyComplete(); err != nil {
+			return 0, err
+		}
+		sum += tree.AvgPathLength()
+	}
+	return sum / float64(len(sources)), nil
+}
+
+func maxOf(values []float64) float64 {
+	out := math.Inf(-1)
+	for _, v := range values {
+		if v > out {
+			out = v
+		}
+	}
+	return out
+}
+
+// failSet marks ~frac of the nodes dead, never the source.
+func failSet(n, src int, frac float64, rng *rand.Rand) []bool {
+	dead := make([]bool, n)
+	for i := range dead {
+		if i != src && rng.Float64() < frac {
+			dead[i] = true
+		}
+	}
+	return dead
+}
+
+// treeSurvival returns the fraction of surviving non-source members whose
+// entire delivery path from the source avoids dead nodes.
+func treeSurvival(tree *multicast.Tree, dead []bool) float64 {
+	n := tree.Len()
+	reached := make([]bool, n)
+	reached[tree.Root()] = true
+	// Visit nodes parents-first (depth order): an alive node is reached iff
+	// its parent was reached. Dead nodes are never marked reached, cutting
+	// off their whole subtree.
+	order := make([]int, n)
+	for pos := range order {
+		order[pos] = pos
+	}
+	sortByDepth(order, tree)
+	alive, got := 0, 0
+	for _, pos := range order {
+		if pos == tree.Root() || dead[pos] {
+			continue
+		}
+		alive++
+		if p := tree.Parent(pos); p != multicast.Unreached && reached[p] {
+			reached[pos] = true
+			got++
+		}
+	}
+	if alive == 0 {
+		return 1
+	}
+	return float64(got) / float64(alive)
+}
+
+func sortByDepth(order []int, tree *multicast.Tree) {
+	// Counting sort by depth (depths are small).
+	maxDepth := tree.MaxDepth()
+	buckets := make([][]int, maxDepth+1)
+	for _, pos := range order {
+		d := tree.Depth(pos)
+		if d < 0 {
+			d = maxDepth
+		}
+		buckets[d] = append(buckets[d], pos)
+	}
+	i := 0
+	for _, b := range buckets {
+		for _, pos := range b {
+			order[i] = pos
+			i++
+		}
+	}
+}
+
+// floodSurvival runs the CAM-Koorde flood over the surviving mesh and
+// returns the fraction of surviving non-source members reached.
+func floodSurvival(net *camkoorde.Network, src int, dead []bool) float64 {
+	n := net.Ring().Len()
+	visited := make([]bool, n)
+	visited[src] = true
+	queue := []int{src}
+	for head := 0; head < len(queue); head++ {
+		x := queue[head]
+		for _, p := range net.NeighborNodes(x) {
+			if dead[p] || visited[p] {
+				continue
+			}
+			visited[p] = true
+			queue = append(queue, p)
+		}
+	}
+	alive, got := 0, 0
+	for pos := 0; pos < n; pos++ {
+		if pos == src || dead[pos] {
+			continue
+		}
+		alive++
+		if visited[pos] {
+			got++
+		}
+	}
+	if alive == 0 {
+		return 1
+	}
+	return float64(got) / float64(alive)
+}

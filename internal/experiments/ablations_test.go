@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func ablationConfig() Config {
+	return Config{N: 1200, Sources: 2, Seed: 3, Bits: 13}
+}
+
+// Right-shift (spread) neighbors must yield shorter multicast paths than
+// left-shift (clustered) neighbors, and the gap should be visible at every
+// degree.
+func TestAblationShift(t *testing.T) {
+	res, err := AblationShift(ablationConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 2 {
+		t.Fatalf("series count %d", len(res.Series))
+	}
+	spread, clustered := res.Series[0], res.Series[1]
+	wins := 0
+	for i := range spread.Points {
+		if spread.Points[i].Y < clustered.Points[i].Y {
+			wins++
+		}
+	}
+	if wins < len(spread.Points)-1 {
+		t.Errorf("right-shift shorter at only %d/%d degrees", wins, len(spread.Points))
+	}
+}
+
+// Even separation must not be worse than contiguous selection; at moderate
+// capacities it should be strictly better.
+func TestAblationSpacing(t *testing.T) {
+	res, err := AblationSpacing(ablationConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	even, contiguous := res.Series[0], res.Series[1]
+	var evenSum, contSum float64
+	for i := range even.Points {
+		evenSum += even.Points[i].Y
+		contSum += contiguous.Points[i].Y
+	}
+	if evenSum >= contSum {
+		t.Errorf("even separation (total %.2f) should beat contiguous (total %.2f)", evenSum, contSum)
+	}
+}
+
+// Per-source trees must spread forwarding load: with many sources the
+// maximum per-node load per message should fall well below the shared-tree
+// approach, where the same internal nodes forward every message.
+func TestAblationLoadSpread(t *testing.T) {
+	res, err := AblationLoadSpread(ablationConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	perSource, shared := res.Series[0], res.Series[1]
+	last := len(perSource.Points) - 1
+	if perSource.Points[last].Y >= shared.Points[last].Y {
+		t.Errorf("per-source max load %.2f should be below shared-tree %.2f at %g sources",
+			perSource.Points[last].Y, shared.Points[last].Y, perSource.Points[last].X)
+	}
+	// With one source the two approaches are identical by construction.
+	if perSource.Points[0].X != 1 {
+		t.Fatalf("first point should be 1 source")
+	}
+}
+
+// CAM-Koorde's flooding mesh must be more failure-tolerant than CAM-Chord's
+// single tree path, and more so at the larger capacity.
+func TestAblationResilience(t *testing.T) {
+	res, err := AblationResilience(ablationConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 4 {
+		t.Fatalf("series count %d", len(res.Series))
+	}
+	byLabel := map[string][]float64{}
+	for _, s := range res.Series {
+		var ys []float64
+		for _, p := range s.Points {
+			ys = append(ys, p.Y)
+		}
+		byLabel[s.Label] = ys
+	}
+	meanRatio := func(label string) float64 {
+		var sum float64
+		for _, y := range byLabel[label] {
+			sum += y
+		}
+		return sum / float64(len(byLabel[label]))
+	}
+	if meanRatio("CAM-Koorde c=16") <= meanRatio("CAM-Chord c=16") {
+		t.Errorf("flooding mesh (%.3f) should survive better than tree paths (%.3f) at c=16",
+			meanRatio("CAM-Koorde c=16"), meanRatio("CAM-Chord c=16"))
+	}
+	if meanRatio("CAM-Koorde c=16") <= meanRatio("CAM-Koorde c=4") {
+		t.Errorf("CAM-Koorde resilience should improve with capacity: c=16 %.3f vs c=4 %.3f",
+			meanRatio("CAM-Koorde c=16"), meanRatio("CAM-Koorde c=4"))
+	}
+	// Ratios are probabilities.
+	for label, ys := range byLabel {
+		for _, y := range ys {
+			if y < 0 || y > 1 {
+				t.Fatalf("%s: survival ratio %g out of [0,1]", label, y)
+			}
+		}
+	}
+}
+
+func TestAblationRegistry(t *testing.T) {
+	if len(Ablations) != 7 || len(AblationNames) != 7 {
+		t.Fatal("ablation registry incomplete")
+	}
+	for _, name := range AblationNames {
+		if Ablations[name] == nil {
+			t.Errorf("%s missing", name)
+		}
+	}
+}
+
+func TestAblationsValidateConfig(t *testing.T) {
+	for name, fn := range Ablations {
+		if _, err := fn(Config{N: 0, Sources: 1}); err == nil {
+			t.Errorf("%s accepted invalid config", name)
+		}
+	}
+}
+
+// Geographic layout must reduce delivery delay versus random placement, and
+// combining it with PNS must not be worse than layout alone on average.
+func TestAblationLayout(t *testing.T) {
+	res, err := AblationLayout(ablationConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 3 {
+		t.Fatalf("series count %d", len(res.Series))
+	}
+	random, geoOnly, geoPNS := res.Series[0], res.Series[1], res.Series[2]
+	var randomSum, geoSum, pnsSum float64
+	for i := range random.Points {
+		randomSum += random.Points[i].Y
+		geoSum += geoOnly.Points[i].Y
+		pnsSum += geoPNS.Points[i].Y
+	}
+	if geoSum >= randomSum {
+		t.Errorf("geographic layout (total %.1f ms) should beat random (%.1f ms)", geoSum, randomSum)
+	}
+	if pnsSum > geoSum*1.05 {
+		t.Errorf("layout+PNS (total %.1f ms) should not regress past layout alone (%.1f ms)", pnsSum, geoSum)
+	}
+}
+
+// Lookup paths must shrink with capacity and stay within a constant factor
+// of ln(n)/ln(c) for CAM-Chord (Theorem 2).
+func TestAblationLookup(t *testing.T) {
+	res, err := AblationLookup(ablationConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 3 {
+		t.Fatalf("series count %d", len(res.Series))
+	}
+	chord, bound := res.Series[0], res.Series[2]
+	first, last := chord.Points[0], chord.Points[len(chord.Points)-1]
+	if last.Y >= first.Y {
+		t.Errorf("lookup paths should shrink with capacity (%.2f -> %.2f)", first.Y, last.Y)
+	}
+	for i, p := range chord.Points {
+		if p.Y > 2*bound.Points[i].Y+1 {
+			t.Errorf("CAM-Chord lookup at c=%g: %.2f hops exceeds 2*ln(n)/ln(c)+1 = %.2f",
+				p.X, p.Y, 2*bound.Points[i].Y+1)
+		}
+	}
+}

@@ -1,0 +1,266 @@
+// Package experiments implements the paper's evaluation (Section 6): one
+// function per figure, each returning the plotted series so that the
+// cmd/camfigs CLI and the repository benchmarks can regenerate every result
+// in the paper.
+//
+// The defaults mirror Section 6 exactly: identifier space [0, 2^19), group
+// size 100,000, node capacities uniform in [4..10], upload bandwidths
+// uniform in [400, 1000] kbps, and — when capacities are derived from
+// bandwidth — c_x = ceil(B_x / p) for the per-link target p.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"camcast/internal/camchord"
+	"camcast/internal/camkoorde"
+	"camcast/internal/chord"
+	"camcast/internal/koorde"
+	"camcast/internal/metrics"
+	"camcast/internal/multicast"
+	"camcast/internal/ring"
+	"camcast/internal/throughput"
+	"camcast/internal/topology"
+	"camcast/internal/workload"
+)
+
+// System names one of the four simulated multicast systems.
+type System string
+
+// The four systems compared in Section 6.
+const (
+	SystemCAMChord  System = "CAM-Chord"
+	SystemCAMKoorde System = "CAM-Koorde"
+	SystemChord     System = "Chord"
+	SystemKoorde    System = "Koorde"
+)
+
+// Config controls the scale of an experiment run.
+type Config struct {
+	N       int   // group size; the paper uses 100,000
+	Sources int   // number of random multicast sources averaged per point
+	Seed    int64 // base RNG seed
+	Bits    uint  // identifier space width; 0 means the paper's 19
+
+	// Node density n/N strongly affects the Koorde baseline (its clustered
+	// neighbor identifiers collapse onto few physical nodes when the ring
+	// is sparse), so scaled-down runs should shrink Bits to keep the
+	// paper's density of 100,000/2^19 ≈ 0.19.
+}
+
+// DefaultConfig returns the paper-scale configuration.
+func DefaultConfig() Config {
+	return Config{N: workload.DefaultGroupSize, Sources: 3, Seed: 1, Bits: workload.DefaultBits}
+}
+
+func (c Config) validate() error {
+	if c.N < 1 {
+		return fmt.Errorf("experiments: group size %d must be positive", c.N)
+	}
+	if c.Sources < 1 {
+		return fmt.Errorf("experiments: source count %d must be positive", c.Sources)
+	}
+	if c.Bits > ring.MaxBits {
+		return fmt.Errorf("experiments: bits %d out of range", c.Bits)
+	}
+	return nil
+}
+
+// space returns the configured identifier space.
+func (c Config) space() ring.Space {
+	if c.Bits == 0 {
+		return ring.MustSpace(workload.DefaultBits)
+	}
+	return ring.MustSpace(c.Bits)
+}
+
+// Population is a generated membership aligned with its topology snapshot:
+// Bandwidth[i] and Caps[i] describe the node at ring position i.
+type Population struct {
+	Ring      *topology.Ring
+	Bandwidth []float64
+	Caps      []int
+}
+
+// NewPopulation generates members per cfg and aligns their attributes with
+// the sorted ring positions.
+func NewPopulation(cfg workload.Config) (*Population, error) {
+	members, err := workload.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	idList := make([]ring.ID, len(members))
+	for i, m := range members {
+		idList[i] = m.ID
+	}
+	r, err := topology.New(cfg.Space, idList)
+	if err != nil {
+		return nil, err
+	}
+	p := &Population{
+		Ring:      r,
+		Bandwidth: make([]float64, len(members)),
+		Caps:      make([]int, len(members)),
+	}
+	for _, m := range members {
+		pos, ok := r.PosOf(m.ID)
+		if !ok {
+			return nil, fmt.Errorf("experiments: member id %d missing from ring", m.ID)
+		}
+		p.Bandwidth[pos] = m.Bandwidth
+		p.Caps[pos] = m.Capacity
+	}
+	return p, nil
+}
+
+// CapsFromBandwidth derives per-node capacities c = ceil(B/p) clamped below
+// at minCapacity, aligned with the population's ring positions.
+func (p *Population) CapsFromBandwidth(linkRate float64, minCapacity int) []int {
+	caps := make([]int, len(p.Bandwidth))
+	for i, bw := range p.Bandwidth {
+		caps[i] = workload.CapacityFor(bw, linkRate, minCapacity)
+	}
+	return caps
+}
+
+// UniformCaps returns a capacity slice with every node set to c.
+func (p *Population) UniformCaps(c int) []int {
+	caps := make([]int, p.Ring.Len())
+	for i := range caps {
+		caps[i] = c
+	}
+	return caps
+}
+
+// TreeBuilder is the single-method view of an overlay the harness needs.
+type TreeBuilder interface {
+	BuildTree(src int) (*multicast.Tree, error)
+}
+
+type treeBuilderFunc func(src int) (*multicast.Tree, error)
+
+func (f treeBuilderFunc) BuildTree(src int) (*multicast.Tree, error) { return f(src) }
+
+// NewOverlay constructs the requested system over the population. For the
+// capacity-aware systems caps provides per-node capacities; for the
+// capacity-unaware baselines uniformDegree fixes the structure (finger base
+// for Chord, de Bruijn degree for Koorde) and caps is ignored.
+func NewOverlay(sys System, p *Population, caps []int, uniformDegree int) (TreeBuilder, error) {
+	switch sys {
+	case SystemCAMChord:
+		n, err := camchord.New(p.Ring, caps)
+		if err != nil {
+			return nil, err
+		}
+		return treeBuilderFunc(n.BuildTree), nil
+	case SystemCAMKoorde:
+		n, err := camkoorde.New(p.Ring, caps)
+		if err != nil {
+			return nil, err
+		}
+		return treeBuilderFunc(func(src int) (*multicast.Tree, error) {
+			tree, _, err := n.BuildTree(src)
+			return tree, err
+		}), nil
+	case SystemChord:
+		n, err := chord.New(p.Ring, uniformDegree)
+		if err != nil {
+			return nil, err
+		}
+		return treeBuilderFunc(n.BuildTree), nil
+	case SystemKoorde:
+		n, err := koorde.New(p.Ring, uniformDegree)
+		if err != nil {
+			return nil, err
+		}
+		return treeBuilderFunc(func(src int) (*multicast.Tree, error) {
+			tree, _, err := n.BuildTree(src)
+			return tree, err
+		}), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown system %q", sys)
+	}
+}
+
+// TreeMetrics aggregates per-tree measurements over several sources.
+type TreeMetrics struct {
+	AvgChildren   float64 // mean children per non-leaf node
+	AvgPathLength float64 // mean hops from source to member
+	MaxDepth      float64 // mean over sources of the deepest hop count
+	Throughput    float64 // mean sustainable rate (kbps), paper's model
+	DepthHist     metrics.Histogram
+}
+
+// MeasureTrees builds one multicast tree per source, verifies exactly-once
+// delivery, and averages the metrics of interest. provision[i] is the number
+// of child slots node i divides its bandwidth across (its capacity for the
+// CAMs, the uniform degree for the baselines); see package throughput.
+func MeasureTrees(b TreeBuilder, bandwidth []float64, provision []int, sources []int) (TreeMetrics, error) {
+	if len(sources) == 0 {
+		return TreeMetrics{}, fmt.Errorf("experiments: no sources")
+	}
+	var out TreeMetrics
+	w := 1 / float64(len(sources))
+	for _, src := range sources {
+		tree, err := b.BuildTree(src)
+		if err != nil {
+			return TreeMetrics{}, err
+		}
+		if err := tree.VerifyComplete(); err != nil {
+			return TreeMetrics{}, err
+		}
+		_, avgChildren := tree.NonLeafStats()
+		rate, err := throughput.ByProvision(tree, bandwidth, provision)
+		if err != nil {
+			return TreeMetrics{}, err
+		}
+		out.AvgChildren += avgChildren * w
+		out.AvgPathLength += tree.AvgPathLength() * w
+		out.MaxDepth += float64(tree.MaxDepth()) * w
+		out.Throughput += rate * w
+		out.DepthHist.AddCounts(tree.DepthHistogram(), w)
+	}
+	return out, nil
+}
+
+// PickSources returns count distinct source positions drawn deterministically
+// from seed.
+func PickSources(n, count int, seed int64) []int {
+	if count > n {
+		count = n
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	out := make([]int, count)
+	copy(out, perm[:count])
+	return out
+}
+
+// FigureResult is one reproduced figure: a set of labeled series.
+type FigureResult struct {
+	Name   string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []metrics.Series
+}
+
+// TSV renders the figure as a self-describing tab-separated document, one
+// block per series.
+func (r FigureResult) TSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s: %s\n# x: %s\n# y: %s\n", r.Name, r.Title, r.XLabel, r.YLabel)
+	for _, s := range r.Series {
+		b.WriteString("\n")
+		b.WriteString(s.TSV())
+	}
+	return b.String()
+}
+
+// referenceBound returns the 1.5·ln(n)/ln(c) curve plotted in Figure 11.
+func referenceBound(n int, c float64) float64 {
+	return 1.5 * math.Log(float64(n)) / math.Log(c)
+}

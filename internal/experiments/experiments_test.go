@@ -1,0 +1,362 @@
+package experiments
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+
+	"camcast/internal/metrics"
+	"camcast/internal/workload"
+)
+
+// smallConfig scales the paper's setup down while preserving its node
+// density (100,000/2^19 ≈ 0.19 ≈ 1500/2^13).
+func smallConfig() Config {
+	return Config{N: 1500, Sources: 2, Seed: 1, Bits: 13}
+}
+
+// interpolate evaluates a piecewise-linear curve at x, clamping at the ends.
+// Points are sorted by X first.
+func interpolate(points []metrics.Point, x float64) float64 {
+	pts := make([]metrics.Point, len(points))
+	copy(pts, points)
+	sort.Slice(pts, func(i, j int) bool { return pts[i].X < pts[j].X })
+	if x <= pts[0].X {
+		return pts[0].Y
+	}
+	for i := 1; i < len(pts); i++ {
+		if x <= pts[i].X {
+			frac := (x - pts[i-1].X) / (pts[i].X - pts[i-1].X)
+			return pts[i-1].Y + frac*(pts[i].Y-pts[i-1].Y)
+		}
+	}
+	return pts[len(pts)-1].Y
+}
+
+func TestConfigValidate(t *testing.T) {
+	if _, err := Figure6(Config{N: 0, Sources: 1}); err == nil {
+		t.Error("zero N should fail")
+	}
+	if _, err := Figure6(Config{N: 10, Sources: 0}); err == nil {
+		t.Error("zero sources should fail")
+	}
+}
+
+func TestNewPopulationAlignment(t *testing.T) {
+	pop, err := NewPopulation(workload.DefaultConfig(200, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pop.Ring.Len() != 200 || len(pop.Bandwidth) != 200 || len(pop.Caps) != 200 {
+		t.Fatal("population sizes wrong")
+	}
+	for i, bw := range pop.Bandwidth {
+		if bw < workload.DefaultBandwidthLo || bw > workload.DefaultBandwidthHi {
+			t.Fatalf("position %d bandwidth %g unset or out of range", i, bw)
+		}
+		if pop.Caps[i] < workload.DefaultCapacityLo || pop.Caps[i] > workload.DefaultCapacityHi {
+			t.Fatalf("position %d capacity %d out of range", i, pop.Caps[i])
+		}
+	}
+}
+
+func TestCapsFromBandwidth(t *testing.T) {
+	pop, err := NewPopulation(workload.DefaultConfig(50, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := pop.CapsFromBandwidth(100, 4)
+	for i, c := range caps {
+		if want := workload.CapacityFor(pop.Bandwidth[i], 100, 4); c != want {
+			t.Fatalf("caps[%d] = %d, want %d", i, c, want)
+		}
+	}
+}
+
+func TestUniformCaps(t *testing.T) {
+	pop, _ := NewPopulation(workload.DefaultConfig(10, 5))
+	for _, c := range pop.UniformCaps(7) {
+		if c != 7 {
+			t.Fatal("UniformCaps not uniform")
+		}
+	}
+}
+
+func TestPickSources(t *testing.T) {
+	src := PickSources(100, 5, 9)
+	if len(src) != 5 {
+		t.Fatalf("got %d sources", len(src))
+	}
+	seen := map[int]bool{}
+	for _, s := range src {
+		if s < 0 || s >= 100 || seen[s] {
+			t.Fatalf("bad source set %v", src)
+		}
+		seen[s] = true
+	}
+	if got := PickSources(3, 10, 1); len(got) != 3 {
+		t.Errorf("PickSources should clamp to n, got %d", len(got))
+	}
+	a := PickSources(100, 5, 42)
+	b := PickSources(100, 5, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("PickSources not deterministic")
+		}
+	}
+}
+
+func TestNewOverlayUnknownSystem(t *testing.T) {
+	pop, _ := NewPopulation(workload.DefaultConfig(10, 1))
+	if _, err := NewOverlay(System("bogus"), pop, pop.Caps, 2); err == nil {
+		t.Error("unknown system should fail")
+	}
+}
+
+func TestMeasureTreesAllSystems(t *testing.T) {
+	pop, err := NewPopulation(workload.DefaultConfig(800, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := PickSources(pop.Ring.Len(), 2, 7)
+	for _, sys := range []System{SystemCAMChord, SystemCAMKoorde, SystemChord, SystemKoorde} {
+		builder, err := NewOverlay(sys, pop, pop.Caps, 6)
+		if err != nil {
+			t.Fatalf("%s: %v", sys, err)
+		}
+		provision := pop.Caps
+		if sys == SystemChord || sys == SystemKoorde {
+			provision = pop.UniformCaps(6)
+		}
+		m, err := MeasureTrees(builder, pop.Bandwidth, provision, sources)
+		if err != nil {
+			t.Fatalf("%s: %v", sys, err)
+		}
+		if m.Throughput <= 0 || math.IsInf(m.Throughput, 0) {
+			t.Errorf("%s: throughput %g", sys, m.Throughput)
+		}
+		if m.AvgPathLength <= 0 {
+			t.Errorf("%s: avg path length %g", sys, m.AvgPathLength)
+		}
+		if m.AvgChildren <= 1 {
+			t.Errorf("%s: avg children %g", sys, m.AvgChildren)
+		}
+		if m.DepthHist.Total() < float64(pop.Ring.Len())-1 {
+			t.Errorf("%s: depth histogram total %g", sys, m.DepthHist.Total())
+		}
+	}
+}
+
+func TestMeasureTreesNoSources(t *testing.T) {
+	pop, _ := NewPopulation(workload.DefaultConfig(10, 1))
+	builder, _ := NewOverlay(SystemChord, pop, nil, 2)
+	if _, err := MeasureTrees(builder, pop.Bandwidth, pop.UniformCaps(2), nil); err == nil {
+		t.Error("no sources should fail")
+	}
+}
+
+// Figure 6's central claim: at the SAME average number of children per
+// non-leaf node (the x-axis), the CAMs sustain higher throughput than the
+// capacity-unaware baselines. The curves are parametric, so we compare by
+// interpolating the baseline curve at each CAM x-value inside the
+// overlapping range.
+func TestFigure6CAMsBeatBaselines(t *testing.T) {
+	res, err := Figure6(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 4 {
+		t.Fatalf("expected 4 series, got %d", len(res.Series))
+	}
+	byLabel := map[string][]metrics.Point{}
+	for _, s := range res.Series {
+		if len(s.Points) != len(childTargets) {
+			t.Fatalf("series %s has %d points", s.Label, len(s.Points))
+		}
+		byLabel[s.Label] = s.Points
+	}
+
+	compare := func(camLabel, baseLabel string) {
+		t.Helper()
+		cam, base := byLabel[camLabel], byLabel[baseLabel]
+		lo, hi := base[0].X, base[0].X
+		for _, p := range base {
+			lo, hi = math.Min(lo, p.X), math.Max(hi, p.X)
+		}
+		var ratioSum float64
+		var count int
+		for _, p := range cam {
+			if p.X < lo || p.X > hi {
+				continue
+			}
+			ratioSum += p.Y / interpolate(base, p.X)
+			count++
+		}
+		if count == 0 {
+			t.Fatalf("%s and %s curves do not overlap in x", camLabel, baseLabel)
+		}
+		if avg := ratioSum / float64(count); avg < 1.2 {
+			t.Errorf("%s over %s: average throughput ratio %.2f at equal children, want > 1.2",
+				camLabel, baseLabel, avg)
+		}
+	}
+	compare("CAM-Chord", "Chord")
+	compare("CAM-Koorde", "Koorde")
+}
+
+// Throughput must decrease as the average number of children grows.
+func TestFigure6ThroughputDecreases(t *testing.T) {
+	res, err := Figure6(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Series {
+		if s.Label != string(SystemCAMChord) && s.Label != string(SystemCAMKoorde) {
+			continue
+		}
+		first, last := s.Points[0], s.Points[len(s.Points)-1]
+		if last.Y >= first.Y {
+			t.Errorf("%s: throughput did not fall with more children (%.1f -> %.1f)",
+				s.Label, first.Y, last.Y)
+		}
+	}
+}
+
+// Figure 7's claim: the improvement ratio grows with bandwidth heterogeneity
+// and tracks (a+b)/2a.
+func TestFigure7RatioGrowsWithHeterogeneity(t *testing.T) {
+	cfg := smallConfig()
+	res, err := Figure7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 2 {
+		t.Fatalf("expected 2 series, got %d", len(res.Series))
+	}
+	for _, s := range res.Series {
+		first, last := s.Points[0], s.Points[len(s.Points)-1]
+		if first.Y <= 1 {
+			t.Errorf("%s: ratio at b=800 is %.2f, CAM should already win", s.Label, first.Y)
+		}
+		if last.Y <= first.Y {
+			t.Errorf("%s: ratio did not grow with heterogeneity (%.2f -> %.2f)", s.Label, first.Y, last.Y)
+		}
+	}
+}
+
+// Figure 8: both curves trade throughput against latency; higher throughput
+// costs longer paths.
+func TestFigure8Tradeoff(t *testing.T) {
+	res, err := Figure8(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Series {
+		// Points are generated from few children (high throughput, long
+		// paths is the *wrong* direction: more children means lower
+		// throughput and shorter paths). Verify monotone trend between the
+		// extremes.
+		first, last := s.Points[0], s.Points[len(s.Points)-1]
+		// first = fewest children: highest throughput, deepest tree.
+		if first.X <= last.X {
+			t.Errorf("%s: throughput should fall as children increase (%.1f -> %.1f)", s.Label, first.X, last.X)
+		}
+		if first.Y <= last.Y {
+			t.Errorf("%s: path length should fall as children increase (%.2f -> %.2f)", s.Label, first.Y, last.Y)
+		}
+	}
+}
+
+// Figures 9/10: distributions are single-peaked-ish and shift left as the
+// capacity range widens.
+func TestFigure9DistributionShiftsLeft(t *testing.T) {
+	res, err := Figure9(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != len(capacityRangesFig9) {
+		t.Fatalf("got %d series", len(res.Series))
+	}
+	meanDepth := func(s int) float64 {
+		var sum, tot float64
+		for _, p := range res.Series[s].Points {
+			sum += p.X * p.Y
+			tot += p.Y
+		}
+		return sum / tot
+	}
+	if first, last := meanDepth(0), meanDepth(len(res.Series)-1); last >= first {
+		t.Errorf("mean depth should shrink from range [4..4] (%.2f) to [4..200] (%.2f)", first, last)
+	}
+}
+
+func TestFigure10Runs(t *testing.T) {
+	res, err := Figure10(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != len(capacityRangesFig10) {
+		t.Fatalf("got %d series", len(res.Series))
+	}
+	// Every curve accounts for (n-1) deliveries plus the source at depth 0.
+	for _, s := range res.Series {
+		var tot float64
+		for _, p := range s.Points {
+			tot += p.Y
+		}
+		if math.Abs(tot-1500) > 1 {
+			t.Errorf("series %s: histogram total %.1f, want ~1500", s.Label, tot)
+		}
+	}
+}
+
+// Figure 11: both CAM curves stay below the 1.5·ln(n)/ln(c) reference, and
+// path length falls with capacity.
+func TestFigure11BoundHolds(t *testing.T) {
+	res, err := Figure11(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 3 {
+		t.Fatalf("got %d series", len(res.Series))
+	}
+	bound := res.Series[2]
+	for si := 0; si < 2; si++ {
+		s := res.Series[si]
+		for i, p := range s.Points {
+			if p.Y > bound.Points[i].Y {
+				t.Errorf("%s at c=%g: path length %.2f exceeds bound %.2f",
+					s.Label, p.X, p.Y, bound.Points[i].Y)
+			}
+		}
+		first, last := s.Points[0], s.Points[len(s.Points)-1]
+		if last.Y >= first.Y {
+			t.Errorf("%s: path length should fall with capacity", s.Label)
+		}
+	}
+}
+
+func TestFigureResultTSV(t *testing.T) {
+	res, err := Figure11(Config{N: 300, Sources: 1, Seed: 2, Bits: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsv := res.TSV()
+	for _, want := range []string{"# figure11", "# CAM-Chord", "# CAM-Koorde", "# 1.5*ln(n)/ln(c)"} {
+		if !strings.Contains(tsv, want) {
+			t.Errorf("TSV missing %q", want)
+		}
+	}
+}
+
+func TestAllRegistryComplete(t *testing.T) {
+	if len(All) != 6 || len(FigureNames) != 6 {
+		t.Fatal("figure registry incomplete")
+	}
+	for _, name := range FigureNames {
+		if All[name] == nil {
+			t.Errorf("figure %s missing from registry", name)
+		}
+	}
+}

@@ -1,0 +1,333 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"camcast/internal/camchord"
+	"camcast/internal/camkoorde"
+	"camcast/internal/metrics"
+	"camcast/internal/workload"
+)
+
+// childTargets is the sweep of "average number of children per non-leaf
+// node" used by Figures 6 and 8 (the paper's x-axis spans roughly 4..70).
+var childTargets = []int{4, 5, 6, 8, 10, 14, 20, 28, 40, 55, 70}
+
+// capacityRangesFig9 are the capacity ranges of Figure 9's legend.
+var capacityRangesFig9 = [][2]int{
+	{4, 4}, {4, 6}, {4, 8}, {4, 10}, {4, 20}, {4, 40}, {4, 60}, {4, 100}, {4, 200},
+}
+
+// capacityRangesFig10 are the capacity ranges of Figure 10's legend (the
+// paper omits [4..60] there).
+var capacityRangesFig10 = [][2]int{
+	{4, 4}, {4, 6}, {4, 8}, {4, 10}, {4, 20}, {4, 40}, {4, 100}, {4, 200},
+}
+
+// avgCapacitiesFig11 is the x-axis sweep of Figure 11.
+var avgCapacitiesFig11 = []int{4, 6, 8, 10, 12, 16, 20, 28, 36, 44, 56, 68, 80, 96, 110}
+
+// Figure6 reproduces "Multicast throughput with respect to average number of
+// children per non-leaf node": all four systems, bandwidths U[400,1000]
+// kbps. The CAMs derive capacities from bandwidth (c_x = ceil(B_x/p), p
+// swept); the baselines fix a uniform degree swept over the same targets.
+func Figure6(cfg Config) (FigureResult, error) {
+	if err := cfg.validate(); err != nil {
+		return FigureResult{}, err
+	}
+	pop, err := defaultPopulation(cfg)
+	if err != nil {
+		return FigureResult{}, err
+	}
+	sources := PickSources(pop.Ring.Len(), cfg.Sources, cfg.Seed+100)
+	avgBW := mean(pop.Bandwidth)
+
+	result := FigureResult{
+		Name:   "figure6",
+		Title:  "Multicast throughput vs. average number of children per non-leaf node",
+		XLabel: "average children per non-leaf node",
+		YLabel: "throughput (kbps)",
+	}
+	for _, sys := range []System{SystemCAMChord, SystemChord, SystemCAMKoorde, SystemKoorde} {
+		series := metrics.Series{Label: string(sys)}
+		for _, target := range childTargets {
+			m, err := measureAtTarget(sys, pop, avgBW, target, sources)
+			if err != nil {
+				return FigureResult{}, fmt.Errorf("%s target %d: %w", sys, target, err)
+			}
+			// The x-axis is the configured average number of children (the
+			// average provisioned capacity / uniform degree), as in the
+			// paper; m.AvgChildren would instead measure the realized tree
+			// degree, which flooding keeps far below the provisioned one.
+			series.Points = append(series.Points, metrics.Point{X: float64(target), Y: m.Throughput})
+		}
+		result.Series = append(result.Series, series)
+	}
+	return result, nil
+}
+
+// Figure7 reproduces "Throughput improvement ratio with respect to upload
+// bandwidth range": lower bound fixed at 400 kbps, upper bound swept from
+// 800 to 1600. The CAMs keep the paper's default per-link target p = 100
+// kbps (which is what makes the default bandwidths [400,1000] yield the
+// default capacities [4..10]); the capacity-unaware baselines use the same
+// *average* degree E[B]/p, so the ratio isolates capacity awareness and
+// grows with host heterogeneity, roughly like (a+b)/2a.
+func Figure7(cfg Config) (FigureResult, error) {
+	if err := cfg.validate(); err != nil {
+		return FigureResult{}, err
+	}
+	const (
+		lower    = 400.0
+		linkRate = 100.0 // the paper's default p
+	)
+	uppers := []float64{800, 900, 1000, 1100, 1200, 1300, 1400, 1500, 1600}
+
+	chordRatio := metrics.Series{Label: "CAM-Chord over Chord"}
+	koordeRatio := metrics.Series{Label: "CAM-Koorde over Koorde"}
+	for i, upper := range uppers {
+		wcfg := workload.DefaultConfig(cfg.N, cfg.Seed+int64(i))
+		wcfg.Space = cfg.space()
+		wcfg.BandwidthLo = lower
+		wcfg.BandwidthHi = upper
+		pop, err := NewPopulation(wcfg)
+		if err != nil {
+			return FigureResult{}, err
+		}
+		sources := PickSources(pop.Ring.Len(), cfg.Sources, cfg.Seed+200+int64(i))
+		degree := int(math.Round(mean(pop.Bandwidth) / linkRate))
+		if degree < 2 {
+			degree = 2
+		}
+
+		rate := map[System]float64{}
+		for _, sys := range []System{SystemCAMChord, SystemChord, SystemCAMKoorde, SystemKoorde} {
+			var (
+				builder   TreeBuilder
+				provision []int
+				err       error
+			)
+			switch sys {
+			case SystemCAMChord:
+				provision = pop.CapsFromBandwidth(linkRate, camchord.MinCapacity)
+				builder, err = NewOverlay(sys, pop, provision, 0)
+			case SystemCAMKoorde:
+				provision = pop.CapsFromBandwidth(linkRate, camkoorde.MinCapacity)
+				builder, err = NewOverlay(sys, pop, provision, 0)
+			default:
+				provision = pop.UniformCaps(degree)
+				builder, err = NewOverlay(sys, pop, nil, degree)
+			}
+			if err != nil {
+				return FigureResult{}, fmt.Errorf("%s upper %g: %w", sys, upper, err)
+			}
+			m, err := MeasureTrees(builder, pop.Bandwidth, provision, sources)
+			if err != nil {
+				return FigureResult{}, fmt.Errorf("%s upper %g: %w", sys, upper, err)
+			}
+			rate[sys] = m.Throughput
+		}
+		chordRatio.Points = append(chordRatio.Points,
+			metrics.Point{X: upper, Y: rate[SystemCAMChord] / rate[SystemChord]})
+		koordeRatio.Points = append(koordeRatio.Points,
+			metrics.Point{X: upper, Y: rate[SystemCAMKoorde] / rate[SystemKoorde]})
+	}
+	return FigureResult{
+		Name:   "figure7",
+		Title:  "Throughput improvement ratio vs. upload bandwidth range [400, b]",
+		XLabel: "upload bandwidth range upper bound (kbps)",
+		YLabel: "throughput ratio",
+		Series: []metrics.Series{chordRatio, koordeRatio},
+	}, nil
+}
+
+// Figure8 reproduces "Throughput vs. average path length": the tradeoff
+// curve traced by sweeping the per-link rate p for both CAM systems over
+// the default bandwidth distribution.
+func Figure8(cfg Config) (FigureResult, error) {
+	if err := cfg.validate(); err != nil {
+		return FigureResult{}, err
+	}
+	pop, err := defaultPopulation(cfg)
+	if err != nil {
+		return FigureResult{}, err
+	}
+	sources := PickSources(pop.Ring.Len(), cfg.Sources, cfg.Seed+300)
+	avgBW := mean(pop.Bandwidth)
+
+	result := FigureResult{
+		Name:   "figure8",
+		Title:  "Throughput vs. average path length (p swept)",
+		XLabel: "throughput (kbps)",
+		YLabel: "average path length (hops)",
+	}
+	for _, sys := range []System{SystemCAMChord, SystemCAMKoorde} {
+		series := metrics.Series{Label: string(sys)}
+		for _, target := range childTargets {
+			m, err := measureAtTarget(sys, pop, avgBW, target, sources)
+			if err != nil {
+				return FigureResult{}, fmt.Errorf("%s target %d: %w", sys, target, err)
+			}
+			series.Points = append(series.Points, metrics.Point{X: m.Throughput, Y: m.AvgPathLength})
+		}
+		result.Series = append(result.Series, series)
+	}
+	return result, nil
+}
+
+// Figure9 reproduces "Path length distribution in CAM-Chord": the number of
+// nodes reached at each hop count, one curve per capacity range.
+func Figure9(cfg Config) (FigureResult, error) {
+	return pathLengthDistribution(cfg, SystemCAMChord, "figure9", capacityRangesFig9)
+}
+
+// Figure10 reproduces "Path length distribution in CAM-Koorde".
+func Figure10(cfg Config) (FigureResult, error) {
+	return pathLengthDistribution(cfg, SystemCAMKoorde, "figure10", capacityRangesFig10)
+}
+
+func pathLengthDistribution(cfg Config, sys System, name string, ranges [][2]int) (FigureResult, error) {
+	if err := cfg.validate(); err != nil {
+		return FigureResult{}, err
+	}
+	result := FigureResult{
+		Name:   name,
+		Title:  fmt.Sprintf("Path length distribution in %s", sys),
+		XLabel: "path length (hops)",
+		YLabel: "number of nodes",
+	}
+	for i, cr := range ranges {
+		wcfg := workload.DefaultConfig(cfg.N, cfg.Seed) // same membership per curve
+		wcfg.Space = cfg.space()
+		wcfg.CapacityLo, wcfg.CapacityHi = cr[0], cr[1]
+		pop, err := NewPopulation(wcfg)
+		if err != nil {
+			return FigureResult{}, err
+		}
+		sources := PickSources(pop.Ring.Len(), cfg.Sources, cfg.Seed+400+int64(i))
+		builder, err := NewOverlay(sys, pop, pop.Caps, 0)
+		if err != nil {
+			return FigureResult{}, err
+		}
+		m, err := MeasureTrees(builder, pop.Bandwidth, pop.Caps, sources)
+		if err != nil {
+			return FigureResult{}, fmt.Errorf("%s range %v: %w", sys, cr, err)
+		}
+		label := fmt.Sprintf("[%d..%d]", cr[0], cr[1])
+		if cr[0] == cr[1] {
+			label = fmt.Sprintf("%d", cr[0])
+		}
+		series := metrics.Series{Label: label}
+		for bin := 0; bin < m.DepthHist.Bins(); bin++ {
+			series.Points = append(series.Points, metrics.Point{X: float64(bin), Y: m.DepthHist.Count(bin)})
+		}
+		result.Series = append(result.Series, series)
+	}
+	return result, nil
+}
+
+// Figure11 reproduces "Average path length with respect to average node
+// capacity", including the artificial 1.5·ln(n)/ln(c) upper-bound curve the
+// paper plots to verify Theorems 4 and 6.
+func Figure11(cfg Config) (FigureResult, error) {
+	if err := cfg.validate(); err != nil {
+		return FigureResult{}, err
+	}
+	pop, err := defaultPopulation(cfg)
+	if err != nil {
+		return FigureResult{}, err
+	}
+	sources := PickSources(pop.Ring.Len(), cfg.Sources, cfg.Seed+500)
+
+	camChord := metrics.Series{Label: string(SystemCAMChord)}
+	camKoorde := metrics.Series{Label: string(SystemCAMKoorde)}
+	bound := metrics.Series{Label: "1.5*ln(n)/ln(c)"}
+	for _, c := range avgCapacitiesFig11 {
+		caps := pop.UniformCaps(c)
+		for _, sys := range []System{SystemCAMChord, SystemCAMKoorde} {
+			builder, err := NewOverlay(sys, pop, caps, 0)
+			if err != nil {
+				return FigureResult{}, err
+			}
+			m, err := MeasureTrees(builder, pop.Bandwidth, caps, sources)
+			if err != nil {
+				return FigureResult{}, fmt.Errorf("%s capacity %d: %w", sys, c, err)
+			}
+			pt := metrics.Point{X: float64(c), Y: m.AvgPathLength}
+			if sys == SystemCAMChord {
+				camChord.Points = append(camChord.Points, pt)
+			} else {
+				camKoorde.Points = append(camKoorde.Points, pt)
+			}
+		}
+		bound.Points = append(bound.Points, metrics.Point{X: float64(c), Y: referenceBound(cfg.N, float64(c))})
+	}
+	return FigureResult{
+		Name:   "figure11",
+		Title:  "Average path length vs. average node capacity",
+		XLabel: "average node capacity",
+		YLabel: "average path length (hops)",
+		Series: []metrics.Series{camChord, camKoorde, bound},
+	}, nil
+}
+
+// All maps figure names to their generators.
+var All = map[string]func(Config) (FigureResult, error){
+	"figure6":  Figure6,
+	"figure7":  Figure7,
+	"figure8":  Figure8,
+	"figure9":  Figure9,
+	"figure10": Figure10,
+	"figure11": Figure11,
+}
+
+// FigureNames lists the figures in paper order.
+var FigureNames = []string{"figure6", "figure7", "figure8", "figure9", "figure10", "figure11"}
+
+// defaultPopulation builds the paper-default membership for cfg, with
+// bandwidth-derived capacities left to the callers.
+func defaultPopulation(cfg Config) (*Population, error) {
+	wcfg := workload.DefaultConfig(cfg.N, cfg.Seed)
+	wcfg.Space = cfg.space()
+	return NewPopulation(wcfg)
+}
+
+// measureAtTarget measures one system tuned so that the average number of
+// children per non-leaf node is close to target: the CAMs set the per-link
+// rate p = E[B]/target, the baselines set their uniform degree to target.
+func measureAtTarget(sys System, pop *Population, avgBW float64, target int, sources []int) (TreeMetrics, error) {
+	var (
+		builder   TreeBuilder
+		provision []int
+		err       error
+	)
+	switch sys {
+	case SystemCAMChord:
+		provision = pop.CapsFromBandwidth(avgBW/float64(target), camchord.MinCapacity)
+		builder, err = NewOverlay(sys, pop, provision, 0)
+	case SystemCAMKoorde:
+		provision = pop.CapsFromBandwidth(avgBW/float64(target), camkoorde.MinCapacity)
+		builder, err = NewOverlay(sys, pop, provision, 0)
+	case SystemChord, SystemKoorde:
+		provision = pop.UniformCaps(target)
+		builder, err = NewOverlay(sys, pop, nil, target)
+	default:
+		return TreeMetrics{}, fmt.Errorf("experiments: unknown system %q", sys)
+	}
+	if err != nil {
+		return TreeMetrics{}, err
+	}
+	return MeasureTrees(builder, pop.Bandwidth, provision, sources)
+}
+
+func mean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range values {
+		sum += v
+	}
+	return sum / float64(len(values))
+}

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"camcast/internal/camchord"
+	"camcast/internal/geo"
+	"camcast/internal/ids"
+	"camcast/internal/metrics"
+	"camcast/internal/ring"
+	"camcast/internal/topology"
+)
+
+// AblationLayout quantifies the second Section 5.2 technique, Geographic
+// Layout: "node identifiers are chosen in a geographically informed manner
+// [so that] geographically closeby nodes form clusters in the overlay".
+// Three CAM-Chord variants run over the same clustered latency plane:
+//
+//   - random identifiers (plain SHA-1 placement),
+//   - geographic layout (cluster-prefixed identifiers),
+//   - geographic layout + Proximity Neighbor Selection.
+//
+// The series plot average source-to-member delivery delay against uniform
+// node capacity. Geographic layout makes low-level neighbors (successors
+// and short fingers) same-cluster, so most tree edges become LAN hops.
+func AblationLayout(cfg Config) (FigureResult, error) {
+	if err := cfg.validate(); err != nil {
+		return FigureResult{}, err
+	}
+	const (
+		clusters   = 8
+		prefixBits = 3
+	)
+	space := cfg.space()
+	model, err := geo.NewClustered(cfg.N, clusters, 120, 1, cfg.Seed)
+	if err != nil {
+		return FigureResult{}, err
+	}
+	hasher := ids.NewHasher(space)
+
+	// Assign both identifier layouts to the same physical nodes.
+	randomIDs := make([]ring.ID, cfg.N)
+	geoIDs := make([]ring.ID, cfg.N)
+	takenRandom := make(map[ring.ID]bool, cfg.N)
+	takenGeo := make(map[ring.ID]bool, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		addr := fmt.Sprintf("layout-node-%d", i)
+		id, _, ok := hasher.Unique(addr, takenRandom, 64)
+		if !ok {
+			return FigureResult{}, fmt.Errorf("experiments: no free random identifier for node %d", i)
+		}
+		takenRandom[id] = true
+		randomIDs[i] = id
+
+		gid, ok := hasher.GeoUnique(addr, model.Cluster(i), prefixBits, takenGeo, 64)
+		if !ok {
+			return FigureResult{}, fmt.Errorf("experiments: no free geo identifier for node %d", i)
+		}
+		takenGeo[gid] = true
+		geoIDs[i] = gid
+	}
+
+	build := func(idList []ring.ID) (*topology.Ring, []int, error) {
+		r, err := topology.New(space, idList)
+		if err != nil {
+			return nil, nil, err
+		}
+		// Map ring positions back to physical node indices for the delay fn.
+		posToNode := make([]int, cfg.N)
+		for node, id := range idList {
+			pos, ok := r.PosOf(id)
+			if !ok {
+				return nil, nil, fmt.Errorf("experiments: id %d missing from ring", id)
+			}
+			posToNode[pos] = node
+		}
+		return r, posToNode, nil
+	}
+
+	randomRing, randomMap, err := build(randomIDs)
+	if err != nil {
+		return FigureResult{}, err
+	}
+	geoRing, geoMap, err := build(geoIDs)
+	if err != nil {
+		return FigureResult{}, err
+	}
+
+	delayOn := func(posToNode []int) camchord.DelayFunc {
+		return func(a, b int) float64 {
+			return model.Delay(posToNode[a], posToNode[b])
+		}
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed + 1000))
+	sources := make([]int, cfg.Sources)
+	for i := range sources {
+		sources[i] = rng.Intn(cfg.N)
+	}
+
+	randomSeries := metrics.Series{Label: "random layout"}
+	geoSeries := metrics.Series{Label: "geographic layout"}
+	geoPNSSeries := metrics.Series{Label: "geographic layout + PNS"}
+	for _, capacity := range []int{4, 8, 16} {
+		caps := make([]int, cfg.N)
+		for i := range caps {
+			caps[i] = capacity
+		}
+		type variant struct {
+			ring   *topology.Ring
+			pmap   []int
+			sample int
+			out    *metrics.Series
+		}
+		for _, v := range []variant{
+			{randomRing, randomMap, 1, &randomSeries},
+			{geoRing, geoMap, 1, &geoSeries},
+			{geoRing, geoMap, camchord.DefaultProximitySample, &geoPNSSeries},
+		} {
+			net, err := camchord.New(v.ring, caps)
+			if err != nil {
+				return FigureResult{}, err
+			}
+			var total float64
+			for _, src := range sources {
+				tree, delays, err := net.BuildTreeProximity(src, delayOn(v.pmap), v.sample)
+				if err != nil {
+					return FigureResult{}, err
+				}
+				if err := tree.VerifyComplete(); err != nil {
+					return FigureResult{}, err
+				}
+				total += camchord.AvgDelay(tree, delays)
+			}
+			v.out.Points = append(v.out.Points,
+				metrics.Point{X: float64(capacity), Y: total / float64(len(sources))})
+		}
+	}
+	return FigureResult{
+		Name:   "ablation-layout",
+		Title:  "Geographic Layout: delivery delay by identifier placement",
+		XLabel: "uniform node capacity",
+		YLabel: "average delivery delay (ms)",
+		Series: []metrics.Series{randomSeries, geoSeries, geoPNSSeries},
+	}, nil
+}

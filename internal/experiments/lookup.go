@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"math"
+	"math/rand"
+
+	"camcast/internal/camchord"
+	"camcast/internal/camkoorde"
+	"camcast/internal/metrics"
+)
+
+// AblationLookup measures lookup path lengths against average node
+// capacity, empirically validating Theorems 1 and 2 (CAM-Chord lookups are
+// O(log n / log c) hops) alongside CAM-Koorde's lookup routine. The
+// reference curve plots ln(n)/ln(c).
+func AblationLookup(cfg Config) (FigureResult, error) {
+	if err := cfg.validate(); err != nil {
+		return FigureResult{}, err
+	}
+	pop, err := defaultPopulation(cfg)
+	if err != nil {
+		return FigureResult{}, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1100))
+	queries := 200 * cfg.Sources
+
+	chordSeries := metrics.Series{Label: "CAM-Chord lookup"}
+	koordeSeries := metrics.Series{Label: "CAM-Koorde lookup"}
+	bound := metrics.Series{Label: "ln(n)/ln(c)"}
+	for _, c := range []int{4, 6, 8, 12, 16, 24, 32, 48, 64} {
+		caps := pop.UniformCaps(c)
+		chordNet, err := camchord.New(pop.Ring, caps)
+		if err != nil {
+			return FigureResult{}, err
+		}
+		koordeNet, err := camkoorde.New(pop.Ring, caps)
+		if err != nil {
+			return FigureResult{}, err
+		}
+
+		var chordHops, koordeHops float64
+		for q := 0; q < queries; q++ {
+			from := rng.Intn(pop.Ring.Len())
+			k := pop.Ring.Space().Reduce(rng.Uint64())
+			_, path := chordNet.Lookup(from, k)
+			chordHops += float64(len(path) - 1)
+			_, path = koordeNet.Lookup(from, k)
+			koordeHops += float64(len(path) - 1)
+		}
+		x := float64(c)
+		chordSeries.Points = append(chordSeries.Points,
+			metrics.Point{X: x, Y: chordHops / float64(queries)})
+		koordeSeries.Points = append(koordeSeries.Points,
+			metrics.Point{X: x, Y: koordeHops / float64(queries)})
+		bound.Points = append(bound.Points,
+			metrics.Point{X: x, Y: math.Log(float64(cfg.N)) / math.Log(x)})
+	}
+	return FigureResult{
+		Name:   "ablation-lookup",
+		Title:  "Lookup path length vs. node capacity (Theorems 1-2)",
+		XLabel: "uniform node capacity",
+		YLabel: "average lookup path length (hops)",
+		Series: []metrics.Series{chordSeries, koordeSeries, bound},
+	}, nil
+}

@@ -1,0 +1,95 @@
+// Package geo models the geography underneath the overlay (Section 5.2 of
+// the paper): every node gets a position in a 2-D latency plane, and the
+// one-way delay between two nodes is proportional to their Euclidean
+// distance. The clustered generator mirrors the Internet's structure —
+// nodes form LAN/metro clusters with sub-millisecond internal delays,
+// separated by up to transcontinental distances — which is exactly the
+// situation Proximity Neighbor Selection exploits.
+package geo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Model assigns coordinates to node positions and computes pairwise delays.
+type Model struct {
+	coords  [][2]float64
+	cluster []int
+}
+
+// NewUniform places n nodes uniformly in a plane whose diameter corresponds
+// to maxDelayMs.
+func NewUniform(n int, maxDelayMs float64, seed int64) (*Model, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("geo: need at least one node, got %d", n)
+	}
+	if maxDelayMs <= 0 {
+		return nil, fmt.Errorf("geo: max delay %g must be positive", maxDelayMs)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	side := maxDelayMs / math.Sqrt2
+	m := &Model{coords: make([][2]float64, n), cluster: make([]int, n)}
+	for i := range m.coords {
+		m.coords[i] = [2]float64{rng.Float64() * side, rng.Float64() * side}
+	}
+	return m, nil
+}
+
+// NewClustered places n nodes into clusters (LANs/metros): cluster centers
+// are uniform in the plane, members jitter within jitterMs of their center.
+func NewClustered(n, clusters int, maxDelayMs, jitterMs float64, seed int64) (*Model, error) {
+	if n < 1 || clusters < 1 {
+		return nil, fmt.Errorf("geo: need at least one node and one cluster (n=%d, clusters=%d)", n, clusters)
+	}
+	if maxDelayMs <= 0 || jitterMs < 0 {
+		return nil, fmt.Errorf("geo: bad delays (max=%g, jitter=%g)", maxDelayMs, jitterMs)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	side := maxDelayMs / math.Sqrt2
+	centers := make([][2]float64, clusters)
+	for i := range centers {
+		centers[i] = [2]float64{rng.Float64() * side, rng.Float64() * side}
+	}
+	m := &Model{coords: make([][2]float64, n), cluster: make([]int, n)}
+	for i := range m.coords {
+		c := rng.Intn(clusters)
+		m.cluster[i] = c
+		angle := rng.Float64() * 2 * math.Pi
+		r := rng.Float64() * jitterMs
+		m.coords[i] = [2]float64{
+			centers[c][0] + r*math.Cos(angle),
+			centers[c][1] + r*math.Sin(angle),
+		}
+	}
+	return m, nil
+}
+
+// Len returns the number of modeled nodes.
+func (m *Model) Len() int { return len(m.coords) }
+
+// Cluster returns the cluster index of node i (0 for uniform models).
+func (m *Model) Cluster(i int) int { return m.cluster[i] }
+
+// Delay returns the one-way delay in milliseconds between nodes a and b.
+func (m *Model) Delay(a, b int) float64 {
+	dx := m.coords[a][0] - m.coords[b][0]
+	dy := m.coords[a][1] - m.coords[b][1]
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// MeanDelay estimates the mean pairwise delay by sampling.
+func (m *Model) MeanDelay(samples int, seed int64) float64 {
+	if len(m.coords) < 2 || samples < 1 {
+		return 0
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var sum float64
+	for i := 0; i < samples; i++ {
+		a := rng.Intn(len(m.coords))
+		b := rng.Intn(len(m.coords))
+		sum += m.Delay(a, b)
+	}
+	return sum / float64(samples)
+}

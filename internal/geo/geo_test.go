@@ -1,0 +1,104 @@
+package geo
+
+import "testing"
+
+func TestNewUniformValidation(t *testing.T) {
+	if _, err := NewUniform(0, 100, 1); err == nil {
+		t.Error("zero nodes should fail")
+	}
+	if _, err := NewUniform(10, 0, 1); err == nil {
+		t.Error("zero max delay should fail")
+	}
+}
+
+func TestNewClusteredValidation(t *testing.T) {
+	if _, err := NewClustered(0, 1, 100, 1, 1); err == nil {
+		t.Error("zero nodes should fail")
+	}
+	if _, err := NewClustered(10, 0, 100, 1, 1); err == nil {
+		t.Error("zero clusters should fail")
+	}
+	if _, err := NewClustered(10, 2, 100, -1, 1); err == nil {
+		t.Error("negative jitter should fail")
+	}
+}
+
+func TestDelayProperties(t *testing.T) {
+	m, err := NewUniform(50, 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 50 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	for a := 0; a < 50; a += 7 {
+		for b := 0; b < 50; b += 5 {
+			dab, dba := m.Delay(a, b), m.Delay(b, a)
+			if dab != dba {
+				t.Fatalf("delay not symmetric: %g vs %g", dab, dba)
+			}
+			if dab < 0 || dab > 100.0001 {
+				t.Fatalf("delay %g out of [0, 100]", dab)
+			}
+			if a == b && dab != 0 {
+				t.Fatalf("self delay %g", dab)
+			}
+		}
+	}
+}
+
+func TestClusteredStructure(t *testing.T) {
+	m, err := NewClustered(400, 8, 120, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var intra, inter float64
+	var intraN, interN int
+	for a := 0; a < 200; a++ {
+		for b := a + 1; b < 200; b++ {
+			d := m.Delay(a, b)
+			if m.Cluster(a) == m.Cluster(b) {
+				intra += d
+				intraN++
+			} else {
+				inter += d
+				interN++
+			}
+		}
+	}
+	if intraN == 0 || interN == 0 {
+		t.Fatal("degenerate clustering")
+	}
+	meanIntra, meanInter := intra/float64(intraN), inter/float64(interN)
+	if meanIntra*10 > meanInter {
+		t.Errorf("intra-cluster delay %.2fms not well below inter-cluster %.2fms", meanIntra, meanInter)
+	}
+	if meanIntra > 2 {
+		t.Errorf("intra-cluster delay %.2fms exceeds 2x jitter", meanIntra)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, _ := NewClustered(100, 4, 100, 1, 9)
+	b, _ := NewClustered(100, 4, 100, 1, 9)
+	for i := 0; i < 100; i++ {
+		if a.Delay(0, i) != b.Delay(0, i) {
+			t.Fatal("models with same seed differ")
+		}
+		if a.Cluster(i) != b.Cluster(i) {
+			t.Fatal("cluster assignment differs")
+		}
+	}
+}
+
+func TestMeanDelay(t *testing.T) {
+	m, _ := NewUniform(100, 100, 1)
+	mean := m.MeanDelay(2000, 2)
+	if mean <= 0 || mean >= 100 {
+		t.Errorf("MeanDelay = %g", mean)
+	}
+	single, _ := NewUniform(1, 100, 1)
+	if single.MeanDelay(10, 1) != 0 {
+		t.Error("single-node mean delay should be 0")
+	}
+}

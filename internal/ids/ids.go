@@ -1,0 +1,92 @@
+// Package ids maps member addresses onto the identifier ring.
+//
+// The paper specifies that member hosts are "randomly mapped by a hash
+// function (such as SHA-1) onto an identifier ring [0, N-1]". This package
+// implements that mapping, truncating the SHA-1 digest to the ring width,
+// and provides salted rehashing so a joining node whose identifier collides
+// with an existing member can deterministically derive an alternative.
+package ids
+
+import (
+	"crypto/sha1"
+	"encoding/binary"
+	"fmt"
+	"strconv"
+
+	"camcast/internal/ring"
+)
+
+// Hasher maps string addresses to ring identifiers.
+type Hasher struct {
+	space ring.Space
+}
+
+// NewHasher returns a Hasher for the given identifier space.
+func NewHasher(space ring.Space) Hasher {
+	return Hasher{space: space}
+}
+
+// ID hashes addr onto the ring with SHA-1, using the high-order bytes of the
+// digest truncated to the ring width.
+func (h Hasher) ID(addr string) ring.ID {
+	sum := sha1.Sum([]byte(addr))
+	v := binary.BigEndian.Uint64(sum[:8])
+	// Take the top bits of the digest so that widening the space refines,
+	// rather than reshuffles, identifier assignments.
+	return v >> (64 - h.space.Bits())
+}
+
+// Salted hashes addr with an integer salt appended; salt 0 is identical to
+// ID. Joining nodes use increasing salts to resolve identifier collisions.
+func (h Hasher) Salted(addr string, salt int) ring.ID {
+	if salt == 0 {
+		return h.ID(addr)
+	}
+	return h.ID(addr + "#" + strconv.Itoa(salt))
+}
+
+// GeoID implements the paper's Geographic Layout technique (Section 5.2):
+// "node identifiers are chosen in a geographically informed manner ... to
+// make geographically closeby nodes form clusters in the overlay". The
+// identifier's top prefixBits encode the node's cluster; the remaining bits
+// come from the salted hash of its address, so nodes of one cluster occupy
+// one contiguous arc of the ring. cluster must fit in prefixBits.
+func (h Hasher) GeoID(addr string, salt, cluster int, prefixBits uint) (ring.ID, error) {
+	if prefixBits == 0 || prefixBits >= h.space.Bits() {
+		return 0, fmt.Errorf("ids: prefix bits %d out of (0, %d)", prefixBits, h.space.Bits())
+	}
+	if cluster < 0 || uint64(cluster) >= uint64(1)<<prefixBits {
+		return 0, fmt.Errorf("ids: cluster %d does not fit in %d bits", cluster, prefixBits)
+	}
+	suffix := h.Salted(addr, salt) & ((uint64(1) << (h.space.Bits() - prefixBits)) - 1)
+	return h.space.TopBits(uint64(cluster), prefixBits) | suffix, nil
+}
+
+// GeoUnique returns a collision-free geographically laid-out identifier for
+// addr, probing successive salts within the node's cluster arc.
+func (h Hasher) GeoUnique(addr string, cluster int, prefixBits uint, taken map[ring.ID]bool, maxProbes int) (ring.ID, bool) {
+	for s := 0; s < maxProbes; s++ {
+		candidate, err := h.GeoID(addr, s, cluster, prefixBits)
+		if err != nil {
+			return 0, false
+		}
+		if !taken[candidate] {
+			return candidate, true
+		}
+	}
+	return 0, false
+}
+
+// Unique returns an identifier for addr that does not appear in taken,
+// probing successive salts. The second return value is the salt used.
+// It gives up after maxProbes attempts and reports ok = false; with a
+// sensibly sized ring (N >> group size) this effectively never happens.
+func (h Hasher) Unique(addr string, taken map[ring.ID]bool, maxProbes int) (id ring.ID, salt int, ok bool) {
+	for s := 0; s < maxProbes; s++ {
+		candidate := h.Salted(addr, s)
+		if !taken[candidate] {
+			return candidate, s, true
+		}
+	}
+	return 0, 0, false
+}

@@ -1,0 +1,147 @@
+package ids
+
+import (
+	"fmt"
+	"testing"
+
+	"camcast/internal/ring"
+)
+
+func TestIDDeterministic(t *testing.T) {
+	h := NewHasher(ring.MustSpace(19))
+	a := h.ID("node-1:4000")
+	b := h.ID("node-1:4000")
+	if a != b {
+		t.Fatalf("hash not deterministic: %d vs %d", a, b)
+	}
+}
+
+func TestIDWithinSpace(t *testing.T) {
+	s := ring.MustSpace(19)
+	h := NewHasher(s)
+	for i := 0; i < 1000; i++ {
+		id := h.Salted("host", i)
+		if id > s.Mask() {
+			t.Fatalf("id %d exceeds mask %d", id, s.Mask())
+		}
+	}
+}
+
+func TestSaltZeroMatchesID(t *testing.T) {
+	h := NewHasher(ring.MustSpace(19))
+	if h.Salted("addr", 0) != h.ID("addr") {
+		t.Fatal("Salted(addr, 0) should equal ID(addr)")
+	}
+}
+
+func TestSaltsDiffer(t *testing.T) {
+	h := NewHasher(ring.MustSpace(19))
+	if h.Salted("addr", 1) == h.Salted("addr", 2) {
+		t.Fatal("different salts produced identical identifiers")
+	}
+}
+
+func TestUniqueAvoidsCollisions(t *testing.T) {
+	h := NewHasher(ring.MustSpace(19))
+	taken := map[ring.ID]bool{h.ID("addr"): true}
+	id, salt, ok := h.Unique("addr", taken, 16)
+	if !ok {
+		t.Fatal("Unique failed")
+	}
+	if salt == 0 || taken[id] {
+		t.Fatalf("Unique returned colliding id %d (salt %d)", id, salt)
+	}
+}
+
+func TestUniqueGivesUp(t *testing.T) {
+	// A 1-bit space has only two identifiers; mark both taken.
+	h := NewHasher(ring.MustSpace(1))
+	taken := map[ring.ID]bool{0: true, 1: true}
+	if _, _, ok := h.Unique("addr", taken, 8); ok {
+		t.Fatal("Unique should fail when all identifiers are taken")
+	}
+}
+
+// The hash should spread identifiers roughly uniformly: with 4096 addresses
+// on a 2^19 ring, each quadrant should hold a reasonable share.
+func TestDispersion(t *testing.T) {
+	s := ring.MustSpace(19)
+	h := NewHasher(s)
+	quadrant := make([]int, 4)
+	const n = 4096
+	for i := 0; i < n; i++ {
+		id := h.Salted("member", i)
+		quadrant[id/(s.Size()/4)]++
+	}
+	for q, count := range quadrant {
+		if count < n/8 || count > n/2 {
+			t.Errorf("quadrant %d holds %d of %d ids; distribution is badly skewed", q, count, n)
+		}
+	}
+}
+
+func TestGeoIDClusterPrefix(t *testing.T) {
+	s := ring.MustSpace(16)
+	h := NewHasher(s)
+	const prefixBits = 3
+	for cluster := 0; cluster < 8; cluster++ {
+		id, err := h.GeoID("host-x", 0, cluster, prefixBits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := id >> (s.Bits() - prefixBits); got != uint64(cluster) {
+			t.Fatalf("cluster %d encoded as prefix %d", cluster, got)
+		}
+	}
+}
+
+func TestGeoIDValidation(t *testing.T) {
+	h := NewHasher(ring.MustSpace(16))
+	if _, err := h.GeoID("a", 0, 0, 0); err == nil {
+		t.Error("zero prefix bits should fail")
+	}
+	if _, err := h.GeoID("a", 0, 0, 16); err == nil {
+		t.Error("prefix consuming the whole space should fail")
+	}
+	if _, err := h.GeoID("a", 0, 8, 3); err == nil {
+		t.Error("cluster overflowing the prefix should fail")
+	}
+	if _, err := h.GeoID("a", 0, -1, 3); err == nil {
+		t.Error("negative cluster should fail")
+	}
+}
+
+func TestGeoUniqueStaysInCluster(t *testing.T) {
+	s := ring.MustSpace(16)
+	h := NewHasher(s)
+	taken := map[ring.ID]bool{}
+	const prefixBits = 2
+	for i := 0; i < 300; i++ {
+		cluster := i % 4
+		id, ok := h.GeoUnique(fmt.Sprintf("host-%d", i), cluster, prefixBits, taken, 32)
+		if !ok {
+			t.Fatal("GeoUnique failed")
+		}
+		if taken[id] {
+			t.Fatal("collision")
+		}
+		taken[id] = true
+		if got := id >> (s.Bits() - prefixBits); got != uint64(cluster) {
+			t.Fatalf("id %d escaped cluster %d", id, cluster)
+		}
+	}
+}
+
+func TestGeoUniqueGivesUp(t *testing.T) {
+	h := NewHasher(ring.MustSpace(4))
+	taken := map[ring.ID]bool{}
+	for id := ring.ID(0); id < 16; id++ {
+		taken[id] = true
+	}
+	if _, ok := h.GeoUnique("a", 0, 2, taken, 8); ok {
+		t.Error("full arc should fail")
+	}
+	if _, ok := h.GeoUnique("a", 9, 2, taken, 8); ok {
+		t.Error("invalid cluster should fail")
+	}
+}

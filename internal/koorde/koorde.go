@@ -1,0 +1,144 @@
+// Package koorde implements the capacity-UNAWARE Koorde baseline (Kaashoek
+// & Karger, IPTPS'03), reference [14] of the paper. Node x's de Bruijn
+// neighbors are derived by shifting x one digit (base k) to the LEFT and
+// replacing the lowest digit:
+//
+//	(k·x + j) mod N,  j ∈ [0..k-1],
+//
+// plus the ring links (predecessor and successor) Koorde needs for
+// correctness. As Section 4 of the paper observes, these neighbor
+// identifiers differ only in the last digit, so they cluster on the ring and
+// often resolve to the same physical node — the flaw CAM-Koorde's
+// right-shift construction fixes.
+//
+// Multicast is flooding with duplicate suppression, the same routine
+// CAM-Koorde uses (Section 4.3), so the two systems differ only in their
+// neighbor structure.
+package koorde
+
+import (
+	"fmt"
+
+	"camcast/internal/multicast"
+	"camcast/internal/ring"
+	"camcast/internal/topology"
+)
+
+// Network is a degree-k Koorde overlay over a static membership snapshot.
+type Network struct {
+	ring   *topology.Ring
+	degree uint64
+}
+
+// New builds a Koorde network with de Bruijn degree k >= 2.
+func New(r *topology.Ring, degree int) (*Network, error) {
+	if r == nil {
+		return nil, fmt.Errorf("koorde: nil ring")
+	}
+	if degree < 2 {
+		return nil, fmt.Errorf("koorde: degree %d must be >= 2", degree)
+	}
+	return &Network{ring: r, degree: uint64(degree)}, nil
+}
+
+// Ring returns the underlying membership snapshot.
+func (n *Network) Ring() *topology.Ring { return n.ring }
+
+// Degree returns the de Bruijn degree k.
+func (n *Network) Degree() int { return int(n.degree) }
+
+// NeighborIDs enumerates the de Bruijn neighbor identifiers k·x + j of the
+// node at ring position pos.
+func (n *Network) NeighborIDs(pos int) []ring.ID {
+	s := n.ring.Space()
+	x := n.ring.IDAt(pos)
+	out := make([]ring.ID, 0, n.degree)
+	base := s.Reduce(x * n.degree) // k·x mod N; wraps like the de Bruijn graph
+	for j := uint64(0); j < n.degree; j++ {
+		out = append(out, s.Add(base, j))
+	}
+	return out
+}
+
+// NeighborNodes resolves the node's de Bruijn and ring neighbors to
+// distinct ring positions, excluding the node itself.
+func (n *Network) NeighborNodes(pos int) []int {
+	seen := map[int]bool{pos: true}
+	out := make([]int, 0, int(n.degree)+2)
+	add := func(p int) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	add(n.ring.Predecessor(pos))
+	add(n.ring.Successor(pos))
+	for _, id := range n.NeighborIDs(pos) {
+		add(n.ring.Responsible(id))
+	}
+	return out
+}
+
+// Lookup resolves the node responsible for identifier k starting at
+// position from. It routes greedily: hop to the neighbor (de Bruijn or
+// ring) that lands furthest clockwise inside (x, k]; the successor edge
+// guarantees progress and therefore termination with the correct node.
+// (The original Koorde "imaginary node" routing achieves O(log_k n) hops;
+// this baseline only needs a correct lookup for membership maintenance, and
+// no figure in the paper measures Koorde lookup paths.)
+func (n *Network) Lookup(from int, k ring.ID) (resp int, path []int) {
+	s := n.ring.Space()
+	x := from
+	path = append(path, x)
+	for {
+		xid := n.ring.IDAt(x)
+		pred := n.ring.Predecessor(x)
+		if s.InOC(k, n.ring.IDAt(pred), xid) || n.ring.Len() == 1 {
+			return x, path
+		}
+		succ := n.ring.Successor(x)
+		if s.InOC(k, xid, n.ring.IDAt(succ)) {
+			return succ, path
+		}
+
+		best, bestDist := succ, s.Dist(n.ring.IDAt(succ), k)
+		for _, id := range n.NeighborIDs(x) {
+			z := n.ring.Responsible(id)
+			zid := n.ring.IDAt(z)
+			if z == x || !s.InOC(zid, xid, k) {
+				continue
+			}
+			if d := s.Dist(zid, k); d < bestDist {
+				best, bestDist = z, d
+			}
+		}
+		x = best
+		path = append(path, x)
+	}
+}
+
+// BuildTree floods the message from src exactly as CAM-Koorde does, but
+// over Koorde's clustered neighbor structure. It returns the implicit tree
+// and the number of duplicate offers suppressed by the dedup handshake.
+func (n *Network) BuildTree(src int) (tree *multicast.Tree, redundant int, err error) {
+	tree, err = multicast.NewTree(n.ring.Len(), src)
+	if err != nil {
+		return nil, 0, err
+	}
+	queue := make([]int, 0, n.ring.Len())
+	queue = append(queue, src)
+	for head := 0; head < len(queue); head++ {
+		x := queue[head]
+		for _, p := range n.NeighborNodes(x) {
+			if tree.Received(p) {
+				redundant++
+				continue
+			}
+			if err := tree.Deliver(x, p); err != nil {
+				return nil, 0, err
+			}
+			queue = append(queue, p)
+		}
+	}
+	return tree, redundant, nil
+}

@@ -1,0 +1,100 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.Count != 8 || s.Min != 2 || s.Max != 9 {
+		t.Errorf("summary %+v", s)
+	}
+	if s.Mean != 5 {
+		t.Errorf("mean %g, want 5", s.Mean)
+	}
+	if math.Abs(s.Stddev-2) > 1e-12 {
+		t.Errorf("stddev %g, want 2", s.Stddev)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s != (Summary{}) {
+		t.Errorf("empty summary %+v", s)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	values := []float64{5, 1, 3, 2, 4}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {20, 1}, {40, 2}, {50, 3}, {100, 5}, {-5, 1}, {150, 5},
+	}
+	for _, tt := range tests {
+		if got := Percentile(values, tt.p); got != tt.want {
+			t.Errorf("Percentile(%g) = %g, want %g", tt.p, got, tt.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+	// Input must not be mutated.
+	if values[0] != 5 {
+		t.Error("Percentile sorted the caller's slice")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	h.Add(0, 1)
+	h.Add(2, 3)
+	h.Add(2, 1)
+	h.Add(-1, 99) // ignored
+	if h.Bins() != 3 {
+		t.Errorf("Bins = %d", h.Bins())
+	}
+	if h.Count(2) != 4 || h.Count(1) != 0 || h.Count(99) != 0 {
+		t.Error("counts wrong")
+	}
+	if h.Total() != 5 {
+		t.Errorf("Total = %g", h.Total())
+	}
+	if got := h.Mean(); math.Abs(got-8.0/5) > 1e-12 {
+		t.Errorf("Mean = %g", got)
+	}
+	if h.Mode() != 2 {
+		t.Errorf("Mode = %d", h.Mode())
+	}
+}
+
+func TestHistogramAddCounts(t *testing.T) {
+	var h Histogram
+	h.AddCounts([]int{1, 0, 2}, 0.5)
+	if h.Count(0) != 0.5 || h.Count(2) != 1 {
+		t.Error("AddCounts wrong")
+	}
+	if h.Total() != 1.5 {
+		t.Errorf("Total = %g", h.Total())
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Mode() != 0 || h.Total() != 0 {
+		t.Error("empty histogram stats should be zero")
+	}
+}
+
+func TestSeriesTSV(t *testing.T) {
+	s := Series{Label: "cam-chord", Points: []Point{{1, 2.5}, {3, 4}}}
+	got := s.TSV()
+	if !strings.HasPrefix(got, "# cam-chord\n") {
+		t.Errorf("TSV header missing: %q", got)
+	}
+	if !strings.Contains(got, "1\t2.5\n") || !strings.Contains(got, "3\t4\n") {
+		t.Errorf("TSV rows missing: %q", got)
+	}
+}

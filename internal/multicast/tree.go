@@ -1,0 +1,161 @@
+// Package multicast provides the tree representation shared by every overlay
+// implementation in this repository. A Tree records, for one multicast
+// message from one source, which node delivered the message to which other
+// node (the *implicit* multicast tree of the paper), and exposes the metrics
+// the evaluation section is built from: per-node out-degree, hop-count
+// (depth) distribution, average path length, and exactly-once verification.
+package multicast
+
+import "fmt"
+
+// Unreached marks a node that has not (yet) received the message.
+const Unreached = -1
+
+// Tree is the delivery tree of one multicast. Nodes are identified by dense
+// indices [0, n) — positions in the simulator's sorted ring.
+type Tree struct {
+	root     int
+	parent   []int // Unreached if not delivered; root's parent is itself
+	depth    []int // hops from the root; Unreached if not delivered
+	children [][]int
+	reached  int
+	maxDepth int
+}
+
+// NewTree creates a delivery tree over n nodes rooted at root (the source,
+// which has received the message by construction, at depth 0).
+func NewTree(n, root int) (*Tree, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("multicast: tree size %d must be positive", n)
+	}
+	if root < 0 || root >= n {
+		return nil, fmt.Errorf("multicast: root %d out of range [0,%d)", root, n)
+	}
+	t := &Tree{
+		root:     root,
+		parent:   make([]int, n),
+		depth:    make([]int, n),
+		children: make([][]int, n),
+		reached:  1,
+	}
+	for i := range t.parent {
+		t.parent[i] = Unreached
+		t.depth[i] = Unreached
+	}
+	t.parent[root] = root
+	t.depth[root] = 0
+	return t, nil
+}
+
+// Len returns the number of nodes the tree spans (reached or not).
+func (t *Tree) Len() int { return len(t.parent) }
+
+// Root returns the source node.
+func (t *Tree) Root() int { return t.root }
+
+// Deliver records that parent forwarded the message to child. It returns an
+// error if the child has already received the message (a duplicate delivery,
+// which the paper's algorithms must never produce) or if the parent has not
+// itself received it.
+func (t *Tree) Deliver(parent, child int) error {
+	if parent < 0 || parent >= len(t.parent) || child < 0 || child >= len(t.parent) {
+		return fmt.Errorf("multicast: edge %d->%d out of range", parent, child)
+	}
+	if t.parent[parent] == Unreached {
+		return fmt.Errorf("multicast: node %d forwarded before receiving", parent)
+	}
+	if t.parent[child] != Unreached {
+		return fmt.Errorf("multicast: duplicate delivery to node %d (from %d, already from %d)",
+			child, parent, t.parent[child])
+	}
+	t.parent[child] = parent
+	t.depth[child] = t.depth[parent] + 1
+	if t.depth[child] > t.maxDepth {
+		t.maxDepth = t.depth[child]
+	}
+	t.children[parent] = append(t.children[parent], child)
+	t.reached++
+	return nil
+}
+
+// Received reports whether node has received the message.
+func (t *Tree) Received(node int) bool { return t.parent[node] != Unreached }
+
+// Parent returns the node that delivered the message to node, Unreached if
+// undelivered, or node itself for the root.
+func (t *Tree) Parent(node int) int { return t.parent[node] }
+
+// Depth returns the hop count from the source to node (the paper's
+// "multicast path length"), or Unreached.
+func (t *Tree) Depth(node int) int { return t.depth[node] }
+
+// Children returns the direct children of node in the delivery tree. The
+// returned slice is owned by the tree; callers must not mutate it.
+func (t *Tree) Children(node int) []int { return t.children[node] }
+
+// Degree returns the out-degree of node in the delivery tree.
+func (t *Tree) Degree(node int) int { return len(t.children[node]) }
+
+// Reached returns how many nodes (including the root) have the message.
+func (t *Tree) Reached() int { return t.reached }
+
+// MaxDepth returns the deepest delivery hop count.
+func (t *Tree) MaxDepth() int { return t.maxDepth }
+
+// VerifyComplete returns an error unless every node received the message
+// exactly once. (At-most-once is structural — Deliver rejects duplicates —
+// so only coverage needs checking.)
+func (t *Tree) VerifyComplete() error {
+	if t.reached != len(t.parent) {
+		for i, p := range t.parent {
+			if p == Unreached {
+				return fmt.Errorf("multicast: node %d never received the message (%d/%d reached)",
+					i, t.reached, len(t.parent))
+			}
+		}
+	}
+	return nil
+}
+
+// DepthHistogram returns h where h[d] is the number of nodes at hop count d
+// (the series plotted in Figures 9 and 10).
+func (t *Tree) DepthHistogram() []int {
+	h := make([]int, t.maxDepth+1)
+	for _, d := range t.depth {
+		if d != Unreached {
+			h[d]++
+		}
+	}
+	return h
+}
+
+// AvgPathLength returns the mean hop count over all reached non-root nodes.
+func (t *Tree) AvgPathLength() float64 {
+	if t.reached <= 1 {
+		return 0
+	}
+	var sum int
+	for _, d := range t.depth {
+		if d > 0 {
+			sum += d
+		}
+	}
+	return float64(sum) / float64(t.reached-1)
+}
+
+// NonLeafStats returns the number of non-leaf (internal) nodes and their mean
+// out-degree — the "average number of children per non-leaf node" axis of
+// Figure 6.
+func (t *Tree) NonLeafStats() (internal int, avgChildren float64) {
+	var edges int
+	for _, c := range t.children {
+		if len(c) > 0 {
+			internal++
+			edges += len(c)
+		}
+	}
+	if internal == 0 {
+		return 0, 0
+	}
+	return internal, float64(edges) / float64(internal)
+}

@@ -1,0 +1,157 @@
+package multicast
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewTreeValidation(t *testing.T) {
+	if _, err := NewTree(0, 0); err == nil {
+		t.Error("zero-size tree should fail")
+	}
+	if _, err := NewTree(5, 5); err == nil {
+		t.Error("root out of range should fail")
+	}
+	if _, err := NewTree(5, -1); err == nil {
+		t.Error("negative root should fail")
+	}
+}
+
+func TestDeliverBasics(t *testing.T) {
+	tr, err := NewTree(5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Received(0) || tr.Depth(0) != 0 {
+		t.Fatal("root should start received at depth 0")
+	}
+	if err := tr.Deliver(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Deliver(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Deliver(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Depth(2) != 2 || tr.Depth(3) != 1 {
+		t.Errorf("depths wrong: %d, %d", tr.Depth(2), tr.Depth(3))
+	}
+	if tr.Parent(2) != 1 {
+		t.Errorf("Parent(2) = %d", tr.Parent(2))
+	}
+	if tr.Reached() != 4 {
+		t.Errorf("Reached = %d", tr.Reached())
+	}
+	if tr.MaxDepth() != 2 {
+		t.Errorf("MaxDepth = %d", tr.MaxDepth())
+	}
+	if tr.Degree(0) != 2 || tr.Degree(1) != 1 || tr.Degree(2) != 0 {
+		t.Error("degrees wrong")
+	}
+}
+
+func TestDeliverDuplicateRejected(t *testing.T) {
+	tr, _ := NewTree(3, 0)
+	if err := tr.Deliver(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	err := tr.Deliver(0, 1)
+	if err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate delivery not rejected: %v", err)
+	}
+}
+
+func TestDeliverFromUnreached(t *testing.T) {
+	tr, _ := NewTree(3, 0)
+	if err := tr.Deliver(1, 2); err == nil {
+		t.Fatal("delivery from unreached node should fail")
+	}
+}
+
+func TestDeliverRangeChecks(t *testing.T) {
+	tr, _ := NewTree(3, 0)
+	if err := tr.Deliver(0, 3); err == nil {
+		t.Fatal("out-of-range child should fail")
+	}
+	if err := tr.Deliver(-1, 1); err == nil {
+		t.Fatal("out-of-range parent should fail")
+	}
+}
+
+func TestVerifyComplete(t *testing.T) {
+	tr, _ := NewTree(3, 0)
+	if err := tr.VerifyComplete(); err == nil {
+		t.Fatal("incomplete tree should fail verification")
+	}
+	_ = tr.Deliver(0, 1)
+	_ = tr.Deliver(1, 2)
+	if err := tr.VerifyComplete(); err != nil {
+		t.Fatalf("complete tree failed verification: %v", err)
+	}
+}
+
+func TestDepthHistogramAndAvg(t *testing.T) {
+	tr, _ := NewTree(6, 0)
+	_ = tr.Deliver(0, 1) // depth 1
+	_ = tr.Deliver(0, 2) // depth 1
+	_ = tr.Deliver(1, 3) // depth 2
+	_ = tr.Deliver(1, 4) // depth 2
+	_ = tr.Deliver(3, 5) // depth 3
+	h := tr.DepthHistogram()
+	want := []int{1, 2, 2, 1}
+	if len(h) != len(want) {
+		t.Fatalf("histogram %v, want %v", h, want)
+	}
+	for i := range want {
+		if h[i] != want[i] {
+			t.Fatalf("histogram %v, want %v", h, want)
+		}
+	}
+	if got := tr.AvgPathLength(); got != (1+1+2+2+3)/5.0 {
+		t.Errorf("AvgPathLength = %g", got)
+	}
+}
+
+func TestAvgPathLengthTrivial(t *testing.T) {
+	tr, _ := NewTree(1, 0)
+	if tr.AvgPathLength() != 0 {
+		t.Error("single-node tree should have zero avg path length")
+	}
+	if err := tr.VerifyComplete(); err != nil {
+		t.Errorf("single-node tree is complete: %v", err)
+	}
+}
+
+func TestNonLeafStats(t *testing.T) {
+	tr, _ := NewTree(6, 0)
+	_ = tr.Deliver(0, 1)
+	_ = tr.Deliver(0, 2)
+	_ = tr.Deliver(0, 3)
+	_ = tr.Deliver(1, 4)
+	_ = tr.Deliver(1, 5)
+	internal, avg := tr.NonLeafStats()
+	if internal != 2 {
+		t.Errorf("internal = %d, want 2", internal)
+	}
+	if avg != 2.5 {
+		t.Errorf("avgChildren = %g, want 2.5", avg)
+	}
+}
+
+func TestNonLeafStatsEmpty(t *testing.T) {
+	tr, _ := NewTree(1, 0)
+	if internal, avg := tr.NonLeafStats(); internal != 0 || avg != 0 {
+		t.Error("no-edge tree should report zero stats")
+	}
+}
+
+func TestChildrenOwnership(t *testing.T) {
+	tr, _ := NewTree(3, 0)
+	_ = tr.Deliver(0, 1)
+	_ = tr.Deliver(0, 2)
+	kids := tr.Children(0)
+	if len(kids) != 2 || kids[0] != 1 || kids[1] != 2 {
+		t.Fatalf("Children(0) = %v", kids)
+	}
+}

@@ -1,0 +1,184 @@
+// Package ring implements identifier-space arithmetic for a circular
+// identifier space [0, 2^b), the substrate shared by every overlay in this
+// repository (Chord, Koorde, CAM-Chord and CAM-Koorde).
+//
+// Identifiers are represented as uint64 values; a Space fixes the number of
+// bits b and therefore the modulus N = 2^b. All arithmetic is modulo N and
+// all segments are clockwise: the segment (x, y] starts at x+1, moves
+// clockwise (increasing identifiers, wrapping at N-1 back to 0) and ends at
+// y, exactly as defined in Section 2 of the paper.
+package ring
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// MaxBits is the largest supported identifier width. Using 63 keeps every
+// segment size representable in a uint64 without overflow during the
+// (y - x) mod N computation.
+const MaxBits = 63
+
+// ID is an identifier on the ring. Only the low Space.Bits bits are
+// meaningful; constructors and arithmetic keep IDs reduced modulo N.
+type ID = uint64
+
+// Space describes a 2^b identifier ring.
+type Space struct {
+	bits uint
+	mask uint64 // N - 1
+}
+
+// NewSpace returns the identifier space [0, 2^bits).
+func NewSpace(bitCount uint) (Space, error) {
+	if bitCount == 0 || bitCount > MaxBits {
+		return Space{}, fmt.Errorf("ring: bit count %d out of range [1, %d]", bitCount, MaxBits)
+	}
+	return Space{bits: bitCount, mask: (uint64(1) << bitCount) - 1}, nil
+}
+
+// MustSpace is NewSpace for statically known widths; it panics on an invalid
+// width and is intended for package-level defaults and tests.
+func MustSpace(bitCount uint) Space {
+	s, err := NewSpace(bitCount)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Bits returns the identifier width b.
+func (s Space) Bits() uint { return s.bits }
+
+// Size returns N = 2^b as a uint64.
+func (s Space) Size() uint64 { return s.mask + 1 }
+
+// Mask returns N-1, useful for reducing raw values onto the ring.
+func (s Space) Mask() uint64 { return s.mask }
+
+// Reduce maps an arbitrary uint64 onto the ring.
+func (s Space) Reduce(v uint64) ID { return v & s.mask }
+
+// Add returns (x + d) mod N.
+func (s Space) Add(x ID, d uint64) ID { return (x + d) & s.mask }
+
+// Sub returns (x - d) mod N.
+func (s Space) Sub(x ID, d uint64) ID { return (x - d) & s.mask }
+
+// Dist returns the clockwise distance from x to y, i.e. the size of the
+// segment (x, y], written (y - x) in the paper. It is zero iff x == y.
+func (s Space) Dist(x, y ID) uint64 { return (y - x) & s.mask }
+
+// AbsDist returns the ring distance |x - y| = min((y-x) mod N, (x-y) mod N).
+func (s Space) AbsDist(x, y ID) uint64 {
+	cw := s.Dist(x, y)
+	ccw := s.Dist(y, x)
+	if cw < ccw {
+		return cw
+	}
+	return ccw
+}
+
+// InOC reports whether k lies in the clockwise-open/closed segment (x, y].
+// The segment (x, x] is empty.
+func (s Space) InOC(k, x, y ID) bool {
+	if x == y {
+		return false
+	}
+	return s.Dist(x, k) <= s.Dist(x, y) && k != x
+}
+
+// InOO reports whether k lies in the open segment (x, y).
+func (s Space) InOO(k, x, y ID) bool {
+	return s.InOC(k, x, y) && k != y
+}
+
+// InCO reports whether k lies in the segment [x, y).
+func (s Space) InCO(k, x, y ID) bool {
+	return k == x || s.InOO(k, x, y)
+}
+
+// Shr returns x shifted right by n bits within the space (x / 2^n).
+func (s Space) Shr(x ID, n uint) ID {
+	if n >= s.bits {
+		return 0
+	}
+	return x >> n
+}
+
+// Half returns 2^(b-1), the identifier diametrically opposite 0.
+func (s Space) Half() ID { return uint64(1) << (s.bits - 1) }
+
+// TopBits returns the value v placed in the top n bits of the space,
+// i.e. v << (b - n). v must fit in n bits.
+func (s Space) TopBits(v uint64, n uint) ID {
+	if n == 0 || n > s.bits {
+		return 0
+	}
+	return s.Reduce(v << (s.bits - n))
+}
+
+// PSCommonBits returns the number of ps-common bits shared by x and k per
+// Definition 1 of the paper: the length l of the longest l-bit prefix of x
+// that equals the l-bit suffix of k. Both are read as b-bit strings.
+func (s Space) PSCommonBits(x, k ID) uint {
+	for l := s.bits; l > 0; l-- {
+		prefix := x >> (s.bits - l)
+		suffix := k & ((uint64(1) << l) - 1)
+		if prefix == suffix {
+			return l
+		}
+	}
+	return 0
+}
+
+// Log2Floor returns floor(log2(v)) for v >= 1.
+func Log2Floor(v uint64) uint {
+	if v == 0 {
+		return 0
+	}
+	return uint(bits.Len64(v) - 1)
+}
+
+// PowBound returns the largest exponent i such that base^i <= v, together
+// with base^i. base must be >= 2 and v >= 1.
+func PowBound(base, v uint64) (exp uint, pow uint64) {
+	pow = 1
+	for pow <= v/base {
+		pow *= base
+		exp++
+	}
+	return exp, pow
+}
+
+// Pow returns base^exp, saturating at math.MaxUint64 on overflow.
+func Pow(base uint64, exp uint) uint64 {
+	result := uint64(1)
+	for i := uint(0); i < exp; i++ {
+		if base != 0 && result > ^uint64(0)/base {
+			return ^uint64(0)
+		}
+		result *= base
+	}
+	return result
+}
+
+// LevelSeq computes the level i and sequence number j of identifier k with
+// respect to node x for capacity c, per equations (1) and (2) of the paper:
+//
+//	i = floor(log(k - x) / log c)
+//	j = floor((k - x) / c^i)
+//
+// It requires k != x (so the clockwise distance is >= 1) and c >= 2.
+// The returned pow is c^i.
+func (s Space) LevelSeq(x, k ID, c uint64) (level uint, seq uint64, pow uint64) {
+	d := s.Dist(x, k)
+	level, pow = PowBound(c, d)
+	seq = d / pow
+	return level, seq, pow
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (s Space) String() string {
+	return fmt.Sprintf("ring.Space{bits: %d}", s.bits)
+}

@@ -1,0 +1,392 @@
+package ring
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSpaceValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		bits    uint
+		wantErr bool
+	}{
+		{"zero bits", 0, true},
+		{"one bit", 1, false},
+		{"paper default 19", 19, false},
+		{"max 63", 63, false},
+		{"too wide 64", 64, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewSpace(tt.bits)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("NewSpace(%d) error = %v, wantErr %v", tt.bits, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestMustSpacePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustSpace(0) did not panic")
+		}
+	}()
+	MustSpace(0)
+}
+
+func TestSpaceSizeMask(t *testing.T) {
+	s := MustSpace(5)
+	if got := s.Size(); got != 32 {
+		t.Errorf("Size() = %d, want 32", got)
+	}
+	if got := s.Mask(); got != 31 {
+		t.Errorf("Mask() = %d, want 31", got)
+	}
+	if got := s.Bits(); got != 5 {
+		t.Errorf("Bits() = %d, want 5", got)
+	}
+	if got := s.Half(); got != 16 {
+		t.Errorf("Half() = %d, want 16", got)
+	}
+}
+
+func TestAddSubWraparound(t *testing.T) {
+	s := MustSpace(5)
+	tests := []struct {
+		x   ID
+		d   uint64
+		add ID
+		sub ID
+	}{
+		{0, 1, 1, 31},
+		{31, 1, 0, 30},
+		{16, 16, 0, 0},
+		{3, 35, 6, 0}, // d > N wraps
+	}
+	for _, tt := range tests {
+		if got := s.Add(tt.x, tt.d); got != tt.add {
+			t.Errorf("Add(%d,%d) = %d, want %d", tt.x, tt.d, got, tt.add)
+		}
+		if got := s.Sub(tt.x, tt.d); got != tt.sub {
+			t.Errorf("Sub(%d,%d) = %d, want %d", tt.x, tt.d, got, tt.sub)
+		}
+	}
+}
+
+func TestDist(t *testing.T) {
+	s := MustSpace(5)
+	tests := []struct {
+		x, y ID
+		want uint64
+	}{
+		{0, 0, 0},
+		{0, 31, 31},
+		{31, 0, 1},
+		{30, 2, 4},
+		{2, 30, 28},
+	}
+	for _, tt := range tests {
+		if got := s.Dist(tt.x, tt.y); got != tt.want {
+			t.Errorf("Dist(%d,%d) = %d, want %d", tt.x, tt.y, got, tt.want)
+		}
+	}
+}
+
+func TestAbsDist(t *testing.T) {
+	s := MustSpace(5)
+	tests := []struct {
+		x, y ID
+		want uint64
+	}{
+		{0, 0, 0},
+		{0, 16, 16},
+		{0, 17, 15},
+		{31, 1, 2},
+		{1, 31, 2},
+	}
+	for _, tt := range tests {
+		if got := s.AbsDist(tt.x, tt.y); got != tt.want {
+			t.Errorf("AbsDist(%d,%d) = %d, want %d", tt.x, tt.y, got, tt.want)
+		}
+	}
+}
+
+func TestAbsDistSymmetric(t *testing.T) {
+	s := MustSpace(19)
+	f := func(x, y uint64) bool {
+		a, b := s.Reduce(x), s.Reduce(y)
+		return s.AbsDist(a, b) == s.AbsDist(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistSumsToN(t *testing.T) {
+	s := MustSpace(19)
+	f := func(x, y uint64) bool {
+		a, b := s.Reduce(x), s.Reduce(y)
+		if a == b {
+			return s.Dist(a, b) == 0
+		}
+		return s.Dist(a, b)+s.Dist(b, a) == s.Size()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInOC(t *testing.T) {
+	s := MustSpace(5)
+	tests := []struct {
+		k, x, y ID
+		want    bool
+	}{
+		{5, 0, 10, true},
+		{10, 0, 10, true}, // closed at y
+		{0, 0, 10, false}, // open at x
+		{11, 0, 10, false},
+		{1, 30, 5, true}, // wrapping segment
+		{31, 30, 5, true},
+		{30, 30, 5, false},
+		{6, 30, 5, false},
+		{3, 7, 7, false}, // (x, x] is empty
+		{7, 7, 7, false},
+	}
+	for _, tt := range tests {
+		if got := s.InOC(tt.k, tt.x, tt.y); got != tt.want {
+			t.Errorf("InOC(%d in (%d,%d]) = %v, want %v", tt.k, tt.x, tt.y, got, tt.want)
+		}
+	}
+}
+
+func TestInOOAndInCO(t *testing.T) {
+	s := MustSpace(5)
+	if s.InOO(10, 0, 10) {
+		t.Error("InOO: y should be excluded")
+	}
+	if !s.InOO(9, 0, 10) {
+		t.Error("InOO: interior point should be included")
+	}
+	if !s.InCO(0, 0, 10) {
+		t.Error("InCO: x should be included")
+	}
+	if s.InCO(10, 0, 10) {
+		t.Error("InCO: y should be excluded")
+	}
+}
+
+// Every identifier belongs to exactly one of (x,y], (y,x] for x != y.
+func TestSegmentsPartitionRing(t *testing.T) {
+	s := MustSpace(19)
+	f := func(k, x, y uint64) bool {
+		kk, xx, yy := s.Reduce(k), s.Reduce(x), s.Reduce(y)
+		if xx == yy {
+			return true
+		}
+		a := s.InOC(kk, xx, yy)
+		b := s.InOC(kk, yy, xx)
+		return a != b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShr(t *testing.T) {
+	s := MustSpace(6)
+	if got := s.Shr(36, 1); got != 18 {
+		t.Errorf("Shr(36,1) = %d, want 18", got)
+	}
+	if got := s.Shr(36, 2); got != 9 {
+		t.Errorf("Shr(36,2) = %d, want 9", got)
+	}
+	if got := s.Shr(36, 7); got != 0 {
+		t.Errorf("Shr beyond width = %d, want 0", got)
+	}
+}
+
+func TestTopBits(t *testing.T) {
+	s := MustSpace(6)
+	tests := []struct {
+		v    uint64
+		n    uint
+		want ID
+	}{
+		{1, 1, 32},
+		{3, 2, 48},
+		{1, 2, 16},
+		{0, 3, 0},
+		{0, 0, 0},
+	}
+	for _, tt := range tests {
+		if got := s.TopBits(tt.v, tt.n); got != tt.want {
+			t.Errorf("TopBits(%d,%d) = %d, want %d", tt.v, tt.n, got, tt.want)
+		}
+	}
+}
+
+// TestPSCommonBitsPaperExample checks Definition 1 against values derived
+// from the CAM-Koorde topology example (b = 6).
+func TestPSCommonBits(t *testing.T) {
+	s := MustSpace(6)
+	tests := []struct {
+		x, k ID
+		want uint
+	}{
+		// x = 36 = 100100: prefix "1001" == suffix "1001" of k = 001001.
+		{36, 9, 4},
+		// identical identifiers share all 6 bits.
+		{36, 36, 6},
+		// x = 18 = 010010, k = 36 = 100100: prefix "0100" is suffix of 100100.
+		{18, 36, 4},
+		// no shared bits: x starts with 1, k ends with 0.
+		{32, 0, 0},
+	}
+	for _, tt := range tests {
+		if got := s.PSCommonBits(tt.x, tt.k); got != tt.want {
+			t.Errorf("PSCommonBits(%06b, %06b) = %d, want %d", tt.x, tt.k, got, tt.want)
+		}
+	}
+}
+
+func TestPSCommonBitsShiftProperty(t *testing.T) {
+	// Shifting k's low bits into the top of x increases ps-common bits.
+	s := MustSpace(16)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		x := s.Reduce(rng.Uint64())
+		k := s.Reduce(rng.Uint64())
+		l := s.PSCommonBits(x, k)
+		if l >= s.Bits() {
+			continue
+		}
+		// Build y whose top l+1 bits equal the low l+1 bits of k and whose
+		// remaining bits come from x's top bits (a de Bruijn-style move).
+		n := l + 1
+		y := s.TopBits(k&((uint64(1)<<n)-1), n) | s.Shr(x, n)
+		if got := s.PSCommonBits(y, k); got < n {
+			t.Fatalf("shift move did not extend ps-common bits: x=%b k=%b y=%b got=%d want>=%d",
+				x, k, y, got, n)
+		}
+	}
+}
+
+func TestLog2Floor(t *testing.T) {
+	tests := []struct {
+		v    uint64
+		want uint
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 2}, {1023, 9}, {1024, 10},
+	}
+	for _, tt := range tests {
+		if got := Log2Floor(tt.v); got != tt.want {
+			t.Errorf("Log2Floor(%d) = %d, want %d", tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestPowBound(t *testing.T) {
+	tests := []struct {
+		base, v uint64
+		wantExp uint
+		wantPow uint64
+	}{
+		{3, 1, 0, 1},
+		{3, 2, 0, 1},
+		{3, 3, 1, 3},
+		{3, 8, 1, 3},
+		{3, 9, 2, 9},
+		{3, 26, 2, 9},
+		{3, 27, 3, 27},
+		{2, 1 << 18, 18, 1 << 18},
+	}
+	for _, tt := range tests {
+		exp, pow := PowBound(tt.base, tt.v)
+		if exp != tt.wantExp || pow != tt.wantPow {
+			t.Errorf("PowBound(%d,%d) = (%d,%d), want (%d,%d)",
+				tt.base, tt.v, exp, pow, tt.wantExp, tt.wantPow)
+		}
+	}
+}
+
+func TestPow(t *testing.T) {
+	if got := Pow(3, 4); got != 81 {
+		t.Errorf("Pow(3,4) = %d, want 81", got)
+	}
+	if got := Pow(2, 63); got != uint64(1)<<63 {
+		t.Errorf("Pow(2,63) = %d", got)
+	}
+	if got := Pow(2, 64); got != ^uint64(0) {
+		t.Errorf("Pow overflow should saturate, got %d", got)
+	}
+	if got := Pow(10, 0); got != 1 {
+		t.Errorf("Pow(10,0) = %d, want 1", got)
+	}
+}
+
+// TestLevelSeqPaperExample reproduces the worked example from Section 3.2:
+// N = 32, c_x = 3. Identifier x+25 has level 2, sequence 2 with respect to x;
+// with respect to x+18 (capacity 3), identifier x+25 has level 1, sequence 2.
+func TestLevelSeqPaperExample(t *testing.T) {
+	s := MustSpace(5)
+	const c = 3
+	var x ID = 7 // arbitrary origin; the example is translation-invariant
+
+	level, seq, pow := s.LevelSeq(x, s.Add(x, 25), c)
+	if level != 2 || seq != 2 {
+		t.Errorf("LevelSeq(x, x+25) = (%d,%d), want (2,2)", level, seq)
+	}
+	if pow != 9 {
+		t.Errorf("pow = %d, want 9", pow)
+	}
+
+	x18 := s.Add(x, 18)
+	level, seq, _ = s.LevelSeq(x18, s.Add(x, 25), c)
+	if level != 1 || seq != 2 {
+		t.Errorf("LevelSeq(x+18, x+25) = (%d,%d), want (1,2)", level, seq)
+	}
+}
+
+func TestLevelSeqBounds(t *testing.T) {
+	// For any k != x and c >= 2, seq must land in [1, c-1] and
+	// seq*c^level <= dist < (seq+1)*c^level.
+	s := MustSpace(19)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		x := s.Reduce(rng.Uint64())
+		k := s.Reduce(rng.Uint64())
+		if x == k {
+			continue
+		}
+		c := uint64(2 + rng.Intn(60))
+		level, seq, pow := s.LevelSeq(x, k, c)
+		d := s.Dist(x, k)
+		if seq < 1 || seq > c-1 {
+			t.Fatalf("seq %d out of [1,%d] for d=%d c=%d level=%d", seq, c-1, d, c, level)
+		}
+		if seq*pow > d || d >= (seq+1)*pow {
+			t.Fatalf("seq*pow invariant violated: d=%d c=%d level=%d seq=%d pow=%d", d, c, level, seq, pow)
+		}
+	}
+}
+
+func TestReduce(t *testing.T) {
+	s := MustSpace(19)
+	if got := s.Reduce(1 << 19); got != 0 {
+		t.Errorf("Reduce(2^19) = %d, want 0", got)
+	}
+	if got := s.Reduce((1 << 19) + 5); got != 5 {
+		t.Errorf("Reduce(2^19+5) = %d, want 5", got)
+	}
+}
+
+func TestSpaceString(t *testing.T) {
+	s := MustSpace(19)
+	if got := s.String(); got != "ring.Space{bits: 19}" {
+		t.Errorf("String() = %q", got)
+	}
+}

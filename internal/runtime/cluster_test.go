@@ -1,0 +1,165 @@
+package runtime
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	"camcast/internal/ring"
+	"camcast/internal/transport"
+)
+
+// cluster is the test harness: a set of live nodes on one in-memory network
+// with a shared delivery log. Maintenance is driven explicitly (no
+// background loops) so tests are deterministic.
+type cluster struct {
+	t     *testing.T
+	net   *transport.Network
+	space ring.Space
+	mode  Mode
+	nodes map[string]*Node
+
+	mu  sync.Mutex
+	got map[string]map[string]int // addr -> msgID -> deliveries
+}
+
+func newCluster(t *testing.T, mode Mode, bits uint) *cluster {
+	t.Helper()
+	c := &cluster{
+		t:     t,
+		net:   transport.NewNetwork(1),
+		space: ring.MustSpace(bits),
+		mode:  mode,
+		nodes: make(map[string]*Node),
+		got:   make(map[string]map[string]int),
+	}
+	t.Cleanup(func() {
+		for _, n := range c.nodes {
+			n.Stop()
+		}
+	})
+	return c
+}
+
+func (c *cluster) config(capacity int) Config {
+	return Config{Space: c.space, Mode: c.mode, Capacity: capacity}
+}
+
+func (c *cluster) add(addr string, capacity int, bootstrap string) *Node {
+	c.t.Helper()
+	cfg := c.config(capacity)
+	cfg.OnDeliver = func(d Delivery) {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if c.got[addr] == nil {
+			c.got[addr] = make(map[string]int)
+		}
+		c.got[addr][d.MsgID]++
+	}
+	n, err := NewNode(c.net, addr, cfg)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	if bootstrap == "" {
+		if err := n.Bootstrap(); err != nil {
+			c.t.Fatal(err)
+		}
+	} else {
+		if err := n.Join(bootstrap); err != nil {
+			c.t.Fatalf("join %s: %v", addr, err)
+		}
+	}
+	c.nodes[addr] = n
+	return n
+}
+
+// grow builds a cluster of size n, joining each node through the first and
+// stabilizing after every join.
+func (c *cluster) grow(n, capacity int) {
+	c.t.Helper()
+	c.add("node-0", capacity, "")
+	for i := 1; i < n; i++ {
+		c.add(fmt.Sprintf("node-%d", i), capacity, "node-0")
+		c.stabilizeAll(2)
+	}
+	c.converge(3)
+}
+
+// stabilizeAll runs the given number of global stabilization rounds.
+func (c *cluster) stabilizeAll(rounds int) {
+	for r := 0; r < rounds; r++ {
+		for _, n := range c.live() {
+			n.StabilizeOnce()
+		}
+	}
+}
+
+// converge stabilizes and fully refreshes every routing table.
+func (c *cluster) converge(rounds int) {
+	for r := 0; r < rounds; r++ {
+		c.stabilizeAll(1)
+		for _, n := range c.live() {
+			n.FixAll()
+		}
+	}
+}
+
+func (c *cluster) live() []*Node {
+	addrs := make([]string, 0, len(c.nodes))
+	for addr, n := range c.nodes {
+		if !n.Stopped() {
+			addrs = append(addrs, addr)
+		}
+	}
+	sort.Strings(addrs)
+	out := make([]*Node, 0, len(addrs))
+	for _, addr := range addrs {
+		out = append(out, c.nodes[addr])
+	}
+	return out
+}
+
+// sortedByID returns live nodes in ring-identifier order.
+func (c *cluster) sortedByID() []*Node {
+	nodes := c.live()
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Self().ID < nodes[j].Self().ID })
+	return nodes
+}
+
+// checkRing verifies that successor pointers trace the sorted identifier
+// ring of live nodes.
+func (c *cluster) checkRing() {
+	c.t.Helper()
+	nodes := c.sortedByID()
+	for i, n := range nodes {
+		want := nodes[(i+1)%len(nodes)].Self()
+		succs := n.SuccessorList()
+		if len(succs) == 0 {
+			c.t.Fatalf("%s has empty successor list", n.Self().Addr)
+		}
+		if succs[0].Addr != want.Addr {
+			c.t.Fatalf("%s successor = %s, want %s", n.Self().Addr, succs[0].Addr, want.Addr)
+		}
+	}
+}
+
+// deliveries returns how many times addr received msgID.
+func (c *cluster) deliveries(addr, msgID string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.got[addr][msgID]
+}
+
+// checkExactlyOnce asserts that every live node received msgID exactly once.
+func (c *cluster) checkExactlyOnce(msgID string) {
+	c.t.Helper()
+	for _, n := range c.live() {
+		if got := c.deliveries(n.Self().Addr, msgID); got != 1 {
+			c.t.Errorf("%s received %s %d times, want exactly once", n.Self().Addr, msgID, got)
+		}
+	}
+}
+
+// spaceForTest returns the identifier space used by hand-built clusters.
+func spaceForTest() ring.Space { return ring.MustSpace(16) }

@@ -1,0 +1,123 @@
+package runtime
+
+import (
+	"testing"
+
+	"camcast/internal/transport"
+)
+
+// TestMulticastUnderPacketLoss: with a lossy transport, CAM-Chord multicast
+// is best-effort per message (subtrees can vanish) but must never deliver a
+// message twice, never panic, and must return to full delivery when the
+// loss stops.
+func TestMulticastUnderPacketLoss(t *testing.T) {
+	c := newCluster(t, ModeCAMChord, 16)
+	c.grow(20, 4)
+
+	c.net.SetDropRate(0.25)
+	for i := 0; i < 10; i++ {
+		msgID, err := c.live()[i%20].Multicast([]byte{byte(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range c.live() {
+			if got := c.deliveries(n.Self().Addr, msgID); got > 1 {
+				t.Fatalf("%s received %s %d times under loss", n.Self().Addr, msgID, got)
+			}
+		}
+	}
+
+	c.net.SetDropRate(0)
+	c.converge(3)
+	msgID, err := c.live()[0].Multicast([]byte("after loss"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.checkExactlyOnce(msgID)
+}
+
+// TestPartitionIsolatesAndHeals: members behind a partition miss messages;
+// after healing and repair, delivery is complete again.
+func TestPartitionIsolatesAndHeals(t *testing.T) {
+	c := newCluster(t, ModeCAMKoorde, 16)
+	c.grow(12, 5)
+
+	// Cut three members off.
+	cut := []*Node{c.live()[2], c.live()[6], c.live()[9]}
+	for _, n := range cut {
+		c.net.SetPartition(n.Self().Addr, 1)
+	}
+	msgID, err := c.live()[0].Multicast([]byte("partitioned"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range cut {
+		if got := c.deliveries(n.Self().Addr, msgID); got != 0 {
+			t.Fatalf("partitioned member %s received the message", n.Self().Addr)
+		}
+	}
+
+	c.net.HealPartitions()
+	c.converge(4)
+	c.checkRing()
+	msgID, err = c.live()[0].Multicast([]byte("healed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.checkExactlyOnce(msgID)
+}
+
+// TestLookupSurvivesDeadCandidates: lookups route around unreachable table
+// entries via the candidate fall-through.
+func TestLookupSurvivesDeadCandidates(t *testing.T) {
+	c := newCluster(t, ModeCAMChord, 16)
+	c.grow(16, 4)
+
+	// Kill a third of the nodes WITHOUT repairing tables: lookups from the
+	// survivors must still resolve among live nodes.
+	victims := []*Node{c.live()[2], c.live()[5], c.live()[8], c.live()[11], c.live()[14]}
+	for _, v := range victims {
+		v.Stop()
+	}
+	// Stabilize only (prunes successor lists) but leave stale finger tables.
+	c.stabilizeAll(3)
+
+	nodes := c.sortedByID()
+	for _, from := range nodes {
+		for _, target := range nodes {
+			got, _, err := from.FindSuccessor(target.Self().ID)
+			if err != nil {
+				t.Fatalf("lookup from %s for %d: %v", from.Self().Addr, target.Self().ID, err)
+			}
+			if got.Addr != target.Self().Addr {
+				t.Fatalf("lookup of live node %s's id returned %s", target.Self().Addr, got.Addr)
+			}
+		}
+	}
+}
+
+// TestTransportStatsAdvance sanity-checks that cluster traffic flows through
+// the injected transport (so fault injection actually applies to it).
+func TestTransportStatsAdvance(t *testing.T) {
+	net := transport.NewNetwork(1)
+	callsBefore, _ := net.Stats()
+	if callsBefore != 0 {
+		t.Fatal("fresh transport should have zero calls")
+	}
+	c := &cluster{
+		t: t, net: net, space: spaceForTest(), mode: ModeCAMChord,
+		nodes: map[string]*Node{}, got: map[string]map[string]int{},
+	}
+	t.Cleanup(func() {
+		for _, n := range c.nodes {
+			n.Stop()
+		}
+	})
+	c.add("a", 4, "")
+	c.add("b", 4, "a")
+	c.stabilizeAll(2)
+	calls, _ := net.Stats()
+	if calls == 0 {
+		t.Fatal("protocol traffic did not traverse the transport")
+	}
+}

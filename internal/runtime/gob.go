@@ -1,0 +1,35 @@
+package runtime
+
+import (
+	"encoding/gob"
+	"sync"
+)
+
+var gobOnce sync.Once
+
+// RegisterWireTypes registers every runtime RPC payload type with
+// encoding/gob so that nodes can run over the TCP transport
+// (internal/transport.TCP), which carries payloads as gob interface values.
+// Safe to call multiple times; the in-memory transport does not need it.
+func RegisterWireTypes() {
+	gobOnce.Do(func() {
+		gob.Register(pingReq{})
+		gob.Register(pingResp{})
+		gob.Register(findSuccReq{})
+		gob.Register(findSuccResp{})
+		gob.Register(neighborsReq{})
+		gob.Register(neighborsResp{})
+		gob.Register(notifyReq{})
+		gob.Register(notifyResp{})
+		gob.Register(multicastReq{})
+		gob.Register(multicastResp{})
+		gob.Register(offerReq{})
+		gob.Register(offerResp{})
+		gob.Register(floodReq{})
+		gob.Register(floodResp{})
+		gob.Register(leavingReq{})
+		gob.Register(leavingResp{})
+		gob.Register(appReq{})
+		gob.Register(appResp{})
+	})
+}

@@ -1,0 +1,81 @@
+package runtime
+
+import (
+	"fmt"
+
+	"camcast/internal/ring"
+)
+
+// FindSuccessor resolves the node currently responsible for identifier k,
+// returning it together with the number of forwarding hops spent. This is
+// the node's own entry point; remote requests arrive through handleFindSucc.
+func (n *Node) FindSuccessor(k ring.ID) (NodeInfo, int, error) {
+	resp, err := n.handleFindSucc(findSuccReq{K: k})
+	if err != nil {
+		return NodeInfo{}, 0, err
+	}
+	r, ok := resp.(findSuccResp)
+	if !ok {
+		return NodeInfo{}, 0, fmt.Errorf("runtime: bad find_successor response type %T", resp)
+	}
+	return r.Node, r.Hops, nil
+}
+
+func (n *Node) handleFindSucc(req findSuccReq) (any, error) {
+	n.lookups.Add(1)
+	maxHops := int(n.space.Bits())*4 + 256
+	if req.Hops > maxHops {
+		return nil, fmt.Errorf("%w: exceeded %d hops resolving %d", ErrLookupFailed, maxHops, req.K)
+	}
+
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return nil, ErrStopped
+	}
+	self := n.self
+	var pred *NodeInfo
+	if n.pred != nil {
+		p := *n.pred
+		pred = &p
+	}
+	succ := self
+	if len(n.succs) > 0 {
+		succ = n.succs[0]
+	}
+	n.mu.Unlock()
+
+	k := req.K
+	// Alone, or k is ours: (pred, self] covers it.
+	if succ.Addr == self.Addr || k == self.ID ||
+		(pred != nil && pred.Addr != self.Addr && n.space.InOC(k, pred.ID, self.ID)) {
+		return findSuccResp{Node: self, Hops: req.Hops}, nil
+	}
+	// The successor's segment (self, succ] covers it.
+	if n.space.InOC(k, self.ID, succ.ID) {
+		return findSuccResp{Node: succ, Hops: req.Hops}, nil
+	}
+
+	// Forward to the closest known neighbor preceding k (the CAM lookup
+	// step); fall through the candidate list past unreachable nodes.
+	for _, cand := range n.routingCandidates(k) {
+		resp, err := n.call(cand.Addr, kindFindSucc, findSuccReq{K: k, Hops: req.Hops + 1})
+		if err != nil {
+			continue
+		}
+		if r, ok := resp.(findSuccResp); ok {
+			return r, nil
+		}
+	}
+
+	// Last resort: ride the ring through a live successor.
+	if live, ok := n.liveSuccessor(); ok && live.Addr != self.Addr {
+		resp, err := n.call(live.Addr, kindFindSucc, findSuccReq{K: k, Hops: req.Hops + 1})
+		if err == nil {
+			if r, ok := resp.(findSuccResp); ok {
+				return r, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("%w: no reachable next hop for %d from %s", ErrLookupFailed, k, self.Addr)
+}

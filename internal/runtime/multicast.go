@@ -1,0 +1,203 @@
+package runtime
+
+import (
+	"fmt"
+	"math"
+
+	"camcast/internal/ring"
+	"camcast/internal/trace"
+)
+
+// Multicast originates a message to the whole group and returns its message
+// ID. CAM-Chord nodes split the identifier ring across their neighbor-table
+// children (Section 3.4); CAM-Koorde nodes flood with an offer/accept dedup
+// handshake (Section 4.3). Delivery to the local application happens first.
+func (n *Node) Multicast(payload []byte) (string, error) {
+	n.mu.Lock()
+	if !n.started || n.stopped {
+		n.mu.Unlock()
+		return "", ErrStopped
+	}
+	n.mu.Unlock()
+
+	msgID := fmt.Sprintf("%s#%d", n.self.Addr, n.seq.Add(1))
+	n.seen.Record(msgID)
+	n.deliver(Delivery{MsgID: msgID, Source: n.self, Payload: payload, Hops: 0})
+
+	switch n.cfg.Mode {
+	case ModeCAMChord:
+		n.spreadSegment(msgID, n.self, payload, n.space.Sub(n.self.ID, 1), 0)
+	case ModeCAMKoorde:
+		n.floodNeighbors(msgID, n.self, payload, 0)
+	}
+	return msgID, nil
+}
+
+func (n *Node) deliver(d Delivery) {
+	n.delivered.Add(1)
+	n.cfg.Tracer.Emitf(n.self.Addr, trace.KindDeliver, "%s hops=%d", d.MsgID, d.Hops)
+	if n.cfg.OnDeliver != nil {
+		n.cfg.OnDeliver(d)
+	}
+}
+
+func (n *Node) handleMulticast(req multicastReq) (any, error) {
+	if n.seen.Record(req.MsgID) {
+		// Stale routing state upstream caused a duplicate; suppress it so
+		// the application still sees exactly-once delivery.
+		n.duplicates.Add(1)
+		n.cfg.Tracer.Emitf(n.self.Addr, trace.KindDuplicate, "%s", req.MsgID)
+		return multicastResp{Duplicate: true}, nil
+	}
+	n.deliver(Delivery{MsgID: req.MsgID, Source: req.Source, Payload: req.Payload, Hops: req.Hops})
+	n.spreadSegment(req.MsgID, req.Source, req.Payload, req.K, req.Hops)
+	return multicastResp{}, nil
+}
+
+// spreadSegment delivers the message to every member in (self, k] by
+// splitting the segment across up to c_x children, exactly as the static
+// algorithm in internal/camchord but resolving children through the node's
+// own neighbor table (with on-demand lookups for missing or dead entries).
+func (n *Node) spreadSegment(msgID string, source NodeInfo, payload []byte, k ring.ID, hops int) {
+	s := n.space
+	x := n.self.ID
+	c := uint64(n.cfg.Capacity)
+	if s.Dist(x, k) == 0 {
+		return
+	}
+	table := n.tableSnapshot()
+
+	kk := k
+	send := func(y ring.ID, key tableKey, viaSucc bool) {
+		if s.Dist(x, kk) == 0 || !s.InOC(y, x, kk) {
+			return
+		}
+		var (
+			child NodeInfo
+			ok    bool
+		)
+		if viaSucc {
+			if live, liveOK := n.liveSuccessor(); liveOK {
+				child, ok = live, true
+			}
+		} else {
+			child, ok = table[key]
+		}
+		if !ok || child.zero() || !n.net.Registered(child.Addr) {
+			// Table slot empty or stale: resolve on demand.
+			n.tableFaults.Add(1)
+			info, _, err := n.FindSuccessor(y)
+			if err != nil {
+				kk = s.Sub(y, 1)
+				return
+			}
+			child = info
+		}
+		if child.Addr != n.self.Addr && s.InOC(child.ID, x, kk) {
+			_, err := n.call(child.Addr, kindMulticast, multicastReq{
+				MsgID: msgID, Source: source, Payload: payload, K: kk, Hops: hops + 1,
+			})
+			if err != nil {
+				// Child died between resolution and delivery: re-resolve once.
+				if info, _, lerr := n.FindSuccessor(y); lerr == nil &&
+					info.Addr != n.self.Addr && info.Addr != child.Addr && s.InOC(info.ID, x, kk) {
+					_, err = n.call(info.Addr, kindMulticast, multicastReq{
+						MsgID: msgID, Source: source, Payload: payload, K: kk, Hops: hops + 1,
+					})
+				}
+			}
+			if err == nil {
+				n.forwarded.Add(1)
+				n.cfg.Tracer.Emitf(n.self.Addr, trace.KindForward, "%s -> segment end %d", msgID, kk)
+			}
+		}
+		kk = s.Sub(y, 1)
+	}
+
+	level, seq, pow := s.LevelSeq(x, k, c)
+	// Level-i neighbors preceding k (Lines 6-9).
+	for m := seq; m >= 1; m-- {
+		send(s.Add(x, m*pow), tableKey{level: uint32(level), seq: uint32(m)}, false)
+	}
+	// Evenly spaced level-(i-1) children (Lines 10-14; see internal/camchord
+	// for why the ceiling matches the paper's worked example).
+	if level >= 1 {
+		prevPow := pow / c
+		l := float64(c)
+		step := float64(c) / float64(c-seq)
+		for m := int64(c) - int64(seq) - 1; m >= 1; m-- {
+			l -= step
+			j := uint64(math.Ceil(l))
+			if j < 1 {
+				j = 1
+			}
+			send(s.Add(x, j*prevPow), tableKey{level: uint32(level - 1), seq: uint32(j)}, false)
+		}
+	}
+	// The successor (Line 15).
+	send(s.Add(x, 1), tableKey{}, true)
+}
+
+func (n *Node) handleFlood(req floodReq) (any, error) {
+	if n.seen.Record(req.MsgID) {
+		n.duplicates.Add(1)
+		n.cfg.Tracer.Emitf(n.self.Addr, trace.KindDuplicate, "%s", req.MsgID)
+		return floodResp{Duplicate: true}, nil
+	}
+	n.deliver(Delivery{MsgID: req.MsgID, Source: req.Source, Payload: req.Payload, Hops: req.Hops})
+	n.floodNeighbors(req.MsgID, req.Source, req.Payload, req.Hops)
+	return floodResp{}, nil
+}
+
+// floodNeighbors implements CAM-Koorde's MULTICAST (Section 4.3): offer the
+// message to every neighbor over the bidirectional links and send the
+// payload only to those that have not received it.
+func (n *Node) floodNeighbors(msgID string, source NodeInfo, payload []byte, hops int) {
+	for _, nb := range n.koordeNeighbors() {
+		resp, err := n.call(nb.Addr, kindOffer, offerReq{MsgID: msgID})
+		if err != nil {
+			continue // unreachable neighbor; the mesh routes around it
+		}
+		offer, ok := resp.(offerResp)
+		if !ok {
+			continue // malformed response; treat the neighbor as unusable
+		}
+		if !offer.Want {
+			n.duplicates.Add(1)
+			continue
+		}
+		_, err = n.call(nb.Addr, kindFlood, floodReq{
+			MsgID: msgID, Source: source, Payload: payload, Hops: hops + 1,
+		})
+		if err == nil {
+			n.forwarded.Add(1)
+			n.cfg.Tracer.Emitf(n.self.Addr, trace.KindForward, "%s -> %s", msgID, nb.Addr)
+		}
+	}
+}
+
+// koordeNeighbors snapshots the node's current CAM-Koorde neighbor set:
+// predecessor, successor, and every resolved table slot, deduplicated.
+func (n *Node) koordeNeighbors() []NodeInfo {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	seen := map[string]bool{n.self.Addr: true}
+	out := make([]NodeInfo, 0, n.cfg.Capacity)
+	add := func(info NodeInfo) {
+		if info.zero() || seen[info.Addr] {
+			return
+		}
+		seen[info.Addr] = true
+		out = append(out, info)
+	}
+	if n.pred != nil {
+		add(*n.pred)
+	}
+	if len(n.succs) > 0 {
+		add(n.succs[0])
+	}
+	for _, info := range n.table {
+		add(info)
+	}
+	return out
+}

@@ -1,0 +1,613 @@
+// Package runtime implements the dynamic protocol layer of the two CAM
+// systems: live nodes that join and leave over a message transport, maintain
+// their ring and neighbor state with Chord's protocols (Section 3.3 — "we
+// use the same Chord protocols to handle member join/departure ... the only
+// difference is that our LOOKUP routine replaces the Chord LOOKUP routine"),
+// and disseminate multicast messages along the implicit trees of Sections
+// 3.4 and 4.3.
+//
+// The static packages (internal/camchord, internal/camkoorde) compute trees
+// against a global membership snapshot for the paper's large-scale
+// measurements; this package is the deployable counterpart, where every node
+// acts only on its own routing state.
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"camcast/internal/ids"
+	"camcast/internal/ring"
+	"camcast/internal/trace"
+	"camcast/internal/transport"
+)
+
+// Mode selects the overlay protocol a node speaks.
+type Mode int
+
+// Supported protocol modes.
+const (
+	ModeCAMChord Mode = iota + 1
+	ModeCAMKoorde
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeCAMChord:
+		return "cam-chord"
+	case ModeCAMKoorde:
+		return "cam-koorde"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Runtime errors matchable with errors.Is.
+var (
+	// ErrStopped reports an operation on a node that has left or crashed.
+	ErrStopped = errors.New("runtime: node stopped")
+	// ErrLookupFailed reports that a lookup could not complete, e.g.
+	// because every candidate next hop was unreachable.
+	ErrLookupFailed = errors.New("runtime: lookup failed")
+)
+
+// Transport is the messaging substrate a node runs on. The in-memory
+// implementation (internal/transport.Network) is used by tests, simulations
+// and the public in-process API; the TCP implementation
+// (internal/transport.TCP) runs the same protocol across real sockets.
+type Transport interface {
+	// Call delivers one request and returns the remote handler's response.
+	Call(from, to, kind string, payload any) (any, error)
+	// Register attaches the handler serving addr.
+	Register(addr string, h transport.Handler)
+	// Unregister detaches addr, making it unreachable.
+	Unregister(addr string)
+	// Registered reports whether addr is believed reachable. For remote
+	// transports this is a local liveness estimate (e.g. a recent-failure
+	// cache), not a guarantee.
+	Registered(addr string) bool
+}
+
+// The in-memory network must satisfy the node's transport contract.
+var _ Transport = (*transport.Network)(nil)
+
+// Delivery is one multicast message handed to the application.
+type Delivery struct {
+	MsgID   string
+	Source  NodeInfo
+	Payload []byte
+	Hops    int // overlay hops the message travelled from the source
+}
+
+// Config parameterizes a node.
+type Config struct {
+	Space    ring.Space
+	Mode     Mode
+	Capacity int // c_x: maximum direct multicast children
+
+	// SuccListLen is the resilience successor-list length (default 4).
+	SuccListLen int
+	// StabilizeEvery / FixEvery enable background maintenance when > 0;
+	// when zero the owner drives maintenance explicitly with
+	// StabilizeOnce/FixOnce (deterministic tests do this).
+	StabilizeEvery time.Duration
+	FixEvery       time.Duration
+	// SeenLimit bounds the duplicate-suppression cache (default 4096).
+	SeenLimit int
+
+	// OnDeliver receives every multicast delivery, including the sender's
+	// own. Called synchronously from protocol handlers; keep it fast.
+	OnDeliver func(Delivery)
+	// OnRequest serves application-level unicast requests sent with
+	// Node.Request (e.g. retransmission NACKs from a reliability layer).
+	// nil rejects such requests.
+	OnRequest func(from string, payload []byte) ([]byte, error)
+	// Tracer optionally records protocol events; nil discards.
+	Tracer *trace.Tracer
+}
+
+func (c *Config) applyDefaults() {
+	if c.SuccListLen == 0 {
+		c.SuccListLen = 4
+	}
+	if c.SeenLimit == 0 {
+		c.SeenLimit = 4096
+	}
+}
+
+func (c *Config) validate() error {
+	if c.Space.Bits() == 0 {
+		return fmt.Errorf("runtime: zero identifier space; construct with ring.NewSpace")
+	}
+	switch c.Mode {
+	case ModeCAMChord:
+		if c.Capacity < 2 {
+			return fmt.Errorf("runtime: cam-chord capacity %d must be >= 2", c.Capacity)
+		}
+	case ModeCAMKoorde:
+		if c.Capacity < 4 {
+			return fmt.Errorf("runtime: cam-koorde capacity %d must be >= 4", c.Capacity)
+		}
+	default:
+		return fmt.Errorf("runtime: unknown mode %d", c.Mode)
+	}
+	if c.SuccListLen < 1 {
+		return fmt.Errorf("runtime: successor list length %d must be >= 1", c.SuccListLen)
+	}
+	return nil
+}
+
+// Stats are cumulative per-node protocol counters.
+type Stats struct {
+	Delivered   uint64 // multicast messages delivered to the application
+	Forwarded   uint64 // multicast copies sent to children
+	Duplicates  uint64 // duplicate deliveries / offers suppressed
+	Lookups     uint64 // find_successor requests served
+	TableFaults uint64 // child resolutions that needed an on-demand lookup
+}
+
+// Node is one live overlay member.
+type Node struct {
+	cfg   Config
+	space ring.Space
+	self  NodeInfo
+	net   Transport
+
+	mu      sync.Mutex
+	pred    *NodeInfo
+	succs   []NodeInfo // [0] is the immediate successor; equals self when alone
+	table   map[tableKey]NodeInfo
+	cursor  int // round-robin table refresh position
+	started bool
+	stopped bool
+
+	seen *seenCache
+	seq  atomic.Uint64
+
+	delivered   atomic.Uint64
+	forwarded   atomic.Uint64
+	duplicates  atomic.Uint64
+	lookups     atomic.Uint64
+	tableFaults atomic.Uint64
+
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+}
+
+// NewNode creates a node bound to addr on the network. The node is inert
+// until Bootstrap or Join is called.
+func NewNode(net Transport, addr string, cfg Config) (*Node, error) {
+	cfg.applyDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if net == nil {
+		return nil, fmt.Errorf("runtime: nil network")
+	}
+	if addr == "" {
+		return nil, fmt.Errorf("runtime: empty address")
+	}
+	n := &Node{
+		cfg:    cfg,
+		space:  cfg.Space,
+		self:   NodeInfo{Addr: addr, ID: ids.NewHasher(cfg.Space).ID(addr)},
+		net:    net,
+		table:  make(map[tableKey]NodeInfo),
+		seen:   newSeenCache(cfg.SeenLimit),
+		stopCh: make(chan struct{}),
+	}
+	return n, nil
+}
+
+// Self returns the node's own identity.
+func (n *Node) Self() NodeInfo { return n.self }
+
+// Capacity returns the node's configured capacity c_x.
+func (n *Node) Capacity() int { return n.cfg.Capacity }
+
+// Mode returns the node's protocol mode.
+func (n *Node) Mode() Mode { return n.cfg.Mode }
+
+// Stats returns a snapshot of the node's protocol counters.
+func (n *Node) Stats() Stats {
+	return Stats{
+		Delivered:   n.delivered.Load(),
+		Forwarded:   n.forwarded.Load(),
+		Duplicates:  n.duplicates.Load(),
+		Lookups:     n.lookups.Load(),
+		TableFaults: n.tableFaults.Load(),
+	}
+}
+
+// Predecessor returns the current predecessor, if known.
+func (n *Node) Predecessor() (NodeInfo, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.pred == nil {
+		return NodeInfo{}, false
+	}
+	return *n.pred, true
+}
+
+// SuccessorList returns a copy of the node's successor list.
+func (n *Node) SuccessorList() []NodeInfo {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]NodeInfo, len(n.succs))
+	copy(out, n.succs)
+	return out
+}
+
+// Bootstrap starts the node as the first member of a fresh group.
+func (n *Node) Bootstrap() error {
+	n.mu.Lock()
+	if n.started || n.stopped {
+		n.mu.Unlock()
+		return ErrStopped
+	}
+	n.started = true
+	n.pred = &n.self
+	n.succs = []NodeInfo{n.self}
+	n.mu.Unlock()
+
+	n.net.Register(n.self.Addr, n.handleRPC)
+	n.startLoops()
+	n.cfg.Tracer.Emitf(n.self.Addr, trace.KindJoin, "bootstrap id=%d", n.self.ID)
+	return nil
+}
+
+// Join enters an existing group through any current member.
+func (n *Node) Join(bootstrapAddr string) error {
+	n.mu.Lock()
+	if n.started || n.stopped {
+		n.mu.Unlock()
+		return ErrStopped
+	}
+	n.mu.Unlock()
+
+	resp, err := n.call(bootstrapAddr, kindFindSucc, findSuccReq{K: n.self.ID})
+	if err != nil {
+		return fmt.Errorf("runtime: join via %s: %w", bootstrapAddr, err)
+	}
+	fsResp, ok := resp.(findSuccResp)
+	if !ok {
+		return fmt.Errorf("runtime: join via %s: bad response type %T", bootstrapAddr, resp)
+	}
+	succ := fsResp.Node
+	if succ.ID == n.self.ID && succ.Addr != n.self.Addr {
+		return fmt.Errorf("runtime: identifier collision with %s (id %d)", succ.Addr, succ.ID)
+	}
+
+	n.mu.Lock()
+	n.started = true
+	n.pred = nil
+	n.succs = []NodeInfo{succ}
+	n.mu.Unlock()
+
+	n.net.Register(n.self.Addr, n.handleRPC)
+	// Integrate promptly rather than waiting a stabilization period.
+	n.StabilizeOnce()
+	n.startLoops()
+	n.cfg.Tracer.Emitf(n.self.Addr, trace.KindJoin, "joined via %s, successor %s", bootstrapAddr, succ.Addr)
+	return nil
+}
+
+// Leave departs gracefully: ring neighbors are told to splice the node out,
+// then the node stops.
+func (n *Node) Leave() error {
+	n.mu.Lock()
+	if !n.started || n.stopped {
+		n.mu.Unlock()
+		return ErrStopped
+	}
+	pred := n.pred
+	var succ *NodeInfo
+	if len(n.succs) > 0 && n.succs[0].Addr != n.self.Addr {
+		s := n.succs[0]
+		succ = &s
+	}
+	n.mu.Unlock()
+
+	if succ != nil {
+		_, _ = n.call(succ.Addr, kindLeaving, leavingReq{Departing: n.self, NewPred: pred})
+	}
+	if pred != nil && pred.Addr != n.self.Addr && succ != nil {
+		_, _ = n.call(pred.Addr, kindLeaving, leavingReq{Departing: n.self, NewSucc: succ})
+	}
+	n.cfg.Tracer.Emit(n.self.Addr, trace.KindLeave, "graceful")
+	n.Stop()
+	return nil
+}
+
+// Stop crashes the node: it vanishes from the network without telling
+// anyone. Safe to call multiple times.
+func (n *Node) Stop() {
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return
+	}
+	n.stopped = true
+	started := n.started
+	n.mu.Unlock()
+
+	n.net.Unregister(n.self.Addr)
+	if started {
+		close(n.stopCh)
+	}
+	n.wg.Wait()
+}
+
+// Stopped reports whether the node has stopped.
+func (n *Node) Stopped() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stopped
+}
+
+func (n *Node) startLoops() {
+	if n.cfg.StabilizeEvery > 0 {
+		n.wg.Add(1)
+		go n.loop(n.cfg.StabilizeEvery, n.StabilizeOnce)
+	}
+	if n.cfg.FixEvery > 0 {
+		n.wg.Add(1)
+		go n.loop(n.cfg.FixEvery, n.FixOnce)
+	}
+}
+
+func (n *Node) loop(every time.Duration, tick func()) {
+	defer n.wg.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			tick()
+		case <-n.stopCh:
+			return
+		}
+	}
+}
+
+// call issues one RPC from this node.
+func (n *Node) call(to, kind string, payload any) (any, error) {
+	return n.net.Call(n.self.Addr, to, kind, payload)
+}
+
+// handleRPC dispatches incoming requests.
+func (n *Node) handleRPC(from, kind string, payload any) (any, error) {
+	switch kind {
+	case kindPing:
+		return pingResp{Node: n.self}, nil
+	case kindFindSucc:
+		req, ok := payload.(findSuccReq)
+		if !ok {
+			return nil, fmt.Errorf("runtime: bad payload for %s", kind)
+		}
+		return n.handleFindSucc(req)
+	case kindNeighbors:
+		return n.handleNeighbors()
+	case kindNotify:
+		req, ok := payload.(notifyReq)
+		if !ok {
+			return nil, fmt.Errorf("runtime: bad payload for %s", kind)
+		}
+		return n.handleNotify(req)
+	case kindLeaving:
+		req, ok := payload.(leavingReq)
+		if !ok {
+			return nil, fmt.Errorf("runtime: bad payload for %s", kind)
+		}
+		return n.handleLeaving(req)
+	case kindMulticast:
+		req, ok := payload.(multicastReq)
+		if !ok {
+			return nil, fmt.Errorf("runtime: bad payload for %s", kind)
+		}
+		return n.handleMulticast(req)
+	case kindOffer:
+		req, ok := payload.(offerReq)
+		if !ok {
+			return nil, fmt.Errorf("runtime: bad payload for %s", kind)
+		}
+		return offerResp{Want: !n.seen.Seen(req.MsgID)}, nil
+	case kindFlood:
+		req, ok := payload.(floodReq)
+		if !ok {
+			return nil, fmt.Errorf("runtime: bad payload for %s", kind)
+		}
+		return n.handleFlood(req)
+	case kindApp:
+		req, ok := payload.(appReq)
+		if !ok {
+			return nil, fmt.Errorf("runtime: bad payload for %s", kind)
+		}
+		if n.cfg.OnRequest == nil {
+			return nil, fmt.Errorf("runtime: node %s serves no application requests", n.self.Addr)
+		}
+		out, err := n.cfg.OnRequest(from, req.Payload)
+		if err != nil {
+			return nil, err
+		}
+		return appResp{Payload: out}, nil
+	default:
+		return nil, fmt.Errorf("runtime: unknown rpc kind %q", kind)
+	}
+}
+
+func (n *Node) handleNeighbors() (any, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	resp := neighborsResp{Succs: make([]NodeInfo, len(n.succs))}
+	copy(resp.Succs, n.succs)
+	if n.pred != nil {
+		p := *n.pred
+		resp.Pred = &p
+	}
+	return resp, nil
+}
+
+func (n *Node) handleNotify(req notifyReq) (any, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	c := req.Candidate
+	if c.Addr == n.self.Addr {
+		return notifyResp{}, nil
+	}
+	accepted := false
+	if n.pred == nil || n.pred.Addr == n.self.Addr ||
+		n.space.InOO(c.ID, n.pred.ID, n.self.ID) {
+		n.pred = &c
+		accepted = true
+	}
+	// A second real member supersedes a self-successor.
+	if len(n.succs) > 0 && n.succs[0].Addr == n.self.Addr {
+		n.succs[0] = c
+	}
+	return notifyResp{Accepted: accepted}, nil
+}
+
+func (n *Node) handleLeaving(req leavingReq) (any, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.pred != nil && n.pred.Addr == req.Departing.Addr {
+		n.pred = req.NewPred
+		if n.pred != nil && n.pred.Addr == n.self.Addr {
+			p := n.self
+			n.pred = &p
+		}
+	}
+	if len(n.succs) > 0 && n.succs[0].Addr == req.Departing.Addr {
+		if req.NewSucc != nil {
+			n.succs[0] = *req.NewSucc
+		} else if len(n.succs) > 1 {
+			n.succs = n.succs[1:]
+		} else {
+			n.succs = []NodeInfo{n.self}
+		}
+	}
+	n.cfg.Tracer.Emitf(n.self.Addr, trace.KindRepair, "spliced out %s", req.Departing.Addr)
+	return leavingResp{Acked: true}, nil
+}
+
+// StabilizeOnce runs one round of Chord stabilization: verify the successor,
+// adopt a closer one if the successor knows of it, refresh the successor
+// list, and notify the successor of our existence.
+func (n *Node) StabilizeOnce() {
+	succ, ok := n.liveSuccessor()
+	if !ok {
+		return
+	}
+	if succ.Addr == n.self.Addr {
+		return // alone in the ring
+	}
+
+	resp, err := n.call(succ.Addr, kindNeighbors, neighborsReq{})
+	if err != nil {
+		n.dropSuccessor(succ)
+		return
+	}
+	nb, ok := resp.(neighborsResp)
+	if !ok {
+		return
+	}
+
+	// Adopt the successor's predecessor if it sits between us.
+	if nb.Pred != nil && nb.Pred.Addr != n.self.Addr &&
+		n.space.InOO(nb.Pred.ID, n.self.ID, succ.ID) &&
+		n.net.Registered(nb.Pred.Addr) {
+		succ = *nb.Pred
+		if r2, err := n.call(succ.Addr, kindNeighbors, neighborsReq{}); err == nil {
+			if nb2, ok := r2.(neighborsResp); ok {
+				nb = nb2
+			}
+		}
+	}
+
+	// Rebuild the successor list: succ followed by its list, minus self.
+	list := make([]NodeInfo, 0, n.cfg.SuccListLen)
+	list = append(list, succ)
+	for _, s := range nb.Succs {
+		if len(list) >= n.cfg.SuccListLen {
+			break
+		}
+		if s.Addr == n.self.Addr || s.Addr == succ.Addr {
+			continue
+		}
+		list = append(list, s)
+	}
+	n.mu.Lock()
+	n.succs = list
+	// Drop a dead predecessor so a live candidate can take its place.
+	if n.pred != nil && n.pred.Addr != n.self.Addr && !n.net.Registered(n.pred.Addr) {
+		n.pred = nil
+	}
+	n.mu.Unlock()
+
+	_, _ = n.call(succ.Addr, kindNotify, notifyReq{Candidate: n.self})
+}
+
+// liveSuccessor returns the first reachable entry of the successor list,
+// pruning dead ones. ok is false only when the node is stopped.
+func (n *Node) liveSuccessor() (NodeInfo, bool) {
+	for {
+		n.mu.Lock()
+		if n.stopped || len(n.succs) == 0 {
+			stoppedOrEmpty := n.stopped
+			if !stoppedOrEmpty {
+				// Successor list exhausted: fall back to self; the ring
+				// will heal through incoming notifies.
+				n.succs = []NodeInfo{n.self}
+			}
+			self := n.self
+			n.mu.Unlock()
+			if stoppedOrEmpty {
+				return NodeInfo{}, false
+			}
+			return self, true
+		}
+		succ := n.succs[0]
+		n.mu.Unlock()
+		if succ.Addr == n.self.Addr || n.net.Registered(succ.Addr) {
+			return succ, true
+		}
+		n.dropSuccessor(succ)
+	}
+}
+
+// dropSuccessor removes a dead successor from the head of the list.
+func (n *Node) dropSuccessor(dead NodeInfo) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(n.succs) > 0 && n.succs[0].Addr == dead.Addr {
+		n.succs = n.succs[1:]
+		n.cfg.Tracer.Emitf(n.self.Addr, trace.KindRepair, "dropped dead successor %s", dead.Addr)
+	}
+}
+
+// Request sends an application-level unicast request to the member at addr
+// and returns its response. The remote member must have an OnRequest
+// handler configured. Used by layers built on top of multicast, e.g.
+// retransmission NACKs in a reliability protocol.
+func (n *Node) Request(addr string, payload []byte) ([]byte, error) {
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return nil, ErrStopped
+	}
+	n.mu.Unlock()
+	resp, err := n.call(addr, kindApp, appReq{Payload: payload})
+	if err != nil {
+		return nil, err
+	}
+	r, ok := resp.(appResp)
+	if !ok {
+		return nil, fmt.Errorf("runtime: bad app response type %T", resp)
+	}
+	return r.Payload, nil
+}

@@ -1,0 +1,59 @@
+package runtime
+
+import "sync"
+
+// seenCache is a bounded set of message IDs used for duplicate suppression.
+// Eviction is FIFO: once the cache holds limit entries, recording a new ID
+// evicts the oldest one. The zero value is unusable; construct with
+// newSeenCache.
+type seenCache struct {
+	mu    sync.Mutex
+	limit int
+	set   map[string]bool
+	order []string
+	head  int // index of the oldest entry in order (ring-buffer style)
+}
+
+func newSeenCache(limit int) *seenCache {
+	if limit < 1 {
+		limit = 1
+	}
+	return &seenCache{
+		limit: limit,
+		set:   make(map[string]bool, limit),
+		order: make([]string, 0, limit),
+	}
+}
+
+// Seen reports whether id has been recorded (without recording it).
+func (c *seenCache) Seen(id string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.set[id]
+}
+
+// Record adds id and reports whether it was already present (true means
+// duplicate).
+func (c *seenCache) Record(id string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.set[id] {
+		return true
+	}
+	if len(c.order) < c.limit {
+		c.order = append(c.order, id)
+	} else {
+		delete(c.set, c.order[c.head])
+		c.order[c.head] = id
+		c.head = (c.head + 1) % c.limit
+	}
+	c.set[id] = true
+	return false
+}
+
+// Len returns the number of IDs currently retained.
+func (c *seenCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.set)
+}

@@ -1,0 +1,84 @@
+package runtime
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestSeenCacheBasics(t *testing.T) {
+	c := newSeenCache(4)
+	if c.Seen("a") {
+		t.Fatal("fresh cache should not contain a")
+	}
+	if c.Record("a") {
+		t.Fatal("first record should not be a duplicate")
+	}
+	if !c.Record("a") {
+		t.Fatal("second record should be a duplicate")
+	}
+	if !c.Seen("a") {
+		t.Fatal("a should be seen")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+func TestSeenCacheEvictsFIFO(t *testing.T) {
+	c := newSeenCache(3)
+	for _, id := range []string{"a", "b", "c"} {
+		c.Record(id)
+	}
+	c.Record("d") // evicts a
+	if c.Seen("a") {
+		t.Fatal("a should have been evicted")
+	}
+	for _, id := range []string{"b", "c", "d"} {
+		if !c.Seen(id) {
+			t.Fatalf("%s should still be present", id)
+		}
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	// Continue wrapping the ring buffer.
+	c.Record("e") // evicts b
+	c.Record("f") // evicts c
+	if c.Seen("b") || c.Seen("c") {
+		t.Fatal("b and c should have been evicted")
+	}
+	if !c.Seen("d") || !c.Seen("e") || !c.Seen("f") {
+		t.Fatal("d, e, f should be present")
+	}
+}
+
+func TestSeenCacheMinimumLimit(t *testing.T) {
+	c := newSeenCache(0) // clamps to 1
+	c.Record("a")
+	c.Record("b")
+	if c.Seen("a") {
+		t.Fatal("limit-1 cache should have evicted a")
+	}
+	if !c.Seen("b") {
+		t.Fatal("b should be present")
+	}
+}
+
+func TestSeenCacheConcurrent(t *testing.T) {
+	c := newSeenCache(128)
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				c.Record("g" + strconv.Itoa(g) + "-" + strconv.Itoa(i))
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if c.Len() != 128 {
+		t.Fatalf("Len = %d, want full cache", c.Len())
+	}
+}

@@ -1,0 +1,175 @@
+package runtime
+
+import (
+	"sort"
+
+	"camcast/internal/ring"
+	"camcast/internal/trace"
+)
+
+// tableKey addresses one CAM-Chord neighbor slot x_{level,seq}.
+type tableKey struct {
+	level uint32
+	seq   uint32
+}
+
+// target is one routing-table slot to maintain: the slot key and the
+// identifier whose responsible node fills it.
+type target struct {
+	key tableKey
+	id  ring.ID
+}
+
+// targets enumerates the neighbor identifiers this node must track, mode
+// dependent. CAM-Chord: x_{i,j} = x + j*c^i (Section 3.1). CAM-Koorde: the
+// non-ring basic identifiers x/2 and 2^{b-1}+x/2 plus the second and third
+// groups (Section 4.1); predecessor/successor come from ring maintenance.
+func (n *Node) targets() []target {
+	x := n.self.ID
+	c := uint64(n.cfg.Capacity)
+	s := n.space
+	var out []target
+
+	switch n.cfg.Mode {
+	case ModeCAMChord:
+		level := uint32(0)
+		for pow := uint64(1); pow < s.Size(); pow *= c {
+			for j := uint64(1); j <= c-1; j++ {
+				d := j * pow
+				if d >= s.Size() {
+					break
+				}
+				out = append(out, target{
+					key: tableKey{level: level, seq: uint32(j)},
+					id:  s.Add(x, d),
+				})
+			}
+			if pow > s.Size()/c {
+				break
+			}
+			level++
+		}
+	case ModeCAMKoorde:
+		out = append(out,
+			target{key: tableKey{level: 0, seq: 0}, id: s.Shr(x, 1)},
+			target{key: tableKey{level: 0, seq: 1}, id: s.Add(s.Half(), s.Shr(x, 1))},
+		)
+		remaining := n.cfg.Capacity - 4
+		if remaining <= 0 {
+			break
+		}
+		shift := ring.Log2Floor(uint64(remaining))
+		t := 0
+		if shift > 1 {
+			t = 1 << shift
+			for i := 0; i < t; i++ {
+				out = append(out, target{
+					key: tableKey{level: 1, seq: uint32(i)},
+					id:  s.TopBits(uint64(i), shift) | s.Shr(x, shift),
+				})
+			}
+		}
+		tPrime := remaining - t
+		sPrime := shift + 1
+		for i := 0; i < tPrime; i++ {
+			out = append(out, target{
+				key: tableKey{level: 2, seq: uint32(i)},
+				id:  s.TopBits(uint64(i), sPrime) | s.Shr(x, sPrime),
+			})
+		}
+	}
+	return out
+}
+
+// FixOnce refreshes a batch of routing-table slots (round-robin, like
+// Chord's fix_fingers) by looking up each slot's identifier. FixAll
+// refreshes every slot; tests and joining nodes use it to converge
+// immediately.
+func (n *Node) FixOnce() {
+	n.fix(4)
+}
+
+// FixAll refreshes the entire routing table in one pass.
+func (n *Node) FixAll() {
+	n.fix(len(n.targets()))
+}
+
+func (n *Node) fix(batch int) {
+	all := n.targets()
+	if len(all) == 0 {
+		return
+	}
+	if batch > len(all) {
+		batch = len(all)
+	}
+	for i := 0; i < batch; i++ {
+		n.mu.Lock()
+		if n.stopped {
+			n.mu.Unlock()
+			return
+		}
+		idx := n.cursor % len(all)
+		n.cursor++
+		n.mu.Unlock()
+
+		tgt := all[idx]
+		info, _, err := n.FindSuccessor(tgt.id)
+		if err != nil {
+			continue // retry on a later pass
+		}
+		n.mu.Lock()
+		old, had := n.table[tgt.key]
+		n.table[tgt.key] = info
+		n.mu.Unlock()
+		if !had || old.Addr != info.Addr {
+			n.cfg.Tracer.Emitf(n.self.Addr, trace.KindRepair,
+				"slot (%d,%d) id=%d -> %s", tgt.key.level, tgt.key.seq, tgt.id, info.Addr)
+		}
+	}
+}
+
+// routingCandidates returns candidate next hops for a lookup of k: known
+// neighbors whose identifiers lie strictly inside (self, k], closest
+// preceding k first, deduplicated, excluding self. Callers fall through the
+// list when a candidate is unreachable.
+func (n *Node) routingCandidates(k ring.ID) []NodeInfo {
+	n.mu.Lock()
+	seen := make(map[string]bool, len(n.table)+len(n.succs)+1)
+	cands := make([]NodeInfo, 0, len(n.table)+len(n.succs))
+	add := func(info NodeInfo) {
+		if info.zero() || info.Addr == n.self.Addr || seen[info.Addr] {
+			return
+		}
+		if !n.space.InOC(info.ID, n.self.ID, k) {
+			return
+		}
+		seen[info.Addr] = true
+		cands = append(cands, info)
+	}
+	for _, info := range n.table {
+		add(info)
+	}
+	for _, info := range n.succs {
+		add(info)
+	}
+	n.mu.Unlock()
+
+	sort.Slice(cands, func(i, j int) bool {
+		return n.space.Dist(cands[i].ID, k) < n.space.Dist(cands[j].ID, k)
+	})
+	if len(cands) > 8 {
+		cands = cands[:8]
+	}
+	return cands
+}
+
+// tableSnapshot returns the current slot contents (CAM-Chord).
+func (n *Node) tableSnapshot() map[tableKey]NodeInfo {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make(map[tableKey]NodeInfo, len(n.table))
+	for k, v := range n.table {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+package runtime
+
+import "camcast/internal/ring"
+
+// RPC kinds exchanged between runtime nodes over the transport.
+const (
+	kindPing      = "ping"
+	kindFindSucc  = "find_successor"
+	kindNeighbors = "neighbors" // predecessor + successor list exchange
+	kindNotify    = "notify"
+	kindMulticast = "multicast" // CAM-Chord segment delivery
+	kindOffer     = "offer"     // CAM-Koorde dedup handshake
+	kindFlood     = "flood"     // CAM-Koorde payload delivery
+	kindLeaving   = "leaving"   // graceful departure notification
+	kindApp       = "app"       // application-level unicast request
+)
+
+// NodeInfo identifies a remote node: its transport address and its ring
+// identifier.
+type NodeInfo struct {
+	Addr string
+	ID   ring.ID
+}
+
+// zero reports whether the info is unset.
+func (i NodeInfo) zero() bool { return i.Addr == "" }
+
+type pingReq struct {
+	// Probe is reserved; gob requires at least one exported field.
+	Probe bool
+}
+
+type pingResp struct {
+	Node NodeInfo
+}
+
+type findSuccReq struct {
+	K    ring.ID
+	Hops int
+}
+
+type findSuccResp struct {
+	Node NodeInfo
+	Hops int // total forwarding hops spent resolving the lookup
+}
+
+type neighborsReq struct {
+	// Full is reserved; gob requires at least one exported field.
+	Full bool
+}
+
+type neighborsResp struct {
+	Pred  *NodeInfo // nil if unknown
+	Succs []NodeInfo
+}
+
+type notifyReq struct {
+	Candidate NodeInfo
+}
+
+type notifyResp struct {
+	// Accepted reports whether the receiver adopted the candidate as its
+	// predecessor.
+	Accepted bool
+}
+
+type multicastReq struct {
+	MsgID   string
+	Source  NodeInfo
+	Payload []byte
+	K       ring.ID // the receiver must deliver to every member in (receiver, K]
+	Hops    int
+}
+
+type multicastResp struct {
+	// Duplicate reports that the receiver had already seen the message.
+	Duplicate bool
+}
+
+type offerReq struct {
+	MsgID string
+}
+
+type offerResp struct {
+	Want bool
+}
+
+type floodReq struct {
+	MsgID   string
+	Source  NodeInfo
+	Payload []byte
+	Hops    int
+}
+
+type floodResp struct {
+	// Duplicate reports that the receiver had already seen the message.
+	Duplicate bool
+}
+
+type leavingReq struct {
+	Departing NodeInfo
+	// NewPred is set when the departing node was the receiver's successor's
+	// predecessor... kept simple: the departing node hands each ring
+	// neighbor the node on its other side.
+	NewPred *NodeInfo // offered replacement predecessor (sent to the successor)
+	NewSucc *NodeInfo // offered replacement successor (sent to the predecessor)
+}
+
+type leavingResp struct {
+	// Acked confirms the splice was processed.
+	Acked bool
+}
+
+type appReq struct {
+	Payload []byte
+}
+
+type appResp struct {
+	Payload []byte
+}

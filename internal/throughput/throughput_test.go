@@ -1,0 +1,126 @@
+package throughput
+
+import (
+	"math"
+	"testing"
+
+	"camcast/internal/multicast"
+)
+
+func buildTree(t *testing.T) *multicast.Tree {
+	t.Helper()
+	tr, err := multicast.NewTree(5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0 -> {1, 2}; 1 -> {3, 4}
+	for _, e := range [][2]int{{0, 1}, {0, 2}, {1, 3}, {1, 4}} {
+		if err := tr.Deliver(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tr
+}
+
+func TestByChildren(t *testing.T) {
+	tr := buildTree(t)
+	// Node 0: 1000/2 = 500; node 1: 400/2 = 200 -> bottleneck.
+	bw := []float64{1000, 400, 999, 999, 999}
+	got, err := ByChildren(tr, bw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 200 {
+		t.Errorf("ByChildren = %g, want 200", got)
+	}
+}
+
+func TestByChildrenLeavesIgnored(t *testing.T) {
+	tr := buildTree(t)
+	bw := []float64{1000, 1000, 1, 1, 1}
+	got, err := ByChildren(tr, bw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 500 {
+		t.Errorf("ByChildren = %g, want 500", got)
+	}
+}
+
+func TestByProvision(t *testing.T) {
+	tr := buildTree(t)
+	bw := []float64{1000, 400, 999, 999, 999}
+	// Node 0 provisions 4 slots: 250; node 1 provisions 2: 200.
+	got, err := ByProvision(tr, bw, []int{4, 2, 7, 7, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 200 {
+		t.Errorf("ByProvision = %g, want 200", got)
+	}
+	// Leaves' provisions are irrelevant even when absurd.
+	got, err = ByProvision(tr, bw, []int{4, 2, 1000, 1000, 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 200 {
+		t.Errorf("ByProvision = %g, want 200", got)
+	}
+}
+
+func TestByProvisionRejectsZeroProvisionInternal(t *testing.T) {
+	tr := buildTree(t)
+	bw := []float64{1, 1, 1, 1, 1}
+	if _, err := ByProvision(tr, bw, []int{0, 1, 1, 1, 1}); err == nil {
+		t.Error("zero provision at an internal node should fail")
+	}
+	// Zero provision at a leaf is fine.
+	if _, err := ByProvision(tr, bw, []int{1, 1, 0, 0, 0}); err != nil {
+		t.Errorf("leaf provision should be ignored: %v", err)
+	}
+}
+
+func TestSingleNodeInfinite(t *testing.T) {
+	tr, _ := multicast.NewTree(1, 0)
+	got, err := ByChildren(tr, []float64{100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(got, 1) {
+		t.Errorf("single-node ByChildren = %g, want +Inf", got)
+	}
+	got, err = ByProvision(tr, []float64{100}, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(got, 1) {
+		t.Errorf("single-node ByProvision = %g, want +Inf", got)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := ByChildren(nil, nil); err == nil {
+		t.Error("nil tree should fail")
+	}
+	tr := buildTree(t)
+	if _, err := ByChildren(tr, []float64{1, 2}); err == nil {
+		t.Error("bandwidth length mismatch should fail")
+	}
+	if _, err := ByProvision(tr, make([]float64, 5), []int{1}); err == nil {
+		t.Error("provision length mismatch should fail")
+	}
+	if _, err := ByProvision(nil, nil, nil); err == nil {
+		t.Error("nil tree should fail")
+	}
+}
+
+func TestForwardingLoad(t *testing.T) {
+	tr := buildTree(t)
+	load := ForwardingLoad(tr)
+	want := []int{2, 2, 0, 0, 0}
+	for i := range want {
+		if load[i] != want[i] {
+			t.Fatalf("ForwardingLoad = %v, want %v", load, want)
+		}
+	}
+}

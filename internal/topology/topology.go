@@ -1,0 +1,117 @@
+// Package topology provides the static ring model used by the simulator
+// layer: the full sorted set of member identifiers, with O(log n) resolution
+// of successor(id) / predecessor(id) / "the node responsible for id" by
+// binary search.
+//
+// All four overlays (Chord, Koorde, CAM-Chord, CAM-Koorde) are pure
+// functions of this structure in simulator mode: neighbor identifiers are
+// computed arithmetically and resolved to nodes through Ring, so no routing
+// tables need to be materialized even for 100,000-node networks.
+package topology
+
+import (
+	"fmt"
+	"sort"
+
+	"camcast/internal/ring"
+)
+
+// Ring is an immutable snapshot of the group membership, sorted by
+// identifier. Positions (ints in [0, Len())) index the sorted order and are
+// the node handles used throughout the simulator.
+type Ring struct {
+	space ring.Space
+	ids   []ring.ID // ascending, unique
+}
+
+// New builds a Ring from the given identifiers. The slice is copied; it must
+// be non-empty and duplicate-free.
+func New(space ring.Space, memberIDs []ring.ID) (*Ring, error) {
+	if len(memberIDs) == 0 {
+		return nil, fmt.Errorf("topology: empty membership")
+	}
+	sorted := make([]ring.ID, len(memberIDs))
+	copy(sorted, memberIDs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[i-1] {
+			return nil, fmt.Errorf("topology: duplicate identifier %d", sorted[i])
+		}
+	}
+	if sorted[len(sorted)-1] > space.Mask() {
+		return nil, fmt.Errorf("topology: identifier %d outside space %v", sorted[len(sorted)-1], space)
+	}
+	return &Ring{space: space, ids: sorted}, nil
+}
+
+// Space returns the identifier space of the ring.
+func (r *Ring) Space() ring.Space { return r.space }
+
+// Len returns the number of member nodes.
+func (r *Ring) Len() int { return len(r.ids) }
+
+// IDAt returns the identifier of the node at sorted position pos.
+func (r *Ring) IDAt(pos int) ring.ID { return r.ids[pos] }
+
+// IDs returns the sorted identifiers (a copy, so callers cannot mutate the
+// ring's internal state).
+func (r *Ring) IDs() []ring.ID {
+	out := make([]ring.ID, len(r.ids))
+	copy(out, r.ids)
+	return out
+}
+
+// PosOf returns the position of the node with exactly identifier id, or
+// (-1, false) if no member has that identifier.
+func (r *Ring) PosOf(id ring.ID) (int, bool) {
+	i := sort.Search(len(r.ids), func(i int) bool { return r.ids[i] >= id })
+	if i < len(r.ids) && r.ids[i] == id {
+		return i, true
+	}
+	return -1, false
+}
+
+// Responsible returns the position of the node responsible for identifier
+// id: the node with identifier id itself if one exists, otherwise
+// successor(id). This is the paper's "x̂" operator.
+func (r *Ring) Responsible(id ring.ID) int {
+	i := sort.Search(len(r.ids), func(i int) bool { return r.ids[i] >= id })
+	if i == len(r.ids) {
+		return 0 // wrap: first node clockwise from the top of the space
+	}
+	return i
+}
+
+// Successor returns the position of the node clockwise after the node at
+// pos (i.e. successor(x) for a member x).
+func (r *Ring) Successor(pos int) int {
+	return (pos + 1) % len(r.ids)
+}
+
+// Predecessor returns the position of the node clockwise before the node at
+// pos.
+func (r *Ring) Predecessor(pos int) int {
+	return (pos - 1 + len(r.ids)) % len(r.ids)
+}
+
+// InSegmentOC reports whether the NODE at position p lies in the identifier
+// segment (x, y].
+func (r *Ring) InSegmentOC(p int, x, y ring.ID) bool {
+	return r.space.InOC(r.ids[p], x, y)
+}
+
+// CountInSegmentOC returns how many member nodes have identifiers in (x, y].
+func (r *Ring) CountInSegmentOC(x, y ring.ID) int {
+	if x == y {
+		return 0
+	}
+	// Count members in (x, mask] ∪ [0, y] pieces without iterating.
+	countLE := func(v ring.ID) int { // members with id <= v
+		return sort.Search(len(r.ids), func(i int) bool { return r.ids[i] > v })
+	}
+	if x < y {
+		return countLE(y) - countLE(x)
+	}
+	// wrapping segment
+	return (len(r.ids) - countLE(x)) + countLE(y)
+}

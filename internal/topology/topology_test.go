@@ -1,0 +1,195 @@
+package topology
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"camcast/internal/ring"
+)
+
+func mustRing(t *testing.T, bits uint, ids []ring.ID) *Ring {
+	t.Helper()
+	r, err := New(ring.MustSpace(bits), ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewValidation(t *testing.T) {
+	s := ring.MustSpace(5)
+	if _, err := New(s, nil); err == nil {
+		t.Error("empty membership should fail")
+	}
+	if _, err := New(s, []ring.ID{1, 1}); err == nil {
+		t.Error("duplicate identifiers should fail")
+	}
+	if _, err := New(s, []ring.ID{40}); err == nil {
+		t.Error("identifier outside space should fail")
+	}
+}
+
+func TestNewSortsAndCopies(t *testing.T) {
+	input := []ring.ID{9, 3, 27}
+	r := mustRing(t, 5, input)
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	want := []ring.ID{3, 9, 27}
+	for i, w := range want {
+		if r.IDAt(i) != w {
+			t.Errorf("IDAt(%d) = %d, want %d", i, r.IDAt(i), w)
+		}
+	}
+	input[0] = 5 // mutating the input must not affect the ring
+	if r.IDAt(1) != 9 {
+		t.Error("ring shares storage with caller slice")
+	}
+	got := r.IDs()
+	got[0] = 31
+	if r.IDAt(0) != 3 {
+		t.Error("IDs() exposes internal storage")
+	}
+}
+
+func TestResponsible(t *testing.T) {
+	// Nodes at 3, 9, 27 on a 32-ring (paper's x̂ semantics).
+	r := mustRing(t, 5, []ring.ID{3, 9, 27})
+	tests := []struct {
+		id   ring.ID
+		want ring.ID
+	}{
+		{3, 3}, // exact member
+		{4, 9}, // successor
+		{9, 9},
+		{10, 27},
+		{27, 27},
+		{28, 3}, // wraps past the top of the space
+		{0, 3},
+		{31, 3},
+	}
+	for _, tt := range tests {
+		pos := r.Responsible(tt.id)
+		if got := r.IDAt(pos); got != tt.want {
+			t.Errorf("Responsible(%d) -> %d, want %d", tt.id, got, tt.want)
+		}
+	}
+}
+
+func TestSuccessorPredecessor(t *testing.T) {
+	r := mustRing(t, 5, []ring.ID{3, 9, 27})
+	if r.IDAt(r.Successor(0)) != 9 || r.IDAt(r.Successor(2)) != 3 {
+		t.Error("Successor wrong")
+	}
+	if r.IDAt(r.Predecessor(0)) != 27 || r.IDAt(r.Predecessor(1)) != 3 {
+		t.Error("Predecessor wrong")
+	}
+}
+
+func TestPosOf(t *testing.T) {
+	r := mustRing(t, 5, []ring.ID{3, 9, 27})
+	if pos, ok := r.PosOf(9); !ok || pos != 1 {
+		t.Errorf("PosOf(9) = (%d,%v)", pos, ok)
+	}
+	if _, ok := r.PosOf(10); ok {
+		t.Error("PosOf(10) should miss")
+	}
+}
+
+func TestResponsibleAgainstLinearScan(t *testing.T) {
+	s := ring.MustSpace(12)
+	rng := rand.New(rand.NewSource(3))
+	ids := make([]ring.ID, 0, 200)
+	seen := map[ring.ID]bool{}
+	for len(ids) < 200 {
+		id := s.Reduce(rng.Uint64())
+		if !seen[id] {
+			seen[id] = true
+			ids = append(ids, id)
+		}
+	}
+	r, err := New(s, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted := r.IDs()
+	linear := func(k ring.ID) ring.ID {
+		best := ring.ID(0)
+		bestDist := s.Size()
+		for _, id := range sorted {
+			if d := s.Dist(k, id); d < bestDist { // successor: min clockwise dist from k, id==k gives 0
+				bestDist = d
+				best = id
+			}
+		}
+		return best
+	}
+	for i := 0; i < 2000; i++ {
+		k := s.Reduce(rng.Uint64())
+		want := linear(k)
+		if got := r.IDAt(r.Responsible(k)); got != want {
+			t.Fatalf("Responsible(%d) = %d, linear scan says %d", k, got, want)
+		}
+	}
+}
+
+func TestCountInSegmentOC(t *testing.T) {
+	r := mustRing(t, 5, []ring.ID{3, 9, 27})
+	tests := []struct {
+		x, y ring.ID
+		want int
+	}{
+		{0, 31, 3},
+		{3, 9, 1},   // (3,9] contains 9
+		{2, 9, 2},   // contains 3 and 9
+		{9, 3, 2},   // wrap: contains 27 and 3
+		{27, 3, 1},  // wrap: contains 3
+		{5, 5, 0},   // empty segment
+		{10, 26, 0}, // gap
+	}
+	for _, tt := range tests {
+		if got := r.CountInSegmentOC(tt.x, tt.y); got != tt.want {
+			t.Errorf("CountInSegmentOC(%d,%d) = %d, want %d", tt.x, tt.y, got, tt.want)
+		}
+	}
+}
+
+func TestCountInSegmentMatchesBruteForce(t *testing.T) {
+	s := ring.MustSpace(10)
+	rng := rand.New(rand.NewSource(11))
+	seen := map[ring.ID]bool{}
+	var ids []ring.ID
+	for len(ids) < 64 {
+		id := s.Reduce(rng.Uint64())
+		if !seen[id] {
+			seen[id] = true
+			ids = append(ids, id)
+		}
+	}
+	r, _ := New(s, ids)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for trial := 0; trial < 500; trial++ {
+		x := s.Reduce(rng.Uint64())
+		y := s.Reduce(rng.Uint64())
+		want := 0
+		for _, id := range ids {
+			if s.InOC(id, x, y) {
+				want++
+			}
+		}
+		if got := r.CountInSegmentOC(x, y); got != want {
+			t.Fatalf("CountInSegmentOC(%d,%d) = %d, brute force %d", x, y, got, want)
+		}
+	}
+}
+
+func TestInSegmentOC(t *testing.T) {
+	r := mustRing(t, 5, []ring.ID{3, 9, 27})
+	if !r.InSegmentOC(1, 3, 9) {
+		t.Error("node 9 should be in (3,9]")
+	}
+	if r.InSegmentOC(0, 3, 9) {
+		t.Error("node 3 should not be in (3,9]")
+	}
+}

@@ -1,0 +1,114 @@
+// Package trace provides a small concurrent event recorder used by the
+// dynamic runtime: tests and examples subscribe to protocol events (joins,
+// deliveries, suppressed duplicates, table repairs) without the protocol
+// code knowing who is watching.
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Kind classifies an event.
+type Kind string
+
+// Event kinds emitted by the runtime.
+const (
+	KindJoin      Kind = "join"
+	KindLeave     Kind = "leave"
+	KindDeliver   Kind = "deliver"
+	KindForward   Kind = "forward"
+	KindDuplicate Kind = "duplicate"
+	KindRepair    Kind = "repair"
+	KindLookup    Kind = "lookup"
+)
+
+// Event is one recorded protocol event.
+type Event struct {
+	At     time.Time
+	Node   string // address of the node the event happened at
+	Kind   Kind
+	Detail string
+}
+
+// String implements fmt.Stringer.
+func (e Event) String() string {
+	return fmt.Sprintf("%s %s %s (%s)", e.At.Format("15:04:05.000"), e.Node, e.Kind, e.Detail)
+}
+
+// Tracer records events. The zero value discards everything; NewTracer
+// returns a recording tracer. A nil *Tracer is safe to use and records
+// nothing, so callers can pass tracers through unconditionally.
+type Tracer struct {
+	mu     sync.Mutex
+	events []Event
+	record bool
+}
+
+// NewTracer returns a recording tracer.
+func NewTracer() *Tracer {
+	return &Tracer{record: true}
+}
+
+// Emit records one event; no-op on a nil or non-recording tracer.
+func (t *Tracer) Emit(node string, kind Kind, detail string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.record {
+		return
+	}
+	t.events = append(t.events, Event{At: time.Now(), Node: node, Kind: kind, Detail: detail})
+}
+
+// Emitf records one event with a formatted detail string.
+func (t *Tracer) Emitf(node string, kind Kind, format string, args ...any) {
+	if t == nil {
+		return
+	}
+	t.Emit(node, kind, fmt.Sprintf(format, args...))
+}
+
+// Events returns a copy of all recorded events in order.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+// Count returns how many recorded events match kind (all kinds if empty).
+func (t *Tracer) Count(kind Kind) int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if kind == "" {
+		return len(t.events)
+	}
+	n := 0
+	for _, e := range t.events {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// Reset discards all recorded events.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.events = nil
+}

@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Emit("a", KindJoin, "x")
+	tr.Emitf("a", KindJoin, "%d", 1)
+	if tr.Events() != nil || tr.Count("") != 0 {
+		t.Error("nil tracer should record nothing")
+	}
+	tr.Reset()
+}
+
+func TestZeroValueDiscards(t *testing.T) {
+	var tr Tracer
+	tr.Emit("a", KindJoin, "x")
+	if len(tr.Events()) != 0 {
+		t.Error("zero-value tracer should discard")
+	}
+}
+
+func TestRecordingAndCount(t *testing.T) {
+	tr := NewTracer()
+	tr.Emit("a", KindJoin, "boot")
+	tr.Emitf("b", KindDeliver, "msg %d", 7)
+	tr.Emit("c", KindDeliver, "msg 8")
+	if got := tr.Count(KindDeliver); got != 2 {
+		t.Errorf("Count(deliver) = %d", got)
+	}
+	if got := tr.Count(""); got != 3 {
+		t.Errorf("Count(all) = %d", got)
+	}
+	events := tr.Events()
+	if events[1].Detail != "msg 7" || events[1].Node != "b" {
+		t.Errorf("event = %+v", events[1])
+	}
+	if !strings.Contains(events[0].String(), "join") {
+		t.Errorf("String() = %q", events[0].String())
+	}
+	tr.Reset()
+	if tr.Count("") != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestEventsReturnsCopy(t *testing.T) {
+	tr := NewTracer()
+	tr.Emit("a", KindJoin, "x")
+	events := tr.Events()
+	events[0].Node = "mutated"
+	if tr.Events()[0].Node != "a" {
+		t.Error("Events exposed internal storage")
+	}
+}
+
+func TestConcurrentEmit(t *testing.T) {
+	tr := NewTracer()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Emit("n", KindForward, "x")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tr.Count(KindForward); got != 800 {
+		t.Errorf("Count = %d, want 800", got)
+	}
+}

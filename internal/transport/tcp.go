@@ -1,0 +1,303 @@
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCP is a transport that carries the same Call/Handler contract as the
+// in-memory Network across real TCP sockets, making the protocol runtime
+// deployable between processes and machines. Endpoint addresses are
+// "host:port" strings: the address a node registers under is the address
+// its TCP listener accepts on.
+//
+// Framing is gob: each request is one frame {From, Kind, Payload}, each
+// response one frame {Payload, Err}. Payload values are encoded as gob
+// interface values, so every concrete payload type must be registered with
+// encoding/gob by both sides (the runtime package does this via
+// RegisterWireTypes).
+//
+// Outgoing connections are pooled per destination with one in-flight call
+// per connection; call failures mark the destination suspected for
+// SuspicionWindow so that Registered() doubles as a cheap failure detector,
+// matching what the protocol layer expects from the in-memory transport.
+type TCP struct {
+	listenAddr string
+	listener   net.Listener
+
+	mu       sync.Mutex
+	local    map[string]Handler
+	conns    map[string]*tcpConn
+	accepted map[net.Conn]bool
+	suspects map[string]time.Time
+	closed   bool
+
+	// SuspicionWindow is how long a destination stays "not Registered"
+	// after a failed call. Mutable before first use; default 2s.
+	SuspicionWindow time.Duration
+	// DialTimeout bounds connection establishment; default 2s.
+	DialTimeout time.Duration
+
+	wg sync.WaitGroup
+}
+
+type tcpConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// tcpRequest is one framed request.
+type tcpRequest struct {
+	From    string
+	To      string
+	Kind    string
+	Payload any
+}
+
+// tcpResponse is one framed response.
+type tcpResponse struct {
+	Payload any
+	Err     string
+}
+
+// ErrClosed reports use of a closed TCP transport.
+var ErrClosed = errors.New("transport: tcp transport closed")
+
+// NewTCP starts a TCP transport listening on listenAddr (use
+// "127.0.0.1:0" to pick a free port; Addr() returns the bound address).
+func NewTCP(listenAddr string) (*TCP, error) {
+	l, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", listenAddr, err)
+	}
+	t := &TCP{
+		listenAddr:      l.Addr().String(),
+		listener:        l,
+		local:           make(map[string]Handler),
+		conns:           make(map[string]*tcpConn),
+		accepted:        make(map[net.Conn]bool),
+		suspects:        make(map[string]time.Time),
+		SuspicionWindow: 2 * time.Second,
+		DialTimeout:     2 * time.Second,
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the bound listen address; nodes hosted on this transport
+// should register under this address.
+func (t *TCP) Addr() string { return t.listenAddr }
+
+// Register attaches a handler for a locally hosted endpoint.
+func (t *TCP) Register(addr string, h Handler) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.local[addr] = h
+}
+
+// Unregister detaches a locally hosted endpoint.
+func (t *TCP) Unregister(addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.local, addr)
+}
+
+// Registered reports whether addr is believed reachable: local endpoints
+// must be registered here; remote endpoints are reachable unless a call to
+// them failed within SuspicionWindow.
+func (t *TCP) Registered(addr string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return false
+	}
+	if addr == t.listenAddr || t.local[addr] != nil {
+		return t.local[addr] != nil
+	}
+	if at, ok := t.suspects[addr]; ok {
+		if time.Since(at) < t.SuspicionWindow {
+			return false
+		}
+		delete(t.suspects, addr)
+	}
+	return true
+}
+
+// Call delivers one request. Local destinations short-circuit to the
+// handler; remote ones go over a pooled connection.
+func (t *TCP) Call(from, to, kind string, payload any) (any, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if h, ok := t.local[to]; ok {
+		t.mu.Unlock()
+		return h(from, kind, payload)
+	}
+	t.mu.Unlock()
+
+	resp, err := t.remoteCall(tcpRequest{From: from, To: to, Kind: kind, Payload: payload})
+	if err != nil {
+		t.suspect(to)
+		return nil, fmt.Errorf("%s -> %s (%s): %w: %w", from, to, kind, ErrUnreachable, err)
+	}
+	if resp.Err != "" {
+		// A handler-level error: the endpoint is alive.
+		return nil, errors.New(resp.Err)
+	}
+	return resp.Payload, nil
+}
+
+func (t *TCP) remoteCall(req tcpRequest) (tcpResponse, error) {
+	c, err := t.conn(req.To)
+	if err != nil {
+		return tcpResponse{}, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(&req); err != nil {
+		t.dropConn(req.To, c)
+		return tcpResponse{}, err
+	}
+	var resp tcpResponse
+	if err := c.dec.Decode(&resp); err != nil {
+		t.dropConn(req.To, c)
+		return tcpResponse{}, err
+	}
+	return resp, nil
+}
+
+func (t *TCP) conn(to string) (*tcpConn, error) {
+	t.mu.Lock()
+	if c, ok := t.conns[to]; ok {
+		t.mu.Unlock()
+		return c, nil
+	}
+	dialTimeout := t.DialTimeout
+	t.mu.Unlock()
+
+	nc, err := net.DialTimeout("tcp", to, dialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	c := &tcpConn{conn: nc, enc: gob.NewEncoder(nc), dec: gob.NewDecoder(nc)}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		nc.Close()
+		return nil, ErrClosed
+	}
+	if existing, ok := t.conns[to]; ok {
+		nc.Close() // lost the race; reuse the existing connection
+		return existing, nil
+	}
+	t.conns[to] = c
+	return c, nil
+}
+
+func (t *TCP) dropConn(to string, c *tcpConn) {
+	c.conn.Close()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.conns[to] == c {
+		delete(t.conns, to)
+	}
+}
+
+func (t *TCP) suspect(addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.suspects[addr] = time.Now()
+}
+
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.accepted[conn] = true
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.serveConn(conn)
+	}
+}
+
+func (t *TCP) serveConn(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		conn.Close()
+		t.mu.Lock()
+		delete(t.accepted, conn)
+		t.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req tcpRequest
+		if err := dec.Decode(&req); err != nil {
+			return // peer closed or garbage
+		}
+		t.mu.Lock()
+		h := t.local[req.To]
+		t.mu.Unlock()
+
+		var resp tcpResponse
+		if h == nil {
+			resp.Err = fmt.Sprintf("transport: no endpoint %q here", req.To)
+		} else {
+			payload, err := h(req.From, req.Kind, req.Payload)
+			if err != nil {
+				resp.Err = err.Error()
+			} else {
+				resp.Payload = payload
+			}
+		}
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+	}
+}
+
+// Close shuts the transport down: the listener stops, pooled connections
+// close, and all background goroutines exit.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	conns := t.conns
+	t.conns = make(map[string]*tcpConn)
+	accepted := make([]net.Conn, 0, len(t.accepted))
+	for c := range t.accepted {
+		accepted = append(accepted, c)
+	}
+	t.mu.Unlock()
+
+	err := t.listener.Close()
+	for _, c := range conns {
+		c.conn.Close()
+	}
+	for _, c := range accepted {
+		c.Close() // unblocks the serveConn decoder
+	}
+	t.wg.Wait()
+	return err
+}

@@ -1,0 +1,210 @@
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoPayload is the test payload carried over gob.
+type echoPayload struct {
+	Value int
+}
+
+var registerOnce sync.Once
+
+func gobSetup() {
+	registerOnce.Do(func() {
+		gob.Register(echoPayload{})
+	})
+}
+
+func newTCPPair(t *testing.T) (*TCP, *TCP) {
+	t.Helper()
+	gobSetup()
+	a, err := NewTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		a.Close()
+		b.Close()
+	})
+	return a, b
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	a, b := newTCPPair(t)
+	b.Register(b.Addr(), func(from, kind string, payload any) (any, error) {
+		p, ok := payload.(echoPayload)
+		if !ok {
+			t.Errorf("payload type %T", payload)
+		}
+		return echoPayload{Value: p.Value + 1}, nil
+	})
+	resp, err := a.Call("client", b.Addr(), "echo", echoPayload{Value: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.(echoPayload).Value; got != 42 {
+		t.Fatalf("resp = %d", got)
+	}
+}
+
+func TestTCPLocalShortCircuit(t *testing.T) {
+	a, _ := newTCPPair(t)
+	a.Register("local-endpoint", func(from, kind string, payload any) (any, error) {
+		return echoPayload{Value: 7}, nil
+	})
+	resp, err := a.Call("me", "local-endpoint", "x", echoPayload{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.(echoPayload).Value != 7 {
+		t.Fatal("local call failed")
+	}
+}
+
+func TestTCPHandlerError(t *testing.T) {
+	a, b := newTCPPair(t)
+	b.Register(b.Addr(), func(from, kind string, payload any) (any, error) {
+		return nil, errors.New("boom")
+	})
+	_, err := a.Call("client", b.Addr(), "x", echoPayload{})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v", err)
+	}
+	// A handler error is not a transport failure: b stays reachable.
+	if !a.Registered(b.Addr()) {
+		t.Fatal("handler error should not mark the peer suspected")
+	}
+}
+
+func TestTCPUnknownEndpoint(t *testing.T) {
+	a, b := newTCPPair(t)
+	_, err := a.Call("client", b.Addr(), "x", echoPayload{}) // nothing registered at b
+	if err == nil || !strings.Contains(err.Error(), "no endpoint") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTCPUnreachableAndSuspicion(t *testing.T) {
+	gobSetup()
+	a, err := NewTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	a.SuspicionWindow = 50 * time.Millisecond
+	a.DialTimeout = 200 * time.Millisecond
+
+	dead := "127.0.0.1:1" // nothing listens here
+	if !a.Registered(dead) {
+		t.Fatal("unknown peer should start as reachable")
+	}
+	if _, err := a.Call("client", dead, "x", echoPayload{}); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v, want ErrUnreachable", err)
+	}
+	if a.Registered(dead) {
+		t.Fatal("failed peer should be suspected")
+	}
+	time.Sleep(60 * time.Millisecond)
+	if !a.Registered(dead) {
+		t.Fatal("suspicion should expire")
+	}
+}
+
+func TestTCPUnregister(t *testing.T) {
+	a, b := newTCPPair(t)
+	b.Register(b.Addr(), func(from, kind string, payload any) (any, error) {
+		return echoPayload{}, nil
+	})
+	if _, err := a.Call("c", b.Addr(), "x", echoPayload{}); err != nil {
+		t.Fatal(err)
+	}
+	b.Unregister(b.Addr())
+	if _, err := a.Call("c", b.Addr(), "x", echoPayload{}); err == nil {
+		t.Fatal("call to unregistered endpoint should fail")
+	}
+	if b.Registered(b.Addr()) {
+		t.Fatal("local endpoint should report unregistered")
+	}
+}
+
+func TestTCPConcurrentCalls(t *testing.T) {
+	a, b := newTCPPair(t)
+	var mu sync.Mutex
+	got := map[int]bool{}
+	b.Register(b.Addr(), func(from, kind string, payload any) (any, error) {
+		p := payload.(echoPayload)
+		mu.Lock()
+		got[p.Value] = true
+		mu.Unlock()
+		return p, nil
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := a.Call("c", b.Addr(), "x", echoPayload{Value: i}); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if len(got) != 32 {
+		t.Fatalf("received %d/32 calls", len(got))
+	}
+}
+
+func TestTCPNestedCalls(t *testing.T) {
+	// b's handler synchronously calls back into a — the pattern multicast
+	// forwarding produces. Distinct sockets per direction must prevent
+	// deadlock.
+	a, b := newTCPPair(t)
+	a.Register(a.Addr(), func(from, kind string, payload any) (any, error) {
+		return echoPayload{Value: 5}, nil
+	})
+	b.Register(b.Addr(), func(from, kind string, payload any) (any, error) {
+		resp, err := b.Call(b.Addr(), a.Addr(), "inner", echoPayload{})
+		if err != nil {
+			return nil, err
+		}
+		return echoPayload{Value: resp.(echoPayload).Value * 2}, nil
+	})
+	resp, err := a.Call(a.Addr(), b.Addr(), "outer", echoPayload{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.(echoPayload).Value != 10 {
+		t.Fatalf("resp = %v", resp)
+	}
+}
+
+func TestTCPCloseIdempotentAndRejects(t *testing.T) {
+	gobSetup()
+	a, err := NewTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal("second close should be nil")
+	}
+	if _, err := a.Call("c", "anywhere", "x", echoPayload{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	if a.Registered("anywhere") {
+		t.Fatal("closed transport should report nothing registered")
+	}
+}

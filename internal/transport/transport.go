@@ -1,0 +1,156 @@
+// Package transport provides the in-memory message transport the dynamic
+// runtime runs on: synchronous RPC between named endpoints with injectable
+// latency, message loss, node crashes, and network partitions. It stands in
+// for the Internet paths between multicast group members; every behaviour a
+// test wants to provoke (slow links, dropped control packets, unreachable
+// nodes) is injected here rather than mocked in protocol code.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Common transport errors, matchable with errors.Is.
+var (
+	// ErrUnreachable reports that the destination endpoint is not
+	// registered (crashed, left, or never existed).
+	ErrUnreachable = errors.New("transport: endpoint unreachable")
+	// ErrDropped reports simulated message loss.
+	ErrDropped = errors.New("transport: message dropped")
+	// ErrPartitioned reports that the source and destination are in
+	// different network partitions.
+	ErrPartitioned = errors.New("transport: endpoints partitioned")
+)
+
+// Handler processes one incoming request at an endpoint and returns a
+// response. Handlers are invoked from the caller's goroutine and must be
+// safe for concurrent use.
+type Handler func(from, kind string, payload any) (any, error)
+
+// Network is an in-memory network of named endpoints. The zero value is not
+// usable; construct with NewNetwork.
+type Network struct {
+	mu        sync.RWMutex
+	endpoints map[string]Handler
+	latency   func(from, to string) time.Duration
+	dropRate  float64
+	partition map[string]int // endpoint -> partition id; missing means 0
+	rng       *rand.Rand
+	calls     uint64
+	drops     uint64
+}
+
+// NewNetwork creates an empty network. seed drives loss simulation.
+func NewNetwork(seed int64) *Network {
+	return &Network{
+		endpoints: make(map[string]Handler),
+		partition: make(map[string]int),
+		rng:       rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Register attaches a handler at addr, replacing any previous registration.
+func (n *Network) Register(addr string, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.endpoints[addr] = h
+}
+
+// Unregister removes the endpoint, making it unreachable (a crash or
+// departure as seen by the rest of the network).
+func (n *Network) Unregister(addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.endpoints, addr)
+}
+
+// Registered reports whether addr currently has a handler.
+func (n *Network) Registered(addr string) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	_, ok := n.endpoints[addr]
+	return ok
+}
+
+// SetLatency installs a per-link latency function; nil disables latency
+// simulation. The function must be safe for concurrent use.
+func (n *Network) SetLatency(f func(from, to string) time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.latency = f
+}
+
+// SetDropRate makes every call fail with ErrDropped with probability rate
+// (clamped to [0, 1]).
+func (n *Network) SetDropRate(rate float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	n.dropRate = rate
+}
+
+// SetPartition places addr into the given partition. Calls between
+// different partitions fail with ErrPartitioned. All endpoints start in
+// partition 0.
+func (n *Network) SetPartition(addr string, partition int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if partition == 0 {
+		delete(n.partition, addr)
+		return
+	}
+	n.partition[addr] = partition
+}
+
+// HealPartitions returns every endpoint to partition 0.
+func (n *Network) HealPartitions() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partition = make(map[string]int)
+}
+
+// Stats returns the total number of calls attempted and dropped so far.
+func (n *Network) Stats() (calls, drops uint64) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.calls, n.drops
+}
+
+// Call delivers one request from -> to and returns the handler's response.
+// It applies, in order: partition checks, loss simulation, latency, and
+// endpoint resolution. The handler runs in the caller's goroutine.
+func (n *Network) Call(from, to, kind string, payload any) (any, error) {
+	n.mu.Lock()
+	n.calls++
+	if n.partition[from] != n.partition[to] {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("%s -> %s: %w", from, to, ErrPartitioned)
+	}
+	if n.dropRate > 0 && n.rng.Float64() < n.dropRate {
+		n.drops++
+		n.mu.Unlock()
+		return nil, fmt.Errorf("%s -> %s (%s): %w", from, to, kind, ErrDropped)
+	}
+	h, ok := n.endpoints[to]
+	latency := n.latency
+	n.mu.Unlock()
+
+	if !ok {
+		return nil, fmt.Errorf("%s -> %s: %w", from, to, ErrUnreachable)
+	}
+	if latency != nil {
+		if d := latency(from, to); d > 0 {
+			time.Sleep(d)
+		}
+	}
+	return h(from, kind, payload)
+}

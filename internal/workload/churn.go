@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// EventKind distinguishes churn events.
+type EventKind int
+
+const (
+	// EventJoin introduces a new member.
+	EventJoin EventKind = iota + 1
+	// EventLeave removes an existing member gracefully.
+	EventLeave
+	// EventFail removes an existing member without notice (crash).
+	EventFail
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EventJoin:
+		return "join"
+	case EventLeave:
+		return "leave"
+	case EventFail:
+		return "fail"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one membership change in a churn schedule. Index identifies the
+// member: for joins it is a fresh index, for leaves/failures it selects among
+// the currently alive members at schedule-generation time.
+type Event struct {
+	Kind  EventKind
+	Index int
+}
+
+// ChurnConfig parameterizes a churn schedule.
+type ChurnConfig struct {
+	Seed     int64
+	Events   int     // total number of events to generate
+	JoinFrac float64 // fraction of events that are joins (0..1)
+	FailFrac float64 // fraction of departures that are crashes rather than graceful leaves
+	Initial  int     // number of members alive before the schedule starts
+}
+
+// Schedule generates a deterministic churn schedule. The returned events
+// reference member indices: joins introduce indices Initial, Initial+1, ...;
+// departures pick a uniformly random currently-alive index. The schedule
+// never drains the group below one member.
+func Schedule(cfg ChurnConfig) ([]Event, error) {
+	if cfg.Events < 0 {
+		return nil, fmt.Errorf("workload: negative event count %d", cfg.Events)
+	}
+	if cfg.Initial < 1 {
+		return nil, fmt.Errorf("workload: churn schedule needs at least one initial member, got %d", cfg.Initial)
+	}
+	if cfg.JoinFrac < 0 || cfg.JoinFrac > 1 {
+		return nil, fmt.Errorf("workload: join fraction %g out of [0,1]", cfg.JoinFrac)
+	}
+	if cfg.FailFrac < 0 || cfg.FailFrac > 1 {
+		return nil, fmt.Errorf("workload: fail fraction %g out of [0,1]", cfg.FailFrac)
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	alive := make([]int, cfg.Initial)
+	for i := range alive {
+		alive[i] = i
+	}
+	next := cfg.Initial
+
+	events := make([]Event, 0, cfg.Events)
+	for len(events) < cfg.Events {
+		join := rng.Float64() < cfg.JoinFrac || len(alive) <= 1
+		if join {
+			events = append(events, Event{Kind: EventJoin, Index: next})
+			alive = append(alive, next)
+			next++
+			continue
+		}
+		pos := rng.Intn(len(alive))
+		idx := alive[pos]
+		alive[pos] = alive[len(alive)-1]
+		alive = alive[:len(alive)-1]
+		kind := EventLeave
+		if rng.Float64() < cfg.FailFrac {
+			kind = EventFail
+		}
+		events = append(events, Event{Kind: kind, Index: idx})
+	}
+	return events, nil
+}

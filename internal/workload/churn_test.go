@@ -1,0 +1,90 @@
+package workload
+
+import "testing"
+
+func TestScheduleBasic(t *testing.T) {
+	events, err := Schedule(ChurnConfig{Seed: 1, Events: 200, JoinFrac: 0.5, FailFrac: 0.3, Initial: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 200 {
+		t.Fatalf("got %d events, want 200", len(events))
+	}
+
+	alive := make(map[int]bool, 50)
+	for i := 0; i < 50; i++ {
+		alive[i] = true
+	}
+	for i, ev := range events {
+		switch ev.Kind {
+		case EventJoin:
+			if alive[ev.Index] {
+				t.Fatalf("event %d joins already-alive member %d", i, ev.Index)
+			}
+			alive[ev.Index] = true
+		case EventLeave, EventFail:
+			if !alive[ev.Index] {
+				t.Fatalf("event %d removes dead member %d", i, ev.Index)
+			}
+			delete(alive, ev.Index)
+		default:
+			t.Fatalf("event %d has unknown kind %v", i, ev.Kind)
+		}
+		if len(alive) < 1 {
+			t.Fatalf("group drained after event %d", i)
+		}
+	}
+}
+
+func TestScheduleDeterministic(t *testing.T) {
+	cfg := ChurnConfig{Seed: 5, Events: 100, JoinFrac: 0.4, FailFrac: 0.5, Initial: 20}
+	a, _ := Schedule(cfg)
+	b, _ := Schedule(cfg)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at event %d", i)
+		}
+	}
+}
+
+func TestScheduleAllLeaves(t *testing.T) {
+	// With JoinFrac 0, the group shrinks but must never drop below one.
+	events, err := Schedule(ChurnConfig{Seed: 2, Events: 30, JoinFrac: 0, FailFrac: 1, Initial: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 members drain to 1 in 9 departures; afterwards the schedule must
+	// alternate forced joins with departures: 9 + floor((30-9)/2) = 19.
+	leaves := 0
+	for _, ev := range events {
+		if ev.Kind != EventJoin {
+			leaves++
+		}
+	}
+	if leaves != 19 {
+		t.Fatalf("expected 19 departures (9 drain + 10 alternating), got %d", leaves)
+	}
+}
+
+func TestScheduleValidation(t *testing.T) {
+	bad := []ChurnConfig{
+		{Events: -1, Initial: 1},
+		{Events: 1, Initial: 0},
+		{Events: 1, Initial: 1, JoinFrac: 1.5},
+		{Events: 1, Initial: 1, FailFrac: -0.1},
+	}
+	for i, cfg := range bad {
+		if _, err := Schedule(cfg); err == nil {
+			t.Errorf("config %d should fail validation", i)
+		}
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	if EventJoin.String() != "join" || EventLeave.String() != "leave" || EventFail.String() != "fail" {
+		t.Error("EventKind strings wrong")
+	}
+	if EventKind(99).String() != "EventKind(99)" {
+		t.Error("unknown EventKind string wrong")
+	}
+}

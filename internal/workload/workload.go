@@ -1,0 +1,183 @@
+// Package workload generates the synthetic member populations used by the
+// paper's evaluation (Section 6): group members with upload bandwidths drawn
+// uniformly from a range (default [400, 1000] kbps), and per-node capacities
+// that are either drawn uniformly from an integer range (default [4..10]) or
+// derived from bandwidth as c_x = ceil(B_x / p) for a per-link bandwidth
+// target p.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"camcast/internal/ids"
+	"camcast/internal/ring"
+)
+
+// Paper defaults from Section 6.
+const (
+	DefaultBits        = 19     // identifier space [0, 2^19)
+	DefaultGroupSize   = 100000 // default multicast group size
+	DefaultBandwidthLo = 400    // kbps
+	DefaultBandwidthHi = 1000   // kbps
+	DefaultCapacityLo  = 4
+	DefaultCapacityHi  = 10
+)
+
+// Member is one multicast group member.
+type Member struct {
+	Addr      string  // host address (hash input)
+	ID        ring.ID // position on the identifier ring
+	Bandwidth float64 // upload bandwidth in kbps
+	Capacity  int     // c_x: max direct children the member will forward to
+}
+
+// CapacityMode selects how member capacities are assigned.
+type CapacityMode int
+
+const (
+	// CapacityUniform draws c_x uniformly from [CapacityLo, CapacityHi].
+	CapacityUniform CapacityMode = iota + 1
+	// CapacityFromBandwidth derives c_x = ceil(B_x / LinkRate), clamped to
+	// at least MinCapacity. This is the CAM construction from Section 6.
+	CapacityFromBandwidth
+)
+
+// Config describes a member population to generate.
+type Config struct {
+	Space       ring.Space
+	N           int     // number of members
+	Seed        int64   // RNG seed; generation is deterministic given a seed
+	BandwidthLo float64 // kbps, inclusive
+	BandwidthHi float64 // kbps, inclusive
+	Mode        CapacityMode
+	CapacityLo  int     // CapacityUniform: inclusive lower bound
+	CapacityHi  int     // CapacityUniform: inclusive upper bound
+	LinkRate    float64 // CapacityFromBandwidth: p, desired kbps per tree link
+	MinCapacity int     // CapacityFromBandwidth: floor on c_x (0 means 2)
+}
+
+// DefaultConfig returns the paper's default simulation setup: n members on a
+// 2^19 ring, bandwidth U[400,1000] kbps, capacities U[4..10].
+func DefaultConfig(n int, seed int64) Config {
+	return Config{
+		Space:       ring.MustSpace(DefaultBits),
+		N:           n,
+		Seed:        seed,
+		BandwidthLo: DefaultBandwidthLo,
+		BandwidthHi: DefaultBandwidthHi,
+		Mode:        CapacityUniform,
+		CapacityLo:  DefaultCapacityLo,
+		CapacityHi:  DefaultCapacityHi,
+	}
+}
+
+func (c Config) validate() error {
+	if c.N <= 0 {
+		return fmt.Errorf("workload: group size %d must be positive", c.N)
+	}
+	if uint64(c.N) > c.Space.Size() {
+		return fmt.Errorf("workload: %d members exceed identifier space of size %d", c.N, c.Space.Size())
+	}
+	if c.BandwidthLo <= 0 || c.BandwidthHi < c.BandwidthLo {
+		return fmt.Errorf("workload: bandwidth range [%g, %g] invalid", c.BandwidthLo, c.BandwidthHi)
+	}
+	switch c.Mode {
+	case CapacityUniform:
+		if c.CapacityLo < 1 || c.CapacityHi < c.CapacityLo {
+			return fmt.Errorf("workload: capacity range [%d, %d] invalid", c.CapacityLo, c.CapacityHi)
+		}
+	case CapacityFromBandwidth:
+		if c.LinkRate <= 0 {
+			return fmt.Errorf("workload: link rate %g must be positive", c.LinkRate)
+		}
+	default:
+		return fmt.Errorf("workload: unknown capacity mode %d", c.Mode)
+	}
+	return nil
+}
+
+// CapacityFor returns ceil(bandwidth / linkRate) clamped below at minCapacity
+// (which itself defaults to 2, the smallest capacity CAM-Chord supports).
+func CapacityFor(bandwidth, linkRate float64, minCapacity int) int {
+	if minCapacity < 2 {
+		minCapacity = 2
+	}
+	c := int(math.Ceil(bandwidth / linkRate))
+	if c < minCapacity {
+		c = minCapacity
+	}
+	return c
+}
+
+// Generate produces a deterministic member population for cfg. Identifiers
+// are unique: members whose SHA-1 identifier collides with an earlier member
+// probe salted rehashes, mirroring how a real deployment would resolve ring
+// collisions at join time.
+func Generate(cfg Config) ([]Member, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	hasher := ids.NewHasher(cfg.Space)
+	taken := make(map[ring.ID]bool, cfg.N)
+	members := make([]Member, 0, cfg.N)
+
+	// Bound collision probing: the probability of needing many salts is tiny
+	// while the ring is sparse, but when N approaches the space size the
+	// prober needs room.
+	maxProbes := 64
+	if cfg.N*4 > int(cfg.Space.Size()) {
+		maxProbes = int(cfg.Space.Size())
+	}
+
+	for i := 0; i < cfg.N; i++ {
+		addr := fmt.Sprintf("member-%d.group.example:%d", i, 40000+i%20000)
+		id, _, ok := hasher.Unique(addr, taken, maxProbes)
+		if !ok {
+			return nil, fmt.Errorf("workload: could not find a free identifier for member %d", i)
+		}
+		taken[id] = true
+
+		bw := cfg.BandwidthLo
+		if cfg.BandwidthHi > cfg.BandwidthLo {
+			bw += rng.Float64() * (cfg.BandwidthHi - cfg.BandwidthLo)
+		}
+
+		var capacity int
+		switch cfg.Mode {
+		case CapacityUniform:
+			capacity = cfg.CapacityLo + rng.Intn(cfg.CapacityHi-cfg.CapacityLo+1)
+		case CapacityFromBandwidth:
+			capacity = CapacityFor(bw, cfg.LinkRate, cfg.MinCapacity)
+		}
+
+		members = append(members, Member{Addr: addr, ID: id, Bandwidth: bw, Capacity: capacity})
+	}
+	return members, nil
+}
+
+// AverageCapacity returns the mean capacity of the population.
+func AverageCapacity(members []Member) float64 {
+	if len(members) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, m := range members {
+		sum += float64(m.Capacity)
+	}
+	return sum / float64(len(members))
+}
+
+// AverageBandwidth returns the mean upload bandwidth of the population.
+func AverageBandwidth(members []Member) float64 {
+	if len(members) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, m := range members {
+		sum += m.Bandwidth
+	}
+	return sum / float64(len(members))
+}

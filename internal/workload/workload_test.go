@@ -1,0 +1,157 @@
+package workload
+
+import (
+	"testing"
+
+	"camcast/internal/ring"
+)
+
+func TestGenerateDefaults(t *testing.T) {
+	cfg := DefaultConfig(500, 1)
+	members, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != 500 {
+		t.Fatalf("got %d members, want 500", len(members))
+	}
+	seen := make(map[ring.ID]bool, len(members))
+	for _, m := range members {
+		if seen[m.ID] {
+			t.Fatalf("duplicate identifier %d", m.ID)
+		}
+		seen[m.ID] = true
+		if m.Bandwidth < DefaultBandwidthLo || m.Bandwidth > DefaultBandwidthHi {
+			t.Fatalf("bandwidth %g outside [%d,%d]", m.Bandwidth, DefaultBandwidthLo, DefaultBandwidthHi)
+		}
+		if m.Capacity < DefaultCapacityLo || m.Capacity > DefaultCapacityHi {
+			t.Fatalf("capacity %d outside [%d,%d]", m.Capacity, DefaultCapacityLo, DefaultCapacityHi)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(DefaultConfig(100, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(DefaultConfig(100, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("member %d differs between identical seeds: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a, _ := Generate(DefaultConfig(100, 1))
+	b, _ := Generate(DefaultConfig(100, 2))
+	same := 0
+	for i := range a {
+		if a[i].Capacity == b[i].Capacity {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical capacity assignments")
+	}
+}
+
+func TestGenerateFromBandwidth(t *testing.T) {
+	cfg := DefaultConfig(300, 3)
+	cfg.Mode = CapacityFromBandwidth
+	cfg.LinkRate = 100
+	members, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range members {
+		want := CapacityFor(m.Bandwidth, 100, 0)
+		if m.Capacity != want {
+			t.Fatalf("capacity %d != ceil(%g/100)=%d", m.Capacity, m.Bandwidth, want)
+		}
+		if m.Capacity < 2 {
+			t.Fatalf("capacity %d below floor", m.Capacity)
+		}
+	}
+}
+
+func TestCapacityFor(t *testing.T) {
+	tests := []struct {
+		bw, p float64
+		min   int
+		want  int
+	}{
+		{1000, 100, 0, 10},
+		{1001, 100, 0, 11},
+		{400, 100, 0, 4},
+		{100, 100, 0, 2},  // floor applies
+		{999, 1000, 4, 4}, // explicit floor
+	}
+	for _, tt := range tests {
+		if got := CapacityFor(tt.bw, tt.p, tt.min); got != tt.want {
+			t.Errorf("CapacityFor(%g,%g,%d) = %d, want %d", tt.bw, tt.p, tt.min, got, tt.want)
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero members", func(c *Config) { c.N = 0 }},
+		{"too many members", func(c *Config) { c.Space = ring.MustSpace(3); c.N = 100 }},
+		{"bad bandwidth", func(c *Config) { c.BandwidthHi = c.BandwidthLo - 1 }},
+		{"zero bandwidth", func(c *Config) { c.BandwidthLo = 0 }},
+		{"bad capacity range", func(c *Config) { c.CapacityHi = c.CapacityLo - 1 }},
+		{"zero capacity", func(c *Config) { c.CapacityLo = 0 }},
+		{"bad mode", func(c *Config) { c.Mode = 0 }},
+		{"bad link rate", func(c *Config) { c.Mode = CapacityFromBandwidth; c.LinkRate = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := DefaultConfig(10, 1)
+			tt.mutate(&cfg)
+			if _, err := Generate(cfg); err == nil {
+				t.Fatal("expected validation error")
+			}
+		})
+	}
+}
+
+func TestAverages(t *testing.T) {
+	members := []Member{
+		{Bandwidth: 400, Capacity: 4},
+		{Bandwidth: 1000, Capacity: 10},
+	}
+	if got := AverageCapacity(members); got != 7 {
+		t.Errorf("AverageCapacity = %g, want 7", got)
+	}
+	if got := AverageBandwidth(members); got != 700 {
+		t.Errorf("AverageBandwidth = %g, want 700", got)
+	}
+	if AverageCapacity(nil) != 0 || AverageBandwidth(nil) != 0 {
+		t.Error("averages over empty slice should be 0")
+	}
+}
+
+func TestDenseSpaceGeneration(t *testing.T) {
+	// Fill a quarter of a small space; salted probing must still find slots.
+	cfg := DefaultConfig(64, 9)
+	cfg.Space = ring.MustSpace(8)
+	members, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[ring.ID]bool)
+	for _, m := range members {
+		if seen[m.ID] {
+			t.Fatalf("duplicate id %d in dense space", m.ID)
+		}
+		seen[m.ID] = true
+	}
+}

@@ -1,0 +1,121 @@
+package reliable
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Wire formats (all integers big-endian):
+//
+//	data envelope:   [1: kindData]  [8: seq] [payload...]
+//	sync envelope:   [1: kindSync]  [8: top]
+//	repair request:  [1: kindNack]  [2: count] count × [8: seq]
+//	repair response: [1: kindRetx]  [2: count] count × ([8: seq] [4: len] [len: data])
+const (
+	kindData byte = 1
+	kindSync byte = 2
+	kindNack byte = 3
+	kindRetx byte = 4
+)
+
+func encodeData(seq uint64, payload []byte) []byte {
+	out := make([]byte, 9+len(payload))
+	out[0] = kindData
+	binary.BigEndian.PutUint64(out[1:9], seq)
+	copy(out[9:], payload)
+	return out
+}
+
+func encodeSync(top uint64) []byte {
+	out := make([]byte, 9)
+	out[0] = kindSync
+	binary.BigEndian.PutUint64(out[1:9], top)
+	return out
+}
+
+// decode splits a multicast envelope into kind, sequence and payload.
+func decode(raw []byte) (kind byte, seq uint64, payload []byte, err error) {
+	if len(raw) < 9 {
+		return 0, 0, nil, fmt.Errorf("reliable: envelope too short (%d bytes)", len(raw))
+	}
+	kind = raw[0]
+	if kind != kindData && kind != kindSync {
+		return 0, 0, nil, fmt.Errorf("reliable: unknown envelope kind %d", kind)
+	}
+	seq = binary.BigEndian.Uint64(raw[1:9])
+	if kind == kindData {
+		payload = raw[9:]
+	}
+	return kind, seq, payload, nil
+}
+
+func encodeRepairReq(missing []uint64) []byte {
+	out := make([]byte, 3+8*len(missing))
+	out[0] = kindNack
+	binary.BigEndian.PutUint16(out[1:3], uint16(len(missing)))
+	for i, seq := range missing {
+		binary.BigEndian.PutUint64(out[3+8*i:], seq)
+	}
+	return out
+}
+
+func decodeRepairReq(raw []byte) ([]uint64, error) {
+	if len(raw) < 3 || raw[0] != kindNack {
+		return nil, fmt.Errorf("reliable: malformed repair request")
+	}
+	count := int(binary.BigEndian.Uint16(raw[1:3]))
+	if len(raw) != 3+8*count {
+		return nil, fmt.Errorf("reliable: repair request length %d != %d", len(raw), 3+8*count)
+	}
+	out := make([]uint64, count)
+	for i := range out {
+		out[i] = binary.BigEndian.Uint64(raw[3+8*i:])
+	}
+	return out, nil
+}
+
+func encodeRepairResp(found map[uint64][]byte) []byte {
+	size := 3
+	for _, data := range found {
+		size += 12 + len(data)
+	}
+	out := make([]byte, 0, size)
+	out = append(out, kindRetx, 0, 0)
+	binary.BigEndian.PutUint16(out[1:3], uint16(len(found)))
+	var buf [12]byte
+	for seq, data := range found {
+		binary.BigEndian.PutUint64(buf[0:8], seq)
+		binary.BigEndian.PutUint32(buf[8:12], uint32(len(data)))
+		out = append(out, buf[:]...)
+		out = append(out, data...)
+	}
+	return out
+}
+
+func decodeRepairResp(raw []byte) (map[uint64][]byte, error) {
+	if len(raw) < 3 || raw[0] != kindRetx {
+		return nil, fmt.Errorf("reliable: malformed repair response")
+	}
+	count := int(binary.BigEndian.Uint16(raw[1:3]))
+	out := make(map[uint64][]byte, count)
+	off := 3
+	for i := 0; i < count; i++ {
+		if len(raw) < off+12 {
+			return nil, fmt.Errorf("reliable: truncated repair response header")
+		}
+		seq := binary.BigEndian.Uint64(raw[off : off+8])
+		n := int(binary.BigEndian.Uint32(raw[off+8 : off+12]))
+		off += 12
+		if len(raw) < off+n {
+			return nil, fmt.Errorf("reliable: truncated repair response body")
+		}
+		data := make([]byte, n)
+		copy(data, raw[off:off+n])
+		out[seq] = data
+		off += n
+	}
+	if off != len(raw) {
+		return nil, fmt.Errorf("reliable: %d trailing bytes in repair response", len(raw)-off)
+	}
+	return out, nil
+}

@@ -1,0 +1,101 @@
+package reliable
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestDataEnvelopeRoundTrip(t *testing.T) {
+	f := func(seq uint64, payload []byte) bool {
+		kind, gotSeq, gotPayload, err := decode(encodeData(seq, payload))
+		return err == nil && kind == kindData && gotSeq == seq && bytes.Equal(gotPayload, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSyncEnvelopeRoundTrip(t *testing.T) {
+	kind, seq, payload, err := decode(encodeSync(42))
+	if err != nil || kind != kindSync || seq != 42 || payload != nil {
+		t.Fatalf("decode(sync) = (%d, %d, %v, %v)", kind, seq, payload, err)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	bad := [][]byte{
+		nil,
+		{},
+		{kindData},                               // too short
+		{9, 0, 0, 0, 0, 0, 0, 0, 1},              // unknown kind
+		{kindNack, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}, // wrong channel
+	}
+	for i, raw := range bad {
+		if _, _, _, err := decode(raw); err == nil {
+			t.Errorf("case %d: decode accepted garbage", i)
+		}
+	}
+}
+
+func TestRepairReqRoundTrip(t *testing.T) {
+	missing := []uint64{3, 7, 1 << 40}
+	got, err := decodeRepairReq(encodeRepairReq(missing))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 3 || got[1] != 7 || got[2] != 1<<40 {
+		t.Fatalf("got %v", got)
+	}
+	if _, err := decodeRepairReq(encodeRepairReq(nil)); err != nil {
+		t.Fatalf("empty request: %v", err)
+	}
+}
+
+func TestRepairReqRejectsGarbage(t *testing.T) {
+	if _, err := decodeRepairReq([]byte{kindNack, 0, 2, 1}); err == nil {
+		t.Error("truncated request accepted")
+	}
+	if _, err := decodeRepairReq([]byte{kindRetx, 0, 0}); err == nil {
+		t.Error("wrong kind accepted")
+	}
+	if _, err := decodeRepairReq(nil); err == nil {
+		t.Error("nil accepted")
+	}
+}
+
+func TestRepairRespRoundTrip(t *testing.T) {
+	in := map[uint64][]byte{
+		1:   []byte("one"),
+		9:   {},
+		255: []byte("two-fifty-five"),
+	}
+	got, err := decodeRepairResp(encodeRepairResp(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(in) {
+		t.Fatalf("got %d entries", len(got))
+	}
+	for seq, data := range in {
+		if !bytes.Equal(got[seq], data) {
+			t.Errorf("seq %d: %q != %q", seq, got[seq], data)
+		}
+	}
+}
+
+func TestRepairRespRejectsGarbage(t *testing.T) {
+	valid := encodeRepairResp(map[uint64][]byte{5: []byte("x")})
+	cases := [][]byte{
+		nil,
+		valid[:len(valid)-1], // truncated body
+		valid[:10],           // truncated header
+		append(valid, 0),     // trailing bytes
+		{kindNack, 0, 0},     // wrong kind
+	}
+	for i, raw := range cases {
+		if _, err := decodeRepairResp(raw); err == nil {
+			t.Errorf("case %d: accepted garbage", i)
+		}
+	}
+}
