@@ -42,6 +42,7 @@ import (
 	"sync"
 	"time"
 
+	"camcast/internal/metrics"
 	"camcast/internal/ring"
 	"camcast/internal/runtime"
 	"camcast/internal/trace"
@@ -113,6 +114,38 @@ type Options struct {
 	// background maintenance; drive it explicitly with Network.Settle.
 	Stabilize time.Duration
 	Fix       time.Duration
+
+	// ForwardRetries is how many times a failed child send is retried
+	// (re-resolving the child between attempts) before the orphaned
+	// segment is repaired or reported lost. Zero means the default (2);
+	// negative disables retries.
+	ForwardRetries int
+	// ForwardTimeout is the per-child send deadline during multicast
+	// fan-out. Zero means the default (2s); negative disables deadlines.
+	ForwardTimeout time.Duration
+	// ForwardParallel bounds concurrent in-flight child sends per
+	// fan-out. Zero means the default (8); negative serializes sends.
+	ForwardParallel int
+	// RetryBackoff is the delay before the first retry; each further
+	// retry doubles it, with jitter. Zero means the default (5ms);
+	// negative disables backoff.
+	RetryBackoff time.Duration
+
+	// SuspicionWindow is how long a peer that failed an RPC with an
+	// unreachability error is skipped as a routing detour in lookups. It
+	// also tunes the TCP transport's failure detector for ListenTCP
+	// members. Zero keeps the defaults (1s routing suspicion, 2s TCP
+	// detector); negative disables routing suspicion.
+	SuspicionWindow time.Duration
+	// DialTimeout bounds TCP connection establishment (ListenTCP members
+	// only; in-process members ignore it). Zero keeps the transport
+	// default (2s).
+	DialTimeout time.Duration
+	// RPCTimeout bounds each TCP request/response exchange so a hung peer
+	// cannot wedge a pooled connection (ListenTCP members only). Zero
+	// keeps the transport default (10s).
+	RPCTimeout time.Duration
+
 	// Tracer optionally records protocol events.
 	Tracer *trace.Tracer
 }
@@ -133,7 +166,8 @@ const (
 // Network is an in-process multicast group: a simulated transport plus the
 // members running on it. It is safe for concurrent use.
 type Network struct {
-	tr *transport.Network
+	tr       *transport.Network
+	counters *metrics.Counters
 
 	mu      sync.Mutex
 	members map[string]*Member
@@ -143,14 +177,20 @@ type Network struct {
 // NewNetwork creates an empty in-process network.
 func NewNetwork() *Network {
 	return &Network{
-		tr:      transport.NewNetwork(1),
-		members: make(map[string]*Member),
+		tr:       transport.NewNetwork(1),
+		counters: &metrics.Counters{},
+		members:  make(map[string]*Member),
 	}
 }
 
 // Transport exposes the underlying simulated transport for fault injection
-// (latency, loss, partitions).
+// (latency, loss, partitions, fault plans).
 func (n *Network) Transport() *transport.Network { return n.tr }
+
+// Counters returns a snapshot of the group-wide forwarding-outcome
+// counters ("forward.acked", "forward.retries", "forward.repaired",
+// "forward.lost") aggregated across every member of this network.
+func (n *Network) Counters() map[string]uint64 { return n.counters.Snapshot() }
 
 // Create starts the first member of a fresh group at addr.
 func (n *Network) Create(addr string, opts Options) (*Member, error) {
@@ -189,6 +229,7 @@ func (n *Network) start(addr, via string, opts Options) (*Member, error) {
 		}
 	}
 	cfg.OnRequest = opts.OnRequest
+	cfg.Counters = n.counters
 	node, err := runtime.NewNode(n.tr, addr, cfg)
 	if err != nil {
 		return nil, err
@@ -380,11 +421,118 @@ func buildConfig(opts Options) (runtime.Config, error) {
 	}
 
 	return runtime.Config{
-		Space:          space,
-		Mode:           mode,
-		Capacity:       capacity,
-		StabilizeEvery: stabilize,
-		FixEvery:       fix,
-		Tracer:         opts.Tracer,
+		Space:           space,
+		Mode:            mode,
+		Capacity:        capacity,
+		StabilizeEvery:  stabilize,
+		FixEvery:        fix,
+		ForwardRetries:  opts.ForwardRetries,
+		ForwardTimeout:  opts.ForwardTimeout,
+		ForwardParallel: opts.ForwardParallel,
+		RetryBackoff:    opts.RetryBackoff,
+		SuspicionWindow: opts.SuspicionWindow,
+		Tracer:          opts.Tracer,
 	}, nil
+}
+
+// TCPMember is one group member hosted on its own TCP transport — its own
+// listener on a real socket, exactly as a separate process or host would
+// run. Create with ListenTCP; a TCPMember owns its transport and must be
+// Closed when done.
+type TCPMember struct {
+	node *runtime.Node
+	tr   *transport.TCP
+}
+
+// ListenTCP starts a member on a real TCP socket at listenAddr (use
+// "127.0.0.1:0" to pick a free port). With via == "" the member bootstraps
+// a fresh group; otherwise it joins the group through the existing member
+// listening at via (a "host:port" string). Options.SuspicionWindow,
+// DialTimeout and RPCTimeout tune the transport's failure detection and
+// per-RPC deadlines.
+func ListenTCP(listenAddr, via string, opts Options) (*TCPMember, error) {
+	cfg, err := buildConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	runtime.RegisterWireTypes()
+	tr, err := transport.NewTCP(listenAddr)
+	if err != nil {
+		return nil, err
+	}
+	if opts.SuspicionWindow > 0 {
+		tr.SuspicionWindow = opts.SuspicionWindow
+	}
+	if opts.DialTimeout > 0 {
+		tr.DialTimeout = opts.DialTimeout
+	}
+	if opts.RPCTimeout > 0 {
+		tr.RPCTimeout = opts.RPCTimeout
+	}
+
+	addr := tr.Addr()
+	cfg.OnDeliver = func(d runtime.Delivery) {
+		if opts.OnDeliver != nil {
+			opts.OnDeliver(Message{ID: d.MsgID, From: d.Source.Addr, Payload: d.Payload, Hops: d.Hops})
+		}
+	}
+	cfg.OnRequest = opts.OnRequest
+	node, err := runtime.NewNode(tr, addr, cfg)
+	if err != nil {
+		tr.Close()
+		return nil, err
+	}
+	if via == "" {
+		err = node.Bootstrap()
+	} else {
+		err = node.Join(via)
+	}
+	if err != nil {
+		tr.Close()
+		return nil, err
+	}
+	return &TCPMember{node: node, tr: tr}, nil
+}
+
+// Addr returns the member's bound "host:port" address — what other members
+// pass to ListenTCP as via.
+func (m *TCPMember) Addr() string { return m.node.Self().Addr }
+
+// ID returns the member's ring identifier.
+func (m *TCPMember) ID() uint64 { return m.node.Self().ID }
+
+// Multicast sends payload to every group member (including this one) and
+// returns the message ID.
+func (m *TCPMember) Multicast(payload []byte) (string, error) {
+	return m.node.Multicast(payload)
+}
+
+// Stats returns a snapshot of the member's protocol counters.
+func (m *TCPMember) Stats() Stats { return m.node.Stats() }
+
+// Request sends a unicast request to the member at addr; the remote member
+// must have configured Options.OnRequest.
+func (m *TCPMember) Request(addr string, payload []byte) ([]byte, error) {
+	return m.node.Request(addr, payload)
+}
+
+// StabilizeOnce and FixAll drive one maintenance round explicitly, for
+// deployments that disabled background maintenance.
+func (m *TCPMember) StabilizeOnce() { m.node.StabilizeOnce() }
+
+// FixAll refreshes the member's entire routing table in one pass.
+func (m *TCPMember) FixAll() { m.node.FixAll() }
+
+// Leave departs gracefully, then releases the transport.
+func (m *TCPMember) Leave() error {
+	err := m.node.Leave()
+	m.tr.Close()
+	return err
+}
+
+// Close stops the member abruptly (a crash, as other members see it) and
+// releases the transport. Safe to call multiple times.
+func (m *TCPMember) Close() {
+	m.node.Stop()
+	m.tr.Close()
 }

@@ -281,3 +281,152 @@ func TestNetworkCloseStopsMembers(t *testing.T) {
 	}
 	net.Close() // idempotent
 }
+
+func TestNetworkCounters(t *testing.T) {
+	net, col, addrs := buildGroup(t, CAMChord, 10, 4)
+
+	src, _ := net.Member(addrs[2])
+	msgID, err := src.Multicast([]byte("counted"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, addr := range addrs {
+		if got := col.count(addr, msgID); got != 1 {
+			t.Fatalf("%s delivered %d times, want 1", addr, got)
+		}
+	}
+	counters := net.Counters()
+	if counters["forward.acked"] == 0 {
+		t.Error("clean multicast recorded no acked forwards")
+	}
+	if counters["forward.lost"] != 0 {
+		t.Errorf("clean multicast recorded %d lost segments", counters["forward.lost"])
+	}
+
+	// Crash a member without letting maintenance notice: the next
+	// multicast must still reach every survivor, with the recovery fully
+	// accounted (acks grew, nothing reported lost).
+	before := counters["forward.acked"]
+	victim, _ := net.Member(addrs[6])
+	victim.Crash()
+	msgID, err = src.Multicast([]byte("after crash"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, addr := range addrs {
+		if addr == addrs[6] {
+			continue
+		}
+		if got := col.count(addr, msgID); got != 1 {
+			t.Errorf("survivor %s delivered %d times, want 1", addr, got)
+		}
+	}
+	counters = net.Counters()
+	if counters["forward.acked"] <= before {
+		t.Error("post-crash multicast recorded no new acked forwards")
+	}
+	if counters["forward.lost"] != 0 {
+		t.Errorf("crash recovery reported %d lost segments", counters["forward.lost"])
+	}
+}
+
+func TestMemberForwardingStats(t *testing.T) {
+	net, _, addrs := buildGroup(t, CAMChord, 8, 4)
+	victim, _ := net.Member(addrs[5])
+	victim.Crash()
+	src, _ := net.Member(addrs[0])
+	if _, err := src.Multicast([]byte("stats probe")); err != nil {
+		t.Fatal(err)
+	}
+	var agg Stats
+	for _, addr := range addrs {
+		m, err := net.Member(addr)
+		if err != nil {
+			continue // the crashed member is gone from the registry
+		}
+		s := m.Stats()
+		agg.ChildrenAcked += s.ChildrenAcked
+		agg.Retries += s.Retries
+		agg.SegmentsRepaired += s.SegmentsRepaired
+		agg.SegmentsLost += s.SegmentsLost
+	}
+	if agg.ChildrenAcked == 0 {
+		t.Error("no acked children recorded in member stats")
+	}
+	if agg.SegmentsLost != 0 {
+		t.Errorf("SegmentsLost = %d, want 0 (repair should cover a single crash)", agg.SegmentsLost)
+	}
+}
+
+func TestListenTCPGroup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real sockets; skipped in -short runs")
+	}
+	var (
+		mu  sync.Mutex
+		got = map[string]map[string]int{}
+	)
+	opts := func(self *string) Options {
+		return Options{
+			Capacity:  4,
+			Stabilize: -1,
+			Fix:       -1,
+			// Tight budgets so a failure would surface quickly.
+			ForwardTimeout: 2 * time.Second,
+			RPCTimeout:     2 * time.Second,
+			OnDeliver: func(m Message) {
+				mu.Lock()
+				defer mu.Unlock()
+				if got[*self] == nil {
+					got[*self] = map[string]int{}
+				}
+				got[*self][m.ID]++
+			},
+		}
+	}
+
+	var members []*TCPMember
+	var addrs []string
+	for i := 0; i < 4; i++ {
+		self := new(string)
+		via := ""
+		if i > 0 {
+			via = members[0].Addr()
+		}
+		m, err := ListenTCP("127.0.0.1:0", via, opts(self))
+		if err != nil {
+			t.Fatal(err)
+		}
+		*self = m.Addr()
+		members = append(members, m)
+		addrs = append(addrs, m.Addr())
+		for r := 0; r < 3; r++ {
+			for _, mm := range members {
+				mm.StabilizeOnce()
+			}
+		}
+	}
+	defer func() {
+		for _, m := range members {
+			m.Close()
+		}
+	}()
+	for r := 0; r < 3; r++ {
+		for _, m := range members {
+			m.StabilizeOnce()
+			m.FixAll()
+		}
+	}
+
+	msgID, err := members[2].Multicast([]byte("over real sockets"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, addr := range addrs {
+		if got[addr][msgID] != 1 {
+			t.Errorf("%s delivered %d times, want 1", addr, got[addr][msgID])
+		}
+	}
+}

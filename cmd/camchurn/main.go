@@ -47,7 +47,7 @@ func run(args []string, out io.Writer) error {
 		*initial, *events, *join*100, *crash*100, *capLo, *capHi)
 
 	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "system\tmaintenance budget\tmean delivery\tmin delivery\tring correct\ttable faults\tduplicates")
+	fmt.Fprintln(w, "system\tmaintenance budget\tmean delivery\tmin delivery\tring correct\ttable faults\tduplicates\tretries\trepaired\tlost")
 	for _, mode := range []runtime.Mode{runtime.ModeCAMChord, runtime.ModeCAMKoorde} {
 		for _, budget := range []int{4, 2, 1, 0} {
 			res, err := churnsim.Run(churnsim.Config{
@@ -68,9 +68,10 @@ func run(args []string, out io.Writer) error {
 			if budget == 0 {
 				label = "none (fastest churn)"
 			}
-			fmt.Fprintf(w, "%v\t%s\t%.1f%%\t%.1f%%\t%.0f%%\t%d\t%d\n",
+			fmt.Fprintf(w, "%v\t%s\t%.1f%%\t%.1f%%\t%.0f%%\t%d\t%d\t%d\t%d\t%d\n",
 				mode, label, res.MeanDelivery*100, res.MinDelivery*100,
-				res.RingCorrect*100, res.TableFaults, res.Duplicates)
+				res.RingCorrect*100, res.TableFaults, res.Duplicates,
+				res.Retries, res.SegmentsRepaired, res.SegmentsLost)
 		}
 	}
 	return w.Flush()

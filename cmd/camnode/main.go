@@ -254,5 +254,7 @@ func (s *session) stats(args []string) error {
 	st := m.Stats()
 	fmt.Fprintf(s.out, "  delivered=%d forwarded=%d duplicates=%d lookups=%d table-faults=%d\n",
 		st.Delivered, st.Forwarded, st.Duplicates, st.Lookups, st.TableFaults)
+	fmt.Fprintf(s.out, "  acked=%d retries=%d repaired=%d lost=%d\n",
+		st.ChildrenAcked, st.Retries, st.SegmentsRepaired, st.SegmentsLost)
 	return nil
 }

@@ -98,6 +98,13 @@ type Result struct {
 	Duplicates  uint64
 	TableFaults uint64
 	Forwarded   uint64
+
+	// Forwarding-outcome accounting aggregated the same way: how much of
+	// the delivery ratio was earned by the retry/repair engine, and how
+	// much was genuinely abandoned.
+	Retries          uint64
+	SegmentsRepaired uint64
+	SegmentsLost     uint64
 }
 
 // collector tallies deliveries per message across the whole group.
@@ -306,6 +313,9 @@ func Run(cfg Config) (Result, error) {
 		res.Duplicates += st.Duplicates
 		res.TableFaults += st.TableFaults
 		res.Forwarded += st.Forwarded
+		res.Retries += st.Retries
+		res.SegmentsRepaired += st.SegmentsRepaired
+		res.SegmentsLost += st.SegmentsLost
 	}
 	return res, nil
 }

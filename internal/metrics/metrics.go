@@ -8,6 +8,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Summary holds basic descriptive statistics of a float sample.
@@ -131,6 +132,52 @@ func (h *Histogram) Mode() int {
 		}
 	}
 	return best
+}
+
+// Counters is a concurrency-safe set of named monotonic counters. The
+// dynamic runtime uses one shared Counters per group to expose forwarding
+// outcomes (children acked, retries, segments repaired, segments lost)
+// without each observer having to poll every member. The zero value is
+// ready to use.
+type Counters struct {
+	mu sync.Mutex
+	m  map[string]uint64
+}
+
+// Counter names emitted by the runtime's forwarding engine.
+const (
+	CounterForwardAcked    = "forward.acked"    // child sends acknowledged
+	CounterForwardRetries  = "forward.retries"  // send retries after a failure
+	CounterForwardRepaired = "forward.repaired" // orphan segments handed to a live node
+	CounterForwardLost     = "forward.lost"     // segments abandoned after repair failed
+)
+
+// Add increments the named counter by delta.
+func (c *Counters) Add(name string, delta uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.m == nil {
+		c.m = make(map[string]uint64)
+	}
+	c.m[name] += delta
+}
+
+// Get returns the current value of the named counter (0 if never touched).
+func (c *Counters) Get(name string) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[name]
+}
+
+// Snapshot returns a copy of all counters.
+func (c *Counters) Snapshot() map[string]uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]uint64, len(c.m))
+	for k, v := range c.m {
+		out[k] = v
+	}
+	return out
 }
 
 // Series is a labeled sequence of (x, y) points — one curve of a figure.

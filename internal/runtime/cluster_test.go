@@ -20,6 +20,11 @@ type cluster struct {
 	mode  Mode
 	nodes map[string]*Node
 
+	// tweak optionally adjusts each node's Config before construction
+	// (set it before add/grow); chaos tests use it to tighten forwarding
+	// deadlines and retry budgets.
+	tweak func(*Config)
+
 	mu  sync.Mutex
 	got map[string]map[string]int // addr -> msgID -> deliveries
 }
@@ -43,7 +48,11 @@ func newCluster(t *testing.T, mode Mode, bits uint) *cluster {
 }
 
 func (c *cluster) config(capacity int) Config {
-	return Config{Space: c.space, Mode: c.mode, Capacity: capacity}
+	cfg := Config{Space: c.space, Mode: c.mode, Capacity: capacity}
+	if c.tweak != nil {
+		c.tweak(&cfg)
+	}
+	return cfg
 }
 
 func (c *cluster) add(addr string, capacity int, bootstrap string) *Node {

@@ -1,0 +1,405 @@
+package runtime
+
+import (
+	"context"
+	"math"
+	"sync"
+	"time"
+
+	"camcast/internal/metrics"
+	"camcast/internal/ring"
+	"camcast/internal/trace"
+)
+
+// This file is the resilient forwarding engine shared by both CAM modes:
+// concurrent child fan-out with per-child deadlines, bounded retry with
+// exponential backoff and jitter, and orphan-segment repair. The dispatch
+// plan for a message is computed first (pure ring arithmetic), then every
+// child send runs on its own goroutine under a per-fan-out in-flight limit,
+// so one dead or slow child delays only its own segment, never its
+// siblings. The limit is scoped to one fan-out rather than the whole node:
+// repair handoffs can re-enter spreadSegment on a node whose earlier
+// fan-out is still blocked, and a node-wide semaphore would deadlock there.
+
+// childPlan is one entry of a CAM-Chord dispatch plan: the target
+// identifier y whose successor becomes the child, the table slot expected
+// to hold it, and the end of the segment (child, segEnd] delegated to it.
+type childPlan struct {
+	y       ring.ID
+	key     tableKey
+	viaSucc bool
+	segEnd  ring.ID
+}
+
+// planSegments splits (self, k] across up to c_x children, exactly as the
+// static algorithm in internal/camchord: level-i neighbors preceding k,
+// then evenly spaced level-(i-1) children, then the successor. Segment
+// boundaries depend only on ring arithmetic, never on send outcomes, so
+// the plan can be dispatched concurrently.
+func (n *Node) planSegments(k ring.ID) []childPlan {
+	s := n.space
+	x := n.self.ID
+	c := uint64(n.cfg.Capacity)
+	if s.Dist(x, k) == 0 {
+		return nil
+	}
+
+	kk := k
+	var plan []childPlan
+	add := func(y ring.ID, key tableKey, viaSucc bool) {
+		if s.Dist(x, kk) == 0 || !s.InOC(y, x, kk) {
+			return
+		}
+		plan = append(plan, childPlan{y: y, key: key, viaSucc: viaSucc, segEnd: kk})
+		kk = s.Sub(y, 1)
+	}
+
+	level, seq, pow := s.LevelSeq(x, k, c)
+	// Level-i neighbors preceding k (Lines 6-9).
+	for m := seq; m >= 1; m-- {
+		add(s.Add(x, m*pow), tableKey{level: uint32(level), seq: uint32(m)}, false)
+	}
+	// Evenly spaced level-(i-1) children (Lines 10-14; see internal/camchord
+	// for why the ceiling matches the paper's worked example).
+	if level >= 1 {
+		prevPow := pow / c
+		l := float64(c)
+		step := float64(c) / float64(c-seq)
+		for m := int64(c) - int64(seq) - 1; m >= 1; m-- {
+			l -= step
+			j := uint64(math.Ceil(l))
+			if j < 1 {
+				j = 1
+			}
+			add(s.Add(x, j*prevPow), tableKey{level: uint32(level - 1), seq: uint32(j)}, false)
+		}
+	}
+	// The successor (Line 15).
+	add(s.Add(x, 1), tableKey{}, true)
+	return plan
+}
+
+// fanOut runs one task per item concurrently, bounded by ForwardParallel
+// in-flight at once, and waits for all of them.
+func (n *Node) fanOut(count int, task func(i int)) {
+	if count == 1 {
+		task(0)
+		return
+	}
+	sem := make(chan struct{}, n.cfg.ForwardParallel)
+	var wg sync.WaitGroup
+	for i := 0; i < count; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			task(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// sendTimed issues one child send under the per-child deadline.
+func (n *Node) sendTimed(to, kind string, payload any) (any, error) {
+	ctx := context.Background()
+	if d := n.cfg.ForwardTimeout; d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	return n.callCtx(ctx, to, kind, payload)
+}
+
+// backoff sleeps before retry attempt (0-based), doubling the base delay
+// each attempt with ±50% jitter drawn from the node's seeded RNG. Returns
+// early if the node stops.
+func (n *Node) backoff(attempt int) {
+	base := n.cfg.RetryBackoff
+	if base <= 0 {
+		return
+	}
+	if attempt > 4 {
+		attempt = 4 // cap the exponent: 16x base is plenty for a multicast
+	}
+	d := base << uint(attempt)
+	n.rngMu.Lock()
+	jitter := 0.5 + n.rng.Float64()
+	n.rngMu.Unlock()
+	d = time.Duration(float64(d) * jitter)
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-n.stopCh:
+	}
+}
+
+// noteRetry accounts one forwarding retry.
+func (n *Node) noteRetry(msgID, to string, attempt int, err error) {
+	n.retries.Add(1)
+	n.countMetric(metrics.CounterForwardRetries)
+	n.cfg.Tracer.Emitf(n.self.Addr, trace.KindRetry, "%s attempt %d to %s: %v", msgID, attempt, to, err)
+}
+
+// forwardSegment delivers one planned segment to its child: resolve the
+// child (table slot, live successor, or on-demand lookup), send with the
+// per-child deadline, and on failure re-resolve and retry with backoff up
+// to ForwardRetries times. If every attempt fails the segment is handed to
+// repairSegment rather than dropped.
+func (n *Node) forwardSegment(msgID string, source NodeInfo, payload []byte, cp childPlan, table map[tableKey]NodeInfo, hops int) {
+	s := n.space
+	x := n.self.ID
+
+	var (
+		child NodeInfo
+		ok    bool
+	)
+	if cp.viaSucc {
+		if live, liveOK := n.liveSuccessor(); liveOK {
+			child, ok = live, true
+		}
+	} else {
+		child, ok = table[cp.key]
+	}
+	resolved := false
+	if !ok || child.zero() || !n.net.Registered(child.Addr) {
+		// Table slot empty or stale: resolve on demand.
+		n.tableFaults.Add(1)
+		info, _, err := n.FindSuccessor(cp.y)
+		if err != nil {
+			// Resolution failed outright; try the repair path before
+			// declaring the whole subtree lost.
+			n.repairSegment(msgID, source, payload, cp, NodeInfo{}, hops)
+			return
+		}
+		child, resolved = info, true
+	}
+	if !resolved && (child.Addr == n.self.Addr || !s.InOC(child.ID, x, cp.segEnd)) {
+		// The table entry says nobody owns this segment, but a slot filled
+		// before closer members joined looks exactly the same. Confirm with
+		// a lookup before silently truncating the tree here.
+		n.tableFaults.Add(1)
+		if info, _, err := n.FindSuccessor(cp.y); err == nil && !info.zero() {
+			child = info
+		}
+	}
+	if child.Addr == n.self.Addr || !s.InOC(child.ID, x, cp.segEnd) {
+		return // no live member owns this segment; nothing to deliver
+	}
+
+	req := multicastReq{MsgID: msgID, Source: source, Payload: payload, K: cp.segEnd, Hops: hops + 1}
+	for attempt := 0; ; attempt++ {
+		_, err := n.sendTimed(child.Addr, kindMulticast, req)
+		if err == nil {
+			n.acked.Add(1)
+			n.countMetric(metrics.CounterForwardAcked)
+			n.forwarded.Add(1)
+			n.cfg.Tracer.Emitf(n.self.Addr, trace.KindForward, "%s -> segment end %d", msgID, cp.segEnd)
+			return
+		}
+		if attempt >= n.cfg.ForwardRetries {
+			break
+		}
+		n.noteRetry(msgID, child.Addr, attempt+1, err)
+		n.backoff(attempt)
+		// The child may have died: re-resolve so its successor inherits
+		// the segment (transient drops re-send to the same child).
+		if info, _, lerr := n.FindSuccessor(cp.y); lerr == nil && !info.zero() {
+			if info.Addr == n.self.Addr || !s.InOC(info.ID, x, cp.segEnd) {
+				return // the segment emptied out under us
+			}
+			child = info
+		}
+	}
+	n.repairSegment(msgID, source, payload, cp, child, hops)
+}
+
+// repairSegment hands an orphaned segment — (y-1, segEnd] whose child
+// failedChild could not be reached — to a live node so the subtree is not
+// silently dropped. The handoff target is the successor of the dead
+// child's identifier (not of y itself: until stabilization runs, the dead
+// child's predecessor still claims y resolves to the dead child, so a
+// lookup of y would just return the corpse again). Fallback is a ring walk
+// through successor lists that hops over unresponsive nodes. Repair
+// handoffs set multicastReq.Repair so a receiver that already delivered
+// the message still re-spreads the wider segment. Only when both fail is
+// the segment counted lost.
+func (n *Node) repairSegment(msgID string, source NodeInfo, payload []byte, cp childPlan, failedChild NodeInfo, hops int) {
+	s := n.space
+	x := n.self.ID
+	req := multicastReq{MsgID: msgID, Source: source, Payload: payload, K: cp.segEnd, Hops: hops + 1, Repair: true}
+
+	target := cp.y
+	if !failedChild.zero() && s.InOC(failedChild.ID, x, cp.segEnd) {
+		target = s.Add(failedChild.ID, 1)
+	}
+	if info, _, err := n.FindSuccessor(target); err == nil && !info.zero() {
+		if info.Addr == n.self.Addr || !s.InOC(info.ID, x, cp.segEnd) {
+			return // no live members left in the segment; nothing to repair
+		}
+		if _, err := n.sendTimed(info.Addr, kindMulticast, req); err == nil {
+			n.noteRepaired(msgID, cp.segEnd, info.Addr)
+			return
+		}
+	}
+	from := s.Sub(cp.y, 1)
+	if !failedChild.zero() && s.InOC(failedChild.ID, x, cp.segEnd) {
+		from = failedChild.ID
+	}
+	if n.ringWalkHandoff(msgID, req, failedChild, from, cp.segEnd) {
+		return
+	}
+	n.lost.Add(1)
+	n.countMetric(metrics.CounterForwardLost)
+	n.cfg.Tracer.Emitf(n.self.Addr, trace.KindLost, "%s segment end %d lost", msgID, cp.segEnd)
+}
+
+// ringWalkHandoff is the last-resort repair path: walk the ring through
+// successor lists until a reachable member inside (from, segEnd] accepts
+// the orphan segment. Lookups alone cannot route past a node that failed
+// without being detected — until stabilization notices, the failed child's
+// predecessor keeps resolving the segment straight back to the corpse,
+// while its successor list already names the live node behind it. The walk
+// is bounded, and every step is one cheap neighbors RPC that doubles as a
+// liveness probe, so dead or partitioned nodes along the way are simply
+// hopped over.
+func (n *Node) ringWalkHandoff(msgID string, req multicastReq, failedChild NodeInfo, from, segEnd ring.ID) bool {
+	const maxSteps = 64
+	s := n.space
+	visited := map[string]bool{n.self.Addr: true}
+	if !failedChild.zero() {
+		visited[failedChild.Addr] = true
+	}
+	frontier := n.SuccessorList()
+	for steps := 0; steps < maxSteps && len(frontier) > 0; steps++ {
+		cur := frontier[0]
+		frontier = frontier[1:]
+		if cur.zero() || visited[cur.Addr] {
+			continue
+		}
+		visited[cur.Addr] = true
+		if s.InOC(cur.ID, from, segEnd) {
+			if _, err := n.sendTimed(cur.Addr, kindMulticast, req); err == nil {
+				n.noteRepaired(msgID, segEnd, cur.Addr)
+				return true
+			}
+		}
+		resp, err := n.call(cur.Addr, kindNeighbors, neighborsReq{})
+		if err != nil {
+			continue // unreachable: hop over via the rest of the frontier
+		}
+		if nb, ok := resp.(neighborsResp); ok {
+			frontier = append(append([]NodeInfo{}, nb.Succs...), frontier...)
+		}
+	}
+	return false
+}
+
+func (n *Node) noteRepaired(msgID string, segEnd ring.ID, to string) {
+	n.repaired.Add(1)
+	n.countMetric(metrics.CounterForwardRepaired)
+	n.forwarded.Add(1)
+	n.cfg.Tracer.Emitf(n.self.Addr, trace.KindRepair, "%s segment end %d handed to %s", msgID, segEnd, to)
+}
+
+// floodOne runs the offer/accept handshake and payload delivery for one
+// CAM-Koorde neighbor, with retries on both phases. It reports whether the
+// neighbor needs repair (unreachable, or reachable but the payload could
+// not be delivered) and whether it is a usable reflood relay (it responded
+// to an offer, so it either has the message or is about to decline it).
+func (n *Node) floodOne(msgID string, source NodeInfo, payload []byte, nb NodeInfo, hops int) (needRepair, relay bool) {
+	var want bool
+	offered := false
+	for attempt := 0; attempt <= n.cfg.ForwardRetries; attempt++ {
+		if attempt > 0 {
+			n.backoff(attempt - 1)
+		}
+		resp, err := n.sendTimed(nb.Addr, kindOffer, offerReq{MsgID: msgID})
+		if err != nil {
+			if attempt < n.cfg.ForwardRetries {
+				n.noteRetry(msgID, nb.Addr, attempt+1, err)
+			}
+			continue
+		}
+		offer, ok := resp.(offerResp)
+		if !ok {
+			return false, false // malformed response; treat the neighbor as unusable
+		}
+		offered, want = true, offer.Want
+		break
+	}
+	if !offered {
+		return true, false // unreachable neighbor: repair via the surviving mesh
+	}
+	if !want {
+		n.duplicates.Add(1)
+		return false, true
+	}
+
+	// The neighbor is known-live and wants the message: a payload failure
+	// here is always retried at least once before giving up.
+	sendTries := n.cfg.ForwardRetries
+	if sendTries < 1 {
+		sendTries = 1
+	}
+	req := floodReq{MsgID: msgID, Source: source, Payload: payload, Hops: hops + 1}
+	for attempt := 0; ; attempt++ {
+		_, err := n.sendTimed(nb.Addr, kindFlood, req)
+		if err == nil {
+			n.acked.Add(1)
+			n.countMetric(metrics.CounterForwardAcked)
+			n.forwarded.Add(1)
+			n.cfg.Tracer.Emitf(n.self.Addr, trace.KindForward, "%s -> %s", msgID, nb.Addr)
+			return false, true
+		}
+		if attempt >= sendTries {
+			return true, false
+		}
+		n.noteRetry(msgID, nb.Addr, attempt+1, err)
+		n.backoff(attempt)
+	}
+}
+
+// refloodRepair re-offers a message through surviving mesh neighbors after
+// some neighbors could not be served, so members reachable only around the
+// failure still get it. Each node issues at most one reflood per message,
+// which keeps repair traffic bounded. Accounting covers only failedLive —
+// the neighbors still believed to be members; failures the transport
+// confirms dead trigger the reflood but count as neither repaired nor
+// lost (the member is gone, not missed).
+func (n *Node) refloodRepair(msgID string, source NodeInfo, payload []byte, hops int, failedLive int, relays []NodeInfo) {
+	countLost := func() {
+		if failedLive == 0 {
+			return
+		}
+		for i := 0; i < failedLive; i++ {
+			n.lost.Add(1)
+			n.countMetric(metrics.CounterForwardLost)
+		}
+		n.cfg.Tracer.Emitf(n.self.Addr, trace.KindLost, "%s %d neighbor(s) unreached", msgID, failedLive)
+	}
+	if len(relays) == 0 || n.reflooded.Record(msgID) {
+		countLost()
+		return
+	}
+	req := floodReq{MsgID: msgID, Source: source, Payload: payload, Hops: hops + 1}
+	sent := 0
+	for _, r := range relays {
+		if sent >= 2 {
+			break
+		}
+		if _, err := n.sendTimed(r.Addr, kindReflood, req); err == nil {
+			sent++
+		}
+	}
+	if sent == 0 {
+		countLost()
+		return
+	}
+	for i := 0; i < failedLive; i++ {
+		n.repaired.Add(1)
+		n.countMetric(metrics.CounterForwardRepaired)
+	}
+	n.cfg.Tracer.Emitf(n.self.Addr, trace.KindRepair, "%s reflooded via %d relay(s) for %d failure(s)", msgID, sent, failedLive)
+}

@@ -68,8 +68,9 @@ func (n *Node) handleFindSucc(req findSuccReq) (any, error) {
 		}
 	}
 
-	// Last resort: ride the ring through a live successor.
-	if live, ok := n.liveSuccessor(); ok && live.Addr != self.Addr {
+	// Last resort: ride the ring through a live successor — unless it is
+	// suspect, in which case the ride would just time out again.
+	if live, ok := n.liveSuccessor(); ok && live.Addr != self.Addr && !n.isSuspect(live.Addr) {
 		resp, err := n.call(live.Addr, kindFindSucc, findSuccReq{K: k, Hops: req.Hops + 1})
 		if err == nil {
 			if r, ok := resp.(findSuccResp); ok {

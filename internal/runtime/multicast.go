@@ -2,7 +2,6 @@ package runtime
 
 import (
 	"fmt"
-	"math"
 
 	"camcast/internal/ring"
 	"camcast/internal/trace"
@@ -12,6 +11,9 @@ import (
 // ID. CAM-Chord nodes split the identifier ring across their neighbor-table
 // children (Section 3.4); CAM-Koorde nodes flood with an offer/accept dedup
 // handshake (Section 4.3). Delivery to the local application happens first.
+// Multicast returns only after the whole dissemination tree has completed —
+// every segment either acknowledged, repaired, or accounted lost — so a
+// caller observing Stats() afterwards sees the final forwarding outcome.
 func (n *Node) Multicast(payload []byte) (string, error) {
 	n.mu.Lock()
 	if !n.started || n.stopped {
@@ -42,100 +44,41 @@ func (n *Node) deliver(d Delivery) {
 }
 
 func (n *Node) handleMulticast(req multicastReq) (any, error) {
-	if n.seen.Record(req.MsgID) {
+	dup := n.seen.Record(req.MsgID)
+	if dup {
 		// Stale routing state upstream caused a duplicate; suppress it so
 		// the application still sees exactly-once delivery.
 		n.duplicates.Add(1)
 		n.cfg.Tracer.Emitf(n.self.Addr, trace.KindDuplicate, "%s", req.MsgID)
-		return multicastResp{Duplicate: true}, nil
+		if !req.Repair {
+			return multicastResp{Duplicate: true}, nil
+		}
+		// A repair handoff: the original child of (self, K] died, so this
+		// node re-spreads the segment even though it already delivered the
+		// message itself. Downstream duplicates are suppressed per node.
+	} else {
+		n.deliver(Delivery{MsgID: req.MsgID, Source: req.Source, Payload: req.Payload, Hops: req.Hops})
 	}
-	n.deliver(Delivery{MsgID: req.MsgID, Source: req.Source, Payload: req.Payload, Hops: req.Hops})
 	n.spreadSegment(req.MsgID, req.Source, req.Payload, req.K, req.Hops)
-	return multicastResp{}, nil
+	return multicastResp{Duplicate: dup}, nil
 }
 
 // spreadSegment delivers the message to every member in (self, k] by
 // splitting the segment across up to c_x children, exactly as the static
 // algorithm in internal/camchord but resolving children through the node's
 // own neighbor table (with on-demand lookups for missing or dead entries).
+// Children are dispatched concurrently — one dead or slow child delays only
+// its own segment — and each send is protected by the retry/repair engine
+// in forward.go.
 func (n *Node) spreadSegment(msgID string, source NodeInfo, payload []byte, k ring.ID, hops int) {
-	s := n.space
-	x := n.self.ID
-	c := uint64(n.cfg.Capacity)
-	if s.Dist(x, k) == 0 {
+	plan := n.planSegments(k)
+	if len(plan) == 0 {
 		return
 	}
 	table := n.tableSnapshot()
-
-	kk := k
-	send := func(y ring.ID, key tableKey, viaSucc bool) {
-		if s.Dist(x, kk) == 0 || !s.InOC(y, x, kk) {
-			return
-		}
-		var (
-			child NodeInfo
-			ok    bool
-		)
-		if viaSucc {
-			if live, liveOK := n.liveSuccessor(); liveOK {
-				child, ok = live, true
-			}
-		} else {
-			child, ok = table[key]
-		}
-		if !ok || child.zero() || !n.net.Registered(child.Addr) {
-			// Table slot empty or stale: resolve on demand.
-			n.tableFaults.Add(1)
-			info, _, err := n.FindSuccessor(y)
-			if err != nil {
-				kk = s.Sub(y, 1)
-				return
-			}
-			child = info
-		}
-		if child.Addr != n.self.Addr && s.InOC(child.ID, x, kk) {
-			_, err := n.call(child.Addr, kindMulticast, multicastReq{
-				MsgID: msgID, Source: source, Payload: payload, K: kk, Hops: hops + 1,
-			})
-			if err != nil {
-				// Child died between resolution and delivery: re-resolve once.
-				if info, _, lerr := n.FindSuccessor(y); lerr == nil &&
-					info.Addr != n.self.Addr && info.Addr != child.Addr && s.InOC(info.ID, x, kk) {
-					_, err = n.call(info.Addr, kindMulticast, multicastReq{
-						MsgID: msgID, Source: source, Payload: payload, K: kk, Hops: hops + 1,
-					})
-				}
-			}
-			if err == nil {
-				n.forwarded.Add(1)
-				n.cfg.Tracer.Emitf(n.self.Addr, trace.KindForward, "%s -> segment end %d", msgID, kk)
-			}
-		}
-		kk = s.Sub(y, 1)
-	}
-
-	level, seq, pow := s.LevelSeq(x, k, c)
-	// Level-i neighbors preceding k (Lines 6-9).
-	for m := seq; m >= 1; m-- {
-		send(s.Add(x, m*pow), tableKey{level: uint32(level), seq: uint32(m)}, false)
-	}
-	// Evenly spaced level-(i-1) children (Lines 10-14; see internal/camchord
-	// for why the ceiling matches the paper's worked example).
-	if level >= 1 {
-		prevPow := pow / c
-		l := float64(c)
-		step := float64(c) / float64(c-seq)
-		for m := int64(c) - int64(seq) - 1; m >= 1; m-- {
-			l -= step
-			j := uint64(math.Ceil(l))
-			if j < 1 {
-				j = 1
-			}
-			send(s.Add(x, j*prevPow), tableKey{level: uint32(level - 1), seq: uint32(j)}, false)
-		}
-	}
-	// The successor (Line 15).
-	send(s.Add(x, 1), tableKey{}, true)
+	n.fanOut(len(plan), func(i int) {
+		n.forwardSegment(msgID, source, payload, plan[i], table, hops)
+	})
 }
 
 func (n *Node) handleFlood(req floodReq) (any, error) {
@@ -149,30 +92,54 @@ func (n *Node) handleFlood(req floodReq) (any, error) {
 	return floodResp{}, nil
 }
 
+// handleReflood serves a repair re-offer: deliver if the message is new
+// here, then flood to our own neighbors regardless, so offers reach members
+// around a dead neighbor. Already-delivered neighbors decline the offers,
+// which bounds the extra traffic to one offer round per relay.
+func (n *Node) handleReflood(req floodReq) (any, error) {
+	if !n.seen.Record(req.MsgID) {
+		n.deliver(Delivery{MsgID: req.MsgID, Source: req.Source, Payload: req.Payload, Hops: req.Hops})
+	}
+	n.floodNeighbors(req.MsgID, req.Source, req.Payload, req.Hops)
+	return floodResp{}, nil
+}
+
 // floodNeighbors implements CAM-Koorde's MULTICAST (Section 4.3): offer the
 // message to every neighbor over the bidirectional links and send the
-// payload only to those that have not received it.
+// payload only to those that have not received it. Neighbors are contacted
+// concurrently under the fan-out limit; unreachable or undeliverable
+// neighbors trigger a reflood repair through the surviving mesh.
 func (n *Node) floodNeighbors(msgID string, source NodeInfo, payload []byte, hops int) {
-	for _, nb := range n.koordeNeighbors() {
-		resp, err := n.call(nb.Addr, kindOffer, offerReq{MsgID: msgID})
-		if err != nil {
-			continue // unreachable neighbor; the mesh routes around it
+	neighbors := n.koordeNeighbors()
+	if len(neighbors) == 0 {
+		return
+	}
+	needRepair := make([]bool, len(neighbors))
+	isRelay := make([]bool, len(neighbors))
+	n.fanOut(len(neighbors), func(i int) {
+		needRepair[i], isRelay[i] = n.floodOne(msgID, source, payload, neighbors[i], hops)
+	})
+
+	// Split failures by what the transport knows: a neighbor it confirms
+	// gone is membership shrinkage (the flood still refloods around the
+	// hole, but nothing was lost to a live member), while an unreachable
+	// neighbor still believed alive is accounted as repaired or lost.
+	failedLive, failedDead := 0, 0
+	var relays []NodeInfo
+	for i := range neighbors {
+		if needRepair[i] {
+			if n.net.Registered(neighbors[i].Addr) {
+				failedLive++
+			} else {
+				failedDead++
+			}
 		}
-		offer, ok := resp.(offerResp)
-		if !ok {
-			continue // malformed response; treat the neighbor as unusable
+		if isRelay[i] {
+			relays = append(relays, neighbors[i])
 		}
-		if !offer.Want {
-			n.duplicates.Add(1)
-			continue
-		}
-		_, err = n.call(nb.Addr, kindFlood, floodReq{
-			MsgID: msgID, Source: source, Payload: payload, Hops: hops + 1,
-		})
-		if err == nil {
-			n.forwarded.Add(1)
-			n.cfg.Tracer.Emitf(n.self.Addr, trace.KindForward, "%s -> %s", msgID, nb.Addr)
-		}
+	}
+	if failedLive+failedDead > 0 {
+		n.refloodRepair(msgID, source, payload, hops, failedLive, relays)
 	}
 }
 

@@ -13,13 +13,17 @@
 package runtime
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math/rand"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"camcast/internal/ids"
+	"camcast/internal/metrics"
 	"camcast/internal/ring"
 	"camcast/internal/trace"
 	"camcast/internal/transport"
@@ -61,7 +65,10 @@ var (
 // (internal/transport.TCP) runs the same protocol across real sockets.
 type Transport interface {
 	// Call delivers one request and returns the remote handler's response.
-	Call(from, to, kind string, payload any) (any, error)
+	// The context bounds the call: transports must give up (returning
+	// ctx.Err() or a wrapped equivalent) once the deadline passes, so one
+	// dead or slow peer cannot stall the caller indefinitely.
+	Call(ctx context.Context, from, to, kind string, payload any) (any, error)
 	// Register attaches the handler serving addr.
 	Register(addr string, h transport.Handler)
 	// Unregister detaches addr, making it unreachable.
@@ -99,6 +106,37 @@ type Config struct {
 	// SeenLimit bounds the duplicate-suppression cache (default 4096).
 	SeenLimit int
 
+	// ForwardRetries is how many times a failed child send is retried
+	// (re-resolving the child between attempts) before the orphaned
+	// segment is repaired or reported lost. Zero means the default (2);
+	// negative disables retries.
+	ForwardRetries int
+	// ForwardTimeout is the per-child send deadline during multicast
+	// fan-out. Zero means the default (2s); negative disables deadlines.
+	ForwardTimeout time.Duration
+	// ForwardParallel bounds concurrent in-flight child sends per
+	// fan-out. Zero means the default (8); negative serializes sends.
+	ForwardParallel int
+	// RetryBackoff is the delay before the first retry; each further
+	// retry doubles it, with ±50% deterministic jitter. Zero means the
+	// default (5ms); negative disables backoff.
+	RetryBackoff time.Duration
+	// CallTimeout optionally bounds every non-multicast RPC (lookups,
+	// stabilization, offers); zero leaves them unbounded.
+	CallTimeout time.Duration
+	// SuspicionWindow is how long a peer that failed an RPC with an
+	// unreachability error (unreachable, partitioned, or deadline
+	// exceeded) is skipped as a routing detour — lookup candidates and
+	// last-resort ring rides. Direct child sends are never skipped, so
+	// suspicion only stops lookups from repeatedly timing out against a
+	// peer whose failure stabilization has not yet observed. Zero means
+	// the default (1s); negative disables suspicion.
+	SuspicionWindow time.Duration
+
+	// Counters optionally receives group-wide forwarding outcome counts
+	// (see the metrics.CounterForward* names); nil disables.
+	Counters *metrics.Counters
+
 	// OnDeliver receives every multicast delivery, including the sender's
 	// own. Called synchronously from protocol handlers; keep it fast.
 	OnDeliver func(Delivery)
@@ -116,6 +154,39 @@ func (c *Config) applyDefaults() {
 	}
 	if c.SeenLimit == 0 {
 		c.SeenLimit = 4096
+	}
+	switch {
+	case c.ForwardRetries == 0:
+		c.ForwardRetries = 2
+	case c.ForwardRetries < 0:
+		c.ForwardRetries = 0
+	}
+	switch {
+	case c.ForwardTimeout == 0:
+		c.ForwardTimeout = 2 * time.Second
+	case c.ForwardTimeout < 0:
+		c.ForwardTimeout = 0
+	}
+	switch {
+	case c.ForwardParallel == 0:
+		c.ForwardParallel = 8
+	case c.ForwardParallel < 0:
+		c.ForwardParallel = 1
+	}
+	switch {
+	case c.RetryBackoff == 0:
+		c.RetryBackoff = 5 * time.Millisecond
+	case c.RetryBackoff < 0:
+		c.RetryBackoff = 0
+	}
+	if c.CallTimeout < 0 {
+		c.CallTimeout = 0
+	}
+	switch {
+	case c.SuspicionWindow == 0:
+		c.SuspicionWindow = time.Second
+	case c.SuspicionWindow < 0:
+		c.SuspicionWindow = 0
 	}
 }
 
@@ -144,10 +215,17 @@ func (c *Config) validate() error {
 // Stats are cumulative per-node protocol counters.
 type Stats struct {
 	Delivered   uint64 // multicast messages delivered to the application
-	Forwarded   uint64 // multicast copies sent to children
+	Forwarded   uint64 // multicast copies sent to children (incl. repairs)
 	Duplicates  uint64 // duplicate deliveries / offers suppressed
 	Lookups     uint64 // find_successor requests served
 	TableFaults uint64 // child resolutions that needed an on-demand lookup
+
+	// Forwarding-outcome accounting (see DESIGN.md "Delivery guarantees
+	// and failure semantics").
+	ChildrenAcked    uint64 // direct child sends acknowledged
+	Retries          uint64 // child sends retried after a failure
+	SegmentsRepaired uint64 // orphaned segments handed to a live node
+	SegmentsLost     uint64 // segments abandoned after retries and repair failed
 }
 
 // Node is one live overlay member.
@@ -165,14 +243,25 @@ type Node struct {
 	started bool
 	stopped bool
 
-	seen *seenCache
-	seq  atomic.Uint64
+	seen      *seenCache
+	reflooded *seenCache // message IDs this node already issued a reflood repair for
+	seq       atomic.Uint64
 
 	delivered   atomic.Uint64
 	forwarded   atomic.Uint64
 	duplicates  atomic.Uint64
 	lookups     atomic.Uint64
 	tableFaults atomic.Uint64
+	acked       atomic.Uint64
+	retries     atomic.Uint64
+	repaired    atomic.Uint64
+	lost        atomic.Uint64
+
+	rngMu sync.Mutex
+	rng   *rand.Rand // retry-jitter source, seeded from the node's ID
+
+	suspectMu sync.Mutex
+	suspects  map[string]time.Time // addr -> suspicion expiry
 
 	stopCh chan struct{}
 	wg     sync.WaitGroup
@@ -192,14 +281,17 @@ func NewNode(net Transport, addr string, cfg Config) (*Node, error) {
 		return nil, fmt.Errorf("runtime: empty address")
 	}
 	n := &Node{
-		cfg:    cfg,
-		space:  cfg.Space,
-		self:   NodeInfo{Addr: addr, ID: ids.NewHasher(cfg.Space).ID(addr)},
-		net:    net,
-		table:  make(map[tableKey]NodeInfo),
-		seen:   newSeenCache(cfg.SeenLimit),
-		stopCh: make(chan struct{}),
+		cfg:       cfg,
+		space:     cfg.Space,
+		self:      NodeInfo{Addr: addr, ID: ids.NewHasher(cfg.Space).ID(addr)},
+		net:       net,
+		table:     make(map[tableKey]NodeInfo),
+		seen:      newSeenCache(cfg.SeenLimit),
+		reflooded: newSeenCache(cfg.SeenLimit),
+		suspects:  make(map[string]time.Time),
+		stopCh:    make(chan struct{}),
 	}
+	n.rng = rand.New(rand.NewSource(int64(n.self.ID) + 1))
 	return n, nil
 }
 
@@ -215,11 +307,15 @@ func (n *Node) Mode() Mode { return n.cfg.Mode }
 // Stats returns a snapshot of the node's protocol counters.
 func (n *Node) Stats() Stats {
 	return Stats{
-		Delivered:   n.delivered.Load(),
-		Forwarded:   n.forwarded.Load(),
-		Duplicates:  n.duplicates.Load(),
-		Lookups:     n.lookups.Load(),
-		TableFaults: n.tableFaults.Load(),
+		Delivered:        n.delivered.Load(),
+		Forwarded:        n.forwarded.Load(),
+		Duplicates:       n.duplicates.Load(),
+		Lookups:          n.lookups.Load(),
+		TableFaults:      n.tableFaults.Load(),
+		ChildrenAcked:    n.acked.Load(),
+		Retries:          n.retries.Load(),
+		SegmentsRepaired: n.repaired.Load(),
+		SegmentsLost:     n.lost.Load(),
 	}
 }
 
@@ -374,9 +470,71 @@ func (n *Node) loop(every time.Duration, tick func()) {
 	}
 }
 
-// call issues one RPC from this node.
+// call issues one RPC from this node, bounded by Config.CallTimeout when
+// set. Multicast child sends use callCtx with the tighter ForwardTimeout.
 func (n *Node) call(to, kind string, payload any) (any, error) {
-	return n.net.Call(n.self.Addr, to, kind, payload)
+	ctx := context.Background()
+	if d := n.cfg.CallTimeout; d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	return n.callCtx(ctx, to, kind, payload)
+}
+
+// callCtx issues one RPC under the caller's context. Every outcome feeds
+// the suspicion cache: unreachability errors mark the peer suspect for
+// SuspicionWindow, any response (including handler errors, which prove
+// reachability) clears it.
+func (n *Node) callCtx(ctx context.Context, to, kind string, payload any) (any, error) {
+	resp, err := n.net.Call(ctx, n.self.Addr, to, kind, payload)
+	n.noteCallResult(to, err)
+	return resp, err
+}
+
+// noteCallResult updates the suspicion cache after an RPC to addr.
+func (n *Node) noteCallResult(addr string, err error) {
+	if n.cfg.SuspicionWindow <= 0 {
+		return
+	}
+	unreachable := err != nil &&
+		(errors.Is(err, transport.ErrUnreachable) ||
+			errors.Is(err, transport.ErrPartitioned) ||
+			errors.Is(err, context.DeadlineExceeded) ||
+			errors.Is(err, os.ErrDeadlineExceeded))
+	n.suspectMu.Lock()
+	defer n.suspectMu.Unlock()
+	if unreachable {
+		n.suspects[addr] = time.Now().Add(n.cfg.SuspicionWindow)
+	} else {
+		delete(n.suspects, addr)
+	}
+}
+
+// isSuspect reports whether addr failed an RPC within SuspicionWindow and
+// should be skipped as a routing detour.
+func (n *Node) isSuspect(addr string) bool {
+	if n.cfg.SuspicionWindow <= 0 {
+		return false
+	}
+	n.suspectMu.Lock()
+	defer n.suspectMu.Unlock()
+	until, ok := n.suspects[addr]
+	if !ok {
+		return false
+	}
+	if time.Now().After(until) {
+		delete(n.suspects, addr)
+		return false
+	}
+	return true
+}
+
+// countMetric bumps a shared group-wide counter when one is configured.
+func (n *Node) countMetric(name string) {
+	if n.cfg.Counters != nil {
+		n.cfg.Counters.Add(name, 1)
+	}
 }
 
 // handleRPC dispatches incoming requests.
@@ -422,6 +580,12 @@ func (n *Node) handleRPC(from, kind string, payload any) (any, error) {
 			return nil, fmt.Errorf("runtime: bad payload for %s", kind)
 		}
 		return n.handleFlood(req)
+	case kindReflood:
+		req, ok := payload.(floodReq)
+		if !ok {
+			return nil, fmt.Errorf("runtime: bad payload for %s", kind)
+		}
+		return n.handleReflood(req)
 	case kindApp:
 		req, ok := payload.(appReq)
 		if !ok {

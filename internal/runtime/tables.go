@@ -130,14 +130,15 @@ func (n *Node) fix(batch int) {
 
 // routingCandidates returns candidate next hops for a lookup of k: known
 // neighbors whose identifiers lie strictly inside (self, k], closest
-// preceding k first, deduplicated, excluding self. Callers fall through the
-// list when a candidate is unreachable.
+// preceding k first, deduplicated, excluding self and currently-suspect
+// peers (which just failed an RPC and would only burn a timeout). Callers
+// fall through the list when a candidate is unreachable.
 func (n *Node) routingCandidates(k ring.ID) []NodeInfo {
 	n.mu.Lock()
 	seen := make(map[string]bool, len(n.table)+len(n.succs)+1)
 	cands := make([]NodeInfo, 0, len(n.table)+len(n.succs))
 	add := func(info NodeInfo) {
-		if info.zero() || info.Addr == n.self.Addr || seen[info.Addr] {
+		if info.zero() || info.Addr == n.self.Addr || seen[info.Addr] || n.isSuspect(info.Addr) {
 			return
 		}
 		if !n.space.InOC(info.ID, n.self.ID, k) {

@@ -11,6 +11,7 @@ const (
 	kindMulticast = "multicast" // CAM-Chord segment delivery
 	kindOffer     = "offer"     // CAM-Koorde dedup handshake
 	kindFlood     = "flood"     // CAM-Koorde payload delivery
+	kindReflood   = "reflood"   // CAM-Koorde repair: re-offer via a surviving neighbor
 	kindLeaving   = "leaving"   // graceful departure notification
 	kindApp       = "app"       // application-level unicast request
 )
@@ -70,6 +71,10 @@ type multicastReq struct {
 	Payload []byte
 	K       ring.ID // the receiver must deliver to every member in (receiver, K]
 	Hops    int
+	// Repair marks an orphan-segment handoff: the receiver must re-spread
+	// (receiver, K] even if it has already seen the message, because the
+	// segment's original child died before covering it.
+	Repair bool
 }
 
 type multicastResp struct {

@@ -22,6 +22,12 @@ const (
 	KindDuplicate Kind = "duplicate"
 	KindRepair    Kind = "repair"
 	KindLookup    Kind = "lookup"
+	// KindRetry records one forwarding retry after a failed child send.
+	KindRetry Kind = "retry"
+	// KindLost records a multicast segment abandoned after retries and
+	// repair both failed: the members of that segment did not receive the
+	// message from this node.
+	KindLost Kind = "lost"
 )
 
 // Event is one recorded protocol event.

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -41,6 +42,11 @@ type TCP struct {
 	SuspicionWindow time.Duration
 	// DialTimeout bounds connection establishment; default 2s.
 	DialTimeout time.Duration
+	// RPCTimeout bounds each request/response exchange on a pooled
+	// connection (enforced as a read/write deadline on the socket), so a
+	// hung or silent peer cannot wedge the connection forever. A context
+	// deadline on Call tightens it further per call. Default 10s.
+	RPCTimeout time.Duration
 
 	wg sync.WaitGroup
 }
@@ -85,6 +91,7 @@ func NewTCP(listenAddr string) (*TCP, error) {
 		suspects:        make(map[string]time.Time),
 		SuspicionWindow: 2 * time.Second,
 		DialTimeout:     2 * time.Second,
+		RPCTimeout:      10 * time.Second,
 	}
 	t.wg.Add(1)
 	go t.acceptLoop()
@@ -131,8 +138,12 @@ func (t *TCP) Registered(addr string) bool {
 }
 
 // Call delivers one request. Local destinations short-circuit to the
-// handler; remote ones go over a pooled connection.
-func (t *TCP) Call(from, to, kind string, payload any) (any, error) {
+// handler; remote ones go over a pooled connection. The context bounds
+// connection establishment and the request/response exchange: its deadline
+// (or RPCTimeout, whichever is sooner) is set as the socket read/write
+// deadline for the call, so a hung peer fails the call instead of wedging
+// the pooled connection.
+func (t *TCP) Call(ctx context.Context, from, to, kind string, payload any) (any, error) {
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
@@ -144,7 +155,7 @@ func (t *TCP) Call(from, to, kind string, payload any) (any, error) {
 	}
 	t.mu.Unlock()
 
-	resp, err := t.remoteCall(tcpRequest{From: from, To: to, Kind: kind, Payload: payload})
+	resp, err := t.remoteCall(ctx, tcpRequest{From: from, To: to, Kind: kind, Payload: payload})
 	if err != nil {
 		t.suspect(to)
 		return nil, fmt.Errorf("%s -> %s (%s): %w: %w", from, to, kind, ErrUnreachable, err)
@@ -156,13 +167,30 @@ func (t *TCP) Call(from, to, kind string, payload any) (any, error) {
 	return resp.Payload, nil
 }
 
-func (t *TCP) remoteCall(req tcpRequest) (tcpResponse, error) {
-	c, err := t.conn(req.To)
+// rpcDeadline resolves the socket deadline for one exchange: the sooner of
+// the context deadline and now+RPCTimeout (zero when both are unset).
+func (t *TCP) rpcDeadline(ctx context.Context) time.Time {
+	var deadline time.Time
+	if t.RPCTimeout > 0 {
+		deadline = time.Now().Add(t.RPCTimeout)
+	}
+	if d, ok := ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
+		deadline = d
+	}
+	return deadline
+}
+
+func (t *TCP) remoteCall(ctx context.Context, req tcpRequest) (tcpResponse, error) {
+	c, err := t.conn(ctx, req.To)
 	if err != nil {
 		return tcpResponse{}, err
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := c.conn.SetDeadline(t.rpcDeadline(ctx)); err != nil {
+		t.dropConn(req.To, c)
+		return tcpResponse{}, err
+	}
 	if err := c.enc.Encode(&req); err != nil {
 		t.dropConn(req.To, c)
 		return tcpResponse{}, err
@@ -172,10 +200,12 @@ func (t *TCP) remoteCall(req tcpRequest) (tcpResponse, error) {
 		t.dropConn(req.To, c)
 		return tcpResponse{}, err
 	}
+	// Clear the deadline so an idle pooled connection does not expire.
+	_ = c.conn.SetDeadline(time.Time{})
 	return resp, nil
 }
 
-func (t *TCP) conn(to string) (*tcpConn, error) {
+func (t *TCP) conn(ctx context.Context, to string) (*tcpConn, error) {
 	t.mu.Lock()
 	if c, ok := t.conns[to]; ok {
 		t.mu.Unlock()
@@ -184,7 +214,8 @@ func (t *TCP) conn(to string) (*tcpConn, error) {
 	dialTimeout := t.DialTimeout
 	t.mu.Unlock()
 
-	nc, err := net.DialTimeout("tcp", to, dialTimeout)
+	d := net.Dialer{Timeout: dialTimeout}
+	nc, err := d.DialContext(ctx, "tcp", to)
 	if err != nil {
 		return nil, err
 	}

@@ -1,8 +1,10 @@
 package transport
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
+	"net"
 	"strings"
 	"sync"
 	"testing"
@@ -49,7 +51,7 @@ func TestTCPRoundTrip(t *testing.T) {
 		}
 		return echoPayload{Value: p.Value + 1}, nil
 	})
-	resp, err := a.Call("client", b.Addr(), "echo", echoPayload{Value: 41})
+	resp, err := a.Call(context.Background(), "client", b.Addr(), "echo", echoPayload{Value: 41})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +65,7 @@ func TestTCPLocalShortCircuit(t *testing.T) {
 	a.Register("local-endpoint", func(from, kind string, payload any) (any, error) {
 		return echoPayload{Value: 7}, nil
 	})
-	resp, err := a.Call("me", "local-endpoint", "x", echoPayload{})
+	resp, err := a.Call(context.Background(), "me", "local-endpoint", "x", echoPayload{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +79,7 @@ func TestTCPHandlerError(t *testing.T) {
 	b.Register(b.Addr(), func(from, kind string, payload any) (any, error) {
 		return nil, errors.New("boom")
 	})
-	_, err := a.Call("client", b.Addr(), "x", echoPayload{})
+	_, err := a.Call(context.Background(), "client", b.Addr(), "x", echoPayload{})
 	if err == nil || !strings.Contains(err.Error(), "boom") {
 		t.Fatalf("err = %v", err)
 	}
@@ -89,7 +91,7 @@ func TestTCPHandlerError(t *testing.T) {
 
 func TestTCPUnknownEndpoint(t *testing.T) {
 	a, b := newTCPPair(t)
-	_, err := a.Call("client", b.Addr(), "x", echoPayload{}) // nothing registered at b
+	_, err := a.Call(context.Background(), "client", b.Addr(), "x", echoPayload{}) // nothing registered at b
 	if err == nil || !strings.Contains(err.Error(), "no endpoint") {
 		t.Fatalf("err = %v", err)
 	}
@@ -109,7 +111,7 @@ func TestTCPUnreachableAndSuspicion(t *testing.T) {
 	if !a.Registered(dead) {
 		t.Fatal("unknown peer should start as reachable")
 	}
-	if _, err := a.Call("client", dead, "x", echoPayload{}); !errors.Is(err, ErrUnreachable) {
+	if _, err := a.Call(context.Background(), "client", dead, "x", echoPayload{}); !errors.Is(err, ErrUnreachable) {
 		t.Fatalf("err = %v, want ErrUnreachable", err)
 	}
 	if a.Registered(dead) {
@@ -126,11 +128,11 @@ func TestTCPUnregister(t *testing.T) {
 	b.Register(b.Addr(), func(from, kind string, payload any) (any, error) {
 		return echoPayload{}, nil
 	})
-	if _, err := a.Call("c", b.Addr(), "x", echoPayload{}); err != nil {
+	if _, err := a.Call(context.Background(), "c", b.Addr(), "x", echoPayload{}); err != nil {
 		t.Fatal(err)
 	}
 	b.Unregister(b.Addr())
-	if _, err := a.Call("c", b.Addr(), "x", echoPayload{}); err == nil {
+	if _, err := a.Call(context.Background(), "c", b.Addr(), "x", echoPayload{}); err == nil {
 		t.Fatal("call to unregistered endpoint should fail")
 	}
 	if b.Registered(b.Addr()) {
@@ -154,7 +156,7 @@ func TestTCPConcurrentCalls(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			if _, err := a.Call("c", b.Addr(), "x", echoPayload{Value: i}); err != nil {
+			if _, err := a.Call(context.Background(), "c", b.Addr(), "x", echoPayload{Value: i}); err != nil {
 				t.Error(err)
 			}
 		}(i)
@@ -174,13 +176,13 @@ func TestTCPNestedCalls(t *testing.T) {
 		return echoPayload{Value: 5}, nil
 	})
 	b.Register(b.Addr(), func(from, kind string, payload any) (any, error) {
-		resp, err := b.Call(b.Addr(), a.Addr(), "inner", echoPayload{})
+		resp, err := b.Call(context.Background(), b.Addr(), a.Addr(), "inner", echoPayload{})
 		if err != nil {
 			return nil, err
 		}
 		return echoPayload{Value: resp.(echoPayload).Value * 2}, nil
 	})
-	resp, err := a.Call(a.Addr(), b.Addr(), "outer", echoPayload{})
+	resp, err := a.Call(context.Background(), a.Addr(), b.Addr(), "outer", echoPayload{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,10 +203,90 @@ func TestTCPCloseIdempotentAndRejects(t *testing.T) {
 	if err := a.Close(); err != nil {
 		t.Fatal("second close should be nil")
 	}
-	if _, err := a.Call("c", "anywhere", "x", echoPayload{}); !errors.Is(err, ErrClosed) {
+	if _, err := a.Call(context.Background(), "c", "anywhere", "x", echoPayload{}); !errors.Is(err, ErrClosed) {
 		t.Fatalf("err = %v, want ErrClosed", err)
 	}
 	if a.Registered("anywhere") {
 		t.Fatal("closed transport should report nothing registered")
+	}
+}
+
+// TestTCPHungPeerDeadline verifies the per-RPC deadline: a peer that
+// accepts connections but never responds must fail the call within
+// RPCTimeout instead of wedging the pooled connection forever, and the
+// transport must stay usable for healthy peers afterwards.
+func TestTCPHungPeerDeadline(t *testing.T) {
+	a, b := newTCPPair(t)
+	a.RPCTimeout = 100 * time.Millisecond
+	b.Register(b.Addr(), func(from, kind string, payload any) (any, error) {
+		return payload, nil
+	})
+
+	// A raw listener that accepts and then reads nothing and writes nothing.
+	hung, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hung.Close()
+	go func() {
+		for {
+			c, err := hung.Accept()
+			if err != nil {
+				return
+			}
+			defer c.Close()
+		}
+	}()
+
+	for i := 0; i < 2; i++ { // twice: the dead conn must not be pooled
+		start := time.Now()
+		_, err = a.Call(context.Background(), "client", hung.Addr().String(), "x", echoPayload{Value: i})
+		if err == nil {
+			t.Fatal("call to hung peer succeeded")
+		}
+		if d := time.Since(start); d > time.Second {
+			t.Fatalf("call %d to hung peer took %v, want ~RPCTimeout", i, d)
+		}
+	}
+
+	// The transport is not wedged: healthy peers still answer.
+	resp, err := a.Call(context.Background(), "client", b.Addr(), "x", echoPayload{Value: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, ok := resp.(echoPayload); !ok || p.Value != 7 {
+		t.Fatalf("resp = %#v", resp)
+	}
+}
+
+// TestTCPCallerDeadlineWins verifies that a context deadline sooner than
+// RPCTimeout bounds the exchange.
+func TestTCPCallerDeadlineWins(t *testing.T) {
+	a, _ := newTCPPair(t)
+	a.RPCTimeout = 5 * time.Second
+
+	hung, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hung.Close()
+	go func() {
+		for {
+			c, err := hung.Accept()
+			if err != nil {
+				return
+			}
+			defer c.Close()
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 80*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := a.Call(ctx, "client", hung.Addr().String(), "x", echoPayload{}); err == nil {
+		t.Fatal("call should have failed")
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("caller deadline did not bound the call (took %v)", d)
 	}
 }

@@ -4,9 +4,16 @@
 // for the Internet paths between multicast group members; every behaviour a
 // test wants to provoke (slow links, dropped control packets, unreachable
 // nodes) is injected here rather than mocked in protocol code.
+//
+// Fault injection comes in two forms: imperative knobs (SetDropRate,
+// SetPartition, SetLatency, Unregister) for hand-driven tests, and a
+// declarative FaultPlan — a seedable schedule of crash, partition, link
+// delay, and burst-loss windows keyed on the network's call counter — for
+// deterministic chaos tests.
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -39,6 +46,7 @@ type Network struct {
 	latency   func(from, to string) time.Duration
 	dropRate  float64
 	partition map[string]int // endpoint -> partition id; missing means 0
+	plan      *FaultPlan
 	rng       *rand.Rand
 	calls     uint64
 	drops     uint64
@@ -68,10 +76,14 @@ func (n *Network) Unregister(addr string) {
 	delete(n.endpoints, addr)
 }
 
-// Registered reports whether addr currently has a handler.
+// Registered reports whether addr currently has a handler and is not inside
+// an active FaultPlan crash window.
 func (n *Network) Registered(addr string) bool {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
+	if n.plan.CrashedAt(addr, n.calls) {
+		return false
+	}
 	_, ok := n.endpoints[addr]
 	return ok
 }
@@ -111,11 +123,22 @@ func (n *Network) SetPartition(addr string, partition int) {
 	n.partition[addr] = partition
 }
 
-// HealPartitions returns every endpoint to partition 0.
+// HealPartitions returns every endpoint to partition 0 (FaultPlan partition
+// windows, which are keyed on the call counter, are unaffected).
 func (n *Network) HealPartitions() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.partition = make(map[string]int)
+}
+
+// SetFaultPlan installs a deterministic fault schedule; nil removes it.
+// The plan's windows are evaluated against the network's call counter (see
+// Calls), so installing the same plan at the same point of a deterministic
+// protocol run reproduces exactly the same failures.
+func (n *Network) SetFaultPlan(p *FaultPlan) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.plan = p
 }
 
 // Stats returns the total number of calls attempted and dropped so far.
@@ -125,32 +148,85 @@ func (n *Network) Stats() (calls, drops uint64) {
 	return n.calls, n.drops
 }
 
+// Calls returns the current call counter, the time base of FaultPlan
+// windows: the next Call observes index Calls().
+func (n *Network) Calls() uint64 {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.calls
+}
+
+// effectivePartition returns addr's partition id at call index step,
+// preferring an active plan window over the imperative assignment.
+func (n *Network) effectivePartition(addr string, step uint64) int {
+	if p, ok := n.plan.partitionAt(addr, step); ok {
+		return p
+	}
+	return n.partition[addr]
+}
+
 // Call delivers one request from -> to and returns the handler's response.
-// It applies, in order: partition checks, loss simulation, latency, and
-// endpoint resolution. The handler runs in the caller's goroutine.
-func (n *Network) Call(from, to, kind string, payload any) (any, error) {
+// It applies, in order: crash windows, partition checks, loss simulation,
+// latency, and endpoint resolution. The handler runs in the caller's
+// goroutine. A context deadline bounds the simulated network time (latency
+// and injected link delay); it does not interrupt a handler that has
+// already been reached, mirroring a real network where a timed-out request
+// may still have been processed remotely.
+func (n *Network) Call(ctx context.Context, from, to, kind string, payload any) (any, error) {
 	n.mu.Lock()
+	step := n.calls
 	n.calls++
-	if n.partition[from] != n.partition[to] {
+	if n.plan.CrashedAt(to, step) || n.plan.CrashedAt(from, step) {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("%s -> %s: crashed: %w", from, to, ErrUnreachable)
+	}
+	if n.effectivePartition(from, step) != n.effectivePartition(to, step) {
 		n.mu.Unlock()
 		return nil, fmt.Errorf("%s -> %s: %w", from, to, ErrPartitioned)
 	}
-	if n.dropRate > 0 && n.rng.Float64() < n.dropRate {
+	drop := n.dropRate
+	if r := n.plan.lossAt(step); r > drop {
+		drop = r
+	}
+	if drop > 0 && n.rng.Float64() < drop {
 		n.drops++
 		n.mu.Unlock()
 		return nil, fmt.Errorf("%s -> %s (%s): %w", from, to, kind, ErrDropped)
 	}
 	h, ok := n.endpoints[to]
 	latency := n.latency
+	delay := n.plan.delayAt(from, to, step)
 	n.mu.Unlock()
 
 	if !ok {
 		return nil, fmt.Errorf("%s -> %s: %w", from, to, ErrUnreachable)
 	}
 	if latency != nil {
-		if d := latency(from, to); d > 0 {
-			time.Sleep(d)
+		delay += latency(from, to)
+	}
+	if delay > 0 {
+		if err := sleepCtx(ctx, delay); err != nil {
+			return nil, fmt.Errorf("%s -> %s (%s): %w", from, to, kind, err)
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("%s -> %s (%s): %w", from, to, kind, err)
+	}
 	return h(from, kind, payload)
+}
+
+// sleepCtx sleeps for d or until ctx is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if ctx.Done() == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }

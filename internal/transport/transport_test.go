@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -17,7 +18,7 @@ func echoHandler(t *testing.T) Handler {
 func TestCallRoundTrip(t *testing.T) {
 	n := NewNetwork(1)
 	n.Register("b", echoHandler(t))
-	resp, err := n.Call("a", "b", "echo", 42)
+	resp, err := n.Call(context.Background(), "a", "b", "echo", 42)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,7 +29,7 @@ func TestCallRoundTrip(t *testing.T) {
 
 func TestCallUnreachable(t *testing.T) {
 	n := NewNetwork(1)
-	if _, err := n.Call("a", "ghost", "x", nil); !errors.Is(err, ErrUnreachable) {
+	if _, err := n.Call(context.Background(), "a", "ghost", "x", nil); !errors.Is(err, ErrUnreachable) {
 		t.Fatalf("err = %v, want ErrUnreachable", err)
 	}
 }
@@ -43,7 +44,7 @@ func TestUnregisterMakesUnreachable(t *testing.T) {
 	if n.Registered("b") {
 		t.Fatal("b should be gone")
 	}
-	if _, err := n.Call("a", "b", "x", nil); !errors.Is(err, ErrUnreachable) {
+	if _, err := n.Call(context.Background(), "a", "b", "x", nil); !errors.Is(err, ErrUnreachable) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -52,11 +53,11 @@ func TestDropRate(t *testing.T) {
 	n := NewNetwork(7)
 	n.Register("b", echoHandler(t))
 	n.SetDropRate(1)
-	if _, err := n.Call("a", "b", "x", nil); !errors.Is(err, ErrDropped) {
+	if _, err := n.Call(context.Background(), "a", "b", "x", nil); !errors.Is(err, ErrDropped) {
 		t.Fatalf("err = %v, want ErrDropped", err)
 	}
 	n.SetDropRate(0)
-	if _, err := n.Call("a", "b", "x", nil); err != nil {
+	if _, err := n.Call(context.Background(), "a", "b", "x", nil); err != nil {
 		t.Fatalf("err = %v after disabling drops", err)
 	}
 	calls, drops := n.Stats()
@@ -69,11 +70,11 @@ func TestDropRateClamped(t *testing.T) {
 	n := NewNetwork(1)
 	n.Register("b", echoHandler(t))
 	n.SetDropRate(-3) // clamps to 0
-	if _, err := n.Call("a", "b", "x", nil); err != nil {
+	if _, err := n.Call(context.Background(), "a", "b", "x", nil); err != nil {
 		t.Fatal(err)
 	}
 	n.SetDropRate(9) // clamps to 1
-	if _, err := n.Call("a", "b", "x", nil); !errors.Is(err, ErrDropped) {
+	if _, err := n.Call(context.Background(), "a", "b", "x", nil); !errors.Is(err, ErrDropped) {
 		t.Fatal("expected drop at rate 1")
 	}
 }
@@ -83,17 +84,17 @@ func TestPartition(t *testing.T) {
 	n.Register("a", echoHandler(t))
 	n.Register("b", echoHandler(t))
 	n.SetPartition("b", 1)
-	if _, err := n.Call("a", "b", "x", nil); !errors.Is(err, ErrPartitioned) {
+	if _, err := n.Call(context.Background(), "a", "b", "x", nil); !errors.Is(err, ErrPartitioned) {
 		t.Fatalf("err = %v, want ErrPartitioned", err)
 	}
 	// Within the same partition calls work.
 	n.SetPartition("a", 1)
-	if _, err := n.Call("a", "b", "x", nil); err != nil {
+	if _, err := n.Call(context.Background(), "a", "b", "x", nil); err != nil {
 		t.Fatalf("same-partition call failed: %v", err)
 	}
 	n.HealPartitions()
 	n.Register("c", echoHandler(t))
-	if _, err := n.Call("c", "b", "x", nil); err != nil {
+	if _, err := n.Call(context.Background(), "c", "b", "x", nil); err != nil {
 		t.Fatalf("healed call failed: %v", err)
 	}
 }
@@ -103,7 +104,7 @@ func TestLatency(t *testing.T) {
 	n.Register("b", echoHandler(t))
 	n.SetLatency(func(from, to string) time.Duration { return 20 * time.Millisecond })
 	start := time.Now()
-	if _, err := n.Call("a", "b", "x", nil); err != nil {
+	if _, err := n.Call(context.Background(), "a", "b", "x", nil); err != nil {
 		t.Fatal(err)
 	}
 	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
@@ -111,7 +112,7 @@ func TestLatency(t *testing.T) {
 	}
 	n.SetLatency(nil)
 	start = time.Now()
-	_, _ = n.Call("a", "b", "x", nil)
+	_, _ = n.Call(context.Background(), "a", "b", "x", nil)
 	if elapsed := time.Since(start); elapsed > 10*time.Millisecond {
 		t.Errorf("latency should be disabled: %v", elapsed)
 	}
@@ -123,7 +124,7 @@ func TestHandlerErrorPropagates(t *testing.T) {
 	n.Register("b", func(from, kind string, payload any) (any, error) {
 		return nil, sentinel
 	})
-	if _, err := n.Call("a", "b", "x", nil); !errors.Is(err, sentinel) {
+	if _, err := n.Call(context.Background(), "a", "b", "x", nil); !errors.Is(err, sentinel) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -140,7 +141,7 @@ func TestConcurrentCalls(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			if _, err := n.Call("a", "b", "x", i); err != nil {
+			if _, err := n.Call(context.Background(), "a", "b", "x", i); err != nil {
 				t.Error(err)
 			}
 		}(i)
