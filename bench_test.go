@@ -1,14 +1,21 @@
 package camcast
 
 // Benchmark harness: one benchmark per figure in the paper's evaluation
-// (Section 6) plus the ablation benches DESIGN.md calls out and micro
-// benchmarks of the core operations.
+// (Section 6), the ablation benches DESIGN.md calls out, micro benchmarks of
+// the core operations, and engine benches isolating the parallel experiment
+// engine (sequential sweep vs worker pool, fresh tree builds vs in-place
+// rebuilds).
 //
-// The figure benches run the same experiment code as cmd/camfigs but scaled
-// to bench-friendly sizes with the paper's node density (n/2^bits ≈ 0.19)
+// The figure benches run the same experiment code as cmd/camfigs — each
+// figure executes as a flat grid of points on the engine's worker pool, over
+// process-cached populations and memoized overlays — but scaled to
+// bench-friendly sizes with the paper's node density (n/2^bits ≈ 0.19)
 // preserved; ReportMetric surfaces the headline quantity of each figure so
-// `go test -bench=.` output is directly comparable to the paper. Regenerate
-// the full-scale series with `go run ./cmd/camfigs`.
+// `go test -bench=.` output is directly comparable to the paper. After the
+// first iteration these benches regenerate over warm caches; the
+// FigureSweep benches below reset the caches every iteration to time the
+// cold end-to-end sweep. Regenerate the full-scale series with
+// `go run ./cmd/camfigs`.
 
 import (
 	"fmt"
@@ -17,6 +24,7 @@ import (
 	"camcast/internal/camchord"
 	"camcast/internal/camkoorde"
 	"camcast/internal/experiments"
+	"camcast/internal/multicast"
 	"camcast/internal/ring"
 	"camcast/internal/workload"
 )
@@ -216,7 +224,34 @@ func BenchmarkAblationResilience(b *testing.B) {
 	b.ReportMetric(gap, "koorde-survival-advantage@c=16")
 }
 
-// Micro benchmarks of the core operations.
+// Engine benches: the full Figure 6 sweep (44 grid points over one
+// population) with cold caches every iteration, sequential vs one worker per
+// CPU. On a multi-core machine the parallel variant's speedup is roughly the
+// core count (the points are embarrassingly parallel); the outputs are
+// byte-identical either way (see TestParallelismByteIdenticalTSV).
+
+func BenchmarkFigureSweepSequential(b *testing.B) { benchFigureSweep(b, 1) }
+func BenchmarkFigureSweepParallel(b *testing.B)   { benchFigureSweep(b, 0) }
+
+func benchFigureSweep(b *testing.B, parallelism int) {
+	b.Helper()
+	cfg := benchConfig()
+	cfg.Parallelism = parallelism
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		experiments.ResetCaches()
+		if _, err := experiments.Figure6(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	experiments.ResetCaches()
+}
+
+// Micro benchmarks of the core operations. The TreeBuild/TreeBuildInto
+// pairs contrast a fresh tree allocation per source against the engine's
+// in-place rebuild (Tree.Reset): steady-state allocs/op drops ~40× for the
+// Into variants (the residue is children-slice growth at nodes that were
+// leaves in every earlier source's tree).
 
 func BenchmarkCAMChordTreeBuild(b *testing.B) {
 	pop := benchPopulation(b)
@@ -224,10 +259,33 @@ func BenchmarkCAMChordTreeBuild(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tree, err := net.BuildTree(i % pop.Ring.Len())
 		if err != nil {
+			b.Fatal(err)
+		}
+		if tree.Reached() != pop.Ring.Len() {
+			b.Fatal("incomplete tree")
+		}
+	}
+}
+
+func BenchmarkCAMChordTreeBuildInto(b *testing.B) {
+	pop := benchPopulation(b)
+	net, err := camchord.New(pop.Ring, pop.Caps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tree, err := multicast.NewTree(pop.Ring.Len(), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := net.BuildTreeInto(tree, i%pop.Ring.Len()); err != nil {
 			b.Fatal(err)
 		}
 		if tree.Reached() != pop.Ring.Len() {
@@ -242,10 +300,33 @@ func BenchmarkCAMKoordeTreeBuild(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tree, _, err := net.BuildTree(i % pop.Ring.Len())
 		if err != nil {
+			b.Fatal(err)
+		}
+		if tree.Reached() != pop.Ring.Len() {
+			b.Fatal("incomplete tree")
+		}
+	}
+}
+
+func BenchmarkCAMKoordeTreeBuildInto(b *testing.B) {
+	pop := benchPopulation(b)
+	net, err := camkoorde.New(pop.Ring, pop.Caps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tree, err := multicast.NewTree(pop.Ring.Len(), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := net.BuildTreeInto(tree, i%pop.Ring.Len()); err != nil {
 			b.Fatal(err)
 		}
 		if tree.Reached() != pop.Ring.Len() {

@@ -4,11 +4,18 @@
 // Usage:
 //
 //	camfigs [-fig all|figure6,figure8,...] [-n 100000] [-sources 3]
-//	        [-seed 1] [-bits 19] [-out DIR]
+//	        [-seed 1] [-bits 19] [-out DIR] [-parallel 0]
+//	        [-cpuprofile FILE] [-memprofile FILE]
 //
 // With -out, each figure is written to DIR/<name>.tsv; otherwise all series
 // stream to stdout. The defaults reproduce the paper's setup: 100,000
 // members on a 2^19 identifier ring, bandwidths U[400,1000] kbps.
+//
+// Figures run on the parallel experiment engine: -parallel bounds the
+// worker pool (0 = one worker per CPU, 1 = sequential) and the output is
+// byte-identical for every value. A multi-figure run builds each population
+// only once and shares it across figures. -cpuprofile/-memprofile write
+// pprof profiles of the run for performance work.
 package main
 
 import (
@@ -17,6 +24,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"camcast/internal/experiments"
@@ -38,9 +47,38 @@ func run(args []string, stdout io.Writer) error {
 		seed    = fs.Int64("seed", 1, "RNG seed")
 		bits    = fs.Uint("bits", 19, "identifier space width in bits")
 		outDir  = fs.String("out", "", "directory to write <figure>.tsv files (default: stdout)")
+		par     = fs.Int("parallel", 0, "grid points measured concurrently (0 = one worker per CPU, 1 = sequential)")
+		cpuProf = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf = fs.String("memprofile", "", "write a heap profile at the end of the run to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "camfigs: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "camfigs: memprofile:", err)
+			}
+		}()
 	}
 
 	lookup := func(name string) func(experiments.Config) (experiments.FigureResult, error) {
@@ -68,7 +106,7 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 
-	cfg := experiments.Config{N: *n, Sources: *sources, Seed: *seed, Bits: *bits}
+	cfg := experiments.Config{N: *n, Sources: *sources, Seed: *seed, Bits: *bits, Parallelism: *par}
 	for _, name := range names {
 		fmt.Fprintf(os.Stderr, "camfigs: generating %s (n=%d, sources=%d)...\n", name, cfg.N, cfg.Sources)
 		res, err := lookup(name)(cfg)

@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"camcast/internal/experiments"
 )
 
 func TestRunSingleFigureToStdout(t *testing.T) {
@@ -30,6 +32,20 @@ func TestRunAblationToFile(t *testing.T) {
 	}
 	if !strings.Contains(string(data), "right-shift") {
 		t.Error("written TSV missing series")
+	}
+}
+
+func TestRunSharesPopulationAcrossFigures(t *testing.T) {
+	// Figures 6, 8, and 11 all run over the paper-default membership; a
+	// multi-figure invocation must generate it once, not once per figure.
+	experiments.ResetCaches()
+	defer experiments.ResetCaches()
+	err := run([]string{"-fig", "figure6,figure8,figure11", "-n", "400", "-sources", "1", "-bits", "11"}, &strings.Builder{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := experiments.PopulationBuilds(); got != 1 {
+		t.Errorf("three default-population figures built %d populations, want 1", got)
 	}
 }
 

@@ -19,6 +19,7 @@ package camchord
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"camcast/internal/multicast"
 	"camcast/internal/ring"
@@ -174,23 +175,56 @@ func (n *Network) Lookup(from int, k ring.ID) (resp int, path []int) {
 	}
 }
 
+// task is one pending invocation x.MULTICAST(msg, k): "node must deliver to
+// every node in (node, k]".
+type task struct {
+	node int
+	k    ring.ID
+}
+
+// queuePool recycles the per-build work queue so repeated BuildTreeInto
+// calls (the experiment engine's hot loop) do not re-make it per source.
+// Safe under concurrent builds from multiple goroutines.
+var queuePool = sync.Pool{New: func() any { q := make([]task, 0, 1024); return &q }}
+
 // BuildTree runs the MULTICAST routine of Section 3.4 from the source at
-// ring position src and returns the resulting implicit multicast tree. The
-// collective recursion is simulated with an explicit work queue; each queue
-// entry is one invocation x.MULTICAST(msg, k) meaning "x must deliver to
-// every node in (x, k]".
+// ring position src and returns the resulting implicit multicast tree.
 func (n *Network) BuildTree(src int) (*multicast.Tree, error) {
 	tree, err := multicast.NewTree(n.ring.Len(), src)
 	if err != nil {
 		return nil, err
 	}
+	if err := n.buildInto(tree, src); err != nil {
+		return nil, err
+	}
+	return tree, nil
+}
+
+// BuildTreeInto rebuilds the implicit multicast tree from src into tree,
+// which must span exactly Ring().Len() nodes. The tree is Reset first, so a
+// caller can reuse one allocation across many sources; see Tree.Reset.
+func (n *Network) BuildTreeInto(tree *multicast.Tree, src int) error {
+	if tree == nil {
+		return fmt.Errorf("camchord: nil tree")
+	}
+	if tree.Len() != n.ring.Len() {
+		return fmt.Errorf("camchord: tree spans %d nodes, ring has %d", tree.Len(), n.ring.Len())
+	}
+	if err := tree.Reset(src); err != nil {
+		return err
+	}
+	return n.buildInto(tree, src)
+}
+
+// buildInto simulates the collective recursion with an explicit work queue;
+// each queue entry is one invocation x.MULTICAST(msg, k). tree must already
+// be rooted at src.
+func (n *Network) buildInto(tree *multicast.Tree, src int) error {
 	s := n.ring.Space()
 
-	type task struct {
-		node int
-		k    ring.ID
-	}
-	queue := make([]task, 0, n.ring.Len())
+	qp := queuePool.Get().(*[]task)
+	queue := (*qp)[:0]
+	defer func() { *qp = queue[:0]; queuePool.Put(qp) }()
 	// The source initiates delivery to (x, x-1], i.e. the whole ring but x.
 	queue = append(queue, task{node: src, k: s.Sub(n.ring.IDAt(src), 1)})
 
@@ -228,7 +262,7 @@ func (n *Network) BuildTree(src int) (*multicast.Tree, error) {
 		// Lines 6-9: level-i neighbors preceding k, highest first.
 		for m := seq; m >= 1; m-- {
 			if err := send(s.Add(xid, m*pow)); err != nil {
-				return nil, err
+				return err
 			}
 		}
 
@@ -250,7 +284,7 @@ func (n *Network) BuildTree(src int) (*multicast.Tree, error) {
 						j = 1
 					}
 					if err := send(s.Add(xid, j*prevPow)); err != nil {
-						return nil, err
+						return err
 					}
 				}
 			case SpacingContiguous:
@@ -259,7 +293,7 @@ func (n *Network) BuildTree(src int) (*multicast.Tree, error) {
 				// the remaining segment.
 				for j := c - 1; j > seq && j >= 1; j-- {
 					if err := send(s.Add(xid, j*prevPow)); err != nil {
-						return nil, err
+						return err
 					}
 				}
 			}
@@ -267,8 +301,8 @@ func (n *Network) BuildTree(src int) (*multicast.Tree, error) {
 
 		// Line 15: the successor x̂_{0,1}.
 		if err := send(s.Add(xid, 1)); err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return tree, nil
+	return nil
 }

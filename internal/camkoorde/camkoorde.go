@@ -25,6 +25,7 @@ package camkoorde
 
 import (
 	"fmt"
+	"sync"
 
 	"camcast/internal/multicast"
 	"camcast/internal/ring"
@@ -110,28 +111,53 @@ func (n *Network) Groups(pos int) (basic, second, third []ring.ID) {
 // positions, excluding the node itself. Identifiers in the second and third
 // groups resolve through "the node responsible for" (successor) semantics.
 func (n *Network) NeighborNodes(pos int) []int {
-	basic, second, third := n.Groups(pos)
-	seen := map[int]bool{pos: true}
-	out := make([]int, 0, n.caps[pos])
+	return n.AppendNeighborNodes(make([]int, 0, n.caps[pos]), pos)
+}
+
+// AppendNeighborNodes appends the node's distinct neighbor positions
+// (excluding pos itself) to dst and returns the extended slice. It is the
+// allocation-lean core of NeighborNodes: the three identifier groups of
+// Section 4.1 are resolved on the fly, and duplicates are removed by
+// scanning the appended window (at most c_x entries), so a flood can reuse
+// one buffer across the whole build instead of allocating a map and four
+// slices per visited node.
+func (n *Network) AppendNeighborNodes(dst []int, pos int) []int {
+	start := len(dst)
 	add := func(p int) {
-		if !seen[p] {
-			seen[p] = true
-			out = append(out, p)
+		if p == pos {
+			return
 		}
+		for _, q := range dst[start:] {
+			if q == p {
+				return
+			}
+		}
+		dst = append(dst, p)
 	}
-	// Predecessor and successor are nodes already.
+	s := n.ring.Space()
+	x := n.ring.IDAt(pos)
+	// Basic group: predecessor and successor are nodes already; the two
+	// de Bruijn identifiers resolve through Responsible.
 	add(n.ring.Predecessor(pos))
 	add(n.ring.Successor(pos))
-	for _, id := range basic[2:] {
-		add(n.ring.Responsible(id))
+	add(n.ring.Responsible(s.Shr(x, 1)))
+	add(n.ring.Responsible(s.Add(s.Half(), s.Shr(x, 1))))
+	remaining := n.caps[pos] - 4
+	if remaining > 0 {
+		shift := ring.Log2Floor(uint64(remaining)) // s = ⌊log2(c-4)⌋
+		t := 0
+		if shift > 1 {
+			t = 1 << shift
+			for i := 0; i < t; i++ {
+				add(n.ring.Responsible(s.TopBits(uint64(i), shift) | s.Shr(x, shift)))
+			}
+		}
+		sPrime := shift + 1
+		for i := 0; i < remaining-t; i++ {
+			add(n.ring.Responsible(s.TopBits(uint64(i), sPrime) | s.Shr(x, sPrime)))
+		}
 	}
-	for _, id := range second {
-		add(n.ring.Responsible(id))
-	}
-	for _, id := range third {
-		add(n.ring.Responsible(id))
-	}
-	return out
+	return dst
 }
 
 // Lookup resolves the node responsible for identifier k starting from the
@@ -256,20 +282,53 @@ func (n *Network) BuildTree(src int) (tree *multicast.Tree, redundant int, err e
 	if err != nil {
 		return nil, 0, err
 	}
-	queue := make([]int, 0, n.ring.Len())
+	redundant, err = n.flood(tree, src)
+	if err != nil {
+		return nil, 0, err
+	}
+	return tree, redundant, nil
+}
+
+// BuildTreeInto rebuilds the flood tree from src into tree, which must span
+// exactly Ring().Len() nodes. The tree is Reset first, so a caller can reuse
+// one allocation across many sources; see Tree.Reset.
+func (n *Network) BuildTreeInto(tree *multicast.Tree, src int) (redundant int, err error) {
+	if tree == nil {
+		return 0, fmt.Errorf("camkoorde: nil tree")
+	}
+	if tree.Len() != n.ring.Len() {
+		return 0, fmt.Errorf("camkoorde: tree spans %d nodes, ring has %d", tree.Len(), n.ring.Len())
+	}
+	if err := tree.Reset(src); err != nil {
+		return 0, err
+	}
+	return n.flood(tree, src)
+}
+
+// floodScratch recycles the BFS queue and the neighbor buffer across builds,
+// including concurrent ones from multiple experiment workers.
+var floodScratch = sync.Pool{New: func() any { return &struct{ queue, nbuf []int }{} }}
+
+// flood runs the BFS over the neighbor digraph; tree must already be rooted
+// at src.
+func (n *Network) flood(tree *multicast.Tree, src int) (redundant int, err error) {
+	sc := floodScratch.Get().(*struct{ queue, nbuf []int })
+	queue := sc.queue[:0]
+	defer func() { sc.queue = queue[:0]; floodScratch.Put(sc) }()
 	queue = append(queue, src)
 	for head := 0; head < len(queue); head++ {
 		x := queue[head]
-		for _, p := range n.NeighborNodes(x) {
+		sc.nbuf = n.AppendNeighborNodes(sc.nbuf[:0], x)
+		for _, p := range sc.nbuf {
 			if tree.Received(p) {
 				redundant++
 				continue
 			}
 			if err := tree.Deliver(x, p); err != nil {
-				return nil, 0, err
+				return 0, err
 			}
 			queue = append(queue, p)
 		}
 	}
-	return tree, redundant, nil
+	return redundant, nil
 }

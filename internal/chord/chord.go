@@ -17,6 +17,7 @@ package chord
 
 import (
 	"fmt"
+	"sync"
 
 	"camcast/internal/multicast"
 	"camcast/internal/ring"
@@ -107,13 +108,45 @@ func (n *Network) BuildTree(src int) (*multicast.Tree, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := n.buildInto(tree, src); err != nil {
+		return nil, err
+	}
+	return tree, nil
+}
+
+// BuildTreeInto rebuilds the broadcast tree from src into tree, which must
+// span exactly Ring().Len() nodes. The tree is Reset first, so a caller can
+// reuse one allocation across many sources; see Tree.Reset.
+func (n *Network) BuildTreeInto(tree *multicast.Tree, src int) error {
+	if tree == nil {
+		return fmt.Errorf("chord: nil tree")
+	}
+	if tree.Len() != n.ring.Len() {
+		return fmt.Errorf("chord: tree spans %d nodes, ring has %d", tree.Len(), n.ring.Len())
+	}
+	if err := tree.Reset(src); err != nil {
+		return err
+	}
+	return n.buildInto(tree, src)
+}
+
+// task is one pending broadcast invocation: node must cover (node, k].
+type task struct {
+	node int
+	k    ring.ID
+}
+
+// queuePool recycles the per-build work queue across builds, including
+// concurrent ones from multiple experiment workers.
+var queuePool = sync.Pool{New: func() any { q := make([]task, 0, 1024); return &q }}
+
+// buildInto runs the El-Ansary broadcast; tree must already be rooted at src.
+func (n *Network) buildInto(tree *multicast.Tree, src int) error {
 	s := n.ring.Space()
 
-	type task struct {
-		node int
-		k    ring.ID // cover (node, k]
-	}
-	queue := make([]task, 0, n.ring.Len())
+	qp := queuePool.Get().(*[]task)
+	queue := (*qp)[:0]
+	defer func() { *qp = queue[:0]; queuePool.Put(qp) }()
 	queue = append(queue, task{node: src, k: s.Sub(n.ring.IDAt(src), 1)})
 
 	for head := 0; head < len(queue); head++ {
@@ -156,10 +189,10 @@ func (n *Network) BuildTree(src int) (*multicast.Tree, error) {
 		}
 		for _, ch := range children {
 			if err := tree.Deliver(x, ch.node); err != nil {
-				return nil, err
+				return err
 			}
 			queue = append(queue, task{node: ch.node, k: ch.limit})
 		}
 	}
-	return tree, nil
+	return nil
 }

@@ -8,14 +8,16 @@ import (
 	"camcast/internal/camchord"
 	"camcast/internal/camkoorde"
 	"camcast/internal/geo"
-	"camcast/internal/koorde"
 	"camcast/internal/metrics"
 	"camcast/internal/multicast"
 )
 
 // This file implements the ablation experiments for the design choices
 // DESIGN.md calls out. They are not figures from the paper; each isolates
-// one mechanism the paper claims matters and quantifies it.
+// one mechanism the paper claims matters and quantifies it. Like the
+// figures, each ablation runs as a flat grid of independent points on the
+// engine's worker pool, with per-point RNG state pre-derived so the output
+// is byte-identical for every worker count.
 
 // AblationShift compares CAM-Koorde's right-shift (spread) neighbor
 // derivation against Koorde's left-shift (clustered) one at equal uniform
@@ -32,34 +34,37 @@ func AblationShift(cfg Config) (FigureResult, error) {
 	}
 	sources := PickSources(pop.Ring.Len(), cfg.Sources, cfg.Seed+600)
 
+	degrees := []int{4, 6, 8, 12, 16, 24, 32}
+	modes := []overlaySpec{
+		{sys: SystemCAMKoorde, mode: overlayUniformCaps},
+		{sys: SystemKoorde, mode: overlayDegree},
+	}
+	grid := make([]float64, len(degrees)*len(modes))
+	err = forEachPoint(cfg.workers(), len(grid), func(i int) error {
+		spec := modes[i%len(modes)]
+		spec.c = degrees[i/len(modes)]
+		b, _, err := pop.overlayAt(spec)
+		if err != nil {
+			return err
+		}
+		length, err := avgPathLength(b, pop.Ring.Len(), sources)
+		if err != nil {
+			return fmt.Errorf("%s degree %d: %w", spec.sys, spec.c, err)
+		}
+		grid[i] = length
+		return nil
+	})
+	if err != nil {
+		return FigureResult{}, err
+	}
+
 	spread := metrics.Series{Label: "right-shift (CAM-Koorde)"}
 	clustered := metrics.Series{Label: "left-shift (Koorde)"}
-	for _, degree := range []int{4, 6, 8, 12, 16, 24, 32} {
-		caps := pop.UniformCaps(degree)
-		cam, err := camkoorde.New(pop.Ring, caps)
-		if err != nil {
-			return FigureResult{}, err
-		}
-		base, err := koorde.New(pop.Ring, degree)
-		if err != nil {
-			return FigureResult{}, err
-		}
-		camLen, err := avgPathLength(func(src int) (*multicast.Tree, error) {
-			tree, _, err := cam.BuildTree(src)
-			return tree, err
-		}, sources)
-		if err != nil {
-			return FigureResult{}, err
-		}
-		baseLen, err := avgPathLength(func(src int) (*multicast.Tree, error) {
-			tree, _, err := base.BuildTree(src)
-			return tree, err
-		}, sources)
-		if err != nil {
-			return FigureResult{}, err
-		}
-		spread.Points = append(spread.Points, metrics.Point{X: float64(degree), Y: camLen})
-		clustered.Points = append(clustered.Points, metrics.Point{X: float64(degree), Y: baseLen})
+	for di, degree := range degrees {
+		spread.Points = append(spread.Points,
+			metrics.Point{X: float64(degree), Y: grid[di*len(modes)]})
+		clustered.Points = append(clustered.Points,
+			metrics.Point{X: float64(degree), Y: grid[di*len(modes)+1]})
 	}
 	return FigureResult{
 		Name:   "ablation-shift",
@@ -84,26 +89,36 @@ func AblationSpacing(cfg Config) (FigureResult, error) {
 	}
 	sources := PickSources(pop.Ring.Len(), cfg.Sources, cfg.Seed+700)
 
+	capacities := []int{3, 4, 6, 8, 12, 16, 24}
+	spacings := []camchord.Spacing{camchord.SpacingEven, camchord.SpacingContiguous}
+	grid := make([]float64, len(capacities)*len(spacings))
+	err = forEachPoint(cfg.workers(), len(grid), func(i int) error {
+		capacity := capacities[i/len(spacings)]
+		mode := spacings[i%len(spacings)]
+		// Spacing modes sit outside the overlay cache's spec space, but the
+		// capacity vector is still shared (and New copies it).
+		net, err := camchord.NewWithSpacing(pop.Ring, pop.sharedUniformCaps(capacity), mode)
+		if err != nil {
+			return err
+		}
+		length, err := avgPathLength(net, pop.Ring.Len(), sources)
+		if err != nil {
+			return fmt.Errorf("spacing %d capacity %d: %w", mode, capacity, err)
+		}
+		grid[i] = length
+		return nil
+	})
+	if err != nil {
+		return FigureResult{}, err
+	}
+
 	even := metrics.Series{Label: "even separation"}
 	contiguous := metrics.Series{Label: "contiguous selection"}
-	for _, capacity := range []int{3, 4, 6, 8, 12, 16, 24} {
-		caps := pop.UniformCaps(capacity)
-		for _, mode := range []camchord.Spacing{camchord.SpacingEven, camchord.SpacingContiguous} {
-			net, err := camchord.NewWithSpacing(pop.Ring, caps, mode)
-			if err != nil {
-				return FigureResult{}, err
-			}
-			length, err := avgPathLength(net.BuildTree, sources)
-			if err != nil {
-				return FigureResult{}, err
-			}
-			pt := metrics.Point{X: float64(capacity), Y: length}
-			if mode == camchord.SpacingEven {
-				even.Points = append(even.Points, pt)
-			} else {
-				contiguous.Points = append(contiguous.Points, pt)
-			}
-		}
+	for ci, capacity := range capacities {
+		even.Points = append(even.Points,
+			metrics.Point{X: float64(capacity), Y: grid[ci*len(spacings)]})
+		contiguous.Points = append(contiguous.Points,
+			metrics.Point{X: float64(capacity), Y: grid[ci*len(spacings)+1]})
 	}
 	return FigureResult{
 		Name:   "ablation-spacing",
@@ -119,7 +134,9 @@ func AblationSpacing(cfg Config) (FigureResult, error) {
 // across members; with a single shared tree, a fixed minority of internal
 // nodes forwards everything. The series plot the maximum per-node forwarding
 // load (copies forwarded, normalized per message) against the number of
-// concurrently active sources.
+// concurrently active sources. Each source's tree is built exactly once (in
+// parallel) and only its degree vector is kept; the load accumulation then
+// runs over those vectors in source order.
 func AblationLoadSpread(cfg Config) (FigureResult, error) {
 	if err := cfg.validate(); err != nil {
 		return FigureResult{}, err
@@ -128,34 +145,46 @@ func AblationLoadSpread(cfg Config) (FigureResult, error) {
 	if err != nil {
 		return FigureResult{}, err
 	}
-	net, err := camchord.New(pop.Ring, pop.Caps)
+	net, err := pop.camChordOwn()
+	if err != nil {
+		return FigureResult{}, err
+	}
+
+	sourceCounts := []int{1, 2, 4, 8, 16, 32}
+	maxSources := sourceCounts[len(sourceCounts)-1]
+	sources := PickSources(pop.Ring.Len(), maxSources, cfg.Seed+800)
+	n := pop.Ring.Len()
+
+	degrees := make([][]int, len(sources))
+	err = forEachPoint(cfg.workers(), len(sources), func(i int) error {
+		tree, err := buildPooledTree(net, n, sources[i])
+		if err != nil {
+			return err
+		}
+		deg := make([]int, n)
+		for pos := 0; pos < n; pos++ {
+			deg[pos] = tree.Degree(pos)
+		}
+		releasePooledTree(tree)
+		degrees[i] = deg
+		return nil
+	})
 	if err != nil {
 		return FigureResult{}, err
 	}
 
 	perSource := metrics.Series{Label: "per-source implicit trees"}
 	shared := metrics.Series{Label: "single shared tree"}
-	sourceCounts := []int{1, 2, 4, 8, 16, 32}
-	maxSources := sourceCounts[len(sourceCounts)-1]
-	sources := PickSources(pop.Ring.Len(), maxSources, cfg.Seed+800)
-
-	sharedTree, err := net.BuildTree(sources[0])
-	if err != nil {
-		return FigureResult{}, err
-	}
+	// In the shared-tree approach every message traverses sources[0]'s tree
+	// regardless of who sent it.
+	sharedDeg := degrees[0]
 	for _, count := range sourceCounts {
-		loadPerSource := make([]float64, pop.Ring.Len())
-		loadShared := make([]float64, pop.Ring.Len())
-		for _, src := range sources[:count] {
-			tree, err := net.BuildTree(src)
-			if err != nil {
-				return FigureResult{}, err
-			}
-			for pos := 0; pos < pop.Ring.Len(); pos++ {
-				loadPerSource[pos] += float64(tree.Degree(pos))
-				// In the shared-tree approach every message traverses the
-				// same tree regardless of who sent it.
-				loadShared[pos] += float64(sharedTree.Degree(pos))
+		loadPerSource := make([]float64, n)
+		loadShared := make([]float64, n)
+		for i := 0; i < count; i++ {
+			for pos := 0; pos < n; pos++ {
+				loadPerSource[pos] += float64(degrees[i][pos])
+				loadShared[pos] += float64(sharedDeg[pos])
 			}
 		}
 		norm := 1 / float64(count)
@@ -189,6 +218,39 @@ func AblationResilience(cfg Config) (FigureResult, error) {
 		return FigureResult{}, err
 	}
 	failFracs := []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5}
+	capacities := []int{4, 16}
+
+	type resPoint struct{ tree, flood float64 }
+	grid := make([]resPoint, len(capacities)*len(failFracs))
+	err = forEachPoint(cfg.workers(), len(grid), func(i int) error {
+		capacity := capacities[i/len(failFracs)]
+		fi := i % len(failFracs)
+		chordNet, err := pop.camChordAt(capacity)
+		if err != nil {
+			return err
+		}
+		koordeNet, err := pop.camKoordeAt(capacity)
+		if err != nil {
+			return err
+		}
+		// Failure pattern depends only on the sweep position, so both
+		// capacities face the same dead set (as in the sequential run).
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(fi)*37))
+		src := rng.Intn(pop.Ring.Len())
+		dead := failSet(pop.Ring.Len(), src, failFracs[fi], rng)
+
+		tree, err := buildPooledTree(chordNet, pop.Ring.Len(), src)
+		if err != nil {
+			return err
+		}
+		treeY := treeSurvival(tree, dead)
+		releasePooledTree(tree)
+		grid[i] = resPoint{tree: treeY, flood: floodSurvival(koordeNet, src, dead)}
+		return nil
+	})
+	if err != nil {
+		return FigureResult{}, err
+	}
 
 	result := FigureResult{
 		Name:   "ablation-resilience",
@@ -196,33 +258,13 @@ func AblationResilience(cfg Config) (FigureResult, error) {
 		XLabel: "fraction of members failed",
 		YLabel: "fraction of surviving members reached",
 	}
-	for _, capacity := range []int{4, 16} {
-		caps := pop.UniformCaps(capacity)
-		chordNet, err := camchord.New(pop.Ring, caps)
-		if err != nil {
-			return FigureResult{}, err
-		}
-		koordeNet, err := camkoorde.New(pop.Ring, caps)
-		if err != nil {
-			return FigureResult{}, err
-		}
-
+	for ci, capacity := range capacities {
 		chordSeries := metrics.Series{Label: fmt.Sprintf("CAM-Chord c=%d", capacity)}
 		koordeSeries := metrics.Series{Label: fmt.Sprintf("CAM-Koorde c=%d", capacity)}
 		for fi, frac := range failFracs {
-			rng := rand.New(rand.NewSource(cfg.Seed + int64(fi)*37))
-			src := rng.Intn(pop.Ring.Len())
-			dead := failSet(pop.Ring.Len(), src, frac, rng)
-
-			tree, err := chordNet.BuildTree(src)
-			if err != nil {
-				return FigureResult{}, err
-			}
-			chordSeries.Points = append(chordSeries.Points,
-				metrics.Point{X: frac, Y: treeSurvival(tree, dead)})
-
-			koordeSeries.Points = append(koordeSeries.Points,
-				metrics.Point{X: frac, Y: floodSurvival(koordeNet, src, dead)})
+			pt := grid[ci*len(failFracs)+fi]
+			chordSeries.Points = append(chordSeries.Points, metrics.Point{X: frac, Y: pt.tree})
+			koordeSeries.Points = append(koordeSeries.Points, metrics.Point{X: frac, Y: pt.flood})
 		}
 		result.Series = append(result.Series, chordSeries, koordeSeries)
 	}
@@ -246,32 +288,43 @@ func AblationProximity(cfg Config) (FigureResult, error) {
 	if err != nil {
 		return FigureResult{}, err
 	}
-	net, err := camchord.New(pop.Ring, pop.Caps)
+	net, err := pop.camChordOwn()
 	if err != nil {
 		return FigureResult{}, err
 	}
 	sources := PickSources(pop.Ring.Len(), cfg.Sources, cfg.Seed+900)
 
-	delaySeries := metrics.Series{Label: "avg delivery delay (ms)"}
-	hopSeries := metrics.Series{Label: "avg path length (hops)"}
-	for _, sample := range []int{1, 2, 4, 8, 16} {
+	samples := []int{1, 2, 4, 8, 16}
+	type proxPoint struct{ delay, hops float64 }
+	grid := make([]proxPoint, len(samples))
+	err = forEachPoint(cfg.workers(), len(samples), func(i int) error {
 		var delaySum, hopSum float64
 		for _, src := range sources {
-			tree, delays, err := net.BuildTreeProximity(src, model.Delay, sample)
+			tree, delays, err := net.BuildTreeProximity(src, model.Delay, samples[i])
 			if err != nil {
-				return FigureResult{}, err
+				return err
 			}
 			if err := tree.VerifyComplete(); err != nil {
-				return FigureResult{}, err
+				return err
 			}
 			delaySum += camchord.AvgDelay(tree, delays)
 			hopSum += tree.AvgPathLength()
 		}
 		w := float64(len(sources))
+		grid[i] = proxPoint{delay: delaySum / w, hops: hopSum / w}
+		return nil
+	})
+	if err != nil {
+		return FigureResult{}, err
+	}
+
+	delaySeries := metrics.Series{Label: "avg delivery delay (ms)"}
+	hopSeries := metrics.Series{Label: "avg path length (hops)"}
+	for i, sample := range samples {
 		delaySeries.Points = append(delaySeries.Points,
-			metrics.Point{X: float64(sample), Y: delaySum / w})
+			metrics.Point{X: float64(sample), Y: grid[i].delay})
 		hopSeries.Points = append(hopSeries.Points,
-			metrics.Point{X: float64(sample), Y: hopSum / w})
+			metrics.Point{X: float64(sample), Y: grid[i].hops})
 	}
 	return FigureResult{
 		Name:   "ablation-proximity",
@@ -300,10 +353,21 @@ var AblationNames = []string{
 	"ablation-lookup",
 }
 
-func avgPathLength(build func(int) (*multicast.Tree, error), sources []int) (float64, error) {
+// avgPathLength averages AvgPathLength over one tree per source, recycling
+// pooled trees when the builder supports in-place rebuilds.
+func avgPathLength(b TreeBuilder, n int, sources []int) (float64, error) {
+	into, reusable := b.(TreeIntoBuilder)
 	var sum float64
 	for _, src := range sources {
-		tree, err := build(src)
+		var (
+			tree *multicast.Tree
+			err  error
+		)
+		if reusable {
+			tree, err = buildPooledTree(into, n, src)
+		} else {
+			tree, err = b.BuildTree(src)
+		}
 		if err != nil {
 			return 0, err
 		}
@@ -311,6 +375,9 @@ func avgPathLength(build func(int) (*multicast.Tree, error), sources []int) (flo
 			return 0, err
 		}
 		sum += tree.AvgPathLength()
+		if reusable {
+			releasePooledTree(tree)
+		}
 	}
 	return sum / float64(len(sources)), nil
 }
@@ -394,9 +461,11 @@ func floodSurvival(net *camkoorde.Network, src int, dead []bool) float64 {
 	visited := make([]bool, n)
 	visited[src] = true
 	queue := []int{src}
+	var nbuf []int
 	for head := 0; head < len(queue); head++ {
 		x := queue[head]
-		for _, p := range net.NeighborNodes(x) {
+		nbuf = net.AppendNeighborNodes(nbuf[:0], x)
+		for _, p := range nbuf {
 			if dead[p] || visited[p] {
 				continue
 			}

@@ -3,6 +3,15 @@
 // cmd/camfigs CLI and the repository benchmarks can regenerate every result
 // in the paper.
 //
+// Figures run on a parallel experiment engine (see engine.go): each figure
+// flattens its sweep into independent grid points executed by a bounded
+// worker pool (Config.Parallelism), over populations that are generated
+// once per workload configuration and shared read-only by every figure and
+// worker, with overlays memoized per provisioning point and multicast trees
+// recycled in place (multicast.Tree.Reset). Grid points derive their RNG
+// state from per-point seeds and write only their own result slots, so the
+// output TSVs are byte-identical for every worker count.
+//
 // The defaults mirror Section 6 exactly: identifier space [0, 2^19), group
 // size 100,000, node capacities uniform in [4..10], upload bandwidths
 // uniform in [400, 1000] kbps, and — when capacities are derived from
@@ -14,6 +23,7 @@ import (
 	"math"
 	"math/rand"
 	"strings"
+	"sync"
 
 	"camcast/internal/camchord"
 	"camcast/internal/camkoorde"
@@ -45,6 +55,13 @@ type Config struct {
 	Seed    int64 // base RNG seed
 	Bits    uint  // identifier space width; 0 means the paper's 19
 
+	// Parallelism bounds the experiment engine's worker pool: how many
+	// independent grid points (system × provisioning × sweep position) are
+	// measured concurrently. 0 means one worker per available CPU
+	// (runtime.GOMAXPROCS); 1 forces the sequential path. The figure output
+	// is byte-identical for every value.
+	Parallelism int
+
 	// Node density n/N strongly affects the Koorde baseline (its clustered
 	// neighbor identifiers collapse onto few physical nodes when the ring
 	// is sparse), so scaled-down runs should shrink Bits to keep the
@@ -66,8 +83,14 @@ func (c Config) validate() error {
 	if c.Bits > ring.MaxBits {
 		return fmt.Errorf("experiments: bits %d out of range", c.Bits)
 	}
+	if c.Parallelism < 0 {
+		return fmt.Errorf("experiments: parallelism %d must not be negative", c.Parallelism)
+	}
 	return nil
 }
+
+// workers resolves the configured parallelism to a concrete worker count.
+func (c Config) workers() int { return runtimeWorkers(c.Parallelism) }
 
 // space returns the configured identifier space.
 func (c Config) space() ring.Space {
@@ -79,10 +102,22 @@ func (c Config) space() ring.Space {
 
 // Population is a generated membership aligned with its topology snapshot:
 // Bandwidth[i] and Caps[i] describe the node at ring position i.
+//
+// The exported fields are read-only after construction, so one Population
+// is safely shared by every figure and worker (CachedPopulation); the
+// unexported fields memoize artifacts derived from it — capacity vectors
+// and overlays keyed by provisioning point — under their own lock.
 type Population struct {
 	Ring      *topology.Ring
 	Bandwidth []float64
 	Caps      []int
+
+	avgBWOnce sync.Once
+	avgBW     float64
+
+	mu       sync.Mutex
+	capsMemo map[capsKey][]int
+	overlays map[overlaySpec]*overlayEntry
 }
 
 // NewPopulation generates members per cfg and aligns their attributes with
@@ -135,19 +170,59 @@ func (p *Population) UniformCaps(c int) []int {
 	return caps
 }
 
+// AvgBandwidth returns the population's mean upload bandwidth, computed
+// once and memoized.
+func (p *Population) AvgBandwidth() float64 {
+	p.avgBWOnce.Do(func() { p.avgBW = mean(p.Bandwidth) })
+	return p.avgBW
+}
+
 // TreeBuilder is the single-method view of an overlay the harness needs.
 type TreeBuilder interface {
 	BuildTree(src int) (*multicast.Tree, error)
 }
 
-type treeBuilderFunc func(src int) (*multicast.Tree, error)
+// TreeIntoBuilder is the reuse-capable view of an overlay: it rebuilds the
+// delivery tree for a new source into an existing allocation (Tree.Reset),
+// which is what keeps the engine's per-source simulation loop
+// allocation-lean. Every overlay returned by NewOverlay implements it.
+type TreeIntoBuilder interface {
+	TreeBuilder
+	BuildTreeInto(tree *multicast.Tree, src int) error
+}
 
-func (f treeBuilderFunc) BuildTree(src int) (*multicast.Tree, error) { return f(src) }
+// camKoordeBuilder adapts camkoorde.Network (whose build methods also
+// return the suppressed-duplicate count) to TreeIntoBuilder.
+type camKoordeBuilder struct{ n *camkoorde.Network }
+
+func (b camKoordeBuilder) BuildTree(src int) (*multicast.Tree, error) {
+	tree, _, err := b.n.BuildTree(src)
+	return tree, err
+}
+
+func (b camKoordeBuilder) BuildTreeInto(tree *multicast.Tree, src int) error {
+	_, err := b.n.BuildTreeInto(tree, src)
+	return err
+}
+
+// koordeBuilder adapts koorde.Network the same way.
+type koordeBuilder struct{ n *koorde.Network }
+
+func (b koordeBuilder) BuildTree(src int) (*multicast.Tree, error) {
+	tree, _, err := b.n.BuildTree(src)
+	return tree, err
+}
+
+func (b koordeBuilder) BuildTreeInto(tree *multicast.Tree, src int) error {
+	_, err := b.n.BuildTreeInto(tree, src)
+	return err
+}
 
 // NewOverlay constructs the requested system over the population. For the
 // capacity-aware systems caps provides per-node capacities; for the
 // capacity-unaware baselines uniformDegree fixes the structure (finger base
-// for Chord, de Bruijn degree for Koorde) and caps is ignored.
+// for Chord, de Bruijn degree for Koorde) and caps is ignored. The returned
+// builder also implements TreeIntoBuilder.
 func NewOverlay(sys System, p *Population, caps []int, uniformDegree int) (TreeBuilder, error) {
 	switch sys {
 	case SystemCAMChord:
@@ -155,31 +230,25 @@ func NewOverlay(sys System, p *Population, caps []int, uniformDegree int) (TreeB
 		if err != nil {
 			return nil, err
 		}
-		return treeBuilderFunc(n.BuildTree), nil
+		return n, nil
 	case SystemCAMKoorde:
 		n, err := camkoorde.New(p.Ring, caps)
 		if err != nil {
 			return nil, err
 		}
-		return treeBuilderFunc(func(src int) (*multicast.Tree, error) {
-			tree, _, err := n.BuildTree(src)
-			return tree, err
-		}), nil
+		return camKoordeBuilder{n}, nil
 	case SystemChord:
 		n, err := chord.New(p.Ring, uniformDegree)
 		if err != nil {
 			return nil, err
 		}
-		return treeBuilderFunc(n.BuildTree), nil
+		return n, nil
 	case SystemKoorde:
 		n, err := koorde.New(p.Ring, uniformDegree)
 		if err != nil {
 			return nil, err
 		}
-		return treeBuilderFunc(func(src int) (*multicast.Tree, error) {
-			tree, _, err := n.BuildTree(src)
-			return tree, err
-		}), nil
+		return koordeBuilder{n}, nil
 	default:
 		return nil, fmt.Errorf("experiments: unknown system %q", sys)
 	}
@@ -194,34 +263,93 @@ type TreeMetrics struct {
 	DepthHist     metrics.Histogram
 }
 
+// sourceMetrics is the measurement of one source's tree; MeasureTrees
+// reduces these in source order so that the averaged metrics are identical
+// for every worker count.
+type sourceMetrics struct {
+	avgChildren float64
+	pathLen     float64
+	maxDepth    int
+	rate        float64
+	hist        []int
+}
+
+func measureSource(b TreeBuilder, bandwidth []float64, provision []int, src int) (sourceMetrics, error) {
+	var (
+		tree *multicast.Tree
+		err  error
+	)
+	reuser, reusable := b.(TreeIntoBuilder)
+	if reusable {
+		tree, err = buildPooledTree(reuser, len(bandwidth), src)
+	} else {
+		tree, err = b.BuildTree(src)
+	}
+	if err != nil {
+		return sourceMetrics{}, err
+	}
+	if err := tree.VerifyComplete(); err != nil {
+		return sourceMetrics{}, err
+	}
+	var m sourceMetrics
+	_, m.avgChildren = tree.NonLeafStats()
+	m.rate, err = throughput.ByProvision(tree, bandwidth, provision)
+	if err != nil {
+		return sourceMetrics{}, err
+	}
+	m.pathLen = tree.AvgPathLength()
+	m.maxDepth = tree.MaxDepth()
+	m.hist = tree.DepthHistogram()
+	if reusable {
+		releasePooledTree(tree)
+	}
+	return m, nil
+}
+
 // MeasureTrees builds one multicast tree per source, verifies exactly-once
 // delivery, and averages the metrics of interest. provision[i] is the number
 // of child slots node i divides its bandwidth across (its capacity for the
 // CAMs, the uniform degree for the baselines); see package throughput.
+// Builders that implement TreeIntoBuilder (every NewOverlay product) rebuild
+// pooled trees in place instead of allocating one per source.
 func MeasureTrees(b TreeBuilder, bandwidth []float64, provision []int, sources []int) (TreeMetrics, error) {
+	return MeasureTreesParallel(b, bandwidth, provision, sources, 1)
+}
+
+// MeasureTreesParallel is MeasureTrees with the per-source simulations
+// spread over a bounded worker pool (workers <= 1 means sequential; 0 means
+// one worker per CPU). Per-source results land in indexed slots and are
+// reduced in source order afterwards, so the averages are byte-identical
+// for every worker count. The figure engine parallelizes across grid points
+// instead and calls MeasureTrees; this entry point serves callers measuring
+// a single configuration with many sources, such as cmd/camsim.
+func MeasureTreesParallel(b TreeBuilder, bandwidth []float64, provision []int, sources []int, workers int) (TreeMetrics, error) {
 	if len(sources) == 0 {
 		return TreeMetrics{}, fmt.Errorf("experiments: no sources")
 	}
+	if workers != 1 {
+		workers = runtimeWorkers(workers)
+	}
+	per := make([]sourceMetrics, len(sources))
+	err := forEachPoint(workers, len(sources), func(i int) error {
+		m, err := measureSource(b, bandwidth, provision, sources[i])
+		if err != nil {
+			return err
+		}
+		per[i] = m
+		return nil
+	})
+	if err != nil {
+		return TreeMetrics{}, err
+	}
 	var out TreeMetrics
 	w := 1 / float64(len(sources))
-	for _, src := range sources {
-		tree, err := b.BuildTree(src)
-		if err != nil {
-			return TreeMetrics{}, err
-		}
-		if err := tree.VerifyComplete(); err != nil {
-			return TreeMetrics{}, err
-		}
-		_, avgChildren := tree.NonLeafStats()
-		rate, err := throughput.ByProvision(tree, bandwidth, provision)
-		if err != nil {
-			return TreeMetrics{}, err
-		}
-		out.AvgChildren += avgChildren * w
-		out.AvgPathLength += tree.AvgPathLength() * w
-		out.MaxDepth += float64(tree.MaxDepth()) * w
-		out.Throughput += rate * w
-		out.DepthHist.AddCounts(tree.DepthHistogram(), w)
+	for _, m := range per {
+		out.AvgChildren += m.avgChildren * w
+		out.AvgPathLength += m.pathLen * w
+		out.MaxDepth += float64(m.maxDepth) * w
+		out.Throughput += m.rate * w
+		out.DepthHist.AddCounts(m.hist, w)
 	}
 	return out, nil
 }

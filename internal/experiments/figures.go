@@ -32,6 +32,7 @@ var avgCapacitiesFig11 = []int{4, 6, 8, 10, 12, 16, 20, 28, 36, 44, 56, 68, 80, 
 // children per non-leaf node": all four systems, bandwidths U[400,1000]
 // kbps. The CAMs derive capacities from bandwidth (c_x = ceil(B_x/p), p
 // swept); the baselines fix a uniform degree swept over the same targets.
+// The (system × target) grid runs on the engine's worker pool.
 func Figure6(cfg Config) (FigureResult, error) {
 	if err := cfg.validate(); err != nil {
 		return FigureResult{}, err
@@ -41,7 +42,22 @@ func Figure6(cfg Config) (FigureResult, error) {
 		return FigureResult{}, err
 	}
 	sources := PickSources(pop.Ring.Len(), cfg.Sources, cfg.Seed+100)
-	avgBW := mean(pop.Bandwidth)
+	avgBW := pop.AvgBandwidth()
+
+	systems := []System{SystemCAMChord, SystemChord, SystemCAMKoorde, SystemKoorde}
+	grid := make([]TreeMetrics, len(systems)*len(childTargets))
+	err = forEachPoint(cfg.workers(), len(grid), func(i int) error {
+		sys, target := systems[i/len(childTargets)], childTargets[i%len(childTargets)]
+		m, err := measureAtTarget(sys, pop, avgBW, target, sources)
+		if err != nil {
+			return fmt.Errorf("%s target %d: %w", sys, target, err)
+		}
+		grid[i] = m
+		return nil
+	})
+	if err != nil {
+		return FigureResult{}, err
+	}
 
 	result := FigureResult{
 		Name:   "figure6",
@@ -49,18 +65,15 @@ func Figure6(cfg Config) (FigureResult, error) {
 		XLabel: "average children per non-leaf node",
 		YLabel: "throughput (kbps)",
 	}
-	for _, sys := range []System{SystemCAMChord, SystemChord, SystemCAMKoorde, SystemKoorde} {
+	for si, sys := range systems {
 		series := metrics.Series{Label: string(sys)}
-		for _, target := range childTargets {
-			m, err := measureAtTarget(sys, pop, avgBW, target, sources)
-			if err != nil {
-				return FigureResult{}, fmt.Errorf("%s target %d: %w", sys, target, err)
-			}
+		for ti, target := range childTargets {
 			// The x-axis is the configured average number of children (the
 			// average provisioned capacity / uniform degree), as in the
 			// paper; m.AvgChildren would instead measure the realized tree
 			// degree, which flooding keeps far below the provisioned one.
-			series.Points = append(series.Points, metrics.Point{X: float64(target), Y: m.Throughput})
+			series.Points = append(series.Points,
+				metrics.Point{X: float64(target), Y: grid[si*len(childTargets)+ti].Throughput})
 		}
 		result.Series = append(result.Series, series)
 	}
@@ -73,7 +86,9 @@ func Figure6(cfg Config) (FigureResult, error) {
 // kbps (which is what makes the default bandwidths [400,1000] yield the
 // default capacities [4..10]); the capacity-unaware baselines use the same
 // *average* degree E[B]/p, so the ratio isolates capacity awareness and
-// grows with host heterogeneity, roughly like (a+b)/2a.
+// grows with host heterogeneity, roughly like (a+b)/2a. Every (bandwidth
+// range × system) cell is one grid point; the per-range populations come
+// from the shared cache.
 func Figure7(cfg Config) (FigureResult, error) {
 	if err := cfg.validate(); err != nil {
 		return FigureResult{}, err
@@ -83,55 +98,60 @@ func Figure7(cfg Config) (FigureResult, error) {
 		linkRate = 100.0 // the paper's default p
 	)
 	uppers := []float64{800, 900, 1000, 1100, 1200, 1300, 1400, 1500, 1600}
+	systems := []System{SystemCAMChord, SystemChord, SystemCAMKoorde, SystemKoorde}
 
-	chordRatio := metrics.Series{Label: "CAM-Chord over Chord"}
-	koordeRatio := metrics.Series{Label: "CAM-Koorde over Koorde"}
-	for i, upper := range uppers {
-		wcfg := workload.DefaultConfig(cfg.N, cfg.Seed+int64(i))
+	rates := make([]float64, len(uppers)*len(systems))
+	err := forEachPoint(cfg.workers(), len(rates), func(i int) error {
+		ui, si := i/len(systems), i%len(systems)
+		upper, sys := uppers[ui], systems[si]
+		wcfg := workload.DefaultConfig(cfg.N, cfg.Seed+int64(ui))
 		wcfg.Space = cfg.space()
 		wcfg.BandwidthLo = lower
 		wcfg.BandwidthHi = upper
-		pop, err := NewPopulation(wcfg)
+		pop, err := CachedPopulation(wcfg)
 		if err != nil {
-			return FigureResult{}, err
+			return err
 		}
-		sources := PickSources(pop.Ring.Len(), cfg.Sources, cfg.Seed+200+int64(i))
-		degree := int(math.Round(mean(pop.Bandwidth) / linkRate))
+		sources := PickSources(pop.Ring.Len(), cfg.Sources, cfg.Seed+200+int64(ui))
+		degree := int(math.Round(pop.AvgBandwidth() / linkRate))
 		if degree < 2 {
 			degree = 2
 		}
-
-		rate := map[System]float64{}
-		for _, sys := range []System{SystemCAMChord, SystemChord, SystemCAMKoorde, SystemKoorde} {
-			var (
-				builder   TreeBuilder
-				provision []int
-				err       error
-			)
-			switch sys {
-			case SystemCAMChord:
-				provision = pop.CapsFromBandwidth(linkRate, camchord.MinCapacity)
-				builder, err = NewOverlay(sys, pop, provision, 0)
-			case SystemCAMKoorde:
-				provision = pop.CapsFromBandwidth(linkRate, camkoorde.MinCapacity)
-				builder, err = NewOverlay(sys, pop, provision, 0)
-			default:
-				provision = pop.UniformCaps(degree)
-				builder, err = NewOverlay(sys, pop, nil, degree)
-			}
-			if err != nil {
-				return FigureResult{}, fmt.Errorf("%s upper %g: %w", sys, upper, err)
-			}
-			m, err := MeasureTrees(builder, pop.Bandwidth, provision, sources)
-			if err != nil {
-				return FigureResult{}, fmt.Errorf("%s upper %g: %w", sys, upper, err)
-			}
-			rate[sys] = m.Throughput
+		var spec overlaySpec
+		switch sys {
+		case SystemCAMChord:
+			spec = overlaySpec{sys: sys, mode: overlayBandwidth, rate: linkRate, minCap: camchord.MinCapacity}
+		case SystemCAMKoorde:
+			spec = overlaySpec{sys: sys, mode: overlayBandwidth, rate: linkRate, minCap: camkoorde.MinCapacity}
+		default:
+			spec = overlaySpec{sys: sys, mode: overlayDegree, c: degree}
 		}
+		m, err := measureAt(pop, spec, sources)
+		if err != nil {
+			return fmt.Errorf("%s upper %g: %w", sys, upper, err)
+		}
+		rates[i] = m.Throughput
+		return nil
+	})
+	if err != nil {
+		return FigureResult{}, err
+	}
+
+	rateAt := func(ui int, sys System) float64 {
+		for si, s := range systems {
+			if s == sys {
+				return rates[ui*len(systems)+si]
+			}
+		}
+		return math.NaN()
+	}
+	chordRatio := metrics.Series{Label: "CAM-Chord over Chord"}
+	koordeRatio := metrics.Series{Label: "CAM-Koorde over Koorde"}
+	for ui, upper := range uppers {
 		chordRatio.Points = append(chordRatio.Points,
-			metrics.Point{X: upper, Y: rate[SystemCAMChord] / rate[SystemChord]})
+			metrics.Point{X: upper, Y: rateAt(ui, SystemCAMChord) / rateAt(ui, SystemChord)})
 		koordeRatio.Points = append(koordeRatio.Points,
-			metrics.Point{X: upper, Y: rate[SystemCAMKoorde] / rate[SystemKoorde]})
+			metrics.Point{X: upper, Y: rateAt(ui, SystemCAMKoorde) / rateAt(ui, SystemKoorde)})
 	}
 	return FigureResult{
 		Name:   "figure7",
@@ -144,7 +164,8 @@ func Figure7(cfg Config) (FigureResult, error) {
 
 // Figure8 reproduces "Throughput vs. average path length": the tradeoff
 // curve traced by sweeping the per-link rate p for both CAM systems over
-// the default bandwidth distribution.
+// the default bandwidth distribution. Its grid points provision exactly
+// like Figure 6's CAM points, so a combined run reuses those overlays.
 func Figure8(cfg Config) (FigureResult, error) {
 	if err := cfg.validate(); err != nil {
 		return FigureResult{}, err
@@ -154,7 +175,22 @@ func Figure8(cfg Config) (FigureResult, error) {
 		return FigureResult{}, err
 	}
 	sources := PickSources(pop.Ring.Len(), cfg.Sources, cfg.Seed+300)
-	avgBW := mean(pop.Bandwidth)
+	avgBW := pop.AvgBandwidth()
+
+	systems := []System{SystemCAMChord, SystemCAMKoorde}
+	grid := make([]TreeMetrics, len(systems)*len(childTargets))
+	err = forEachPoint(cfg.workers(), len(grid), func(i int) error {
+		sys, target := systems[i/len(childTargets)], childTargets[i%len(childTargets)]
+		m, err := measureAtTarget(sys, pop, avgBW, target, sources)
+		if err != nil {
+			return fmt.Errorf("%s target %d: %w", sys, target, err)
+		}
+		grid[i] = m
+		return nil
+	})
+	if err != nil {
+		return FigureResult{}, err
+	}
 
 	result := FigureResult{
 		Name:   "figure8",
@@ -162,13 +198,10 @@ func Figure8(cfg Config) (FigureResult, error) {
 		XLabel: "throughput (kbps)",
 		YLabel: "average path length (hops)",
 	}
-	for _, sys := range []System{SystemCAMChord, SystemCAMKoorde} {
+	for si, sys := range systems {
 		series := metrics.Series{Label: string(sys)}
-		for _, target := range childTargets {
-			m, err := measureAtTarget(sys, pop, avgBW, target, sources)
-			if err != nil {
-				return FigureResult{}, fmt.Errorf("%s target %d: %w", sys, target, err)
-			}
+		for ti := range childTargets {
+			m := grid[si*len(childTargets)+ti]
 			series.Points = append(series.Points, metrics.Point{X: m.Throughput, Y: m.AvgPathLength})
 		}
 		result.Series = append(result.Series, series)
@@ -187,10 +220,35 @@ func Figure10(cfg Config) (FigureResult, error) {
 	return pathLengthDistribution(cfg, SystemCAMKoorde, "figure10", capacityRangesFig10)
 }
 
+// pathLengthDistribution sweeps capacity ranges as grid points; the
+// per-range populations come from the shared cache (and are shared between
+// Figures 9 and 10, whose range lists mostly coincide).
 func pathLengthDistribution(cfg Config, sys System, name string, ranges [][2]int) (FigureResult, error) {
 	if err := cfg.validate(); err != nil {
 		return FigureResult{}, err
 	}
+	grid := make([]TreeMetrics, len(ranges))
+	err := forEachPoint(cfg.workers(), len(ranges), func(i int) error {
+		cr := ranges[i]
+		wcfg := workload.DefaultConfig(cfg.N, cfg.Seed) // same membership per curve
+		wcfg.Space = cfg.space()
+		wcfg.CapacityLo, wcfg.CapacityHi = cr[0], cr[1]
+		pop, err := CachedPopulation(wcfg)
+		if err != nil {
+			return err
+		}
+		sources := PickSources(pop.Ring.Len(), cfg.Sources, cfg.Seed+400+int64(i))
+		m, err := measureAt(pop, overlaySpec{sys: sys, mode: overlayOwnCaps}, sources)
+		if err != nil {
+			return fmt.Errorf("%s range %v: %w", sys, cr, err)
+		}
+		grid[i] = m
+		return nil
+	})
+	if err != nil {
+		return FigureResult{}, err
+	}
+
 	result := FigureResult{
 		Name:   name,
 		Title:  fmt.Sprintf("Path length distribution in %s", sys),
@@ -198,29 +256,13 @@ func pathLengthDistribution(cfg Config, sys System, name string, ranges [][2]int
 		YLabel: "number of nodes",
 	}
 	for i, cr := range ranges {
-		wcfg := workload.DefaultConfig(cfg.N, cfg.Seed) // same membership per curve
-		wcfg.Space = cfg.space()
-		wcfg.CapacityLo, wcfg.CapacityHi = cr[0], cr[1]
-		pop, err := NewPopulation(wcfg)
-		if err != nil {
-			return FigureResult{}, err
-		}
-		sources := PickSources(pop.Ring.Len(), cfg.Sources, cfg.Seed+400+int64(i))
-		builder, err := NewOverlay(sys, pop, pop.Caps, 0)
-		if err != nil {
-			return FigureResult{}, err
-		}
-		m, err := MeasureTrees(builder, pop.Bandwidth, pop.Caps, sources)
-		if err != nil {
-			return FigureResult{}, fmt.Errorf("%s range %v: %w", sys, cr, err)
-		}
 		label := fmt.Sprintf("[%d..%d]", cr[0], cr[1])
 		if cr[0] == cr[1] {
 			label = fmt.Sprintf("%d", cr[0])
 		}
 		series := metrics.Series{Label: label}
-		for bin := 0; bin < m.DepthHist.Bins(); bin++ {
-			series.Points = append(series.Points, metrics.Point{X: float64(bin), Y: m.DepthHist.Count(bin)})
+		for bin := 0; bin < grid[i].DepthHist.Bins(); bin++ {
+			series.Points = append(series.Points, metrics.Point{X: float64(bin), Y: grid[i].DepthHist.Count(bin)})
 		}
 		result.Series = append(result.Series, series)
 	}
@@ -229,7 +271,9 @@ func pathLengthDistribution(cfg Config, sys System, name string, ranges [][2]int
 
 // Figure11 reproduces "Average path length with respect to average node
 // capacity", including the artificial 1.5·ln(n)/ln(c) upper-bound curve the
-// paper plots to verify Theorems 4 and 6.
+// paper plots to verify Theorems 4 and 6. The (capacity × system) grid runs
+// on the worker pool; both systems at one capacity share a memoized uniform
+// capacity vector.
 func Figure11(cfg Config) (FigureResult, error) {
 	if err := cfg.validate(); err != nil {
 		return FigureResult{}, err
@@ -240,27 +284,30 @@ func Figure11(cfg Config) (FigureResult, error) {
 	}
 	sources := PickSources(pop.Ring.Len(), cfg.Sources, cfg.Seed+500)
 
+	systems := []System{SystemCAMChord, SystemCAMKoorde}
+	grid := make([]TreeMetrics, len(avgCapacitiesFig11)*len(systems))
+	err = forEachPoint(cfg.workers(), len(grid), func(i int) error {
+		c := avgCapacitiesFig11[i/len(systems)]
+		sys := systems[i%len(systems)]
+		m, err := measureAt(pop, overlaySpec{sys: sys, mode: overlayUniformCaps, c: c}, sources)
+		if err != nil {
+			return fmt.Errorf("%s capacity %d: %w", sys, c, err)
+		}
+		grid[i] = m
+		return nil
+	})
+	if err != nil {
+		return FigureResult{}, err
+	}
+
 	camChord := metrics.Series{Label: string(SystemCAMChord)}
 	camKoorde := metrics.Series{Label: string(SystemCAMKoorde)}
 	bound := metrics.Series{Label: "1.5*ln(n)/ln(c)"}
-	for _, c := range avgCapacitiesFig11 {
-		caps := pop.UniformCaps(c)
-		for _, sys := range []System{SystemCAMChord, SystemCAMKoorde} {
-			builder, err := NewOverlay(sys, pop, caps, 0)
-			if err != nil {
-				return FigureResult{}, err
-			}
-			m, err := MeasureTrees(builder, pop.Bandwidth, caps, sources)
-			if err != nil {
-				return FigureResult{}, fmt.Errorf("%s capacity %d: %w", sys, c, err)
-			}
-			pt := metrics.Point{X: float64(c), Y: m.AvgPathLength}
-			if sys == SystemCAMChord {
-				camChord.Points = append(camChord.Points, pt)
-			} else {
-				camKoorde.Points = append(camKoorde.Points, pt)
-			}
-		}
+	for ci, c := range avgCapacitiesFig11 {
+		camChord.Points = append(camChord.Points,
+			metrics.Point{X: float64(c), Y: grid[ci*len(systems)].AvgPathLength})
+		camKoorde.Points = append(camKoorde.Points,
+			metrics.Point{X: float64(c), Y: grid[ci*len(systems)+1].AvgPathLength})
 		bound.Points = append(bound.Points, metrics.Point{X: float64(c), Y: referenceBound(cfg.N, float64(c))})
 	}
 	return FigureResult{
@@ -285,40 +332,23 @@ var All = map[string]func(Config) (FigureResult, error){
 // FigureNames lists the figures in paper order.
 var FigureNames = []string{"figure6", "figure7", "figure8", "figure9", "figure10", "figure11"}
 
-// defaultPopulation builds the paper-default membership for cfg, with
-// bandwidth-derived capacities left to the callers.
+// defaultPopulation returns the (cached) paper-default membership for cfg,
+// with bandwidth-derived capacities left to the callers.
 func defaultPopulation(cfg Config) (*Population, error) {
 	wcfg := workload.DefaultConfig(cfg.N, cfg.Seed)
 	wcfg.Space = cfg.space()
-	return NewPopulation(wcfg)
+	return CachedPopulation(wcfg)
 }
 
 // measureAtTarget measures one system tuned so that the average number of
 // children per non-leaf node is close to target: the CAMs set the per-link
 // rate p = E[B]/target, the baselines set their uniform degree to target.
 func measureAtTarget(sys System, pop *Population, avgBW float64, target int, sources []int) (TreeMetrics, error) {
-	var (
-		builder   TreeBuilder
-		provision []int
-		err       error
-	)
-	switch sys {
-	case SystemCAMChord:
-		provision = pop.CapsFromBandwidth(avgBW/float64(target), camchord.MinCapacity)
-		builder, err = NewOverlay(sys, pop, provision, 0)
-	case SystemCAMKoorde:
-		provision = pop.CapsFromBandwidth(avgBW/float64(target), camkoorde.MinCapacity)
-		builder, err = NewOverlay(sys, pop, provision, 0)
-	case SystemChord, SystemKoorde:
-		provision = pop.UniformCaps(target)
-		builder, err = NewOverlay(sys, pop, nil, target)
-	default:
-		return TreeMetrics{}, fmt.Errorf("experiments: unknown system %q", sys)
-	}
+	spec, err := specAtTarget(sys, avgBW, target)
 	if err != nil {
 		return TreeMetrics{}, err
 	}
-	return MeasureTrees(builder, pop.Bandwidth, provision, sources)
+	return measureAt(pop, spec, sources)
 }
 
 func mean(values []float64) float64 {

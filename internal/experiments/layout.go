@@ -99,42 +99,54 @@ func AblationLayout(cfg Config) (FigureResult, error) {
 		sources[i] = rng.Intn(cfg.N)
 	}
 
+	type variant struct {
+		ring   *topology.Ring
+		pmap   []int
+		sample int
+	}
+	variants := []variant{
+		{randomRing, randomMap, 1},
+		{geoRing, geoMap, 1},
+		{geoRing, geoMap, camchord.DefaultProximitySample},
+	}
+	capacities := []int{4, 8, 16}
+	grid := make([]float64, len(capacities)*len(variants))
+	err = forEachPoint(cfg.workers(), len(grid), func(i int) error {
+		capacity := capacities[i/len(variants)]
+		v := variants[i%len(variants)]
+		caps := make([]int, cfg.N)
+		for j := range caps {
+			caps[j] = capacity
+		}
+		net, err := camchord.New(v.ring, caps)
+		if err != nil {
+			return err
+		}
+		var total float64
+		for _, src := range sources {
+			tree, delays, err := net.BuildTreeProximity(src, delayOn(v.pmap), v.sample)
+			if err != nil {
+				return err
+			}
+			if err := tree.VerifyComplete(); err != nil {
+				return err
+			}
+			total += camchord.AvgDelay(tree, delays)
+		}
+		grid[i] = total / float64(len(sources))
+		return nil
+	})
+	if err != nil {
+		return FigureResult{}, err
+	}
+
 	randomSeries := metrics.Series{Label: "random layout"}
 	geoSeries := metrics.Series{Label: "geographic layout"}
 	geoPNSSeries := metrics.Series{Label: "geographic layout + PNS"}
-	for _, capacity := range []int{4, 8, 16} {
-		caps := make([]int, cfg.N)
-		for i := range caps {
-			caps[i] = capacity
-		}
-		type variant struct {
-			ring   *topology.Ring
-			pmap   []int
-			sample int
-			out    *metrics.Series
-		}
-		for _, v := range []variant{
-			{randomRing, randomMap, 1, &randomSeries},
-			{geoRing, geoMap, 1, &geoSeries},
-			{geoRing, geoMap, camchord.DefaultProximitySample, &geoPNSSeries},
-		} {
-			net, err := camchord.New(v.ring, caps)
-			if err != nil {
-				return FigureResult{}, err
-			}
-			var total float64
-			for _, src := range sources {
-				tree, delays, err := net.BuildTreeProximity(src, delayOn(v.pmap), v.sample)
-				if err != nil {
-					return FigureResult{}, err
-				}
-				if err := tree.VerifyComplete(); err != nil {
-					return FigureResult{}, err
-				}
-				total += camchord.AvgDelay(tree, delays)
-			}
-			v.out.Points = append(v.out.Points,
-				metrics.Point{X: float64(capacity), Y: total / float64(len(sources))})
+	for ci, capacity := range capacities {
+		for vi, out := range []*metrics.Series{&randomSeries, &geoSeries, &geoPNSSeries} {
+			out.Points = append(out.Points,
+				metrics.Point{X: float64(capacity), Y: grid[ci*len(variants)+vi]})
 		}
 	}
 	return FigureResult{

@@ -4,9 +4,8 @@ import (
 	"math"
 	"math/rand"
 
-	"camcast/internal/camchord"
-	"camcast/internal/camkoorde"
 	"camcast/internal/metrics"
+	"camcast/internal/ring"
 )
 
 // AblationLookup measures lookup path lengths against average node
@@ -21,37 +20,59 @@ func AblationLookup(cfg Config) (FigureResult, error) {
 	if err != nil {
 		return FigureResult{}, err
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed + 1100))
 	queries := 200 * cfg.Sources
+	capacities := []int{4, 6, 8, 12, 16, 24, 32, 48, 64}
+
+	// Draw every capacity's query batch from the single RNG up front, in
+	// sweep order, so the parallel measurement below consumes exactly the
+	// query stream a sequential run would.
+	type query struct {
+		from int
+		k    ring.ID
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1100))
+	batches := make([][]query, len(capacities))
+	for ci := range capacities {
+		batch := make([]query, queries)
+		for q := range batch {
+			batch[q] = query{from: rng.Intn(pop.Ring.Len()), k: pop.Ring.Space().Reduce(rng.Uint64())}
+		}
+		batches[ci] = batch
+	}
+
+	type lookupPoint struct{ chord, koorde float64 }
+	grid := make([]lookupPoint, len(capacities))
+	err = forEachPoint(cfg.workers(), len(capacities), func(ci int) error {
+		c := capacities[ci]
+		chordNet, err := pop.camChordAt(c)
+		if err != nil {
+			return err
+		}
+		koordeNet, err := pop.camKoordeAt(c)
+		if err != nil {
+			return err
+		}
+		var chordHops, koordeHops float64
+		for _, q := range batches[ci] {
+			_, path := chordNet.Lookup(q.from, q.k)
+			chordHops += float64(len(path) - 1)
+			_, path = koordeNet.Lookup(q.from, q.k)
+			koordeHops += float64(len(path) - 1)
+		}
+		grid[ci] = lookupPoint{chord: chordHops / float64(queries), koorde: koordeHops / float64(queries)}
+		return nil
+	})
+	if err != nil {
+		return FigureResult{}, err
+	}
 
 	chordSeries := metrics.Series{Label: "CAM-Chord lookup"}
 	koordeSeries := metrics.Series{Label: "CAM-Koorde lookup"}
 	bound := metrics.Series{Label: "ln(n)/ln(c)"}
-	for _, c := range []int{4, 6, 8, 12, 16, 24, 32, 48, 64} {
-		caps := pop.UniformCaps(c)
-		chordNet, err := camchord.New(pop.Ring, caps)
-		if err != nil {
-			return FigureResult{}, err
-		}
-		koordeNet, err := camkoorde.New(pop.Ring, caps)
-		if err != nil {
-			return FigureResult{}, err
-		}
-
-		var chordHops, koordeHops float64
-		for q := 0; q < queries; q++ {
-			from := rng.Intn(pop.Ring.Len())
-			k := pop.Ring.Space().Reduce(rng.Uint64())
-			_, path := chordNet.Lookup(from, k)
-			chordHops += float64(len(path) - 1)
-			_, path = koordeNet.Lookup(from, k)
-			koordeHops += float64(len(path) - 1)
-		}
+	for ci, c := range capacities {
 		x := float64(c)
-		chordSeries.Points = append(chordSeries.Points,
-			metrics.Point{X: x, Y: chordHops / float64(queries)})
-		koordeSeries.Points = append(koordeSeries.Points,
-			metrics.Point{X: x, Y: koordeHops / float64(queries)})
+		chordSeries.Points = append(chordSeries.Points, metrics.Point{X: x, Y: grid[ci].chord})
+		koordeSeries.Points = append(koordeSeries.Points, metrics.Point{X: x, Y: grid[ci].koorde})
 		bound.Points = append(bound.Points,
 			metrics.Point{X: x, Y: math.Log(float64(cfg.N)) / math.Log(x)})
 	}

@@ -18,6 +18,7 @@ package koorde
 
 import (
 	"fmt"
+	"sync"
 
 	"camcast/internal/multicast"
 	"camcast/internal/ring"
@@ -63,20 +64,34 @@ func (n *Network) NeighborIDs(pos int) []ring.ID {
 // NeighborNodes resolves the node's de Bruijn and ring neighbors to
 // distinct ring positions, excluding the node itself.
 func (n *Network) NeighborNodes(pos int) []int {
-	seen := map[int]bool{pos: true}
-	out := make([]int, 0, int(n.degree)+2)
+	return n.AppendNeighborNodes(make([]int, 0, int(n.degree)+2), pos)
+}
+
+// AppendNeighborNodes appends the node's distinct neighbor positions
+// (excluding pos itself) to dst and returns the extended slice, resolving
+// the de Bruijn identifiers on the fly and deduplicating by scanning the
+// appended window, so a flood can reuse one buffer across the whole build.
+func (n *Network) AppendNeighborNodes(dst []int, pos int) []int {
+	start := len(dst)
 	add := func(p int) {
-		if !seen[p] {
-			seen[p] = true
-			out = append(out, p)
+		if p == pos {
+			return
 		}
+		for _, q := range dst[start:] {
+			if q == p {
+				return
+			}
+		}
+		dst = append(dst, p)
 	}
 	add(n.ring.Predecessor(pos))
 	add(n.ring.Successor(pos))
-	for _, id := range n.NeighborIDs(pos) {
-		add(n.ring.Responsible(id))
+	s := n.ring.Space()
+	base := s.Reduce(n.ring.IDAt(pos) * n.degree) // k·x mod N
+	for j := uint64(0); j < n.degree; j++ {
+		add(n.ring.Responsible(s.Add(base, j)))
 	}
-	return out
+	return dst
 }
 
 // Lookup resolves the node responsible for identifier k starting at
@@ -125,20 +140,53 @@ func (n *Network) BuildTree(src int) (tree *multicast.Tree, redundant int, err e
 	if err != nil {
 		return nil, 0, err
 	}
-	queue := make([]int, 0, n.ring.Len())
+	redundant, err = n.flood(tree, src)
+	if err != nil {
+		return nil, 0, err
+	}
+	return tree, redundant, nil
+}
+
+// BuildTreeInto rebuilds the flood tree from src into tree, which must span
+// exactly Ring().Len() nodes. The tree is Reset first, so a caller can reuse
+// one allocation across many sources; see Tree.Reset.
+func (n *Network) BuildTreeInto(tree *multicast.Tree, src int) (redundant int, err error) {
+	if tree == nil {
+		return 0, fmt.Errorf("koorde: nil tree")
+	}
+	if tree.Len() != n.ring.Len() {
+		return 0, fmt.Errorf("koorde: tree spans %d nodes, ring has %d", tree.Len(), n.ring.Len())
+	}
+	if err := tree.Reset(src); err != nil {
+		return 0, err
+	}
+	return n.flood(tree, src)
+}
+
+// floodScratch recycles the BFS queue and the neighbor buffer across builds,
+// including concurrent ones from multiple experiment workers.
+var floodScratch = sync.Pool{New: func() any { return &struct{ queue, nbuf []int }{} }}
+
+// flood runs the BFS over the neighbor digraph; tree must already be rooted
+// at src.
+func (n *Network) flood(tree *multicast.Tree, src int) (redundant int, err error) {
+	sc := floodScratch.Get().(*struct{ queue, nbuf []int })
+	queue := sc.queue[:0]
+	defer func() { sc.queue = queue[:0]; floodScratch.Put(sc) }()
 	queue = append(queue, src)
 	for head := 0; head < len(queue); head++ {
 		x := queue[head]
-		for _, p := range n.NeighborNodes(x) {
+		sc.nbuf = n.AppendNeighborNodes(sc.nbuf[:0], x)
+		for _, p := range sc.nbuf {
 			if tree.Received(p) {
 				redundant++
 				continue
 			}
 			if err := tree.Deliver(x, p); err != nil {
-				return nil, 0, err
+				return 0, err
 			}
 			queue = append(queue, p)
 		}
 	}
-	return tree, redundant, nil
+	return redundant, nil
 }

@@ -47,6 +47,29 @@ func NewTree(n, root int) (*Tree, error) {
 	return t, nil
 }
 
+// Reset clears all delivery state and re-roots the tree at root, keeping
+// the allocated storage (the parent/depth slices and every node's accrued
+// children capacity). It is the allocation-lean path of the experiment
+// engine: one worker reuses a single Tree across many sources instead of
+// re-making three O(n) slices — and re-growing up to n small children
+// slices — per source.
+func (t *Tree) Reset(root int) error {
+	if root < 0 || root >= len(t.parent) {
+		return fmt.Errorf("multicast: root %d out of range [0,%d)", root, len(t.parent))
+	}
+	for i := range t.parent {
+		t.parent[i] = Unreached
+		t.depth[i] = Unreached
+		t.children[i] = t.children[i][:0]
+	}
+	t.root = root
+	t.parent[root] = root
+	t.depth[root] = 0
+	t.reached = 1
+	t.maxDepth = 0
+	return nil
+}
+
 // Len returns the number of nodes the tree spans (reached or not).
 func (t *Tree) Len() int { return len(t.parent) }
 

@@ -2,6 +2,7 @@ package multicast
 
 import (
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -144,6 +145,138 @@ func TestNonLeafStatsEmpty(t *testing.T) {
 	if internal, avg := tr.NonLeafStats(); internal != 0 || avg != 0 {
 		t.Error("no-edge tree should report zero stats")
 	}
+}
+
+func TestResetValidation(t *testing.T) {
+	tr, _ := NewTree(4, 0)
+	if err := tr.Reset(4); err == nil {
+		t.Error("root out of range should fail")
+	}
+	if err := tr.Reset(-1); err == nil {
+		t.Error("negative root should fail")
+	}
+	if tr.Root() != 0 {
+		t.Error("failed Reset must not change the root")
+	}
+}
+
+func TestResetAfterPartialDelivery(t *testing.T) {
+	tr, _ := NewTree(5, 0)
+	_ = tr.Deliver(0, 1)
+	_ = tr.Deliver(1, 2)
+	// Partial delivery (nodes 3 and 4 never reached), then reuse from a new
+	// root.
+	if err := tr.Reset(3); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Root() != 3 || tr.Reached() != 1 || tr.MaxDepth() != 0 {
+		t.Fatalf("after Reset: root=%d reached=%d maxDepth=%d", tr.Root(), tr.Reached(), tr.MaxDepth())
+	}
+	for node := 0; node < 5; node++ {
+		if node == 3 {
+			if !tr.Received(3) || tr.Depth(3) != 0 || tr.Parent(3) != 3 {
+				t.Fatal("new root should be received at depth 0")
+			}
+			continue
+		}
+		if tr.Received(node) || tr.Depth(node) != Unreached || tr.Degree(node) != 0 {
+			t.Fatalf("node %d kept stale delivery state", node)
+		}
+	}
+	// The old root forwards before receiving: must fail again.
+	if err := tr.Deliver(0, 1); err == nil {
+		t.Fatal("stale root should no longer be a valid forwarder")
+	}
+}
+
+func TestResetDuplicateStillRejected(t *testing.T) {
+	tr, _ := NewTree(4, 0)
+	_ = tr.Deliver(0, 1)
+	if err := tr.Deliver(0, 1); err == nil {
+		t.Fatal("duplicate before reset not rejected")
+	}
+	if err := tr.Reset(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Deliver(0, 1); err != nil {
+		t.Fatalf("first delivery after reset rejected: %v", err)
+	}
+	err := tr.Deliver(0, 1)
+	if err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate after reset not rejected: %v", err)
+	}
+	if err := tr.Deliver(3, 2); err == nil {
+		t.Fatal("forwarding from unreached node after reset not rejected")
+	}
+}
+
+func TestResetMetricsRecomputed(t *testing.T) {
+	tr, _ := NewTree(4, 0)
+	_ = tr.Deliver(0, 1)
+	_ = tr.Deliver(1, 2)
+	_ = tr.Deliver(2, 3) // chain: maxDepth 3, avg (1+2+3)/3
+	if tr.MaxDepth() != 3 {
+		t.Fatalf("MaxDepth = %d", tr.MaxDepth())
+	}
+	if err := tr.Reset(1); err != nil {
+		t.Fatal(err)
+	}
+	_ = tr.Deliver(1, 0)
+	_ = tr.Deliver(1, 2)
+	_ = tr.Deliver(1, 3) // star: maxDepth 1, avg 1
+	if err := tr.VerifyComplete(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.MaxDepth() != 1 {
+		t.Errorf("MaxDepth after reuse = %d, want 1 (stale maximum retained?)", tr.MaxDepth())
+	}
+	if got := tr.AvgPathLength(); got != 1 {
+		t.Errorf("AvgPathLength after reuse = %g, want 1", got)
+	}
+	h := tr.DepthHistogram()
+	if len(h) != 2 || h[0] != 1 || h[1] != 3 {
+		t.Errorf("DepthHistogram after reuse = %v, want [1 3]", h)
+	}
+	if tr.Degree(0) != 0 || tr.Degree(1) != 3 {
+		t.Errorf("degrees after reuse: %d, %d", tr.Degree(0), tr.Degree(1))
+	}
+}
+
+func TestResetConcurrentTrees(t *testing.T) {
+	// Distinct trees reset and rebuilt on separate goroutines must not share
+	// state; run under -race this guards the engine's pooled-tree reuse.
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(root int) {
+			defer wg.Done()
+			tr, err := NewTree(16, 0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for iter := 0; iter < 50; iter++ {
+				if err := tr.Reset(root); err != nil {
+					t.Error(err)
+					return
+				}
+				for node := 0; node < 16; node++ {
+					if node == root {
+						continue
+					}
+					if err := tr.Deliver(root, node); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				if err := tr.VerifyComplete(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
 }
 
 func TestChildrenOwnership(t *testing.T) {
