@@ -145,6 +145,12 @@ type Options struct {
 	// cannot wedge a pooled connection (ListenTCP members only). Zero
 	// keeps the transport default (10s).
 	RPCTimeout time.Duration
+	// Codec selects the TCP wire encoding for payloads this member sends
+	// (ListenTCP members only): "binary" (default) uses the compact
+	// tagged encoding, "gob" forces the encoding/gob fallback for A/B
+	// comparison. Peers decode by tag, so members with different codecs
+	// interoperate.
+	Codec string
 
 	// Tracer optionally records protocol events.
 	Tracer *trace.Tracer
@@ -455,11 +461,16 @@ func ListenTCP(listenAddr, via string, opts Options) (*TCPMember, error) {
 	if err != nil {
 		return nil, err
 	}
+	codec, err := transport.ParseCodec(opts.Codec)
+	if err != nil {
+		return nil, err
+	}
 	runtime.RegisterWireTypes()
 	tr, err := transport.NewTCP(listenAddr)
 	if err != nil {
 		return nil, err
 	}
+	tr.Codec = codec
 	if opts.SuspicionWindow > 0 {
 		tr.SuspicionWindow = opts.SuspicionWindow
 	}
@@ -500,6 +511,9 @@ func (m *TCPMember) Addr() string { return m.node.Self().Addr }
 
 // ID returns the member's ring identifier.
 func (m *TCPMember) ID() uint64 { return m.node.Self().ID }
+
+// Capacity returns the member's multicast capacity c_x.
+func (m *TCPMember) Capacity() int { return m.node.Capacity() }
 
 // Multicast sends payload to every group member (including this one) and
 // returns the message ID.

@@ -8,6 +8,7 @@
 //
 //	camchurn [-initial 48] [-events 150] [-join 0.5] [-crash 0.5]
 //	         [-cap-lo 4] [-cap-hi 10] [-seed 1]
+//	         [-transport mem|tcp] [-codec binary|gob]
 package main
 
 import (
@@ -38,13 +39,15 @@ func run(args []string, out io.Writer) error {
 		capLo   = fs.Int("cap-lo", 4, "lowest member capacity")
 		capHi   = fs.Int("cap-hi", 10, "highest member capacity")
 		seed    = fs.Int64("seed", 1, "RNG seed")
+		trans   = fs.String("transport", "mem", "member transport: mem (in-process simulated network) or tcp (one loopback listener per member)")
+		codec   = fs.String("codec", "", "wire codec for -transport tcp: binary (default) or gob")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	fmt.Fprintf(out, "churn: %d initial members, %d events (%.0f%% joins, %.0f%% of departures crash), capacities [%d..%d]\n\n",
-		*initial, *events, *join*100, *crash*100, *capLo, *capHi)
+	fmt.Fprintf(out, "churn: %d initial members, %d events (%.0f%% joins, %.0f%% of departures crash), capacities [%d..%d], transport %s\n\n",
+		*initial, *events, *join*100, *crash*100, *capLo, *capHi, *trans)
 
 	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "system\tmaintenance budget\tmean delivery\tmin delivery\tring correct\ttable faults\tduplicates\tretries\trepaired\tlost")
@@ -60,6 +63,8 @@ func run(args []string, out io.Writer) error {
 				CapacityHi:        *capHi,
 				Seed:              *seed,
 				MaintenanceBudget: budget,
+				Transport:         *trans,
+				Codec:             *codec,
 			})
 			if err != nil {
 				return fmt.Errorf("%v budget %d: %w", mode, budget, err)

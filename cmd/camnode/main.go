@@ -14,7 +14,10 @@
 //	> members
 //	> quit
 //
-// Flags: -protocol cam-chord|cam-koorde (default cam-chord).
+// Flags: -protocol cam-chord|cam-koorde (default cam-chord); -tcp hosts
+// every member on its own real TCP listener (loopback sockets) instead of
+// the in-process simulated transport, and -codec binary|gob selects the
+// TCP wire encoding (ignored without -tcp).
 package main
 
 import (
@@ -33,21 +36,45 @@ import (
 
 func main() {
 	protocol := flag.String("protocol", "cam-chord", "cam-chord | cam-koorde")
+	tcp := flag.Bool("tcp", false, "host each member on its own TCP listener instead of the in-process transport")
+	codec := flag.String("codec", "", "TCP wire codec: binary (default) or gob; requires -tcp")
 	flag.Parse()
-	if err := run(*protocol, os.Stdin, os.Stdout); err != nil {
+	if err := run(*protocol, *tcp, *codec, os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "camnode:", err)
 		os.Exit(1)
 	}
 }
 
+// group abstracts the two member-hosting modes of the REPL: one in-process
+// simulated network, or one real TCP transport per member.
+type group interface {
+	create(label string, opts camcast.Options) (memberView, error)
+	join(label, via string, opts camcast.Options) (memberView, error)
+	member(label string) (memberView, error)
+	labels() []string
+	settle(rounds int)
+	leave(label string) error
+	crash(label string) error
+	close()
+}
+
+// memberView is the part of a member the REPL shows.
+type memberView interface {
+	Addr() string
+	ID() uint64
+	Capacity() int
+	Multicast(payload []byte) (string, error)
+	Stats() camcast.Stats
+}
+
 // session holds the REPL state.
 type session struct {
-	net      *camcast.Network
+	grp      group
 	protocol camcast.Protocol
 	out      io.Writer
 }
 
-func run(protocolName string, in io.Reader, out io.Writer) error {
+func run(protocolName string, tcp bool, codec string, in io.Reader, out io.Writer) error {
 	var protocol camcast.Protocol
 	switch protocolName {
 	case "cam-chord":
@@ -57,11 +84,25 @@ func run(protocolName string, in io.Reader, out io.Writer) error {
 	default:
 		return fmt.Errorf("unknown protocol %q", protocolName)
 	}
+	if codec != "" && !tcp {
+		return fmt.Errorf("-codec requires -tcp")
+	}
 
-	s := &session{net: camcast.NewNetwork(), protocol: protocol, out: out}
-	defer s.net.Close()
+	var grp group
+	mode := "in-process"
+	if tcp {
+		grp = &tcpGroup{codec: codec, members: make(map[string]*camcast.TCPMember)}
+		mode = "tcp"
+		if codec != "" {
+			mode = "tcp, " + codec + " codec"
+		}
+	} else {
+		grp = &memGroup{net: camcast.NewNetwork()}
+	}
+	s := &session{grp: grp, protocol: protocol, out: out}
+	defer s.grp.close()
 
-	fmt.Fprintf(out, "camnode (%s) — type 'help' for commands\n", protocol)
+	fmt.Fprintf(out, "camnode (%s, %s) — type 'help' for commands\n", protocol, mode)
 	scanner := bufio.NewScanner(in)
 	for {
 		fmt.Fprint(out, "> ")
@@ -104,7 +145,7 @@ func (s *session) execute(line string) (quit bool, err error) {
 	case "stats":
 		return false, s.stats(args)
 	case "settle":
-		s.net.Settle(3)
+		s.grp.settle(3)
 		fmt.Fprintln(s.out, "  maintenance converged")
 	case "quit", "exit":
 		return true, nil
@@ -158,11 +199,11 @@ func (s *session) create(args []string) error {
 	if err != nil {
 		return err
 	}
-	m, err := s.net.Create(args[0], s.options(args[0], capacity))
+	m, err := s.grp.create(args[0], s.options(args[0], capacity))
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(s.out, "  %s bootstrapped (id %d, capacity %d)\n", m.Addr(), m.ID(), m.Capacity())
+	fmt.Fprintf(s.out, "  %s bootstrapped at %s (id %d, capacity %d)\n", args[0], m.Addr(), m.ID(), m.Capacity())
 	return nil
 }
 
@@ -174,12 +215,12 @@ func (s *session) join(args []string) error {
 	if err != nil {
 		return err
 	}
-	m, err := s.net.Join(args[0], args[1], s.options(args[0], capacity))
+	m, err := s.grp.join(args[0], args[1], s.options(args[0], capacity))
 	if err != nil {
 		return err
 	}
-	s.net.Settle(2)
-	fmt.Fprintf(s.out, "  %s joined via %s (id %d, capacity %d)\n", m.Addr(), args[1], m.ID(), m.Capacity())
+	s.grp.settle(2)
+	fmt.Fprintf(s.out, "  %s joined via %s at %s (id %d, capacity %d)\n", args[0], args[1], m.Addr(), m.ID(), m.Capacity())
 	return nil
 }
 
@@ -187,16 +228,14 @@ func (s *session) leaveOrCrash(args []string, crash bool) error {
 	if len(args) < 1 {
 		return fmt.Errorf("usage: leave|crash <addr>")
 	}
-	m, err := s.net.Member(args[0])
-	if err != nil {
-		return err
-	}
 	if crash {
-		m.Crash()
+		if err := s.grp.crash(args[0]); err != nil {
+			return err
+		}
 		fmt.Fprintf(s.out, "  %s crashed\n", args[0])
 		return nil
 	}
-	if err := m.Leave(); err != nil {
+	if err := s.grp.leave(args[0]); err != nil {
 		return err
 	}
 	fmt.Fprintf(s.out, "  %s left\n", args[0])
@@ -207,7 +246,7 @@ func (s *session) send(args []string) error {
 	if len(args) < 2 {
 		return fmt.Errorf("usage: send <addr> <text...>")
 	}
-	m, err := s.net.Member(args[0])
+	m, err := s.grp.member(args[0])
 	if err != nil {
 		return err
 	}
@@ -229,12 +268,12 @@ func (s *session) members() {
 		cap  int
 	}
 	var rows []row
-	for _, addr := range s.net.Members() {
-		m, err := s.net.Member(addr)
+	for _, label := range s.grp.labels() {
+		m, err := s.grp.member(label)
 		if err != nil {
 			continue
 		}
-		rows = append(rows, row{addr: addr, id: m.ID(), cap: m.Capacity()})
+		rows = append(rows, row{addr: label, id: m.ID(), cap: m.Capacity()})
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].id < rows[j].id })
 	for _, r := range rows {
@@ -247,7 +286,7 @@ func (s *session) stats(args []string) error {
 	if len(args) < 1 {
 		return fmt.Errorf("usage: stats <addr>")
 	}
-	m, err := s.net.Member(args[0])
+	m, err := s.grp.member(args[0])
 	if err != nil {
 		return err
 	}
@@ -257,4 +296,139 @@ func (s *session) stats(args []string) error {
 	fmt.Fprintf(s.out, "  acked=%d retries=%d repaired=%d lost=%d\n",
 		st.ChildrenAcked, st.Retries, st.SegmentsRepaired, st.SegmentsLost)
 	return nil
+}
+
+// memGroup hosts members on one in-process simulated network.
+type memGroup struct {
+	net *camcast.Network
+}
+
+func (g *memGroup) create(label string, opts camcast.Options) (memberView, error) {
+	return g.net.Create(label, opts)
+}
+
+func (g *memGroup) join(label, via string, opts camcast.Options) (memberView, error) {
+	return g.net.Join(label, via, opts)
+}
+
+func (g *memGroup) member(label string) (memberView, error) { return g.net.Member(label) }
+
+func (g *memGroup) labels() []string { return g.net.Members() }
+
+func (g *memGroup) settle(rounds int) { g.net.Settle(rounds) }
+
+func (g *memGroup) leave(label string) error {
+	m, err := g.net.Member(label)
+	if err != nil {
+		return err
+	}
+	return m.Leave()
+}
+
+func (g *memGroup) crash(label string) error {
+	m, err := g.net.Member(label)
+	if err != nil {
+		return err
+	}
+	m.Crash()
+	return nil
+}
+
+func (g *memGroup) close() { g.net.Close() }
+
+// tcpGroup hosts each member on its own real TCP listener (loopback).
+// Labels name members at the REPL; the transport uses the bound
+// "127.0.0.1:port" addresses underneath.
+type tcpGroup struct {
+	codec   string
+	members map[string]*camcast.TCPMember
+}
+
+func (g *tcpGroup) tcpOptions(opts camcast.Options) camcast.Options {
+	opts.Codec = g.codec
+	// Loopback members tolerate tight failure-detection windows; keep the
+	// REPL snappy after a crash.
+	opts.DialTimeout = 2 * time.Second
+	opts.RPCTimeout = 2 * time.Second
+	return opts
+}
+
+func (g *tcpGroup) create(label string, opts camcast.Options) (memberView, error) {
+	if _, ok := g.members[label]; ok {
+		return nil, fmt.Errorf("member %q already exists", label)
+	}
+	m, err := camcast.ListenTCP("127.0.0.1:0", "", g.tcpOptions(opts))
+	if err != nil {
+		return nil, err
+	}
+	g.members[label] = m
+	return m, nil
+}
+
+func (g *tcpGroup) join(label, via string, opts camcast.Options) (memberView, error) {
+	if _, ok := g.members[label]; ok {
+		return nil, fmt.Errorf("member %q already exists", label)
+	}
+	boot, ok := g.members[via]
+	if !ok {
+		return nil, fmt.Errorf("no member %q to join through", via)
+	}
+	m, err := camcast.ListenTCP("127.0.0.1:0", boot.Addr(), g.tcpOptions(opts))
+	if err != nil {
+		return nil, err
+	}
+	g.members[label] = m
+	return m, nil
+}
+
+func (g *tcpGroup) member(label string) (memberView, error) {
+	m, ok := g.members[label]
+	if !ok {
+		return nil, fmt.Errorf("no such member %q", label)
+	}
+	return m, nil
+}
+
+func (g *tcpGroup) labels() []string {
+	out := make([]string, 0, len(g.members))
+	for label := range g.members {
+		out = append(out, label)
+	}
+	return out
+}
+
+func (g *tcpGroup) settle(rounds int) {
+	for r := 0; r < rounds; r++ {
+		for _, m := range g.members {
+			m.StabilizeOnce()
+		}
+		for _, m := range g.members {
+			m.FixAll()
+		}
+	}
+}
+
+func (g *tcpGroup) leave(label string) error {
+	m, ok := g.members[label]
+	if !ok {
+		return fmt.Errorf("no such member %q", label)
+	}
+	delete(g.members, label)
+	return m.Leave()
+}
+
+func (g *tcpGroup) crash(label string) error {
+	m, ok := g.members[label]
+	if !ok {
+		return fmt.Errorf("no such member %q", label)
+	}
+	delete(g.members, label)
+	m.Close()
+	return nil
+}
+
+func (g *tcpGroup) close() {
+	for _, m := range g.members {
+		m.Close()
+	}
 }

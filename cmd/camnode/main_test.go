@@ -10,8 +10,20 @@ import (
 func newTestSession(t *testing.T) (*session, *strings.Builder) {
 	t.Helper()
 	out := &strings.Builder{}
-	s := &session{net: camcast.NewNetwork(), protocol: camcast.CAMChord, out: out}
-	t.Cleanup(s.net.Close)
+	s := &session{grp: &memGroup{net: camcast.NewNetwork()}, protocol: camcast.CAMChord, out: out}
+	t.Cleanup(s.grp.close)
+	return s, out
+}
+
+func newTestTCPSession(t *testing.T) (*session, *strings.Builder) {
+	t.Helper()
+	out := &strings.Builder{}
+	s := &session{
+		grp:      &tcpGroup{members: make(map[string]*camcast.TCPMember)},
+		protocol: camcast.CAMChord,
+		out:      out,
+	}
+	t.Cleanup(s.grp.close)
 	return s, out
 }
 
@@ -85,8 +97,14 @@ func TestSessionHelp(t *testing.T) {
 	}
 }
 
+func TestRunCodecWithoutTCP(t *testing.T) {
+	if err := run("cam-chord", false, "gob", strings.NewReader(""), &strings.Builder{}); err == nil {
+		t.Error("-codec without -tcp should fail")
+	}
+}
+
 func TestRunUnknownProtocol(t *testing.T) {
-	if err := run("bogus", strings.NewReader(""), &strings.Builder{}); err == nil {
+	if err := run("bogus", false, "", strings.NewReader(""), &strings.Builder{}); err == nil {
 		t.Error("unknown protocol should fail")
 	}
 }
@@ -94,10 +112,34 @@ func TestRunUnknownProtocol(t *testing.T) {
 func TestRunKoordeSession(t *testing.T) {
 	in := strings.NewReader("create a 5\njoin b a 5\nsettle\nsend a hi\nquit\n")
 	out := &strings.Builder{}
-	if err := run("cam-koorde", in, out); err != nil {
+	if err := run("cam-koorde", false, "", in, out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "[b] a: hi") {
 		t.Errorf("koorde session output:\n%s", out.String())
+	}
+}
+
+// TestSessionLifecycleTCP runs the same REPL flow with every member on its
+// own real TCP listener.
+func TestSessionLifecycleTCP(t *testing.T) {
+	s, out := newTestTCPSession(t)
+	exec(t, s, "create alice 6")
+	exec(t, s, "join bob alice 4")
+	exec(t, s, "settle")
+	exec(t, s, "send bob hello tcp")
+	exec(t, s, "members")
+	exec(t, s, "crash bob")
+
+	text := out.String()
+	for _, want := range []string{
+		"alice bootstrapped",
+		"bob joined via alice",
+		"bob crashed",
+		"2 members",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q\n%s", want, text)
+		}
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"time"
 
 	"camcast/internal/ring"
 	"camcast/internal/runtime"
@@ -43,6 +44,16 @@ type Config struct {
 	// ProbeEvery sends a probe multicast from a random live member every
 	// this many events (and once at the end). Default 10.
 	ProbeEvery int
+
+	// Transport selects how members talk: "mem" (default) runs every
+	// member on one in-process simulated network; "tcp" gives each member
+	// its own real loopback TCP listener, exercising the multiplexed
+	// transport (connection pooling, pipelining, failure suspicion) under
+	// churn.
+	Transport string
+	// Codec selects the TCP wire encoding ("binary" default, "gob" for
+	// the fallback path); ignored for the mem transport.
+	Codec string
 }
 
 func (c *Config) applyDefaults() {
@@ -70,6 +81,14 @@ func (c *Config) validate() error {
 	}
 	if c.MaintenanceBudget < 0 {
 		return fmt.Errorf("churnsim: negative maintenance budget")
+	}
+	switch c.Transport {
+	case "", "mem", "tcp":
+	default:
+		return fmt.Errorf("churnsim: unknown transport %q (want mem or tcp)", c.Transport)
+	}
+	if c.Codec != "" && c.Transport != "tcp" {
+		return fmt.Errorf("churnsim: codec %q requires the tcp transport", c.Codec)
 	}
 	return nil
 }
@@ -144,7 +163,19 @@ func Run(cfg Config) (Result, error) {
 	}
 
 	rng := rand.New(rand.NewSource(cfg.Seed + 1))
-	net := transport.NewNetwork(cfg.Seed + 2)
+	useTCP := cfg.Transport == "tcp"
+	var codec transport.Codec
+	if useTCP {
+		var err error
+		if codec, err = transport.ParseCodec(cfg.Codec); err != nil {
+			return Result{}, err
+		}
+		runtime.RegisterWireTypes()
+	}
+	var net *transport.Network
+	if !useTCP {
+		net = transport.NewNetwork(cfg.Seed + 2)
+	}
 	space, err := ring.NewSpace(cfg.Bits)
 	if err != nil {
 		return Result{}, err
@@ -155,26 +186,62 @@ func Run(cfg Config) (Result, error) {
 		res   Result
 		alive = make(map[int]*runtime.Node)
 		all   []*runtime.Node
+		// tcps maps member index to its private TCP transport (tcp mode):
+		// crashing or leaving a member also tears its listener down, the
+		// way a dying process would.
+		tcps = make(map[int]*transport.TCP)
 	)
 	defer func() {
 		for _, n := range alive {
 			n.Stop()
 		}
+		for _, tr := range tcps {
+			tr.Close()
+		}
 	}()
 
 	newNode := func(idx int) (*runtime.Node, error) {
 		capacity := cfg.CapacityLo + rng.Intn(cfg.CapacityHi-cfg.CapacityLo+1)
-		node, err := runtime.NewNode(net, fmt.Sprintf("member-%d", idx), runtime.Config{
+		rcfg := runtime.Config{
 			Space:     space,
 			Mode:      cfg.Mode,
 			Capacity:  capacity,
 			OnDeliver: func(d runtime.Delivery) { col.add(d.MsgID) },
-		})
+		}
+		if !useTCP {
+			node, err := runtime.NewNode(net, fmt.Sprintf("member-%d", idx), rcfg)
+			if err != nil {
+				return nil, err
+			}
+			all = append(all, node)
+			return node, nil
+		}
+		tr, err := transport.NewTCP("127.0.0.1:0")
 		if err != nil {
 			return nil, err
 		}
+		// Loopback sockets between live processes fail fast; tighten the
+		// failure detector so crashed members are routed around within a
+		// few maintenance rounds instead of the 2s wide-area default.
+		tr.Codec = codec
+		tr.SuspicionWindow = 250 * time.Millisecond
+		tr.DialTimeout = 500 * time.Millisecond
+		tr.RPCTimeout = time.Second
+		node, err := runtime.NewNode(tr, tr.Addr(), rcfg)
+		if err != nil {
+			tr.Close()
+			return nil, err
+		}
+		tcps[idx] = tr
 		all = append(all, node)
 		return node, nil
+	}
+
+	dropTransport := func(idx int) {
+		if tr, ok := tcps[idx]; ok {
+			tr.Close()
+			delete(tcps, idx)
+		}
 	}
 
 	liveNodes := func() []*runtime.Node {
@@ -270,12 +337,14 @@ func Run(cfg Config) (Result, error) {
 		case workload.EventLeave:
 			if n, ok := alive[ev.Index]; ok {
 				_ = n.Leave()
+				dropTransport(ev.Index)
 				delete(alive, ev.Index)
 				res.Leaves++
 			}
 		case workload.EventFail:
 			if n, ok := alive[ev.Index]; ok {
 				n.Stop()
+				dropTransport(ev.Index)
 				delete(alive, ev.Index)
 				res.Crashes++
 			}

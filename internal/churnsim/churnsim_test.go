@@ -136,3 +136,51 @@ func TestDeterministicGivenSeed(t *testing.T) {
 		t.Errorf("same seed produced different results: %+v vs %+v", a, b)
 	}
 }
+
+// TestChurnTCPTransport runs a small churn workload with every member on
+// its own loopback TCP listener, exercising the multiplexed transport and
+// binary codec under joins, leaves, and crashes with real sockets. Scaled
+// down from the mem-transport runs because each event pays real dial and
+// suspicion latencies.
+func TestChurnTCPTransport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real sockets; skipped in -short")
+	}
+	for _, codec := range []string{"binary", "gob"} {
+		t.Run(codec, func(t *testing.T) {
+			cfg := baseConfig(runtime.ModeCAMChord)
+			cfg.Transport = "tcp"
+			cfg.Codec = codec
+			cfg.Initial = 8
+			cfg.Events = 12
+			cfg.ProbeEvery = 4
+			cfg.MaintenanceBudget = 3
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Joins+res.Leaves+res.Crashes != res.Events {
+				t.Fatalf("event counts inconsistent: %+v", res)
+			}
+			// Real sockets on a loaded CI box add genuine timing jitter
+			// (dial latency, suspicion windows), so the bar is lower than
+			// the deterministic mem-transport runs assert.
+			if res.MeanDelivery < 0.7 {
+				t.Errorf("mean delivery %.3f over TCP with budget 3; expected mostly-complete", res.MeanDelivery)
+			}
+		})
+	}
+}
+
+func TestValidateTransport(t *testing.T) {
+	cfg := baseConfig(runtime.ModeCAMChord)
+	cfg.Transport = "carrier-pigeon"
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("expected error for unknown transport")
+	}
+	cfg = baseConfig(runtime.ModeCAMChord)
+	cfg.Codec = "binary" // codec without tcp transport
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("expected error for codec without tcp transport")
+	}
+}

@@ -5,14 +5,17 @@ import (
 	"sync"
 )
 
-var gobOnce sync.Once
+var wireOnce sync.Once
 
-// RegisterWireTypes registers every runtime RPC payload type with
-// encoding/gob so that nodes can run over the TCP transport
-// (internal/transport.TCP), which carries payloads as gob interface values.
-// Safe to call multiple times; the in-memory transport does not need it.
+// RegisterWireTypes registers every runtime RPC payload type with the
+// transport layer so that nodes can run over the TCP transport
+// (internal/transport.TCP): the binary wire codec decoders (the fast path,
+// see wirecodec.go) and encoding/gob (the fallback codec, and the whole
+// encoding when the transport is configured with transport.CodecGob). Safe
+// to call multiple times; the in-memory transport does not need it.
 func RegisterWireTypes() {
-	gobOnce.Do(func() {
+	wireOnce.Do(func() {
+		registerBinaryWireTypes()
 		gob.Register(pingReq{})
 		gob.Register(pingResp{})
 		gob.Register(findSuccReq{})

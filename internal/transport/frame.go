@@ -1,0 +1,163 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Wire format. A connection starts with a 4-byte preamble from the dialer —
+// magic "CAM" plus a version byte — then carries a stream of
+// length-prefixed frames in both directions:
+//
+//	[4B big-endian body length]
+//	[1B frame type: 1=request, 2=response]
+//	[8B big-endian call ID]
+//	request:  [str From][str To][str Kind][1B payload tag][payload bytes]
+//	response: [str Err]                   [1B payload tag][payload bytes]
+//
+// where [str] is a uvarint length prefix followed by the bytes. Call IDs
+// are assigned by the requester and echoed in the response; responses may
+// arrive in any order, which is what lets N calls share one socket with N
+// RPCs in flight. Payload tag 0 is nil, tag 1 is the gob fallback, and
+// tags >= WireTagUserMin name types registered with RegisterWireDecoder.
+
+const (
+	wireVersion byte = 1
+
+	frameRequest  byte = 1
+	frameResponse byte = 2
+
+	// maxFrameSize caps one frame's body, bounding the allocation a
+	// malformed or hostile length prefix can cause.
+	maxFrameSize = 1 << 26 // 64 MiB
+
+	frameHeaderSize = 1 + 8 // type byte + call ID
+)
+
+var preamble = [4]byte{'C', 'A', 'M', wireVersion}
+
+// writePreamble sends the connection preamble (dialer side).
+func writePreamble(w io.Writer) error {
+	_, err := w.Write(preamble[:])
+	return err
+}
+
+// readPreamble validates the connection preamble (acceptor side).
+func readPreamble(r io.Reader) error {
+	var got [4]byte
+	if _, err := io.ReadFull(r, got[:]); err != nil {
+		return fmt.Errorf("transport: read preamble: %w", err)
+	}
+	if got != preamble {
+		return fmt.Errorf("transport: bad preamble %x (want %x)", got, preamble)
+	}
+	return nil
+}
+
+// readFrame reads one length-prefixed frame body into buf (growing it as
+// needed) and returns the body slice, which is only valid until the next
+// call with the same buf.
+func readFrame(r *bufio.Reader, buf []byte) (body, next []byte, err error) {
+	var lenb [4]byte
+	if _, err := io.ReadFull(r, lenb[:]); err != nil {
+		return nil, buf, err
+	}
+	n := binary.BigEndian.Uint32(lenb[:])
+	if n < frameHeaderSize || n > maxFrameSize {
+		return nil, buf, fmt.Errorf("transport: frame length %d out of range", n)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	body = buf[:n]
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, buf, err
+	}
+	return body, buf, nil
+}
+
+// putFrameLen writes the 4-byte frame length prefix.
+func putFrameLen(dst []byte, n int) {
+	binary.BigEndian.PutUint32(dst, uint32(n))
+}
+
+// appendFrameHeader appends the frame type and call ID.
+func appendFrameHeader(b []byte, frameType byte, callID uint64) []byte {
+	b = append(b, frameType)
+	return binary.BigEndian.AppendUint64(b, callID)
+}
+
+// appendRequestBody appends a full request frame body.
+func appendRequestBody(b []byte, callID uint64, from, to, kind string, payload any, codec Codec) ([]byte, error) {
+	b = appendFrameHeader(b, frameRequest, callID)
+	b = AppendString(b, from)
+	b = AppendString(b, to)
+	b = AppendString(b, kind)
+	return appendPayload(b, payload, codec)
+}
+
+// appendResponseBody appends a full response frame body.
+func appendResponseBody(b []byte, callID uint64, errMsg string, payload any, codec Codec) ([]byte, error) {
+	b = appendFrameHeader(b, frameResponse, callID)
+	b = AppendString(b, errMsg)
+	if errMsg != "" {
+		// Error responses never carry a payload.
+		return append(b, wireTagNil), nil
+	}
+	return appendPayload(b, payload, codec)
+}
+
+// frameHeader splits a frame body into its header fields and the rest.
+func frameHeader(body []byte) (frameType byte, callID uint64, rest []byte) {
+	return body[0], binary.BigEndian.Uint64(body[1:9]), body[9:]
+}
+
+// parsedRequest is a decoded request frame, copied out of the frame buffer
+// so decoding can happen on a worker goroutine while the reader loop
+// reuses its buffer. The whole frame body is copied once; from/to/kind are
+// views into that copy and payload is its tail (tag+bytes).
+type parsedRequest struct {
+	callID  uint64
+	from    string
+	to      string
+	kind    string
+	payload []byte
+}
+
+// parseRequest decodes a request frame body (after the frame header).
+func parseRequest(callID uint64, rest []byte) (parsedRequest, error) {
+	body := make([]byte, len(rest))
+	copy(body, rest)
+	r := NewWireReader(body)
+	req := parsedRequest{
+		callID: callID,
+		from:   r.stringView(),
+		to:     r.stringView(),
+		kind:   r.stringView(),
+	}
+	if r.err != nil {
+		return parsedRequest{}, r.err
+	}
+	if r.off >= len(body) {
+		return parsedRequest{}, fmt.Errorf("%w: request without payload", ErrWireDecode)
+	}
+	req.payload = body[r.off:]
+	return req, nil
+}
+
+// parseResponse decodes a response frame body (after the frame header),
+// returning the handler error string and the decoded payload.
+func parseResponse(rest []byte) (payload any, errMsg string, err error) {
+	r := NewWireReader(rest)
+	errMsg = r.String()
+	if r.err != nil {
+		return nil, "", r.err
+	}
+	if errMsg != "" {
+		return nil, errMsg, nil
+	}
+	payload, err = decodePayload(rest[r.off:])
+	return payload, "", err
+}

@@ -1,0 +1,68 @@
+package transport
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzParseFrame fuzzes the server-side frame parsing path with arbitrary
+// frame bodies: header split, request parsing, and payload decoding must
+// reject garbage with an error, never panic or over-read.
+func FuzzParseFrame(f *testing.F) {
+	benchRegisterOnce.Do(func() { registerBenchPayload() })
+	// Seed with a well-formed request and response frame body.
+	req, err := appendRequestBody(nil, 7, "from", "to", "kind", benchPayload{Key: "k", Value: []byte{1, 2}, Seq: 3}, CodecBinary)
+	if err != nil {
+		f.Fatal(err)
+	}
+	resp, err := appendResponseBody(nil, 7, "", benchPayload{Key: "k"}, CodecGob)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(req)
+	f.Add(resp)
+	f.Fuzz(func(t *testing.T, body []byte) {
+		if len(body) < frameHeaderSize {
+			return
+		}
+		frameType, callID, rest := frameHeader(body)
+		switch frameType {
+		case frameRequest:
+			if pr, err := parseRequest(callID, rest); err == nil {
+				_, _ = decodePayload(pr.payload)
+			}
+		case frameResponse:
+			_, _, _ = parseResponse(rest)
+		}
+	})
+}
+
+// FuzzReadFrame fuzzes the length-prefixed stream reader: arbitrary byte
+// streams must produce frames or errors, never panics or huge
+// allocations.
+func FuzzReadFrame(f *testing.F) {
+	var stream []byte
+	var lenb [4]byte
+	binary.BigEndian.PutUint32(lenb[:], uint32(frameHeaderSize+3))
+	stream = append(stream, lenb[:]...)
+	stream = append(stream, frameRequest)
+	stream = append(stream, make([]byte, 8+3)...)
+	f.Add(stream)
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		br := bufio.NewReader(bytes.NewReader(data))
+		var buf []byte
+		for {
+			body, next, err := readFrame(br, buf)
+			if err != nil {
+				return
+			}
+			buf = next
+			if len(body) < frameHeaderSize {
+				t.Fatalf("readFrame returned %d-byte body, below the header minimum", len(body))
+			}
+		}
+	})
+}

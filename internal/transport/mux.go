@@ -1,0 +1,268 @@
+package transport
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// muxConn is one multiplexed client connection to a peer. Any number of
+// calls share it concurrently: each call tags its request frame with a
+// fresh call ID, parks on a channel in pending, and a single reader
+// goroutine completes calls — in whatever order the peer answers — as
+// response frames arrive. Request writes go through the connection's
+// coalescing frameWriter: a lone call flushes inline; a concurrent burst
+// batches into few syscalls.
+type muxConn struct {
+	t    *TCP
+	to   string
+	conn net.Conn
+	w    *frameWriter
+
+	nextID atomic.Uint64
+
+	pmu      sync.Mutex
+	pending  map[uint64]pendingCall
+	earliest time.Time // soonest pending deadline the expirer knows about
+	failed   error     // sticky; set once the conn is torn down
+
+	// expKick wakes the expirer when a call registers a deadline sooner
+	// than the one it is sleeping towards.
+	expKick chan struct{}
+}
+
+type pendingCall struct {
+	ch       chan callResult
+	deadline time.Time // zero means no deadline
+}
+
+type callResult struct {
+	payload any
+	errMsg  string // handler-level error (the peer is alive)
+	err     error  // transport-level error (the conn is broken)
+}
+
+// errCallTimeout reports a call abandoned by its per-call deadline. The
+// connection itself may still be healthy (a slow handler), so the conn is
+// not torn down; the reader discards the late response when it arrives.
+var errCallTimeout = errors.New("transport: rpc deadline exceeded")
+
+// resultChanPool recycles the per-call result channels. A channel may only
+// be returned to the pool by a caller that received its result: a call
+// abandoned by context cancellation may still get a late send from the
+// reader, so its channel must be left to the garbage collector instead of
+// handed to a new call.
+var resultChanPool = sync.Pool{
+	New: func() any { return make(chan callResult, 1) },
+}
+
+// encodeError marks a payload encoding failure, which happens before any
+// bytes reach the socket and therefore does not poison the connection.
+type encodeError struct{ error }
+
+func (e *encodeError) Unwrap() error { return e.error }
+
+func newMuxConn(t *TCP, to string, nc net.Conn) *muxConn {
+	c := &muxConn{
+		t:       t,
+		to:      to,
+		conn:    nc,
+		w:       newFrameWriter(nc, t.rpcTimeout),
+		pending: make(map[uint64]pendingCall),
+		expKick: make(chan struct{}, 1),
+	}
+	go c.expireLoop()
+	return c
+}
+
+// roundTrip issues one pipelined request and waits for its response, the
+// context, or the deadline — whichever happens first.
+func (c *muxConn) roundTrip(ctx context.Context, deadline time.Time, from, to, kind string, payload any) (any, error) {
+	id := c.nextID.Add(1)
+	ch := resultChanPool.Get().(chan callResult)
+
+	c.pmu.Lock()
+	if c.failed != nil {
+		err := c.failed
+		c.pmu.Unlock()
+		return nil, err
+	}
+	c.pending[id] = pendingCall{ch: ch, deadline: deadline}
+	solo := len(c.pending) == 1 // no sibling call in flight: flush inline
+	kick := false
+	if !deadline.IsZero() && (c.earliest.IsZero() || deadline.Before(c.earliest)) {
+		// The expirer is sleeping towards a later (or no) deadline;
+		// wake it so this call's deadline is honored.
+		c.earliest = deadline
+		kick = true
+	}
+	c.pmu.Unlock()
+	if kick {
+		select {
+		case c.expKick <- struct{}{}:
+		default:
+		}
+	}
+
+	err := c.w.writeRequest(id, from, to, kind, payload, c.t.codec(), solo)
+	if err != nil {
+		c.forget(id)
+		var encErr *encodeError
+		if !errors.As(err, &encErr) {
+			// A socket write error leaves the stream in an unknown state
+			// (a frame may be half-written): the conn is unusable. An
+			// encode error happened before any bytes were buffered, so
+			// the conn survives it.
+			c.t.dropConn(c.to, c)
+			c.fail(err)
+		}
+		return nil, err
+	}
+
+	// Deadlines are enforced by the connection's expirer goroutine (which
+	// completes an expired call through its result channel), not by a
+	// per-call timer: at pipelining depth a timer per call costs two
+	// timer-heap operations per RPC for a deadline that almost never
+	// fires.
+	select {
+	case res := <-ch:
+		// Only a channel whose result was received may be recycled; see
+		// resultChanPool.
+		resultChanPool.Put(ch)
+		if res.err != nil {
+			return nil, res.err
+		}
+		if res.errMsg != "" {
+			return nil, &handlerError{msg: res.errMsg}
+		}
+		return res.payload, nil
+	case <-ctx.Done():
+		c.forget(id)
+		return nil, ctx.Err()
+	}
+}
+
+// expireLoop enforces per-call deadlines for one connection: it sleeps
+// towards the soonest pending deadline and completes overdue calls with
+// errCallTimeout. A lone expired call costs one map scan; the happy path
+// costs nothing per call beyond the deadline bookkeeping under pmu.
+func (c *muxConn) expireLoop() {
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	for {
+		c.pmu.Lock()
+		var next time.Time
+		for _, pc := range c.pending {
+			if !pc.deadline.IsZero() && (next.IsZero() || pc.deadline.Before(next)) {
+				next = pc.deadline
+			}
+		}
+		c.earliest = next
+		c.pmu.Unlock()
+
+		if next.IsZero() {
+			// Nothing to watch; sleep until a deadline registers.
+			select {
+			case <-c.expKick:
+				continue
+			case <-c.w.done:
+				return
+			}
+		}
+		if d := time.Until(next); d > 0 {
+			timer.Reset(d)
+			select {
+			case <-timer.C:
+			case <-c.expKick:
+				// An earlier deadline arrived; recompute.
+				if !timer.Stop() {
+					<-timer.C
+				}
+				continue
+			case <-c.w.done:
+				return
+			}
+		}
+
+		now := time.Now()
+		c.pmu.Lock()
+		for id, pc := range c.pending {
+			if !pc.deadline.IsZero() && !pc.deadline.After(now) {
+				delete(c.pending, id)
+				pc.ch <- callResult{err: errCallTimeout} // buffered; never blocks
+			}
+		}
+		c.pmu.Unlock()
+	}
+}
+
+// readLoop demultiplexes response frames to pending calls until the
+// connection dies, then fails whatever is still in flight.
+func (c *muxConn) readLoop() {
+	defer c.t.wg.Done()
+	br := bufio.NewReaderSize(c.conn, 64*1024)
+	var buf []byte
+	for {
+		body, next, err := readFrame(br, buf)
+		if err != nil {
+			c.t.dropConn(c.to, c)
+			c.fail(fmt.Errorf("transport: connection to %s lost: %w", c.to, err))
+			return
+		}
+		buf = next
+		frameType, callID, rest := frameHeader(body)
+		if frameType != frameResponse {
+			c.t.dropConn(c.to, c)
+			c.fail(fmt.Errorf("transport: unexpected frame type %d from %s", frameType, c.to))
+			return
+		}
+		payload, errMsg, err := parseResponse(rest)
+		res := callResult{payload: payload, errMsg: errMsg}
+		if err != nil {
+			// One undecodable response poisons only its own call; the
+			// frame boundary is intact, so the stream keeps going.
+			res = callResult{err: fmt.Errorf("transport: response from %s: %w", c.to, err)}
+		}
+		c.pmu.Lock()
+		pc, ok := c.pending[callID]
+		delete(c.pending, callID)
+		c.pmu.Unlock()
+		if ok {
+			pc.ch <- res // buffered; never blocks
+		}
+	}
+}
+
+// forget abandons one pending call (timeout, context cancellation).
+func (c *muxConn) forget(id uint64) {
+	c.pmu.Lock()
+	delete(c.pending, id)
+	c.pmu.Unlock()
+}
+
+// fail tears the connection down and completes every pending call with
+// err. Idempotent; the first error wins.
+func (c *muxConn) fail(err error) {
+	c.pmu.Lock()
+	if c.failed != nil {
+		c.pmu.Unlock()
+		return
+	}
+	c.failed = err
+	pending := c.pending
+	c.pending = nil
+	c.pmu.Unlock()
+	c.conn.Close()
+	c.w.close()
+	for _, pc := range pending {
+		pc.ch <- callResult{err: err}
+	}
+}

@@ -1,0 +1,128 @@
+package transport
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// serverConn is the accept side of one peer connection: a decode loop that
+// reads request frames and hands each to a pool of worker goroutines,
+// bounded per connection, so one slow handler delays neither the decoding
+// of the peer's next request nor the responses of faster handlers. Workers
+// are spawned on demand up to the bound and then live for the connection —
+// reusing a warm goroutine (and its grown stack) per request instead of
+// paying goroutine startup and stack-copy cost on every call. Workers
+// write responses back — out of order, keyed by call ID — through the
+// connection's coalescing frameWriter: the last in-flight worker flushes
+// the batch inline, earlier ones leave their frames for the flusher.
+type serverConn struct {
+	t        *TCP
+	w        *frameWriter
+	reqs     chan parsedRequest
+	inflight atomic.Int32 // requests dispatched but not yet responded to
+}
+
+func (t *TCP) serveConn(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		conn.Close()
+		t.mu.Lock()
+		delete(t.accepted, conn)
+		t.mu.Unlock()
+	}()
+	br := bufio.NewReaderSize(conn, 64*1024)
+	if err := readPreamble(br); err != nil {
+		return // wrong protocol or version; drop the peer
+	}
+	maxWorkers := t.serverWorkers()
+	// The queue is buffered so the decode loop can hand off a burst of
+	// pipelined requests without yielding to a worker between frames: the
+	// whole burst is dispatched, in-flight, before the first handler runs,
+	// which is what lets the last finishing worker flush all the responses
+	// in one syscall. A full queue (maxWorkers executing + maxWorkers
+	// queued) blocks the decode loop, which is the per-connection bound.
+	s := &serverConn{t: t, w: newFrameWriter(conn, t.rpcTimeout), reqs: make(chan parsedRequest, maxWorkers)}
+	defer s.w.close()
+
+	spawned := 0
+	var handlers sync.WaitGroup
+	defer handlers.Wait()
+	defer close(s.reqs) // workers exit once the queue drains
+
+	var buf []byte
+	for {
+		body, next, err := readFrame(br, buf)
+		if err != nil {
+			return // peer closed or garbage framing
+		}
+		buf = next
+		frameType, callID, rest := frameHeader(body)
+		if frameType != frameRequest {
+			return
+		}
+		req, err := parseRequest(callID, rest)
+		if err != nil {
+			// The frame boundary is intact, so only this call is
+			// poisoned: answer it with an error and keep serving.
+			s.respond(callID, fmt.Sprintf("transport: bad request: %v", err), nil, true)
+			continue
+		}
+		n := s.inflight.Add(1)
+		if spawned < maxWorkers && int(n) > spawned {
+			// Outstanding requests exceed the pool: grow it, up to the
+			// bound. Workers then live for the connection.
+			spawned++
+			handlers.Add(1)
+			go s.worker(&handlers)
+		}
+		s.reqs <- req
+	}
+}
+
+// worker serves requests until the queue closes.
+func (s *serverConn) worker(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for req := range s.reqs {
+		errMsg, payload := s.handle(req)
+		// The last in-flight worker flushes the whole batch inline;
+		// anyone still behind it leaves the frame to the flusher.
+		inline := s.inflight.Add(-1) == 0
+		s.respond(req.callID, errMsg, payload, inline)
+	}
+}
+
+// handle decodes one request's payload and invokes the handler, returning
+// the response to write.
+func (s *serverConn) handle(req parsedRequest) (errMsg string, payload any) {
+	decoded, err := decodePayload(req.payload)
+	if err != nil {
+		return fmt.Sprintf("transport: bad payload: %v", err), nil
+	}
+	s.t.mu.Lock()
+	h := s.t.local[req.to]
+	s.t.mu.Unlock()
+	if h == nil {
+		return fmt.Sprintf("transport: no endpoint %q here", req.to), nil
+	}
+	resp, herr := h(req.from, req.kind, decoded)
+	if herr != nil {
+		return herr.Error(), nil
+	}
+	return "", resp
+}
+
+// respond writes one response frame. An unencodable response payload is
+// downgraded to an error response so the caller fails fast instead of
+// timing out.
+func (s *serverConn) respond(callID uint64, errMsg string, payload any, inline bool) {
+	err := s.w.writeResponse(callID, errMsg, payload, s.t.codec(), inline)
+	var encErr *encodeError
+	if errors.As(err, &encErr) {
+		_ = s.w.writeResponse(callID, fmt.Sprintf("transport: encode response: %v", encErr.Unwrap()), nil, CodecBinary, inline)
+	}
+	// Any other error is a dead socket; the decode loop exits on its own.
+}

@@ -2,7 +2,6 @@ package transport
 
 import (
 	"context"
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"net"
@@ -16,23 +15,26 @@ import (
 // "host:port" strings: the address a node registers under is the address
 // its TCP listener accepts on.
 //
-// Framing is gob: each request is one frame {From, Kind, Payload}, each
-// response one frame {Payload, Err}. Payload values are encoded as gob
-// interface values, so every concrete payload type must be registered with
-// encoding/gob by both sides (the runtime package does this via
-// RegisterWireTypes).
+// Connections are multiplexed and pipelined: all calls to one destination
+// share a single pooled connection, each tagged with a call ID, so N
+// concurrent Calls put N RPCs in flight on one socket instead of N
+// sequential round trips. Frames use a compact binary format (see frame.go)
+// with a per-payload type tag; registered payload types (WireMarshaler +
+// RegisterWireDecoder) are hand-marshaled, anything else falls back to gob.
+// The serving side dispatches handlers to bounded worker goroutines per
+// connection, so a slow handler neither delays the decoding of later
+// requests nor blocks faster handlers' responses.
 //
-// Outgoing connections are pooled per destination with one in-flight call
-// per connection; call failures mark the destination suspected for
-// SuspicionWindow so that Registered() doubles as a cheap failure detector,
-// matching what the protocol layer expects from the in-memory transport.
+// Call failures mark the destination suspected for SuspicionWindow so that
+// Registered() doubles as a cheap failure detector, matching what the
+// protocol layer expects from the in-memory transport.
 type TCP struct {
 	listenAddr string
 	listener   net.Listener
 
 	mu       sync.Mutex
 	local    map[string]Handler
-	conns    map[string]*tcpConn
+	conns    map[string]*muxConn
 	accepted map[net.Conn]bool
 	suspects map[string]time.Time
 	closed   bool
@@ -42,38 +44,36 @@ type TCP struct {
 	SuspicionWindow time.Duration
 	// DialTimeout bounds connection establishment; default 2s.
 	DialTimeout time.Duration
-	// RPCTimeout bounds each request/response exchange on a pooled
-	// connection (enforced as a read/write deadline on the socket), so a
-	// hung or silent peer cannot wedge the connection forever. A context
-	// deadline on Call tightens it further per call. Default 10s.
+	// RPCTimeout bounds each request/response exchange (a per-call timer —
+	// the multiplexed socket carries other calls, so no socket-wide read
+	// deadline is involved). A context deadline on Call tightens it
+	// further per call. A timed-out call fails without tearing down the
+	// shared connection. Default 10s.
 	RPCTimeout time.Duration
+	// Codec selects the payload encoding (CodecBinary by default; CodecGob
+	// keeps the old all-gob encoding for A/B measurement). Mutable before
+	// first use.
+	Codec Codec
+	// ServerWorkers bounds concurrently running handlers per accepted
+	// connection. Mutable before first use; default 32.
+	ServerWorkers int
 
 	wg sync.WaitGroup
 }
 
-type tcpConn struct {
-	mu   sync.Mutex
-	conn net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
-}
-
-// tcpRequest is one framed request.
-type tcpRequest struct {
-	From    string
-	To      string
-	Kind    string
-	Payload any
-}
-
-// tcpResponse is one framed response.
-type tcpResponse struct {
-	Payload any
-	Err     string
-}
-
 // ErrClosed reports use of a closed TCP transport.
 var ErrClosed = errors.New("transport: tcp transport closed")
+
+const (
+	defaultServerWorkers = 32
+
+	// suspectSweepLen is the suspects-map size beyond which an insert
+	// sweeps expired entries; suspectMaxLen hard-caps the map by evicting
+	// the stalest entries, so probing an unbounded stream of dead peers
+	// cannot grow memory without bound.
+	suspectSweepLen = 128
+	suspectMaxLen   = 1024
+)
 
 // NewTCP starts a TCP transport listening on listenAddr (use
 // "127.0.0.1:0" to pick a free port; Addr() returns the bound address).
@@ -86,7 +86,7 @@ func NewTCP(listenAddr string) (*TCP, error) {
 		listenAddr:      l.Addr().String(),
 		listener:        l,
 		local:           make(map[string]Handler),
-		conns:           make(map[string]*tcpConn),
+		conns:           make(map[string]*muxConn),
 		accepted:        make(map[net.Conn]bool),
 		suspects:        make(map[string]time.Time),
 		SuspicionWindow: 2 * time.Second,
@@ -101,6 +101,17 @@ func NewTCP(listenAddr string) (*TCP, error) {
 // Addr returns the bound listen address; nodes hosted on this transport
 // should register under this address.
 func (t *TCP) Addr() string { return t.listenAddr }
+
+func (t *TCP) codec() Codec { return t.Codec }
+
+func (t *TCP) rpcTimeout() time.Duration { return t.RPCTimeout }
+
+func (t *TCP) serverWorkers() int {
+	if t.ServerWorkers > 0 {
+		return t.ServerWorkers
+	}
+	return defaultServerWorkers
+}
 
 // Register attaches a handler for a locally hosted endpoint.
 func (t *TCP) Register(addr string, h Handler) {
@@ -138,11 +149,11 @@ func (t *TCP) Registered(addr string) bool {
 }
 
 // Call delivers one request. Local destinations short-circuit to the
-// handler; remote ones go over a pooled connection. The context bounds
-// connection establishment and the request/response exchange: its deadline
-// (or RPCTimeout, whichever is sooner) is set as the socket read/write
-// deadline for the call, so a hung peer fails the call instead of wedging
-// the pooled connection.
+// handler; remote ones go over the destination's pooled multiplexed
+// connection. The context bounds connection establishment and the
+// request/response exchange: its deadline (or RPCTimeout, whichever is
+// sooner) arms a per-call timer, so a hung peer fails the call while other
+// calls keep flowing on the shared connection.
 func (t *TCP) Call(ctx context.Context, from, to, kind string, payload any) (any, error) {
 	t.mu.Lock()
 	if t.closed {
@@ -155,20 +166,27 @@ func (t *TCP) Call(ctx context.Context, from, to, kind string, payload any) (any
 	}
 	t.mu.Unlock()
 
-	resp, err := t.remoteCall(ctx, tcpRequest{From: from, To: to, Kind: kind, Payload: payload})
+	resp, err := t.remoteCall(ctx, from, to, kind, payload)
 	if err != nil {
+		var handlerErr *handlerError
+		if errors.As(err, &handlerErr) {
+			// A handler-level error: the endpoint is alive.
+			return nil, errors.New(handlerErr.msg)
+		}
 		t.suspect(to)
 		return nil, fmt.Errorf("%s -> %s (%s): %w: %w", from, to, kind, ErrUnreachable, err)
 	}
-	if resp.Err != "" {
-		// A handler-level error: the endpoint is alive.
-		return nil, errors.New(resp.Err)
-	}
-	return resp.Payload, nil
+	return resp, nil
 }
 
-// rpcDeadline resolves the socket deadline for one exchange: the sooner of
-// the context deadline and now+RPCTimeout (zero when both are unset).
+// handlerError wraps an error string the remote handler returned, to keep
+// it distinct from transport-level failures (which trigger suspicion).
+type handlerError struct{ msg string }
+
+func (e *handlerError) Error() string { return e.msg }
+
+// rpcDeadline resolves the per-call deadline for one exchange: the sooner
+// of the context deadline and now+RPCTimeout (zero when both are unset).
 func (t *TCP) rpcDeadline(ctx context.Context) time.Time {
 	var deadline time.Time
 	if t.RPCTimeout > 0 {
@@ -180,32 +198,17 @@ func (t *TCP) rpcDeadline(ctx context.Context) time.Time {
 	return deadline
 }
 
-func (t *TCP) remoteCall(ctx context.Context, req tcpRequest) (tcpResponse, error) {
-	c, err := t.conn(ctx, req.To)
+func (t *TCP) remoteCall(ctx context.Context, from, to, kind string, payload any) (any, error) {
+	c, err := t.conn(ctx, to)
 	if err != nil {
-		return tcpResponse{}, err
+		return nil, err
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := c.conn.SetDeadline(t.rpcDeadline(ctx)); err != nil {
-		t.dropConn(req.To, c)
-		return tcpResponse{}, err
-	}
-	if err := c.enc.Encode(&req); err != nil {
-		t.dropConn(req.To, c)
-		return tcpResponse{}, err
-	}
-	var resp tcpResponse
-	if err := c.dec.Decode(&resp); err != nil {
-		t.dropConn(req.To, c)
-		return tcpResponse{}, err
-	}
-	// Clear the deadline so an idle pooled connection does not expire.
-	_ = c.conn.SetDeadline(time.Time{})
-	return resp, nil
+	return c.roundTrip(ctx, t.rpcDeadline(ctx), from, to, kind, payload)
 }
 
-func (t *TCP) conn(ctx context.Context, to string) (*tcpConn, error) {
+// conn returns the pooled multiplexed connection to to, dialing one if
+// needed.
+func (t *TCP) conn(ctx context.Context, to string) (*muxConn, error) {
 	t.mu.Lock()
 	if c, ok := t.conns[to]; ok {
 		t.mu.Unlock()
@@ -219,22 +222,32 @@ func (t *TCP) conn(ctx context.Context, to string) (*tcpConn, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &tcpConn{conn: nc, enc: gob.NewEncoder(nc), dec: gob.NewDecoder(nc)}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.closed {
+	if err := writePreamble(nc); err != nil {
 		nc.Close()
+		return nil, err
+	}
+	c := newMuxConn(t, to, nc)
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		c.fail(ErrClosed) // also stops the conn's flusher and expirer
 		return nil, ErrClosed
 	}
 	if existing, ok := t.conns[to]; ok {
-		nc.Close() // lost the race; reuse the existing connection
+		t.mu.Unlock()
+		c.fail(ErrClosed) // lost the race; reuse the existing connection
 		return existing, nil
 	}
 	t.conns[to] = c
+	t.wg.Add(1)
+	t.mu.Unlock()
+	go c.readLoop()
 	return c, nil
 }
 
-func (t *TCP) dropConn(to string, c *tcpConn) {
+// dropConn removes c from the pool (if it is still the pooled conn for to)
+// and closes its socket.
+func (t *TCP) dropConn(to string, c *muxConn) {
 	c.conn.Close()
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -243,10 +256,33 @@ func (t *TCP) dropConn(to string, c *tcpConn) {
 	}
 }
 
+// suspect records a failed call to addr. Inserts sweep expired entries once
+// the map grows past suspectSweepLen and hard-cap the map at suspectMaxLen
+// by evicting the stalest entries, so a long-lived node probing many dead
+// peers cannot leak memory.
 func (t *TCP) suspect(addr string) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.suspects[addr] = time.Now()
+	now := time.Now()
+	t.suspects[addr] = now
+	if len(t.suspects) <= suspectSweepLen {
+		return
+	}
+	for a, at := range t.suspects {
+		if now.Sub(at) >= t.SuspicionWindow {
+			delete(t.suspects, a)
+		}
+	}
+	for len(t.suspects) > suspectMaxLen {
+		var oldest string
+		var oldestAt time.Time
+		for a, at := range t.suspects {
+			if oldest == "" || at.Before(oldestAt) {
+				oldest, oldestAt = a, at
+			}
+		}
+		delete(t.suspects, oldest)
+	}
 }
 
 func (t *TCP) acceptLoop() {
@@ -269,44 +305,8 @@ func (t *TCP) acceptLoop() {
 	}
 }
 
-func (t *TCP) serveConn(conn net.Conn) {
-	defer t.wg.Done()
-	defer func() {
-		conn.Close()
-		t.mu.Lock()
-		delete(t.accepted, conn)
-		t.mu.Unlock()
-	}()
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
-	for {
-		var req tcpRequest
-		if err := dec.Decode(&req); err != nil {
-			return // peer closed or garbage
-		}
-		t.mu.Lock()
-		h := t.local[req.To]
-		t.mu.Unlock()
-
-		var resp tcpResponse
-		if h == nil {
-			resp.Err = fmt.Sprintf("transport: no endpoint %q here", req.To)
-		} else {
-			payload, err := h(req.From, req.Kind, req.Payload)
-			if err != nil {
-				resp.Err = err.Error()
-			} else {
-				resp.Payload = payload
-			}
-		}
-		if err := enc.Encode(&resp); err != nil {
-			return
-		}
-	}
-}
-
 // Close shuts the transport down: the listener stops, pooled connections
-// close, and all background goroutines exit.
+// close (failing any in-flight calls), and all background goroutines exit.
 func (t *TCP) Close() error {
 	t.mu.Lock()
 	if t.closed {
@@ -315,7 +315,7 @@ func (t *TCP) Close() error {
 	}
 	t.closed = true
 	conns := t.conns
-	t.conns = make(map[string]*tcpConn)
+	t.conns = make(map[string]*muxConn)
 	accepted := make([]net.Conn, 0, len(t.accepted))
 	for c := range t.accepted {
 		accepted = append(accepted, c)
@@ -324,7 +324,7 @@ func (t *TCP) Close() error {
 
 	err := t.listener.Close()
 	for _, c := range conns {
-		c.conn.Close()
+		c.fail(ErrClosed) // closes the socket and completes pending calls
 	}
 	for _, c := range accepted {
 		c.Close() // unblocks the serveConn decoder

@@ -1,0 +1,233 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"unsafe"
+)
+
+// This file is the byte-level vocabulary of the binary wire codec: append
+// helpers for encoding and a cursor-style WireReader for decoding. Payload
+// types implement WireMarshaler with these helpers and register a matching
+// decoder with RegisterWireDecoder; the transport handles everything else
+// (framing, call IDs, codec negotiation).
+//
+// All integer fields are varints (unsigned, or zigzag for signed), strings
+// and byte slices are length-prefixed, and nil-ness of byte slices is
+// preserved (a nil slice and an empty slice round-trip distinctly), so a
+// binary round trip is value-identical to the gob round trip it replaces.
+
+// WireMarshaler is implemented by payload types that know how to encode
+// themselves for the binary codec. AppendWire appends the encoded value to
+// b and returns the extended slice; it must not retain b.
+type WireMarshaler interface {
+	// WireTag returns the payload's registered one-byte type tag
+	// (>= WireTagUserMin).
+	WireTag() byte
+	// AppendWire appends the value's binary encoding to b.
+	AppendWire(b []byte) []byte
+}
+
+// Payload type tags. Tags below WireTagUserMin are reserved for the
+// transport itself.
+const (
+	wireTagNil byte = 0 // nil payload
+	wireTagGob byte = 1 // gob-encoded fallback for unregistered types
+
+	// WireTagUserMin is the first tag available to registered payload
+	// types.
+	WireTagUserMin byte = 0x10
+)
+
+// wireDecoders maps payload type tags to decoders. Registration happens
+// during init/setup (before any connection exists), so reads are not
+// synchronized.
+var wireDecoders [256]func([]byte) (any, error)
+
+// RegisterWireDecoder installs the decoder for a payload type tag. The
+// decoder receives exactly the payload bytes AppendWire produced and must
+// return the decoded value (a concrete value, not a pointer, so handlers
+// can type-assert the same way they do for gob payloads). Register all
+// types before the first connection is made; duplicate or reserved tags
+// panic.
+func RegisterWireDecoder(tag byte, dec func([]byte) (any, error)) {
+	if tag < WireTagUserMin {
+		panic(fmt.Sprintf("transport: wire tag %#x is reserved", tag))
+	}
+	if wireDecoders[tag] != nil {
+		panic(fmt.Sprintf("transport: wire tag %#x registered twice", tag))
+	}
+	wireDecoders[tag] = dec
+}
+
+// AppendUvarint appends v as an unsigned varint.
+func AppendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+// AppendVarint appends v as a zigzag-encoded signed varint.
+func AppendVarint(b []byte, v int64) []byte {
+	return binary.AppendVarint(b, v)
+}
+
+// AppendString appends s as a length-prefixed string.
+func AppendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// AppendBytes appends p as a length-prefixed byte slice, preserving
+// nil-ness: the prefix is 0 for nil and len+1 otherwise.
+func AppendBytes(b []byte, p []byte) []byte {
+	if p == nil {
+		return binary.AppendUvarint(b, 0)
+	}
+	b = binary.AppendUvarint(b, uint64(len(p))+1)
+	return append(b, p...)
+}
+
+// AppendBool appends v as one byte.
+func AppendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// ErrWireDecode reports malformed binary payload bytes.
+var ErrWireDecode = errors.New("transport: malformed wire payload")
+
+// WireReader is a decoding cursor over one payload's bytes. Read methods
+// return zero values after the first error; check Finish at the end. A
+// WireReader never panics on malformed input — truncated or oversized
+// fields surface as ErrWireDecode — which makes decoders safe to fuzz
+// directly.
+type WireReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewWireReader returns a reader over b. The reader does not copy b, but
+// Bytes() copies out of it, so decoded values never alias the frame buffer.
+func NewWireReader(b []byte) *WireReader {
+	return &WireReader{buf: b}
+}
+
+func (r *WireReader) fail() {
+	if r.err == nil {
+		r.err = ErrWireDecode
+	}
+}
+
+// Uvarint reads an unsigned varint.
+func (r *WireReader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Varint reads a zigzag-encoded signed varint.
+func (r *WireReader) Varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// String reads a length-prefixed string.
+func (r *WireReader) String() string {
+	n := r.Uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(len(r.buf)-r.off) {
+		r.fail()
+		return ""
+	}
+	s := string(r.buf[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}
+
+// stringView reads a length-prefixed string without copying: the result
+// aliases the reader's buffer. Only for callers that own the buffer and
+// never mutate it afterwards (the server's request parser).
+func (r *WireReader) stringView() string {
+	n := r.Uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(len(r.buf)-r.off) {
+		r.fail()
+		return ""
+	}
+	s := unsafe.String(unsafe.SliceData(r.buf[r.off:]), int(n))
+	r.off += int(n)
+	return s
+}
+
+// Bytes reads a length-prefixed byte slice written by AppendBytes. The
+// returned slice is a copy (or nil, if nil was encoded).
+func (r *WireReader) Bytes() []byte {
+	n := r.Uvarint()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	n--
+	if n > uint64(len(r.buf)-r.off) {
+		r.fail()
+		return nil
+	}
+	p := make([]byte, n)
+	copy(p, r.buf[r.off:r.off+int(n)])
+	r.off += int(n)
+	return p
+}
+
+// Bool reads one byte as a boolean.
+func (r *WireReader) Bool() bool {
+	if r.err != nil {
+		return false
+	}
+	if r.off >= len(r.buf) {
+		r.fail()
+		return false
+	}
+	b := r.buf[r.off]
+	r.off++
+	if b > 1 {
+		r.fail()
+		return false
+	}
+	return b == 1
+}
+
+// Err returns the first decoding error, if any.
+func (r *WireReader) Err() error { return r.err }
+
+// Finish returns an error if decoding failed or left trailing bytes — a
+// strict check that catches both truncated and over-long encodings.
+func (r *WireReader) Finish() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.buf) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrWireDecode, len(r.buf)-r.off)
+	}
+	return nil
+}
