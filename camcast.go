@@ -36,13 +36,17 @@
 package camcast
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+	"net/http"
+	"sort"
 	"sync"
 	"time"
 
 	"camcast/internal/metrics"
+	"camcast/internal/obsv"
 	"camcast/internal/ring"
 	"camcast/internal/runtime"
 	"camcast/internal/trace"
@@ -87,6 +91,123 @@ type Message struct {
 
 // Stats are cumulative per-member protocol counters.
 type Stats = runtime.Stats
+
+// Event is one protocol event published on a group's live event stream —
+// joins, leaves, forwards, repairs, deliveries. See Options.Observer,
+// Network.Observe, and the /debug/camcast/events endpoint.
+type Event = obsv.Event
+
+// EventKind classifies an Event.
+type EventKind = obsv.Kind
+
+// Event kinds.
+const (
+	EventJoin      = obsv.KindJoin
+	EventLeave     = obsv.KindLeave
+	EventDeliver   = obsv.KindDeliver
+	EventForward   = obsv.KindForward
+	EventDuplicate = obsv.KindDuplicate
+	EventRepair    = obsv.KindRepair
+	EventLookup    = obsv.KindLookup
+	EventRetry     = obsv.KindRetry
+	EventLost      = obsv.KindLost
+)
+
+// MetricsSnapshot is a point-in-time copy of a group's metrics registry:
+// counters, gauges, and histogram summaries keyed by metric name (for
+// example "transport.rpc.latency_seconds" or "runtime.forward.acked").
+type MetricsSnapshot = obsv.Snapshot
+
+// Node is the unified member API satisfied by both member kinds: the
+// in-process *Member and the socket-backed *TCPMember. Code that drives a
+// member — sending, probing, inspecting, departing — can take a Node and
+// work with either.
+type Node interface {
+	// Addr returns the member's transport address.
+	Addr() string
+	// ID returns the member's ring identifier.
+	ID() uint64
+	// Capacity returns the member's multicast capacity c_x.
+	Capacity() int
+	// Multicast sends payload to every group member (including this one)
+	// and returns the message ID. MulticastContext is the cancellable
+	// form: a canceled context abandons outstanding child sends.
+	Multicast(payload []byte) (string, error)
+	MulticastContext(ctx context.Context, payload []byte) (string, error)
+	// Request sends a unicast request to the member at addr; the remote
+	// member must have configured Options.OnRequest. RequestContext is
+	// the cancellable form.
+	Request(addr string, payload []byte) ([]byte, error)
+	RequestContext(ctx context.Context, addr string, payload []byte) ([]byte, error)
+	// Stats returns a snapshot of the member's protocol counters.
+	Stats() Stats
+	// Neighbors reports the member's current ring neighborhood.
+	Neighbors() NeighborInfo
+	// Leave departs the group gracefully.
+	Leave() error
+}
+
+var (
+	_ Node = (*Member)(nil)
+	_ Node = (*TCPMember)(nil)
+)
+
+// NeighborInfo is one member's view of its ring neighborhood, as served
+// by the /debug/camcast/neighbors endpoint.
+type NeighborInfo struct {
+	Addr        string   `json:"addr"`
+	ID          uint64   `json:"id"`
+	Capacity    int      `json:"capacity"`
+	Predecessor string   `json:"predecessor,omitempty"`
+	Successors  []string `json:"successors"`
+}
+
+func neighborInfo(node *runtime.Node) NeighborInfo {
+	self := node.Self()
+	ni := NeighborInfo{Addr: self.Addr, ID: self.ID, Capacity: node.Capacity()}
+	if pred, ok := node.Predecessor(); ok {
+		ni.Predecessor = pred.Addr
+	}
+	succs := node.SuccessorList()
+	ni.Successors = make([]string, 0, len(succs))
+	for _, s := range succs {
+		ni.Successors = append(ni.Successors, s.Addr)
+	}
+	return ni
+}
+
+// observe subscribes fn to bus, filtered to events emitted at node addr
+// ("" keeps everything), and drains on a dedicated goroutine so the
+// protocol's emit path never blocks on the callback. The returned stop
+// function detaches fn, waits for the drain goroutine to finish, and
+// credits any events a slow fn missed to the registry's
+// "runtime.events.subscriber_drops" counter.
+func observe(bus *obsv.Bus, reg *obsv.Registry, addr string, fn func(Event)) (stop func()) {
+	sub := bus.Subscribe(1024)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			e, ok := sub.Next()
+			if !ok {
+				return
+			}
+			if addr == "" || e.Node == addr {
+				fn(e)
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			sub.Close()
+			<-done
+			if d := sub.Dropped(); d > 0 {
+				reg.Counter(obsv.MetricEventsDropped).Add(d)
+			}
+		})
+	}
+}
 
 // Options configures a member.
 type Options struct {
@@ -154,6 +275,15 @@ type Options struct {
 
 	// Tracer optionally records protocol events.
 	Tracer *trace.Tracer
+
+	// Observer, if set, receives this member's protocol events (joins,
+	// forwards, repairs, deliveries) as they happen. Delivery is
+	// asynchronous through a bounded ring drained by a dedicated
+	// goroutine: a slow Observer misses events rather than stalling the
+	// protocol, and the misses are counted in the
+	// "runtime.events.subscriber_drops" metric. The observer detaches
+	// when the member leaves, crashes, or its network closes.
+	Observer func(Event)
 }
 
 // ErrMemberExists reports a Create/Join with an address already in use.
@@ -174,6 +304,8 @@ const (
 type Network struct {
 	tr       *transport.Network
 	counters *metrics.Counters
+	bus      *obsv.Bus
+	reg      *obsv.Registry
 
 	mu      sync.Mutex
 	members map[string]*Member
@@ -182,21 +314,85 @@ type Network struct {
 
 // NewNetwork creates an empty in-process network.
 func NewNetwork() *Network {
-	return &Network{
+	n := &Network{
 		tr:       transport.NewNetwork(1),
 		counters: &metrics.Counters{},
+		bus:      obsv.NewBus(),
+		reg:      obsv.NewRegistry(),
 		members:  make(map[string]*Member),
 	}
+	n.tr.Instrument(n.reg)
+	return n
 }
 
 // Transport exposes the underlying simulated transport for fault injection
 // (latency, loss, partitions, fault plans).
 func (n *Network) Transport() *transport.Network { return n.tr }
 
-// Counters returns a snapshot of the group-wide forwarding-outcome
-// counters ("forward.acked", "forward.retries", "forward.repaired",
-// "forward.lost") aggregated across every member of this network.
+// CountersSnapshot is the group-wide forwarding-outcome tally, aggregated
+// across every member of a Network.
+type CountersSnapshot struct {
+	ForwardAcked    uint64 `json:"forward_acked"`    // child sends acknowledged
+	ForwardRetries  uint64 `json:"forward_retries"`  // send retries after a failure
+	ForwardRepaired uint64 `json:"forward_repaired"` // orphan segments handed to a live node
+	ForwardLost     uint64 `json:"forward_lost"`     // segments abandoned after repair failed
+}
+
+// CountersSnapshot returns the group-wide forwarding-outcome counters.
+func (n *Network) CountersSnapshot() CountersSnapshot {
+	snap := n.counters.Snapshot()
+	return CountersSnapshot{
+		ForwardAcked:    snap[metrics.CounterForwardAcked],
+		ForwardRetries:  snap[metrics.CounterForwardRetries],
+		ForwardRepaired: snap[metrics.CounterForwardRepaired],
+		ForwardLost:     snap[metrics.CounterForwardLost],
+	}
+}
+
+// Counters returns the forwarding-outcome counters as a map keyed by the
+// legacy metric names ("forward.acked", "forward.retries",
+// "forward.repaired", "forward.lost").
+//
+// Deprecated: use CountersSnapshot, which returns typed fields.
 func (n *Network) Counters() map[string]uint64 { return n.counters.Snapshot() }
+
+// Metrics returns a point-in-time snapshot of the group's metrics
+// registry: RPC latencies and in-flight counts, flush batch sizes,
+// forward outcomes, lookup hop counts, and multicast tree timings.
+func (n *Network) Metrics() MetricsSnapshot { return n.reg.Snapshot() }
+
+// Observe attaches fn to the group's live event stream — every member's
+// events, in emit order — and returns a function that detaches it. A slow
+// fn misses events rather than stalling the protocol; see
+// Options.Observer for per-member subscriptions.
+func (n *Network) Observe(fn func(Event)) (stop func()) {
+	return observe(n.bus, n.reg, "", fn)
+}
+
+// DebugHandler returns the group's live debug surface —
+// /debug/camcast/{stats,neighbors,events} plus net/http/pprof — ready to
+// mount on an HTTP server. cmd/camnode's -debug-addr flag serves exactly
+// this.
+func (n *Network) DebugHandler() http.Handler {
+	return obsv.Debug{
+		Registry:  n.reg,
+		Bus:       n.bus,
+		Neighbors: func() any { return n.Neighbors() },
+		Extra:     func() any { return n.CountersSnapshot() },
+	}.Handler()
+}
+
+// Neighbors reports every live member's ring neighborhood, sorted by ring
+// identifier.
+func (n *Network) Neighbors() []NeighborInfo {
+	members := n.snapshot()
+	out := make([]NeighborInfo, 0, len(members))
+	for _, m := range members {
+		out = append(out, m.Neighbors())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
 
 // Create starts the first member of a fresh group at addr.
 func (n *Network) Create(addr string, opts Options) (*Member, error) {
@@ -236,8 +432,16 @@ func (n *Network) start(addr, via string, opts Options) (*Member, error) {
 	}
 	cfg.OnRequest = opts.OnRequest
 	cfg.Counters = n.counters
+	cfg.Bus = n.bus
+	cfg.Metrics = n.reg
+	if opts.Observer != nil {
+		// Subscribe before the node exists so the observer sees the join
+		// itself.
+		m.stopObs = observe(n.bus, n.reg, addr, opts.Observer)
+	}
 	node, err := runtime.NewNode(n.tr, addr, cfg)
 	if err != nil {
+		m.stopObserver()
 		return nil, err
 	}
 	m.node = node
@@ -248,6 +452,7 @@ func (n *Network) start(addr, via string, opts Options) (*Member, error) {
 		err = node.Join(via)
 	}
 	if err != nil {
+		m.stopObserver()
 		return nil, err
 	}
 
@@ -255,6 +460,7 @@ func (n *Network) start(addr, via string, opts Options) (*Member, error) {
 	if _, ok := n.members[addr]; ok {
 		n.mu.Unlock()
 		node.Stop()
+		m.stopObserver()
 		return nil, fmt.Errorf("%w: %s", ErrMemberExists, addr)
 	}
 	n.members[addr] = m
@@ -324,6 +530,7 @@ func (n *Network) Close() {
 	n.mu.Unlock()
 	for _, m := range members {
 		m.node.Stop()
+		m.stopObserver()
 	}
 }
 
@@ -335,9 +542,16 @@ func (n *Network) remove(addr string) {
 
 // Member is one live group member.
 type Member struct {
-	net  *Network
-	addr string
-	node *runtime.Node
+	net     *Network
+	addr    string
+	node    *runtime.Node
+	stopObs func() // detaches Options.Observer; nil when unset
+}
+
+func (m *Member) stopObserver() {
+	if m.stopObs != nil {
+		m.stopObs()
+	}
 }
 
 // Addr returns the member's transport address.
@@ -355,10 +569,18 @@ func (m *Member) Multicast(payload []byte) (string, error) {
 	return m.node.Multicast(payload)
 }
 
+// MulticastContext is Multicast under a context: cancellation abandons
+// outstanding child sends without counting them as losses or triggering
+// repair — the caller gave up, the group did not fail.
+func (m *Member) MulticastContext(ctx context.Context, payload []byte) (string, error) {
+	return m.node.MulticastContext(ctx, payload)
+}
+
 // Leave departs gracefully, telling ring neighbors to splice the member out.
 func (m *Member) Leave() error {
 	err := m.node.Leave()
 	m.net.remove(m.addr)
+	m.stopObserver()
 	return err
 }
 
@@ -366,15 +588,31 @@ func (m *Member) Leave() error {
 func (m *Member) Crash() {
 	m.node.Stop()
 	m.net.remove(m.addr)
+	m.stopObserver()
 }
 
 // Stats returns a snapshot of the member's protocol counters.
 func (m *Member) Stats() Stats { return m.node.Stats() }
 
+// Neighbors reports the member's current ring neighborhood.
+func (m *Member) Neighbors() NeighborInfo { return neighborInfo(m.node) }
+
+// Observe attaches fn to this member's events only; see Network.Observe
+// for the whole group's stream.
+func (m *Member) Observe(fn func(Event)) (stop func()) {
+	return observe(m.net.bus, m.net.reg, m.addr, fn)
+}
+
 // Request sends a unicast request to the member at addr and returns its
 // response; the remote member must have configured Options.OnRequest.
 func (m *Member) Request(addr string, payload []byte) ([]byte, error) {
 	return m.node.Request(addr, payload)
+}
+
+// RequestContext is Request under a context, which bounds or cancels the
+// round-trip.
+func (m *Member) RequestContext(ctx context.Context, addr string, payload []byte) ([]byte, error) {
+	return m.node.RequestContext(ctx, addr, payload)
 }
 
 func buildConfig(opts Options) (runtime.Config, error) {
@@ -446,8 +684,17 @@ func buildConfig(opts Options) (runtime.Config, error) {
 // run. Create with ListenTCP; a TCPMember owns its transport and must be
 // Closed when done.
 type TCPMember struct {
-	node *runtime.Node
-	tr   *transport.TCP
+	node    *runtime.Node
+	tr      *transport.TCP
+	bus     *obsv.Bus
+	reg     *obsv.Registry
+	stopObs func() // detaches Options.Observer; nil when unset
+}
+
+func (m *TCPMember) stopObserver() {
+	if m.stopObs != nil {
+		m.stopObs()
+	}
 }
 
 // ListenTCP starts a member on a real TCP socket at listenAddr (use
@@ -488,21 +735,35 @@ func ListenTCP(listenAddr, via string, opts Options) (*TCPMember, error) {
 		}
 	}
 	cfg.OnRequest = opts.OnRequest
+
+	// Each TCPMember is its own process-equivalent, so it carries its own
+	// event bus and metrics registry rather than sharing a group-wide one.
+	m := &TCPMember{tr: tr, bus: obsv.NewBus(), reg: obsv.NewRegistry()}
+	tr.Instrument(m.reg)
+	cfg.Bus = m.bus
+	cfg.Metrics = m.reg
+	if opts.Observer != nil {
+		m.stopObs = observe(m.bus, m.reg, addr, opts.Observer)
+	}
+
 	node, err := runtime.NewNode(tr, addr, cfg)
 	if err != nil {
+		m.stopObserver()
 		tr.Close()
 		return nil, err
 	}
+	m.node = node
 	if via == "" {
 		err = node.Bootstrap()
 	} else {
 		err = node.Join(via)
 	}
 	if err != nil {
+		m.stopObserver()
 		tr.Close()
 		return nil, err
 	}
-	return &TCPMember{node: node, tr: tr}, nil
+	return m, nil
 }
 
 // Addr returns the member's bound "host:port" address — what other members
@@ -521,13 +782,51 @@ func (m *TCPMember) Multicast(payload []byte) (string, error) {
 	return m.node.Multicast(payload)
 }
 
+// MulticastContext is Multicast under a context: cancellation abandons
+// outstanding child sends without counting them as losses.
+func (m *TCPMember) MulticastContext(ctx context.Context, payload []byte) (string, error) {
+	return m.node.MulticastContext(ctx, payload)
+}
+
 // Stats returns a snapshot of the member's protocol counters.
 func (m *TCPMember) Stats() Stats { return m.node.Stats() }
+
+// Metrics returns a snapshot of this member's metrics registry, covering
+// both its protocol counters and its TCP transport (RPC latency,
+// in-flight calls, flush batch sizes).
+func (m *TCPMember) Metrics() MetricsSnapshot { return m.reg.Snapshot() }
+
+// Neighbors reports the member's current ring neighborhood.
+func (m *TCPMember) Neighbors() NeighborInfo { return neighborInfo(m.node) }
+
+// Observe attaches fn to this member's live event stream and returns a
+// function that detaches it.
+func (m *TCPMember) Observe(fn func(Event)) (stop func()) {
+	return observe(m.bus, m.reg, m.Addr(), fn)
+}
+
+// DebugHandler returns this member's live debug surface —
+// /debug/camcast/{stats,neighbors,events} plus net/http/pprof — ready to
+// mount on an HTTP server.
+func (m *TCPMember) DebugHandler() http.Handler {
+	return obsv.Debug{
+		Registry:  m.reg,
+		Bus:       m.bus,
+		Neighbors: func() any { return []NeighborInfo{m.Neighbors()} },
+		Extra:     func() any { return m.Stats() },
+	}.Handler()
+}
 
 // Request sends a unicast request to the member at addr; the remote member
 // must have configured Options.OnRequest.
 func (m *TCPMember) Request(addr string, payload []byte) ([]byte, error) {
 	return m.node.Request(addr, payload)
+}
+
+// RequestContext is Request under a context, which bounds or cancels the
+// round-trip.
+func (m *TCPMember) RequestContext(ctx context.Context, addr string, payload []byte) ([]byte, error) {
+	return m.node.RequestContext(ctx, addr, payload)
 }
 
 // StabilizeOnce and FixAll drive one maintenance round explicitly, for
@@ -541,6 +840,7 @@ func (m *TCPMember) FixAll() { m.node.FixAll() }
 func (m *TCPMember) Leave() error {
 	err := m.node.Leave()
 	m.tr.Close()
+	m.stopObserver()
 	return err
 }
 
@@ -549,4 +849,5 @@ func (m *TCPMember) Leave() error {
 func (m *TCPMember) Close() {
 	m.node.Stop()
 	m.tr.Close()
+	m.stopObserver()
 }

@@ -9,6 +9,11 @@
 //	camchurn [-initial 48] [-events 150] [-join 0.5] [-crash 0.5]
 //	         [-cap-lo 4] [-cap-hi 10] [-seed 1]
 //	         [-transport mem|tcp] [-codec binary|gob]
+//	         [-debug-addr host:port]
+//
+// -debug-addr serves the live observability endpoint while the sweep runs:
+// /debug/camcast/stats (JSON metric snapshots across all runs so far),
+// /debug/camcast/events (streaming NDJSON event tail), and net/http/pprof.
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 	"text/tabwriter"
 
 	"camcast/internal/churnsim"
+	"camcast/internal/obsv"
 	"camcast/internal/runtime"
 )
 
@@ -41,9 +47,27 @@ func run(args []string, out io.Writer) error {
 		seed    = fs.Int64("seed", 1, "RNG seed")
 		trans   = fs.String("transport", "mem", "member transport: mem (in-process simulated network) or tcp (one loopback listener per member)")
 		codec   = fs.String("codec", "", "wire codec for -transport tcp: binary (default) or gob")
+		debug   = fs.String("debug-addr", "", "serve the live debug endpoint (JSON stats, event tail, pprof) on this host:port")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// One bus and registry span the whole sweep, so the debug endpoint
+	// shows the aggregate picture as runs accumulate.
+	var (
+		bus *obsv.Bus
+		reg *obsv.Registry
+	)
+	if *debug != "" {
+		bus = obsv.NewBus()
+		reg = obsv.NewRegistry()
+		srv, addr, err := obsv.Debug{Registry: reg, Bus: bus}.ListenAndServe(*debug)
+		if err != nil {
+			return fmt.Errorf("-debug-addr %s: %w", *debug, err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(out, "debug endpoint: http://%s/debug/camcast/stats\n", addr)
 	}
 
 	fmt.Fprintf(out, "churn: %d initial members, %d events (%.0f%% joins, %.0f%% of departures crash), capacities [%d..%d], transport %s\n\n",
@@ -65,6 +89,8 @@ func run(args []string, out io.Writer) error {
 				MaintenanceBudget: budget,
 				Transport:         *trans,
 				Codec:             *codec,
+				Bus:               bus,
+				Metrics:           reg,
 			})
 			if err != nil {
 				return fmt.Errorf("%v budget %d: %w", mode, budget, err)

@@ -1,8 +1,15 @@
 package main
 
 import (
+	"encoding/json"
+	"net/http"
+	"regexp"
 	"strings"
+	"sync"
 	"testing"
+	"time"
+
+	"camcast/internal/obsv"
 )
 
 func TestRunSmallSweep(t *testing.T) {
@@ -21,5 +28,95 @@ func TestRunSmallSweep(t *testing.T) {
 func TestRunBadFlags(t *testing.T) {
 	if err := run([]string{"-nope"}, &strings.Builder{}); err == nil {
 		t.Error("bad flag should fail")
+	}
+}
+
+// safeBuffer lets the test scrape output while run is still writing it.
+type safeBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *safeBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *safeBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestRunDebugEndpoint curls the -debug-addr stats route while a small
+// sweep is running and checks the shared registry is accumulating.
+func TestRunDebugEndpoint(t *testing.T) {
+	out := &safeBuffer{}
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run([]string{"-initial", "8", "-events", "10", "-debug-addr", "127.0.0.1:0"}, out)
+	}()
+
+	addrRE := regexp.MustCompile(`debug endpoint: http://([^/\s]+)/`)
+	var base string
+	deadline := time.Now().Add(5 * time.Second)
+	for base == "" {
+		if m := addrRE.FindStringSubmatch(out.String()); m != nil {
+			base = "http://" + m[1]
+			break
+		}
+		select {
+		case err := <-errc:
+			t.Fatalf("run finished before printing the debug endpoint: %v\n%s", err, out.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("debug endpoint line never printed:\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	var stats struct {
+		Metrics obsv.Snapshot `json:"metrics"`
+	}
+	deadline = time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(base + "/debug/camcast/stats")
+		if err == nil {
+			decErr := json.NewDecoder(resp.Body).Decode(&stats)
+			resp.Body.Close()
+			if decErr != nil {
+				t.Fatalf("stats decode: %v", decErr)
+			}
+			if stats.Metrics.Counters[obsv.MetricDelivered] > 0 {
+				break
+			}
+		}
+		// A connection error after the sweep finished means the deferred
+		// server Close won the race; the counters check below is what
+		// matters, so only time out if we never saw data.
+		select {
+		case runErr := <-errc:
+			if runErr != nil {
+				t.Fatal(runErr)
+			}
+			if stats.Metrics.Counters[obsv.MetricDelivered] == 0 {
+				t.Fatal("sweep finished without the debug endpoint ever reporting a delivery")
+			}
+			return
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stats never showed deliveries: %+v", stats.Metrics.Counters)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "mean delivery") {
+		t.Errorf("sweep output incomplete:\n%s", out.String())
 	}
 }

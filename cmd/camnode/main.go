@@ -17,7 +17,9 @@
 // Flags: -protocol cam-chord|cam-koorde (default cam-chord); -tcp hosts
 // every member on its own real TCP listener (loopback sockets) instead of
 // the in-process simulated transport, and -codec binary|gob selects the
-// TCP wire encoding (ignored without -tcp).
+// TCP wire encoding (ignored without -tcp); -debug-addr host:port serves
+// the live observability endpoint (/debug/camcast/{stats,neighbors,events}
+// plus net/http/pprof) while the REPL runs.
 package main
 
 import (
@@ -25,10 +27,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"camcast"
@@ -38,8 +43,9 @@ func main() {
 	protocol := flag.String("protocol", "cam-chord", "cam-chord | cam-koorde")
 	tcp := flag.Bool("tcp", false, "host each member on its own TCP listener instead of the in-process transport")
 	codec := flag.String("codec", "", "TCP wire codec: binary (default) or gob; requires -tcp")
+	debugAddr := flag.String("debug-addr", "", "serve the live debug endpoint (JSON stats, event tail, pprof) on this host:port")
 	flag.Parse()
-	if err := run(*protocol, *tcp, *codec, os.Stdin, os.Stdout); err != nil {
+	if err := run(*protocol, *tcp, *codec, *debugAddr, os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "camnode:", err)
 		os.Exit(1)
 	}
@@ -48,23 +54,17 @@ func main() {
 // group abstracts the two member-hosting modes of the REPL: one in-process
 // simulated network, or one real TCP transport per member.
 type group interface {
-	create(label string, opts camcast.Options) (memberView, error)
-	join(label, via string, opts camcast.Options) (memberView, error)
-	member(label string) (memberView, error)
+	create(label string, opts camcast.Options) (camcast.Node, error)
+	join(label, via string, opts camcast.Options) (camcast.Node, error)
+	member(label string) (camcast.Node, error)
 	labels() []string
 	settle(rounds int)
 	leave(label string) error
 	crash(label string) error
+	// debugHandler serves the group's live observability surface for the
+	// -debug-addr endpoint.
+	debugHandler() http.Handler
 	close()
-}
-
-// memberView is the part of a member the REPL shows.
-type memberView interface {
-	Addr() string
-	ID() uint64
-	Capacity() int
-	Multicast(payload []byte) (string, error)
-	Stats() camcast.Stats
 }
 
 // session holds the REPL state.
@@ -74,7 +74,7 @@ type session struct {
 	out      io.Writer
 }
 
-func run(protocolName string, tcp bool, codec string, in io.Reader, out io.Writer) error {
+func run(protocolName string, tcp bool, codec, debugAddr string, in io.Reader, out io.Writer) error {
 	var protocol camcast.Protocol
 	switch protocolName {
 	case "cam-chord":
@@ -101,6 +101,17 @@ func run(protocolName string, tcp bool, codec string, in io.Reader, out io.Write
 	}
 	s := &session{grp: grp, protocol: protocol, out: out}
 	defer s.grp.close()
+
+	if debugAddr != "" {
+		ln, err := net.Listen("tcp", debugAddr)
+		if err != nil {
+			return fmt.Errorf("-debug-addr %s: %w", debugAddr, err)
+		}
+		srv := &http.Server{Handler: grp.debugHandler()}
+		go func() { _ = srv.Serve(ln) }()
+		defer srv.Close()
+		fmt.Fprintf(out, "debug endpoint: http://%s/debug/camcast/stats\n", ln.Addr())
+	}
 
 	fmt.Fprintf(out, "camnode (%s, %s) — type 'help' for commands\n", protocol, mode)
 	scanner := bufio.NewScanner(in)
@@ -303,17 +314,19 @@ type memGroup struct {
 	net *camcast.Network
 }
 
-func (g *memGroup) create(label string, opts camcast.Options) (memberView, error) {
+func (g *memGroup) create(label string, opts camcast.Options) (camcast.Node, error) {
 	return g.net.Create(label, opts)
 }
 
-func (g *memGroup) join(label, via string, opts camcast.Options) (memberView, error) {
+func (g *memGroup) join(label, via string, opts camcast.Options) (camcast.Node, error) {
 	return g.net.Join(label, via, opts)
 }
 
-func (g *memGroup) member(label string) (memberView, error) { return g.net.Member(label) }
+func (g *memGroup) member(label string) (camcast.Node, error) { return g.net.Member(label) }
 
 func (g *memGroup) labels() []string { return g.net.Members() }
+
+func (g *memGroup) debugHandler() http.Handler { return g.net.DebugHandler() }
 
 func (g *memGroup) settle(rounds int) { g.net.Settle(rounds) }
 
@@ -338,9 +351,12 @@ func (g *memGroup) close() { g.net.Close() }
 
 // tcpGroup hosts each member on its own real TCP listener (loopback).
 // Labels name members at the REPL; the transport uses the bound
-// "127.0.0.1:port" addresses underneath.
+// "127.0.0.1:port" addresses underneath. The mutex covers the member map:
+// the REPL goroutine mutates it while the -debug-addr HTTP server reads it.
 type tcpGroup struct {
-	codec   string
+	codec string
+
+	mu      sync.Mutex
 	members map[string]*camcast.TCPMember
 }
 
@@ -353,23 +369,32 @@ func (g *tcpGroup) tcpOptions(opts camcast.Options) camcast.Options {
 	return opts
 }
 
-func (g *tcpGroup) create(label string, opts camcast.Options) (memberView, error) {
-	if _, ok := g.members[label]; ok {
+func (g *tcpGroup) lookup(label string) (*camcast.TCPMember, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	m, ok := g.members[label]
+	return m, ok
+}
+
+func (g *tcpGroup) create(label string, opts camcast.Options) (camcast.Node, error) {
+	if _, ok := g.lookup(label); ok {
 		return nil, fmt.Errorf("member %q already exists", label)
 	}
 	m, err := camcast.ListenTCP("127.0.0.1:0", "", g.tcpOptions(opts))
 	if err != nil {
 		return nil, err
 	}
+	g.mu.Lock()
 	g.members[label] = m
+	g.mu.Unlock()
 	return m, nil
 }
 
-func (g *tcpGroup) join(label, via string, opts camcast.Options) (memberView, error) {
-	if _, ok := g.members[label]; ok {
+func (g *tcpGroup) join(label, via string, opts camcast.Options) (camcast.Node, error) {
+	if _, ok := g.lookup(label); ok {
 		return nil, fmt.Errorf("member %q already exists", label)
 	}
-	boot, ok := g.members[via]
+	boot, ok := g.lookup(via)
 	if !ok {
 		return nil, fmt.Errorf("no member %q to join through", via)
 	}
@@ -377,12 +402,14 @@ func (g *tcpGroup) join(label, via string, opts camcast.Options) (memberView, er
 	if err != nil {
 		return nil, err
 	}
+	g.mu.Lock()
 	g.members[label] = m
+	g.mu.Unlock()
 	return m, nil
 }
 
-func (g *tcpGroup) member(label string) (memberView, error) {
-	m, ok := g.members[label]
+func (g *tcpGroup) member(label string) (camcast.Node, error) {
+	m, ok := g.lookup(label)
 	if !ok {
 		return nil, fmt.Errorf("no such member %q", label)
 	}
@@ -390,6 +417,8 @@ func (g *tcpGroup) member(label string) (memberView, error) {
 }
 
 func (g *tcpGroup) labels() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	out := make([]string, 0, len(g.members))
 	for label := range g.members {
 		out = append(out, label)
@@ -397,38 +426,84 @@ func (g *tcpGroup) labels() []string {
 	return out
 }
 
+func (g *tcpGroup) snapshot() []*camcast.TCPMember {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]*camcast.TCPMember, 0, len(g.members))
+	for _, m := range g.members {
+		out = append(out, m)
+	}
+	return out
+}
+
 func (g *tcpGroup) settle(rounds int) {
+	members := g.snapshot()
 	for r := 0; r < rounds; r++ {
-		for _, m := range g.members {
+		for _, m := range members {
 			m.StabilizeOnce()
 		}
-		for _, m := range g.members {
+		for _, m := range members {
 			m.FixAll()
 		}
 	}
 }
 
 func (g *tcpGroup) leave(label string) error {
+	g.mu.Lock()
 	m, ok := g.members[label]
+	delete(g.members, label)
+	g.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("no such member %q", label)
 	}
-	delete(g.members, label)
 	return m.Leave()
 }
 
 func (g *tcpGroup) crash(label string) error {
+	g.mu.Lock()
 	m, ok := g.members[label]
+	delete(g.members, label)
+	g.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("no such member %q", label)
 	}
-	delete(g.members, label)
 	m.Close()
 	return nil
 }
 
+// debugHandler routes the -debug-addr endpoint for the TCP mode. Every
+// member runs its own bus and registry (it is its own process-equivalent),
+// so the handler dispatches by label: GET / lists members, and
+// /member/<label>/debug/... serves that member's full debug surface.
+func (g *tcpGroup) debugHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rest, ok := strings.CutPrefix(r.URL.Path, "/member/")
+		if !ok {
+			labels := g.labels()
+			sort.Strings(labels)
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintf(w, "{\"members\":[")
+			for i, l := range labels {
+				if i > 0 {
+					fmt.Fprint(w, ",")
+				}
+				fmt.Fprintf(w, "%q", l)
+			}
+			fmt.Fprintf(w, "],\"hint\":\"GET /member/<label>/debug/camcast/stats\"}\n")
+			return
+		}
+		label, _, _ := strings.Cut(rest, "/")
+		m, ok := g.lookup(label)
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		http.StripPrefix("/member/"+label, m.DebugHandler()).ServeHTTP(w, r)
+	})
+}
+
 func (g *tcpGroup) close() {
-	for _, m := range g.members {
+	for _, m := range g.snapshot() {
 		m.Close()
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"camcast/internal/obsv"
 	"camcast/internal/ring"
 	"camcast/internal/runtime"
 	"camcast/internal/transport"
@@ -54,6 +55,13 @@ type Config struct {
 	// Codec selects the TCP wire encoding ("binary" default, "gob" for
 	// the fallback path); ignored for the mem transport.
 	Codec string
+
+	// Bus and Metrics, when set, instrument every member the simulation
+	// creates (and its transports): protocol events flow to Bus, hot-path
+	// quantities accumulate in Metrics. camchurn's -debug-addr serves
+	// both live while the sweep runs.
+	Bus     *obsv.Bus
+	Metrics *obsv.Registry
 }
 
 func (c *Config) applyDefaults() {
@@ -175,6 +183,9 @@ func Run(cfg Config) (Result, error) {
 	var net *transport.Network
 	if !useTCP {
 		net = transport.NewNetwork(cfg.Seed + 2)
+		if cfg.Metrics != nil {
+			net.Instrument(cfg.Metrics)
+		}
 	}
 	space, err := ring.NewSpace(cfg.Bits)
 	if err != nil {
@@ -207,6 +218,8 @@ func Run(cfg Config) (Result, error) {
 			Mode:      cfg.Mode,
 			Capacity:  capacity,
 			OnDeliver: func(d runtime.Delivery) { col.add(d.MsgID) },
+			Bus:       cfg.Bus,
+			Metrics:   cfg.Metrics,
 		}
 		if !useTCP {
 			node, err := runtime.NewNode(net, fmt.Sprintf("member-%d", idx), rcfg)
@@ -227,6 +240,9 @@ func Run(cfg Config) (Result, error) {
 		tr.SuspicionWindow = 250 * time.Millisecond
 		tr.DialTimeout = 500 * time.Millisecond
 		tr.RPCTimeout = time.Second
+		if cfg.Metrics != nil {
+			tr.Instrument(cfg.Metrics)
+		}
 		node, err := runtime.NewNode(tr, tr.Addr(), rcfg)
 		if err != nil {
 			tr.Close()

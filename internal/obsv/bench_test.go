@@ -1,0 +1,103 @@
+package obsv
+
+import (
+	"testing"
+)
+
+// BenchmarkEmitNoSubscriber is the acceptance gate: the emit path with no
+// subscribers must be ~one atomic load and 0 allocs/op.
+func BenchmarkEmitNoSubscriber(b *testing.B) {
+	bus := NewBus()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bus.Emit("node-1", KindForward, "msg#1 -> segment end 42")
+	}
+}
+
+// BenchmarkEmitOneSubscriber measures the full fan-out path: stamp, ring
+// append, notify.
+func BenchmarkEmitOneSubscriber(b *testing.B) {
+	bus := NewBus()
+	sub := bus.Subscribe(1024)
+	defer sub.Close()
+	go func() { // drain so the ring never backs up
+		for {
+			if _, ok := sub.Next(); !ok {
+				return
+			}
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bus.Emit("node-1", KindForward, "msg#1 -> segment end 42")
+	}
+}
+
+// BenchmarkEmitSaturatedSubscriber measures the drop path: ring full, the
+// event is discarded and counted.
+func BenchmarkEmitSaturatedSubscriber(b *testing.B) {
+	bus := NewBus()
+	sub := bus.Subscribe(4)
+	defer sub.Close()
+	for i := 0; i < 4; i++ {
+		bus.Emit("n", KindForward, "fill")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bus.Emit("node-1", KindForward, "msg#1 -> segment end 42")
+	}
+}
+
+func BenchmarkCounterAdd(b *testing.B) {
+	c := NewRegistry().Counter("bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterAddNil(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench", LatencyBuckets)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.0042)
+	}
+}
+
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	h := NewRegistry().Histogram("bench", LatencyBuckets)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.Observe(0.0042)
+		}
+	})
+}
+
+func BenchmarkRegistrySnapshot(b *testing.B) {
+	r := NewRegistry()
+	for i := 0; i < 16; i++ {
+		r.Counter(MetricForwardAcked + string(rune('a'+i))).Inc()
+	}
+	r.Histogram(MetricRPCLatency, LatencyBuckets).Observe(0.001)
+	r.Histogram(MetricLookupHops, CountBuckets(16)).Observe(3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.Snapshot()
+	}
+}

@@ -1,0 +1,237 @@
+package obsv
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Bus is a non-blocking pub/sub fan-out of protocol events. Emitters pay
+// one atomic load when nobody is subscribed; with subscribers, each emit
+// copies the event into every subscriber's bounded ring under that
+// subscriber's own mutex — no allocation, no cross-subscriber contention.
+// A subscriber that falls behind loses the newest events (counted on its
+// Dropped counter) rather than slowing the emitter or its siblings.
+//
+// A nil *Bus is safe: it discards everything, so protocol code can thread
+// a bus unconditionally. The zero value is ready to use.
+type Bus struct {
+	nsubs atomic.Int32  // fast-path emitter check; len(subs) under mu
+	seq   atomic.Uint64 // bus-wide event sequence
+
+	mu   sync.Mutex
+	subs atomic.Pointer[[]*Subscription] // copy-on-write; writers hold mu
+}
+
+// NewBus returns an empty bus.
+func NewBus() *Bus { return &Bus{} }
+
+// Active reports whether at least one subscriber is attached. Emitters
+// that must build an expensive detail string should check Active first;
+// Emit itself already early-outs, so plain emit sites need no guard.
+func (b *Bus) Active() bool {
+	return b != nil && b.nsubs.Load() > 0
+}
+
+// Emit publishes one event. With no subscribers it is one atomic load and
+// returns without allocating; otherwise the event is stamped and copied
+// into every subscriber's ring.
+func (b *Bus) Emit(node string, kind Kind, detail string) {
+	if b == nil || b.nsubs.Load() == 0 {
+		return
+	}
+	b.emit(node, kind, detail)
+}
+
+// Emitf publishes one event with a formatted detail string; the formatting
+// happens only when a subscriber is attached. Note the variadic boxing is
+// paid at the call site regardless — truly hot emit points should guard
+// with Active and call Emit with a preformatted string.
+func (b *Bus) Emitf(node string, kind Kind, format string, args ...any) {
+	if b == nil || b.nsubs.Load() == 0 {
+		return
+	}
+	b.emit(node, kind, fmt.Sprintf(format, args...))
+}
+
+func (b *Bus) emit(node string, kind Kind, detail string) {
+	e := Event{
+		Seq:    b.seq.Add(1),
+		Node:   node,
+		Kind:   kind,
+		Detail: detail,
+		At:     time.Now(),
+	}
+	subs := b.subs.Load()
+	if subs == nil {
+		return
+	}
+	for _, s := range *subs {
+		s.push(e)
+	}
+}
+
+// Subscribe attaches a new subscriber with a ring of the given capacity
+// (minimum 1; values <= 0 mean the default of 256). The subscriber must
+// eventually call Close to detach, or emitters keep paying for it.
+func (b *Bus) Subscribe(buffer int) *Subscription {
+	if buffer <= 0 {
+		buffer = 256
+	}
+	s := &Subscription{
+		bus:    b,
+		ring:   make([]Event, buffer),
+		notify: make(chan struct{}, 1),
+	}
+	b.mu.Lock()
+	old := b.subs.Load()
+	var next []*Subscription
+	if old != nil {
+		next = append(next, *old...)
+	}
+	next = append(next, s)
+	b.subs.Store(&next)
+	b.nsubs.Store(int32(len(next)))
+	b.mu.Unlock()
+	return s
+}
+
+// Subscribers returns the number of attached subscribers.
+func (b *Bus) Subscribers() int {
+	if b == nil {
+		return 0
+	}
+	return int(b.nsubs.Load())
+}
+
+func (b *Bus) unsubscribe(s *Subscription) {
+	b.mu.Lock()
+	old := b.subs.Load()
+	if old != nil {
+		next := make([]*Subscription, 0, len(*old))
+		for _, cur := range *old {
+			if cur != s {
+				next = append(next, cur)
+			}
+		}
+		b.subs.Store(&next)
+		b.nsubs.Store(int32(len(next)))
+	}
+	b.mu.Unlock()
+}
+
+// Subscription is one subscriber's bounded view of a bus. Events are
+// buffered in a fixed ring; when the ring is full, new events for this
+// subscriber are dropped (newest-dropped policy) and counted. Methods are
+// safe for one concurrent consumer alongside any number of emitters.
+type Subscription struct {
+	bus     *Bus
+	dropped atomic.Uint64
+
+	mu     sync.Mutex
+	ring   []Event
+	head   int // index of the oldest buffered event
+	n      int // buffered event count
+	closed bool
+
+	notify chan struct{} // signaled (non-blocking) when an event arrives
+}
+
+// push appends one event, dropping it (and counting) when the ring is full.
+func (s *Subscription) push(e Event) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	if s.n == len(s.ring) {
+		s.mu.Unlock()
+		s.dropped.Add(1)
+		return
+	}
+	s.ring[(s.head+s.n)%len(s.ring)] = e
+	s.n++
+	s.mu.Unlock()
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+// Poll removes and returns the oldest buffered event; ok is false when the
+// ring is empty.
+func (s *Subscription) Poll() (e Event, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.n == 0 {
+		return Event{}, false
+	}
+	e = s.ring[s.head]
+	s.ring[s.head] = Event{} // release string references
+	s.head = (s.head + 1) % len(s.ring)
+	s.n--
+	return e, true
+}
+
+// Next blocks until an event is available or the subscription closes; ok
+// is false only after Close with an empty ring.
+func (s *Subscription) Next() (Event, bool) {
+	for {
+		if e, ok := s.Poll(); ok {
+			return e, true
+		}
+		s.mu.Lock()
+		closed := s.closed
+		s.mu.Unlock()
+		if closed {
+			// Drain anything that raced in before the close.
+			if e, ok := s.Poll(); ok {
+				return e, true
+			}
+			return Event{}, false
+		}
+		<-s.notify
+	}
+}
+
+// Drain appends every currently buffered event to buf and returns it.
+func (s *Subscription) Drain(buf []Event) []Event {
+	for {
+		e, ok := s.Poll()
+		if !ok {
+			return buf
+		}
+		buf = append(buf, e)
+	}
+}
+
+// Len returns the number of buffered events.
+func (s *Subscription) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// Dropped returns how many events were dropped because this subscriber's
+// ring was full. It only ever increases.
+func (s *Subscription) Dropped() uint64 { return s.dropped.Load() }
+
+// Close detaches the subscription from the bus and wakes a blocked Next.
+// Safe to call multiple times.
+func (s *Subscription) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	if s.bus != nil {
+		s.bus.unsubscribe(s)
+	}
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}

@@ -1,0 +1,206 @@
+package obsv
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilBusIsSafe(t *testing.T) {
+	var b *Bus
+	b.Emit("a", KindForward, "x")
+	b.Emitf("a", KindForward, "%d", 1)
+	if b.Active() {
+		t.Fatal("nil bus reports active")
+	}
+	if b.Subscribers() != 0 {
+		t.Fatal("nil bus reports subscribers")
+	}
+}
+
+func TestBusDeliversInOrder(t *testing.T) {
+	b := NewBus()
+	sub := b.Subscribe(16)
+	defer sub.Close()
+	b.Emit("n1", KindJoin, "first")
+	b.Emit("n2", KindForward, "second")
+	b.Emit("n3", KindLost, "third")
+
+	var got []Event
+	got = sub.Drain(got)
+	if len(got) != 3 {
+		t.Fatalf("drained %d events, want 3", len(got))
+	}
+	for i, want := range []string{"first", "second", "third"} {
+		if got[i].Detail != want {
+			t.Errorf("event %d detail = %q, want %q", i, got[i].Detail, want)
+		}
+	}
+	if got[0].Seq >= got[1].Seq || got[1].Seq >= got[2].Seq {
+		t.Errorf("sequence numbers not increasing: %d %d %d", got[0].Seq, got[1].Seq, got[2].Seq)
+	}
+	if got[0].At.IsZero() {
+		t.Error("event timestamp not stamped")
+	}
+}
+
+func TestBusEmitfFormatsOnlyWhenSubscribed(t *testing.T) {
+	b := NewBus()
+	sub := b.Subscribe(4)
+	defer sub.Close()
+	b.Emitf("n", KindRetry, "attempt %d to %s", 2, "peer")
+	e, ok := sub.Poll()
+	if !ok {
+		t.Fatal("no event")
+	}
+	if e.Detail != "attempt 2 to peer" {
+		t.Errorf("detail = %q", e.Detail)
+	}
+}
+
+// TestBusBackpressure is the satellite backpressure gate: a deliberately
+// slow subscriber (it never drains its tiny ring) must observe
+// monotonically increasing drop counts while a fast subscriber attached to
+// the same bus loses nothing.
+func TestBusBackpressure(t *testing.T) {
+	b := NewBus()
+	slow := b.Subscribe(4)
+	defer slow.Close()
+	fast := b.Subscribe(4096)
+	defer fast.Close()
+
+	const emits = 1000
+	var lastDrops uint64
+	for i := 0; i < emits; i++ {
+		b.Emit("n", KindForward, "payload")
+		if d := slow.Dropped(); d < lastDrops {
+			t.Fatalf("drop count went backwards: %d -> %d", lastDrops, d)
+		} else {
+			lastDrops = d
+		}
+	}
+	if slow.Dropped() != emits-4 {
+		t.Errorf("slow subscriber dropped %d, want %d (ring of 4)", slow.Dropped(), emits-4)
+	}
+	if slow.Len() != 4 {
+		t.Errorf("slow ring holds %d, want 4", slow.Len())
+	}
+	if fast.Dropped() != 0 {
+		t.Errorf("fast subscriber dropped %d, want 0", fast.Dropped())
+	}
+	if fast.Len() != emits {
+		t.Errorf("fast subscriber buffered %d, want %d", fast.Len(), emits)
+	}
+	// The slow ring kept the OLDEST events (drop-newest policy).
+	e, ok := slow.Poll()
+	if !ok || e.Seq != 1 {
+		t.Errorf("slow ring head seq = %d (ok=%v), want 1", e.Seq, ok)
+	}
+}
+
+// TestEmitNoSubscriberDoesNotAllocate is the alloc-gate: the emit fast
+// path with zero subscribers must be allocation-free.
+func TestEmitNoSubscriberDoesNotAllocate(t *testing.T) {
+	b := NewBus()
+	allocs := testing.AllocsPerRun(1000, func() {
+		b.Emit("node-1", KindForward, "msg#1 -> segment end 42")
+	})
+	if allocs != 0 {
+		t.Errorf("Emit with no subscribers allocates %.1f per op, want 0", allocs)
+	}
+}
+
+// Emit with subscribers must not allocate either: rings are preallocated.
+func TestEmitWithSubscriberDoesNotAllocate(t *testing.T) {
+	b := NewBus()
+	sub := b.Subscribe(8)
+	defer sub.Close()
+	allocs := testing.AllocsPerRun(1000, func() {
+		b.Emit("node-1", KindForward, "msg#1 -> segment end 42")
+	})
+	if allocs != 0 {
+		t.Errorf("Emit with a subscriber allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func TestSubscriptionNextBlocksAndWakes(t *testing.T) {
+	b := NewBus()
+	sub := b.Subscribe(8)
+	defer sub.Close()
+
+	got := make(chan Event, 1)
+	go func() {
+		e, ok := sub.Next()
+		if ok {
+			got <- e
+		}
+		close(got)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	b.Emit("n", KindDeliver, "wake")
+	select {
+	case e := <-got:
+		if e.Detail != "wake" {
+			t.Errorf("detail = %q", e.Detail)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Next did not wake on emit")
+	}
+}
+
+func TestSubscriptionCloseWakesNext(t *testing.T) {
+	b := NewBus()
+	sub := b.Subscribe(8)
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := sub.Next()
+		done <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	sub.Close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Error("Next returned ok=true after close on empty ring")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Next did not return after Close")
+	}
+	if b.Subscribers() != 0 {
+		t.Errorf("bus still has %d subscribers after close", b.Subscribers())
+	}
+	// Emitting to a closed-out bus is fine.
+	b.Emit("n", KindJoin, "after close")
+}
+
+func TestBusConcurrentEmitAndSubscribe(t *testing.T) {
+	b := NewBus()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					b.Emit("n", KindForward, "spin")
+				}
+			}
+		}()
+	}
+	var total uint64
+	for i := 0; i < 50; i++ {
+		sub := b.Subscribe(64)
+		time.Sleep(time.Millisecond)
+		total += uint64(sub.Len())
+		sub.Close()
+	}
+	close(stop)
+	wg.Wait()
+	if total == 0 {
+		t.Error("no events observed across churned subscribers")
+	}
+}

@@ -1,0 +1,147 @@
+package obsv
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+)
+
+func listen(addr string) (net.Listener, error) { return net.Listen("tcp", addr) }
+
+// Debug describes what a debug HTTP endpoint exposes. Any field may be
+// nil; the corresponding route then serves an empty value.
+type Debug struct {
+	// Registry snapshots into /debug/camcast/stats.
+	Registry *Registry
+	// Bus feeds the /debug/camcast/events streaming tail.
+	Bus *Bus
+	// Neighbors returns the JSON-marshalable overlay introspection served
+	// at /debug/camcast/neighbors (per-member ring neighbors).
+	Neighbors func() any
+	// Extra returns additional JSON-marshalable state merged into
+	// /debug/camcast/stats under "extra" (e.g. per-member Stats).
+	Extra func() any
+}
+
+// Handler returns the debug HTTP handler: expvar-style JSON metric
+// snapshots, live overlay introspection, a streaming event tail, and the
+// standard pprof profiles.
+//
+//	GET /debug/camcast/stats      {"metrics": <registry snapshot>, "extra": ...}
+//	GET /debug/camcast/neighbors  per-member ring neighbor sets
+//	GET /debug/camcast/events     NDJSON event tail; ?buffer=N sizes the
+//	                              subscriber ring (default 1024); the
+//	                              stream ends when the client disconnects
+//	GET /debug/pprof/...          net/http/pprof
+func (d Debug) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/camcast/stats", d.serveStats)
+	mux.HandleFunc("/debug/camcast/neighbors", d.serveNeighbors)
+	mux.HandleFunc("/debug/camcast/events", d.serveEvents)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ListenAndServe starts the debug endpoint on addr, returning the server
+// (shut it down with Close) and the bound address. It returns once the
+// listener is accepting, so a caller can immediately curl it.
+func (d Debug) ListenAndServe(addr string) (*http.Server, string, error) {
+	srv := &http.Server{Handler: d.Handler()}
+	ln, err := listen(addr)
+	if err != nil {
+		return nil, "", err
+	}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr().String(), nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (d Debug) serveStats(w http.ResponseWriter, r *http.Request) {
+	out := struct {
+		At      time.Time `json:"at"`
+		Metrics Snapshot  `json:"metrics"`
+		Extra   any       `json:"extra,omitempty"`
+	}{At: time.Now(), Metrics: d.Registry.Snapshot()}
+	if d.Extra != nil {
+		out.Extra = d.Extra()
+	}
+	writeJSON(w, out)
+}
+
+func (d Debug) serveNeighbors(w http.ResponseWriter, r *http.Request) {
+	var v any
+	if d.Neighbors != nil {
+		v = d.Neighbors()
+	}
+	writeJSON(w, v)
+}
+
+// serveEvents streams the live event tail as NDJSON until the client goes
+// away. Each subscriber gets its own bounded ring; a client that reads too
+// slowly loses the newest events, and the final count of those drops is
+// its own problem — the protocol goroutines never notice.
+func (d Debug) serveEvents(w http.ResponseWriter, r *http.Request) {
+	if d.Bus == nil {
+		http.Error(w, "no event bus", http.StatusNotFound)
+		return
+	}
+	buffer := 1024
+	if s := r.URL.Query().Get("buffer"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			buffer = n
+		}
+	}
+	sub := d.Bus.Subscribe(buffer)
+	defer sub.Close()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		// Push the headers out now so a tailing client sees the stream
+		// open immediately, not at the first event.
+		flusher.Flush()
+	}
+	enc := json.NewEncoder(w)
+	ctx := r.Context()
+	for {
+		// Wake on either an event or client disconnect.
+		e, ok := poll(ctx, sub)
+		if !ok {
+			return
+		}
+		if err := enc.Encode(e); err != nil {
+			return
+		}
+		if flusher != nil && sub.Len() == 0 {
+			flusher.Flush()
+		}
+	}
+}
+
+// poll returns the next event, blocking until one arrives or ctx is done.
+func poll(ctx interface{ Done() <-chan struct{} }, sub *Subscription) (Event, bool) {
+	for {
+		if e, ok := sub.Poll(); ok {
+			return e, true
+		}
+		select {
+		case <-ctx.Done():
+			return Event{}, false
+		case <-sub.notify:
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package obsv
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func debugServer(t *testing.T, d Debug) string {
+	t.Helper()
+	srv, addr, err := d.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return addr
+}
+
+func TestDebugStatsServesRegistrySnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(MetricForwardAcked).Add(7)
+	r.Histogram(MetricLookupHops, CountBuckets(4)).Observe(2)
+	addr := debugServer(t, Debug{
+		Registry: r,
+		Extra:    func() any { return map[string]int{"members": 3} },
+	})
+
+	resp, err := http.Get("http://" + addr + "/debug/camcast/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type %q", ct)
+	}
+	var out struct {
+		Metrics Snapshot       `json:"metrics"`
+		Extra   map[string]int `json:"extra"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if out.Metrics.Counters[MetricForwardAcked] != 7 {
+		t.Errorf("counter = %d, want 7", out.Metrics.Counters[MetricForwardAcked])
+	}
+	if out.Metrics.Histograms[MetricLookupHops].Count != 1 {
+		t.Errorf("histogram count = %d, want 1", out.Metrics.Histograms[MetricLookupHops].Count)
+	}
+	if out.Extra["members"] != 3 {
+		t.Errorf("extra = %v", out.Extra)
+	}
+}
+
+func TestDebugNeighbors(t *testing.T) {
+	addr := debugServer(t, Debug{
+		Neighbors: func() any {
+			return []map[string]any{{"addr": "alice", "id": 42}}
+		},
+	})
+	resp, err := http.Get("http://" + addr + "/debug/camcast/neighbors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out []map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(out) != 1 || out[0]["addr"] != "alice" {
+		t.Errorf("neighbors = %v", out)
+	}
+}
+
+func TestDebugEventsStreamsTail(t *testing.T) {
+	bus := NewBus()
+	addr := debugServer(t, Debug{Bus: bus})
+
+	resp, err := http.Get("http://" + addr + "/debug/camcast/events?buffer=64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	// The subscription attaches before the handler writes the header, so
+	// events emitted after the GET returns are observed.
+	deadline := time.Now().Add(2 * time.Second)
+	for bus.Subscribers() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("stream never subscribed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for i := 0; i < 3; i++ {
+		bus.Emitf("n%d", KindForward, "event %d", i)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	for i := 0; i < 3; i++ {
+		if !sc.Scan() {
+			t.Fatalf("stream ended after %d events: %v", i, sc.Err())
+		}
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line %d invalid JSON %q: %v", i, sc.Text(), err)
+		}
+		if e.Detail != fmt.Sprintf("event %d", i) {
+			t.Errorf("line %d detail = %q", i, e.Detail)
+		}
+	}
+	resp.Body.Close()
+	// Disconnecting tears the subscription down.
+	deadline = time.Now().Add(2 * time.Second)
+	for bus.Subscribers() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("subscription leaked after client disconnect")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestDebugEventsWithoutBus404s(t *testing.T) {
+	addr := debugServer(t, Debug{})
+	resp, err := http.Get("http://" + addr + "/debug/camcast/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestDebugPprofIndex(t *testing.T) {
+	addr := debugServer(t, Debug{})
+	resp, err := http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof index status %d", resp.StatusCode)
+	}
+}

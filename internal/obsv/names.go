@@ -1,0 +1,26 @@
+package obsv
+
+// The metric catalog: every name the instrumented layers register, in one
+// place so daemons, dashboards and DESIGN.md agree. Units are encoded in
+// the name suffix where they matter (histograms of durations are seconds).
+const (
+	// Transport (internal/transport, both TCP and the in-memory Network).
+	MetricRPCLatency   = "transport.rpc.latency_seconds" // histogram: request/response round trip
+	MetricRPCInflight  = "transport.rpc.inflight"        // gauge: calls issued but not yet completed
+	MetricRPCCalls     = "transport.rpc.calls"           // counter: calls issued
+	MetricRPCErrors    = "transport.rpc.errors"          // counter: calls that returned an error
+	MetricFlushBatch   = "transport.flush.batch_frames"  // histogram: frames coalesced per socket flush
+	MetricServerServed = "transport.server.requests"     // counter: requests served by accept-side workers
+
+	// Runtime protocol layer (internal/runtime).
+	MetricForwardAcked    = "runtime.forward.acked"            // counter: child sends acknowledged
+	MetricForwardRetries  = "runtime.forward.retries"          // counter: child sends retried
+	MetricForwardRepaired = "runtime.forward.repaired"         // counter: orphan segments handed to a live node
+	MetricForwardLost     = "runtime.forward.lost"             // counter: segments abandoned
+	MetricDuplicates      = "runtime.duplicates"               // counter: duplicate deliveries/offers suppressed
+	MetricDelivered       = "runtime.delivered"                // counter: multicast deliveries to the application
+	MetricLookupHops      = "runtime.lookup.hops"              // histogram: hops per completed lookup
+	MetricMulticastTime   = "runtime.multicast.tree_seconds"   // histogram: full dissemination-tree completion time at the source
+	MetricEventsDropped   = "runtime.events.subscriber_drops"  // counter: bus events dropped across detached rings (daemon-level)
+	MetricSegmentSpread   = "runtime.multicast.spread_seconds" // histogram: per-node segment spread time
+)

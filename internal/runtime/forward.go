@@ -100,9 +100,9 @@ func (n *Node) fanOut(count int, task func(i int)) {
 	wg.Wait()
 }
 
-// sendTimed issues one child send under the per-child deadline.
-func (n *Node) sendTimed(to, kind string, payload any) (any, error) {
-	ctx := context.Background()
+// sendTimed issues one child send under the per-child deadline, within the
+// caller's context.
+func (n *Node) sendTimed(ctx context.Context, to, kind string, payload any) (any, error) {
 	if d := n.cfg.ForwardTimeout; d > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, d)
@@ -113,8 +113,8 @@ func (n *Node) sendTimed(to, kind string, payload any) (any, error) {
 
 // backoff sleeps before retry attempt (0-based), doubling the base delay
 // each attempt with ±50% jitter drawn from the node's seeded RNG. Returns
-// early if the node stops.
-func (n *Node) backoff(attempt int) {
+// early if the node stops or the context is canceled.
+func (n *Node) backoff(ctx context.Context, attempt int) {
 	base := n.cfg.RetryBackoff
 	if base <= 0 {
 		return
@@ -131,6 +131,7 @@ func (n *Node) backoff(attempt int) {
 	defer t.Stop()
 	select {
 	case <-t.C:
+	case <-ctx.Done():
 	case <-n.stopCh:
 	}
 }
@@ -138,8 +139,24 @@ func (n *Node) backoff(attempt int) {
 // noteRetry accounts one forwarding retry.
 func (n *Node) noteRetry(msgID, to string, attempt int, err error) {
 	n.retries.Add(1)
+	n.obs.retries.Inc()
 	n.countMetric(metrics.CounterForwardRetries)
-	n.cfg.Tracer.Emitf(n.self.Addr, trace.KindRetry, "%s attempt %d to %s: %v", msgID, attempt, to, err)
+	n.emitf(trace.KindRetry, "%s attempt %d to %s: %v", msgID, attempt, to, err)
+}
+
+// noteAcked accounts one acknowledged child send.
+func (n *Node) noteAcked() {
+	n.acked.Add(1)
+	n.obs.acked.Inc()
+	n.countMetric(metrics.CounterForwardAcked)
+	n.forwarded.Add(1)
+}
+
+// noteLost accounts one segment (or flood neighbor) abandoned.
+func (n *Node) noteLost() {
+	n.lost.Add(1)
+	n.obs.lost.Inc()
+	n.countMetric(metrics.CounterForwardLost)
 }
 
 // forwardSegment delivers one planned segment to its child: resolve the
@@ -147,7 +164,7 @@ func (n *Node) noteRetry(msgID, to string, attempt int, err error) {
 // per-child deadline, and on failure re-resolve and retry with backoff up
 // to ForwardRetries times. If every attempt fails the segment is handed to
 // repairSegment rather than dropped.
-func (n *Node) forwardSegment(msgID string, source NodeInfo, payload []byte, cp childPlan, table map[tableKey]NodeInfo, hops int) {
+func (n *Node) forwardSegment(ctx context.Context, msgID string, source NodeInfo, payload []byte, cp childPlan, table map[tableKey]NodeInfo, hops int) {
 	s := n.space
 	x := n.self.ID
 
@@ -170,7 +187,7 @@ func (n *Node) forwardSegment(msgID string, source NodeInfo, payload []byte, cp 
 		if err != nil {
 			// Resolution failed outright; try the repair path before
 			// declaring the whole subtree lost.
-			n.repairSegment(msgID, source, payload, cp, NodeInfo{}, hops)
+			n.repairSegment(ctx, msgID, source, payload, cp, NodeInfo{}, hops)
 			return
 		}
 		child, resolved = info, true
@@ -190,19 +207,20 @@ func (n *Node) forwardSegment(msgID string, source NodeInfo, payload []byte, cp 
 
 	req := multicastReq{MsgID: msgID, Source: source, Payload: payload, K: cp.segEnd, Hops: hops + 1}
 	for attempt := 0; ; attempt++ {
-		_, err := n.sendTimed(child.Addr, kindMulticast, req)
+		_, err := n.sendTimed(ctx, child.Addr, kindMulticast, req)
 		if err == nil {
-			n.acked.Add(1)
-			n.countMetric(metrics.CounterForwardAcked)
-			n.forwarded.Add(1)
-			n.cfg.Tracer.Emitf(n.self.Addr, trace.KindForward, "%s -> segment end %d", msgID, cp.segEnd)
+			n.noteAcked()
+			n.emitf(trace.KindForward, "%s -> segment end %d", msgID, cp.segEnd)
 			return
+		}
+		if ctx.Err() != nil {
+			return // caller canceled; the abandoned segment is not a group failure
 		}
 		if attempt >= n.cfg.ForwardRetries {
 			break
 		}
 		n.noteRetry(msgID, child.Addr, attempt+1, err)
-		n.backoff(attempt)
+		n.backoff(ctx, attempt)
 		// The child may have died: re-resolve so its successor inherits
 		// the segment (transient drops re-send to the same child).
 		if info, _, lerr := n.FindSuccessor(cp.y); lerr == nil && !info.zero() {
@@ -212,7 +230,7 @@ func (n *Node) forwardSegment(msgID string, source NodeInfo, payload []byte, cp 
 			child = info
 		}
 	}
-	n.repairSegment(msgID, source, payload, cp, child, hops)
+	n.repairSegment(ctx, msgID, source, payload, cp, child, hops)
 }
 
 // repairSegment hands an orphaned segment — (y-1, segEnd] whose child
@@ -225,7 +243,7 @@ func (n *Node) forwardSegment(msgID string, source NodeInfo, payload []byte, cp 
 // handoffs set multicastReq.Repair so a receiver that already delivered
 // the message still re-spreads the wider segment. Only when both fail is
 // the segment counted lost.
-func (n *Node) repairSegment(msgID string, source NodeInfo, payload []byte, cp childPlan, failedChild NodeInfo, hops int) {
+func (n *Node) repairSegment(ctx context.Context, msgID string, source NodeInfo, payload []byte, cp childPlan, failedChild NodeInfo, hops int) {
 	s := n.space
 	x := n.self.ID
 	req := multicastReq{MsgID: msgID, Source: source, Payload: payload, K: cp.segEnd, Hops: hops + 1, Repair: true}
@@ -238,21 +256,23 @@ func (n *Node) repairSegment(msgID string, source NodeInfo, payload []byte, cp c
 		if info.Addr == n.self.Addr || !s.InOC(info.ID, x, cp.segEnd) {
 			return // no live members left in the segment; nothing to repair
 		}
-		if _, err := n.sendTimed(info.Addr, kindMulticast, req); err == nil {
+		if _, err := n.sendTimed(ctx, info.Addr, kindMulticast, req); err == nil {
 			n.noteRepaired(msgID, cp.segEnd, info.Addr)
 			return
 		}
+	}
+	if ctx.Err() != nil {
+		return // caller canceled mid-repair; don't count the segment lost
 	}
 	from := s.Sub(cp.y, 1)
 	if !failedChild.zero() && s.InOC(failedChild.ID, x, cp.segEnd) {
 		from = failedChild.ID
 	}
-	if n.ringWalkHandoff(msgID, req, failedChild, from, cp.segEnd) {
+	if n.ringWalkHandoff(ctx, msgID, req, failedChild, from, cp.segEnd) {
 		return
 	}
-	n.lost.Add(1)
-	n.countMetric(metrics.CounterForwardLost)
-	n.cfg.Tracer.Emitf(n.self.Addr, trace.KindLost, "%s segment end %d lost", msgID, cp.segEnd)
+	n.noteLost()
+	n.emitf(trace.KindLost, "%s segment end %d lost", msgID, cp.segEnd)
 }
 
 // ringWalkHandoff is the last-resort repair path: walk the ring through
@@ -264,7 +284,7 @@ func (n *Node) repairSegment(msgID string, source NodeInfo, payload []byte, cp c
 // is bounded, and every step is one cheap neighbors RPC that doubles as a
 // liveness probe, so dead or partitioned nodes along the way are simply
 // hopped over.
-func (n *Node) ringWalkHandoff(msgID string, req multicastReq, failedChild NodeInfo, from, segEnd ring.ID) bool {
+func (n *Node) ringWalkHandoff(ctx context.Context, msgID string, req multicastReq, failedChild NodeInfo, from, segEnd ring.ID) bool {
 	const maxSteps = 64
 	s := n.space
 	visited := map[string]bool{n.self.Addr: true}
@@ -273,6 +293,9 @@ func (n *Node) ringWalkHandoff(msgID string, req multicastReq, failedChild NodeI
 	}
 	frontier := n.SuccessorList()
 	for steps := 0; steps < maxSteps && len(frontier) > 0; steps++ {
+		if ctx.Err() != nil {
+			return false
+		}
 		cur := frontier[0]
 		frontier = frontier[1:]
 		if cur.zero() || visited[cur.Addr] {
@@ -280,7 +303,7 @@ func (n *Node) ringWalkHandoff(msgID string, req multicastReq, failedChild NodeI
 		}
 		visited[cur.Addr] = true
 		if s.InOC(cur.ID, from, segEnd) {
-			if _, err := n.sendTimed(cur.Addr, kindMulticast, req); err == nil {
+			if _, err := n.sendTimed(ctx, cur.Addr, kindMulticast, req); err == nil {
 				n.noteRepaired(msgID, segEnd, cur.Addr)
 				return true
 			}
@@ -298,9 +321,10 @@ func (n *Node) ringWalkHandoff(msgID string, req multicastReq, failedChild NodeI
 
 func (n *Node) noteRepaired(msgID string, segEnd ring.ID, to string) {
 	n.repaired.Add(1)
+	n.obs.repaired.Inc()
 	n.countMetric(metrics.CounterForwardRepaired)
 	n.forwarded.Add(1)
-	n.cfg.Tracer.Emitf(n.self.Addr, trace.KindRepair, "%s segment end %d handed to %s", msgID, segEnd, to)
+	n.emitf(trace.KindRepair, "%s segment end %d handed to %s", msgID, segEnd, to)
 }
 
 // floodOne runs the offer/accept handshake and payload delivery for one
@@ -308,15 +332,18 @@ func (n *Node) noteRepaired(msgID string, segEnd ring.ID, to string) {
 // neighbor needs repair (unreachable, or reachable but the payload could
 // not be delivered) and whether it is a usable reflood relay (it responded
 // to an offer, so it either has the message or is about to decline it).
-func (n *Node) floodOne(msgID string, source NodeInfo, payload []byte, nb NodeInfo, hops int) (needRepair, relay bool) {
+func (n *Node) floodOne(ctx context.Context, msgID string, source NodeInfo, payload []byte, nb NodeInfo, hops int) (needRepair, relay bool) {
 	var want bool
 	offered := false
 	for attempt := 0; attempt <= n.cfg.ForwardRetries; attempt++ {
 		if attempt > 0 {
-			n.backoff(attempt - 1)
+			n.backoff(ctx, attempt-1)
 		}
-		resp, err := n.sendTimed(nb.Addr, kindOffer, offerReq{MsgID: msgID})
+		resp, err := n.sendTimed(ctx, nb.Addr, kindOffer, offerReq{MsgID: msgID})
 		if err != nil {
+			if ctx.Err() != nil {
+				return false, false // caller canceled; not a neighbor failure
+			}
 			if attempt < n.cfg.ForwardRetries {
 				n.noteRetry(msgID, nb.Addr, attempt+1, err)
 			}
@@ -334,6 +361,7 @@ func (n *Node) floodOne(msgID string, source NodeInfo, payload []byte, nb NodeIn
 	}
 	if !want {
 		n.duplicates.Add(1)
+		n.obs.duplicates.Inc()
 		return false, true
 	}
 
@@ -345,19 +373,20 @@ func (n *Node) floodOne(msgID string, source NodeInfo, payload []byte, nb NodeIn
 	}
 	req := floodReq{MsgID: msgID, Source: source, Payload: payload, Hops: hops + 1}
 	for attempt := 0; ; attempt++ {
-		_, err := n.sendTimed(nb.Addr, kindFlood, req)
+		_, err := n.sendTimed(ctx, nb.Addr, kindFlood, req)
 		if err == nil {
-			n.acked.Add(1)
-			n.countMetric(metrics.CounterForwardAcked)
-			n.forwarded.Add(1)
-			n.cfg.Tracer.Emitf(n.self.Addr, trace.KindForward, "%s -> %s", msgID, nb.Addr)
+			n.noteAcked()
+			n.emitf(trace.KindForward, "%s -> %s", msgID, nb.Addr)
 			return false, true
+		}
+		if ctx.Err() != nil {
+			return false, false // caller canceled; not a neighbor failure
 		}
 		if attempt >= sendTries {
 			return true, false
 		}
 		n.noteRetry(msgID, nb.Addr, attempt+1, err)
-		n.backoff(attempt)
+		n.backoff(ctx, attempt)
 	}
 }
 
@@ -368,16 +397,15 @@ func (n *Node) floodOne(msgID string, source NodeInfo, payload []byte, nb NodeIn
 // the neighbors still believed to be members; failures the transport
 // confirms dead trigger the reflood but count as neither repaired nor
 // lost (the member is gone, not missed).
-func (n *Node) refloodRepair(msgID string, source NodeInfo, payload []byte, hops int, failedLive int, relays []NodeInfo) {
+func (n *Node) refloodRepair(ctx context.Context, msgID string, source NodeInfo, payload []byte, hops int, failedLive int, relays []NodeInfo) {
 	countLost := func() {
 		if failedLive == 0 {
 			return
 		}
 		for i := 0; i < failedLive; i++ {
-			n.lost.Add(1)
-			n.countMetric(metrics.CounterForwardLost)
+			n.noteLost()
 		}
-		n.cfg.Tracer.Emitf(n.self.Addr, trace.KindLost, "%s %d neighbor(s) unreached", msgID, failedLive)
+		n.emitf(trace.KindLost, "%s %d neighbor(s) unreached", msgID, failedLive)
 	}
 	if len(relays) == 0 || n.reflooded.Record(msgID) {
 		countLost()
@@ -389,7 +417,7 @@ func (n *Node) refloodRepair(msgID string, source NodeInfo, payload []byte, hops
 		if sent >= 2 {
 			break
 		}
-		if _, err := n.sendTimed(r.Addr, kindReflood, req); err == nil {
+		if _, err := n.sendTimed(ctx, r.Addr, kindReflood, req); err == nil {
 			sent++
 		}
 	}
@@ -399,7 +427,8 @@ func (n *Node) refloodRepair(msgID string, source NodeInfo, payload []byte, hops
 	}
 	for i := 0; i < failedLive; i++ {
 		n.repaired.Add(1)
+		n.obs.repaired.Inc()
 		n.countMetric(metrics.CounterForwardRepaired)
 	}
-	n.cfg.Tracer.Emitf(n.self.Addr, trace.KindRepair, "%s reflooded via %d relay(s) for %d failure(s)", msgID, sent, failedLive)
+	n.emitf(trace.KindRepair, "%s reflooded via %d relay(s) for %d failure(s)", msgID, sent, failedLive)
 }

@@ -18,6 +18,7 @@ func (n *Node) FindSuccessor(k ring.ID) (NodeInfo, int, error) {
 	if !ok {
 		return NodeInfo{}, 0, fmt.Errorf("runtime: bad find_successor response type %T", resp)
 	}
+	n.obs.lookupHops.Observe(float64(r.Hops))
 	return r.Node, r.Hops, nil
 }
 

@@ -1,7 +1,9 @@
 package runtime
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"camcast/internal/ring"
 	"camcast/internal/trace"
@@ -15,6 +17,14 @@ import (
 // every segment either acknowledged, repaired, or accounted lost — so a
 // caller observing Stats() afterwards sees the final forwarding outcome.
 func (n *Node) Multicast(payload []byte) (string, error) {
+	return n.MulticastContext(context.Background(), payload)
+}
+
+// MulticastContext is Multicast under the caller's context: cancellation
+// abandons outstanding child sends (those segments are neither repaired
+// nor counted lost — the caller gave up, the group did not fail) while
+// per-child deadlines from Config.ForwardTimeout still apply.
+func (n *Node) MulticastContext(ctx context.Context, payload []byte) (string, error) {
 	n.mu.Lock()
 	if !n.started || n.stopped {
 		n.mu.Unlock()
@@ -22,25 +32,35 @@ func (n *Node) Multicast(payload []byte) (string, error) {
 	}
 	n.mu.Unlock()
 
+	start := time.Now()
 	msgID := fmt.Sprintf("%s#%d", n.self.Addr, n.seq.Add(1))
 	n.seen.Record(msgID)
 	n.deliver(Delivery{MsgID: msgID, Source: n.self, Payload: payload, Hops: 0})
 
 	switch n.cfg.Mode {
 	case ModeCAMChord:
-		n.spreadSegment(msgID, n.self, payload, n.space.Sub(n.self.ID, 1), 0)
+		n.spreadSegment(ctx, msgID, n.self, payload, n.space.Sub(n.self.ID, 1), 0)
 	case ModeCAMKoorde:
-		n.floodNeighbors(msgID, n.self, payload, 0)
+		n.floodNeighbors(ctx, msgID, n.self, payload, 0)
 	}
+	n.obs.treeTime.ObserveDuration(time.Since(start))
 	return msgID, nil
 }
 
 func (n *Node) deliver(d Delivery) {
 	n.delivered.Add(1)
-	n.cfg.Tracer.Emitf(n.self.Addr, trace.KindDeliver, "%s hops=%d", d.MsgID, d.Hops)
+	n.obs.delivered.Inc()
+	n.emitf(trace.KindDeliver, "%s hops=%d", d.MsgID, d.Hops)
 	if n.cfg.OnDeliver != nil {
 		n.cfg.OnDeliver(d)
 	}
+}
+
+// noteDuplicate accounts one suppressed duplicate delivery or offer.
+func (n *Node) noteDuplicate(msgID string) {
+	n.duplicates.Add(1)
+	n.obs.duplicates.Inc()
+	n.emitf(trace.KindDuplicate, "%s", msgID)
 }
 
 func (n *Node) handleMulticast(req multicastReq) (any, error) {
@@ -48,8 +68,7 @@ func (n *Node) handleMulticast(req multicastReq) (any, error) {
 	if dup {
 		// Stale routing state upstream caused a duplicate; suppress it so
 		// the application still sees exactly-once delivery.
-		n.duplicates.Add(1)
-		n.cfg.Tracer.Emitf(n.self.Addr, trace.KindDuplicate, "%s", req.MsgID)
+		n.noteDuplicate(req.MsgID)
 		if !req.Repair {
 			return multicastResp{Duplicate: true}, nil
 		}
@@ -59,7 +78,7 @@ func (n *Node) handleMulticast(req multicastReq) (any, error) {
 	} else {
 		n.deliver(Delivery{MsgID: req.MsgID, Source: req.Source, Payload: req.Payload, Hops: req.Hops})
 	}
-	n.spreadSegment(req.MsgID, req.Source, req.Payload, req.K, req.Hops)
+	n.spreadSegment(context.Background(), req.MsgID, req.Source, req.Payload, req.K, req.Hops)
 	return multicastResp{Duplicate: dup}, nil
 }
 
@@ -70,25 +89,26 @@ func (n *Node) handleMulticast(req multicastReq) (any, error) {
 // Children are dispatched concurrently — one dead or slow child delays only
 // its own segment — and each send is protected by the retry/repair engine
 // in forward.go.
-func (n *Node) spreadSegment(msgID string, source NodeInfo, payload []byte, k ring.ID, hops int) {
+func (n *Node) spreadSegment(ctx context.Context, msgID string, source NodeInfo, payload []byte, k ring.ID, hops int) {
 	plan := n.planSegments(k)
 	if len(plan) == 0 {
 		return
 	}
+	start := time.Now()
 	table := n.tableSnapshot()
 	n.fanOut(len(plan), func(i int) {
-		n.forwardSegment(msgID, source, payload, plan[i], table, hops)
+		n.forwardSegment(ctx, msgID, source, payload, plan[i], table, hops)
 	})
+	n.obs.spreadTime.ObserveDuration(time.Since(start))
 }
 
 func (n *Node) handleFlood(req floodReq) (any, error) {
 	if n.seen.Record(req.MsgID) {
-		n.duplicates.Add(1)
-		n.cfg.Tracer.Emitf(n.self.Addr, trace.KindDuplicate, "%s", req.MsgID)
+		n.noteDuplicate(req.MsgID)
 		return floodResp{Duplicate: true}, nil
 	}
 	n.deliver(Delivery{MsgID: req.MsgID, Source: req.Source, Payload: req.Payload, Hops: req.Hops})
-	n.floodNeighbors(req.MsgID, req.Source, req.Payload, req.Hops)
+	n.floodNeighbors(context.Background(), req.MsgID, req.Source, req.Payload, req.Hops)
 	return floodResp{}, nil
 }
 
@@ -100,7 +120,7 @@ func (n *Node) handleReflood(req floodReq) (any, error) {
 	if !n.seen.Record(req.MsgID) {
 		n.deliver(Delivery{MsgID: req.MsgID, Source: req.Source, Payload: req.Payload, Hops: req.Hops})
 	}
-	n.floodNeighbors(req.MsgID, req.Source, req.Payload, req.Hops)
+	n.floodNeighbors(context.Background(), req.MsgID, req.Source, req.Payload, req.Hops)
 	return floodResp{}, nil
 }
 
@@ -109,16 +129,21 @@ func (n *Node) handleReflood(req floodReq) (any, error) {
 // payload only to those that have not received it. Neighbors are contacted
 // concurrently under the fan-out limit; unreachable or undeliverable
 // neighbors trigger a reflood repair through the surviving mesh.
-func (n *Node) floodNeighbors(msgID string, source NodeInfo, payload []byte, hops int) {
+func (n *Node) floodNeighbors(ctx context.Context, msgID string, source NodeInfo, payload []byte, hops int) {
 	neighbors := n.koordeNeighbors()
 	if len(neighbors) == 0 {
 		return
 	}
+	start := time.Now()
 	needRepair := make([]bool, len(neighbors))
 	isRelay := make([]bool, len(neighbors))
 	n.fanOut(len(neighbors), func(i int) {
-		needRepair[i], isRelay[i] = n.floodOne(msgID, source, payload, neighbors[i], hops)
+		needRepair[i], isRelay[i] = n.floodOne(ctx, msgID, source, payload, neighbors[i], hops)
 	})
+	n.obs.spreadTime.ObserveDuration(time.Since(start))
+	if ctx.Err() != nil {
+		return // caller gave up; don't account abandoned sends as losses
+	}
 
 	// Split failures by what the transport knows: a neighbor it confirms
 	// gone is membership shrinkage (the flood still refloods around the
@@ -139,7 +164,7 @@ func (n *Node) floodNeighbors(msgID string, source NodeInfo, payload []byte, hop
 		}
 	}
 	if failedLive+failedDead > 0 {
-		n.refloodRepair(msgID, source, payload, hops, failedLive, relays)
+		n.refloodRepair(ctx, msgID, source, payload, hops, failedLive, relays)
 	}
 }
 

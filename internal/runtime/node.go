@@ -24,6 +24,7 @@ import (
 
 	"camcast/internal/ids"
 	"camcast/internal/metrics"
+	"camcast/internal/obsv"
 	"camcast/internal/ring"
 	"camcast/internal/trace"
 	"camcast/internal/transport"
@@ -146,6 +147,14 @@ type Config struct {
 	OnRequest func(from string, payload []byte) ([]byte, error)
 	// Tracer optionally records protocol events; nil discards.
 	Tracer *trace.Tracer
+	// Bus optionally publishes the same protocol events to live
+	// subscribers (debug endpoints, observers); nil discards. Emission is
+	// one atomic load when nobody is subscribed.
+	Bus *obsv.Bus
+	// Metrics optionally accumulates hot-path measurements — forwarding
+	// outcomes, lookup hop counts, multicast tree build time — under the
+	// obsv.Metric* names; nil disables.
+	Metrics *obsv.Registry
 }
 
 func (c *Config) applyDefaults() {
@@ -246,6 +255,7 @@ type Node struct {
 	seen      *seenCache
 	reflooded *seenCache // message IDs this node already issued a reflood repair for
 	seq       atomic.Uint64
+	obs       nodeObs
 
 	delivered   atomic.Uint64
 	forwarded   atomic.Uint64
@@ -291,6 +301,7 @@ func NewNode(net Transport, addr string, cfg Config) (*Node, error) {
 		suspects:  make(map[string]time.Time),
 		stopCh:    make(chan struct{}),
 	}
+	n.obs = newNodeObs(cfg.Bus, cfg.Metrics)
 	n.rng = rand.New(rand.NewSource(int64(n.self.ID) + 1))
 	return n, nil
 }
@@ -352,7 +363,7 @@ func (n *Node) Bootstrap() error {
 
 	n.net.Register(n.self.Addr, n.handleRPC)
 	n.startLoops()
-	n.cfg.Tracer.Emitf(n.self.Addr, trace.KindJoin, "bootstrap id=%d", n.self.ID)
+	n.emitf(trace.KindJoin, "bootstrap id=%d", n.self.ID)
 	return nil
 }
 
@@ -388,7 +399,7 @@ func (n *Node) Join(bootstrapAddr string) error {
 	// Integrate promptly rather than waiting a stabilization period.
 	n.StabilizeOnce()
 	n.startLoops()
-	n.cfg.Tracer.Emitf(n.self.Addr, trace.KindJoin, "joined via %s, successor %s", bootstrapAddr, succ.Addr)
+	n.emitf(trace.KindJoin, "joined via %s, successor %s", bootstrapAddr, succ.Addr)
 	return nil
 }
 
@@ -414,7 +425,7 @@ func (n *Node) Leave() error {
 	if pred != nil && pred.Addr != n.self.Addr && succ != nil {
 		_, _ = n.call(pred.Addr, kindLeaving, leavingReq{Departing: n.self, NewSucc: succ})
 	}
-	n.cfg.Tracer.Emit(n.self.Addr, trace.KindLeave, "graceful")
+	n.emit(trace.KindLeave, "graceful")
 	n.Stop()
 	return nil
 }
@@ -655,7 +666,7 @@ func (n *Node) handleLeaving(req leavingReq) (any, error) {
 			n.succs = []NodeInfo{n.self}
 		}
 	}
-	n.cfg.Tracer.Emitf(n.self.Addr, trace.KindRepair, "spliced out %s", req.Departing.Addr)
+	n.emitf(trace.KindRepair, "spliced out %s", req.Departing.Addr)
 	return leavingResp{Acked: true}, nil
 }
 
@@ -750,7 +761,7 @@ func (n *Node) dropSuccessor(dead NodeInfo) {
 	defer n.mu.Unlock()
 	if len(n.succs) > 0 && n.succs[0].Addr == dead.Addr {
 		n.succs = n.succs[1:]
-		n.cfg.Tracer.Emitf(n.self.Addr, trace.KindRepair, "dropped dead successor %s", dead.Addr)
+		n.emitf(trace.KindRepair, "dropped dead successor %s", dead.Addr)
 	}
 }
 
@@ -759,13 +770,24 @@ func (n *Node) dropSuccessor(dead NodeInfo) {
 // handler configured. Used by layers built on top of multicast, e.g.
 // retransmission NACKs in a reliability protocol.
 func (n *Node) Request(addr string, payload []byte) ([]byte, error) {
+	return n.RequestContext(context.Background(), addr, payload)
+}
+
+// RequestContext is Request bounded by the caller's context (in addition
+// to Config.CallTimeout, whichever expires first).
+func (n *Node) RequestContext(ctx context.Context, addr string, payload []byte) ([]byte, error) {
 	n.mu.Lock()
 	if n.stopped {
 		n.mu.Unlock()
 		return nil, ErrStopped
 	}
 	n.mu.Unlock()
-	resp, err := n.call(addr, kindApp, appReq{Payload: payload})
+	if d := n.cfg.CallTimeout; d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	resp, err := n.callCtx(ctx, addr, kindApp, appReq{Payload: payload})
 	if err != nil {
 		return nil, err
 	}

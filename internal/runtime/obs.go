@@ -1,0 +1,60 @@
+package runtime
+
+import (
+	"fmt"
+
+	"camcast/internal/obsv"
+	"camcast/internal/trace"
+)
+
+// nodeObs caches a node's observability handles: the live event bus plus
+// the registry instruments updated on protocol hot paths. Instrument
+// pointers are resolved once at construction and every one of them is
+// nil-safe, so an uninstrumented node pays only nil checks — no map
+// lookups, no branches on configuration.
+type nodeObs struct {
+	bus *obsv.Bus
+
+	delivered  *obsv.Counter
+	duplicates *obsv.Counter
+	acked      *obsv.Counter
+	retries    *obsv.Counter
+	repaired   *obsv.Counter
+	lost       *obsv.Counter
+
+	lookupHops *obsv.Histogram // hops per locally initiated lookup
+	treeTime   *obsv.Histogram // full dissemination-tree time at the source
+	spreadTime *obsv.Histogram // per-node segment spread time
+}
+
+func newNodeObs(bus *obsv.Bus, reg *obsv.Registry) nodeObs {
+	return nodeObs{
+		bus:        bus,
+		delivered:  reg.Counter(obsv.MetricDelivered),
+		duplicates: reg.Counter(obsv.MetricDuplicates),
+		acked:      reg.Counter(obsv.MetricForwardAcked),
+		retries:    reg.Counter(obsv.MetricForwardRetries),
+		repaired:   reg.Counter(obsv.MetricForwardRepaired),
+		lost:       reg.Counter(obsv.MetricForwardLost),
+		lookupHops: reg.Histogram(obsv.MetricLookupHops, obsv.CountBuckets(16)),
+		treeTime:   reg.Histogram(obsv.MetricMulticastTime, obsv.LatencyBuckets),
+		spreadTime: reg.Histogram(obsv.MetricSegmentSpread, obsv.LatencyBuckets),
+	}
+}
+
+// emit publishes one protocol event to both consumers: the synchronous
+// tracer (test assertions) and the live bus (streaming subscribers).
+func (n *Node) emit(kind trace.Kind, detail string) {
+	n.cfg.Tracer.Emit(n.self.Addr, kind, detail)
+	n.obs.bus.Emit(n.self.Addr, kind, detail)
+}
+
+// emitf is emit with lazy formatting: the detail string is built only when
+// a tracer is attached or a bus subscriber is watching, so unobserved
+// protocol paths skip the fmt call entirely.
+func (n *Node) emitf(kind trace.Kind, format string, args ...any) {
+	if n.cfg.Tracer == nil && !n.obs.bus.Active() {
+		return
+	}
+	n.emit(kind, fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,111 @@
+package runtime
+
+import (
+	"context"
+	"testing"
+
+	"camcast/internal/obsv"
+)
+
+// TestBusAndMetricsWiring drives a small group with a bus subscriber and a
+// registry attached and checks both observe the multicast: delivery events
+// stream onto the bus, and the registry's forwarding counters and
+// histograms accumulate.
+func TestBusAndMetricsWiring(t *testing.T) {
+	bus := obsv.NewBus()
+	reg := obsv.NewRegistry()
+	sub := bus.Subscribe(4096)
+	defer sub.Close()
+
+	c := newCluster(t, ModeCAMChord, 10)
+	c.tweak = func(cfg *Config) {
+		cfg.Bus = bus
+		cfg.Metrics = reg
+	}
+	c.grow(8, 4)
+
+	if _, err := c.nodes["node-0"].Multicast([]byte("observed")); err != nil {
+		t.Fatal(err)
+	}
+	c.checkExactlyOnce("node-0#1")
+
+	deliver, forward := 0, 0
+	for _, e := range sub.Drain(nil) {
+		switch e.Kind {
+		case obsv.KindDeliver:
+			deliver++
+		case obsv.KindForward:
+			forward++
+		}
+	}
+	if deliver != 8 {
+		t.Errorf("deliver events on bus = %d, want 8", deliver)
+	}
+	if forward == 0 {
+		t.Error("no forward events on bus")
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters[obsv.MetricDelivered]; got != 8 {
+		t.Errorf("%s = %d, want 8", obsv.MetricDelivered, got)
+	}
+	if got := snap.Counters[obsv.MetricForwardAcked]; got != 7 {
+		t.Errorf("%s = %d, want 7 (8 members minus the source)", obsv.MetricForwardAcked, got)
+	}
+	if snap.Histograms[obsv.MetricMulticastTime].Count != 1 {
+		t.Errorf("tree-time histogram count = %d, want 1", snap.Histograms[obsv.MetricMulticastTime].Count)
+	}
+	if snap.Histograms[obsv.MetricLookupHops].Count == 0 {
+		t.Error("lookup-hops histogram never observed (joins resolve via lookups)")
+	}
+}
+
+// TestMulticastContextCanceled checks a pre-canceled context abandons the
+// fan-out without accounting the abandoned segments as repaired or lost:
+// cancellation is the caller giving up, not a group failure.
+func TestMulticastContextCanceled(t *testing.T) {
+	c := newCluster(t, ModeCAMChord, 10)
+	c.grow(6, 4)
+
+	src := c.nodes["node-0"]
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	msgID, err := src.MulticastContext(ctx, []byte("too late"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The source always delivers to itself before fanning out.
+	c.mu.Lock()
+	own := c.got["node-0"][msgID]
+	c.mu.Unlock()
+	if own != 1 {
+		t.Errorf("source deliveries = %d, want 1", own)
+	}
+	st := src.Stats()
+	if st.SegmentsLost != 0 || st.SegmentsRepaired != 0 {
+		t.Errorf("canceled multicast accounted lost=%d repaired=%d, want 0/0",
+			st.SegmentsLost, st.SegmentsRepaired)
+	}
+}
+
+// TestRequestContextCanceled checks RequestContext respects the caller's
+// context on the in-memory transport.
+func TestRequestContextCanceled(t *testing.T) {
+	c := newCluster(t, ModeCAMChord, 10)
+	c.tweak = func(cfg *Config) {
+		cfg.OnRequest = func(from string, payload []byte) ([]byte, error) {
+			return append([]byte("ok:"), payload...), nil
+		}
+	}
+	c.grow(2, 4)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	out, err := c.nodes["node-0"].RequestContext(ctx, "node-1", []byte("ping"))
+	if err != nil || string(out) != "ok:ping" {
+		t.Fatalf("live request = %q, %v", out, err)
+	}
+	cancel()
+	if _, err := c.nodes["node-0"].RequestContext(ctx, "node-1", []byte("ping")); err == nil {
+		t.Error("canceled request succeeded, want error")
+	}
+}

@@ -122,7 +122,7 @@ func (n *Node) fix(batch int) {
 		n.table[tgt.key] = info
 		n.mu.Unlock()
 		if !had || old.Addr != info.Addr {
-			n.cfg.Tracer.Emitf(n.self.Addr, trace.KindRepair,
+			n.emitf(trace.KindRepair,
 				"slot (%d,%d) id=%d -> %s", tgt.key.level, tgt.key.seq, tgt.id, info.Addr)
 		}
 	}

@@ -2,59 +2,79 @@
 // dynamic runtime: tests and examples subscribe to protocol events (joins,
 // deliveries, suppressed duplicates, table repairs) without the protocol
 // code knowing who is watching.
+//
+// The event vocabulary lives in internal/obsv; this package aliases it so
+// a recorded trace.Event and a live obsv bus event are the same type. The
+// recorder is bounded: once Limit events are retained the oldest are
+// discarded (and counted), so a long-lived tracer cannot grow without
+// bound the way the original append-only recorder could.
+//
+// Deprecated: new code should subscribe to an obsv.Bus (streaming, per-
+// subscriber backpressure) instead of polling a Tracer; the Tracer remains
+// for synchronous test assertions.
 package trace
 
 import (
 	"fmt"
 	"sync"
 	"time"
+
+	"camcast/internal/obsv"
 )
 
-// Kind classifies an event.
-type Kind string
+// Kind classifies an event. It is the obsv event vocabulary.
+type Kind = obsv.Kind
 
-// Event kinds emitted by the runtime.
+// Event kinds emitted by the runtime, re-exported from internal/obsv.
 const (
-	KindJoin      Kind = "join"
-	KindLeave     Kind = "leave"
-	KindDeliver   Kind = "deliver"
-	KindForward   Kind = "forward"
-	KindDuplicate Kind = "duplicate"
-	KindRepair    Kind = "repair"
-	KindLookup    Kind = "lookup"
-	// KindRetry records one forwarding retry after a failed child send.
-	KindRetry Kind = "retry"
-	// KindLost records a multicast segment abandoned after retries and
-	// repair both failed: the members of that segment did not receive the
-	// message from this node.
-	KindLost Kind = "lost"
+	KindJoin      = obsv.KindJoin
+	KindLeave     = obsv.KindLeave
+	KindDeliver   = obsv.KindDeliver
+	KindForward   = obsv.KindForward
+	KindDuplicate = obsv.KindDuplicate
+	KindRepair    = obsv.KindRepair
+	KindLookup    = obsv.KindLookup
+	KindRetry     = obsv.KindRetry
+	KindLost      = obsv.KindLost
 )
 
-// Event is one recorded protocol event.
-type Event struct {
-	At     time.Time
-	Node   string // address of the node the event happened at
-	Kind   Kind
-	Detail string
-}
+// Event is one recorded protocol event (same type as obsv.Event, so a
+// recorded trace and a live bus tail are interchangeable).
+type Event = obsv.Event
 
-// String implements fmt.Stringer.
-func (e Event) String() string {
-	return fmt.Sprintf("%s %s %s (%s)", e.At.Format("15:04:05.000"), e.Node, e.Kind, e.Detail)
-}
+// DefaultLimit is how many events a NewTracer retains before discarding
+// the oldest. Large enough for any single-test workload; small enough
+// that a tracer left attached to a long-lived group stays bounded.
+const DefaultLimit = 4096
 
-// Tracer records events. The zero value discards everything; NewTracer
-// returns a recording tracer. A nil *Tracer is safe to use and records
-// nothing, so callers can pass tracers through unconditionally.
+// Tracer records events into a bounded ring. The zero value discards
+// everything; NewTracer returns a recording tracer. A nil *Tracer is safe
+// to use and records nothing, so callers can pass tracers through
+// unconditionally.
 type Tracer struct {
-	mu     sync.Mutex
-	events []Event
-	record bool
+	mu      sync.Mutex
+	ring    []Event
+	head    int // index of the oldest retained event
+	n       int // retained count
+	seq     uint64
+	dropped uint64
+	limit   int
+	record  bool
 }
 
-// NewTracer returns a recording tracer.
+// NewTracer returns a recording tracer retaining up to DefaultLimit events.
 func NewTracer() *Tracer {
-	return &Tracer{record: true}
+	return NewTracerLimit(DefaultLimit)
+}
+
+// NewTracerLimit returns a recording tracer retaining up to limit events
+// (DefaultLimit if limit <= 0). When full, the oldest event is discarded
+// for each new one and Dropped is incremented.
+func NewTracerLimit(limit int) *Tracer {
+	if limit <= 0 {
+		limit = DefaultLimit
+	}
+	return &Tracer{record: true, limit: limit}
 }
 
 // Emit records one event; no-op on a nil or non-recording tracer.
@@ -67,7 +87,19 @@ func (t *Tracer) Emit(node string, kind Kind, detail string) {
 	if !t.record {
 		return
 	}
-	t.events = append(t.events, Event{At: time.Now(), Node: node, Kind: kind, Detail: detail})
+	t.seq++
+	e := Event{Seq: t.seq, At: time.Now(), Node: node, Kind: kind, Detail: detail}
+	if t.ring == nil {
+		t.ring = make([]Event, t.limit)
+	}
+	if t.n == len(t.ring) {
+		t.ring[t.head] = e
+		t.head = (t.head + 1) % len(t.ring)
+		t.dropped++
+		return
+	}
+	t.ring[(t.head+t.n)%len(t.ring)] = e
+	t.n++
 }
 
 // Emitf records one event with a formatted detail string.
@@ -78,19 +110,24 @@ func (t *Tracer) Emitf(node string, kind Kind, format string, args ...any) {
 	t.Emit(node, kind, fmt.Sprintf(format, args...))
 }
 
-// Events returns a copy of all recorded events in order.
+// Events returns a copy of the retained events in emission order.
 func (t *Tracer) Events() []Event {
 	if t == nil {
 		return nil
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	out := make([]Event, len(t.events))
-	copy(out, t.events)
+	if t.n == 0 {
+		return nil
+	}
+	out := make([]Event, t.n)
+	for i := 0; i < t.n; i++ {
+		out[i] = t.ring[(t.head+i)%len(t.ring)]
+	}
 	return out
 }
 
-// Count returns how many recorded events match kind (all kinds if empty).
+// Count returns how many retained events match kind (all kinds if empty).
 func (t *Tracer) Count(kind Kind) int {
 	if t == nil {
 		return 0
@@ -98,23 +135,33 @@ func (t *Tracer) Count(kind Kind) int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if kind == "" {
-		return len(t.events)
+		return t.n
 	}
 	n := 0
-	for _, e := range t.events {
-		if e.Kind == kind {
+	for i := 0; i < t.n; i++ {
+		if t.ring[(t.head+i)%len(t.ring)].Kind == kind {
 			n++
 		}
 	}
 	return n
 }
 
-// Reset discards all recorded events.
+// Dropped returns how many events were discarded because the ring was full.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Reset discards all retained events and zeroes the drop counter.
 func (t *Tracer) Reset() {
 	if t == nil {
 		return
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.events = nil
+	t.ring, t.head, t.n, t.dropped = nil, 0, 0, 0
 }

@@ -58,6 +58,32 @@ func TestEventsReturnsCopy(t *testing.T) {
 	}
 }
 
+func TestBoundedRingDropsOldest(t *testing.T) {
+	tr := NewTracerLimit(4)
+	for i := 0; i < 10; i++ {
+		tr.Emitf("n", KindForward, "msg %d", i)
+	}
+	if got := tr.Count(""); got != 4 {
+		t.Errorf("retained = %d, want 4", got)
+	}
+	if got := tr.Dropped(); got != 6 {
+		t.Errorf("dropped = %d, want 6", got)
+	}
+	events := tr.Events()
+	if events[0].Detail != "msg 6" || events[3].Detail != "msg 9" {
+		t.Errorf("retained window = %v .. %v, want msg 6 .. msg 9", events[0].Detail, events[3].Detail)
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq != events[i-1].Seq+1 {
+			t.Errorf("seq not contiguous: %d after %d", events[i].Seq, events[i-1].Seq)
+		}
+	}
+	tr.Reset()
+	if tr.Count("") != 0 || tr.Dropped() != 0 {
+		t.Error("Reset did not clear ring and drop counter")
+	}
+}
+
 func TestConcurrentEmit(t *testing.T) {
 	tr := NewTracer()
 	var wg sync.WaitGroup

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+
+	"camcast/internal/obsv"
 )
 
 // benchPayload mirrors a typical control-plane RPC body: a short string key
@@ -17,7 +19,7 @@ type benchPayload struct {
 
 var benchRegisterOnce sync.Once
 
-func benchSetup(b *testing.B) (*TCP, *TCP) {
+func benchSetup(b *testing.B, instrument ...*obsv.Registry) (*TCP, *TCP) {
 	b.Helper()
 	benchRegisterOnce.Do(func() { registerBenchPayload() })
 	a, err := NewTCP("127.0.0.1:0")
@@ -27,6 +29,10 @@ func benchSetup(b *testing.B) (*TCP, *TCP) {
 	srv, err := NewTCP("127.0.0.1:0")
 	if err != nil {
 		b.Fatal(err)
+	}
+	for _, reg := range instrument {
+		a.Instrument(reg)
+		srv.Instrument(reg)
 	}
 	b.Cleanup(func() {
 		a.Close()
@@ -59,8 +65,8 @@ func BenchmarkTCPCall(b *testing.B) {
 // benchParallel issues b.N calls from exactly n concurrent goroutines
 // against one destination, the fan-out pattern ForwardParallel produces:
 // a capacity-c node pushing c child segments at once.
-func benchParallel(b *testing.B, n int) {
-	a, srv := benchSetup(b)
+func benchParallel(b *testing.B, n int, instrument ...*obsv.Registry) {
+	a, srv := benchSetup(b, instrument...)
 	ctx := context.Background()
 	req := benchPayload{Key: "segment", Value: make([]byte, 64), Seq: 1}
 	if _, err := a.Call(ctx, "bench", srv.Addr(), "echo", req); err != nil {
@@ -102,6 +108,13 @@ func benchParallel(b *testing.B, n int) {
 func BenchmarkTCPCallParallel1(b *testing.B)  { benchParallel(b, 1) }
 func BenchmarkTCPCallParallel4(b *testing.B)  { benchParallel(b, 4) }
 func BenchmarkTCPCallParallel16(b *testing.B) { benchParallel(b, 16) }
+
+// BenchmarkTCPCallParallel16Instrumented is the same pipelined fan-out with
+// a metrics registry attached on both ends: latency histogram, in-flight
+// gauge, call counters, and flush-batch histogram all live.
+func BenchmarkTCPCallParallel16Instrumented(b *testing.B) {
+	benchParallel(b, 16, obsv.NewRegistry())
+}
 
 // BenchmarkTCPCallPayloadSizes measures serial exchanges across payload
 // sizes, separating framing overhead from byte-shovelling throughput.

@@ -6,6 +6,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"camcast/internal/obsv"
 )
 
 // frameWriter serializes frame writes onto one buffered socket writer and
@@ -36,15 +38,18 @@ type frameWriter struct {
 	// timeout bounds each socket write/flush so one stalled peer cannot
 	// pin writers (or the flusher) forever.
 	timeout func() time.Duration
+	// flushObs observes the batch size (frames per flush); nil disables.
+	flushObs *obsv.Histogram
 }
 
-func newFrameWriter(conn net.Conn, timeout func() time.Duration) *frameWriter {
+func newFrameWriter(conn net.Conn, timeout func() time.Duration, flushObs *obsv.Histogram) *frameWriter {
 	w := &frameWriter{
-		conn:    conn,
-		bw:      bufio.NewWriterSize(conn, 64*1024),
-		kick:    make(chan struct{}, 1),
-		done:    make(chan struct{}),
-		timeout: timeout,
+		conn:     conn,
+		bw:       bufio.NewWriterSize(conn, 64*1024),
+		kick:     make(chan struct{}, 1),
+		done:     make(chan struct{}),
+		timeout:  timeout,
+		flushObs: flushObs,
 	}
 	go w.flushLoop()
 	return w
@@ -134,6 +139,9 @@ func (w *frameWriter) writeLocked(body []byte) error {
 }
 
 func (w *frameWriter) flushLocked() error {
+	if w.frames > 0 {
+		w.flushObs.Observe(float64(w.frames))
+	}
 	w.hot = w.frames > 1
 	w.frames = 0
 	if w.bw.Buffered() == 0 {

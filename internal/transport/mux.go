@@ -72,7 +72,7 @@ func newMuxConn(t *TCP, to string, nc net.Conn) *muxConn {
 		t:       t,
 		to:      to,
 		conn:    nc,
-		w:       newFrameWriter(nc, t.rpcTimeout),
+		w:       newFrameWriter(nc, t.rpcTimeout, t.obs.flush),
 		pending: make(map[uint64]pendingCall),
 		expKick: make(chan struct{}, 1),
 	}

@@ -1,0 +1,32 @@
+package transport
+
+import "camcast/internal/obsv"
+
+// instruments caches the registry handles a transport updates on its hot
+// paths, resolved once at Instrument time. The zero value (all nil) is
+// fully inert: every instrument method is nil-safe, and Call gates its
+// timing work on the latency handle, so an uninstrumented transport pays
+// exactly one pointer check per call — the <5% round-trip budget on the
+// pipelined benchmark depends on this.
+type instruments struct {
+	latency  *obsv.Histogram // request/response round trip, seconds
+	inflight *obsv.Gauge     // calls issued but not yet completed
+	calls    *obsv.Counter   // calls issued
+	errors   *obsv.Counter   // calls that returned an error
+	flush    *obsv.Histogram // frames coalesced per socket flush
+	served   *obsv.Counter   // requests served by accept-side workers
+}
+
+func newInstruments(reg *obsv.Registry) instruments {
+	if reg == nil {
+		return instruments{}
+	}
+	return instruments{
+		latency:  reg.Histogram(obsv.MetricRPCLatency, obsv.LatencyBuckets),
+		inflight: reg.Gauge(obsv.MetricRPCInflight),
+		calls:    reg.Counter(obsv.MetricRPCCalls),
+		errors:   reg.Counter(obsv.MetricRPCErrors),
+		flush:    reg.Histogram(obsv.MetricFlushBatch, obsv.CountBuckets(32)),
+		served:   reg.Counter(obsv.MetricServerServed),
+	}
+}

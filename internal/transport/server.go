@@ -45,7 +45,7 @@ func (t *TCP) serveConn(conn net.Conn) {
 	// which is what lets the last finishing worker flush all the responses
 	// in one syscall. A full queue (maxWorkers executing + maxWorkers
 	// queued) blocks the decode loop, which is the per-connection bound.
-	s := &serverConn{t: t, w: newFrameWriter(conn, t.rpcTimeout), reqs: make(chan parsedRequest, maxWorkers)}
+	s := &serverConn{t: t, w: newFrameWriter(conn, t.rpcTimeout, t.obs.flush), reqs: make(chan parsedRequest, maxWorkers)}
 	defer s.w.close()
 
 	spawned := 0
@@ -88,6 +88,7 @@ func (s *serverConn) worker(wg *sync.WaitGroup) {
 	defer wg.Done()
 	for req := range s.reqs {
 		errMsg, payload := s.handle(req)
+		s.t.obs.served.Inc()
 		// The last in-flight worker flushes the whole batch inline;
 		// anyone still behind it leaves the frame to the flusher.
 		inline := s.inflight.Add(-1) == 0

@@ -7,6 +7,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"camcast/internal/obsv"
 )
 
 // TCP is a transport that carries the same Call/Handler contract as the
@@ -58,6 +60,10 @@ type TCP struct {
 	// connection. Mutable before first use; default 32.
 	ServerWorkers int
 
+	// obs holds the metric handles installed by Instrument; the zero value
+	// disables all measurement.
+	obs instruments
+
 	wg sync.WaitGroup
 }
 
@@ -101,6 +107,15 @@ func NewTCP(listenAddr string) (*TCP, error) {
 // Addr returns the bound listen address; nodes hosted on this transport
 // should register under this address.
 func (t *TCP) Addr() string { return t.listenAddr }
+
+// Instrument directs the transport's hot-path measurements — RPC
+// round-trip latency, in-flight calls, call/error counts, flush batch
+// sizes, and served requests — into reg under the obsv.Metric* names.
+// Like the timeout knobs it must be set before first use; nil reverts to
+// no measurement.
+func (t *TCP) Instrument(reg *obsv.Registry) {
+	t.obs = newInstruments(reg)
+}
 
 func (t *TCP) codec() Codec { return t.Codec }
 
@@ -155,6 +170,22 @@ func (t *TCP) Registered(addr string) bool {
 // sooner) arms a per-call timer, so a hung peer fails the call while other
 // calls keep flowing on the shared connection.
 func (t *TCP) Call(ctx context.Context, from, to, kind string, payload any) (any, error) {
+	if t.obs.latency == nil {
+		return t.dispatch(ctx, from, to, kind, payload)
+	}
+	t.obs.calls.Inc()
+	t.obs.inflight.Add(1)
+	start := time.Now()
+	resp, err := t.dispatch(ctx, from, to, kind, payload)
+	t.obs.inflight.Add(-1)
+	t.obs.latency.ObserveDuration(time.Since(start))
+	if err != nil {
+		t.obs.errors.Inc()
+	}
+	return resp, err
+}
+
+func (t *TCP) dispatch(ctx context.Context, from, to, kind string, payload any) (any, error) {
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()

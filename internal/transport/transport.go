@@ -19,6 +19,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"camcast/internal/obsv"
 )
 
 // Common transport errors, matchable with errors.Is.
@@ -50,6 +52,11 @@ type Network struct {
 	rng       *rand.Rand
 	calls     uint64
 	drops     uint64
+
+	// obs holds the metric handles installed by Instrument; the zero value
+	// disables all measurement. Like the TCP transport's knobs it is set
+	// before first use, so Call reads it without the lock.
+	obs instruments
 }
 
 // NewNetwork creates an empty network. seed drives loss simulation.
@@ -59,6 +66,13 @@ func NewNetwork(seed int64) *Network {
 		partition: make(map[string]int),
 		rng:       rand.New(rand.NewSource(seed)),
 	}
+}
+
+// Instrument directs the network's call measurements — round-trip
+// latency, in-flight calls, call/error counts — into reg under the
+// obsv.Metric* names. Set before first use; nil reverts to no measurement.
+func (n *Network) Instrument(reg *obsv.Registry) {
+	n.obs = newInstruments(reg)
 }
 
 // Register attaches a handler at addr, replacing any previous registration.
@@ -173,6 +187,22 @@ func (n *Network) effectivePartition(addr string, step uint64) int {
 // already been reached, mirroring a real network where a timed-out request
 // may still have been processed remotely.
 func (n *Network) Call(ctx context.Context, from, to, kind string, payload any) (any, error) {
+	if n.obs.latency == nil {
+		return n.dispatch(ctx, from, to, kind, payload)
+	}
+	n.obs.calls.Inc()
+	n.obs.inflight.Add(1)
+	start := time.Now()
+	resp, err := n.dispatch(ctx, from, to, kind, payload)
+	n.obs.inflight.Add(-1)
+	n.obs.latency.ObserveDuration(time.Since(start))
+	if err != nil {
+		n.obs.errors.Inc()
+	}
+	return resp, err
+}
+
+func (n *Network) dispatch(ctx context.Context, from, to, kind string, payload any) (any, error) {
 	n.mu.Lock()
 	step := n.calls
 	n.calls++
