@@ -82,6 +82,11 @@ func (p Protocol) String() string {
 }
 
 // Message is one multicast delivery handed to the application.
+//
+// Payload is borrowed from the network layer: on the zero-copy path it
+// aliases a pooled receive buffer that is reused for other traffic as soon
+// as the OnDeliver callback returns. Use it freely during the callback;
+// copy it (bytes.Clone) if the application keeps it longer.
 type Message struct {
 	ID      string // globally unique message identifier
 	From    string // address of the originating member
@@ -225,6 +230,8 @@ type Options struct {
 	Bits uint
 	// OnDeliver receives every multicast message, including the member's
 	// own. Called synchronously from protocol goroutines; keep it fast.
+	// The Message's Payload is only valid for the duration of the call —
+	// copy it to retain it (see Message).
 	OnDeliver func(Message)
 	// OnRequest serves unicast requests other members send with
 	// Member.Request — the escape hatch layers like reliable delivery use

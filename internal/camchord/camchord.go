@@ -19,6 +19,7 @@ package camchord
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sync"
 
 	"camcast/internal/multicast"
@@ -111,22 +112,54 @@ func (n *Network) NeighborIDs(pos int) []ring.ID {
 	return out
 }
 
+// neighborScratch recycles the sorted dedup slice across NeighborNodes
+// builds, including concurrent ones from multiple experiment workers. A
+// sorted slice beats the former per-call map[int]bool here: neighbor sets
+// are small (≲ 4·c entries), so binary search plus insertion-shift stays
+// cache-resident and the only allocations are the scratch's one-time growth.
+var neighborScratch = sync.Pool{New: func() any { return &neighborSet{} }}
+
+type neighborSet struct{ seen []int }
+
 // NeighborNodes resolves NeighborIDs to distinct ring positions (excluding
 // pos itself). This is the actual routing-table contents a live node would
 // maintain.
 func (n *Network) NeighborNodes(pos int) []int {
-	idList := n.NeighborIDs(pos)
-	seen := make(map[int]bool, len(idList))
-	out := make([]int, 0, len(idList))
-	for _, id := range idList {
-		p := n.ring.Responsible(id)
-		if p == pos || seen[p] {
-			continue
+	return n.AppendNeighborNodes(make([]int, 0, 4*n.caps[pos]), pos)
+}
+
+// AppendNeighborNodes appends the node's distinct neighbor positions
+// (excluding pos itself) to dst in first-seen order and returns the
+// extended slice, resolving the neighbor identifiers on the fly so a
+// lookup sweep can reuse one buffer across the whole run.
+func (n *Network) AppendNeighborNodes(dst []int, pos int) []int {
+	s := n.ring.Space()
+	x := n.ring.IDAt(pos)
+	c := uint64(n.caps[pos])
+	sc := neighborScratch.Get().(*neighborSet)
+	seen := sc.seen[:0]
+	for pow := uint64(1); pow < s.Size(); pow *= c {
+		for j := uint64(1); j <= c-1; j++ {
+			d := j * pow
+			if d >= s.Size() {
+				break
+			}
+			p := n.ring.Responsible(s.Add(x, d))
+			if p == pos {
+				continue
+			}
+			if i, ok := slices.BinarySearch(seen, p); !ok {
+				seen = slices.Insert(seen, i, p)
+				dst = append(dst, p)
+			}
 		}
-		seen[p] = true
-		out = append(out, p)
+		if pow > s.Size()/c { // next multiply would overflow past the space
+			break
+		}
 	}
-	return out
+	sc.seen = seen
+	neighborScratch.Put(sc)
+	return dst
 }
 
 // Lookup resolves the node responsible for identifier k starting from the

@@ -3,6 +3,7 @@ package camchord
 import (
 	"math"
 	"math/rand"
+	"slices"
 	"testing"
 
 	"camcast/internal/ring"
@@ -358,5 +359,62 @@ func TestCapacityAccessor(t *testing.T) {
 	n := paperRing(t)
 	if n.Capacity(0) != 3 {
 		t.Errorf("Capacity(0) = %d", n.Capacity(0))
+	}
+}
+
+// TestAppendNeighborNodesMatchesNeighborIDs cross-checks the on-the-fly
+// enumeration in AppendNeighborNodes against the reference NeighborIDs +
+// Responsible resolution, including first-seen order.
+func TestAppendNeighborNodesMatchesNeighborIDs(t *testing.T) {
+	n := randomNetwork(t, 14, 200, 2, 9, 11)
+	var buf []int
+	for pos := 0; pos < n.Ring().Len(); pos++ {
+		var want []int
+		seen := make(map[int]bool)
+		for _, id := range n.NeighborIDs(pos) {
+			p := n.Ring().Responsible(id)
+			if p == pos || seen[p] {
+				continue
+			}
+			seen[p] = true
+			want = append(want, p)
+		}
+		buf = n.AppendNeighborNodes(buf[:0], pos)
+		if !slices.Equal(buf, want) {
+			t.Fatalf("pos %d: AppendNeighborNodes = %v, want %v", pos, buf, want)
+		}
+		if got := n.NeighborNodes(pos); !slices.Equal(got, want) {
+			t.Fatalf("pos %d: NeighborNodes = %v, want %v", pos, got, want)
+		}
+	}
+}
+
+// TestAppendNeighborNodesAllocFree gates the perf fix: with a reused dst
+// buffer and a warmed scratch pool, neighbor resolution must not allocate
+// (the former implementation built a map[int]bool per call).
+func TestAppendNeighborNodesAllocFree(t *testing.T) {
+	n := randomNetwork(t, 14, 200, 2, 9, 12)
+	buf := make([]int, 0, 64)
+	pos := 0
+	n.AppendNeighborNodes(buf, pos) // warm the scratch pool
+	avg := testing.AllocsPerRun(100, func() {
+		buf = n.AppendNeighborNodes(buf[:0], pos)
+		pos = (pos + 1) % n.Ring().Len()
+	})
+	if avg > 0 {
+		t.Fatalf("AppendNeighborNodes allocates %.1f times per call, want 0", avg)
+	}
+}
+
+// BenchmarkNeighborNodes measures neighbor resolution as the experiment
+// engine's lookup sweeps drive it: every position in turn, one reused
+// buffer.
+func BenchmarkNeighborNodes(b *testing.B) {
+	n := randomNetwork(b, 16, 1000, 2, 9, 13)
+	buf := make([]int, 0, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = n.AppendNeighborNodes(buf[:0], i%n.Ring().Len())
 	}
 }

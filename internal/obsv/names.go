@@ -12,6 +12,13 @@ const (
 	MetricFlushBatch   = "transport.flush.batch_frames"  // histogram: frames coalesced per socket flush
 	MetricServerServed = "transport.server.requests"     // counter: requests served by accept-side workers
 
+	// Zero-copy data path (shared name between transport and runtime: a
+	// TCPMember's transport and node write into one registry, so blob
+	// materializations from both layers land in one counter).
+	MetricBytesSent      = "transport.bytes_sent"      // counter: frame bytes written to sockets
+	MetricBytesReceived  = "transport.bytes_received"  // counter: frame bytes read from sockets
+	MetricPayloadEncodes = "transport.payload_encodes" // counter: payload materializations (blob builds + per-frame fallback encodes)
+
 	// Runtime protocol layer (internal/runtime).
 	MetricForwardAcked    = "runtime.forward.acked"            // counter: child sends acknowledged
 	MetricForwardRetries  = "runtime.forward.retries"          // counter: child sends retried

@@ -280,7 +280,7 @@ func TestRepairSegmentHandsOffOrphan(t *testing.T) {
 		y:      victim.Self().ID,
 		segEnd: c.space.Sub(parent.Self().ID, 1), // the whole rest of the ring
 	}
-	parent.repairSegment(context.Background(), msgID, parent.Self(), []byte("orphan"), cp, victim.Self(), 0)
+	parent.repairSegment(context.Background(), msgID, parent.Self(), payloadRef{bytes: []byte("orphan")}, cp, victim.Self(), 0)
 
 	if got := parent.Stats().SegmentsRepaired; got != 1 {
 		t.Fatalf("SegmentsRepaired = %d, want 1", got)

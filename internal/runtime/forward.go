@@ -100,6 +100,41 @@ func (n *Node) fanOut(count int, task func(i int)) {
 	wg.Wait()
 }
 
+// confirmSuccessor is FindSuccessor through the node's per-generation memo,
+// for the pre-send resolution paths: in a quiet group the recurring
+// per-message lookups — confirming a planned segment empty, re-resolving a
+// missing table slot — cost a map hit instead of an RPC chain. The memo
+// holds only while the topology generation is unchanged; any membership
+// write (stabilize, notify, fix, join, leave, suspicion flip) discards it,
+// so a group in motion gets exactly the fresh lookups it got before the
+// memo existed. Failure-path resolution (retry, repair) bypasses the memo
+// on purpose: those callers just learned the topology view is wrong.
+func (n *Node) confirmSuccessor(y ring.ID) (NodeInfo, error) {
+	gen := n.topoGen.Load()
+	n.memoMu.Lock()
+	if n.memoGen != gen {
+		clear(n.memo)
+		n.memoGen = gen
+	} else if info, ok := n.memo[y]; ok {
+		n.memoMu.Unlock()
+		return info, nil
+	}
+	n.memoMu.Unlock()
+
+	info, _, err := n.FindSuccessor(y)
+	if err != nil {
+		return NodeInfo{}, err
+	}
+	n.memoMu.Lock()
+	// Cache only if the topology held still across the lookup; a result
+	// straddling a generation boundary may predate the change.
+	if n.memoGen == gen && n.topoGen.Load() == gen && len(n.memo) < 4096 {
+		n.memo[y] = info
+	}
+	n.memoMu.Unlock()
+	return info, nil
+}
+
 // sendTimed issues one child send under the per-child deadline, within the
 // caller's context.
 func (n *Node) sendTimed(ctx context.Context, to, kind string, payload any) (any, error) {
@@ -164,7 +199,7 @@ func (n *Node) noteLost() {
 // per-child deadline, and on failure re-resolve and retry with backoff up
 // to ForwardRetries times. If every attempt fails the segment is handed to
 // repairSegment rather than dropped.
-func (n *Node) forwardSegment(ctx context.Context, msgID string, source NodeInfo, payload []byte, cp childPlan, table map[tableKey]NodeInfo, hops int) {
+func (n *Node) forwardSegment(ctx context.Context, msgID string, source NodeInfo, payload payloadRef, cp childPlan, table map[tableKey]NodeInfo, hops int) {
 	s := n.space
 	x := n.self.ID
 
@@ -183,7 +218,7 @@ func (n *Node) forwardSegment(ctx context.Context, msgID string, source NodeInfo
 	if !ok || child.zero() || !n.net.Registered(child.Addr) {
 		// Table slot empty or stale: resolve on demand.
 		n.tableFaults.Add(1)
-		info, _, err := n.FindSuccessor(cp.y)
+		info, err := n.confirmSuccessor(cp.y)
 		if err != nil {
 			// Resolution failed outright; try the repair path before
 			// declaring the whole subtree lost.
@@ -197,7 +232,16 @@ func (n *Node) forwardSegment(ctx context.Context, msgID string, source NodeInfo
 		// before closer members joined looks exactly the same. Confirm with
 		// a lookup before silently truncating the tree here.
 		n.tableFaults.Add(1)
-		if info, _, err := n.FindSuccessor(cp.y); err == nil && !info.zero() {
+		info, err := n.confirmSuccessor(cp.y)
+		if err != nil {
+			// The confirmation itself failed — the network said no, not the
+			// ring. Engage repair instead of truncating: a truly empty
+			// segment makes it a no-op, a live owner gets the handoff, and
+			// an unreachable one is accounted, never silently dropped.
+			n.repairSegment(ctx, msgID, source, payload, cp, NodeInfo{}, hops)
+			return
+		}
+		if !info.zero() {
 			child = info
 		}
 	}
@@ -205,7 +249,7 @@ func (n *Node) forwardSegment(ctx context.Context, msgID string, source NodeInfo
 		return // no live member owns this segment; nothing to deliver
 	}
 
-	req := multicastReq{MsgID: msgID, Source: source, Payload: payload, K: cp.segEnd, Hops: hops + 1}
+	req := multicastReq{MsgID: msgID, Source: source, Payload: payload.bytes, K: cp.segEnd, Hops: hops + 1, blob: payload.blob}
 	for attempt := 0; ; attempt++ {
 		_, err := n.sendTimed(ctx, child.Addr, kindMulticast, req)
 		if err == nil {
@@ -243,10 +287,10 @@ func (n *Node) forwardSegment(ctx context.Context, msgID string, source NodeInfo
 // handoffs set multicastReq.Repair so a receiver that already delivered
 // the message still re-spreads the wider segment. Only when both fail is
 // the segment counted lost.
-func (n *Node) repairSegment(ctx context.Context, msgID string, source NodeInfo, payload []byte, cp childPlan, failedChild NodeInfo, hops int) {
+func (n *Node) repairSegment(ctx context.Context, msgID string, source NodeInfo, payload payloadRef, cp childPlan, failedChild NodeInfo, hops int) {
 	s := n.space
 	x := n.self.ID
-	req := multicastReq{MsgID: msgID, Source: source, Payload: payload, K: cp.segEnd, Hops: hops + 1, Repair: true}
+	req := multicastReq{MsgID: msgID, Source: source, Payload: payload.bytes, K: cp.segEnd, Hops: hops + 1, Repair: true, blob: payload.blob}
 
 	target := cp.y
 	if !failedChild.zero() && s.InOC(failedChild.ID, x, cp.segEnd) {
@@ -332,7 +376,7 @@ func (n *Node) noteRepaired(msgID string, segEnd ring.ID, to string) {
 // neighbor needs repair (unreachable, or reachable but the payload could
 // not be delivered) and whether it is a usable reflood relay (it responded
 // to an offer, so it either has the message or is about to decline it).
-func (n *Node) floodOne(ctx context.Context, msgID string, source NodeInfo, payload []byte, nb NodeInfo, hops int) (needRepair, relay bool) {
+func (n *Node) floodOne(ctx context.Context, msgID string, source NodeInfo, payload payloadRef, nb NodeInfo, hops int) (needRepair, relay bool) {
 	var want bool
 	offered := false
 	for attempt := 0; attempt <= n.cfg.ForwardRetries; attempt++ {
@@ -371,7 +415,7 @@ func (n *Node) floodOne(ctx context.Context, msgID string, source NodeInfo, payl
 	if sendTries < 1 {
 		sendTries = 1
 	}
-	req := floodReq{MsgID: msgID, Source: source, Payload: payload, Hops: hops + 1}
+	req := floodReq{MsgID: msgID, Source: source, Payload: payload.bytes, Hops: hops + 1, blob: payload.blob}
 	for attempt := 0; ; attempt++ {
 		_, err := n.sendTimed(ctx, nb.Addr, kindFlood, req)
 		if err == nil {
@@ -397,7 +441,7 @@ func (n *Node) floodOne(ctx context.Context, msgID string, source NodeInfo, payl
 // the neighbors still believed to be members; failures the transport
 // confirms dead trigger the reflood but count as neither repaired nor
 // lost (the member is gone, not missed).
-func (n *Node) refloodRepair(ctx context.Context, msgID string, source NodeInfo, payload []byte, hops int, failedLive int, relays []NodeInfo) {
+func (n *Node) refloodRepair(ctx context.Context, msgID string, source NodeInfo, payload payloadRef, hops int, failedLive int, relays []NodeInfo) {
 	countLost := func() {
 		if failedLive == 0 {
 			return
@@ -411,7 +455,7 @@ func (n *Node) refloodRepair(ctx context.Context, msgID string, source NodeInfo,
 		countLost()
 		return
 	}
-	req := floodReq{MsgID: msgID, Source: source, Payload: payload, Hops: hops + 1}
+	req := floodReq{MsgID: msgID, Source: source, Payload: payload.bytes, Hops: hops + 1, blob: payload.blob}
 	sent := 0
 	for _, r := range relays {
 		if sent >= 2 {

@@ -7,7 +7,21 @@ import (
 
 	"camcast/internal/ring"
 	"camcast/internal/trace"
+	"camcast/internal/transport"
 )
+
+// payloadRef carries a message payload through the forwarding engine: the
+// raw bytes plus, on blob-aware transports, the refcounted blob that owns
+// them. The engine only borrows the blob — the caller (the transport's
+// serving side for relays, MulticastContext for origination) holds the
+// reference for the duration of the synchronous spread and releases it —
+// and every outgoing frame shares it, so fan-out, retry, repair handoff,
+// and reflood all reuse the single encoding of the payload that already
+// exists on this node.
+type payloadRef struct {
+	bytes []byte
+	blob  *transport.Blob
+}
 
 // Multicast originates a message to the whole group and returns its message
 // ID. CAM-Chord nodes split the identifier ring across their neighbor-table
@@ -37,11 +51,20 @@ func (n *Node) MulticastContext(ctx context.Context, payload []byte) (string, er
 	n.seen.Record(msgID)
 	n.deliver(Delivery{MsgID: msgID, Source: n.self, Payload: payload, Hops: 0})
 
+	// On a blob-aware transport, materialize the payload once: every child
+	// frame of the fan-out (and any retry or repair) shares this blob, so
+	// the encode cost of a multicast is independent of capacity.
+	p := payloadRef{bytes: payload}
+	if n.blobPayloads && len(payload) > 0 {
+		p.blob = transport.BlobFrom(payload)
+		n.obs.encodes.Inc()
+		defer p.blob.Release()
+	}
 	switch n.cfg.Mode {
 	case ModeCAMChord:
-		n.spreadSegment(ctx, msgID, n.self, payload, n.space.Sub(n.self.ID, 1), 0)
+		n.spreadSegment(ctx, msgID, n.self, p, n.space.Sub(n.self.ID, 1), 0)
 	case ModeCAMKoorde:
-		n.floodNeighbors(ctx, msgID, n.self, payload, 0)
+		n.floodNeighbors(ctx, msgID, n.self, p, 0)
 	}
 	n.obs.treeTime.ObserveDuration(time.Since(start))
 	return msgID, nil
@@ -78,7 +101,10 @@ func (n *Node) handleMulticast(req multicastReq) (any, error) {
 	} else {
 		n.deliver(Delivery{MsgID: req.MsgID, Source: req.Source, Payload: req.Payload, Hops: req.Hops})
 	}
-	n.spreadSegment(context.Background(), req.MsgID, req.Source, req.Payload, req.K, req.Hops)
+	// Relay straight out of the received request: req.blob (held by the
+	// transport until this handler returns) carries the wire bytes every
+	// child frame shares, so the relay never re-encodes the payload.
+	n.spreadSegment(context.Background(), req.MsgID, req.Source, payloadRef{req.Payload, req.blob}, req.K, req.Hops)
 	return multicastResp{Duplicate: dup}, nil
 }
 
@@ -89,7 +115,7 @@ func (n *Node) handleMulticast(req multicastReq) (any, error) {
 // Children are dispatched concurrently — one dead or slow child delays only
 // its own segment — and each send is protected by the retry/repair engine
 // in forward.go.
-func (n *Node) spreadSegment(ctx context.Context, msgID string, source NodeInfo, payload []byte, k ring.ID, hops int) {
+func (n *Node) spreadSegment(ctx context.Context, msgID string, source NodeInfo, payload payloadRef, k ring.ID, hops int) {
 	plan := n.planSegments(k)
 	if len(plan) == 0 {
 		return
@@ -108,7 +134,7 @@ func (n *Node) handleFlood(req floodReq) (any, error) {
 		return floodResp{Duplicate: true}, nil
 	}
 	n.deliver(Delivery{MsgID: req.MsgID, Source: req.Source, Payload: req.Payload, Hops: req.Hops})
-	n.floodNeighbors(context.Background(), req.MsgID, req.Source, req.Payload, req.Hops)
+	n.floodNeighbors(context.Background(), req.MsgID, req.Source, payloadRef{req.Payload, req.blob}, req.Hops)
 	return floodResp{}, nil
 }
 
@@ -120,7 +146,7 @@ func (n *Node) handleReflood(req floodReq) (any, error) {
 	if !n.seen.Record(req.MsgID) {
 		n.deliver(Delivery{MsgID: req.MsgID, Source: req.Source, Payload: req.Payload, Hops: req.Hops})
 	}
-	n.floodNeighbors(context.Background(), req.MsgID, req.Source, req.Payload, req.Hops)
+	n.floodNeighbors(context.Background(), req.MsgID, req.Source, payloadRef{req.Payload, req.blob}, req.Hops)
 	return floodResp{}, nil
 }
 
@@ -129,7 +155,7 @@ func (n *Node) handleReflood(req floodReq) (any, error) {
 // payload only to those that have not received it. Neighbors are contacted
 // concurrently under the fan-out limit; unreachable or undeliverable
 // neighbors trigger a reflood repair through the surviving mesh.
-func (n *Node) floodNeighbors(ctx context.Context, msgID string, source NodeInfo, payload []byte, hops int) {
+func (n *Node) floodNeighbors(ctx context.Context, msgID string, source NodeInfo, payload payloadRef, hops int) {
 	neighbors := n.koordeNeighbors()
 	if len(neighbors) == 0 {
 		return

@@ -84,6 +84,14 @@ type Transport interface {
 var _ Transport = (*transport.Network)(nil)
 
 // Delivery is one multicast message handed to the application.
+//
+// Payload is borrowed, not owned: on the zero-copy path it aliases the
+// pooled receive buffer the frame arrived in, which returns to the pool —
+// and is reused for unrelated traffic — once the delivering handler
+// finishes. It is valid only for the duration of the OnDeliver call; a
+// handler that keeps the message must copy it (bytes.Clone) before
+// returning. transport.PoisonBlobsOnRelease turns violations into
+// deterministic garbage for tests.
 type Delivery struct {
 	MsgID   string
 	Source  NodeInfo
@@ -139,7 +147,9 @@ type Config struct {
 	Counters *metrics.Counters
 
 	// OnDeliver receives every multicast delivery, including the sender's
-	// own. Called synchronously from protocol handlers; keep it fast.
+	// own. Called synchronously from protocol handlers; keep it fast. The
+	// Delivery's Payload is only valid for the duration of the call — copy
+	// it to retain it (see Delivery).
 	OnDeliver func(Delivery)
 	// OnRequest serves application-level unicast requests sent with
 	// Node.Request (e.g. retransmission NACKs from a reliability layer).
@@ -243,6 +253,10 @@ type Node struct {
 	space ring.Space
 	self  NodeInfo
 	net   Transport
+	// blobPayloads records whether the transport sends BlobMarshaler
+	// payloads zero-copy, in which case Multicast materializes the payload
+	// into a shared transport.Blob once up front.
+	blobPayloads bool
 
 	mu      sync.Mutex
 	pred    *NodeInfo
@@ -273,9 +287,25 @@ type Node struct {
 	suspectMu sync.Mutex
 	suspects  map[string]time.Time // addr -> suspicion expiry
 
+	// topoGen counts membership-state writes — pred, successor list, table
+	// slots, suspicion changes — and gates the forwarding engine's segment
+	// confirmation memo (confirmSuccessor): lookups memoized in one
+	// generation are discarded the moment the node's view of the group
+	// moves, so a quiet group resolves per-message confirmations with ring
+	// arithmetic while a churning one falls back to fresh lookup chains.
+	topoGen atomic.Uint64
+
+	memoMu  sync.Mutex
+	memoGen uint64
+	memo    map[ring.ID]NodeInfo
+
 	stopCh chan struct{}
 	wg     sync.WaitGroup
 }
+
+// noteTopologyChange starts a new topology generation, invalidating every
+// memoized confirmation lookup.
+func (n *Node) noteTopologyChange() { n.topoGen.Add(1) }
 
 // NewNode creates a node bound to addr on the network. The node is inert
 // until Bootstrap or Join is called.
@@ -299,10 +329,14 @@ func NewNode(net Transport, addr string, cfg Config) (*Node, error) {
 		seen:      newSeenCache(cfg.SeenLimit),
 		reflooded: newSeenCache(cfg.SeenLimit),
 		suspects:  make(map[string]time.Time),
+		memo:      make(map[ring.ID]NodeInfo),
 		stopCh:    make(chan struct{}),
 	}
 	n.obs = newNodeObs(cfg.Bus, cfg.Metrics)
 	n.rng = rand.New(rand.NewSource(int64(n.self.ID) + 1))
+	if bt, ok := net.(interface{ BlobPayloads() bool }); ok {
+		n.blobPayloads = bt.BlobPayloads()
+	}
 	return n, nil
 }
 
@@ -359,6 +393,7 @@ func (n *Node) Bootstrap() error {
 	n.started = true
 	n.pred = &n.self
 	n.succs = []NodeInfo{n.self}
+	n.noteTopologyChange()
 	n.mu.Unlock()
 
 	n.net.Register(n.self.Addr, n.handleRPC)
@@ -393,6 +428,7 @@ func (n *Node) Join(bootstrapAddr string) error {
 	n.started = true
 	n.pred = nil
 	n.succs = []NodeInfo{succ}
+	n.noteTopologyChange()
 	n.mu.Unlock()
 
 	n.net.Register(n.self.Addr, n.handleRPC)
@@ -515,10 +551,15 @@ func (n *Node) noteCallResult(addr string, err error) {
 			errors.Is(err, os.ErrDeadlineExceeded))
 	n.suspectMu.Lock()
 	defer n.suspectMu.Unlock()
+	_, suspect := n.suspects[addr]
 	if unreachable {
 		n.suspects[addr] = time.Now().Add(n.cfg.SuspicionWindow)
-	} else {
+		if !suspect {
+			n.noteTopologyChange()
+		}
+	} else if suspect {
 		delete(n.suspects, addr)
+		n.noteTopologyChange()
 	}
 }
 
@@ -644,6 +685,9 @@ func (n *Node) handleNotify(req notifyReq) (any, error) {
 	if len(n.succs) > 0 && n.succs[0].Addr == n.self.Addr {
 		n.succs[0] = c
 	}
+	if accepted {
+		n.noteTopologyChange()
+	}
 	return notifyResp{Accepted: accepted}, nil
 }
 
@@ -666,6 +710,7 @@ func (n *Node) handleLeaving(req leavingReq) (any, error) {
 			n.succs = []NodeInfo{n.self}
 		}
 	}
+	n.noteTopologyChange()
 	n.emitf(trace.KindRepair, "spliced out %s", req.Departing.Addr)
 	return leavingResp{Acked: true}, nil
 }
@@ -722,6 +767,7 @@ func (n *Node) StabilizeOnce() {
 	if n.pred != nil && n.pred.Addr != n.self.Addr && !n.net.Registered(n.pred.Addr) {
 		n.pred = nil
 	}
+	n.noteTopologyChange()
 	n.mu.Unlock()
 
 	_, _ = n.call(succ.Addr, kindNotify, notifyReq{Candidate: n.self})
@@ -738,6 +784,7 @@ func (n *Node) liveSuccessor() (NodeInfo, bool) {
 				// Successor list exhausted: fall back to self; the ring
 				// will heal through incoming notifies.
 				n.succs = []NodeInfo{n.self}
+				n.noteTopologyChange()
 			}
 			self := n.self
 			n.mu.Unlock()
@@ -761,6 +808,7 @@ func (n *Node) dropSuccessor(dead NodeInfo) {
 	defer n.mu.Unlock()
 	if len(n.succs) > 0 && n.succs[0].Addr == dead.Addr {
 		n.succs = n.succs[1:]
+		n.noteTopologyChange()
 		n.emitf(trace.KindRepair, "dropped dead successor %s", dead.Addr)
 	}
 }

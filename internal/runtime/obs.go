@@ -25,6 +25,13 @@ type nodeObs struct {
 	lookupHops *obsv.Histogram // hops per locally initiated lookup
 	treeTime   *obsv.Histogram // full dissemination-tree time at the source
 	spreadTime *obsv.Histogram // per-node segment spread time
+
+	// encodes counts payload blobs this node materialized at origination.
+	// It shares its metric name with the transport's serving-side count (a
+	// member's node and transport write into one registry), so the total is
+	// every payload materialization on this member — which the zero-copy
+	// path keeps at one per message regardless of fan-out.
+	encodes *obsv.Counter
 }
 
 func newNodeObs(bus *obsv.Bus, reg *obsv.Registry) nodeObs {
@@ -39,6 +46,7 @@ func newNodeObs(bus *obsv.Bus, reg *obsv.Registry) nodeObs {
 		lookupHops: reg.Histogram(obsv.MetricLookupHops, obsv.CountBuckets(16)),
 		treeTime:   reg.Histogram(obsv.MetricMulticastTime, obsv.LatencyBuckets),
 		spreadTime: reg.Histogram(obsv.MetricSegmentSpread, obsv.LatencyBuckets),
+		encodes:    reg.Counter(obsv.MetricPayloadEncodes),
 	}
 }
 

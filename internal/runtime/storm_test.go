@@ -1,0 +1,183 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"camcast/internal/obsv"
+	"camcast/internal/ring"
+	"camcast/internal/transport"
+)
+
+// TestMulticastStormSingleEncode drives a concurrent multi-source multicast
+// storm over real TCP sockets and pins down the zero-copy contract:
+//
+//   - every node delivers every message exactly once (duplicate suppression
+//     holds under concurrent sources);
+//   - each member materializes a payload exactly once per multicast frame it
+//     handles, so payload_encodes == delivered + duplicates per member — one
+//     encode per message per node regardless of fan-out;
+//   - the blob pool balances after quiesce: gets == puts means no frame or
+//     relay path leaked a payload reference.
+//
+// Run under -race this doubles as the concurrency check on the refcounted
+// blob lifecycle shared across the origin, relay, and serving paths.
+func TestMulticastStormSingleEncode(t *testing.T) {
+	RegisterWireTypes()
+	const (
+		groupSize  = 8
+		sources    = 4
+		perSource  = 3
+		payloadLen = 4 << 10
+	)
+	space := ring.MustSpace(16)
+
+	getsBase, putsBase := transport.BlobPoolStats()
+
+	var (
+		mu  sync.Mutex
+		got = map[string]map[string]int{} // addr -> msgID -> deliveries
+	)
+
+	transports := make([]*transport.TCP, 0, groupSize)
+	nodes := make([]*Node, 0, groupSize)
+	regs := make([]*obsv.Registry, 0, groupSize)
+	stopAll := func() {
+		for _, n := range nodes {
+			n.Stop()
+		}
+		for _, tr := range transports {
+			tr.Close()
+		}
+	}
+	t.Cleanup(stopAll)
+
+	for i := 0; i < groupSize; i++ {
+		tr, err := transport.NewTCP("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := obsv.NewRegistry()
+		tr.Instrument(reg)
+		transports = append(transports, tr)
+		regs = append(regs, reg)
+		addr := tr.Addr()
+		cfg := Config{
+			Space: space, Mode: ModeCAMChord, Capacity: 4, Metrics: reg,
+			OnDeliver: func(d Delivery) {
+				mu.Lock()
+				defer mu.Unlock()
+				if got[addr] == nil {
+					got[addr] = map[string]int{}
+				}
+				got[addr][d.MsgID]++
+			},
+		}
+		n, err := NewNode(tr, addr, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, n)
+		if i == 0 {
+			if err := n.Bootstrap(); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		if err := n.Join(transports[0].Addr()); err != nil {
+			t.Fatalf("node %d join: %v", i, err)
+		}
+		for r := 0; r < 2; r++ {
+			for _, m := range nodes {
+				m.StabilizeOnce()
+			}
+		}
+	}
+	for r := 0; r < 3; r++ {
+		for _, m := range nodes {
+			m.StabilizeOnce()
+		}
+		for _, m := range nodes {
+			m.FixAll()
+		}
+	}
+
+	// The storm: several sources multicast concurrently.
+	var (
+		wg     sync.WaitGroup
+		idsMu  sync.Mutex
+		msgIDs []string
+	)
+	for s := 0; s < sources; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for k := 0; k < perSource; k++ {
+				payload := make([]byte, payloadLen)
+				copy(payload, fmt.Sprintf("storm src=%d msg=%d", s, k))
+				id, err := nodes[s*2].Multicast(payload)
+				if err != nil {
+					t.Errorf("source %d multicast %d: %v", s, k, err)
+					return
+				}
+				idsMu.Lock()
+				msgIDs = append(msgIDs, id)
+				idsMu.Unlock()
+			}
+		}(s)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Exactly-once delivery at every member for every message.
+	mu.Lock()
+	for _, n := range nodes {
+		for _, id := range msgIDs {
+			if c := got[n.Self().Addr][id]; c != 1 {
+				t.Errorf("%s delivered %d copies of %s, want exactly 1", n.Self().Addr, c, id)
+			}
+		}
+	}
+	mu.Unlock()
+
+	// One payload materialization per multicast frame a member handled:
+	// origination builds one blob, every received frame aliases one out of
+	// its pooled buffer, and suppressed duplicates still decoded a frame —
+	// so per member, encodes == delivered + duplicates exactly. Fan-out 4
+	// with 8 members means each relay sends several child frames per
+	// message; none of them may cost an extra encode.
+	for i, reg := range regs {
+		snap := reg.Snapshot()
+		encodes := snap.Counters[obsv.MetricPayloadEncodes]
+		delivered := snap.Counters[obsv.MetricDelivered]
+		duplicates := snap.Counters[obsv.MetricDuplicates]
+		if encodes != delivered+duplicates {
+			t.Errorf("node %d: payload_encodes = %d, want delivered(%d) + duplicates(%d) = %d",
+				i, encodes, delivered, duplicates, delivered+duplicates)
+		}
+		if min := uint64(len(msgIDs)); delivered < min {
+			t.Errorf("node %d: delivered %d < %d messages", i, delivered, min)
+		}
+	}
+
+	// Quiesce and check the pool balances: every blob handed out since the
+	// baseline must have been released — frames, relays, retries, and the
+	// serving path all gave their references back.
+	stopAll()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		gets, puts := transport.BlobPoolStats()
+		if gets-getsBase == puts-putsBase {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("blob pool leak after quiesce: %d gets vs %d puts since baseline",
+				gets-getsBase, puts-putsBase)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

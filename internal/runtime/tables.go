@@ -121,6 +121,7 @@ func (n *Node) fix(batch int) {
 		old, had := n.table[tgt.key]
 		n.table[tgt.key] = info
 		n.mu.Unlock()
+		n.noteTopologyChange()
 		if !had || old.Addr != info.Addr {
 			n.emitf(trace.KindRepair,
 				"slot (%d,%d) id=%d -> %s", tgt.key.level, tgt.key.seq, tgt.id, info.Addr)

@@ -1,6 +1,9 @@
 package runtime
 
-import "camcast/internal/ring"
+import (
+	"camcast/internal/ring"
+	"camcast/internal/transport"
+)
 
 // RPC kinds exchanged between runtime nodes over the transport.
 const (
@@ -75,6 +78,14 @@ type multicastReq struct {
 	// (receiver, K] even if it has already seen the message, because the
 	// segment's original child died before covering it.
 	Repair bool
+
+	// blob, when set, owns the bytes Payload views (len(Payload) must equal
+	// the blob view's length and the contents must match — the scatter-gather
+	// writer sends the blob's bytes under Payload's framing). Decoded
+	// requests hold one reference, released by the transport after the
+	// handler returns; re-sends share the same blob so a relay never
+	// re-encodes the payload. Never transits gob (unexported).
+	blob *transport.Blob
 }
 
 type multicastResp struct {
@@ -95,6 +106,9 @@ type floodReq struct {
 	Source  NodeInfo
 	Payload []byte
 	Hops    int
+
+	// blob mirrors multicastReq.blob: the shared owner of Payload's bytes.
+	blob *transport.Blob
 }
 
 type floodResp struct {

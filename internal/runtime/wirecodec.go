@@ -181,26 +181,63 @@ func decodeNotifyResp(b []byte) (any, error) {
 	return p, r.Finish()
 }
 
+// multicastReq and floodReq — the two bulk payload carriers — encode their
+// payload bytes last (wire format v2) and implement transport.BlobMarshaler:
+// AppendWireHead emits everything up to and including the payload's length
+// framing, and the payload bytes themselves ride out of the shared blob via
+// the transport's scatter-gather writer. AppendWire stays the canonical
+// (equivalent) whole-value encoding for the gob A/B tests, fuzzers, and
+// blob-less sends.
+
 func (multicastReq) WireTag() byte { return tagMulticastReq }
-func (p multicastReq) AppendWire(b []byte) []byte {
+func (p multicastReq) AppendWireHead(b []byte) []byte {
 	b = transport.AppendString(b, p.MsgID)
 	b = appendNodeInfo(b, p.Source)
-	b = transport.AppendBytes(b, p.Payload)
 	b = transport.AppendUvarint(b, uint64(p.K))
 	b = transport.AppendVarint(b, int64(p.Hops))
-	return transport.AppendBool(b, p.Repair)
+	b = transport.AppendBool(b, p.Repair)
+	return transport.AppendBytesHead(b, p.Payload)
+}
+func (p multicastReq) AppendWire(b []byte) []byte {
+	return append(p.AppendWireHead(b), p.Payload...)
+}
+func (p multicastReq) PayloadBlob() ([]byte, *transport.Blob) {
+	return p.Payload, p.blob
+}
+
+// ReleasePayload drops the decoded request's blob reference; called by the
+// transport after the handler returns (handlers only borrow the payload).
+func (p multicastReq) ReleasePayload() { p.blob.Release() }
+
+func readMulticastReqHead(r *transport.WireReader) multicastReq {
+	return multicastReq{
+		MsgID:  r.String(),
+		Source: readNodeInfo(r),
+		K:      ring.ID(r.Uvarint()),
+		Hops:   int(r.Varint()),
+		Repair: r.Bool(),
+	}
 }
 func decodeMulticastReq(b []byte) (any, error) {
 	r := transport.NewWireReader(b)
-	p := multicastReq{
-		MsgID:   r.String(),
-		Source:  readNodeInfo(r),
-		Payload: r.Bytes(),
-		K:       ring.ID(r.Uvarint()),
-		Hops:    int(r.Varint()),
-		Repair:  r.Bool(),
-	}
+	p := readMulticastReqHead(r)
+	p.Payload = r.Bytes()
 	return p, r.Finish()
+}
+
+// decodeMulticastReqBlob is the zero-copy serving-side decoder: the payload
+// views the pooled frame buffer and the request holds a reference on it.
+func decodeMulticastReqBlob(b []byte, owner *transport.Blob) (any, error) {
+	r := transport.NewWireReader(b)
+	p := readMulticastReqHead(r)
+	p.Payload = r.BytesView()
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	if p.Payload != nil {
+		p.blob = owner.Retain()
+	}
+	return p, nil
 }
 
 func (multicastResp) WireTag() byte { return tagMulticastResp }
@@ -234,21 +271,49 @@ func decodeOfferResp(b []byte) (any, error) {
 }
 
 func (floodReq) WireTag() byte { return tagFloodReq }
-func (p floodReq) AppendWire(b []byte) []byte {
+func (p floodReq) AppendWireHead(b []byte) []byte {
 	b = transport.AppendString(b, p.MsgID)
 	b = appendNodeInfo(b, p.Source)
-	b = transport.AppendBytes(b, p.Payload)
-	return transport.AppendVarint(b, int64(p.Hops))
+	b = transport.AppendVarint(b, int64(p.Hops))
+	return transport.AppendBytesHead(b, p.Payload)
+}
+func (p floodReq) AppendWire(b []byte) []byte {
+	return append(p.AppendWireHead(b), p.Payload...)
+}
+func (p floodReq) PayloadBlob() ([]byte, *transport.Blob) {
+	return p.Payload, p.blob
+}
+
+// ReleasePayload drops the decoded request's blob reference; called by the
+// transport after the handler returns.
+func (p floodReq) ReleasePayload() { p.blob.Release() }
+
+func readFloodReqHead(r *transport.WireReader) floodReq {
+	return floodReq{
+		MsgID:  r.String(),
+		Source: readNodeInfo(r),
+		Hops:   int(r.Varint()),
+	}
 }
 func decodeFloodReq(b []byte) (any, error) {
 	r := transport.NewWireReader(b)
-	p := floodReq{
-		MsgID:   r.String(),
-		Source:  readNodeInfo(r),
-		Payload: r.Bytes(),
-		Hops:    int(r.Varint()),
-	}
+	p := readFloodReqHead(r)
+	p.Payload = r.Bytes()
 	return p, r.Finish()
+}
+
+// decodeFloodReqBlob is the zero-copy serving-side decoder for floods.
+func decodeFloodReqBlob(b []byte, owner *transport.Blob) (any, error) {
+	r := transport.NewWireReader(b)
+	p := readFloodReqHead(r)
+	p.Payload = r.BytesView()
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	if p.Payload != nil {
+		p.blob = owner.Retain()
+	}
+	return p, nil
 }
 
 func (floodResp) WireTag() byte { return tagFloodResp }
@@ -327,4 +392,18 @@ func registerBinaryWireTypes() {
 	transport.RegisterWireDecoder(tagLeavingResp, decodeLeavingResp)
 	transport.RegisterWireDecoder(tagAppReq, decodeAppReq)
 	transport.RegisterWireDecoder(tagAppResp, decodeAppResp)
+
+	// The bulk payload carriers also get zero-copy serving-side decoders;
+	// every other type keeps the copying decoder (their payloads are tiny
+	// control fields).
+	transport.RegisterBlobDecoder(tagMulticastReq, decodeMulticastReqBlob)
+	transport.RegisterBlobDecoder(tagFloodReq, decodeFloodReqBlob)
 }
+
+// Compile-time checks: the bulk carriers implement the zero-copy contracts.
+var (
+	_ transport.BlobMarshaler   = multicastReq{}
+	_ transport.BlobMarshaler   = floodReq{}
+	_ transport.PayloadReleaser = multicastReq{}
+	_ transport.PayloadReleaser = floodReq{}
+)

@@ -1,0 +1,60 @@
+package transport
+
+import "sync"
+
+// blobWireTag sits just under benchWireTag at the top of the user range so
+// it can never collide with the runtime's registered wire types.
+const blobWireTag byte = 0xF1
+
+// blobTestPayload is a BlobMarshaler test type: payload-last wire layout
+// with the bulk bytes optionally owned by a refcounted blob, mirroring the
+// runtime's multicastReq shape.
+type blobTestPayload struct {
+	Key  string
+	Data []byte
+	blob *Blob
+}
+
+func (blobTestPayload) WireTag() byte { return blobWireTag }
+
+func (p blobTestPayload) AppendWireHead(b []byte) []byte {
+	b = AppendString(b, p.Key)
+	return AppendBytesHead(b, p.Data)
+}
+
+func (p blobTestPayload) AppendWire(b []byte) []byte {
+	return append(p.AppendWireHead(b), p.Data...)
+}
+
+func (p blobTestPayload) PayloadBlob() ([]byte, *Blob) { return p.Data, p.blob }
+
+func (p blobTestPayload) ReleasePayload() { p.blob.Release() }
+
+func decodeBlobTestPayload(b []byte) (any, error) {
+	r := NewWireReader(b)
+	p := blobTestPayload{Key: r.String(), Data: r.Bytes()}
+	return p, r.Finish()
+}
+
+func decodeBlobTestPayloadBlob(b []byte, owner *Blob) (any, error) {
+	r := NewWireReader(b)
+	p := blobTestPayload{Key: r.String()}
+	p.Data = r.BytesView()
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	if p.Data != nil {
+		owner.Retain()
+		p.blob = owner
+	}
+	return p, nil
+}
+
+var blobPayloadOnce sync.Once
+
+func registerBlobTestPayload() {
+	blobPayloadOnce.Do(func() {
+		RegisterWireDecoder(blobWireTag, decodeBlobTestPayload)
+		RegisterBlobDecoder(blobWireTag, decodeBlobTestPayloadBlob)
+	})
+}

@@ -1,36 +1,46 @@
 package transport
 
 import (
-	"bufio"
+	"fmt"
 	"net"
 	"runtime"
 	"sync"
 	"time"
-
-	"camcast/internal/obsv"
 )
 
-// frameWriter serializes frame writes onto one buffered socket writer and
-// coalesces flushes. A writer that knows it is the only active writer on
-// the connection (sole pending call, last in-flight handler) flushes
-// inline — no added latency on a quiet connection. Any other writer leaves
-// its frame buffered and arms the flusher goroutine, which yields the
-// processor a couple of times before flushing, so every caller or handler
-// that is already runnable gets to append its frame first: a 16-way
-// concurrent fan-out lands in one write syscall instead of sixteen. This
-// is what makes pipelining pay off even on a single core, where concurrent
-// writers never actually overlap on the write lock.
+// frameWriter serializes frame writes onto one socket and coalesces
+// flushes. A writer that knows it is the only active writer on the
+// connection (sole pending call, last in-flight handler) flushes inline —
+// no added latency on a quiet connection. Any other writer leaves its frame
+// buffered and arms the flusher goroutine, which yields the processor a
+// couple of times before flushing, so every caller or handler that is
+// already runnable gets to append its frame first: a 16-way concurrent
+// fan-out lands in one write syscall instead of sixteen. This is what makes
+// pipelining pay off even on a single core, where concurrent writers never
+// actually overlap on the write lock.
+//
+// Frames are encoded directly into the writer's buffer (no per-connection
+// scratch-then-copy step): each frame reserves its 4-byte length prefix,
+// encodes, and patches the prefix. Payloads carried by a refcounted Blob
+// (BlobMarshaler values on the binary codec) never enter the buffer at all:
+// the frame records a reference to the blob's bytes at the current buffer
+// offset, and the flush writes buffered heads and shared payload bytes with
+// one scatter-gather writev (net.Buffers), releasing each blob once its
+// bytes are on the socket. A capacity-c fan-out therefore carries one
+// payload encoding shared by c frames instead of c private copies.
 type frameWriter struct {
 	conn net.Conn
 
-	mu      sync.Mutex
-	bw      *bufio.Writer
-	scratch []byte // frame encode buffer, reused under mu
-	err     error  // sticky; the conn is broken once set
-	armed   bool   // flusher has been kicked and will flush
-	closed  bool   // done has been closed
-	frames  int    // frames buffered since the last flush
-	hot     bool   // the flusher is batching: skip inline flushes
+	mu     sync.Mutex
+	buf    []byte      // frame bytes buffered since the last flush
+	exts   []extSeg    // blob-backed segments interleaved into buf, by offset
+	extLen int         // total bytes across exts
+	vecs   net.Buffers // scatter-gather scratch, reused across flushes
+	err    error       // sticky; the conn is broken once set
+	armed  bool        // flusher has been kicked and will flush
+	closed bool        // done has been closed
+	frames int         // frames buffered since the last flush
+	hot    bool        // the flusher is batching: skip inline flushes
 
 	kick chan struct{}
 	done chan struct{}
@@ -38,18 +48,40 @@ type frameWriter struct {
 	// timeout bounds each socket write/flush so one stalled peer cannot
 	// pin writers (or the flusher) forever.
 	timeout func() time.Duration
-	// flushObs observes the batch size (frames per flush); nil disables.
-	flushObs *obsv.Histogram
+	// obs carries the transport's instruments (flush batch sizes, bytes
+	// sent, payload encodes); every handle is nil-safe.
+	obs *instruments
 }
 
-func newFrameWriter(conn net.Conn, timeout func() time.Duration, flushObs *obsv.Histogram) *frameWriter {
+// extSeg is one blob-backed payload segment: its bytes logically follow
+// buf[:at]. The writer holds one blob reference per segment, taken when the
+// frame is buffered and released when the flush puts the bytes on the
+// socket (or the connection dies).
+type extSeg struct {
+	at  int
+	b   []byte
+	own *Blob
+}
+
+const (
+	// writeThreshold is the buffered-bytes level (heads + blob payloads)
+	// that forces an inline flush, bounding how much one connection buffers
+	// between flusher runs — the moral equivalent of the old fixed-size
+	// bufio.Writer writing through when full.
+	writeThreshold = 64 * 1024
+	// maxRetainedBuf caps the head buffer kept across flushes; a burst of
+	// oversized non-blob payloads (gob fallback) does not pin its peak
+	// footprint forever.
+	maxRetainedBuf = 128 * 1024
+)
+
+func newFrameWriter(conn net.Conn, timeout func() time.Duration, obs *instruments) *frameWriter {
 	w := &frameWriter{
-		conn:     conn,
-		bw:       bufio.NewWriterSize(conn, 64*1024),
-		kick:     make(chan struct{}, 1),
-		done:     make(chan struct{}),
-		timeout:  timeout,
-		flushObs: flushObs,
+		conn:    conn,
+		kick:    make(chan struct{}, 1),
+		done:    make(chan struct{}),
+		timeout: timeout,
+		obs:     obs,
 	}
 	go w.flushLoop()
 	return w
@@ -74,13 +106,18 @@ func (w *frameWriter) writeRequest(callID uint64, from, to, kind string, payload
 	if w.err != nil {
 		return w.err
 	}
-	body, err := appendRequestBody(w.scratch[:0], callID, from, to, kind, payload, codec)
-	if err != nil {
-		// Encoding failed before any bytes were buffered; the conn is
-		// still clean.
+	lenPos, extMark, extLenMark := w.markLocked()
+	w.buf = appendFrameHeader(w.buf, frameRequest, callID)
+	w.buf = AppendString(w.buf, from)
+	w.buf = AppendString(w.buf, to)
+	w.buf = AppendString(w.buf, kind)
+	if err := w.appendPayloadLocked(payload, codec); err != nil {
+		// Encoding failed; roll the partial frame back — the conn is still
+		// clean, no bytes were exposed to the socket.
+		w.rollbackLocked(lenPos, extMark, extLenMark)
 		return &encodeError{err}
 	}
-	return w.finishFrameLocked(body, inlineFlush)
+	return w.sealFrameLocked(lenPos, extMark, extLenMark, inlineFlush)
 }
 
 func (w *frameWriter) writeResponse(callID uint64, errMsg string, payload any, codec Codec, inlineFlush bool) error {
@@ -89,23 +126,84 @@ func (w *frameWriter) writeResponse(callID uint64, errMsg string, payload any, c
 	if w.err != nil {
 		return w.err
 	}
-	body, err := appendResponseBody(w.scratch[:0], callID, errMsg, payload, codec)
-	if err != nil {
+	lenPos, extMark, extLenMark := w.markLocked()
+	w.buf = appendFrameHeader(w.buf, frameResponse, callID)
+	w.buf = AppendString(w.buf, errMsg)
+	if errMsg != "" {
+		// Error responses never carry a payload.
+		w.buf = append(w.buf, wireTagNil)
+	} else if err := w.appendPayloadLocked(payload, codec); err != nil {
+		w.rollbackLocked(lenPos, extMark, extLenMark)
 		return &encodeError{err}
 	}
-	return w.finishFrameLocked(body, inlineFlush)
+	return w.sealFrameLocked(lenPos, extMark, extLenMark, inlineFlush)
 }
 
-// finishFrameLocked writes an encoded frame body and applies the flush
-// policy. Callers hold mu.
-func (w *frameWriter) finishFrameLocked(body []byte, inlineFlush bool) error {
-	w.scratch = body
-	if err := w.writeLocked(body); err != nil {
-		w.fail(err)
+// markLocked records the rollback point for one frame and reserves its
+// length prefix. Callers hold mu.
+func (w *frameWriter) markLocked() (lenPos, extMark, extLenMark int) {
+	lenPos, extMark, extLenMark = len(w.buf), len(w.exts), w.extLen
+	w.buf = append(w.buf, 0, 0, 0, 0)
+	return lenPos, extMark, extLenMark
+}
+
+// appendPayloadLocked encodes the payload field of the current frame. A
+// BlobMarshaler carrying its blob contributes only its head to the buffer;
+// the payload bytes ride as a shared extSeg. Callers hold mu.
+func (w *frameWriter) appendPayloadLocked(payload any, codec Codec) error {
+	if payload == nil {
+		w.buf = append(w.buf, wireTagNil)
+		return nil
+	}
+	if codec == CodecBinary {
+		if bm, ok := payload.(BlobMarshaler); ok {
+			if view, owner := bm.PayloadBlob(); owner != nil {
+				w.buf = append(w.buf, bm.WireTag())
+				w.buf = bm.AppendWireHead(w.buf)
+				if len(view) > 0 {
+					owner.Retain()
+					w.exts = append(w.exts, extSeg{at: len(w.buf), b: view, own: owner})
+					w.extLen += len(view)
+				}
+				return nil
+			}
+			// A blob-capable payload without its blob falls back to a full
+			// per-frame encode. Correct but a zero-copy regression, so it
+			// counts as a payload materialization.
+			w.obs.encodes.Inc()
+		}
+	}
+	b, err := appendPayload(w.buf, payload, codec)
+	if err != nil {
 		return err
 	}
+	w.buf = b
+	return nil
+}
+
+// rollbackLocked undoes a partially encoded frame: truncates the buffer and
+// drops (releasing) any blob segments the frame added. Callers hold mu.
+func (w *frameWriter) rollbackLocked(lenPos, extMark, extLenMark int) {
+	w.buf = w.buf[:lenPos]
+	for i := extMark; i < len(w.exts); i++ {
+		w.exts[i].own.Release()
+		w.exts[i] = extSeg{}
+	}
+	w.exts = w.exts[:extMark]
+	w.extLen = extLenMark
+}
+
+// sealFrameLocked patches the frame's length prefix and applies the flush
+// policy. Callers hold mu.
+func (w *frameWriter) sealFrameLocked(lenPos, extMark, extLenMark int, inlineFlush bool) error {
+	body := (len(w.buf) - lenPos - 4) + (w.extLen - extLenMark)
+	if body > maxFrameSize {
+		w.rollbackLocked(lenPos, extMark, extLenMark)
+		return &encodeError{fmt.Errorf("transport: frame body %d bytes exceeds the %d-byte limit", body, maxFrameSize)}
+	}
+	putFrameLen(w.buf[lenPos:], body)
 	w.frames++
-	if inlineFlush && !w.hot {
+	if (inlineFlush && !w.hot) || len(w.buf)+w.extLen >= writeThreshold {
 		if err := w.flushLocked(); err != nil {
 			w.fail(err)
 			return err
@@ -122,33 +220,63 @@ func (w *frameWriter) finishFrameLocked(body []byte, inlineFlush bool) error {
 	return nil
 }
 
-// writeLocked buffers one length-prefixed frame. Callers hold mu.
-func (w *frameWriter) writeLocked(body []byte) error {
-	var lenb [4]byte
-	putFrameLen(lenb[:], len(body))
-	// A frame larger than the buffer's free space makes bufio write
-	// through to the socket; bound that write like a flush.
-	if len(body)+4 > w.bw.Available() {
-		w.setWriteDeadline()
-	}
-	if _, err := w.bw.Write(lenb[:]); err != nil {
-		return err
-	}
-	_, err := w.bw.Write(body)
-	return err
-}
-
+// flushLocked writes everything buffered — head bytes and blob-backed
+// payload segments — with one gathered write, then releases the blobs.
+// Callers hold mu.
 func (w *frameWriter) flushLocked() error {
 	if w.frames > 0 {
-		w.flushObs.Observe(float64(w.frames))
+		w.obs.flush.Observe(float64(w.frames))
 	}
 	w.hot = w.frames > 1
 	w.frames = 0
-	if w.bw.Buffered() == 0 {
+	total := len(w.buf) + w.extLen
+	if total == 0 {
 		return nil
 	}
 	w.setWriteDeadline()
-	return w.bw.Flush()
+	var err error
+	if len(w.exts) == 0 {
+		_, err = w.conn.Write(w.buf)
+	} else {
+		vecs := w.vecs[:0]
+		prev := 0
+		for i := range w.exts {
+			e := &w.exts[i]
+			if e.at > prev {
+				vecs = append(vecs, w.buf[prev:e.at])
+			}
+			vecs = append(vecs, e.b)
+			prev = e.at
+		}
+		if prev < len(w.buf) {
+			vecs = append(vecs, w.buf[prev:])
+		}
+		w.vecs = vecs
+		_, err = vecs.WriteTo(w.conn) // writev on TCP conns
+		for i := range w.vecs {
+			w.vecs[i] = nil
+		}
+		w.releaseExtsLocked()
+	}
+	// Bytes handed to the socket (the frames are gone from the buffer
+	// either way — on error the conn is torn down).
+	w.obs.bytesSent.Add(uint64(total))
+	if cap(w.buf) > maxRetainedBuf {
+		w.buf = nil
+	} else {
+		w.buf = w.buf[:0]
+	}
+	return err
+}
+
+// releaseExtsLocked releases every pending blob segment. Callers hold mu.
+func (w *frameWriter) releaseExtsLocked() {
+	for i := range w.exts {
+		w.exts[i].own.Release()
+		w.exts[i] = extSeg{}
+	}
+	w.exts = w.exts[:0]
+	w.extLen = 0
 }
 
 func (w *frameWriter) setWriteDeadline() {
@@ -158,11 +286,13 @@ func (w *frameWriter) setWriteDeadline() {
 }
 
 // fail marks the writer broken and closes the socket, which unblocks the
-// connection's reader and tears the conn down. Callers hold mu.
+// connection's reader and tears the conn down. Buffered frames are dropped,
+// so their blob references are released here. Callers hold mu.
 func (w *frameWriter) fail(err error) {
 	if w.err == nil {
 		w.err = err
 	}
+	w.releaseExtsLocked()
 	w.conn.Close()
 }
 
@@ -172,6 +302,7 @@ func (w *frameWriter) close() {
 	if w.err == nil {
 		w.err = ErrClosed
 	}
+	w.releaseExtsLocked()
 	if !w.closed {
 		w.closed = true
 		close(w.done)

@@ -22,9 +22,14 @@ import (
 // arrive in any order, which is what lets N calls share one socket with N
 // RPCs in flight. Payload tag 0 is nil, tag 1 is the gob fallback, and
 // tags >= WireTagUserMin name types registered with RegisterWireDecoder.
+//
+// Version 2 reordered the runtime's bulk payload encodings (multicastReq,
+// floodReq) to put the payload bytes last, which is what lets the frame
+// writer scatter-gather them from a shared blob; v1 peers would misparse
+// those payloads, so the preamble version rejects them outright.
 
 const (
-	wireVersion byte = 1
+	wireVersion byte = 2
 
 	frameRequest  byte = 1
 	frameResponse byte = 2
@@ -78,6 +83,27 @@ func readFrame(r *bufio.Reader, buf []byte) (body, next []byte, err error) {
 	return body, buf, nil
 }
 
+// readFrameBlob reads one length-prefixed frame body directly into a
+// pooled blob, so a bulk payload travels socket -> blob with no staging
+// copy (bufio hands reads larger than its remaining buffer straight to the
+// socket). The caller owns the returned blob's single reference.
+func readFrameBlob(r *bufio.Reader) (*Blob, error) {
+	var lenb [4]byte
+	if _, err := io.ReadFull(r, lenb[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(lenb[:])
+	if n < frameHeaderSize || n > maxFrameSize {
+		return nil, fmt.Errorf("transport: frame length %d out of range", n)
+	}
+	b := NewBlob(int(n))
+	if _, err := io.ReadFull(r, b.Bytes()); err != nil {
+		b.Release()
+		return nil, err
+	}
+	return b, nil
+}
+
 // putFrameLen writes the 4-byte frame length prefix.
 func putFrameLen(dst []byte, n int) {
 	binary.BigEndian.PutUint32(dst, uint32(n))
@@ -114,36 +140,45 @@ func frameHeader(body []byte) (frameType byte, callID uint64, rest []byte) {
 	return body[0], binary.BigEndian.Uint64(body[1:9]), body[9:]
 }
 
-// parsedRequest is a decoded request frame, copied out of the frame buffer
-// so decoding can happen on a worker goroutine while the reader loop
-// reuses its buffer. The whole frame body is copied once; from/to/kind are
-// views into that copy and payload is its tail (tag+bytes).
+// parsedRequest is a decoded request frame whose body lives in the pooled
+// refcounted blob the frame was read into, so decoding can happen on a
+// worker goroutine while the reader loop reads the next frame — and so a
+// bulk payload can be re-shared outbound (relay fan-out) without ever
+// being copied again. The caller owns one reference on body and releases
+// it when the request is fully served; payload is a view into it. from and
+// kind are copied out (handlers may retain them past the blob's release);
+// to is a transient view only used for the endpoint lookup.
 type parsedRequest struct {
 	callID  uint64
 	from    string
 	to      string
 	kind    string
 	payload []byte
+	body    *Blob
 }
 
-// parseRequest decodes a request frame body (after the frame header).
-func parseRequest(callID uint64, rest []byte) (parsedRequest, error) {
-	body := make([]byte, len(rest))
-	copy(body, rest)
-	r := NewWireReader(body)
+// parseRequest decodes a request frame body (rest, the blob's bytes after
+// the frame header). Ownership of the caller's blob reference transfers:
+// on success the returned request holds it, on error parseRequest releases
+// it.
+func parseRequest(callID uint64, rest []byte, blob *Blob) (parsedRequest, error) {
+	r := NewWireReader(rest)
 	req := parsedRequest{
 		callID: callID,
-		from:   r.stringView(),
+		from:   r.String(),
 		to:     r.stringView(),
-		kind:   r.stringView(),
+		kind:   r.String(),
+		body:   blob,
 	}
 	if r.err != nil {
+		blob.Release()
 		return parsedRequest{}, r.err
 	}
-	if r.off >= len(body) {
+	if r.off >= len(rest) {
+		blob.Release()
 		return parsedRequest{}, fmt.Errorf("%w: request without payload", ErrWireDecode)
 	}
-	req.payload = body[r.off:]
+	req.payload = rest[r.off:]
 	return req, nil
 }
 

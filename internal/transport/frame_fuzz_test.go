@@ -4,16 +4,27 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/binary"
+	"io"
+	"net"
 	"testing"
+	"time"
 )
 
 // FuzzParseFrame fuzzes the server-side frame parsing path with arbitrary
-// frame bodies: header split, request parsing, and payload decoding must
-// reject garbage with an error, never panic or over-read.
+// frame bodies exactly as the decode loop sees them — body in a pooled
+// blob, payload decoded through the blob-aware dispatcher — so garbage must
+// be rejected with an error, never panic, over-read, or leak a blob
+// reference.
 func FuzzParseFrame(f *testing.F) {
 	benchRegisterOnce.Do(func() { registerBenchPayload() })
-	// Seed with a well-formed request and response frame body.
+	registerBlobTestPayload()
+	// Seed with well-formed request and response frame bodies, covering the
+	// gob fallback, the plain binary codec, and the blob-backed payload.
 	req, err := appendRequestBody(nil, 7, "from", "to", "kind", benchPayload{Key: "k", Value: []byte{1, 2}, Seq: 3}, CodecBinary)
+	if err != nil {
+		f.Fatal(err)
+	}
+	breq, err := appendRequestBody(nil, 9, "from", "to", "kind", blobTestPayload{Key: "k", Data: []byte{4, 5, 6}}, CodecBinary)
 	if err != nil {
 		f.Fatal(err)
 	}
@@ -22,26 +33,41 @@ func FuzzParseFrame(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(req)
+	f.Add(breq)
 	f.Add(resp)
 	f.Fuzz(func(t *testing.T, body []byte) {
 		if len(body) < frameHeaderSize {
 			return
 		}
-		frameType, callID, rest := frameHeader(body)
+		blob := BlobFrom(body)
+		bb := blob.Bytes()
+		frameType, callID, rest := frameHeader(bb)
 		switch frameType {
 		case frameRequest:
-			if pr, err := parseRequest(callID, rest); err == nil {
-				_, _ = decodePayload(pr.payload)
+			pr, err := parseRequest(callID, rest, blob)
+			if err != nil {
+				return // parseRequest released the blob
 			}
+			if decoded, err := decodePayloadOwned(pr.payload, pr.body, nil); err == nil {
+				if rel, ok := decoded.(PayloadReleaser); ok {
+					rel.ReleasePayload()
+				}
+			}
+			pr.body.Release()
 		case frameResponse:
 			_, _, _ = parseResponse(rest)
+			blob.Release()
+		default:
+			blob.Release()
 		}
 	})
 }
 
-// FuzzReadFrame fuzzes the length-prefixed stream reader: arbitrary byte
-// streams must produce frames or errors, never panics or huge
-// allocations.
+// FuzzReadFrame differentially fuzzes the two stream readers: the
+// scratch-buffer reader and the direct-to-blob reader must accept and
+// reject exactly the same streams and yield identical frame bodies — the
+// blob reader runs on a deliberately tiny bufio buffer so large bodies
+// exercise its direct-read path.
 func FuzzReadFrame(f *testing.F) {
 	var stream []byte
 	var lenb [4]byte
@@ -53,9 +79,14 @@ func FuzzReadFrame(f *testing.F) {
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		br := bufio.NewReader(bytes.NewReader(data))
+		bbr := bufio.NewReaderSize(bytes.NewReader(data), 16)
 		var buf []byte
 		for {
 			body, next, err := readFrame(br, buf)
+			blob, berr := readFrameBlob(bbr)
+			if (err == nil) != (berr == nil) {
+				t.Fatalf("reader disagreement: readFrame err=%v readFrameBlob err=%v", err, berr)
+			}
 			if err != nil {
 				return
 			}
@@ -63,6 +94,99 @@ func FuzzReadFrame(f *testing.F) {
 			if len(body) < frameHeaderSize {
 				t.Fatalf("readFrame returned %d-byte body, below the header minimum", len(body))
 			}
+			if !bytes.Equal(body, blob.Bytes()) {
+				t.Fatalf("readFrameBlob body differs from readFrame body")
+			}
+			blob.Release()
 		}
+	})
+}
+
+// captureConn is a net.Conn that records everything written to it, so
+// tests can inspect the exact bytes the frameWriter put on the wire.
+type captureConn struct {
+	bytes.Buffer
+}
+
+func (*captureConn) Read([]byte) (int, error)         { return 0, io.EOF }
+func (*captureConn) Close() error                     { return nil }
+func (*captureConn) LocalAddr() net.Addr              { return nil }
+func (*captureConn) RemoteAddr() net.Addr             { return nil }
+func (*captureConn) SetDeadline(time.Time) error      { return nil }
+func (*captureConn) SetReadDeadline(time.Time) error  { return nil }
+func (*captureConn) SetWriteDeadline(time.Time) error { return nil }
+
+// FuzzScatterGatherFrame round-trips fuzzed requests through the
+// scatter-gather frame writer and the blob reader: the gathered wire bytes
+// must match the linear single-buffer encoding exactly, parse back to the
+// original payload, and leave every blob reference balanced. Seeds include
+// zero-length and writeThreshold-crossing payloads; the maxFrameSize
+// boundary (too slow to fuzz) is covered by TestFrameWriterMaxFrame.
+func FuzzScatterGatherFrame(f *testing.F) {
+	benchRegisterOnce.Do(func() { registerBenchPayload() })
+	registerBlobTestPayload()
+	f.Add("k", []byte(nil), true)
+	f.Add("", []byte{}, true)
+	f.Add("key", []byte("hello"), false)
+	f.Add("big", bytes.Repeat([]byte{0xAB}, writeThreshold+17), true)
+	f.Fuzz(func(t *testing.T, key string, data []byte, viaBlob bool) {
+		p := blobTestPayload{Key: key, Data: data}
+		if viaBlob && len(data) > 0 {
+			p.blob = BlobFrom(data)
+			p.Data = p.blob.Bytes()
+		}
+
+		conn := &captureConn{}
+		w := newFrameWriter(conn, func() time.Duration { return 0 }, &instruments{})
+		werr := w.writeRequest(42, "from", "to", "kind", p, CodecBinary, true)
+		w.close()
+		if p.blob != nil {
+			p.blob.Release()
+		}
+		if werr != nil {
+			t.Fatalf("writeRequest: %v", werr)
+		}
+
+		// The gathered encoding must be byte-identical to the linear one.
+		linear, err := appendRequestBody(nil, 42, "from", "to", "kind", p, CodecBinary)
+		if err != nil {
+			t.Fatalf("appendRequestBody: %v", err)
+		}
+		wire := conn.Bytes()
+		if len(wire) < 4 || int(binary.BigEndian.Uint32(wire)) != len(linear) {
+			t.Fatalf("frame length prefix = %v, want %d", wire[:4], len(linear))
+		}
+		if !bytes.Equal(wire[4:], linear) {
+			t.Fatalf("scatter-gather bytes differ from linear encoding")
+		}
+
+		// And it must read back as the payload that went in.
+		blob, err := readFrameBlob(bufio.NewReader(bytes.NewReader(wire)))
+		if err != nil {
+			t.Fatalf("readFrameBlob: %v", err)
+		}
+		frameType, callID, rest := frameHeader(blob.Bytes())
+		if frameType != frameRequest || callID != 42 {
+			t.Fatalf("frame header = (%d, %d), want (request, 42)", frameType, callID)
+		}
+		pr, err := parseRequest(callID, rest, blob)
+		if err != nil {
+			t.Fatalf("parseRequest: %v", err)
+		}
+		decoded, err := decodePayloadOwned(pr.payload, pr.body, nil)
+		if err != nil {
+			t.Fatalf("decodePayloadOwned: %v", err)
+		}
+		got, ok := decoded.(blobTestPayload)
+		if !ok {
+			t.Fatalf("decoded %T, want blobTestPayload", decoded)
+		}
+		if got.Key != key || !bytes.Equal(got.Data, data) {
+			t.Fatalf("round-trip mismatch: got (%q, %d bytes), want (%q, %d bytes)", got.Key, len(got.Data), key, len(data))
+		}
+		if got.blob != nil {
+			got.ReleasePayload()
+		}
+		pr.body.Release()
 	})
 }

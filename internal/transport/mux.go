@@ -72,7 +72,7 @@ func newMuxConn(t *TCP, to string, nc net.Conn) *muxConn {
 		t:       t,
 		to:      to,
 		conn:    nc,
-		w:       newFrameWriter(nc, t.rpcTimeout, t.obs.flush),
+		w:       newFrameWriter(nc, t.rpcTimeout, &t.obs),
 		pending: make(map[uint64]pendingCall),
 		expKick: make(chan struct{}, 1),
 	}
@@ -218,6 +218,7 @@ func (c *muxConn) readLoop() {
 			return
 		}
 		buf = next
+		c.t.obs.bytesRecv.Add(uint64(len(body)) + 4)
 		frameType, callID, rest := frameHeader(body)
 		if frameType != frameResponse {
 			c.t.dropConn(c.to, c)

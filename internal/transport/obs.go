@@ -15,6 +15,14 @@ type instruments struct {
 	errors   *obsv.Counter   // calls that returned an error
 	flush    *obsv.Histogram // frames coalesced per socket flush
 	served   *obsv.Counter   // requests served by accept-side workers
+
+	bytesSent *obsv.Counter // frame bytes written to sockets (incl. length prefixes)
+	bytesRecv *obsv.Counter // frame bytes read from sockets (incl. length prefixes)
+	// encodes counts payload materializations: blobs built at origination or
+	// on the serving side, plus per-frame fallback encodes of a blob-capable
+	// payload that arrived without its blob. On the zero-copy path it grows
+	// by exactly one per message per node, independent of fan-out.
+	encodes *obsv.Counter
 }
 
 func newInstruments(reg *obsv.Registry) instruments {
@@ -28,5 +36,9 @@ func newInstruments(reg *obsv.Registry) instruments {
 		errors:   reg.Counter(obsv.MetricRPCErrors),
 		flush:    reg.Histogram(obsv.MetricFlushBatch, obsv.CountBuckets(32)),
 		served:   reg.Counter(obsv.MetricServerServed),
+
+		bytesSent: reg.Counter(obsv.MetricBytesSent),
+		bytesRecv: reg.Counter(obsv.MetricBytesReceived),
+		encodes:   reg.Counter(obsv.MetricPayloadEncodes),
 	}
 }

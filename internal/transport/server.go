@@ -45,7 +45,7 @@ func (t *TCP) serveConn(conn net.Conn) {
 	// which is what lets the last finishing worker flush all the responses
 	// in one syscall. A full queue (maxWorkers executing + maxWorkers
 	// queued) blocks the decode loop, which is the per-connection bound.
-	s := &serverConn{t: t, w: newFrameWriter(conn, t.rpcTimeout, t.obs.flush), reqs: make(chan parsedRequest, maxWorkers)}
+	s := &serverConn{t: t, w: newFrameWriter(conn, t.rpcTimeout, &t.obs), reqs: make(chan parsedRequest, maxWorkers)}
 	defer s.w.close()
 
 	spawned := 0
@@ -53,18 +53,19 @@ func (t *TCP) serveConn(conn net.Conn) {
 	defer handlers.Wait()
 	defer close(s.reqs) // workers exit once the queue drains
 
-	var buf []byte
 	for {
-		body, next, err := readFrame(br, buf)
+		blob, err := readFrameBlob(br)
 		if err != nil {
 			return // peer closed or garbage framing
 		}
-		buf = next
+		body := blob.Bytes()
+		t.obs.bytesRecv.Add(uint64(len(body)) + 4)
 		frameType, callID, rest := frameHeader(body)
 		if frameType != frameRequest {
+			blob.Release()
 			return
 		}
-		req, err := parseRequest(callID, rest)
+		req, err := parseRequest(callID, rest, blob)
 		if err != nil {
 			// The frame boundary is intact, so only this call is
 			// poisoned: answer it with an error and keep serving.
@@ -87,33 +88,43 @@ func (t *TCP) serveConn(conn net.Conn) {
 func (s *serverConn) worker(wg *sync.WaitGroup) {
 	defer wg.Done()
 	for req := range s.reqs {
-		errMsg, payload := s.handle(req)
+		errMsg, payload, decoded := s.handle(req)
 		s.t.obs.served.Inc()
 		// The last in-flight worker flushes the whole batch inline;
 		// anyone still behind it leaves the frame to the flusher.
 		inline := s.inflight.Add(-1) == 0
 		s.respond(req.callID, errMsg, payload, inline)
+		// The response is written (its writer holds its own blob references
+		// if it shares the payload), so the request's payload lifetime ends:
+		// first the decoded value's reference, then the frame body itself.
+		// Handlers only borrow the payload; anything they keep past return
+		// is a copy, per the delivery contract.
+		if pr, ok := decoded.(PayloadReleaser); ok {
+			pr.ReleasePayload()
+		}
+		req.body.Release()
 	}
 }
 
 // handle decodes one request's payload and invokes the handler, returning
-// the response to write.
-func (s *serverConn) handle(req parsedRequest) (errMsg string, payload any) {
-	decoded, err := decodePayload(req.payload)
+// the response to write plus the decoded payload (so the worker can release
+// a blob-backed payload after the response is out).
+func (s *serverConn) handle(req parsedRequest) (errMsg string, payload, decoded any) {
+	decoded, err := decodePayloadOwned(req.payload, req.body, s.t.obs.encodes)
 	if err != nil {
-		return fmt.Sprintf("transport: bad payload: %v", err), nil
+		return fmt.Sprintf("transport: bad payload: %v", err), nil, nil
 	}
 	s.t.mu.Lock()
 	h := s.t.local[req.to]
 	s.t.mu.Unlock()
 	if h == nil {
-		return fmt.Sprintf("transport: no endpoint %q here", req.to), nil
+		return fmt.Sprintf("transport: no endpoint %q here", req.to), nil, decoded
 	}
 	resp, herr := h(req.from, req.kind, decoded)
 	if herr != nil {
-		return herr.Error(), nil
+		return herr.Error(), nil, decoded
 	}
-	return "", resp
+	return "", resp, decoded
 }
 
 // respond writes one response frame. An unencodable response payload is

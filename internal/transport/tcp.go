@@ -119,6 +119,14 @@ func (t *TCP) Instrument(reg *obsv.Registry) {
 
 func (t *TCP) codec() Codec { return t.Codec }
 
+// BlobPayloads reports whether this transport sends BlobMarshaler payloads
+// zero-copy (scatter-gathered from their shared blob). The runtime checks
+// this to decide whether originating a multicast should materialize a
+// payload blob at all: on the in-memory transport (which passes payload
+// values by reference, already copy-free) or under the gob codec, building
+// one would only add a copy.
+func (t *TCP) BlobPayloads() bool { return t.Codec == CodecBinary }
+
 func (t *TCP) rpcTimeout() time.Duration { return t.RPCTimeout }
 
 func (t *TCP) serverWorkers() int {

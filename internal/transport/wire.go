@@ -87,6 +87,16 @@ func AppendBytes(b []byte, p []byte) []byte {
 	return append(b, p...)
 }
 
+// AppendBytesHead appends only the length framing AppendBytes would write
+// for p — the prefix a BlobMarshaler's AppendWireHead emits before the
+// payload bytes go out by reference from their blob.
+func AppendBytesHead(b []byte, p []byte) []byte {
+	if p == nil {
+		return binary.AppendUvarint(b, 0)
+	}
+	return binary.AppendUvarint(b, uint64(len(p))+1)
+}
+
 // AppendBool appends v as one byte.
 func AppendBool(b []byte, v bool) []byte {
 	if v {
@@ -195,6 +205,25 @@ func (r *WireReader) Bytes() []byte {
 	}
 	p := make([]byte, n)
 	copy(p, r.buf[r.off:r.off+int(n)])
+	r.off += int(n)
+	return p
+}
+
+// BytesView reads a length-prefixed byte slice written by AppendBytes
+// without copying: the result aliases the reader's buffer. Only for
+// blob-aware decoders, which pair the view with a Retain on the buffer's
+// owning Blob so the bytes outlive the read.
+func (r *WireReader) BytesView() []byte {
+	n := r.Uvarint()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	n--
+	if n > uint64(len(r.buf)-r.off) {
+		r.fail()
+		return nil
+	}
+	p := r.buf[r.off : r.off+int(n) : r.off+int(n)]
 	r.off += int(n)
 	return p
 }

@@ -19,6 +19,7 @@
 package reliable
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"sync"
@@ -192,7 +193,10 @@ func (s *Session) onDeliver(m camcast.Message) {
 	case kindData:
 		if seq >= p.next {
 			if _, dup := p.pending[seq]; !dup {
-				p.pending[seq] = data
+				// data views m.Payload, which camcast owns only for the
+				// duration of this callback (on the TCP transport it aliases
+				// a pooled buffer): anything kept past return must be a copy.
+				p.pending[seq] = bytes.Clone(data)
 			}
 			if seq > p.top {
 				p.top = seq

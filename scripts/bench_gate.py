@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate.
+
+Compares a fresh `go test -bench` run against the committed baseline in a
+BENCH_*.json file and fails (exit 1) when any gated metric regresses beyond
+the tolerance. Pass the bench output with repetition (-count N); the gate
+compares the per-cell median, which is what keeps a noisy shared box from
+flagging phantom regressions.
+
+Usage:
+    go test -run xxx -bench BenchmarkMulticastThroughput -count 5 . \
+        | python3 scripts/bench_gate.py BENCH_dissem.json -
+    python3 scripts/bench_gate.py BENCH_transport.json bench_output.txt
+
+The JSON file declares its own gate:
+
+    "gate": {
+        "benchmark":    "BenchmarkMulticastThroughput",  # name prefix
+        "baseline_key": "post",       # top-level key holding the baseline
+        "metrics":      ["ns_op", "B_op"],
+        "tolerance_pct": 15
+    }
+
+The baseline key may hold either {"cells": {"<sub/cell>": {...}}} (cells are
+sub-benchmark paths under the benchmark name) or a flat mapping of full
+benchmark names to metric dicts.
+"""
+
+import json
+import re
+import statistics
+import sys
+
+BENCH_LINE = re.compile(
+    r"^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op"
+    r"(?:\s+[\d.]+ MB/s)?"
+    r"(?:\s+(\d+) B/op)?"
+    r"(?:\s+(\d+) allocs/op)?"
+)
+
+
+def parse_bench(stream):
+    """Collects per-benchmark metric samples from `go test -bench` output."""
+    samples = {}
+    for line in stream:
+        m = BENCH_LINE.match(line.strip())
+        if not m:
+            continue
+        name = m.group(1)
+        cell = samples.setdefault(name, {"ns_op": [], "B_op": [], "allocs_op": []})
+        cell["ns_op"].append(float(m.group(2)))
+        if m.group(3) is not None:
+            cell["B_op"].append(float(m.group(3)))
+        if m.group(4) is not None:
+            cell["allocs_op"].append(float(m.group(4)))
+    return samples
+
+
+def baseline_cells(doc):
+    gate = doc["gate"]
+    base = doc[gate["baseline_key"]]
+    if "cells" in base:
+        prefix = gate["benchmark"] + "/"
+        return {prefix + cell: metrics for cell, metrics in base["cells"].items()}
+    # Flat form: full benchmark names mapped to metric dicts.
+    return {
+        name: metrics
+        for name, metrics in base.items()
+        if isinstance(metrics, dict) and name.startswith("Benchmark")
+    }
+
+
+def main(argv):
+    if len(argv) != 3:
+        sys.exit(__doc__)
+    doc = json.load(open(argv[1]))
+    gate = doc["gate"]
+    stream = sys.stdin if argv[2] == "-" else open(argv[2])
+    measured = parse_bench(stream)
+
+    tolerance = gate["tolerance_pct"] / 100.0
+    failures, checked = [], 0
+    for name, base in sorted(baseline_cells(doc).items()):
+        got = measured.get(name)
+        if got is None:
+            failures.append(f"{name}: missing from bench output (gate needs full coverage)")
+            continue
+        for metric in gate["metrics"]:
+            want = base.get(metric)
+            if want is None or want == 0:
+                continue
+            have = statistics.median(got[metric])
+            checked += 1
+            ratio = have / want
+            flag = "FAIL" if ratio > 1 + tolerance else "ok"
+            print(f"{flag:4} {name} {metric}: baseline {want:.0f}, "
+                  f"median {have:.0f} ({ratio:.2f}x baseline)")
+            if ratio > 1 + tolerance:
+                failures.append(
+                    f"{name} {metric}: {have:.0f} vs baseline {want:.0f} "
+                    f"(+{(ratio - 1) * 100:.1f}% > {gate['tolerance_pct']}% tolerance)")
+
+    if failures:
+        print(f"\n{len(failures)} regression(s) beyond {gate['tolerance_pct']}%:",
+              file=sys.stderr)
+        for f in failures:
+            print("  " + f, file=sys.stderr)
+        sys.exit(1)
+    print(f"\ngate passed: {checked} metrics within {gate['tolerance_pct']}% of {argv[1]}")
+
+
+if __name__ == "__main__":
+    main(sys.argv)
