@@ -10,10 +10,21 @@
 //	         [-cap-lo 4] [-cap-hi 10] [-seed 1]
 //	         [-transport mem|tcp] [-codec binary|gob]
 //	         [-debug-addr host:port]
+//	camchurn -scenarios
+//	camchurn -scenario <name> [-mode cam-chord|cam-koorde|both] [-seed 1]
+//	         [-record log.ndjson]
+//	camchurn -replay log.ndjson
 //
 // -debug-addr serves the live observability endpoint while the sweep runs:
 // /debug/camcast/stats (JSON metric snapshots across all runs so far),
 // /debug/camcast/events (streaming NDJSON event tail), and net/http/pprof.
+//
+// -scenario runs one named composite failure from the scenario library
+// instead of the budget sweep, checking the run against the scenario's
+// delivery expectations. -record captures the run's full input schedule to
+// a replay log (one cluster per log, so it needs a single -mode). -replay
+// re-executes a recorded log twice in the deterministic replay engine and
+// requires both replays to agree exactly.
 package main
 
 import (
@@ -25,7 +36,9 @@ import (
 
 	"camcast/internal/churnsim"
 	"camcast/internal/obsv"
+	"camcast/internal/replay"
 	"camcast/internal/runtime"
+	"camcast/internal/scenario"
 )
 
 func main() {
@@ -48,9 +61,26 @@ func run(args []string, out io.Writer) error {
 		trans   = fs.String("transport", "mem", "member transport: mem (in-process simulated network) or tcp (one loopback listener per member)")
 		codec   = fs.String("codec", "", "wire codec for -transport tcp: binary (default) or gob")
 		debug   = fs.String("debug-addr", "", "serve the live debug endpoint (JSON stats, event tail, pprof) on this host:port")
+
+		scen     = fs.String("scenario", "", "run this named failure scenario instead of the budget sweep (see -scenarios)")
+		listScen = fs.Bool("scenarios", false, "list the failure-scenario library and exit")
+		mode     = fs.String("mode", "both", "protocol mode for -scenario: cam-chord, cam-koorde or both")
+		record   = fs.String("record", "", "with -scenario: write the run's replay log to this file (needs a single -mode)")
+		replayIn = fs.String("replay", "", "replay a recorded log twice and require the replays to agree; ignores other flags")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	switch {
+	case *listScen:
+		return runListScenarios(out)
+	case *replayIn != "":
+		return runReplay(*replayIn, out)
+	case *scen != "":
+		return runScenario(*scen, *mode, *seed, *record, out)
+	case *record != "":
+		return fmt.Errorf("-record needs -scenario")
 	}
 
 	// One bus and registry span the whole sweep, so the debug endpoint
@@ -106,4 +136,122 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	return w.Flush()
+}
+
+// runListScenarios prints the failure-scenario library.
+func runListScenarios(out io.Writer) error {
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "scenario\tmin mean\tmin last\tdescription")
+	for _, s := range scenario.All() {
+		fmt.Fprintf(w, "%s\t%.0f%%\t%.0f%%\t%s\n", s.Name, s.MinMean*100, s.MinLast*100, s.Description)
+	}
+	return w.Flush()
+}
+
+// scenarioModes resolves the -mode flag for -scenario runs.
+func scenarioModes(mode string) ([]runtime.Mode, error) {
+	switch mode {
+	case "both":
+		return []runtime.Mode{runtime.ModeCAMChord, runtime.ModeCAMKoorde}, nil
+	case runtime.ModeCAMChord.String():
+		return []runtime.Mode{runtime.ModeCAMChord}, nil
+	case runtime.ModeCAMKoorde.String():
+		return []runtime.Mode{runtime.ModeCAMKoorde}, nil
+	}
+	return nil, fmt.Errorf("-mode %q: want cam-chord, cam-koorde or both", mode)
+}
+
+// runScenario executes one named scenario live, optionally recording its
+// replay log, and reports the measured delivery against the scenario's
+// expectations. The command fails if any mode misses them.
+func runScenario(name, mode string, seed int64, record string, out io.Writer) error {
+	s, err := scenario.Get(name)
+	if err != nil {
+		return err
+	}
+	modes, err := scenarioModes(mode)
+	if err != nil {
+		return err
+	}
+	var rec io.Writer
+	if record != "" {
+		if len(modes) != 1 {
+			return fmt.Errorf("-record captures one cluster per log: pick -mode cam-chord or cam-koorde")
+		}
+		f, err := os.Create(record)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		rec = f
+	}
+
+	fmt.Fprintf(out, "scenario %s (seed %d): %s\n\n", s.Name, seed, s.Description)
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "system\tmean delivery\tmin delivery\tpost-recovery\tring correct\tcheck")
+	var failed error
+	for _, m := range modes {
+		res, err := scenario.Run(s, m, seed, rec)
+		verdict := "pass"
+		if err != nil {
+			verdict = err.Error()
+			failed = fmt.Errorf("scenario %s did not meet its expectations", s.Name)
+		}
+		last := 0.0
+		if len(res.DeliveryRatios) > 0 {
+			last = res.DeliveryRatios[len(res.DeliveryRatios)-1]
+		}
+		fmt.Fprintf(w, "%v\t%.1f%%\t%.1f%%\t%.1f%%\t%.0f%%\t%s\n",
+			m, res.MeanDelivery*100, res.MinDelivery*100, last*100, res.RingCorrect*100, verdict)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if record != "" {
+		fmt.Fprintf(out, "\nreplay log: %s\n", record)
+	}
+	return failed
+}
+
+// runReplay re-executes a recorded log twice through the deterministic
+// replay engine, requires both replays to agree exactly, and summarizes
+// what the replayed cluster did.
+func runReplay(path string, out io.Writer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	log, err := replay.ReadLog(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	label := log.Header.Scenario
+	if label == "" {
+		label = "(unlabeled)"
+	}
+	fmt.Fprintf(out, "replaying %s: %s, %d-bit space, seed %d, scenario %s, %d records\n",
+		path, log.Header.Mode, log.Header.Bits, log.Header.Seed, label, len(log.Records))
+
+	a, err := replay.Run(log)
+	if err != nil {
+		return fmt.Errorf("first replay: %w", err)
+	}
+	b, err := replay.Run(log)
+	if err != nil {
+		return fmt.Errorf("second replay: %w", err)
+	}
+	if d := replay.Compare(a, b); d != nil {
+		fmt.Fprintf(out, "\n%s\n", d)
+		return fmt.Errorf("replays diverged: %s", d.Reason)
+	}
+
+	total := 0
+	for _, members := range a.Deliveries {
+		total += len(members)
+	}
+	fmt.Fprintf(out, "deterministic: two replays agree on %d multicasts, %d deliveries, %d trace events\n",
+		len(a.MsgIDs), total, len(a.Trace))
+	fmt.Fprintf(out, "counters: %s\n", a.Counters)
+	return nil
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"camcast/internal/obsv"
+	"camcast/internal/scenario"
 )
 
 func TestRunSmallSweep(t *testing.T) {
@@ -26,8 +27,69 @@ func TestRunSmallSweep(t *testing.T) {
 }
 
 func TestRunBadFlags(t *testing.T) {
-	if err := run([]string{"-nope"}, &strings.Builder{}); err == nil {
-		t.Error("bad flag should fail")
+	for name, args := range map[string][]string{
+		"unknown flag":        {"-nope"},
+		"unknown scenario":    {"-scenario", "no-such-scenario"},
+		"bad mode":            {"-scenario", "flash-crowd-join", "-mode", "telepathy"},
+		"record without mode": {"-scenario", "flash-crowd-join", "-record", t.TempDir() + "/log"},
+		"record without scen": {"-record", t.TempDir() + "/log"},
+		"replay missing file": {"-replay", t.TempDir() + "/absent.ndjson"},
+	} {
+		if err := run(args, &strings.Builder{}); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestRunListScenarios(t *testing.T) {
+	out := &strings.Builder{}
+	if err := run([]string{"-scenarios"}, out); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range scenario.Names() {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("listing missing %q:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestRunScenario(t *testing.T) {
+	out := &strings.Builder{}
+	if err := run([]string{"-scenario", "correlated-rack-crash", "-seed", "42"}, out); err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	for _, want := range []string{"cam-chord", "cam-koorde", "pass", "post-recovery"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestRunRecordThenReplay drives the full CLI loop: record a scenario run
+// to a log file, then replay the file and require the determinism check to
+// pass.
+func TestRunRecordThenReplay(t *testing.T) {
+	path := t.TempDir() + "/burst.ndjson"
+	out := &strings.Builder{}
+	err := run([]string{
+		"-scenario", "burst-loss-during-repair", "-mode", "cam-chord",
+		"-seed", "42", "-record", path,
+	}, out)
+	if err != nil {
+		t.Fatalf("record run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "replay log: "+path) {
+		t.Errorf("record run did not report the log path:\n%s", out.String())
+	}
+
+	out.Reset()
+	if err := run([]string{"-replay", path}, out); err != nil {
+		t.Fatalf("replay run: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"deterministic: two replays agree", "burst-loss-during-repair", "counters:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("replay output missing %q:\n%s", want, out.String())
+		}
 	}
 }
 

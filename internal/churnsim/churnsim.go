@@ -14,12 +14,14 @@ package churnsim
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"sort"
 	"sync"
 	"time"
 
 	"camcast/internal/obsv"
+	"camcast/internal/replay"
 	"camcast/internal/ring"
 	"camcast/internal/runtime"
 	"camcast/internal/transport"
@@ -62,6 +64,25 @@ type Config struct {
 	// both live while the sweep runs.
 	Bus     *obsv.Bus
 	Metrics *obsv.Registry
+
+	// Schedule, when non-nil, replaces the generated workload schedule:
+	// Events/JoinFrac/FailFrac are ignored and the given events run
+	// verbatim. Scenario scripts (internal/scenario) compose schedules
+	// this way; sweeps leave it nil.
+	Schedule []workload.Event
+	// Faults optionally schedules composite failures — correlated
+	// crashes, lossy or slow links, partitions — against the run, keyed
+	// on the event-step clock. Link and partition faults require the mem
+	// transport.
+	Faults *FaultPlan
+	// Record, when set, receives the run's full input schedule as a
+	// versioned NDJSON replay log (see internal/replay): every join,
+	// leave, crash, maintenance round, probe submission, and applied
+	// fault action, plus the seeds needed to re-create the cluster.
+	Record io.Writer
+	// Label names the run in the replay log header (typically the
+	// scenario name).
+	Label string
 }
 
 func (c *Config) applyDefaults() {
@@ -97,6 +118,9 @@ func (c *Config) validate() error {
 	}
 	if c.Codec != "" && c.Transport != "tcp" {
 		return fmt.Errorf("churnsim: codec %q requires the tcp transport", c.Codec)
+	}
+	if err := c.Faults.validate(c.Transport); err != nil {
+		return err
 	}
 	return nil
 }
@@ -159,15 +183,19 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 
-	schedule, err := workload.Schedule(workload.ChurnConfig{
-		Seed:     cfg.Seed,
-		Events:   cfg.Events,
-		JoinFrac: cfg.JoinFrac,
-		FailFrac: cfg.FailFrac,
-		Initial:  cfg.Initial,
-	})
-	if err != nil {
-		return Result{}, err
+	schedule := cfg.Schedule
+	if schedule == nil {
+		var err error
+		schedule, err = workload.Schedule(workload.ChurnConfig{
+			Seed:     cfg.Seed,
+			Events:   cfg.Events,
+			JoinFrac: cfg.JoinFrac,
+			FailFrac: cfg.FailFrac,
+			Initial:  cfg.Initial,
+		})
+		if err != nil {
+			return Result{}, err
+		}
 	}
 
 	rng := rand.New(rand.NewSource(cfg.Seed + 1))
@@ -186,6 +214,20 @@ func Run(cfg Config) (Result, error) {
 		if cfg.Metrics != nil {
 			net.Instrument(cfg.Metrics)
 		}
+	}
+	// The recorder mirrors every input the run consumes into a replay log.
+	// A nil *replay.Recorder discards, so the run threads it everywhere
+	// unconditionally. NetSeed must match the mem network seed above for
+	// the replayed loss schedule to be the recorded one.
+	var rec *replay.Recorder
+	if cfg.Record != nil {
+		rec = replay.NewRecorder(cfg.Record, replay.Header{
+			Mode:     cfg.Mode.String(),
+			Bits:     cfg.Bits,
+			NetSeed:  cfg.Seed + 2,
+			Scenario: cfg.Label,
+			Seed:     cfg.Seed,
+		})
 	}
 	space, err := ring.NewSpace(cfg.Bits)
 	if err != nil {
@@ -211,8 +253,14 @@ func Run(cfg Config) (Result, error) {
 		}
 	}()
 
-	newNode := func(idx int) (*runtime.Node, error) {
-		capacity := cfg.CapacityLo + rng.Intn(cfg.CapacityHi-cfg.CapacityLo+1)
+	// newNode creates member idx. capOverride > 0 pins the capacity
+	// (scenario capacity flaps); otherwise it is drawn from the configured
+	// range. The chosen capacity is returned for the replay log.
+	newNode := func(idx, capOverride int) (*runtime.Node, int, error) {
+		capacity := capOverride
+		if capacity <= 0 {
+			capacity = cfg.CapacityLo + rng.Intn(cfg.CapacityHi-cfg.CapacityLo+1)
+		}
 		rcfg := runtime.Config{
 			Space:     space,
 			Mode:      cfg.Mode,
@@ -224,14 +272,14 @@ func Run(cfg Config) (Result, error) {
 		if !useTCP {
 			node, err := runtime.NewNode(net, fmt.Sprintf("member-%d", idx), rcfg)
 			if err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 			all = append(all, node)
-			return node, nil
+			return node, capacity, nil
 		}
 		tr, err := transport.NewTCP("127.0.0.1:0")
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		// Loopback sockets between live processes fail fast; tighten the
 		// failure detector so crashed members are routed around within a
@@ -246,11 +294,11 @@ func Run(cfg Config) (Result, error) {
 		node, err := runtime.NewNode(tr, tr.Addr(), rcfg)
 		if err != nil {
 			tr.Close()
-			return nil, err
+			return nil, 0, err
 		}
 		tcps[idx] = tr
 		all = append(all, node)
-		return node, nil
+		return node, capacity, nil
 	}
 
 	dropTransport := func(idx int) {
@@ -260,12 +308,16 @@ func Run(cfg Config) (Result, error) {
 		}
 	}
 
-	liveNodes := func() []*runtime.Node {
+	liveIdxs := func() []int {
 		idxs := make([]int, 0, len(alive))
 		for i := range alive {
 			idxs = append(idxs, i)
 		}
 		sort.Ints(idxs)
+		return idxs
+	}
+	liveNodes := func() []*runtime.Node {
+		idxs := liveIdxs()
 		out := make([]*runtime.Node, 0, len(idxs))
 		for _, i := range idxs {
 			out = append(out, alive[i])
@@ -285,13 +337,17 @@ func Run(cfg Config) (Result, error) {
 	}
 
 	probe := func() error {
-		nodes := liveNodes()
-		src := nodes[rng.Intn(len(nodes))]
-		msgID, err := src.Multicast([]byte("probe"))
+		idxs := liveIdxs()
+		if len(idxs) == 0 {
+			return fmt.Errorf("churnsim: no live members left to probe (fault plan crashed everyone?)")
+		}
+		srcIdx := idxs[rng.Intn(len(idxs))]
+		rec.Multicast(srcIdx, []byte("probe"))
+		msgID, err := alive[srcIdx].Multicast([]byte("probe"))
 		if err != nil {
 			return err
 		}
-		ratio := float64(col.count(msgID)) / float64(len(nodes))
+		ratio := float64(col.count(msgID)) / float64(len(idxs))
 		if ratio > 1 {
 			ratio = 1 // defensive; duplicate suppression should prevent this
 		}
@@ -301,24 +357,27 @@ func Run(cfg Config) (Result, error) {
 	}
 
 	// Bootstrap the initial membership fully converged.
-	first, err := newNode(0)
+	first, cap0, err := newNode(0, 0)
 	if err != nil {
 		return Result{}, err
 	}
 	if err := first.Bootstrap(); err != nil {
 		return Result{}, err
 	}
+	rec.Bootstrap(0, cap0)
 	alive[0] = first
 	for i := 1; i < cfg.Initial; i++ {
-		n, err := newNode(i)
+		n, capi, err := newNode(i, 0)
 		if err != nil {
 			return Result{}, err
 		}
 		if err := n.Join(first.Self().Addr); err != nil {
 			return Result{}, fmt.Errorf("churnsim: initial join %d: %w", i, err)
 		}
+		rec.Join(i, 0, capi)
 		alive[i] = n
 		maintain(1)
+		rec.Maintain(1, false)
 	}
 	for r := 0; r < 3; r++ {
 		for _, n := range liveNodes() {
@@ -328,26 +387,99 @@ func Run(cfg Config) (Result, error) {
 			n.FixAll()
 		}
 	}
+	rec.Maintain(3, true)
+
+	// syncFaults brings the network's imperative fault knobs in line with
+	// the fault plan at an event-step boundary. Group crashes fire once as
+	// their window opens; continuous faults (link loss/delay, partitions)
+	// are cleared and re-applied whenever the set of open windows changes.
+	// Every applied action is mirrored into the replay log as the plain
+	// imperative record it caused, so replay needs no notion of a plan.
+	memberAddr := func(i int) string {
+		if i < 0 {
+			return "" // wildcard link selector
+		}
+		return fmt.Sprintf("member-%d", i)
+	}
+	prevFaultKey := ""
+	syncFaults := func(step int) {
+		if cfg.Faults == nil {
+			return
+		}
+		for _, e := range cfg.Faults.Events {
+			if e.Kind != FaultGroupCrash || e.At != step {
+				continue
+			}
+			victims := make([]int, 0, len(e.Members))
+			for _, idx := range e.Members {
+				if n, ok := alive[idx]; ok {
+					n.Stop()
+					dropTransport(idx)
+					delete(alive, idx)
+					res.Crashes++
+					victims = append(victims, idx)
+				}
+			}
+			rec.CrashGroup(victims)
+		}
+		if !cfg.Faults.hasContinuous() {
+			return
+		}
+		key := ""
+		for i, e := range cfg.Faults.Events {
+			if e.Kind != FaultGroupCrash && e.active(step) {
+				key += fmt.Sprintf("%d,", i)
+			}
+		}
+		if key == prevFaultKey {
+			return
+		}
+		prevFaultKey = key
+		net.ClearLinkFaults()
+		net.HealPartitions()
+		rec.HealLinks()
+		rec.HealPartitions()
+		for _, e := range cfg.Faults.Events {
+			if e.Kind == FaultGroupCrash || !e.active(step) {
+				continue
+			}
+			switch e.Kind {
+			case FaultLinkLoss:
+				net.SetLinkLoss(memberAddr(e.From), memberAddr(e.To), e.Rate)
+				rec.LinkLoss(e.From, e.To, e.Rate)
+			case FaultLinkDelay:
+				net.SetLinkDelay(memberAddr(e.From), memberAddr(e.To), e.Delay)
+				rec.LinkDelay(e.From, e.To, e.Delay)
+			case FaultPartition:
+				for _, m := range e.Members {
+					net.SetPartition(memberAddr(m), e.Partition)
+					rec.Partition(m, e.Partition)
+				}
+			}
+		}
+	}
 
 	// Apply the churn schedule.
 	for evIdx, ev := range schedule {
+		syncFaults(evIdx)
 		switch ev.Kind {
 		case workload.EventJoin:
-			n, err := newNode(ev.Index)
+			n, capi, err := newNode(ev.Index, ev.Capacity)
 			if err != nil {
 				return Result{}, err
 			}
 			// Join through any live member.
-			nodes := liveNodes()
-			via := nodes[rng.Intn(len(nodes))]
-			if err := n.Join(via.Self().Addr); err != nil {
+			idxs := liveIdxs()
+			viaIdx := idxs[rng.Intn(len(idxs))]
+			if err := n.Join(alive[viaIdx].Self().Addr); err != nil {
 				// Bootstrap member unreachable mid-churn is a legitimate
 				// outcome; retry once through another member.
-				via = nodes[rng.Intn(len(nodes))]
-				if err := n.Join(via.Self().Addr); err != nil {
+				viaIdx = idxs[rng.Intn(len(idxs))]
+				if err := n.Join(alive[viaIdx].Self().Addr); err != nil {
 					return Result{}, fmt.Errorf("churnsim: join of %d failed twice: %w", ev.Index, err)
 				}
 			}
+			rec.Join(ev.Index, viaIdx, capi)
 			alive[ev.Index] = n
 			res.Joins++
 		case workload.EventLeave:
@@ -355,6 +487,7 @@ func Run(cfg Config) (Result, error) {
 				_ = n.Leave()
 				dropTransport(ev.Index)
 				delete(alive, ev.Index)
+				rec.Leave(ev.Index)
 				res.Leaves++
 			}
 		case workload.EventFail:
@@ -362,21 +495,32 @@ func Run(cfg Config) (Result, error) {
 				n.Stop()
 				dropTransport(ev.Index)
 				delete(alive, ev.Index)
+				rec.Crash(ev.Index)
 				res.Crashes++
 			}
+		case workload.EventNoop:
+			// No membership change: the step exists to run maintenance,
+			// probes and fault windows on the event clock.
 		}
 		res.Events++
 
 		maintain(cfg.MaintenanceBudget)
+		rec.Maintain(cfg.MaintenanceBudget, false)
 		if (evIdx+1)%cfg.ProbeEvery == 0 {
 			if err := probe(); err != nil {
 				return Result{}, err
 			}
 		}
 	}
+	// One final boundary so fault windows ending with the schedule heal
+	// before the trailing probe measures.
+	syncFaults(len(schedule))
 	// Trailing probe so short runs still measure something.
 	if err := probe(); err != nil {
 		return Result{}, err
+	}
+	if err := rec.Flush(); err != nil {
+		return Result{}, fmt.Errorf("churnsim: writing replay log: %w", err)
 	}
 
 	// Ring correctness before any final repair.

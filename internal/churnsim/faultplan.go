@@ -1,0 +1,143 @@
+package churnsim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Any is the wildcard link selector: a FaultEvent whose From or To is Any
+// (or any negative value) matches every member on that side of the link.
+const Any = -1
+
+// FaultKind distinguishes scheduled simulation faults.
+type FaultKind int
+
+const (
+	// FaultGroupCrash crashes every member listed in Members at once when
+	// the window opens — a correlated failure (rack power loss, AZ
+	// outage). It fires once at step At and is permanent: Until is
+	// ignored, crashed members stay down unless the schedule rejoins
+	// their index later.
+	FaultGroupCrash FaultKind = iota + 1
+	// FaultLinkLoss drops messages on the From->To link with probability
+	// Rate while the window is open.
+	FaultLinkLoss
+	// FaultLinkDelay adds Delay of latency on the From->To link while the
+	// window is open.
+	FaultLinkDelay
+	// FaultPartition isolates the members in Members into partition
+	// Partition while the window is open; members in different partitions
+	// cannot exchange messages.
+	FaultPartition
+)
+
+// String implements fmt.Stringer.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultGroupCrash:
+		return "group-crash"
+	case FaultLinkLoss:
+		return "link-loss"
+	case FaultLinkDelay:
+		return "link-delay"
+	case FaultPartition:
+		return "partition"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", int(k))
+	}
+}
+
+// FaultEvent is one scheduled fault. Unlike transport.FaultPlan, whose
+// windows count transport calls, these windows count churn-schedule event
+// steps: the fault is in force while the simulation executes schedule
+// events At <= step < Until, with Until 0 meaning the rest of the run.
+// Aligning fault windows with the event clock is what lets a scenario say
+// "lose 30% on every link into member 4 during events 10..20" and have the
+// statement survive into a replay log unchanged.
+type FaultEvent struct {
+	Kind      FaultKind
+	At, Until int
+
+	// Members selects the victims of a group crash or the members moved by
+	// a partition.
+	Members []int
+	// From and To select the link for loss and delay faults, as member
+	// indices; Any (negative) matches every member on that side. Note the
+	// zero value selects member 0 — a one-sided fault must set the other
+	// side to Any explicitly.
+	From, To int
+	// Rate is the drop probability of a link-loss fault.
+	Rate float64
+	// Delay is the added latency of a link-delay fault.
+	Delay time.Duration
+	// Partition is the partition id members are moved to.
+	Partition int
+}
+
+// active reports whether the window is open at the given event step. Group
+// crashes are one-shot and handled separately.
+func (e *FaultEvent) active(step int) bool {
+	return step >= e.At && (e.Until == 0 || step < e.Until)
+}
+
+// FaultPlan schedules composite failures against a churn run: correlated
+// crashes, lossy and slow links, partitions — each windowed on the event
+// step clock. The simulation syncs the plan into the in-memory network's
+// imperative fault knobs at every event boundary, and records each applied
+// action to the replay log, so a recorded faulty run replays without the
+// replayer ever knowing the plan existed.
+type FaultPlan struct {
+	Events []FaultEvent
+}
+
+// validate rejects plans the simulation cannot honor.
+func (p *FaultPlan) validate(transportName string) error {
+	if p == nil {
+		return nil
+	}
+	for i, e := range p.Events {
+		switch e.Kind {
+		case FaultGroupCrash:
+			if len(e.Members) == 0 {
+				return fmt.Errorf("churnsim: fault %d: group crash with no members", i)
+			}
+		case FaultLinkLoss:
+			if e.Rate < 0 || e.Rate > 1 {
+				return fmt.Errorf("churnsim: fault %d: loss rate %g out of [0,1]", i, e.Rate)
+			}
+		case FaultLinkDelay:
+			if e.Delay <= 0 {
+				return fmt.Errorf("churnsim: fault %d: non-positive link delay", i)
+			}
+		case FaultPartition:
+			if len(e.Members) == 0 {
+				return fmt.Errorf("churnsim: fault %d: partition with no members", i)
+			}
+		default:
+			return fmt.Errorf("churnsim: fault %d: unknown kind %v", i, e.Kind)
+		}
+		// Link and partition faults drive the in-memory network's
+		// imperative knobs; real sockets have no such controls.
+		if e.Kind != FaultGroupCrash && transportName == "tcp" {
+			return fmt.Errorf("churnsim: fault %d: %v faults need the mem transport", i, e.Kind)
+		}
+		if e.At < 0 || (e.Until != 0 && e.Until <= e.At) {
+			return fmt.Errorf("churnsim: fault %d: bad window [%d,%d)", i, e.At, e.Until)
+		}
+	}
+	return nil
+}
+
+// hasContinuous reports whether any non-crash fault exists (these need the
+// sync-at-boundary machinery).
+func (p *FaultPlan) hasContinuous() bool {
+	if p == nil {
+		return false
+	}
+	for _, e := range p.Events {
+		if e.Kind != FaultGroupCrash {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,158 @@
+package churnsim
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"camcast/internal/replay"
+	"camcast/internal/runtime"
+	"camcast/internal/workload"
+)
+
+// faultyConfig composes every fault kind into one small run: a lossy link
+// window, a partition window, and a correlated crash, over a scripted
+// schedule with noop steps holding the windows open.
+func faultyConfig(mode runtime.Mode) Config {
+	cfg := baseConfig(mode)
+	cfg.Events = 0
+	cfg.Schedule = []workload.Event{
+		{Kind: workload.EventJoin, Index: 24},
+		{Kind: workload.EventNoop}, {Kind: workload.EventNoop},
+		{Kind: workload.EventLeave, Index: 3},
+		{Kind: workload.EventNoop}, {Kind: workload.EventNoop},
+		{Kind: workload.EventFail, Index: 7},
+		{Kind: workload.EventNoop}, {Kind: workload.EventNoop},
+		{Kind: workload.EventJoin, Index: 25, Capacity: 6},
+		{Kind: workload.EventNoop}, {Kind: workload.EventNoop},
+	}
+	cfg.Faults = &FaultPlan{Events: []FaultEvent{
+		{Kind: FaultLinkLoss, At: 1, Until: 4, From: Any, To: 5, Rate: 0.5},
+		{Kind: FaultLinkDelay, At: 2, Until: 3, From: 0, To: 1, Delay: time.Millisecond},
+		{Kind: FaultPartition, At: 4, Until: 6, Members: []int{8, 9}, Partition: 1},
+		{Kind: FaultGroupCrash, At: 7, Members: []int{10, 11, 12}},
+	}}
+	cfg.ProbeEvery = 3
+	return cfg
+}
+
+func TestFaultPlanValidation(t *testing.T) {
+	for name, plan := range map[string]*FaultPlan{
+		"empty group crash": {Events: []FaultEvent{{Kind: FaultGroupCrash, At: 0}}},
+		"bad loss rate":     {Events: []FaultEvent{{Kind: FaultLinkLoss, Rate: 1.5}}},
+		"zero delay":        {Events: []FaultEvent{{Kind: FaultLinkDelay}}},
+		"empty partition":   {Events: []FaultEvent{{Kind: FaultPartition, Partition: 1}}},
+		"inverted window":   {Events: []FaultEvent{{Kind: FaultLinkLoss, At: 5, Until: 2, Rate: 0.1}}},
+		"unknown kind":      {Events: []FaultEvent{{}}},
+	} {
+		cfg := baseConfig(runtime.ModeCAMChord)
+		cfg.Faults = plan
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// Link faults need the imperative knobs of the mem network.
+	cfg := baseConfig(runtime.ModeCAMChord)
+	cfg.Transport = "tcp"
+	cfg.Faults = &FaultPlan{Events: []FaultEvent{{Kind: FaultLinkLoss, Rate: 0.1}}}
+	if _, err := Run(cfg); err == nil {
+		t.Error("link faults on tcp transport accepted")
+	}
+}
+
+func TestFaultPlanRun(t *testing.T) {
+	cfg := faultyConfig(runtime.ModeCAMChord)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 scheduled crash + 3 group-crash victims.
+	if res.Crashes != 4 {
+		t.Errorf("crashes = %d, want 4 (1 scheduled + 3 correlated)", res.Crashes)
+	}
+	if res.Joins != 2 || res.Leaves != 1 {
+		t.Errorf("joins/leaves = %d/%d, want 2/1", res.Joins, res.Leaves)
+	}
+	// 24 initial + 2 joins - 1 leave - 4 crashes.
+	if res.FinalLiv != 21 {
+		t.Errorf("final live = %d, want 21", res.FinalLiv)
+	}
+	if res.Probes == 0 || res.MeanDelivery == 0 {
+		t.Errorf("no delivery measured: %+v", res)
+	}
+}
+
+// TestRecordReplayRoundTrip is the headline acceptance check: record a
+// live faulty run, then replay the log twice and require the two replays
+// to agree on delivery sets, counters, and the full event trace.
+func TestRecordReplayRoundTrip(t *testing.T) {
+	for _, mode := range []runtime.Mode{runtime.ModeCAMChord, runtime.ModeCAMKoorde} {
+		t.Run(mode.String(), func(t *testing.T) {
+			cfg := faultyConfig(mode)
+			var buf bytes.Buffer
+			cfg.Record = &buf
+			cfg.Label = "round-trip-test"
+			if _, err := Run(cfg); err != nil {
+				t.Fatalf("recorded run: %v", err)
+			}
+
+			log, err := replay.ReadLog(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("ReadLog: %v", err)
+			}
+			if log.Header.Scenario != "round-trip-test" || log.Header.Mode != mode.String() {
+				t.Errorf("header mangled: %+v", log.Header)
+			}
+			if len(log.Records) == 0 {
+				t.Fatal("empty log")
+			}
+
+			a, err := replay.Run(log)
+			if err != nil {
+				t.Fatalf("first replay: %v", err)
+			}
+			b, err := replay.Run(log)
+			if err != nil {
+				t.Fatalf("second replay: %v", err)
+			}
+			if d := replay.Compare(a, b); d != nil {
+				t.Fatalf("replays diverged:\n%s", d)
+			}
+			if len(a.MsgIDs) == 0 || len(a.Deliveries) == 0 {
+				t.Fatalf("replay observed no multicasts: %d ids", len(a.MsgIDs))
+			}
+		})
+	}
+}
+
+// TestRecordedLogMatchesRun checks the log captures the run's actual
+// inputs: the replayed cluster sees the same probes the live run issued.
+func TestRecordedLogMatchesRun(t *testing.T) {
+	cfg := faultyConfig(runtime.ModeCAMChord)
+	var buf bytes.Buffer
+	cfg.Record = &buf
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := replay.ReadLog(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	probes := 0
+	groupCrashes := 0
+	for _, r := range log.Records {
+		switch r.Kind {
+		case replay.KindMulticast:
+			probes++
+		case replay.KindCrashGroup:
+			groupCrashes++
+		}
+	}
+	if probes != res.Probes {
+		t.Errorf("log has %d multicasts, run issued %d probes", probes, res.Probes)
+	}
+	if groupCrashes != 1 {
+		t.Errorf("log has %d group crashes, want 1", groupCrashes)
+	}
+}

@@ -1,0 +1,327 @@
+// Package replay is the deterministic record/replay engine of the dynamic
+// runtime: a Recorder that captures a live run's full input schedule —
+// member joins and departures, multicast submissions, maintenance rounds,
+// and fault-injection actions — to a versioned NDJSON log, and a Replayer
+// (Run) that re-executes the log against a fresh in-memory cluster in
+// simulated-time mode: forwarding serialized in plan order, no wall-clock
+// deadlines, no backoff sleeps, every random choice drawn from the seeds
+// stored in the log's header. Two replays of the same log produce
+// byte-identical outcomes — the same delivery sets, the same aggregated
+// protocol counters, the same ordered protocol-event trace — which is what
+// turns a flaky chaos observation into a regression test: record the run
+// once, commit the log, and replay it in CI forever.
+//
+// What is captured: the input schedule (who joined through whom with what
+// capacity, who left or crashed and when, what was multicast by whom,
+// how much maintenance ran between events) plus every imperative fault
+// action (per-link loss and delay, partitions, grouped crashes) at the
+// point in the schedule it was applied, and the seeds (network loss RNG,
+// identifier space width, protocol mode) needed to re-create the world.
+//
+// What is not captured: wall-clock timing, goroutine interleaving, and
+// per-call outcomes. A recorded run may have executed concurrently under
+// real timeouts; the log only fixes its inputs. Replay outcomes are
+// therefore compared replay-to-replay, not replay-to-recording.
+package replay
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Version is the log format version this package writes and reads.
+const Version = 1
+
+// Record kinds. Every line of a log after the header is one Record; the
+// Kind selects which of the optional fields are meaningful.
+const (
+	// KindHeader tags the first line of every log.
+	KindHeader = "header"
+	// KindBootstrap creates member Idx with capacity Cap as the first
+	// member of a fresh group.
+	KindBootstrap = "bootstrap"
+	// KindJoin creates member Idx with capacity Cap and joins it through
+	// member Via.
+	KindJoin = "join"
+	// KindLeave departs member Idx gracefully.
+	KindLeave = "leave"
+	// KindCrash stops member Idx without notice.
+	KindCrash = "crash"
+	// KindCrashGroup stops every member in Idxs at once (a correlated
+	// failure: rack power loss, AZ outage).
+	KindCrashGroup = "crash-group"
+	// KindMaintain runs Rounds maintenance rounds (one StabilizeOnce plus
+	// one FixOnce per live member per round); Full upgrades the fix pass
+	// to a whole-table FixAll.
+	KindMaintain = "maintain"
+	// KindMulticast submits Payload as a multicast from member Idx.
+	KindMulticast = "multicast"
+	// KindLinkLoss installs loss rate Rate on the From->To link (nil
+	// selector = any endpoint).
+	KindLinkLoss = "link-loss"
+	// KindLinkDelay installs DelayMS of extra latency on the From->To
+	// link (nil selector = any endpoint).
+	KindLinkDelay = "link-delay"
+	// KindPartition moves member Idx into partition Part.
+	KindPartition = "partition"
+	// KindHealLinks removes every installed per-link loss and delay.
+	KindHealLinks = "heal-links"
+	// KindHealPartitions returns every member to partition 0.
+	KindHealPartitions = "heal-partitions"
+)
+
+// Header is the first line of every log: the format version plus everything
+// needed to re-create the cluster the records ran against.
+type Header struct {
+	V    int    `json:"v"`
+	Kind string `json:"kind"` // always "header"
+
+	// Mode is the protocol both the recorded run and the replay speak:
+	// "cam-chord" or "cam-koorde".
+	Mode string `json:"mode"`
+	// Bits is the identifier-space width (0 means 20, churnsim's default).
+	Bits uint `json:"bits,omitempty"`
+	// NetSeed seeds the replayed in-memory network's loss RNG.
+	NetSeed int64 `json:"netseed"`
+	// Scenario optionally names the failure scenario that produced the
+	// log (see internal/scenario).
+	Scenario string `json:"scenario,omitempty"`
+	// Seed optionally records the scenario/churn seed the schedule was
+	// generated from, for provenance; replay does not use it.
+	Seed int64 `json:"seed,omitempty"`
+	// Note is free-form provenance (tool version, flags).
+	Note string `json:"note,omitempty"`
+}
+
+// Record is one input event. Members are identified by dense indices — the
+// replayer materializes index i as address "member-i" — so logs recorded on
+// any transport (including TCP listeners with ephemeral ports) replay on
+// the deterministic in-memory network.
+type Record struct {
+	Kind string `json:"kind"`
+
+	Idx     int     `json:"idx,omitempty"`     // member (bootstrap, join, leave, crash, multicast, partition)
+	Via     int     `json:"via,omitempty"`     // join bootstrap member
+	Cap     int     `json:"cap,omitempty"`     // member capacity (bootstrap, join)
+	Idxs    []int   `json:"idxs,omitempty"`    // crash-group victims
+	Rounds  int     `json:"rounds,omitempty"`  // maintain
+	Full    bool    `json:"full,omitempty"`    // maintain: FixAll instead of FixOnce
+	Payload []byte  `json:"payload,omitempty"` // multicast payload
+	From    *int    `json:"from,omitempty"`    // link selector; nil matches any sender
+	To      *int    `json:"to,omitempty"`      // link selector; nil matches any receiver
+	Rate    float64 `json:"rate,omitempty"`    // link-loss drop probability
+	DelayMS int64   `json:"delay_ms,omitempty"`
+	Part    int     `json:"part,omitempty"` // partition id
+}
+
+// Log is a parsed record/replay log.
+type Log struct {
+	Header  Header
+	Records []Record
+}
+
+// Addr returns the canonical replay address of member idx. It matches the
+// naming churnsim gives in-memory members, so a log recorded there replays
+// against identical addresses (and identical ring identifiers).
+func Addr(idx int) string { return fmt.Sprintf("member-%d", idx) }
+
+// Recorder captures an input schedule as NDJSON. Construct with
+// NewRecorder; a nil *Recorder is safe and discards everything, so drivers
+// can thread one unconditionally. Methods are safe for concurrent use; the
+// caller is responsible for the ordering being meaningful (churnsim records
+// from its single driver goroutine).
+type Recorder struct {
+	mu      sync.Mutex
+	w       *bufio.Writer
+	err     error
+	records int
+}
+
+// NewRecorder writes the header line and returns a recorder appending one
+// NDJSON line per recorded input. Call Flush when the run completes.
+func NewRecorder(w io.Writer, h Header) *Recorder {
+	h.V = Version
+	h.Kind = KindHeader
+	r := &Recorder{w: bufio.NewWriter(w)}
+	r.writeLine(h)
+	return r
+}
+
+func (r *Recorder) writeLine(v any) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.err != nil {
+		return
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		r.err = err
+		return
+	}
+	b = append(b, '\n')
+	if _, err := r.w.Write(b); err != nil {
+		r.err = err
+		return
+	}
+	if _, isRecord := v.(Record); isRecord {
+		r.records++
+	}
+}
+
+func (r *Recorder) record(rec Record) { r.writeLine(rec) }
+
+// Bootstrap records member idx starting a fresh group.
+func (r *Recorder) Bootstrap(idx, capacity int) {
+	r.record(Record{Kind: KindBootstrap, Idx: idx, Cap: capacity})
+}
+
+// Join records member idx (capacity cap) joining through member via.
+func (r *Recorder) Join(idx, via, capacity int) {
+	r.record(Record{Kind: KindJoin, Idx: idx, Via: via, Cap: capacity})
+}
+
+// Leave records a graceful departure of member idx.
+func (r *Recorder) Leave(idx int) { r.record(Record{Kind: KindLeave, Idx: idx}) }
+
+// Crash records member idx stopping without notice.
+func (r *Recorder) Crash(idx int) { r.record(Record{Kind: KindCrash, Idx: idx}) }
+
+// CrashGroup records a correlated crash of every member in idxs.
+func (r *Recorder) CrashGroup(idxs []int) {
+	if len(idxs) == 0 {
+		return
+	}
+	r.record(Record{Kind: KindCrashGroup, Idxs: idxs})
+}
+
+// Maintain records rounds maintenance rounds; full upgrades the fix pass
+// to FixAll.
+func (r *Recorder) Maintain(rounds int, full bool) {
+	if rounds <= 0 {
+		return
+	}
+	r.record(Record{Kind: KindMaintain, Rounds: rounds, Full: full})
+}
+
+// Multicast records member idx submitting payload to the group.
+func (r *Recorder) Multicast(idx int, payload []byte) {
+	r.record(Record{Kind: KindMulticast, Idx: idx, Payload: payload})
+}
+
+// linkSel converts a member-index selector to the wire form (-1 and below
+// mean "any endpoint" and encode as an absent field).
+func linkSel(idx int) *int {
+	if idx < 0 {
+		return nil
+	}
+	i := idx
+	return &i
+}
+
+// LinkLoss records loss rate on the from->to link; negative from/to match
+// any endpoint.
+func (r *Recorder) LinkLoss(from, to int, rate float64) {
+	r.record(Record{Kind: KindLinkLoss, From: linkSel(from), To: linkSel(to), Rate: rate})
+}
+
+// LinkDelay records d of extra latency on the from->to link; negative
+// from/to match any endpoint.
+func (r *Recorder) LinkDelay(from, to int, d time.Duration) {
+	r.record(Record{Kind: KindLinkDelay, From: linkSel(from), To: linkSel(to), DelayMS: d.Milliseconds()})
+}
+
+// Partition records member idx moving into partition part.
+func (r *Recorder) Partition(idx, part int) {
+	r.record(Record{Kind: KindPartition, Idx: idx, Part: part})
+}
+
+// HealLinks records the removal of every per-link loss and delay.
+func (r *Recorder) HealLinks() { r.record(Record{Kind: KindHealLinks}) }
+
+// HealPartitions records every member returning to partition 0.
+func (r *Recorder) HealPartitions() { r.record(Record{Kind: KindHealPartitions}) }
+
+// Records returns how many records (excluding the header) were written.
+func (r *Recorder) Records() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.records
+}
+
+// Flush drains buffered output and returns the first error the recorder
+// hit, if any. Nil-safe.
+func (r *Recorder) Flush() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.err != nil {
+		return r.err
+	}
+	return r.w.Flush()
+}
+
+// ReadLog parses an NDJSON log, validating the header version and every
+// record kind. Unknown kinds are an error — a v1 reader must not silently
+// drop inputs a newer writer considered meaningful.
+func ReadLog(rd io.Reader) (*Log, error) {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("replay: reading header: %w", err)
+		}
+		return nil, fmt.Errorf("replay: empty log")
+	}
+	var h Header
+	if err := json.Unmarshal(sc.Bytes(), &h); err != nil {
+		return nil, fmt.Errorf("replay: bad header: %w", err)
+	}
+	if h.Kind != KindHeader {
+		return nil, fmt.Errorf("replay: first line kind %q, want %q", h.Kind, KindHeader)
+	}
+	if h.V != Version {
+		return nil, fmt.Errorf("replay: log version %d, this reader speaks %d", h.V, Version)
+	}
+	switch h.Mode {
+	case "cam-chord", "cam-koorde":
+	default:
+		return nil, fmt.Errorf("replay: unknown protocol mode %q", h.Mode)
+	}
+
+	log := &Log{Header: h}
+	line := 1
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("replay: line %d: %w", line, err)
+		}
+		switch rec.Kind {
+		case KindBootstrap, KindJoin, KindLeave, KindCrash, KindCrashGroup,
+			KindMaintain, KindMulticast, KindLinkLoss, KindLinkDelay,
+			KindPartition, KindHealLinks, KindHealPartitions:
+		default:
+			return nil, fmt.Errorf("replay: line %d: unknown record kind %q", line, rec.Kind)
+		}
+		log.Records = append(log.Records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("replay: %w", err)
+	}
+	return log, nil
+}

@@ -1,0 +1,204 @@
+package replay
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildLog records a small but eventful schedule: a ten-member group, a
+// clean multicast, a lossy one, a correlated crash with a repairing
+// multicast after it, and a healed finale.
+func buildLog(t *testing.T, mode string) *Log {
+	t.Helper()
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf, Header{Mode: mode, NetSeed: 77, Scenario: "unit-test"})
+	rec.Bootstrap(0, 4)
+	for i := 1; i < 10; i++ {
+		rec.Join(i, 0, 4+i%3)
+		rec.Maintain(1, false)
+	}
+	rec.Maintain(3, true)
+	rec.Multicast(0, []byte("clean"))
+	rec.LinkLoss(-1, 3, 0.4)
+	rec.Multicast(2, []byte("lossy"))
+	rec.CrashGroup([]int{4, 5})
+	rec.Maintain(2, true)
+	rec.HealLinks()
+	rec.Multicast(1, []byte("healed"))
+	if err := rec.Flush(); err != nil {
+		t.Fatalf("recorder: %v", err)
+	}
+	log, err := ReadLog(&buf)
+	if err != nil {
+		t.Fatalf("ReadLog: %v", err)
+	}
+	return log
+}
+
+func TestRecorderRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf, Header{Mode: "cam-koorde", Bits: 16, NetSeed: 5, Scenario: "rt", Seed: 9, Note: "n"})
+	rec.Bootstrap(0, 6)
+	rec.Join(1, 0, 8)
+	rec.Leave(1)
+	rec.Crash(2)
+	rec.CrashGroup([]int{3, 4})
+	rec.Maintain(2, true)
+	rec.Multicast(0, []byte("hi"))
+	rec.LinkLoss(1, -1, 0.5)
+	rec.LinkDelay(-1, 2, 40*time.Millisecond)
+	rec.Partition(3, 1)
+	rec.HealLinks()
+	rec.HealPartitions()
+	if err := rec.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	if got := rec.Records(); got != 12 {
+		t.Errorf("Records() = %d, want 12", got)
+	}
+
+	log, err := ReadLog(&buf)
+	if err != nil {
+		t.Fatalf("ReadLog: %v", err)
+	}
+	h := log.Header
+	if h.V != Version || h.Mode != "cam-koorde" || h.Bits != 16 || h.NetSeed != 5 ||
+		h.Scenario != "rt" || h.Seed != 9 || h.Note != "n" {
+		t.Errorf("header round-trip mangled: %+v", h)
+	}
+	if len(log.Records) != 12 {
+		t.Fatalf("got %d records, want 12", len(log.Records))
+	}
+	wantKinds := []string{
+		KindBootstrap, KindJoin, KindLeave, KindCrash, KindCrashGroup,
+		KindMaintain, KindMulticast, KindLinkLoss, KindLinkDelay,
+		KindPartition, KindHealLinks, KindHealPartitions,
+	}
+	for i, want := range wantKinds {
+		if log.Records[i].Kind != want {
+			t.Errorf("record %d kind = %q, want %q", i, log.Records[i].Kind, want)
+		}
+	}
+	// Spot-check selector encoding: one-sided wildcards survive the trip.
+	loss := log.Records[7]
+	if loss.From == nil || *loss.From != 1 || loss.To != nil || loss.Rate != 0.5 {
+		t.Errorf("link-loss selectors mangled: %+v", loss)
+	}
+	delay := log.Records[8]
+	if delay.From != nil || delay.To == nil || *delay.To != 2 || delay.DelayMS != 40 {
+		t.Errorf("link-delay selectors mangled: %+v", delay)
+	}
+	if string(log.Records[6].Payload) != "hi" {
+		t.Errorf("payload mangled: %q", log.Records[6].Payload)
+	}
+}
+
+func TestReadLogRejects(t *testing.T) {
+	for name, in := range map[string]string{
+		"empty":        "",
+		"not-header":   `{"kind":"join","idx":1}`,
+		"bad-version":  `{"v":99,"kind":"header","mode":"cam-chord","netseed":1}`,
+		"bad-mode":     `{"v":1,"kind":"header","mode":"mystery","netseed":1}`,
+		"unknown-kind": `{"v":1,"kind":"header","mode":"cam-chord","netseed":1}` + "\n" + `{"kind":"frobnicate"}`,
+		"not-json":     `{"v":1,"kind":"header","mode":"cam-chord","netseed":1}` + "\nnope",
+	} {
+		if _, err := ReadLog(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: ReadLog accepted invalid input", name)
+		}
+	}
+}
+
+// TestReplayDeterministic is the core contract: two independent replays of
+// one log produce byte-identical outcomes — delivery sets, counters, and
+// the full event trace.
+func TestReplayDeterministic(t *testing.T) {
+	for _, mode := range []string{"cam-chord", "cam-koorde"} {
+		t.Run(mode, func(t *testing.T) {
+			log := buildLog(t, mode)
+			a, err := Run(log)
+			if err != nil {
+				t.Fatalf("first replay: %v", err)
+			}
+			b, err := Run(log)
+			if err != nil {
+				t.Fatalf("second replay: %v", err)
+			}
+			if d := Compare(a, b); d != nil {
+				t.Fatalf("replays diverged:\n%s", d)
+			}
+			if len(a.MsgIDs) != 3 {
+				t.Fatalf("originated %d messages, want 3", len(a.MsgIDs))
+			}
+			// The clean pre-fault multicast must blanket the whole group.
+			if got := len(a.Deliveries[a.MsgIDs[0]]); got != 10 {
+				t.Errorf("clean multicast delivered to %d members, want 10", got)
+			}
+			if a.Counters.Delivered == 0 || a.Counters.Forwarded == 0 {
+				t.Errorf("implausible counters: %s", a.Counters)
+			}
+			if len(a.Trace) == 0 {
+				t.Error("replay produced no trace events")
+			}
+		})
+	}
+}
+
+func TestCompareDivergence(t *testing.T) {
+	log := buildLog(t, "cam-chord")
+	a, err := Run(log)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	b, err := Run(log)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+
+	// Perturb one trace event: the diagnostic must name its step, kind,
+	// and both counter snapshots (which we also skew to check rendering).
+	i := len(b.Trace) / 2
+	b.Trace[i].Detail = "tampered"
+	b.Counters.Forwarded++
+	d := Compare(a, b)
+	if d == nil {
+		t.Fatal("Compare missed a tampered trace")
+	}
+	if d.Reason != "trace" || d.Index != i {
+		t.Errorf("divergence = %q at index %d, want trace at %d", d.Reason, d.Index, i)
+	}
+	s := d.String()
+	for _, want := range []string{
+		"replay divergence (trace)",
+		a.Trace[i].Kind,
+		"counters A:",
+		"counters B:",
+		"tampered",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("diagnostic missing %q:\n%s", want, s)
+		}
+	}
+
+	// Delivery-set divergence: reported with the message ID and the
+	// members only one run reached.
+	b2 := &Outcome{Deliveries: map[string][]string{}, MsgIDs: a.MsgIDs, Counters: a.Counters, Trace: a.Trace}
+	for id, addrs := range a.Deliveries {
+		b2.Deliveries[id] = addrs
+	}
+	first := a.MsgIDs[0]
+	b2.Deliveries[first] = a.Deliveries[first][1:]
+	d = Compare(a, b2)
+	if d == nil || d.Reason != "deliveries" {
+		t.Fatalf("divergence = %v, want deliveries", d)
+	}
+	if !strings.Contains(d.String(), a.Deliveries[first][0]) {
+		t.Errorf("delivery diagnostic does not name the missing member:\n%s", d)
+	}
+
+	// Identical outcomes: no divergence.
+	if d := Compare(a, a); d != nil {
+		t.Errorf("self-compare diverged:\n%s", d)
+	}
+}

@@ -80,10 +80,21 @@ func (n *Node) planSegments(k ring.ID) []childPlan {
 }
 
 // fanOut runs one task per item concurrently, bounded by ForwardParallel
-// in-flight at once, and waits for all of them.
+// in-flight at once, and waits for all of them. With ForwardParallel == 1
+// (Config.ForwardParallel < 0) the tasks run inline in plan order on the
+// caller's goroutine: a semaphore of one would serialize them too, but in
+// scheduler order rather than plan order, and the deterministic replay
+// engine (internal/replay) depends on a serialized node behaving
+// identically from run to run.
 func (n *Node) fanOut(count int, task func(i int)) {
 	if count == 1 {
 		task(0)
+		return
+	}
+	if n.cfg.ForwardParallel <= 1 {
+		for i := 0; i < count; i++ {
+			task(i)
+		}
 		return
 	}
 	sem := make(chan struct{}, n.cfg.ForwardParallel)

@@ -1,10 +1,29 @@
 package runtime
 
 import (
+	"errors"
 	"fmt"
+	"strings"
 
 	"camcast/internal/ring"
 )
+
+// failedSubtreePenalty is the hop-budget cost of one candidate that
+// responded with a lookup failure. It is deliberately a large fraction of
+// the budget: successful detours are short (a few hops), so they fit in
+// whatever budget remains, while a search that keeps dead-ending exhausts
+// its budget after a handful of subtree explorations instead of
+// backtracking exponentially.
+const failedSubtreePenalty = 64
+
+// isLookupFailed reports whether an RPC error is a remote lookup
+// exhaustion. In-process transports preserve the sentinel for errors.Is;
+// wire transports flatten errors to strings, so fall back to matching the
+// sentinel's message.
+func isLookupFailed(err error) bool {
+	return errors.Is(err, ErrLookupFailed) ||
+		(err != nil && strings.Contains(err.Error(), "lookup failed"))
+}
 
 // FindSuccessor resolves the node currently responsible for identifier k,
 // returning it together with the number of forwarding hops spent. This is
@@ -59,9 +78,23 @@ func (n *Node) handleFindSucc(req findSuccReq) (any, error) {
 
 	// Forward to the closest known neighbor preceding k (the CAM lookup
 	// step); fall through the candidate list past unreachable nodes.
+	//
+	// A candidate that RESPONDED with a lookup failure already searched a
+	// whole downstream subtree (or hit the hop limit), and the sibling we
+	// try next routes into largely the same subgraph. Unpenalized, that
+	// backtracking makes an unresolvable lookup — an identifier whose
+	// owner sits behind a partition — an exponential re-exploration of
+	// the reachable graph that livelocks maintenance for minutes. Charging
+	// every failed subtree a large slice of the hop budget bounds the
+	// whole search to a few thousand calls while leaving plenty of budget
+	// for the short sibling paths that succeed in practice.
+	penalty := 0
 	for _, cand := range n.routingCandidates(k) {
-		resp, err := n.call(cand.Addr, kindFindSucc, findSuccReq{K: k, Hops: req.Hops + 1})
+		resp, err := n.call(cand.Addr, kindFindSucc, findSuccReq{K: k, Hops: req.Hops + 1 + penalty})
 		if err != nil {
+			if isLookupFailed(err) {
+				penalty += failedSubtreePenalty
+			}
 			continue
 		}
 		if r, ok := resp.(findSuccResp); ok {
@@ -72,7 +105,7 @@ func (n *Node) handleFindSucc(req findSuccReq) (any, error) {
 	// Last resort: ride the ring through a live successor — unless it is
 	// suspect, in which case the ride would just time out again.
 	if live, ok := n.liveSuccessor(); ok && live.Addr != self.Addr && !n.isSuspect(live.Addr) {
-		resp, err := n.call(live.Addr, kindFindSucc, findSuccReq{K: k, Hops: req.Hops + 1})
+		resp, err := n.call(live.Addr, kindFindSucc, findSuccReq{K: k, Hops: req.Hops + 1 + penalty})
 		if err == nil {
 			if r, ok := resp.(findSuccResp); ok {
 				return r, nil

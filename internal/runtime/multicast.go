@@ -3,6 +3,7 @@ package runtime
 import (
 	"context"
 	"fmt"
+	"sort"
 	"time"
 
 	"camcast/internal/ring"
@@ -196,6 +197,9 @@ func (n *Node) floodNeighbors(ctx context.Context, msgID string, source NodeInfo
 
 // koordeNeighbors snapshots the node's current CAM-Koorde neighbor set:
 // predecessor, successor, and every resolved table slot, deduplicated.
+// Table slots are visited in sorted key order, not map order, so the same
+// routing state always yields the same neighbor sequence — flood order is
+// part of what the deterministic replay engine asserts on.
 func (n *Node) koordeNeighbors() []NodeInfo {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -214,8 +218,18 @@ func (n *Node) koordeNeighbors() []NodeInfo {
 	if len(n.succs) > 0 {
 		add(n.succs[0])
 	}
-	for _, info := range n.table {
-		add(info)
+	keys := make([]tableKey, 0, len(n.table))
+	for k := range n.table {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].level != keys[j].level {
+			return keys[i].level < keys[j].level
+		}
+		return keys[i].seq < keys[j].seq
+	})
+	for _, k := range keys {
+		add(n.table[k])
 	}
 	return out
 }

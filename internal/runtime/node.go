@@ -729,7 +729,15 @@ func (n *Node) StabilizeOnce() {
 
 	resp, err := n.call(succ.Addr, kindNeighbors, neighborsReq{})
 	if err != nil {
-		n.dropSuccessor(succ)
+		// A lossy link is not a dead successor. Severing the ring edge on
+		// one failed RPC lets a burst-loss window erode successor lists
+		// until the ring fragments into disjoint cycles — which incoming
+		// notifies can never rejoin, so the damage outlives the fault.
+		// Drop only a successor the transport's failure detector says is
+		// gone; a live one stays and is retried next round.
+		if !n.net.Registered(succ.Addr) {
+			n.dropSuccessor(succ)
+		}
 		return
 	}
 	nb, ok := resp.(neighborsResp)

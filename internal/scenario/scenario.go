@@ -1,0 +1,239 @@
+// Package scenario is the named failure-scenario library: seeded, scripted
+// composite failures — flash crowds, correlated rack crashes, asymmetric
+// partitions, capacity flaps, slow receivers, burst loss overlapping
+// repair — each expressed as a churnsim schedule plus a fault plan, and
+// each carrying the delivery expectations it must sustain. Scenarios run
+// three ways with identical semantics: as race-enabled table tests in this
+// package, from the camchurn CLI (`camchurn -scenario <name>`), and — once
+// recorded with churnsim's replay log — as deterministic replays under
+// internal/replay.
+//
+// The library exists because individual fault knobs under-test resilience:
+// the paper's repair mechanisms (successor handoff, ring walks, refloods)
+// earn their keep when failures compose — a member crashes while loss is
+// already eating retransmissions, a rack vanishes the moment a flash crowd
+// is still integrating. Each scenario scripts one such composition with a
+// fixed seed so a regression reproduces, not flickers.
+package scenario
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"camcast/internal/churnsim"
+	"camcast/internal/runtime"
+	"camcast/internal/workload"
+)
+
+// Scenario is one named composite failure.
+type Scenario struct {
+	// Name is the CLI-facing identifier (e.g. "correlated-rack-crash").
+	Name string
+	// Description is one line for -scenarios listings.
+	Description string
+
+	// MinMean is the minimum mean delivery ratio over every probe of the
+	// run, faults included. MinLast is the minimum ratio of the trailing
+	// probe, which fires after every fault window has healed and recovery
+	// rounds have run — the "did the overlay actually recover" check.
+	// Thresholds are deliberately conservative: live scenario runs are
+	// concurrent and seed-perturbed by scheduling, so they gate on "the
+	// repair machinery engaged and won", not on exact counts (exact
+	// equality is the replay engine's job).
+	MinMean float64
+	MinLast float64
+
+	build func(mode runtime.Mode, seed int64) churnsim.Config
+}
+
+// Config materializes the scenario's churnsim configuration for a protocol
+// mode and seed. The seed perturbs capacities, probe sources and join
+// routes; the schedule and fault plan are fixed by the scenario.
+func (s Scenario) Config(mode runtime.Mode, seed int64) churnsim.Config {
+	return s.build(mode, seed)
+}
+
+// Check verifies a run's outcome against the scenario's expectations.
+func (s Scenario) Check(res churnsim.Result) error {
+	if res.Probes == 0 {
+		return fmt.Errorf("scenario %s: no probes measured", s.Name)
+	}
+	if res.MeanDelivery < s.MinMean {
+		return fmt.Errorf("scenario %s: mean delivery %.3f below %.3f", s.Name, res.MeanDelivery, s.MinMean)
+	}
+	last := res.DeliveryRatios[len(res.DeliveryRatios)-1]
+	if last < s.MinLast {
+		return fmt.Errorf("scenario %s: post-recovery delivery %.3f below %.3f", s.Name, last, s.MinLast)
+	}
+	return nil
+}
+
+// Run executes the scenario, optionally recording a replay log, and checks
+// the outcome against the scenario's expectations. The Result is returned
+// even when the check fails, so callers can report the measurements.
+func Run(s Scenario, mode runtime.Mode, seed int64, record io.Writer) (churnsim.Result, error) {
+	cfg := s.Config(mode, seed)
+	if record != nil {
+		cfg.Record = record
+		cfg.Label = s.Name
+	}
+	res, err := churnsim.Run(cfg)
+	if err != nil {
+		return res, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	return res, s.Check(res)
+}
+
+// All returns every scenario in catalog order.
+func All() []Scenario { return scenarios }
+
+// Names returns every scenario name in catalog order.
+func Names() []string {
+	out := make([]string, len(scenarios))
+	for i, s := range scenarios {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// Get resolves a scenario by name.
+func Get(name string) (Scenario, error) {
+	for _, s := range scenarios {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("scenario: unknown scenario %q (have %v)", name, Names())
+}
+
+// base is the cluster every scenario starts from: 20 members, converged,
+// with capacities valid for both protocol modes.
+func base(mode runtime.Mode, seed int64) churnsim.Config {
+	return churnsim.Config{
+		Mode:              mode,
+		Initial:           20,
+		CapacityLo:        4,
+		CapacityHi:        8,
+		Bits:              16,
+		Seed:              seed,
+		MaintenanceBudget: 1,
+		ProbeEvery:        3,
+	}
+}
+
+// noops appends n schedule steps that only run maintenance, probes and
+// fault windows.
+func noops(events []workload.Event, n int) []workload.Event {
+	for i := 0; i < n; i++ {
+		events = append(events, workload.Event{Kind: workload.EventNoop})
+	}
+	return events
+}
+
+var scenarios = []Scenario{
+	{
+		Name: "flash-crowd-join",
+		Description: "12 members join back-to-back faster than maintenance converges, " +
+			"then the overlay gets recovery rounds",
+		MinMean: 0.55,
+		MinLast: 0.95,
+		build: func(mode runtime.Mode, seed int64) churnsim.Config {
+			cfg := base(mode, seed)
+			var ev []workload.Event
+			for i := 0; i < 12; i++ {
+				ev = append(ev, workload.Event{Kind: workload.EventJoin, Index: 20 + i})
+			}
+			cfg.Schedule = noops(ev, 9)
+			return cfg
+		},
+	},
+	{
+		Name: "correlated-rack-crash",
+		Description: "a quarter of the group (one 'rack') crashes in the same instant; " +
+			"survivors must repair around the hole",
+		MinMean: 0.55,
+		MinLast: 0.95,
+		build: func(mode runtime.Mode, seed int64) churnsim.Config {
+			cfg := base(mode, seed)
+			cfg.Schedule = noops(nil, 15)
+			cfg.Faults = &churnsim.FaultPlan{Events: []churnsim.FaultEvent{
+				{Kind: churnsim.FaultGroupCrash, At: 3, Members: []int{2, 6, 10, 14, 18}},
+			}}
+			return cfg
+		},
+	},
+	{
+		Name: "asymmetric-partition",
+		Description: "two members can send but hear nothing (inbound links fully lossy) " +
+			"for a window, then the links heal",
+		MinMean: 0.55,
+		MinLast: 0.95,
+		build: func(mode runtime.Mode, seed int64) churnsim.Config {
+			cfg := base(mode, seed)
+			cfg.Schedule = noops(nil, 15)
+			cfg.Faults = &churnsim.FaultPlan{Events: []churnsim.FaultEvent{
+				{Kind: churnsim.FaultLinkLoss, At: 2, Until: 8, From: churnsim.Any, To: 3, Rate: 1},
+				{Kind: churnsim.FaultLinkLoss, At: 2, Until: 8, From: churnsim.Any, To: 4, Rate: 1},
+			}}
+			return cfg
+		},
+	},
+	{
+		Name: "capacity-flap",
+		Description: "one member crashes and rejoins with a different capacity, three times " +
+			"in quick succession",
+		MinMean: 0.55,
+		MinLast: 0.95,
+		build: func(mode runtime.Mode, seed int64) churnsim.Config {
+			cfg := base(mode, seed)
+			cfg.MaintenanceBudget = 2
+			var ev []workload.Event
+			caps := []int{8, 4, 8}
+			for _, c := range caps {
+				ev = append(ev, workload.Event{Kind: workload.EventFail, Index: 5})
+				ev = append(ev, workload.Event{Kind: workload.EventNoop})
+				ev = append(ev, workload.Event{Kind: workload.EventJoin, Index: 5, Capacity: c})
+				ev = append(ev, workload.Event{Kind: workload.EventNoop})
+			}
+			cfg.Schedule = noops(ev, 4)
+			return cfg
+		},
+	},
+	{
+		Name: "slow-receiver-backpressure",
+		Description: "every message into one member is delayed for a window; slowness must " +
+			"cost only latency, never delivery",
+		// A slow link is not a lossy link: delivery stays essentially
+		// perfect throughout, which is exactly the property under test.
+		MinMean: 0.9,
+		MinLast: 0.95,
+		build: func(mode runtime.Mode, seed int64) churnsim.Config {
+			cfg := base(mode, seed)
+			cfg.Schedule = noops(nil, 12)
+			cfg.Faults = &churnsim.FaultPlan{Events: []churnsim.FaultEvent{
+				{Kind: churnsim.FaultLinkDelay, At: 2, Until: 9, From: churnsim.Any, To: 6, Delay: 8 * time.Millisecond},
+			}}
+			return cfg
+		},
+	},
+	{
+		Name: "burst-loss-during-repair",
+		Description: "two members crash in the middle of a 25% loss window, so the very " +
+			"retransmissions and repair handoffs that cover the crash are themselves lossy",
+		// MinLast allows one straggler out of 18 survivors: the crash
+		// happens while loss is already eating the repair traffic, so one
+		// member occasionally rejoins the tree a probe late.
+		MinMean: 0.55,
+		MinLast: 0.9,
+		build: func(mode runtime.Mode, seed int64) churnsim.Config {
+			cfg := base(mode, seed)
+			cfg.Schedule = noops(nil, 15)
+			cfg.Faults = &churnsim.FaultPlan{Events: []churnsim.FaultEvent{
+				{Kind: churnsim.FaultLinkLoss, At: 2, Until: 8, From: churnsim.Any, To: churnsim.Any, Rate: 0.25},
+				{Kind: churnsim.FaultGroupCrash, At: 4, Members: []int{7, 8}},
+			}}
+			return cfg
+		},
+	},
+}

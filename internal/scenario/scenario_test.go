@@ -1,0 +1,80 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+
+	"camcast/internal/replay"
+	"camcast/internal/runtime"
+)
+
+// TestScenarios runs the whole catalog in both protocol modes and holds
+// each run to its scenario's delivery expectations. This is the CI
+// scenario matrix; it runs race-enabled there.
+//
+// Cells run sequentially on purpose: each live run uses real-time RPC
+// deadlines and suspicion windows, and a dozen concurrent clusters starve
+// each other enough to fake repair failures. The whole matrix is still
+// well under a minute.
+func TestScenarios(t *testing.T) {
+	for _, s := range All() {
+		for _, mode := range []runtime.Mode{runtime.ModeCAMChord, runtime.ModeCAMKoorde} {
+			t.Run(s.Name+"/"+mode.String(), func(t *testing.T) {
+				res, err := Run(s, mode, 42, nil)
+				if err != nil {
+					t.Fatalf("%v (result: mean=%.3f ratios=%v)", err, res.MeanDelivery, res.DeliveryRatios)
+				}
+			})
+		}
+	}
+}
+
+// TestScenarioRecordReplay records one composite scenario and requires two
+// independent replays of its log to agree exactly.
+func TestScenarioRecordReplay(t *testing.T) {
+	s, err := Get("burst-loss-during-repair")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := Run(s, runtime.ModeCAMChord, 42, &buf); err != nil {
+		t.Fatalf("recorded run: %v", err)
+	}
+	log, err := replay.ReadLog(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadLog: %v", err)
+	}
+	if log.Header.Scenario != s.Name {
+		t.Errorf("log labeled %q, want %q", log.Header.Scenario, s.Name)
+	}
+	a, err := replay.Run(log)
+	if err != nil {
+		t.Fatalf("first replay: %v", err)
+	}
+	b, err := replay.Run(log)
+	if err != nil {
+		t.Fatalf("second replay: %v", err)
+	}
+	if d := replay.Compare(a, b); d != nil {
+		t.Fatalf("replays diverged:\n%s", d)
+	}
+}
+
+func TestGet(t *testing.T) {
+	if _, err := Get("no-such-scenario"); err == nil {
+		t.Error("Get accepted an unknown name")
+	}
+	names := Names()
+	if len(names) != 6 {
+		t.Fatalf("catalog has %d scenarios, want 6", len(names))
+	}
+	for _, name := range names {
+		s, err := Get(name)
+		if err != nil {
+			t.Errorf("Get(%q): %v", name, err)
+		}
+		if s.Description == "" || s.MinMean <= 0 || s.MinLast <= 0 {
+			t.Errorf("scenario %q underspecified: %+v", name, s)
+		}
+	}
+}

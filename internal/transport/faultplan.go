@@ -16,8 +16,11 @@ const (
 	// FaultDelay adds Delay to every call on the matching link (empty
 	// From/To match any endpoint) while the event is active.
 	FaultDelay
-	// FaultLoss drops calls with probability Rate while the event is
-	// active (burst loss).
+	// FaultLoss drops calls on the matching link (empty From/To match any
+	// endpoint) with probability Rate while the event is active. Leaving
+	// both selectors empty gives the original global burst loss; setting
+	// only one direction of a link expresses asymmetric failures (A's
+	// packets to B vanish while B still reaches A).
 	FaultLoss
 )
 
@@ -55,7 +58,8 @@ type FaultEvent struct {
 	Addrs []string
 	// Partition is the partition id victims move to (FaultPartition).
 	Partition int
-	// From/To select the link (FaultDelay); empty matches any endpoint.
+	// From/To select the link (FaultDelay, FaultLoss); empty matches any
+	// endpoint.
 	From, To string
 	// Delay is the added per-call latency (FaultDelay).
 	Delay time.Duration
@@ -112,14 +116,20 @@ func (p *FaultPlan) partitionAt(addr string, step uint64) (int, bool) {
 	return 0, false
 }
 
-// lossAt returns the largest active burst-loss rate at step.
-func (p *FaultPlan) lossAt(step uint64) float64 {
+// lossAt returns the largest burst-loss rate active on the from->to link at
+// step. Events with empty From/To keep their original meaning of global
+// loss; events naming one or both endpoints apply to that link direction
+// only.
+func (p *FaultPlan) lossAt(from, to string, step uint64) float64 {
 	if p == nil {
 		return 0
 	}
 	rate := 0.0
 	for _, e := range p.Events {
-		if e.Kind == FaultLoss && e.active(step) && e.Rate > rate {
+		if e.Kind != FaultLoss || !e.active(step) {
+			continue
+		}
+		if (e.From == "" || e.From == from) && (e.To == "" || e.To == to) && e.Rate > rate {
 			rate = e.Rate
 		}
 	}

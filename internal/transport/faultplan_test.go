@@ -32,7 +32,7 @@ func TestFaultPlanNilSafe(t *testing.T) {
 	if _, ok := p.partitionAt("a", 0); ok {
 		t.Error("nil plan reported a partition")
 	}
-	if p.lossAt(0) != 0 || p.delayAt("a", "b", 0) != 0 {
+	if p.lossAt("a", "b", 0) != 0 || p.delayAt("a", "b", 0) != 0 {
 		t.Error("nil plan reported loss or delay")
 	}
 }

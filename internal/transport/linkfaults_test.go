@@ -1,0 +1,128 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestFaultPlanPerLinkLoss asserts that FaultLoss events with From/To
+// selectors hit only the matching direction: a->b drops at rate 1 while
+// b->a and unrelated links flow untouched.
+func TestFaultPlanPerLinkLoss(t *testing.T) {
+	n := NewNetwork(7)
+	for _, addr := range []string{"a", "b", "c"} {
+		n.Register(addr, echoHandler(t))
+	}
+	n.SetFaultPlan(&FaultPlan{Events: []FaultEvent{
+		{Kind: FaultLoss, At: 0, From: "a", To: "b", Rate: 1},
+	}})
+
+	if _, err := n.Call(context.Background(), "a", "b", "x", nil); !errors.Is(err, ErrDropped) {
+		t.Fatalf("a->b err = %v, want ErrDropped", err)
+	}
+	if _, err := n.Call(context.Background(), "b", "a", "x", nil); err != nil {
+		t.Fatalf("b->a should flow (asymmetric loss): %v", err)
+	}
+	if _, err := n.Call(context.Background(), "a", "c", "x", nil); err != nil {
+		t.Fatalf("a->c should flow: %v", err)
+	}
+}
+
+// TestFaultPlanLossOneSidedSelector checks the single-selector forms: a
+// From-only event silences everything a sender says, a To-only event
+// silences everything a receiver hears.
+func TestFaultPlanLossOneSidedSelector(t *testing.T) {
+	n := NewNetwork(7)
+	for _, addr := range []string{"a", "b", "c"} {
+		n.Register(addr, echoHandler(t))
+	}
+	n.SetFaultPlan(&FaultPlan{Events: []FaultEvent{
+		{Kind: FaultLoss, At: 0, From: "a", Rate: 1},
+	}})
+	if _, err := n.Call(context.Background(), "a", "b", "x", nil); !errors.Is(err, ErrDropped) {
+		t.Fatalf("a->b err = %v, want ErrDropped", err)
+	}
+	if _, err := n.Call(context.Background(), "a", "c", "x", nil); !errors.Is(err, ErrDropped) {
+		t.Fatalf("a->c err = %v, want ErrDropped", err)
+	}
+	if _, err := n.Call(context.Background(), "c", "a", "x", nil); err != nil {
+		t.Fatalf("c->a should flow: %v", err)
+	}
+
+	n.SetFaultPlan(&FaultPlan{Events: []FaultEvent{
+		{Kind: FaultLoss, At: 0, To: "b", Rate: 1},
+	}})
+	if _, err := n.Call(context.Background(), "c", "b", "x", nil); !errors.Is(err, ErrDropped) {
+		t.Fatalf("c->b err = %v, want ErrDropped", err)
+	}
+	if _, err := n.Call(context.Background(), "b", "c", "x", nil); err != nil {
+		t.Fatalf("b->c should flow: %v", err)
+	}
+}
+
+// TestSetLinkLoss exercises the imperative per-link knob: exact links,
+// wildcards, the max-wins composition with the global drop rate, and
+// removal via rate 0 / ClearLinkFaults.
+func TestSetLinkLoss(t *testing.T) {
+	n := NewNetwork(11)
+	for _, addr := range []string{"a", "b", "c"} {
+		n.Register(addr, echoHandler(t))
+	}
+	n.SetLinkLoss("a", "b", 1)
+	if _, err := n.Call(context.Background(), "a", "b", "x", nil); !errors.Is(err, ErrDropped) {
+		t.Fatalf("a->b err = %v, want ErrDropped", err)
+	}
+	if _, err := n.Call(context.Background(), "b", "a", "x", nil); err != nil {
+		t.Fatalf("reverse direction should flow: %v", err)
+	}
+
+	// Wildcard receiver: nothing reaches b from anywhere.
+	n.SetLinkLoss("", "b", 1)
+	if _, err := n.Call(context.Background(), "c", "b", "x", nil); !errors.Is(err, ErrDropped) {
+		t.Fatalf("c->b err = %v, want ErrDropped", err)
+	}
+
+	// Rate 0 removes an entry; ClearLinkFaults removes the rest.
+	n.SetLinkLoss("", "b", 0)
+	if _, err := n.Call(context.Background(), "c", "b", "x", nil); err != nil {
+		t.Fatalf("c->b should flow after removal: %v", err)
+	}
+	n.ClearLinkFaults()
+	if _, err := n.Call(context.Background(), "a", "b", "x", nil); err != nil {
+		t.Fatalf("a->b should flow after ClearLinkFaults: %v", err)
+	}
+}
+
+// TestSetLinkDelay asserts the per-link delay knob adds latency on the
+// matching direction only and composes with context deadlines.
+func TestSetLinkDelay(t *testing.T) {
+	n := NewNetwork(3)
+	n.Register("b", echoHandler(t))
+	n.SetLinkDelay("", "b", 30*time.Millisecond)
+
+	start := time.Now()
+	if _, err := n.Call(context.Background(), "a", "b", "x", nil); err != nil {
+		t.Fatalf("delayed call failed: %v", err)
+	}
+	if took := time.Since(start); took < 30*time.Millisecond {
+		t.Errorf("call took %v, want >= 30ms of injected delay", took)
+	}
+
+	// A deadline shorter than the injected delay expires the call.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if _, err := n.Call(ctx, "a", "b", "x", nil); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+
+	n.SetLinkDelay("", "b", 0)
+	start = time.Now()
+	if _, err := n.Call(context.Background(), "a", "b", "x", nil); err != nil {
+		t.Fatalf("call after removal failed: %v", err)
+	}
+	if took := time.Since(start); took > 20*time.Millisecond {
+		t.Errorf("call took %v after delay removal, want fast", took)
+	}
+}

@@ -48,6 +48,8 @@ type Network struct {
 	latency   func(from, to string) time.Duration
 	dropRate  float64
 	partition map[string]int // endpoint -> partition id; missing means 0
+	linkLoss  map[link]float64
+	linkDelay map[link]time.Duration
 	plan      *FaultPlan
 	rng       *rand.Rand
 	calls     uint64
@@ -145,6 +147,75 @@ func (n *Network) HealPartitions() {
 	n.partition = make(map[string]int)
 }
 
+// link selects one direction of traffic between endpoints; an empty side is
+// a wildcard.
+type link struct{ from, to string }
+
+// linkMatch returns the largest value among the entries of m matching the
+// from->to direction, considering exact and wildcard selectors.
+func linkMatch[T interface{ float64 | time.Duration }](m map[link]T, from, to string) T {
+	var best T
+	if len(m) == 0 {
+		return best
+	}
+	for _, k := range [4]link{{from, to}, {from, ""}, {"", to}, {"", ""}} {
+		if v, ok := m[k]; ok && v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// SetLinkLoss makes calls on the from->to direction fail with ErrDropped
+// with probability rate (clamped to [0, 1]); an empty from or to matches
+// any endpoint, and rate 0 removes the entry. Unlike SetDropRate this is
+// per-link, so asymmetric failures (A cannot reach B while B still reaches
+// A) are expressible. The churn simulator's fault plans drive this knob.
+func (n *Network) SetLinkLoss(from, to string, rate float64) {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if rate == 0 {
+		delete(n.linkLoss, link{from, to})
+		return
+	}
+	if n.linkLoss == nil {
+		n.linkLoss = make(map[link]float64)
+	}
+	n.linkLoss[link{from, to}] = rate
+}
+
+// SetLinkDelay adds d of latency to every call on the from->to direction;
+// an empty from or to matches any endpoint, and d <= 0 removes the entry.
+// Slow-receiver scenarios use a to-selector to make one member's inbound
+// links crawl without touching the rest of the group.
+func (n *Network) SetLinkDelay(from, to string, d time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if d <= 0 {
+		delete(n.linkDelay, link{from, to})
+		return
+	}
+	if n.linkDelay == nil {
+		n.linkDelay = make(map[link]time.Duration)
+	}
+	n.linkDelay[link{from, to}] = d
+}
+
+// ClearLinkFaults removes every per-link loss and delay installed with
+// SetLinkLoss/SetLinkDelay.
+func (n *Network) ClearLinkFaults() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.linkLoss = nil
+	n.linkDelay = nil
+}
+
 // SetFaultPlan installs a deterministic fault schedule; nil removes it.
 // The plan's windows are evaluated against the network's call counter (see
 // Calls), so installing the same plan at the same point of a deterministic
@@ -215,7 +286,10 @@ func (n *Network) dispatch(ctx context.Context, from, to, kind string, payload a
 		return nil, fmt.Errorf("%s -> %s: %w", from, to, ErrPartitioned)
 	}
 	drop := n.dropRate
-	if r := n.plan.lossAt(step); r > drop {
+	if r := n.plan.lossAt(from, to, step); r > drop {
+		drop = r
+	}
+	if r := linkMatch(n.linkLoss, from, to); r > drop {
 		drop = r
 	}
 	if drop > 0 && n.rng.Float64() < drop {
@@ -225,7 +299,7 @@ func (n *Network) dispatch(ctx context.Context, from, to, kind string, payload a
 	}
 	h, ok := n.endpoints[to]
 	latency := n.latency
-	delay := n.plan.delayAt(from, to, step)
+	delay := n.plan.delayAt(from, to, step) + linkMatch(n.linkDelay, from, to)
 	n.mu.Unlock()
 
 	if !ok {

@@ -15,6 +15,12 @@ const (
 	EventLeave
 	// EventFail removes an existing member without notice (crash).
 	EventFail
+	// EventNoop changes nothing: it advances the schedule clock one step,
+	// letting whatever runs between events (maintenance rounds, probes,
+	// fault windows keyed on event steps) happen without churn. Scenario
+	// scripts use it to give the overlay repair time inside a composed
+	// failure, or to hold a fault window open for a measured duration.
+	EventNoop
 )
 
 // String implements fmt.Stringer.
@@ -26,6 +32,8 @@ func (k EventKind) String() string {
 		return "leave"
 	case EventFail:
 		return "fail"
+	case EventNoop:
+		return "noop"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -37,6 +45,11 @@ func (k EventKind) String() string {
 type Event struct {
 	Kind  EventKind
 	Index int
+	// Capacity, when > 0, pins the capacity of a joining member instead of
+	// the simulation's random draw. Scenario scripts use it to rejoin a
+	// flapping member with a different capacity; generated schedules leave
+	// it zero.
+	Capacity int
 }
 
 // ChurnConfig parameterizes a churn schedule.

@@ -55,9 +55,11 @@ func (c *Config) applyDefaults() {
 // ErrTakenCallbacks reports Options that already carry delivery hooks.
 var ErrTakenCallbacks = errors.New("reliable: Options.OnDeliver/OnRequest are managed by the session")
 
-// Session is one group member with reliability state.
+// Session is one group member with reliability state. The member under it
+// can be either kind camcast offers — in-process (New) or socket-backed
+// (NewTCP) — the reliability protocol is transport-agnostic.
 type Session struct {
-	member *camcast.Member
+	member camcast.Node
 	cfg    Config
 
 	mu      sync.Mutex
@@ -86,23 +88,11 @@ type event struct {
 // empty, joining through via otherwise) wrapped in a reliable session. The
 // session owns opts.OnDeliver and opts.OnRequest.
 func New(net *camcast.Network, addr, via string, opts camcast.Options, cfg Config) (*Session, error) {
-	if opts.OnDeliver != nil || opts.OnRequest != nil {
-		return nil, ErrTakenCallbacks
+	s, err := newSession(&opts, cfg)
+	if err != nil {
+		return nil, err
 	}
-	cfg.applyDefaults()
-	s := &Session{
-		cfg:     cfg,
-		nextSeq: 1,
-		sendBuf: make(map[uint64][]byte),
-		peers:   make(map[string]*peerState),
-	}
-	opts.OnDeliver = s.onDeliver
-	opts.OnRequest = s.onRepairRequest
-
-	var (
-		m   *camcast.Member
-		err error
-	)
+	var m *camcast.Member
 	if via == "" {
 		m, err = net.Create(addr, opts)
 	} else {
@@ -115,8 +105,44 @@ func New(net *camcast.Network, addr, via string, opts camcast.Options, cfg Confi
 	return s, nil
 }
 
+// NewTCP starts a member on its own real TCP socket at listenAddr (see
+// camcast.ListenTCP) wrapped in a reliable session, bootstrapping a fresh
+// group when via is empty and joining through via otherwise. The session
+// owns opts.OnDeliver and opts.OnRequest. Close the underlying member
+// (Member().(*camcast.TCPMember).Close()) when done.
+func NewTCP(listenAddr, via string, opts camcast.Options, cfg Config) (*Session, error) {
+	s, err := newSession(&opts, cfg)
+	if err != nil {
+		return nil, err
+	}
+	m, err := camcast.ListenTCP(listenAddr, via, opts)
+	if err != nil {
+		return nil, err
+	}
+	s.member = m
+	return s, nil
+}
+
+// newSession builds the session state and claims the delivery hooks in
+// opts, failing if the caller already took them.
+func newSession(opts *camcast.Options, cfg Config) (*Session, error) {
+	if opts.OnDeliver != nil || opts.OnRequest != nil {
+		return nil, ErrTakenCallbacks
+	}
+	cfg.applyDefaults()
+	s := &Session{
+		cfg:     cfg,
+		nextSeq: 1,
+		sendBuf: make(map[uint64][]byte),
+		peers:   make(map[string]*peerState),
+	}
+	opts.OnDeliver = s.onDeliver
+	opts.OnRequest = s.onRepairRequest
+	return s, nil
+}
+
 // Member exposes the underlying group member.
-func (s *Session) Member() *camcast.Member { return s.member }
+func (s *Session) Member() camcast.Node { return s.member }
 
 // Send multicasts payload reliably and returns its sequence number.
 func (s *Session) Send(payload []byte) (uint64, error) {

@@ -16,14 +16,18 @@ The JSON file declares its own gate:
 
     "gate": {
         "benchmark":    "BenchmarkMulticastThroughput",  # name prefix
-        "baseline_key": "post",       # top-level key holding the baseline
+        "baseline_key": "post",       # top-level key(s) holding the baseline
         "metrics":      ["ns_op", "B_op"],
         "tolerance_pct": 15
     }
 
-The baseline key may hold either {"cells": {"<sub/cell>": {...}}} (cells are
+Each baseline key may hold either {"cells": {"<sub/cell>": {...}}} (cells are
 sub-benchmark paths under the benchmark name) or a flat mapping of full
-benchmark names to metric dicts.
+benchmark names to metric dicts; "baseline_key" may also be a list of keys
+whose cells are merged (for files like BENCH_obsv.json that group baselines
+by subsystem). A baseline value of exactly 0 is an absolute gate: the
+measured median must also be 0 (how "the emit path allocates nothing"
+stays enforced rather than skipped).
 """
 
 import json
@@ -58,16 +62,24 @@ def parse_bench(stream):
 
 def baseline_cells(doc):
     gate = doc["gate"]
-    base = doc[gate["baseline_key"]]
-    if "cells" in base:
-        prefix = gate["benchmark"] + "/"
-        return {prefix + cell: metrics for cell, metrics in base["cells"].items()}
-    # Flat form: full benchmark names mapped to metric dicts.
-    return {
-        name: metrics
-        for name, metrics in base.items()
-        if isinstance(metrics, dict) and name.startswith("Benchmark")
-    }
+    keys = gate["baseline_key"]
+    if isinstance(keys, str):
+        keys = [keys]
+    cells = {}
+    for key in keys:
+        base = doc[key]
+        if "cells" in base:
+            prefix = gate["benchmark"] + "/"
+            cells.update({prefix + cell: metrics
+                          for cell, metrics in base["cells"].items()})
+            continue
+        # Flat form: full benchmark names mapped to metric dicts.
+        cells.update({
+            name: metrics
+            for name, metrics in base.items()
+            if isinstance(metrics, dict) and name.startswith("Benchmark")
+        })
+    return cells
 
 
 def main(argv):
@@ -87,10 +99,21 @@ def main(argv):
             continue
         for metric in gate["metrics"]:
             want = base.get(metric)
-            if want is None or want == 0:
+            if want is None:
+                continue
+            if not got[metric]:
+                failures.append(f"{name} {metric}: baseline has it, bench output lacks it")
                 continue
             have = statistics.median(got[metric])
             checked += 1
+            if want == 0:
+                # A zero baseline is an absolute promise (e.g. 0 allocs/op
+                # on the emit path), not a ratio.
+                flag = "FAIL" if have > 0 else "ok"
+                print(f"{flag:4} {name} {metric}: baseline 0, median {have:.0f}")
+                if have > 0:
+                    failures.append(f"{name} {metric}: {have:.0f} vs baseline 0")
+                continue
             ratio = have / want
             flag = "FAIL" if ratio > 1 + tolerance else "ok"
             print(f"{flag:4} {name} {metric}: baseline {want:.0f}, "
