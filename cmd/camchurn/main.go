@@ -10,6 +10,9 @@
 //	         [-cap-lo 4] [-cap-hi 10] [-seed 1]
 //	         [-transport mem|tcp] [-codec binary|gob]
 //	         [-debug-addr host:port]
+//	camchurn -live 1000,10000,100000 [-mode cam-chord] [-shards 0]
+//	         [-transport mem|tcp] [-json BENCH_scale.json]
+//	         [-min-ring 0.99] [-min-delivery 0.95]
 //	camchurn -scenarios
 //	camchurn -scenario <name> [-mode cam-chord|cam-koorde|both] [-seed 1]
 //	         [-record log.ndjson]
@@ -25,13 +28,26 @@
 // a replay log (one cluster per log, so it needs a single -mode). -replay
 // re-executes a recorded log twice in the deterministic replay engine and
 // requires both replays to agree exactly.
+//
+// -live runs the scale sweep instead: for each member count it hosts the
+// whole membership in this process with maintenance driven by the sharded
+// scheduler (no per-member goroutines; virtual time on the mem transport),
+// ramps up, churns with probe multicasts, and reports exact join/leave/
+// multicast latency percentiles plus goroutine and bytes-per-member
+// footprints. -json writes the results as BENCH_scale.json cells for
+// scripts/bench_gate.py; -min-ring / -min-delivery turn the run into a
+// pass/fail smoke check for CI.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"strconv"
+	"strings"
 	"text/tabwriter"
 
 	"camcast/internal/churnsim"
@@ -64,9 +80,15 @@ func run(args []string, out io.Writer) error {
 
 		scen     = fs.String("scenario", "", "run this named failure scenario instead of the budget sweep (see -scenarios)")
 		listScen = fs.Bool("scenarios", false, "list the failure-scenario library and exit")
-		mode     = fs.String("mode", "both", "protocol mode for -scenario: cam-chord, cam-koorde or both")
+		mode     = fs.String("mode", "both", "protocol mode for -scenario and -live: cam-chord, cam-koorde or both")
 		record   = fs.String("record", "", "with -scenario: write the run's replay log to this file (needs a single -mode)")
 		replayIn = fs.String("replay", "", "replay a recorded log twice and require the replays to agree; ignores other flags")
+
+		live    = fs.String("live", "", "run the live scale sweep at these comma-separated member counts (e.g. 1000,10000,100000) instead of the budget sweep")
+		shards  = fs.Int("shards", 0, "with -live: scheduler shard count (0 = GOMAXPROCS)")
+		jsonOut = fs.String("json", "", "with -live: write results as BENCH_scale.json cells to this file")
+		minRing = fs.Float64("min-ring", 0, "with -live: fail unless final ring correctness reaches this fraction")
+		minDlv  = fs.Float64("min-delivery", 0, "with -live: fail unless mean probe delivery reaches this fraction")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -81,6 +103,16 @@ func run(args []string, out io.Writer) error {
 		return runScenario(*scen, *mode, *seed, *record, out)
 	case *record != "":
 		return fmt.Errorf("-record needs -scenario")
+	case *live != "":
+		modes, err := scenarioModes(*mode)
+		if err != nil {
+			return err
+		}
+		return runLiveSweep(liveSweepConfig{
+			spec: *live, modes: modes, transport: *trans, shards: *shards,
+			capLo: *capLo, capHi: *capHi, seed: *seed,
+			jsonOut: *jsonOut, minRing: *minRing, minDelivery: *minDlv,
+		}, out)
 	}
 
 	// One bus and registry span the whole sweep, so the debug endpoint
@@ -104,9 +136,17 @@ func run(args []string, out io.Writer) error {
 		*initial, *events, *join*100, *crash*100, *capLo, *capHi, *trans)
 
 	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "system\tmaintenance budget\tmean delivery\tmin delivery\tring correct\ttable faults\tduplicates\tretries\trepaired\tlost")
+	fmt.Fprintln(w, "system\tmaintenance budget\tmean delivery\tmin delivery\tring correct\tjoin ms p50/p95/p99\tleave ms p50/p95/p99\tmcast ms p50/p95/p99\ttable faults\tduplicates\tretries\trepaired\tlost")
 	for _, mode := range []runtime.Mode{runtime.ModeCAMChord, runtime.ModeCAMKoorde} {
 		for _, budget := range []int{4, 2, 1, 0} {
+			// Latency percentiles come from the run's obsv histograms:
+			// each row gets a fresh registry so the quantiles are per-run,
+			// unless a debug endpoint spans the sweep (then the shared
+			// registry accumulates and the columns read cumulatively).
+			rowReg := reg
+			if rowReg == nil {
+				rowReg = obsv.NewRegistry()
+			}
 			res, err := churnsim.Run(churnsim.Config{
 				Mode:              mode,
 				Initial:           *initial,
@@ -120,7 +160,7 @@ func run(args []string, out io.Writer) error {
 				Transport:         *trans,
 				Codec:             *codec,
 				Bus:               bus,
-				Metrics:           reg,
+				Metrics:           rowReg,
 			})
 			if err != nil {
 				return fmt.Errorf("%v budget %d: %w", mode, budget, err)
@@ -129,13 +169,126 @@ func run(args []string, out io.Writer) error {
 			if budget == 0 {
 				label = "none (fastest churn)"
 			}
-			fmt.Fprintf(w, "%v\t%s\t%.1f%%\t%.1f%%\t%.0f%%\t%d\t%d\t%d\t%d\t%d\n",
+			hists := rowReg.Snapshot().Histograms
+			fmt.Fprintf(w, "%v\t%s\t%.1f%%\t%.1f%%\t%.0f%%\t%s\t%s\t%s\t%d\t%d\t%d\t%d\t%d\n",
 				mode, label, res.MeanDelivery*100, res.MinDelivery*100,
-				res.RingCorrect*100, res.TableFaults, res.Duplicates,
+				res.RingCorrect*100,
+				quantileTriple(hists[obsv.MetricJoinTime]),
+				quantileTriple(hists[obsv.MetricLeaveTime]),
+				quantileTriple(hists[obsv.MetricMulticastTime]),
+				res.TableFaults, res.Duplicates,
 				res.Retries, res.SegmentsRepaired, res.SegmentsLost)
 		}
 	}
 	return w.Flush()
+}
+
+// quantileTriple renders a latency histogram as "p50/p95/p99" in
+// milliseconds. Histogram quantiles are bucket upper bounds; observations
+// past the last bucket render as ">5e3".
+func quantileTriple(h obsv.HistogramSnapshot) string {
+	if h.Count == 0 {
+		return "-"
+	}
+	one := func(q float64) string {
+		v := h.Quantile(q)
+		if math.IsInf(v, 1) {
+			if len(h.Bounds) == 0 {
+				return "inf"
+			}
+			return fmt.Sprintf(">%.3g", h.Bounds[len(h.Bounds)-1]*1e3)
+		}
+		return fmt.Sprintf("%.3g", v*1e3)
+	}
+	return one(0.50) + "/" + one(0.95) + "/" + one(0.99)
+}
+
+// liveSweepConfig carries the -live flags into runLiveSweep.
+type liveSweepConfig struct {
+	spec         string
+	modes        []runtime.Mode
+	transport    string
+	shards       int
+	capLo, capHi int
+	seed         int64
+	jsonOut      string
+	minRing      float64
+	minDelivery  float64
+}
+
+// scaleDoc is the BENCH_scale.json shape consumed by scripts/bench_gate.py
+// ("scale" format): one cell per transport/mode/members combination.
+type scaleDoc struct {
+	Format string                         `json:"format"`
+	Cells  map[string]churnsim.LiveResult `json:"cells"`
+}
+
+// runLiveSweep hosts each requested membership size in-process with
+// scheduler-driven maintenance and reports latency percentiles and
+// footprints, optionally writing BENCH_scale.json cells and enforcing
+// ring/delivery floors.
+func runLiveSweep(cfg liveSweepConfig, out io.Writer) error {
+	var sizes []int
+	for _, part := range strings.Split(cfg.spec, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 2 {
+			return fmt.Errorf("-live %q: want comma-separated member counts >= 2", cfg.spec)
+		}
+		sizes = append(sizes, n)
+	}
+
+	doc := scaleDoc{Format: "scale", Cells: make(map[string]churnsim.LiveResult)}
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "system\tmembers\tjoin ms p50/p95/p99\tleave ms p50/p95/p99\tmcast ms p50/p95/p99\tmean delivery\tmin delivery\tring correct\tgoroutines\tB/member\tramp s\tchurn s")
+	var failures []string
+	for _, mode := range cfg.modes {
+		for _, members := range sizes {
+			res, err := churnsim.RunLive(churnsim.LiveConfig{
+				Mode:       mode,
+				Members:    members,
+				Transport:  cfg.transport,
+				Shards:     cfg.shards,
+				CapacityLo: cfg.capLo,
+				CapacityHi: cfg.capHi,
+				Seed:       cfg.seed,
+				Log:        os.Stderr,
+			})
+			if err != nil {
+				return fmt.Errorf("%v live %d: %w", mode, members, err)
+			}
+			doc.Cells[fmt.Sprintf("%s/%s/%d", cfg.transport, mode, members)] = res
+			fmt.Fprintf(w, "%v\t%d\t%.3g/%.3g/%.3g\t%.3g/%.3g/%.3g\t%.3g/%.3g/%.3g\t%.1f%%\t%.1f%%\t%.1f%%\t%d\t%.0f\t%.0f\t%.0f\n",
+				mode, members,
+				res.JoinP50Ms, res.JoinP95Ms, res.JoinP99Ms,
+				res.LeaveP50Ms, res.LeaveP95Ms, res.LeaveP99Ms,
+				res.McastP50Ms, res.McastP95Ms, res.McastP99Ms,
+				res.MeanDelivery*100, res.MinDelivery*100, res.RingCorrect*100,
+				res.Goroutines, res.BytesPerMember, res.RampSeconds, res.ChurnSeconds)
+			if cfg.minRing > 0 && res.RingCorrect < cfg.minRing {
+				failures = append(failures, fmt.Sprintf("%v/%d: ring correctness %.3f < %.3f", mode, members, res.RingCorrect, cfg.minRing))
+			}
+			if cfg.minDelivery > 0 && res.MeanDelivery < cfg.minDelivery {
+				failures = append(failures, fmt.Sprintf("%v/%d: mean delivery %.3f < %.3f", mode, members, res.MeanDelivery, cfg.minDelivery))
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if cfg.jsonOut != "" {
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.jsonOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nwrote %d cells to %s\n", len(doc.Cells), cfg.jsonOut)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("live sweep floors violated:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
 }
 
 // runListScenarios prints the failure-scenario library.

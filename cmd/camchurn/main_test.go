@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"net/http"
+	"os"
 	"regexp"
 	"strings"
 	"sync"
@@ -90,6 +91,70 @@ func TestRunRecordThenReplay(t *testing.T) {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("replay output missing %q:\n%s", want, out.String())
 		}
+	}
+}
+
+// TestRunLiveSweep drives the scheduler-hosted scale path end to end: a
+// small -live run must print the percentile table and write well-formed
+// BENCH_scale.json cells.
+func TestRunLiveSweep(t *testing.T) {
+	path := t.TempDir() + "/scale.json"
+	out := &strings.Builder{}
+	err := run([]string{"-live", "60", "-mode", "cam-chord", "-seed", "42", "-json", path}, out)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	for _, want := range []string{"join ms p50/p95/p99", "mcast ms p50/p95/p99", "B/member", "wrote 1 cells"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc scaleDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("BENCH_scale.json malformed: %v", err)
+	}
+	if doc.Format != "scale" {
+		t.Errorf("format = %q, want scale", doc.Format)
+	}
+	cell, ok := doc.Cells["mem/cam-chord/60"]
+	if !ok {
+		t.Fatalf("missing cell mem/cam-chord/60, have %v", doc.Cells)
+	}
+	if cell.Members != 60 || cell.JoinP99Ms <= 0 || cell.RingCorrect <= 0 {
+		t.Errorf("implausible cell: %+v", cell)
+	}
+}
+
+// TestRunLiveBadSpecs: malformed -live inputs are rejected before any run.
+func TestRunLiveBadSpecs(t *testing.T) {
+	for name, args := range map[string][]string{
+		"not a number":    {"-live", "abc"},
+		"too small":       {"-live", "1"},
+		"empty element":   {"-live", "100,"},
+		"bad mode":        {"-live", "10", "-mode", "telepathy"},
+		"bad transport":   {"-live", "10", "-transport", "carrier-pigeon"},
+	} {
+		if err := run(args, &strings.Builder{}); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestRunLiveFloorViolation: an unreachable delivery floor turns the sweep
+// into a failing gate, but the cells are still written for diagnosis.
+func TestRunLiveFloorViolation(t *testing.T) {
+	path := t.TempDir() + "/scale.json"
+	out := &strings.Builder{}
+	err := run([]string{"-live", "60", "-mode", "cam-chord", "-seed", "42", "-json", path, "-min-delivery", "1.01"}, out)
+	if err == nil || !strings.Contains(err.Error(), "floors violated") {
+		t.Fatalf("err = %v, want floor violation", err)
+	}
+	if _, statErr := os.Stat(path); statErr != nil {
+		t.Errorf("failing sweep should still write cells: %v", statErr)
 	}
 }
 

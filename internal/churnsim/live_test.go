@@ -1,0 +1,88 @@
+package churnsim
+
+import (
+	goruntime "runtime"
+	"testing"
+
+	"camcast/internal/runtime"
+)
+
+// TestRunLiveMem: a scheduler-driven live run on the mem transport under
+// the virtual clock converges, delivers probes, and reports percentiles.
+func TestRunLiveMem(t *testing.T) {
+	members := 600
+	if testing.Short() {
+		members = 200
+	}
+	base := goruntime.NumGoroutine()
+	res, err := RunLive(LiveConfig{
+		Mode:        runtime.ModeCAMChord,
+		Members:     members,
+		Transport:   "mem",
+		Shards:      1,
+		Seed:        42,
+		ChurnEvents: 60,
+		Probes:      6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Members != members || res.Joins < members-1 {
+		t.Fatalf("joins = %d for %d members", res.Joins, res.Members)
+	}
+	if res.RingCorrect < 0.95 {
+		t.Fatalf("ring correctness %.3f after repair, want >= 0.95", res.RingCorrect)
+	}
+	if res.MeanDelivery < 0.95 {
+		t.Fatalf("mean delivery %.3f, want >= 0.95", res.MeanDelivery)
+	}
+	if res.Probes == 0 || res.McastP99Ms <= 0 || res.JoinP99Ms <= 0 {
+		t.Fatalf("percentiles missing: %+v", res)
+	}
+	if res.JoinP50Ms > res.JoinP99Ms {
+		t.Fatalf("p50 %.3f > p99 %.3f", res.JoinP50Ms, res.JoinP99Ms)
+	}
+	// Virtual-time mem mode hosts the whole membership with no standing
+	// goroutines beyond the test's baseline.
+	if res.Goroutines > base+2 {
+		t.Fatalf("hosting %d members used %d goroutines (base %d)", members, res.Goroutines, base)
+	}
+	if res.Leaves > 0 && res.LeaveP99Ms <= 0 {
+		t.Fatalf("leave percentiles missing with %d leaves", res.Leaves)
+	}
+}
+
+// TestRunLiveTCP: the same flow over real loopback sockets with wall-clock
+// shard loops. Small membership — every member owns a listener.
+func TestRunLiveTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tcp live run is wall-clock paced")
+	}
+	res, err := RunLive(LiveConfig{
+		Mode:        runtime.ModeCAMChord,
+		Members:     40,
+		Transport:   "tcp",
+		Shards:      2,
+		Seed:        7,
+		ChurnEvents: 20,
+		Probes:      4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RingCorrect < 0.9 {
+		t.Fatalf("ring correctness %.3f", res.RingCorrect)
+	}
+	if res.MeanDelivery < 0.9 {
+		t.Fatalf("mean delivery %.3f", res.MeanDelivery)
+	}
+}
+
+func TestRunLiveValidates(t *testing.T) {
+	if _, err := RunLive(LiveConfig{Mode: runtime.ModeCAMChord, Members: 1}); err == nil {
+		t.Fatal("1-member run should be rejected")
+	}
+	if _, err := RunLive(LiveConfig{Mode: runtime.ModeCAMChord, Members: 10, Transport: "carrier-pigeon"}); err == nil {
+		t.Fatal("unknown transport should be rejected")
+	}
+}

@@ -30,4 +30,10 @@ const (
 	MetricMulticastTime   = "runtime.multicast.tree_seconds"   // histogram: full dissemination-tree completion time at the source
 	MetricEventsDropped   = "runtime.events.subscriber_drops"  // counter: bus events dropped across detached rings (daemon-level)
 	MetricSegmentSpread   = "runtime.multicast.spread_seconds" // histogram: per-node segment spread time
+	MetricJoinTime        = "runtime.join.seconds"             // histogram: wall time for Join (bootstrap lookup + first stabilize)
+	MetricLeaveTime       = "runtime.leave.seconds"            // histogram: wall time for a graceful Leave's splice-out RPCs
+
+	// Sharded maintenance scheduler (internal/runtime.Scheduler).
+	MetricSchedMembers = "runtime.sched.members" // gauge: members currently owned by the scheduler
+	MetricSchedRounds  = "runtime.sched.rounds"  // counter: maintenance callbacks executed (stabilize + fix + sweeps)
 )

@@ -145,6 +145,71 @@ func TestReplayDeterministic(t *testing.T) {
 	}
 }
 
+// TestReplayDeterministicUnderChurn stresses the virtual-clock path: a
+// crash-heavy schedule interleaving joins, leaves, correlated crashes, and
+// partial maintenance. Suspicion timestamps and any other clock-keyed state
+// come from the replay's virtual clock (one tick per record), so two
+// replays must still agree event-for-event.
+func TestReplayDeterministicUnderChurn(t *testing.T) {
+	for _, mode := range []string{"cam-chord", "cam-koorde"} {
+		t.Run(mode, func(t *testing.T) {
+			var buf bytes.Buffer
+			rec := NewRecorder(&buf, Header{Mode: mode, NetSeed: 31, Scenario: "churn-heavy"})
+			rec.Bootstrap(0, 6)
+			for i := 1; i < 14; i++ {
+				rec.Join(i, (i-1)%3, 4+i%4)
+				rec.Maintain(1, i%4 == 0)
+			}
+			rec.Multicast(0, []byte("pre-churn"))
+			// Waves of churn: crash a clique, let partial maintenance run,
+			// leave cleanly, rejoin into the scar tissue, repeat.
+			rec.CrashGroup([]int{2, 5, 8})
+			rec.Maintain(2, false)
+			rec.Multicast(1, []byte("mid-crash"))
+			rec.Leave(3)
+			rec.Join(14, 0, 5)
+			rec.Maintain(1, true)
+			rec.Crash(7)
+			rec.LinkLoss(-1, 1, 0.3)
+			rec.Multicast(9, []byte("lossy-churn"))
+			rec.HealLinks()
+			rec.Join(15, 9, 4)
+			rec.Maintain(3, true)
+			rec.Multicast(0, []byte("healed"))
+			if err := rec.Flush(); err != nil {
+				t.Fatalf("recorder: %v", err)
+			}
+			log, err := ReadLog(&buf)
+			if err != nil {
+				t.Fatalf("ReadLog: %v", err)
+			}
+			a, err := Run(log)
+			if err != nil {
+				t.Fatalf("first replay: %v", err)
+			}
+			b, err := Run(log)
+			if err != nil {
+				t.Fatalf("second replay: %v", err)
+			}
+			if d := Compare(a, b); d != nil {
+				t.Fatalf("replays diverged under churn:\n%s", d)
+			}
+			if len(a.MsgIDs) != 4 {
+				t.Fatalf("originated %d messages, want 4", len(a.MsgIDs))
+			}
+			// The healed finale should reach the surviving membership:
+			// 16 created - 4 crashed - 1 left = 11 (joins may rarely fail
+			// under replay loss, so allow a small deficit but no silence).
+			if got := len(a.Deliveries[a.MsgIDs[3]]); got < 8 {
+				t.Errorf("healed multicast delivered to %d members, want >= 8", got)
+			}
+			if len(a.Trace) == 0 {
+				t.Error("churn replay produced no trace events")
+			}
+		})
+	}
+}
+
 func TestCompareDivergence(t *testing.T) {
 	log := buildLog(t, "cam-chord")
 	a, err := Run(log)

@@ -9,6 +9,7 @@ import (
 	"camcast/internal/obsv"
 	"camcast/internal/ring"
 	"camcast/internal/runtime"
+	"camcast/internal/timing"
 	"camcast/internal/transport"
 )
 
@@ -20,11 +21,18 @@ import (
 const traceBuffer = 1 << 16
 
 // suspicionForever keeps every suspicion mark alive for the whole replay.
-// Live runs expire suspicion on a wall clock, which replays cannot
-// reproduce; never expiring is the deterministic closure of "the mark was
-// set at some point" — stabilization still clears marks when a suspect
-// answers an RPC, which is an input-driven (and thus replayable) event.
+// Live runs expire suspicion on a clock; under replay, node time is a
+// virtual clock advanced one tick per log record — deterministic, but the
+// recorded run's real timings are unknowable, so never expiring is the
+// deterministic closure of "the mark was set at some point" — stabilization
+// still clears marks when a suspect answers an RPC, which is an
+// input-driven (and thus replayable) event.
 const suspicionForever = 100 * 365 * 24 * time.Hour
+
+// replayTick is how far the replay's virtual clock advances per log
+// record: any fixed nonzero step works, since both replays of a log step
+// time identically.
+const replayTick = time.Millisecond
 
 // Run re-executes a recorded input schedule against a fresh in-memory
 // cluster and returns everything the run observably did: per-message
@@ -63,6 +71,12 @@ func Run(log *Log) (*Outcome, error) {
 	sub := bus.Subscribe(traceBuffer)
 	defer sub.Close()
 
+	// Node time is virtual and advances in lockstep with the log: one tick
+	// per record, from a fixed epoch. Replays of the same log therefore see
+	// identical clock readings at every step, wherever the runtime consults
+	// its clock (suspicion timestamps today, anything time-keyed tomorrow).
+	clock := timing.NewVirtual(time.Unix(0, 0))
+
 	out := &Outcome{Deliveries: make(map[string][]string)}
 	var delivMu sync.Mutex
 
@@ -87,6 +101,7 @@ func Run(log *Log) (*Outcome, error) {
 			ForwardTimeout:  -1,
 			RetryBackoff:    -1,
 			SuspicionWindow: suspicionForever,
+			Clock:           clock,
 			Bus:             bus,
 			OnDeliver: func(d runtime.Delivery) {
 				delivMu.Lock()
@@ -144,6 +159,7 @@ func Run(log *Log) (*Outcome, error) {
 	}
 
 	for step, rec := range log.Records {
+		clock.Advance(replayTick)
 		switch rec.Kind {
 		case KindBootstrap:
 			node, err := newNode(rec.Idx, rec.Cap)

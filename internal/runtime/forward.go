@@ -210,7 +210,7 @@ func (n *Node) noteLost() {
 // per-child deadline, and on failure re-resolve and retry with backoff up
 // to ForwardRetries times. If every attempt fails the segment is handed to
 // repairSegment rather than dropped.
-func (n *Node) forwardSegment(ctx context.Context, msgID string, source NodeInfo, payload payloadRef, cp childPlan, table map[tableKey]NodeInfo, hops int) {
+func (n *Node) forwardSegment(ctx context.Context, msgID string, source NodeInfo, payload payloadRef, cp childPlan, table []NodeInfo, hops int) {
 	s := n.space
 	x := n.self.ID
 
@@ -222,8 +222,9 @@ func (n *Node) forwardSegment(ctx context.Context, msgID string, source NodeInfo
 		if live, liveOK := n.liveSuccessor(); liveOK {
 			child, ok = live, true
 		}
-	} else {
-		child, ok = table[cp.key]
+	} else if idx, have := n.slotOf[cp.key]; have && idx < len(table) {
+		child = table[idx]
+		ok = !child.zero()
 	}
 	resolved := false
 	if !ok || child.zero() || !n.net.Registered(child.Addr) {

@@ -3,7 +3,6 @@ package runtime
 import (
 	"context"
 	"fmt"
-	"sort"
 	"time"
 
 	"camcast/internal/ring"
@@ -197,9 +196,10 @@ func (n *Node) floodNeighbors(ctx context.Context, msgID string, source NodeInfo
 
 // koordeNeighbors snapshots the node's current CAM-Koorde neighbor set:
 // predecessor, successor, and every resolved table slot, deduplicated.
-// Table slots are visited in sorted key order, not map order, so the same
-// routing state always yields the same neighbor sequence — flood order is
-// part of what the deterministic replay engine asserts on.
+// Slots are visited in index order, which targetsFor guarantees is
+// ascending (level, seq) order, so the same routing state always yields
+// the same neighbor sequence — flood order is part of what the
+// deterministic replay engine asserts on.
 func (n *Node) koordeNeighbors() []NodeInfo {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -218,18 +218,8 @@ func (n *Node) koordeNeighbors() []NodeInfo {
 	if len(n.succs) > 0 {
 		add(n.succs[0])
 	}
-	keys := make([]tableKey, 0, len(n.table))
-	for k := range n.table {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].level != keys[j].level {
-			return keys[i].level < keys[j].level
-		}
-		return keys[i].seq < keys[j].seq
-	})
-	for _, k := range keys {
-		add(n.table[k])
+	for _, info := range n.slots {
+		add(info)
 	}
 	return out
 }

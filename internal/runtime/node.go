@@ -26,6 +26,7 @@ import (
 	"camcast/internal/metrics"
 	"camcast/internal/obsv"
 	"camcast/internal/ring"
+	"camcast/internal/timing"
 	"camcast/internal/trace"
 	"camcast/internal/transport"
 )
@@ -141,6 +142,13 @@ type Config struct {
 	// peer whose failure stabilization has not yet observed. Zero means
 	// the default (1s); negative disables suspicion.
 	SuspicionWindow time.Duration
+
+	// Clock is the time source for protocol-time decisions (suspicion
+	// expiry). Simulations and the replay engine install a
+	// timing.Virtual so protocol time advances with the simulation, not
+	// the host; nil means wall time. Latency histograms always measure
+	// wall time — they report real compute cost, not simulated time.
+	Clock timing.Clock
 
 	// Counters optionally receives group-wide forwarding outcome counts
 	// (see the metrics.CounterForward* names); nil disables.
@@ -258,11 +266,22 @@ type Node struct {
 	// into a shared transport.Blob once up front.
 	blobPayloads bool
 
+	clock timing.Clock
+
+	// The routing table is struct-of-arrays: targets (the slot
+	// identifiers to maintain) and slotOf (tableKey -> slot index) are
+	// computed once at construction and never written again, so reads
+	// need no lock; slots is the dense mutable array of resolved
+	// neighbors, indexed like targets and guarded by mu. A maintenance
+	// or fan-out pass walks a contiguous slice instead of a map.
+	targets []target
+	slotOf  map[tableKey]int
+
 	mu      sync.Mutex
 	pred    *NodeInfo
 	succs   []NodeInfo // [0] is the immediate successor; equals self when alone
-	table   map[tableKey]NodeInfo
-	cursor  int // round-robin table refresh position
+	slots   []NodeInfo // resolved table entries; zero value = unfilled
+	cursor  int        // round-robin table refresh position
 	started bool
 	stopped bool
 
@@ -325,12 +344,21 @@ func NewNode(net Transport, addr string, cfg Config) (*Node, error) {
 		space:     cfg.Space,
 		self:      NodeInfo{Addr: addr, ID: ids.NewHasher(cfg.Space).ID(addr)},
 		net:       net,
-		table:     make(map[tableKey]NodeInfo),
+		clock:     cfg.Clock,
 		seen:      newSeenCache(cfg.SeenLimit),
 		reflooded: newSeenCache(cfg.SeenLimit),
 		suspects:  make(map[string]time.Time),
 		memo:      make(map[ring.ID]NodeInfo),
 		stopCh:    make(chan struct{}),
+	}
+	if n.clock == nil {
+		n.clock = timing.Wall()
+	}
+	n.targets = targetsFor(n.space, cfg.Mode, cfg.Capacity, n.self.ID)
+	n.slots = make([]NodeInfo, len(n.targets))
+	n.slotOf = make(map[tableKey]int, len(n.targets))
+	for i, t := range n.targets {
+		n.slotOf[t.key] = i
 	}
 	n.obs = newNodeObs(cfg.Bus, cfg.Metrics)
 	n.rng = rand.New(rand.NewSource(int64(n.self.ID) + 1))
@@ -411,6 +439,7 @@ func (n *Node) Join(bootstrapAddr string) error {
 	}
 	n.mu.Unlock()
 
+	start := time.Now()
 	resp, err := n.call(bootstrapAddr, kindFindSucc, findSuccReq{K: n.self.ID})
 	if err != nil {
 		return fmt.Errorf("runtime: join via %s: %w", bootstrapAddr, err)
@@ -435,6 +464,7 @@ func (n *Node) Join(bootstrapAddr string) error {
 	// Integrate promptly rather than waiting a stabilization period.
 	n.StabilizeOnce()
 	n.startLoops()
+	n.obs.joinTime.ObserveDuration(time.Since(start))
 	n.emitf(trace.KindJoin, "joined via %s, successor %s", bootstrapAddr, succ.Addr)
 	return nil
 }
@@ -455,12 +485,14 @@ func (n *Node) Leave() error {
 	}
 	n.mu.Unlock()
 
+	start := time.Now()
 	if succ != nil {
 		_, _ = n.call(succ.Addr, kindLeaving, leavingReq{Departing: n.self, NewPred: pred})
 	}
 	if pred != nil && pred.Addr != n.self.Addr && succ != nil {
 		_, _ = n.call(pred.Addr, kindLeaving, leavingReq{Departing: n.self, NewSucc: succ})
 	}
+	n.obs.leaveTime.ObserveDuration(time.Since(start))
 	n.emit(trace.KindLeave, "graceful")
 	n.Stop()
 	return nil
@@ -553,7 +585,7 @@ func (n *Node) noteCallResult(addr string, err error) {
 	defer n.suspectMu.Unlock()
 	_, suspect := n.suspects[addr]
 	if unreachable {
-		n.suspects[addr] = time.Now().Add(n.cfg.SuspicionWindow)
+		n.suspects[addr] = n.clock.Now().Add(n.cfg.SuspicionWindow)
 		if !suspect {
 			n.noteTopologyChange()
 		}
@@ -575,11 +607,20 @@ func (n *Node) isSuspect(addr string) bool {
 	if !ok {
 		return false
 	}
-	if time.Now().After(until) {
+	if n.clock.Now().After(until) {
 		delete(n.suspects, addr)
 		return false
 	}
 	return true
+}
+
+// SweepSeen rotates the node's duplicate-suppression caches one generation
+// forward (see seenCache). The maintenance scheduler calls this on a slow
+// cadence so long-idle members shed their dedup window back to empty
+// instead of pinning the last SeenLimit message ids forever.
+func (n *Node) SweepSeen() {
+	n.seen.Sweep()
+	n.reflooded.Sweep()
 }
 
 // countMetric bumps a shared group-wide counter when one is configured.

@@ -25,6 +25,8 @@ type nodeObs struct {
 	lookupHops *obsv.Histogram // hops per locally initiated lookup
 	treeTime   *obsv.Histogram // full dissemination-tree time at the source
 	spreadTime *obsv.Histogram // per-node segment spread time
+	joinTime   *obsv.Histogram // Join wall time (lookup + first stabilize)
+	leaveTime  *obsv.Histogram // graceful-Leave wall time (splice-out RPCs)
 
 	// encodes counts payload blobs this node materialized at origination.
 	// It shares its metric name with the transport's serving-side count (a
@@ -46,6 +48,8 @@ func newNodeObs(bus *obsv.Bus, reg *obsv.Registry) nodeObs {
 		lookupHops: reg.Histogram(obsv.MetricLookupHops, obsv.CountBuckets(16)),
 		treeTime:   reg.Histogram(obsv.MetricMulticastTime, obsv.LatencyBuckets),
 		spreadTime: reg.Histogram(obsv.MetricSegmentSpread, obsv.LatencyBuckets),
+		joinTime:   reg.Histogram(obsv.MetricJoinTime, obsv.LatencyBuckets),
+		leaveTime:  reg.Histogram(obsv.MetricLeaveTime, obsv.LatencyBuckets),
 		encodes:    reg.Counter(obsv.MetricPayloadEncodes),
 	}
 }

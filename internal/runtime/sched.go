@@ -1,0 +1,425 @@
+package runtime
+
+import (
+	"fmt"
+	goruntime "runtime"
+	"sync"
+	"time"
+
+	"camcast/internal/obsv"
+	"camcast/internal/timing"
+)
+
+// Scheduler drives background maintenance — StabilizeOnce, FixOnce, and
+// seen-cache sweeps — for any number of members with a fixed pool of shard
+// event loops instead of two ticker goroutines per member. Members hash to
+// a shard by ring identifier; each shard keeps its members in
+// struct-of-arrays tables (parallel node/generation slices plus reusable
+// due-batch scratch) and their deadlines in one hierarchical timer wheel,
+// so a maintenance round walks contiguous slices and costs O(due members),
+// not O(timers in the runtime heap).
+//
+// Two clock modes share the code path:
+//
+//   - Wall time (default): Start launches one goroutine per shard, each
+//     sleeping toward its wheel's next deadline. Goroutine count is
+//     O(shards) no matter how many members are added.
+//   - Virtual time (SchedulerConfig.Clock is a *timing.Virtual): nothing
+//     runs on its own; the owner calls Advance(d), which moves the clock
+//     and executes everything that came due, shard by shard. One process
+//     can host 100k+ live members this way, and with Shards=1 execution
+//     order is fully deterministic.
+//
+// Members driven by a Scheduler must be configured with StabilizeEvery
+// and FixEvery left zero (no per-node loops). Add members after Bootstrap
+// or Join succeeds; Remove them when they leave or crash. A member that
+// stops without being removed is harmless — its callbacks see the stopped
+// flag and return — but it stays billed to the shard until removed.
+type Scheduler struct {
+	cfg     SchedulerConfig
+	clock   timing.Clock
+	virtual *timing.Virtual // non-nil when driven by Advance
+	shards  []*schedShard
+
+	membersG *obsv.Gauge
+	rounds   *obsv.Counter
+
+	mu      sync.Mutex
+	members int
+	started bool
+	stopped bool
+
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+}
+
+// SchedulerConfig parameterizes a Scheduler.
+type SchedulerConfig struct {
+	// Shards is the number of event loops (and member partitions).
+	// Default GOMAXPROCS. Use 1 for deterministic execution order.
+	Shards int
+	// Clock is the maintenance time source: wall time (nil / timing.Wall)
+	// runs shard goroutines, a *timing.Virtual hands control of time to
+	// the owner via Advance.
+	Clock timing.Clock
+	// StabilizeEvery / FixEvery are the per-member maintenance cadences
+	// (defaults 500ms and 1s). SeenSweepEvery rotates each member's
+	// duplicate-suppression generations (default 60s; negative disables).
+	StabilizeEvery time.Duration
+	FixEvery       time.Duration
+	SeenSweepEvery time.Duration
+	// WheelTick is the timer-wheel granularity (default 1ms).
+	WheelTick time.Duration
+	// Metrics optionally publishes scheduler gauges/counters
+	// (obsv.MetricSchedMembers, obsv.MetricSchedRounds); nil disables.
+	Metrics *obsv.Registry
+}
+
+func (c *SchedulerConfig) applyDefaults() {
+	if c.Shards <= 0 {
+		c.Shards = goruntime.GOMAXPROCS(0)
+	}
+	if c.Clock == nil {
+		c.Clock = timing.Wall()
+	}
+	if c.StabilizeEvery <= 0 {
+		c.StabilizeEvery = 500 * time.Millisecond
+	}
+	if c.FixEvery <= 0 {
+		c.FixEvery = time.Second
+	}
+	if c.SeenSweepEvery == 0 {
+		c.SeenSweepEvery = time.Minute
+	}
+	if c.WheelTick <= 0 {
+		c.WheelTick = time.Millisecond
+	}
+}
+
+// Maintenance kinds encoded in wheel keys.
+const (
+	schedKindStabilize = iota
+	schedKindFix
+	schedKindSweep
+)
+
+// A wheel key packs (kind, generation, slot). The generation guards slot
+// reuse: Remove bumps the slot's generation, so entries armed for the old
+// occupant fire into a mismatch and are ignored — lazy cancellation, no
+// wheel surgery.
+func schedKey(kind int, gen uint32, slot int32) uint64 {
+	return uint64(kind)<<62 | uint64(gen&0x3fffffff)<<32 | uint64(uint32(slot))
+}
+
+func schedKeyParts(key uint64) (kind int, gen uint32, slot int32) {
+	return int(key >> 62), uint32(key>>32) & 0x3fffffff, int32(uint32(key))
+}
+
+// schedShard owns one partition of members: SoA member tables, the shard's
+// timer wheel, and reusable due-batch scratch.
+type schedShard struct {
+	mu    sync.Mutex
+	wheel *timing.Wheel
+	nodes []*Node  // slot -> member (nil = free slot)
+	gens  []uint32 // slot -> occupancy generation
+	free  []int32  // reusable slots
+	index map[*Node]int32
+
+	// kick wakes the shard's wall-mode loop when Add arms a deadline
+	// sooner than the one it sleeps toward.
+	kick chan struct{}
+
+	// Scratch for one round, reused to keep rounds allocation-free:
+	// due callbacks grouped by kind (stabilize runs before fix, like the
+	// lockstep maintain() loops), then the keys to rearm.
+	dueStab, dueFix, dueSweep []*Node
+	rearm                     []rearmEntry
+}
+
+type rearmEntry struct {
+	key uint64
+	at  int64
+}
+
+// NewScheduler returns a scheduler with no members. Wall-clock schedulers
+// need Start; virtual ones are driven entirely by Advance.
+func NewScheduler(cfg SchedulerConfig) *Scheduler {
+	cfg.applyDefaults()
+	s := &Scheduler{
+		cfg:      cfg,
+		clock:    cfg.Clock,
+		membersG: cfg.Metrics.Gauge(obsv.MetricSchedMembers),
+		rounds:   cfg.Metrics.Counter(obsv.MetricSchedRounds),
+		stopCh:   make(chan struct{}),
+	}
+	if v, ok := cfg.Clock.(*timing.Virtual); ok {
+		s.virtual = v
+	}
+	now := s.clock.Now().UnixNano()
+	s.shards = make([]*schedShard, cfg.Shards)
+	for i := range s.shards {
+		s.shards[i] = &schedShard{
+			wheel: timing.NewWheel(cfg.WheelTick, now),
+			index: make(map[*Node]int32),
+			kick:  make(chan struct{}, 1),
+		}
+	}
+	return s
+}
+
+// Shards returns the number of shard partitions (and, in wall mode, shard
+// goroutines).
+func (s *Scheduler) Shards() int { return len(s.shards) }
+
+// Members returns the number of members currently owned.
+func (s *Scheduler) Members() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.members
+}
+
+func (s *Scheduler) shardFor(n *Node) *schedShard {
+	return s.shards[uint64(n.self.ID)%uint64(len(s.shards))]
+}
+
+// stagger derives a member's deterministic phase within one cadence period
+// from its ring identifier, so 100k members' deadlines spread across the
+// period instead of thundering on the same tick.
+func stagger(id uint64, kind int, every time.Duration) int64 {
+	h := id ^ uint64(kind)*0x9e3779b97f4a7c15
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	return int64(h % uint64(every))
+}
+
+// Add takes over maintenance for n. Call once per member, after Bootstrap
+// or Join succeeded; duplicate Adds are ignored.
+func (s *Scheduler) Add(n *Node) {
+	sh := s.shardFor(n)
+	now := s.clock.Now().UnixNano()
+	sh.mu.Lock()
+	if _, dup := sh.index[n]; dup {
+		sh.mu.Unlock()
+		return
+	}
+	var slot int32
+	if k := len(sh.free); k > 0 {
+		slot = sh.free[k-1]
+		sh.free = sh.free[:k-1]
+		sh.nodes[slot] = n
+	} else {
+		slot = int32(len(sh.nodes))
+		sh.nodes = append(sh.nodes, n)
+		sh.gens = append(sh.gens, 0)
+	}
+	sh.index[n] = slot
+	gen := sh.gens[slot]
+	id := uint64(n.self.ID)
+	sh.wheel.Schedule(schedKey(schedKindStabilize, gen, slot),
+		now+stagger(id, schedKindStabilize, s.cfg.StabilizeEvery))
+	sh.wheel.Schedule(schedKey(schedKindFix, gen, slot),
+		now+stagger(id, schedKindFix, s.cfg.FixEvery))
+	if s.cfg.SeenSweepEvery > 0 {
+		sh.wheel.Schedule(schedKey(schedKindSweep, gen, slot),
+			now+stagger(id, schedKindSweep, s.cfg.SeenSweepEvery))
+	}
+	sh.mu.Unlock()
+
+	s.mu.Lock()
+	s.members++
+	started := s.started
+	s.mu.Unlock()
+	s.membersG.Add(1)
+	if started {
+		select {
+		case sh.kick <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Remove releases n from maintenance (after Leave/Stop, or to hand the
+// member back to owner-driven maintenance). Unknown members are ignored.
+func (s *Scheduler) Remove(n *Node) {
+	sh := s.shardFor(n)
+	sh.mu.Lock()
+	slot, ok := sh.index[n]
+	if ok {
+		delete(sh.index, n)
+		sh.nodes[slot] = nil
+		sh.gens[slot]++ // stale wheel entries now fire into a mismatch
+		sh.free = append(sh.free, slot)
+	}
+	sh.mu.Unlock()
+	if ok {
+		s.mu.Lock()
+		s.members--
+		s.mu.Unlock()
+		s.membersG.Add(-1)
+	}
+}
+
+// runDue advances sh's wheel to now, executes every due maintenance
+// callback (stabilize batch first, then fix, then sweeps — the same order
+// as the lockstep maintain loops in simulations), rearms them one period
+// out, and returns the wheel's next deadline (0 = nothing pending).
+func (s *Scheduler) runDue(sh *schedShard, now int64) int64 {
+	sh.mu.Lock()
+	sh.dueStab = sh.dueStab[:0]
+	sh.dueFix = sh.dueFix[:0]
+	sh.dueSweep = sh.dueSweep[:0]
+	sh.rearm = sh.rearm[:0]
+	sh.wheel.Advance(now, func(key uint64) {
+		kind, gen, slot := schedKeyParts(key)
+		if int(slot) >= len(sh.nodes) || sh.gens[slot] != gen {
+			return // canceled: the slot moved on to another occupant
+		}
+		n := sh.nodes[slot]
+		if n == nil {
+			return
+		}
+		var every time.Duration
+		switch kind {
+		case schedKindStabilize:
+			sh.dueStab = append(sh.dueStab, n)
+			every = s.cfg.StabilizeEvery
+		case schedKindFix:
+			sh.dueFix = append(sh.dueFix, n)
+			every = s.cfg.FixEvery
+		case schedKindSweep:
+			sh.dueSweep = append(sh.dueSweep, n)
+			every = s.cfg.SeenSweepEvery
+		default:
+			return
+		}
+		// Rearm after Advance returns: the wheel must not be rescheduled
+		// from inside its own fire callback.
+		sh.rearm = append(sh.rearm, rearmEntry{key: key, at: now + int64(every)})
+	})
+	for _, r := range sh.rearm {
+		sh.wheel.Schedule(r.key, r.at)
+	}
+	next, ok := sh.wheel.Next()
+	// Copy the batches out so callbacks run without the shard lock: a
+	// stabilize RPC can land back on a member of this same shard.
+	stab := append([]*Node(nil), sh.dueStab...)
+	fix := append([]*Node(nil), sh.dueFix...)
+	sweep := append([]*Node(nil), sh.dueSweep...)
+	sh.mu.Unlock()
+
+	for _, n := range stab {
+		n.StabilizeOnce()
+	}
+	for _, n := range fix {
+		n.FixOnce()
+	}
+	for _, n := range sweep {
+		n.SweepSeen()
+	}
+	if c := len(stab) + len(fix) + len(sweep); c > 0 {
+		s.rounds.Add(uint64(c))
+	}
+	if !ok {
+		return 0
+	}
+	return next
+}
+
+// Advance moves virtual time forward by d and runs everything that came
+// due, returning when all of it has executed. Multiple shards run their
+// batches concurrently; with Shards=1 the whole step is deterministic.
+// Only valid on a scheduler built with a *timing.Virtual clock.
+func (s *Scheduler) Advance(d time.Duration) {
+	if s.virtual == nil {
+		panic("runtime: Scheduler.Advance requires a timing.Virtual clock")
+	}
+	now := s.virtual.Advance(d).UnixNano()
+	if len(s.shards) == 1 {
+		s.runDue(s.shards[0], now)
+		return
+	}
+	var wg sync.WaitGroup
+	for _, sh := range s.shards {
+		wg.Add(1)
+		go func(sh *schedShard) {
+			defer wg.Done()
+			s.runDue(sh, now)
+		}(sh)
+	}
+	wg.Wait()
+}
+
+// Start launches the wall-clock shard loops. No-op for virtual-clock
+// schedulers (their owner drives time via Advance) and when already
+// started.
+func (s *Scheduler) Start() {
+	if s.virtual != nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started || s.stopped {
+		return
+	}
+	s.started = true
+	for _, sh := range s.shards {
+		s.wg.Add(1)
+		go s.runShard(sh)
+	}
+}
+
+// Stop halts the shard loops (if any) and waits for in-flight rounds to
+// finish. Members are not stopped or removed; idempotent.
+func (s *Scheduler) Stop() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.stopped = true
+	s.mu.Unlock()
+	close(s.stopCh)
+	s.wg.Wait()
+}
+
+// runShard is one wall-clock shard loop: run what is due, sleep toward the
+// wheel's next deadline (or until kicked by an Add), repeat.
+func (s *Scheduler) runShard(sh *schedShard) {
+	defer s.wg.Done()
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	for {
+		next := s.runDue(sh, s.clock.Now().UnixNano())
+		var timerC <-chan time.Time
+		if next > 0 {
+			d := time.Duration(next - s.clock.Now().UnixNano())
+			if d < time.Millisecond {
+				d = time.Millisecond
+			}
+			timer.Reset(d)
+			timerC = timer.C
+		}
+		select {
+		case <-s.stopCh:
+			return
+		case <-sh.kick:
+		case <-timerC:
+			timerC = nil
+		}
+		if timerC != nil && !timer.Stop() {
+			<-timer.C
+		}
+	}
+}
+
+// String describes the scheduler for debug output.
+func (s *Scheduler) String() string {
+	mode := "wall"
+	if s.virtual != nil {
+		mode = "virtual"
+	}
+	return fmt.Sprintf("Scheduler(%d shards, %s clock, %d members)", len(s.shards), mode, s.Members())
+}

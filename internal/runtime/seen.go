@@ -2,16 +2,31 @@ package runtime
 
 import "sync"
 
-// seenCache is a bounded set of message IDs used for duplicate suppression.
-// Eviction is FIFO: once the cache holds limit entries, recording a new ID
-// evicts the oldest one. The zero value is unusable; construct with
-// newSeenCache.
+// seenCache is a bounded set of message IDs used for duplicate
+// suppression, organized as two generations (current and previous).
+// Recording goes to the current generation; membership checks consult
+// both. When the current generation reaches the limit — or when the
+// maintenance scheduler calls Sweep on its slow cadence — the generations
+// rotate: previous is dropped wholesale, current becomes previous, and a
+// fresh current starts empty.
+//
+// The guarantees this trades on:
+//
+//   - Retention: a recorded ID stays visible for at least limit further
+//     unique insertions (it survives one full rotation), so the dedup
+//     window is as deep as the old FIFO design's.
+//   - Memory: at most 2*limit IDs are held, and — unlike a preallocated
+//     ring buffer — an idle member holds only what it actually saw, which
+//     scheduler sweeps eventually return to zero. At 100k live members
+//     that is the difference between O(traffic window) and ~64KB each of
+//     permanently reserved eviction order.
+//
+// The zero value is unusable; construct with newSeenCache.
 type seenCache struct {
 	mu    sync.Mutex
 	limit int
-	set   map[string]bool
-	order []string
-	head  int // index of the oldest entry in order (ring-buffer style)
+	cur   map[string]struct{}
+	prev  map[string]struct{}
 }
 
 func newSeenCache(limit int) *seenCache {
@@ -20,8 +35,7 @@ func newSeenCache(limit int) *seenCache {
 	}
 	return &seenCache{
 		limit: limit,
-		set:   make(map[string]bool, limit),
-		order: make([]string, 0, limit),
+		cur:   make(map[string]struct{}),
 	}
 }
 
@@ -29,7 +43,15 @@ func newSeenCache(limit int) *seenCache {
 func (c *seenCache) Seen(id string) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.set[id]
+	return c.seenLocked(id)
+}
+
+func (c *seenCache) seenLocked(id string) bool {
+	if _, ok := c.cur[id]; ok {
+		return true
+	}
+	_, ok := c.prev[id]
+	return ok
 }
 
 // Record adds id and reports whether it was already present (true means
@@ -37,23 +59,34 @@ func (c *seenCache) Seen(id string) bool {
 func (c *seenCache) Record(id string) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.set[id] {
+	if c.seenLocked(id) {
 		return true
 	}
-	if len(c.order) < c.limit {
-		c.order = append(c.order, id)
-	} else {
-		delete(c.set, c.order[c.head])
-		c.order[c.head] = id
-		c.head = (c.head + 1) % c.limit
+	if len(c.cur) >= c.limit {
+		c.rotateLocked()
 	}
-	c.set[id] = true
+	c.cur[id] = struct{}{}
 	return false
 }
 
-// Len returns the number of IDs currently retained.
+// Sweep rotates the generations: IDs not seen since the previous sweep (or
+// rotation) are forgotten. Two sweeps with no traffic in between empty the
+// cache completely, releasing its memory.
+func (c *seenCache) Sweep() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rotateLocked()
+}
+
+func (c *seenCache) rotateLocked() {
+	c.prev = c.cur
+	c.cur = make(map[string]struct{})
+}
+
+// Len returns the number of IDs currently retained across both
+// generations.
 func (c *seenCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.set)
+	return len(c.cur) + len(c.prev)
 }

@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"fmt"
 	"strconv"
 	"testing"
 )
@@ -24,61 +25,105 @@ func TestSeenCacheBasics(t *testing.T) {
 	}
 }
 
-func TestSeenCacheEvictsFIFO(t *testing.T) {
-	c := newSeenCache(3)
-	for _, id := range []string{"a", "b", "c"} {
-		c.Record(id)
-	}
-	c.Record("d") // evicts a
-	if c.Seen("a") {
-		t.Fatal("a should have been evicted")
-	}
-	for _, id := range []string{"b", "c", "d"} {
-		if !c.Seen(id) {
-			t.Fatalf("%s should still be present", id)
+// TestSeenCacheRetentionWindow: a recorded ID must stay visible for at
+// least limit further unique insertions — the dedup window the forwarding
+// engine relies on to suppress duplicates of in-flight messages.
+func TestSeenCacheRetentionWindow(t *testing.T) {
+	const limit = 16
+	c := newSeenCache(limit)
+	c.Record("probe")
+	for i := 0; i < limit; i++ {
+		c.Record(fmt.Sprintf("filler-%d", i))
+		if !c.Seen("probe") {
+			t.Fatalf("probe forgotten after only %d unique inserts (window is %d)", i+1, limit)
 		}
 	}
-	if c.Len() != 3 {
-		t.Fatalf("Len = %d", c.Len())
+}
+
+// TestSeenCacheMemoryBound: the cache never retains more than 2*limit IDs
+// no matter how many unique messages flow through — the bound that keeps
+// 100k members at O(window) dedup memory instead of unbounded history.
+func TestSeenCacheMemoryBound(t *testing.T) {
+	const limit = 64
+	c := newSeenCache(limit)
+	for i := 0; i < 50*limit; i++ {
+		c.Record(fmt.Sprintf("m-%d", i))
+		if got := c.Len(); got > 2*limit {
+			t.Fatalf("Len = %d after %d inserts, exceeds the 2*limit=%d bound", got, i+1, 2*limit)
+		}
 	}
-	// Continue wrapping the ring buffer.
-	c.Record("e") // evicts b
-	c.Record("f") // evicts c
-	if c.Seen("b") || c.Seen("c") {
-		t.Fatal("b and c should have been evicted")
+	// Old history must actually be gone, not just uncounted.
+	if c.Seen("m-0") {
+		t.Fatal("m-0 should have aged out long ago")
 	}
-	if !c.Seen("d") || !c.Seen("e") || !c.Seen("f") {
-		t.Fatal("d, e, f should be present")
+}
+
+// TestSeenCacheStartsEmpty: construction must not preallocate the window
+// (a fleet of idle members pays only for traffic it actually saw).
+func TestSeenCacheStartsEmpty(t *testing.T) {
+	c := newSeenCache(1 << 20)
+	if c.Len() != 0 {
+		t.Fatalf("fresh cache Len = %d", c.Len())
+	}
+	if len(c.cur) != 0 || c.prev != nil {
+		t.Fatal("fresh cache should hold no generation data")
+	}
+}
+
+// TestSeenCacheSweepDrains: two sweeps with no traffic in between empty
+// the cache completely; a sweep in between recorded traffic still honors
+// the one-generation retention.
+func TestSeenCacheSweepDrains(t *testing.T) {
+	c := newSeenCache(1024)
+	c.Record("x")
+	c.Sweep()
+	if !c.Seen("x") {
+		t.Fatal("x must survive one sweep (previous generation)")
+	}
+	c.Sweep()
+	if c.Seen("x") {
+		t.Fatal("x must be forgotten after two sweeps")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d after two idle sweeps", c.Len())
 	}
 }
 
 func TestSeenCacheMinimumLimit(t *testing.T) {
 	c := newSeenCache(0) // clamps to 1
 	c.Record("a")
-	c.Record("b")
-	if c.Seen("a") {
-		t.Fatal("limit-1 cache should have evicted a")
+	if !c.Seen("a") {
+		t.Fatal("a should be present immediately after recording")
 	}
-	if !c.Seen("b") {
-		t.Fatal("b should be present")
+	c.Record("b")
+	c.Record("c")
+	if c.Seen("a") {
+		t.Fatal("limit-1 cache should have dropped a after two more inserts")
+	}
+	if !c.Seen("c") {
+		t.Fatal("c should be present")
 	}
 }
 
 func TestSeenCacheConcurrent(t *testing.T) {
-	c := newSeenCache(128)
+	const limit = 128
+	c := newSeenCache(limit)
 	done := make(chan struct{})
 	for g := 0; g < 4; g++ {
 		go func(g int) {
 			defer func() { done <- struct{}{} }()
 			for i := 0; i < 200; i++ {
 				c.Record("g" + strconv.Itoa(g) + "-" + strconv.Itoa(i))
+				if g == 0 && i%50 == 0 {
+					c.Sweep()
+				}
 			}
 		}(g)
 	}
 	for g := 0; g < 4; g++ {
 		<-done
 	}
-	if c.Len() != 128 {
-		t.Fatalf("Len = %d, want full cache", c.Len())
+	if got := c.Len(); got > 2*limit {
+		t.Fatalf("Len = %d, exceeds 2*limit=%d under concurrency", got, 2*limit)
 	}
 }

@@ -20,17 +20,22 @@ type target struct {
 	id  ring.ID
 }
 
-// targets enumerates the neighbor identifiers this node must track, mode
+// targetsFor enumerates the neighbor identifiers a node must track, mode
 // dependent. CAM-Chord: x_{i,j} = x + j*c^i (Section 3.1). CAM-Koorde: the
 // non-ring basic identifiers x/2 and 2^{b-1}+x/2 plus the second and third
 // groups (Section 4.1); predecessor/successor come from ring maintenance.
-func (n *Node) targets() []target {
-	x := n.self.ID
-	c := uint64(n.cfg.Capacity)
-	s := n.space
+//
+// The enumeration depends only on the node's identity and configuration, so
+// NewNode computes it once: the slice (and the key->slot index map derived
+// from it) is immutable for the node's lifetime, and the mutable table state
+// is just the dense slots slice indexed the same way. Slots appear in
+// ascending (level, seq) order — koordeNeighbors and the replay engine rely
+// on that being the iteration order.
+func targetsFor(s ring.Space, mode Mode, capacity int, x ring.ID) []target {
+	c := uint64(capacity)
 	var out []target
 
-	switch n.cfg.Mode {
+	switch mode {
 	case ModeCAMChord:
 		level := uint32(0)
 		for pow := uint64(1); pow < s.Size(); pow *= c {
@@ -54,7 +59,7 @@ func (n *Node) targets() []target {
 			target{key: tableKey{level: 0, seq: 0}, id: s.Shr(x, 1)},
 			target{key: tableKey{level: 0, seq: 1}, id: s.Add(s.Half(), s.Shr(x, 1))},
 		)
-		remaining := n.cfg.Capacity - 4
+		remaining := capacity - 4
 		if remaining <= 0 {
 			break
 		}
@@ -91,11 +96,11 @@ func (n *Node) FixOnce() {
 
 // FixAll refreshes the entire routing table in one pass.
 func (n *Node) FixAll() {
-	n.fix(len(n.targets()))
+	n.fix(len(n.targets))
 }
 
 func (n *Node) fix(batch int) {
-	all := n.targets()
+	all := n.targets
 	if len(all) == 0 {
 		return
 	}
@@ -118,11 +123,11 @@ func (n *Node) fix(batch int) {
 			continue // retry on a later pass
 		}
 		n.mu.Lock()
-		old, had := n.table[tgt.key]
-		n.table[tgt.key] = info
+		old := n.slots[idx]
+		n.slots[idx] = info
 		n.mu.Unlock()
 		n.noteTopologyChange()
-		if !had || old.Addr != info.Addr {
+		if old.Addr != info.Addr {
 			n.emitf(trace.KindRepair,
 				"slot (%d,%d) id=%d -> %s", tgt.key.level, tgt.key.seq, tgt.id, info.Addr)
 		}
@@ -136,8 +141,8 @@ func (n *Node) fix(batch int) {
 // fall through the list when a candidate is unreachable.
 func (n *Node) routingCandidates(k ring.ID) []NodeInfo {
 	n.mu.Lock()
-	seen := make(map[string]bool, len(n.table)+len(n.succs)+1)
-	cands := make([]NodeInfo, 0, len(n.table)+len(n.succs))
+	seen := make(map[string]bool, len(n.slots)+len(n.succs)+1)
+	cands := make([]NodeInfo, 0, len(n.slots)+len(n.succs))
 	add := func(info NodeInfo) {
 		if info.zero() || info.Addr == n.self.Addr || seen[info.Addr] || n.isSuspect(info.Addr) {
 			return
@@ -148,7 +153,7 @@ func (n *Node) routingCandidates(k ring.ID) []NodeInfo {
 		seen[info.Addr] = true
 		cands = append(cands, info)
 	}
-	for _, info := range n.table {
+	for _, info := range n.slots {
 		add(info)
 	}
 	for _, info := range n.succs {
@@ -165,13 +170,12 @@ func (n *Node) routingCandidates(k ring.ID) []NodeInfo {
 	return cands
 }
 
-// tableSnapshot returns the current slot contents (CAM-Chord).
-func (n *Node) tableSnapshot() map[tableKey]NodeInfo {
+// tableSnapshot copies the current slot contents, indexed like targets
+// (resolve a tableKey with slotOf). Unfilled slots are zero NodeInfos.
+func (n *Node) tableSnapshot() []NodeInfo {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	out := make(map[tableKey]NodeInfo, len(n.table))
-	for k, v := range n.table {
-		out[k] = v
-	}
+	out := make([]NodeInfo, len(n.slots))
+	copy(out, n.slots)
 	return out
 }

@@ -1,0 +1,195 @@
+package timing
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestVirtualClockAdvances(t *testing.T) {
+	v := NewVirtual(time.Unix(100, 0))
+	if got := v.Now().UnixNano(); got != 100*int64(time.Second) {
+		t.Fatalf("start = %d", got)
+	}
+	v.Advance(250 * time.Millisecond)
+	if got := v.Now().UnixNano(); got != 100*int64(time.Second)+int64(250*time.Millisecond) {
+		t.Fatalf("after advance = %d", got)
+	}
+	v.Advance(-time.Hour) // negative advances are ignored, time never rewinds
+	if got := v.Now().UnixNano(); got != 100*int64(time.Second)+int64(250*time.Millisecond) {
+		t.Fatalf("after negative advance = %d", got)
+	}
+}
+
+func TestWallClockMoves(t *testing.T) {
+	c := Wall()
+	a := c.Now()
+	b := c.Now()
+	if b.Before(a) {
+		t.Fatalf("wall clock went backwards: %v then %v", a, b)
+	}
+}
+
+// fireLog collects fired keys with the wheel position they fired at.
+type fireLog struct {
+	w    *Wheel
+	tick int64
+	got  map[uint64]int64
+}
+
+func (f *fireLog) advance(now int64) {
+	f.w.Advance(now, func(key uint64) {
+		if _, dup := f.got[key]; dup {
+			panic("key fired twice")
+		}
+		f.got[key] = now
+	})
+}
+
+func TestWheelFiresInOrderAndOnTime(t *testing.T) {
+	const tick = int64(time.Millisecond)
+	w := NewWheel(time.Millisecond, 0)
+
+	// Deadlines across all four levels plus overflow.
+	deadlines := []int64{
+		1, 3, 63, 64, 65, 100, 4095, 4096, 5000,
+		260000, 262144, 300000, 16_000_000, 17_000_000, 20_000_000,
+	}
+	for i, d := range deadlines {
+		w.Schedule(uint64(i), d*tick)
+	}
+	if w.Len() != len(deadlines) {
+		t.Fatalf("Len = %d, want %d", w.Len(), len(deadlines))
+	}
+
+	var order []uint64
+	fired := map[uint64]int64{}
+	// Advance one tick at a time and record the exact firing tick.
+	for now := int64(1); now <= 21_000_000; now++ {
+		w.Advance(now*tick, func(key uint64) {
+			order = append(order, key)
+			fired[key] = now
+		})
+		if len(fired) == len(deadlines) {
+			break
+		}
+	}
+	for i, d := range deadlines {
+		at, ok := fired[uint64(i)]
+		if !ok {
+			t.Fatalf("key %d (deadline tick %d) never fired", i, d)
+		}
+		if at != d {
+			t.Errorf("key %d fired at tick %d, want %d", i, at, d)
+		}
+	}
+	if !sort.SliceIsSorted(order, func(i, j int) bool {
+		return deadlines[order[i]] < deadlines[order[j]]
+	}) {
+		t.Errorf("fire order %v not sorted by deadline", order)
+	}
+	if w.Len() != 0 {
+		t.Errorf("Len = %d after everything fired", w.Len())
+	}
+}
+
+func TestWheelBigJumpFiresEverything(t *testing.T) {
+	const tick = int64(time.Millisecond)
+	w := NewWheel(time.Millisecond, 0)
+	rng := rand.New(rand.NewSource(7))
+	want := map[uint64]int64{}
+	for i := 0; i < 500; i++ {
+		d := 1 + rng.Int63n(1_000_000)
+		want[uint64(i)] = d
+		w.Schedule(uint64(i), d*tick)
+	}
+	f := &fireLog{w: w, got: map[uint64]int64{}}
+	// One giant jump past every deadline must fire all of them.
+	f.advance(2_000_000 * tick)
+	if len(f.got) != len(want) {
+		t.Fatalf("fired %d of %d after big jump", len(f.got), len(want))
+	}
+}
+
+func TestWheelPastDeadlineFiresNextAdvance(t *testing.T) {
+	const tick = int64(time.Millisecond)
+	w := NewWheel(time.Millisecond, 1000*tick)
+	w.Schedule(42, 0) // long past
+	fired := false
+	w.Advance(1001*tick, func(key uint64) { fired = key == 42 })
+	if !fired {
+		t.Fatal("past-deadline timer did not fire on the next advance")
+	}
+}
+
+func TestWheelNextBounds(t *testing.T) {
+	const tick = int64(time.Millisecond)
+	w := NewWheel(time.Millisecond, 0)
+	if _, ok := w.Next(); ok {
+		t.Fatal("empty wheel reported a next deadline")
+	}
+
+	w.Schedule(1, 40*tick)
+	at, ok := w.Next()
+	if !ok || at != 40*tick {
+		t.Fatalf("Next = %d,%v want exact %d (within finest level)", at, ok, 40*tick)
+	}
+
+	// A far deadline: the bound must never be late, and sleeping to the
+	// bound then re-asking must converge on the real deadline.
+	w2 := NewWheel(time.Millisecond, 0)
+	const due = 123_456
+	w2.Schedule(9, due*tick)
+	now := int64(0)
+	fired := false
+	for i := 0; i < 10 && !fired; i++ {
+		at, ok := w2.Next()
+		if !ok {
+			t.Fatal("pending entry but no next deadline")
+		}
+		if at > due*tick {
+			t.Fatalf("Next bound %d is later than the deadline %d", at, due*tick)
+		}
+		if at <= now {
+			t.Fatalf("Next bound %d does not advance past now %d", at, now)
+		}
+		now = at
+		w2.Advance(now, func(uint64) { fired = true })
+	}
+	if !fired || now != due*tick {
+		t.Fatalf("converged at %d (fired=%v), want %d", now, fired, due*tick)
+	}
+}
+
+func TestWheelRandomizedAgainstModel(t *testing.T) {
+	const tick = int64(1)
+	w := NewWheel(1, 0)
+	rng := rand.New(rand.NewSource(99))
+	due := map[uint64]int64{}
+	fired := map[uint64]int64{}
+	var next uint64
+	now := int64(0)
+	for step := 0; step < 5000; step++ {
+		for k := 0; k < rng.Intn(4); k++ {
+			d := now + 1 + rng.Int63n(10000)
+			due[next] = d
+			w.Schedule(next, d)
+			next++
+		}
+		now += 1 + rng.Int63n(500)
+		w.Advance(now, func(key uint64) { fired[key] = now })
+		for key, d := range due {
+			at, ok := fired[key]
+			if d <= now && !ok {
+				t.Fatalf("step %d: key %d due %d not fired by %d", step, key, d, now)
+			}
+			if ok {
+				if at < d {
+					t.Fatalf("key %d fired at %d before deadline %d", key, at, d)
+				}
+				delete(due, key)
+			}
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package timing
+
+import "time"
+
+// Wheel is a hierarchical timer wheel: four levels of 64 slots each, at a
+// fixed tick granularity. Scheduling and firing a timer are O(1) amortized
+// (an entry cascades down at most once per level), which is what lets one
+// wheel carry a deadline per live member — or per in-flight RPC — where a
+// time.Timer each would mean a runtime timer-heap operation per event.
+//
+// Keys are opaque uint64s chosen by the caller. The wheel never cancels:
+// callers encode a generation in the key and filter stale keys in the fire
+// callback (lazy cancellation), so removal costs nothing at all.
+//
+// Time is int64 nanoseconds (time.Time.UnixNano). The wheel rounds
+// deadlines down to its tick; a timer never fires before its deadline's
+// tick and fires no later than one tick after it. A Wheel is not safe for
+// concurrent use; callers serialize access (each scheduler shard and the
+// transport sweeper own a private wheel under their own lock).
+type Wheel struct {
+	tick int64 // nanoseconds per tick
+	cur  int64 // current tick number; slots at or before cur have fired
+
+	level    [wheelLevels][wheelSlots][]wheelEntry
+	overflow []wheelEntry // deadlines beyond the top level's horizon
+	pending  int
+}
+
+const (
+	wheelLevelBits = 6
+	wheelSlots     = 1 << wheelLevelBits
+	wheelLevels    = 4
+)
+
+type wheelEntry struct {
+	at  int64 // due tick
+	key uint64
+}
+
+// NewWheel returns a wheel with the given tick granularity, positioned at
+// now (nanoseconds). Non-positive ticks default to one millisecond.
+func NewWheel(tick time.Duration, now int64) *Wheel {
+	if tick <= 0 {
+		tick = time.Millisecond
+	}
+	return &Wheel{tick: int64(tick), cur: now / int64(tick)}
+}
+
+// Schedule arms key to fire at time at (nanoseconds). A deadline at or
+// before the wheel's current position fires on the next Advance. The same
+// key may be armed multiple times; each arming fires once.
+func (w *Wheel) Schedule(key uint64, at int64) {
+	t := at / w.tick
+	if t <= w.cur {
+		t = w.cur + 1
+	}
+	w.place(wheelEntry{at: t, key: key})
+	w.pending++
+}
+
+// place files an entry into the level whose span covers its remaining
+// delay. Entries due now land in the slot Advance is about to process.
+func (w *Wheel) place(e wheelEntry) {
+	d := e.at - w.cur
+	if d < 1 {
+		idx := w.cur & (wheelSlots - 1)
+		w.level[0][idx] = append(w.level[0][idx], e)
+		return
+	}
+	for l := 0; l < wheelLevels; l++ {
+		if d < 1<<uint((l+1)*wheelLevelBits) {
+			idx := (e.at >> uint(l*wheelLevelBits)) & (wheelSlots - 1)
+			w.level[l][idx] = append(w.level[l][idx], e)
+			return
+		}
+	}
+	w.overflow = append(w.overflow, e)
+}
+
+// Advance moves the wheel to time now (nanoseconds), invoking fire for
+// every armed key whose deadline has passed, in tick order. With nothing
+// pending the move is O(1) regardless of how far now jumped.
+func (w *Wheel) Advance(now int64, fire func(key uint64)) {
+	target := now / w.tick
+	for w.cur < target {
+		if w.pending == 0 {
+			w.cur = target
+			return
+		}
+		w.cur++
+		w.cascade()
+		slot := &w.level[0][w.cur&(wheelSlots-1)]
+		if len(*slot) == 0 {
+			continue
+		}
+		entries := *slot
+		*slot = entries[:0]
+		for _, e := range entries {
+			w.pending--
+			fire(e.key)
+		}
+	}
+}
+
+// cascade re-files upper-level slots whose span the wheel just entered, so
+// their entries land in finer levels (or fire this tick).
+func (w *Wheel) cascade() {
+	for l := 1; l < wheelLevels; l++ {
+		if w.cur&(1<<uint(l*wheelLevelBits)-1) != 0 {
+			return
+		}
+		idx := (w.cur >> uint(l*wheelLevelBits)) & (wheelSlots - 1)
+		slot := &w.level[l][idx]
+		entries := *slot
+		*slot = entries[:0]
+		for _, e := range entries {
+			w.place(e)
+		}
+	}
+	if w.cur&(1<<uint(wheelLevels*wheelLevelBits)-1) == 0 && len(w.overflow) != 0 {
+		entries := w.overflow
+		w.overflow = entries[:0]
+		for _, e := range entries {
+			w.place(e)
+		}
+	}
+}
+
+// Next returns a lower bound (nanoseconds) on the earliest pending
+// deadline: no timer fires before it, so a caller may sleep until then.
+// The bound is exact for deadlines within the finest level (the next 64
+// ticks) and conservative — early by at most one slot span — further out.
+// ok is false when nothing is pending.
+func (w *Wheel) Next() (at int64, ok bool) {
+	if w.pending == 0 {
+		return 0, false
+	}
+	best := int64(-1)
+	// Level 0: slot order is due order, so the first occupied slot is exact.
+	for i := int64(1); i <= wheelSlots; i++ {
+		t := w.cur + i
+		if len(w.level[0][t&(wheelSlots-1)]) != 0 {
+			best = t
+			break
+		}
+	}
+	// Upper levels: the first occupied slot's span start bounds its entries.
+	for l := 1; l < wheelLevels; l++ {
+		span := int64(1) << uint(l*wheelLevelBits)
+		block := w.cur >> uint(l*wheelLevelBits)
+		for i := int64(1); i <= wheelSlots; i++ {
+			b := block + i
+			if len(w.level[l][b&(wheelSlots-1)]) == 0 {
+				continue
+			}
+			start := b * span
+			if start <= w.cur {
+				start = w.cur + 1
+			}
+			if best < 0 || start < best {
+				best = start
+			}
+			break
+		}
+	}
+	if len(w.overflow) != 0 {
+		min := w.overflow[0].at
+		for _, e := range w.overflow[1:] {
+			if e.at < min {
+				min = e.at
+			}
+		}
+		if best < 0 || min < best {
+			best = min
+		}
+	}
+	if best < 0 {
+		// Pending entries exist but every slot scan missed them; fall back
+		// to the next tick (defensive — should be unreachable).
+		best = w.cur + 1
+	}
+	return best * w.tick, true
+}
+
+// Len returns the number of armed (not yet fired) entries, including any
+// the caller considers canceled.
+func (w *Wheel) Len() int { return w.pending }

@@ -26,14 +26,15 @@ type muxConn struct {
 
 	nextID atomic.Uint64
 
+	// sweepID is this connection's key in the transport's deadline
+	// sweeper, which enforces per-call deadlines for every connection of
+	// the transport off one shared timer wheel.
+	sweepID uint64
+
 	pmu      sync.Mutex
 	pending  map[uint64]pendingCall
-	earliest time.Time // soonest pending deadline the expirer knows about
+	earliest time.Time // soonest pending deadline the sweeper is armed for
 	failed   error     // sticky; set once the conn is torn down
-
-	// expKick wakes the expirer when a call registers a deadline sooner
-	// than the one it is sleeping towards.
-	expKick chan struct{}
 }
 
 type pendingCall struct {
@@ -74,9 +75,8 @@ func newMuxConn(t *TCP, to string, nc net.Conn) *muxConn {
 		conn:    nc,
 		w:       newFrameWriter(nc, t.rpcTimeout, &t.obs),
 		pending: make(map[uint64]pendingCall),
-		expKick: make(chan struct{}, 1),
 	}
-	go c.expireLoop()
+	c.sweepID = t.sweep.register(c)
 	return c
 }
 
@@ -94,19 +94,16 @@ func (c *muxConn) roundTrip(ctx context.Context, deadline time.Time, from, to, k
 	}
 	c.pending[id] = pendingCall{ch: ch, deadline: deadline}
 	solo := len(c.pending) == 1 // no sibling call in flight: flush inline
-	kick := false
+	arm := false
 	if !deadline.IsZero() && (c.earliest.IsZero() || deadline.Before(c.earliest)) {
-		// The expirer is sleeping towards a later (or no) deadline;
-		// wake it so this call's deadline is honored.
+		// The sweeper is armed for a later (or no) deadline on this
+		// connection; arm it for this call's sooner one.
 		c.earliest = deadline
-		kick = true
+		arm = true
 	}
 	c.pmu.Unlock()
-	if kick {
-		select {
-		case c.expKick <- struct{}{}:
-		default:
-		}
+	if arm {
+		c.t.sweep.arm(c.sweepID, deadline)
 	}
 
 	err := c.w.writeRequest(id, from, to, kind, payload, c.t.codec(), solo)
@@ -124,11 +121,12 @@ func (c *muxConn) roundTrip(ctx context.Context, deadline time.Time, from, to, k
 		return nil, err
 	}
 
-	// Deadlines are enforced by the connection's expirer goroutine (which
-	// completes an expired call through its result channel), not by a
-	// per-call timer: at pipelining depth a timer per call costs two
+	// Deadlines are enforced by the transport's shared deadline sweeper
+	// (which completes an expired call through its result channel), not
+	// by a per-call timer: at pipelining depth a timer per call costs two
 	// timer-heap operations per RPC for a deadline that almost never
-	// fires.
+	// fires, and the sweeper amortizes even its single wheel entry across
+	// every pipelined call on the connection.
 	select {
 	case res := <-ch:
 		// Only a channel whose result was received may be recycled; see
@@ -147,61 +145,28 @@ func (c *muxConn) roundTrip(ctx context.Context, deadline time.Time, from, to, k
 	}
 }
 
-// expireLoop enforces per-call deadlines for one connection: it sleeps
-// towards the soonest pending deadline and completes overdue calls with
-// errCallTimeout. A lone expired call costs one map scan; the happy path
-// costs nothing per call beyond the deadline bookkeeping under pmu.
-func (c *muxConn) expireLoop() {
-	timer := time.NewTimer(time.Hour)
-	if !timer.Stop() {
-		<-timer.C
+// expire completes every call whose deadline has passed with
+// errCallTimeout and returns the connection's next pending deadline (zero
+// when none), which the sweeper rearms. A firing with nothing overdue —
+// a stale wheel entry from a deadline that moved earlier — costs one map
+// scan and rearms for the true earliest.
+func (c *muxConn) expire(now time.Time) time.Time {
+	c.pmu.Lock()
+	var next time.Time
+	for id, pc := range c.pending {
+		if pc.deadline.IsZero() {
+			continue
+		}
+		if !pc.deadline.After(now) {
+			delete(c.pending, id)
+			pc.ch <- callResult{err: errCallTimeout} // buffered; never blocks
+		} else if next.IsZero() || pc.deadline.Before(next) {
+			next = pc.deadline
+		}
 	}
-	defer timer.Stop()
-	for {
-		c.pmu.Lock()
-		var next time.Time
-		for _, pc := range c.pending {
-			if !pc.deadline.IsZero() && (next.IsZero() || pc.deadline.Before(next)) {
-				next = pc.deadline
-			}
-		}
-		c.earliest = next
-		c.pmu.Unlock()
-
-		if next.IsZero() {
-			// Nothing to watch; sleep until a deadline registers.
-			select {
-			case <-c.expKick:
-				continue
-			case <-c.w.done:
-				return
-			}
-		}
-		if d := time.Until(next); d > 0 {
-			timer.Reset(d)
-			select {
-			case <-timer.C:
-			case <-c.expKick:
-				// An earlier deadline arrived; recompute.
-				if !timer.Stop() {
-					<-timer.C
-				}
-				continue
-			case <-c.w.done:
-				return
-			}
-		}
-
-		now := time.Now()
-		c.pmu.Lock()
-		for id, pc := range c.pending {
-			if !pc.deadline.IsZero() && !pc.deadline.After(now) {
-				delete(c.pending, id)
-				pc.ch <- callResult{err: errCallTimeout} // buffered; never blocks
-			}
-		}
-		c.pmu.Unlock()
-	}
+	c.earliest = next
+	c.pmu.Unlock()
+	return next
 }
 
 // readLoop demultiplexes response frames to pending calls until the
@@ -261,6 +226,7 @@ func (c *muxConn) fail(err error) {
 	pending := c.pending
 	c.pending = nil
 	c.pmu.Unlock()
+	c.t.sweep.unregister(c.sweepID)
 	c.conn.Close()
 	c.w.close()
 	for _, pc := range pending {

@@ -1,0 +1,160 @@
+package transport
+
+import (
+	"sync"
+	"time"
+
+	"camcast/internal/timing"
+)
+
+// sweepTick is the deadline sweeper's timer-wheel granularity. RPC
+// deadlines are hundreds of milliseconds to tens of seconds, so a 1ms
+// wheel fires them effectively on time while keeping Schedule/Advance O(1).
+const sweepTick = time.Millisecond
+
+// deadlineSweeper enforces per-call RPC deadlines for every multiplexed
+// connection of one TCP transport with a single goroutine and one
+// hierarchical timer wheel, replacing the earlier expirer-per-connection
+// design. Each connection registers at most its soonest pending deadline;
+// when that fires, the connection sweeps its overdue calls and reports its
+// next deadline for rearming. Cancellation is lazy: a connection that dies
+// just unregisters, and any wheel entry still carrying its key fires into
+// a map miss.
+type deadlineSweeper struct {
+	t *TCP
+
+	mu      sync.Mutex
+	wheel   *timing.Wheel
+	conns   map[uint64]*muxConn
+	nextID  uint64
+	started bool
+	stopped bool
+
+	// kick wakes the run loop when a deadline sooner than the one it
+	// sleeps toward is armed.
+	kick chan struct{}
+	done chan struct{}
+
+	fired []*muxConn // scratch reused across rounds
+}
+
+func newDeadlineSweeper(t *TCP) *deadlineSweeper {
+	return &deadlineSweeper{
+		t:     t,
+		wheel: timing.NewWheel(sweepTick, time.Now().UnixNano()),
+		conns: make(map[uint64]*muxConn),
+		kick:  make(chan struct{}, 1),
+		done:  make(chan struct{}),
+	}
+}
+
+// register assigns conn a sweeper key. The run loop starts lazily with the
+// first registration, so transports that only ever serve local calls pay
+// no goroutine.
+func (s *deadlineSweeper) register(c *muxConn) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	id := s.nextID
+	s.conns[id] = c
+	if !s.started && !s.stopped {
+		s.started = true
+		s.t.wg.Add(1)
+		go s.run()
+	}
+	return id
+}
+
+// unregister detaches a dead connection; its remaining wheel entries are
+// left to fire into a map miss.
+func (s *deadlineSweeper) unregister(id uint64) {
+	s.mu.Lock()
+	delete(s.conns, id)
+	s.mu.Unlock()
+}
+
+// arm schedules a sweep of conn id at deadline at. Duplicate armings are
+// fine — an extra firing is a cheap no-op sweep — so callers only need to
+// arm when the connection's soonest deadline moves earlier.
+func (s *deadlineSweeper) arm(id uint64, at time.Time) {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.wheel.Schedule(id, at.UnixNano())
+	s.mu.Unlock()
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+}
+
+// stop halts the run loop (if it ever started). Idempotent.
+func (s *deadlineSweeper) stop() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.stopped = true
+	s.mu.Unlock()
+	close(s.done)
+}
+
+// run is the sweep loop: fire due connections, let each expire its overdue
+// calls and report its next deadline, rearm, sleep toward the wheel's next
+// deadline (or until kicked), repeat.
+func (s *deadlineSweeper) run() {
+	defer s.t.wg.Done()
+	timer := time.NewTimer(sweepTick)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	for {
+		now := time.Now()
+		s.mu.Lock()
+		s.fired = s.fired[:0]
+		s.wheel.Advance(now.UnixNano(), func(key uint64) {
+			if c, ok := s.conns[key]; ok {
+				s.fired = append(s.fired, c)
+			}
+		})
+		fired := append([]*muxConn(nil), s.fired...)
+		s.mu.Unlock()
+
+		// Expire outside the sweeper lock: completing a call wakes its
+		// waiter, which may immediately issue (and arm) another call.
+		for _, c := range fired {
+			if next := c.expire(now); !next.IsZero() {
+				s.mu.Lock()
+				s.wheel.Schedule(c.sweepID, next.UnixNano())
+				s.mu.Unlock()
+			}
+		}
+
+		s.mu.Lock()
+		next, ok := s.wheel.Next()
+		s.mu.Unlock()
+		var timerC <-chan time.Time
+		if ok {
+			d := time.Duration(next - time.Now().UnixNano())
+			if d < sweepTick {
+				d = sweepTick
+			}
+			timer.Reset(d)
+			timerC = timer.C
+		}
+		select {
+		case <-s.done:
+			return
+		case <-s.kick:
+		case <-timerC:
+			timerC = nil
+		}
+		if timerC != nil && !timer.Stop() {
+			<-timer.C
+		}
+	}
+}

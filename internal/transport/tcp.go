@@ -64,6 +64,11 @@ type TCP struct {
 	// disables all measurement.
 	obs instruments
 
+	// sweep enforces per-call RPC deadlines for all of this transport's
+	// connections with one timer-wheel goroutine (started lazily by the
+	// first outbound connection).
+	sweep *deadlineSweeper
+
 	wg sync.WaitGroup
 }
 
@@ -99,6 +104,7 @@ func NewTCP(listenAddr string) (*TCP, error) {
 		DialTimeout:     2 * time.Second,
 		RPCTimeout:      10 * time.Second,
 	}
+	t.sweep = newDeadlineSweeper(t)
 	t.wg.Add(1)
 	go t.acceptLoop()
 	return t, nil
@@ -269,7 +275,7 @@ func (t *TCP) conn(ctx context.Context, to string) (*muxConn, error) {
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
-		c.fail(ErrClosed) // also stops the conn's flusher and expirer
+		c.fail(ErrClosed) // also stops the conn's flusher and sweep entry
 		return nil, ErrClosed
 	}
 	if existing, ok := t.conns[to]; ok {
@@ -368,6 +374,7 @@ func (t *TCP) Close() error {
 	for _, c := range accepted {
 		c.Close() // unblocks the serveConn decoder
 	}
+	t.sweep.stop()
 	t.wg.Wait()
 	return err
 }

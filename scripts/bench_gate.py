@@ -28,6 +28,20 @@ whose cells are merged (for files like BENCH_obsv.json that group baselines
 by subsystem). A baseline value of exactly 0 is an absolute gate: the
 measured median must also be 0 (how "the emit path allocates nothing"
 stays enforced rather than skipped).
+
+Scale mode: when the baseline file declares "format": "scale" (the shape
+`camchurn -live ... -json` writes), the measured input is another scale
+JSON rather than bench text:
+
+    go run ./cmd/camchurn -live 10000 -mode cam-chord -json measured.json
+    python3 scripts/bench_gate.py BENCH_scale.json measured.json
+
+Cells are matched by key ("<transport>/<mode>/<members>") and compared on
+the intersection only — a smoke run that measures one cell is gated against
+just that cell of the committed baseline, so CI does not have to re-host
+the 100k membership. The gate block lists ratio-gated metrics (higher is
+worse, tolerance_pct applies) and absolute "floors" (fractions the measured
+cell must reach, e.g. ring_correct). At least one cell must overlap.
 """
 
 import json
@@ -82,10 +96,69 @@ def baseline_cells(doc):
     return cells
 
 
+def scale_gate(doc, measured_path, baseline_path):
+    """Gates one camchurn -live scale run against the committed baseline."""
+    gate = doc["gate"]
+    measured = json.load(sys.stdin if measured_path == "-" else open(measured_path))
+    if measured.get("format") != "scale":
+        sys.exit(f"{measured_path}: not a scale document (want format: scale)")
+
+    tolerance = gate.get("tolerance_pct", 50) / 100.0
+    floors = gate.get("floors", {})
+    failures, checked, overlap = [], 0, 0
+    for key in sorted(measured.get("cells", {})):
+        base = doc["cells"].get(key)
+        have = measured["cells"][key]
+        if base is None:
+            print(f"skip {key}: not in baseline")
+            continue
+        overlap += 1
+        for metric in gate["metrics"]:
+            want, got = base.get(metric), have.get(metric)
+            if want is None or got is None:
+                continue
+            checked += 1
+            if want == 0:
+                flag = "FAIL" if got > 0 else "ok"
+                print(f"{flag:4} {key} {metric}: baseline 0, measured {got:g}")
+                if got > 0:
+                    failures.append(f"{key} {metric}: {got:g} vs baseline 0")
+                continue
+            ratio = got / want
+            flag = "FAIL" if ratio > 1 + tolerance else "ok"
+            print(f"{flag:4} {key} {metric}: baseline {want:g}, "
+                  f"measured {got:g} ({ratio:.2f}x baseline)")
+            if ratio > 1 + tolerance:
+                failures.append(
+                    f"{key} {metric}: {got:g} vs baseline {want:g} "
+                    f"(+{(ratio - 1) * 100:.1f}% > {gate.get('tolerance_pct', 50)}% tolerance)")
+        for metric, floor in floors.items():
+            got = have.get(metric)
+            if got is None:
+                continue
+            checked += 1
+            flag = "FAIL" if got < floor else "ok"
+            print(f"{flag:4} {key} {metric}: floor {floor:g}, measured {got:g}")
+            if got < floor:
+                failures.append(f"{key} {metric}: {got:g} below floor {floor:g}")
+
+    if overlap == 0:
+        failures.append("no measured cell matches any baseline cell")
+    if failures:
+        print(f"\n{len(failures)} scale-gate failure(s):", file=sys.stderr)
+        for f in failures:
+            print("  " + f, file=sys.stderr)
+        sys.exit(1)
+    print(f"\ngate passed: {checked} checks over {overlap} cell(s) vs {baseline_path}")
+
+
 def main(argv):
     if len(argv) != 3:
         sys.exit(__doc__)
     doc = json.load(open(argv[1]))
+    if doc.get("format") == "scale":
+        scale_gate(doc, argv[2], argv[1])
+        return
     gate = doc["gate"]
     stream = sys.stdin if argv[2] == "-" else open(argv[2])
     measured = parse_bench(stream)
