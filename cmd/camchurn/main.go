@@ -11,6 +11,7 @@
 //	         [-transport mem|tcp] [-codec binary|gob]
 //	         [-debug-addr host:port]
 //	camchurn -live 1000,10000,100000 [-mode cam-chord] [-shards 0]
+//	         [-ramp bulk|join] [-churn 0] [-probes 0]
 //	         [-transport mem|tcp] [-json BENCH_scale.json]
 //	         [-min-ring 0.99] [-min-delivery 0.95]
 //	camchurn -scenarios
@@ -86,6 +87,9 @@ func run(args []string, out io.Writer) error {
 
 		live    = fs.String("live", "", "run the live scale sweep at these comma-separated member counts (e.g. 1000,10000,100000) instead of the budget sweep")
 		shards  = fs.Int("shards", 0, "with -live: scheduler shard count (0 = GOMAXPROCS)")
+		ramp    = fs.String("ramp", "", "with -live: initial-membership construction, bulk (sorted-array install, default) or join (incremental)")
+		churn   = fs.Int("churn", 0, "with -live: membership events after the ramp (0 = scaled default)")
+		probes  = fs.Int("probes", 0, "with -live: measurement multicasts across churn (0 = default 20)")
 		jsonOut = fs.String("json", "", "with -live: write results as BENCH_scale.json cells to this file")
 		minRing = fs.Float64("min-ring", 0, "with -live: fail unless final ring correctness reaches this fraction")
 		minDlv  = fs.Float64("min-delivery", 0, "with -live: fail unless mean probe delivery reaches this fraction")
@@ -110,6 +114,7 @@ func run(args []string, out io.Writer) error {
 		}
 		return runLiveSweep(liveSweepConfig{
 			spec: *live, modes: modes, transport: *trans, shards: *shards,
+			ramp: *ramp, churn: *churn, probes: *probes,
 			capLo: *capLo, capHi: *capHi, seed: *seed,
 			jsonOut: *jsonOut, minRing: *minRing, minDelivery: *minDlv,
 		}, out)
@@ -209,6 +214,9 @@ type liveSweepConfig struct {
 	modes        []runtime.Mode
 	transport    string
 	shards       int
+	ramp         string
+	churn        int
+	probes       int
 	capLo, capHi int
 	seed         int64
 	jsonOut      string
@@ -244,14 +252,17 @@ func runLiveSweep(cfg liveSweepConfig, out io.Writer) error {
 	for _, mode := range cfg.modes {
 		for _, members := range sizes {
 			res, err := churnsim.RunLive(churnsim.LiveConfig{
-				Mode:       mode,
-				Members:    members,
-				Transport:  cfg.transport,
-				Shards:     cfg.shards,
-				CapacityLo: cfg.capLo,
-				CapacityHi: cfg.capHi,
-				Seed:       cfg.seed,
-				Log:        os.Stderr,
+				Mode:        mode,
+				Members:     members,
+				Transport:   cfg.transport,
+				Shards:      cfg.shards,
+				Ramp:        cfg.ramp,
+				ChurnEvents: cfg.churn,
+				Probes:      cfg.probes,
+				CapacityLo:  cfg.capLo,
+				CapacityHi:  cfg.capHi,
+				Seed:        cfg.seed,
+				Log:         os.Stderr,
 			})
 			if err != nil {
 				return fmt.Errorf("%v live %d: %w", mode, members, err)

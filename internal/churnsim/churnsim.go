@@ -44,6 +44,11 @@ type Config struct {
 	// to every live member between consecutive membership events. 0 means
 	// the overlay never repairs during churn — the fastest possible churn.
 	MaintenanceBudget int
+	// BulkInitial builds the initial membership with runtime.BulkInstall
+	// (sorted-array ring construction plus one verification round) instead
+	// of incremental joins with per-join maintenance. Recorded as a single
+	// bulk-join log record; churn events always use the incremental paths.
+	BulkInitial bool
 	// ProbeEvery sends a probe multicast from a random live member every
 	// this many events (and once at the end). Default 10.
 	ProbeEvery int
@@ -357,37 +362,70 @@ func Run(cfg Config) (Result, error) {
 	}
 
 	// Bootstrap the initial membership fully converged.
-	first, cap0, err := newNode(0, 0)
-	if err != nil {
-		return Result{}, err
-	}
-	if err := first.Bootstrap(); err != nil {
-		return Result{}, err
-	}
-	rec.Bootstrap(0, cap0)
-	alive[0] = first
-	for i := 1; i < cfg.Initial; i++ {
-		n, capi, err := newNode(i, 0)
-		if err != nil {
-			return Result{}, err
+	if cfg.BulkInitial {
+		// Assisted construction: every initial member exists up front, so
+		// the ring is installed from the sorted identifier array in one
+		// step and verified with a single full maintenance round. Serial
+		// install order keeps the trace (and any recorded log) replayable.
+		members := make([]*runtime.Node, 0, cfg.Initial)
+		idxs := make([]int, 0, cfg.Initial)
+		caps := make([]int, 0, cfg.Initial)
+		for i := 0; i < cfg.Initial; i++ {
+			n, capi, err := newNode(i, 0)
+			if err != nil {
+				return Result{}, err
+			}
+			members = append(members, n)
+			idxs = append(idxs, i)
+			caps = append(caps, capi)
 		}
-		if err := n.Join(first.Self().Addr); err != nil {
-			return Result{}, fmt.Errorf("churnsim: initial join %d: %w", i, err)
+		if err := runtime.BulkInstall(members, runtime.BulkOptions{Parallelism: 1}); err != nil {
+			return Result{}, fmt.Errorf("churnsim: bulk initial membership: %w", err)
 		}
-		rec.Join(i, 0, capi)
-		alive[i] = n
-		maintain(1)
-		rec.Maintain(1, false)
-	}
-	for r := 0; r < 3; r++ {
+		for i, n := range members {
+			alive[idxs[i]] = n
+		}
+		rec.BulkJoin(idxs, caps)
 		for _, n := range liveNodes() {
 			n.StabilizeOnce()
 		}
 		for _, n := range liveNodes() {
 			n.FixAll()
 		}
+		rec.Maintain(1, true)
+	} else {
+		first, cap0, err := newNode(0, 0)
+		if err != nil {
+			return Result{}, err
+		}
+		if err := first.Bootstrap(); err != nil {
+			return Result{}, err
+		}
+		rec.Bootstrap(0, cap0)
+		alive[0] = first
+		for i := 1; i < cfg.Initial; i++ {
+			n, capi, err := newNode(i, 0)
+			if err != nil {
+				return Result{}, err
+			}
+			if err := n.Join(first.Self().Addr); err != nil {
+				return Result{}, fmt.Errorf("churnsim: initial join %d: %w", i, err)
+			}
+			rec.Join(i, 0, capi)
+			alive[i] = n
+			maintain(1)
+			rec.Maintain(1, false)
+		}
+		for r := 0; r < 3; r++ {
+			for _, n := range liveNodes() {
+				n.StabilizeOnce()
+			}
+			for _, n := range liveNodes() {
+				n.FixAll()
+			}
+		}
+		rec.Maintain(3, true)
 	}
-	rec.Maintain(3, true)
 
 	// syncFaults brings the network's imperative fault knobs in line with
 	// the fault plan at an event-step boundary. Group crashes fire once as

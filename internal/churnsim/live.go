@@ -6,8 +6,10 @@ import (
 	"math/rand"
 	goruntime "runtime"
 	"sort"
+	"sync"
 	"time"
 
+	"camcast/internal/ids"
 	"camcast/internal/obsv"
 	"camcast/internal/ring"
 	"camcast/internal/runtime"
@@ -26,6 +28,14 @@ type LiveConfig struct {
 	Mode      runtime.Mode
 	Members   int    // target live membership after the ramp
 	Transport string // "mem" (default, virtual time) or "tcp" (wall time)
+
+	// Ramp selects how the initial membership is built: "bulk" (default)
+	// creates every member up front and installs the sorted-membership ring
+	// directly (runtime.BulkInstall) followed by one verification
+	// stabilization round; "join" ramps incrementally through the normal
+	// join path with stabilize-paced batching, exercising the same code
+	// churn does. Churn always uses the incremental path regardless.
+	Ramp string
 
 	// Shards is the scheduler's shard count (default GOMAXPROCS).
 	Shards int
@@ -56,6 +66,9 @@ type LiveConfig struct {
 func (c *LiveConfig) applyDefaults() {
 	if c.Transport == "" {
 		c.Transport = "mem"
+	}
+	if c.Ramp == "" {
+		c.Ramp = "bulk"
 	}
 	if c.Bits == 0 {
 		c.Bits = 32
@@ -92,6 +105,11 @@ func (c *LiveConfig) validate() error {
 	case "mem", "tcp":
 	default:
 		return fmt.Errorf("churnsim: unknown transport %q (want mem or tcp)", c.Transport)
+	}
+	switch c.Ramp {
+	case "bulk", "join":
+	default:
+		return fmt.Errorf("churnsim: unknown ramp %q (want bulk or join)", c.Ramp)
 	}
 	return nil
 }
@@ -135,6 +153,19 @@ type LiveResult struct {
 
 	RampSeconds  float64 `json:"ramp_seconds"`
 	ChurnSeconds float64 `json:"churn_seconds"`
+
+	// Bulk-ramp split (zero under Ramp "join"): BulkRampSeconds covers
+	// member creation plus table installation, VerifySeconds the
+	// verification stabilization round that follows.
+	BulkRampSeconds float64 `json:"bulk_ramp_seconds,omitempty"`
+	VerifySeconds   float64 `json:"verify_seconds,omitempty"`
+
+	// Shard-arena occupancy after churn: interned node-table slots across
+	// all shards, how many are live, and the live/slots ratio (recycling
+	// health — churn should reuse freed slots, not grow the arena forever).
+	ArenaSlots     int     `json:"arena_slots,omitempty"`
+	ArenaLive      int     `json:"arena_live,omitempty"`
+	ArenaOccupancy float64 `json:"arena_occupancy,omitempty"`
 }
 
 // latRecorder accumulates raw samples for exact percentiles. The live
@@ -233,7 +264,10 @@ func RunLive(cfg LiveConfig) (LiveResult, error) {
 	// newMember builds member idx, retrying under a suffixed address on the
 	// (rare at 32 bits) identifier collision. Nodes register with the
 	// transport only at Bootstrap/Join, so a discarded candidate leaves no
-	// residue.
+	// residue. Each member's neighbor tables live on its scheduler shard's
+	// arena — computed from the identifier its address hashes to, so the
+	// arena choice matches the shard the scheduler will run it on.
+	hasher := ids.NewHasher(space)
 	newMember := func(idx int) (*runtime.Node, error) {
 		capacity := cfg.CapacityLo + rng.Intn(cfg.CapacityHi-cfg.CapacityLo+1)
 		rcfg := runtime.Config{
@@ -270,6 +304,7 @@ func RunLive(cfg LiveConfig) (LiveResult, error) {
 				tr = tcp
 				addr = tcp.Addr()
 			}
+			rcfg.Arena = sched.ArenaFor(hasher.ID(addr))
 			node, err := runtime.NewNode(tr, addr, rcfg)
 			if err != nil {
 				if tcp != nil {
@@ -355,67 +390,140 @@ func RunLive(cfg LiveConfig) (LiveResult, error) {
 	goruntime.GC()
 	goruntime.ReadMemStats(&base)
 
-	// Phase 1 — ramp. Join members one at a time through a random live
-	// member, granting a full stabilization period whenever joins since
-	// the last one reach ~1/16 of the ring. Stabilize heals a stale
-	// successor pointer one member per round, so the deficit a gap can
-	// accumulate between settles must stay O(1); scaling the batch to ring
-	// size keeps total ramp maintenance at O(n log n) stabilizations
-	// instead of the O(n^2) of maintain-after-every-join.
+	// Ramp progress is logged by elapsed-time cadence, not member-count
+	// stride: at 1M members a fixed every-N milestone goes silent for
+	// minutes, while a 5s heartbeat stays informative at every scale.
 	rampStart := time.Now()
-	first, err := newMember(0)
-	if err != nil {
-		return LiveResult{}, err
+	lastLog := time.Now()
+	maybeLog := func(format string, args ...any) {
+		if cfg.Log != nil && time.Since(lastLog) >= 5*time.Second {
+			lastLog = time.Now()
+			logf(format, args...)
+		}
 	}
-	if err := first.Bootstrap(); err != nil {
-		return LiveResult{}, err
-	}
-	alive[0] = first
-	sched.Add(first)
-	vias := []*runtime.Node{first}
-	joinsSince := 0
-	lastLog := 0
-	for i := 1; i < cfg.Members; i++ {
-		n, err := newMember(i)
+
+	verified := false
+	if cfg.Ramp == "bulk" {
+		// Phase 1 (bulk) — create the whole membership up front and install
+		// the ring directly from the sorted identifier array; convergence is
+		// reserved for churn, where membership is genuinely unknown.
+		nodes := make([]*runtime.Node, 0, cfg.Members)
+		for i := 0; i < cfg.Members; i++ {
+			n, err := newMember(i)
+			if err != nil {
+				return LiveResult{}, err
+			}
+			alive[i] = n
+			nodes = append(nodes, n)
+			maybeLog("ramp: created %d/%d members (%.0fs)", i+1, cfg.Members, time.Since(rampStart).Seconds())
+		}
+		if err := runtime.BulkInstall(nodes, runtime.BulkOptions{}); err != nil {
+			return LiveResult{}, err
+		}
+		for _, n := range nodes {
+			sched.Add(n)
+		}
+		res.Joins += cfg.Members
+		res.BulkRampSeconds = time.Since(rampStart).Seconds()
+		logf("ramp: bulk-installed %d members in %.1fs", cfg.Members, res.BulkRampSeconds)
+
+		// Verification round: one StabilizeOnce per member, in parallel
+		// chunks. On a correctly installed ring this confirms every
+		// successor/predecessor pointer without changing anything; were a
+		// pointer wrong, the round would repair it and the correctness
+		// check below would send us into the converge loop.
+		verifyStart := time.Now()
+		workers := goruntime.GOMAXPROCS(0)
+		chunk := (len(nodes) + workers - 1) / workers
+		var wg sync.WaitGroup
+		for lo := 0; lo < len(nodes); lo += chunk {
+			hi := lo + chunk
+			if hi > len(nodes) {
+				hi = len(nodes)
+			}
+			wg.Add(1)
+			go func(part []*runtime.Node) {
+				defer wg.Done()
+				for _, n := range part {
+					n.StabilizeOnce()
+				}
+			}(nodes[lo:hi])
+		}
+		wg.Wait()
+		rc := ringCorrectness(nodes)
+		res.VerifySeconds = time.Since(verifyStart).Seconds()
+		logf("ramp: verification round in %.1fs, ring %.3f", res.VerifySeconds, rc)
+		verified = rc >= 1
+		if useTCP {
+			// An incremental ramp warms every peer-pair connection as a side
+			// effect of taking seconds per batch; a bulk ramp reaches churn
+			// with cold dial caches. Give the wall-clock shard loops a few
+			// maintenance rounds so connection setup is not racing repair.
+			for r := 0; r < 4; r++ {
+				settle(500 * time.Millisecond)
+			}
+		}
+	} else {
+		// Phase 1 (join) — ramp members one at a time through a random live
+		// member, granting a full stabilization period whenever joins since
+		// the last one reach ~1/16 of the ring. Stabilize heals a stale
+		// successor pointer one member per round, so the deficit a gap can
+		// accumulate between settles must stay O(1); scaling the batch to
+		// ring size keeps total ramp maintenance at O(n log n)
+		// stabilizations instead of the O(n^2) of maintain-after-every-join.
+		first, err := newMember(0)
 		if err != nil {
 			return LiveResult{}, err
 		}
-		via := vias[rng.Intn(len(vias))]
-		start := time.Now()
-		if err := n.Join(via.Self().Addr); err != nil {
-			return LiveResult{}, fmt.Errorf("churnsim: ramp join %d via %s: %w", i, via.Self().Addr, err)
+		if err := first.Bootstrap(); err != nil {
+			return LiveResult{}, err
 		}
-		joins.observe(time.Since(start))
-		res.Joins++
-		alive[i] = n
-		sched.Add(n)
-		if len(vias) < 64 {
-			vias = append(vias, n)
-		}
-		joinsSince++
-		if joinsSince*16 >= len(alive) {
-			settle(time.Second) // one stabilize + one table-fix per member
-			joinsSince = 0
-		}
-		if i-lastLog >= 10000 {
-			lastLog = i
-			logf("ramp: %d/%d members (%.0fs)", i, cfg.Members, time.Since(rampStart).Seconds())
+		alive[0] = first
+		sched.Add(first)
+		vias := []*runtime.Node{first}
+		joinsSince := 0
+		for i := 1; i < cfg.Members; i++ {
+			n, err := newMember(i)
+			if err != nil {
+				return LiveResult{}, err
+			}
+			via := vias[rng.Intn(len(vias))]
+			start := time.Now()
+			if err := n.Join(via.Self().Addr); err != nil {
+				return LiveResult{}, fmt.Errorf("churnsim: ramp join %d via %s: %w", i, via.Self().Addr, err)
+			}
+			joins.observe(time.Since(start))
+			res.Joins++
+			alive[i] = n
+			sched.Add(n)
+			if len(vias) < 64 {
+				vias = append(vias, n)
+			}
+			joinsSince++
+			if joinsSince*16 >= len(alive) {
+				settle(time.Second) // one stabilize + one table-fix per member
+				joinsSince = 0
+			}
+			maybeLog("ramp: %d/%d members (%.0fs)", i, cfg.Members, time.Since(rampStart).Seconds())
 		}
 	}
 
 	// Phase 2 — converge: maintenance periods until every live successor
 	// pointer is right, correctness stops improving, or the round budget
-	// runs out (the final number is reported either way).
-	best := 0.0
-	for r := 0; r < 120; r++ {
-		settle(500 * time.Millisecond)
-		if r%3 == 2 {
-			rc := ringCorrectness(liveNodes())
-			if rc >= 1 || (r > 30 && rc <= best) {
-				break
-			}
-			if rc > best {
-				best = rc
+	// runs out (the final number is reported either way). A bulk ramp whose
+	// verification round already proved the ring skips this entirely.
+	if !verified {
+		best := 0.0
+		for r := 0; r < 120; r++ {
+			settle(500 * time.Millisecond)
+			if r%3 == 2 {
+				rc := ringCorrectness(liveNodes())
+				if rc >= 1 || (r > 30 && rc <= best) {
+					break
+				}
+				if rc > best {
+					best = rc
+				}
 			}
 		}
 	}
@@ -505,6 +613,7 @@ func RunLive(cfg LiveConfig) (LiveResult, error) {
 				return LiveResult{}, err
 			}
 		}
+		maybeLog("churn: %d/%d events (%.0fs)", ev+1, cfg.ChurnEvents, time.Since(churnStart).Seconds())
 	}
 	// Let the overlay repair, then take the closing measurements.
 	for r := 0; r < 20; r++ {
@@ -515,6 +624,12 @@ func RunLive(cfg LiveConfig) (LiveResult, error) {
 	}
 	res.ChurnSeconds = time.Since(churnStart).Seconds()
 	res.RingCorrect = ringCorrectness(liveNodes())
+	ast := sched.ArenaStats()
+	res.ArenaSlots = ast.Slots
+	res.ArenaLive = ast.Live
+	if ast.Slots > 0 {
+		res.ArenaOccupancy = float64(ast.Live) / float64(ast.Slots)
+	}
 	if res.Probes > 0 {
 		res.MeanDelivery /= float64(res.Probes)
 	}

@@ -50,6 +50,51 @@ func TestRunLiveMem(t *testing.T) {
 	if res.Leaves > 0 && res.LeaveP99Ms <= 0 {
 		t.Fatalf("leave percentiles missing with %d leaves", res.Leaves)
 	}
+	// The default ramp is bulk construction: its phase timings and the
+	// arena-occupancy stats must come back populated and sane.
+	if res.BulkRampSeconds <= 0 || res.VerifySeconds <= 0 {
+		t.Fatalf("bulk phase timings missing: ramp %.3fs verify %.3fs",
+			res.BulkRampSeconds, res.VerifySeconds)
+	}
+	if res.ArenaSlots < members || res.ArenaLive <= 0 || res.ArenaLive > res.ArenaSlots {
+		t.Fatalf("arena stats implausible: %d slots, %d live", res.ArenaSlots, res.ArenaLive)
+	}
+	if res.ArenaOccupancy <= 0 || res.ArenaOccupancy > 1 {
+		t.Fatalf("arena occupancy %.3f outside (0, 1]", res.ArenaOccupancy)
+	}
+}
+
+// TestRunLiveMemJoinRamp keeps the incremental ramp covered end to end: the
+// pre-bulk join path must still converge and deliver, and must not report
+// bulk phase timings.
+func TestRunLiveMemJoinRamp(t *testing.T) {
+	res, err := RunLive(LiveConfig{
+		Mode:        runtime.ModeCAMChord,
+		Members:     150,
+		Transport:   "mem",
+		Shards:      1,
+		Seed:        7,
+		Ramp:        "join",
+		ChurnEvents: 30,
+		Probes:      4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Joins < 149 {
+		t.Fatalf("joins = %d for 150 members", res.Joins)
+	}
+	if res.RingCorrect < 0.95 {
+		t.Fatalf("ring correctness %.3f", res.RingCorrect)
+	}
+	// Crashes mid-probe cost a few deliveries; 0.9 matches the TCP bound.
+	if res.MeanDelivery < 0.9 {
+		t.Fatalf("mean delivery %.3f", res.MeanDelivery)
+	}
+	if res.BulkRampSeconds != 0 || res.VerifySeconds != 0 {
+		t.Fatalf("join ramp reported bulk timings: ramp %.3fs verify %.3fs",
+			res.BulkRampSeconds, res.VerifySeconds)
+	}
 }
 
 // TestRunLiveTCP: the same flow over real loopback sockets with wall-clock

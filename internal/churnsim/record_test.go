@@ -125,6 +125,65 @@ func TestRecordReplayRoundTrip(t *testing.T) {
 	}
 }
 
+// TestBulkInitialRecordReplayRoundTrip: a run whose initial membership was
+// built with BulkInstall records that construction as one bulk-join record,
+// and the log still replays deterministically — the bulk path is ramp-only
+// and must not disturb replay determinism.
+func TestBulkInitialRecordReplayRoundTrip(t *testing.T) {
+	for _, mode := range []runtime.Mode{runtime.ModeCAMChord, runtime.ModeCAMKoorde} {
+		t.Run(mode.String(), func(t *testing.T) {
+			cfg := faultyConfig(mode)
+			cfg.BulkInitial = true
+			var buf bytes.Buffer
+			cfg.Record = &buf
+			cfg.Label = "bulk-round-trip-test"
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("recorded run: %v", err)
+			}
+			if res.MeanDelivery == 0 {
+				t.Fatalf("bulk-initial run delivered nothing: %+v", res)
+			}
+
+			log, err := replay.ReadLog(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("ReadLog: %v", err)
+			}
+			bulkJoins, bootstraps := 0, 0
+			for _, r := range log.Records {
+				switch r.Kind {
+				case replay.KindBulkJoin:
+					bulkJoins++
+					if len(r.Idxs) != cfg.Initial || len(r.Caps) != cfg.Initial {
+						t.Errorf("bulk-join record covers %d/%d members, want %d",
+							len(r.Idxs), len(r.Caps), cfg.Initial)
+					}
+				case replay.KindBootstrap:
+					bootstraps++
+				}
+			}
+			if bulkJoins != 1 || bootstraps != 0 {
+				t.Errorf("log has %d bulk-joins and %d bootstraps, want 1 and 0", bulkJoins, bootstraps)
+			}
+
+			a, err := replay.Run(log)
+			if err != nil {
+				t.Fatalf("first replay: %v", err)
+			}
+			b, err := replay.Run(log)
+			if err != nil {
+				t.Fatalf("second replay: %v", err)
+			}
+			if d := replay.Compare(a, b); d != nil {
+				t.Fatalf("replays diverged:\n%s", d)
+			}
+			if len(a.MsgIDs) == 0 || len(a.Deliveries) == 0 {
+				t.Fatalf("replay observed no multicasts: %d ids", len(a.MsgIDs))
+			}
+		})
+	}
+}
+
 // TestRecordedLogMatchesRun checks the log captures the run's actual
 // inputs: the replayed cluster sees the same probes the live run issued.
 func TestRecordedLogMatchesRun(t *testing.T) {

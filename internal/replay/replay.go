@@ -47,6 +47,11 @@ const (
 	// KindJoin creates member Idx with capacity Cap and joins it through
 	// member Via.
 	KindJoin = "join"
+	// KindBulkJoin creates every member in Idxs (capacities Caps, matched
+	// by position) and installs a complete ring over them in one step via
+	// runtime.BulkInstall — the assisted initial-membership construction.
+	// Always the serial install order, so replays are deterministic.
+	KindBulkJoin = "bulk-join"
 	// KindLeave departs member Idx gracefully.
 	KindLeave = "leave"
 	// KindCrash stops member Idx without notice.
@@ -107,7 +112,8 @@ type Record struct {
 	Idx     int     `json:"idx,omitempty"`     // member (bootstrap, join, leave, crash, multicast, partition)
 	Via     int     `json:"via,omitempty"`     // join bootstrap member
 	Cap     int     `json:"cap,omitempty"`     // member capacity (bootstrap, join)
-	Idxs    []int   `json:"idxs,omitempty"`    // crash-group victims
+	Idxs    []int   `json:"idxs,omitempty"`    // crash-group victims; bulk-join members
+	Caps    []int   `json:"caps,omitempty"`    // bulk-join capacities, parallel to Idxs
 	Rounds  int     `json:"rounds,omitempty"`  // maintain
 	Full    bool    `json:"full,omitempty"`    // maintain: FixAll instead of FixOnce
 	Payload []byte  `json:"payload,omitempty"` // multicast payload
@@ -185,6 +191,15 @@ func (r *Recorder) Bootstrap(idx, capacity int) {
 // Join records member idx (capacity cap) joining through member via.
 func (r *Recorder) Join(idx, via, capacity int) {
 	r.record(Record{Kind: KindJoin, Idx: idx, Via: via, Cap: capacity})
+}
+
+// BulkJoin records the bulk construction of a fresh ring over the members
+// in idxs with the matching capacities.
+func (r *Recorder) BulkJoin(idxs, caps []int) {
+	if len(idxs) == 0 || len(idxs) != len(caps) {
+		return
+	}
+	r.record(Record{Kind: KindBulkJoin, Idxs: idxs, Caps: caps})
 }
 
 // Leave records a graceful departure of member idx.
@@ -315,6 +330,11 @@ func ReadLog(rd io.Reader) (*Log, error) {
 		case KindBootstrap, KindJoin, KindLeave, KindCrash, KindCrashGroup,
 			KindMaintain, KindMulticast, KindLinkLoss, KindLinkDelay,
 			KindPartition, KindHealLinks, KindHealPartitions:
+		case KindBulkJoin:
+			if len(rec.Idxs) == 0 || len(rec.Idxs) != len(rec.Caps) {
+				return nil, fmt.Errorf("replay: line %d: bulk-join with %d members and %d capacities",
+					line, len(rec.Idxs), len(rec.Caps))
+			}
 		default:
 			return nil, fmt.Errorf("replay: line %d: unknown record kind %q", line, rec.Kind)
 		}

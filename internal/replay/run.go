@@ -194,6 +194,23 @@ func Run(log *Log) (*Outcome, error) {
 				})
 				continue
 			}
+		case KindBulkJoin:
+			members := make([]*runtime.Node, 0, len(rec.Idxs))
+			for i, idx := range rec.Idxs {
+				node, err := newNode(idx, rec.Caps[i])
+				if err != nil {
+					return nil, fmt.Errorf("replay: step %d: %w", step, err)
+				}
+				members = append(members, node)
+			}
+			// Serial install: trace order and table contents depend only on
+			// the sorted membership, never on goroutine interleaving.
+			if err := runtime.BulkInstall(members, runtime.BulkOptions{Parallelism: 1}); err != nil {
+				return nil, fmt.Errorf("replay: step %d: bulk-join: %w", step, err)
+			}
+			for i, idx := range rec.Idxs {
+				alive[idx] = members[i]
+			}
 		case KindLeave:
 			if node, ok := alive[rec.Idx]; ok {
 				_ = node.Leave()

@@ -1,0 +1,191 @@
+package runtime
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// noRef is the sentinel "no entry" arena reference: an unknown predecessor,
+// an unfilled routing-table slot.
+const noRef = ^uint32(0)
+
+// Slab geometry: fixed 512-entry blocks. Entries are never moved once
+// placed, so a published reference stays resolvable without relocation.
+const (
+	arenaSlabBits = 9
+	arenaSlabSize = 1 << arenaSlabBits
+	arenaSlabMask = arenaSlabSize - 1
+)
+
+// arenaSlab is one fixed block of interned entries. Slabs are allocated
+// once and never reallocated or shrunk, which is what makes lock-free
+// Resolve sound: a reference obtained under the arena's (or its owner's)
+// lock indexes memory that cannot move.
+type arenaSlab struct {
+	infos [arenaSlabSize]NodeInfo
+}
+
+// NodeArena interns NodeInfo values — a member's transport address and ring
+// identifier — into slab-backed storage addressed by dense uint32
+// references. Every node hosted on the arena stores its neighbor state
+// (successor list, routing-table slots, predecessor) as references instead
+// of NodeInfo values, so a membership where each member appears in dozens
+// of neighbor tables stores each address string once per shard instead of
+// once per appearance, and the per-member tables become pointer-free
+// []uint32 the garbage collector never scans.
+//
+// Entries are reference counted: Intern acquires, Release drops, and a
+// count reaching zero frees the slot for reuse and bumps its generation,
+// so tests (and debug assertions) can detect a stale reference outliving
+// its holder. Intern/Retain/Release serialize on one mutex — they run on
+// table-write paths (stabilize, fix, join), not per message — while
+// Resolve, the read path under every node's own lock, is lock-free: one
+// atomic load of the slab directory plus an indexed read.
+//
+// The happens-before story for that lock-free read: a slot's contents are
+// written (under the arena mutex) before Intern returns its reference, and
+// the reference only reaches a reader through the owning node's mutex, so
+// the write is visible to any reader that legitimately holds the
+// reference. Slot reuse cannot race either — a slot is recycled only after
+// its count hits zero, i.e. after every table that stored it released it.
+type NodeArena struct {
+	slabs atomic.Pointer[[]*arenaSlab] // read-only directory snapshot for Resolve
+
+	mu     sync.Mutex
+	index  map[string]uint32 // addr -> ref for live entries
+	refs   []int32           // per-ref holder count (0 = free)
+	gens   []uint32          // per-ref generation, bumped when the slot is freed
+	free   []uint32          // recycled slots
+	reused uint64            // how many Interns were served by recycling
+}
+
+// ArenaStats describes arena occupancy.
+type ArenaStats struct {
+	Slots  int    // slots ever allocated (live + free)
+	Live   int    // slots currently referenced by at least one holder
+	Free   int    // slots waiting on the free list
+	Reused uint64 // interns served by recycling a freed slot
+}
+
+// NewNodeArena returns an empty arena.
+func NewNodeArena() *NodeArena {
+	a := &NodeArena{index: make(map[string]uint32)}
+	a.slabs.Store(&[]*arenaSlab{})
+	return a
+}
+
+// Intern stores info (or finds its existing entry) and acquires one
+// reference to it. Interning the zero NodeInfo returns noRef, which
+// Release and Resolve treat as the empty entry — callers can thread
+// "no neighbor" through without special-casing.
+func (a *NodeArena) Intern(info NodeInfo) uint32 {
+	if info.zero() {
+		return noRef
+	}
+	a.mu.Lock()
+	if ref, ok := a.index[info.Addr]; ok {
+		a.refs[ref]++
+		a.mu.Unlock()
+		return ref
+	}
+	var ref uint32
+	if k := len(a.free); k > 0 {
+		ref = a.free[k-1]
+		a.free = a.free[:k-1]
+		a.reused++
+	} else {
+		ref = uint32(len(a.refs))
+		a.refs = append(a.refs, 0)
+		a.gens = append(a.gens, 0)
+		if int(ref)>>arenaSlabBits >= len(*a.slabs.Load()) {
+			a.grow()
+		}
+	}
+	a.refs[ref] = 1
+	a.index[info.Addr] = ref
+	(*a.slabs.Load())[ref>>arenaSlabBits].infos[ref&arenaSlabMask] = info
+	a.mu.Unlock()
+	return ref
+}
+
+// grow publishes a directory with one more slab. Callers hold a.mu; the
+// old directory slice is never mutated, so concurrent Resolves keep
+// reading whichever snapshot they loaded.
+func (a *NodeArena) grow() {
+	old := *a.slabs.Load()
+	next := make([]*arenaSlab, len(old)+1)
+	copy(next, old)
+	next[len(old)] = &arenaSlab{}
+	a.slabs.Store(&next)
+}
+
+// Retain acquires one more reference to an entry already held.
+func (a *NodeArena) Retain(ref uint32) {
+	if ref == noRef {
+		return
+	}
+	a.mu.Lock()
+	if a.refs[ref] <= 0 {
+		a.mu.Unlock()
+		panic("runtime: NodeArena.Retain of a dead reference")
+	}
+	a.refs[ref]++
+	a.mu.Unlock()
+}
+
+// Release drops one reference. The last release frees the slot for reuse,
+// bumps its generation, and clears the entry (releasing the address string
+// to the collector). Releasing noRef is a no-op.
+func (a *NodeArena) Release(ref uint32) {
+	if ref == noRef {
+		return
+	}
+	a.mu.Lock()
+	if a.refs[ref] <= 0 {
+		a.mu.Unlock()
+		panic("runtime: NodeArena.Release of a dead reference")
+	}
+	a.refs[ref]--
+	if a.refs[ref] == 0 {
+		e := &(*a.slabs.Load())[ref>>arenaSlabBits].infos[ref&arenaSlabMask]
+		delete(a.index, e.Addr)
+		*e = NodeInfo{}
+		a.gens[ref]++
+		a.free = append(a.free, ref)
+	}
+	a.mu.Unlock()
+}
+
+// Resolve returns the entry a reference names. Lock-free — safe from any
+// goroutine that legitimately holds the reference (see the type comment
+// for the memory-ordering argument). Resolve(noRef) is the zero NodeInfo.
+func (a *NodeArena) Resolve(ref uint32) NodeInfo {
+	if ref == noRef {
+		return NodeInfo{}
+	}
+	return (*a.slabs.Load())[ref>>arenaSlabBits].infos[ref&arenaSlabMask]
+}
+
+// Gen returns the slot's current generation. A holder that recorded the
+// generation at Intern time can detect the slot having been freed and
+// recycled under it (which, with balanced Intern/Release, never happens).
+func (a *NodeArena) Gen(ref uint32) uint32 {
+	if ref == noRef {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.gens[ref]
+}
+
+// Stats returns a snapshot of arena occupancy.
+func (a *NodeArena) Stats() ArenaStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return ArenaStats{
+		Slots:  len(a.refs),
+		Live:   len(a.refs) - len(a.free),
+		Free:   len(a.free),
+		Reused: a.reused,
+	}
+}

@@ -169,9 +169,7 @@ func (n *Node) backoff(ctx context.Context, attempt int) {
 		attempt = 4 // cap the exponent: 16x base is plenty for a multicast
 	}
 	d := base << uint(attempt)
-	n.rngMu.Lock()
-	jitter := 0.5 + n.rng.Float64()
-	n.rngMu.Unlock()
+	jitter := 0.5 + n.jitterFloat()
 	d = time.Duration(float64(d) * jitter)
 	t := time.NewTimer(d)
 	defer t.Stop()
@@ -222,7 +220,7 @@ func (n *Node) forwardSegment(ctx context.Context, msgID string, source NodeInfo
 		if live, liveOK := n.liveSuccessor(); liveOK {
 			child, ok = live, true
 		}
-	} else if idx, have := n.slotOf[cp.key]; have && idx < len(table) {
+	} else if idx, have := n.spec.slotIndex(cp.key); have && idx < len(table) {
 		child = table[idx]
 		ok = !child.zero()
 	}

@@ -54,21 +54,17 @@ func (n *Node) handleFindSucc(req findSuccReq) (any, error) {
 		return nil, ErrStopped
 	}
 	self := n.self
-	var pred *NodeInfo
-	if n.pred != nil {
-		p := *n.pred
-		pred = &p
-	}
+	pred, hasPred := n.predLocked()
 	succ := self
-	if len(n.succs) > 0 {
-		succ = n.succs[0]
+	if len(n.succRefs) > 0 {
+		succ = n.arena.Resolve(n.succRefs[0])
 	}
 	n.mu.Unlock()
 
 	k := req.K
 	// Alone, or k is ours: (pred, self] covers it.
 	if succ.Addr == self.Addr || k == self.ID ||
-		(pred != nil && pred.Addr != self.Addr && n.space.InOC(k, pred.ID, self.ID)) {
+		(hasPred && pred.Addr != self.Addr && n.space.InOC(k, pred.ID, self.ID)) {
 		return findSuccResp{Node: self, Hops: req.Hops}, nil
 	}
 	// The successor's segment (self, succ] covers it.

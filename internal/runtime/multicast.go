@@ -212,14 +212,14 @@ func (n *Node) koordeNeighbors() []NodeInfo {
 		seen[info.Addr] = true
 		out = append(out, info)
 	}
-	if n.pred != nil {
-		add(*n.pred)
+	if p, ok := n.predLocked(); ok {
+		add(p)
 	}
-	if len(n.succs) > 0 {
-		add(n.succs[0])
+	if len(n.succRefs) > 0 {
+		add(n.arena.Resolve(n.succRefs[0]))
 	}
-	for _, info := range n.slots {
-		add(info)
+	for _, ref := range n.slotRefs {
+		add(n.arena.Resolve(ref))
 	}
 	return out
 }

@@ -16,7 +16,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math/rand"
 	"os"
 	"sync"
 	"sync/atomic"
@@ -173,6 +172,14 @@ type Config struct {
 	// outcomes, lookup hop counts, multicast tree build time — under the
 	// obsv.Metric* names; nil disables.
 	Metrics *obsv.Registry
+
+	// Arena, when set, interns this node's neighbor references (successor
+	// list, routing-table slots, predecessor) into a shared node table —
+	// the scheduler hands out one arena per shard (Scheduler.ArenaFor), so
+	// co-sharded members store each address/identifier pair once between
+	// them. nil gives the node a private arena; behavior is identical, only
+	// the sharing is lost.
+	Arena *NodeArena
 }
 
 func (c *Config) applyDefaults() {
@@ -268,22 +275,25 @@ type Node struct {
 
 	clock timing.Clock
 
-	// The routing table is struct-of-arrays: targets (the slot
-	// identifiers to maintain) and slotOf (tableKey -> slot index) are
-	// computed once at construction and never written again, so reads
-	// need no lock; slots is the dense mutable array of resolved
-	// neighbors, indexed like targets and guarded by mu. A maintenance
-	// or fan-out pass walks a contiguous slice instead of a map.
-	targets []target
-	slotOf  map[tableKey]int
+	// The routing-table layout (which slots exist, how each slot's target
+	// identifier derives from the node's own) is an immutable tableSpec
+	// shared by every node with the same (space, mode, capacity) — reads
+	// need no lock and the node stores one pointer. The mutable neighbor
+	// state — predecessor, successor list, resolved slots — is held as
+	// uint32 references into the node arena (addresses and identifiers
+	// interned once per shard), guarded by mu. A maintenance or fan-out
+	// pass walks contiguous integer slices the collector never scans.
+	spec  *tableSpec
+	arena *NodeArena
 
-	mu      sync.Mutex
-	pred    *NodeInfo
-	succs   []NodeInfo // [0] is the immediate successor; equals self when alone
-	slots   []NodeInfo // resolved table entries; zero value = unfilled
-	cursor  int        // round-robin table refresh position
-	started bool
-	stopped bool
+	mu        sync.Mutex
+	predRef   uint32   // noRef = predecessor unknown
+	succRefs  []uint32 // [0] is the immediate successor; equals self when alone
+	succSpare []uint32 // second buffer; setSuccsLocked ping-pongs between them
+	slotRefs  []uint32 // resolved table entries; noRef = unfilled
+	cursor    int      // round-robin table refresh position
+	started   bool
+	stopped   bool
 
 	seen      *seenCache
 	reflooded *seenCache // message IDs this node already issued a reflood repair for
@@ -300,8 +310,8 @@ type Node struct {
 	repaired    atomic.Uint64
 	lost        atomic.Uint64
 
-	rngMu sync.Mutex
-	rng   *rand.Rand // retry-jitter source, seeded from the node's ID
+	rngMu    sync.Mutex
+	rngState uint64 // retry-jitter source (splitmix64), seeded from the node's ID
 
 	suspectMu sync.Mutex
 	suspects  map[string]time.Time // addr -> suspicion expiry
@@ -345,6 +355,7 @@ func NewNode(net Transport, addr string, cfg Config) (*Node, error) {
 		self:      NodeInfo{Addr: addr, ID: ids.NewHasher(cfg.Space).ID(addr)},
 		net:       net,
 		clock:     cfg.Clock,
+		arena:     cfg.Arena,
 		seen:      newSeenCache(cfg.SeenLimit),
 		reflooded: newSeenCache(cfg.SeenLimit),
 		suspects:  make(map[string]time.Time),
@@ -354,18 +365,113 @@ func NewNode(net Transport, addr string, cfg Config) (*Node, error) {
 	if n.clock == nil {
 		n.clock = timing.Wall()
 	}
-	n.targets = targetsFor(n.space, cfg.Mode, cfg.Capacity, n.self.ID)
-	n.slots = make([]NodeInfo, len(n.targets))
-	n.slotOf = make(map[tableKey]int, len(n.targets))
-	for i, t := range n.targets {
-		n.slotOf[t.key] = i
+	if n.arena == nil {
+		n.arena = NewNodeArena()
+	}
+	n.spec = specFor(n.space, cfg.Mode, cfg.Capacity)
+	n.predRef = noRef
+	n.succRefs = make([]uint32, 0, cfg.SuccListLen)
+	n.succSpare = make([]uint32, 0, cfg.SuccListLen)
+	n.slotRefs = make([]uint32, n.spec.len())
+	for i := range n.slotRefs {
+		n.slotRefs[i] = noRef
 	}
 	n.obs = newNodeObs(cfg.Bus, cfg.Metrics)
-	n.rng = rand.New(rand.NewSource(int64(n.self.ID) + 1))
+	n.rngState = uint64(n.self.ID) + 1
 	if bt, ok := net.(interface{ BlobPayloads() bool }); ok {
 		n.blobPayloads = bt.BlobPayloads()
 	}
 	return n, nil
+}
+
+// The locked neighbor accessors below assume n.mu is held. Mutators intern
+// the incoming info before releasing the outgoing reference, so a write
+// that keeps a neighbor unchanged keeps its arena slot (and generation).
+
+// predLocked returns the predecessor, if known.
+func (n *Node) predLocked() (NodeInfo, bool) {
+	if n.predRef == noRef {
+		return NodeInfo{}, false
+	}
+	return n.arena.Resolve(n.predRef), true
+}
+
+// setPredLocked replaces the predecessor; the zero NodeInfo clears it.
+func (n *Node) setPredLocked(info NodeInfo) {
+	ref := n.arena.Intern(info)
+	n.arena.Release(n.predRef)
+	n.predRef = ref
+}
+
+// succHeadLocked returns the immediate successor, if any.
+func (n *Node) succHeadLocked() (NodeInfo, bool) {
+	if len(n.succRefs) == 0 {
+		return NodeInfo{}, false
+	}
+	return n.arena.Resolve(n.succRefs[0]), true
+}
+
+// setSuccHeadLocked replaces succs[0] in place.
+func (n *Node) setSuccHeadLocked(info NodeInfo) {
+	ref := n.arena.Intern(info)
+	n.arena.Release(n.succRefs[0])
+	n.succRefs[0] = ref
+}
+
+// setSuccsLocked replaces the whole successor list. The two fixed-capacity
+// buffers ping-pong so steady-state stabilization rebuilds allocate
+// nothing.
+func (n *Node) setSuccsLocked(list []NodeInfo) {
+	scratch := n.succSpare[:0]
+	for _, info := range list {
+		if ref := n.arena.Intern(info); ref != noRef {
+			scratch = append(scratch, ref)
+		}
+	}
+	for _, ref := range n.succRefs {
+		n.arena.Release(ref)
+	}
+	n.succSpare = n.succRefs[:0]
+	n.succRefs = scratch
+}
+
+// setSuccSelfLocked resets the successor list to [self] (alone in the ring).
+func (n *Node) setSuccSelfLocked() {
+	for _, ref := range n.succRefs {
+		n.arena.Release(ref)
+	}
+	n.succRefs = append(n.succRefs[:0], n.arena.Intern(n.self))
+}
+
+// popSuccLocked drops the head of the successor list.
+func (n *Node) popSuccLocked() {
+	n.arena.Release(n.succRefs[0])
+	copy(n.succRefs, n.succRefs[1:])
+	n.succRefs = n.succRefs[:len(n.succRefs)-1]
+}
+
+// setSlotLocked replaces table slot i and returns the previous occupant.
+func (n *Node) setSlotLocked(i int, info NodeInfo) NodeInfo {
+	old := n.arena.Resolve(n.slotRefs[i])
+	ref := n.arena.Intern(info)
+	n.arena.Release(n.slotRefs[i])
+	n.slotRefs[i] = ref
+	return old
+}
+
+// jitterFloat returns a uniform float64 in [0, 1) from the node's compact
+// splitmix64 state. Retry-backoff jitter is the only randomness a node
+// consumes, so a full *rand.Rand (~5KB of generator state per member) was
+// the single largest slice of the per-member footprint.
+func (n *Node) jitterFloat() float64 {
+	n.rngMu.Lock()
+	n.rngState += 0x9e3779b97f4a7c15
+	z := n.rngState
+	n.rngMu.Unlock()
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
 }
 
 // Self returns the node's own identity.
@@ -396,18 +502,17 @@ func (n *Node) Stats() Stats {
 func (n *Node) Predecessor() (NodeInfo, bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if n.pred == nil {
-		return NodeInfo{}, false
-	}
-	return *n.pred, true
+	return n.predLocked()
 }
 
 // SuccessorList returns a copy of the node's successor list.
 func (n *Node) SuccessorList() []NodeInfo {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	out := make([]NodeInfo, len(n.succs))
-	copy(out, n.succs)
+	out := make([]NodeInfo, len(n.succRefs))
+	for i, ref := range n.succRefs {
+		out[i] = n.arena.Resolve(ref)
+	}
 	return out
 }
 
@@ -419,8 +524,8 @@ func (n *Node) Bootstrap() error {
 		return ErrStopped
 	}
 	n.started = true
-	n.pred = &n.self
-	n.succs = []NodeInfo{n.self}
+	n.setPredLocked(n.self)
+	n.setSuccSelfLocked()
 	n.noteTopologyChange()
 	n.mu.Unlock()
 
@@ -455,8 +560,8 @@ func (n *Node) Join(bootstrapAddr string) error {
 
 	n.mu.Lock()
 	n.started = true
-	n.pred = nil
-	n.succs = []NodeInfo{succ}
+	n.setPredLocked(NodeInfo{})
+	n.setSuccsLocked([]NodeInfo{succ})
 	n.noteTopologyChange()
 	n.mu.Unlock()
 
@@ -477,10 +582,14 @@ func (n *Node) Leave() error {
 		n.mu.Unlock()
 		return ErrStopped
 	}
-	pred := n.pred
+	var pred *NodeInfo
+	if p, ok := n.predLocked(); ok {
+		pp := p
+		pred = &pp
+	}
 	var succ *NodeInfo
-	if len(n.succs) > 0 && n.succs[0].Addr != n.self.Addr {
-		s := n.succs[0]
+	if head, ok := n.succHeadLocked(); ok && head.Addr != n.self.Addr {
+		s := head
 		succ = &s
 	}
 	n.mu.Unlock()
@@ -508,6 +617,19 @@ func (n *Node) Stop() {
 	}
 	n.stopped = true
 	started := n.started
+	// Hand every neighbor reference back to the arena so a shared,
+	// long-lived arena does not accumulate entries pinned by dead members.
+	// Readers racing this see an empty table under mu (and the stopped
+	// flag); NodeInfo values they copied out earlier stay valid forever.
+	n.setPredLocked(NodeInfo{})
+	for _, ref := range n.succRefs {
+		n.arena.Release(ref)
+	}
+	n.succRefs = n.succRefs[:0]
+	for i, ref := range n.slotRefs {
+		n.arena.Release(ref)
+		n.slotRefs[i] = noRef
+	}
 	n.mu.Unlock()
 
 	n.net.Unregister(n.self.Addr)
@@ -700,11 +822,13 @@ func (n *Node) handleRPC(from, kind string, payload any) (any, error) {
 func (n *Node) handleNeighbors() (any, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	resp := neighborsResp{Succs: make([]NodeInfo, len(n.succs))}
-	copy(resp.Succs, n.succs)
-	if n.pred != nil {
-		p := *n.pred
-		resp.Pred = &p
+	resp := neighborsResp{Succs: make([]NodeInfo, len(n.succRefs))}
+	for i, ref := range n.succRefs {
+		resp.Succs[i] = n.arena.Resolve(ref)
+	}
+	if p, ok := n.predLocked(); ok {
+		pp := p
+		resp.Pred = &pp
 	}
 	return resp, nil
 }
@@ -717,14 +841,22 @@ func (n *Node) handleNotify(req notifyReq) (any, error) {
 		return notifyResp{}, nil
 	}
 	accepted := false
-	if n.pred == nil || n.pred.Addr == n.self.Addr ||
-		n.space.InOO(c.ID, n.pred.ID, n.self.ID) {
-		n.pred = &c
+	pred, hasPred := n.predLocked()
+	// A predecessor the transport's failure detector has dropped no longer
+	// gates candidates: its identifier would otherwise veto every live
+	// notifier ahead of it until some RPC happens to mark it suspect here.
+	if hasPred && pred.Addr != n.self.Addr && !n.net.Registered(pred.Addr) {
+		n.setPredLocked(NodeInfo{})
+		hasPred = false
+	}
+	if !hasPred || pred.Addr == n.self.Addr ||
+		n.space.InOO(c.ID, pred.ID, n.self.ID) {
+		n.setPredLocked(c)
 		accepted = true
 	}
 	// A second real member supersedes a self-successor.
-	if len(n.succs) > 0 && n.succs[0].Addr == n.self.Addr {
-		n.succs[0] = c
+	if head, ok := n.succHeadLocked(); ok && head.Addr == n.self.Addr {
+		n.setSuccHeadLocked(c)
 	}
 	if accepted {
 		n.noteTopologyChange()
@@ -735,20 +867,20 @@ func (n *Node) handleNotify(req notifyReq) (any, error) {
 func (n *Node) handleLeaving(req leavingReq) (any, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if n.pred != nil && n.pred.Addr == req.Departing.Addr {
-		n.pred = req.NewPred
-		if n.pred != nil && n.pred.Addr == n.self.Addr {
-			p := n.self
-			n.pred = &p
+	if pred, ok := n.predLocked(); ok && pred.Addr == req.Departing.Addr {
+		if req.NewPred == nil {
+			n.setPredLocked(NodeInfo{})
+		} else {
+			n.setPredLocked(*req.NewPred)
 		}
 	}
-	if len(n.succs) > 0 && n.succs[0].Addr == req.Departing.Addr {
+	if head, ok := n.succHeadLocked(); ok && head.Addr == req.Departing.Addr {
 		if req.NewSucc != nil {
-			n.succs[0] = *req.NewSucc
-		} else if len(n.succs) > 1 {
-			n.succs = n.succs[1:]
+			n.setSuccHeadLocked(*req.NewSucc)
+		} else if len(n.succRefs) > 1 {
+			n.popSuccLocked()
 		} else {
-			n.succs = []NodeInfo{n.self}
+			n.setSuccSelfLocked()
 		}
 	}
 	n.noteTopologyChange()
@@ -786,13 +918,18 @@ func (n *Node) StabilizeOnce() {
 		return
 	}
 
-	// Adopt the successor's predecessor if it sits between us.
+	// Adopt the successor's predecessor if it sits between us — but only
+	// once it answers a neighbors call itself. The successor's pred pointer
+	// can dangle at a crashed member whose suspicion mark has expired
+	// (Registered alone says "not recently failed", not "alive"); adopting
+	// it unconfirmed makes the successor pointer oscillate between the dead
+	// candidate and the live successor every other round.
 	if nb.Pred != nil && nb.Pred.Addr != n.self.Addr &&
 		n.space.InOO(nb.Pred.ID, n.self.ID, succ.ID) &&
 		n.net.Registered(nb.Pred.Addr) {
-		succ = *nb.Pred
-		if r2, err := n.call(succ.Addr, kindNeighbors, neighborsReq{}); err == nil {
+		if r2, err := n.call(nb.Pred.Addr, kindNeighbors, neighborsReq{}); err == nil {
 			if nb2, ok := r2.(neighborsResp); ok {
+				succ = *nb.Pred
 				nb = nb2
 			}
 		}
@@ -811,10 +948,10 @@ func (n *Node) StabilizeOnce() {
 		list = append(list, s)
 	}
 	n.mu.Lock()
-	n.succs = list
+	n.setSuccsLocked(list)
 	// Drop a dead predecessor so a live candidate can take its place.
-	if n.pred != nil && n.pred.Addr != n.self.Addr && !n.net.Registered(n.pred.Addr) {
-		n.pred = nil
+	if pred, ok := n.predLocked(); ok && pred.Addr != n.self.Addr && !n.net.Registered(pred.Addr) {
+		n.setPredLocked(NodeInfo{})
 	}
 	n.noteTopologyChange()
 	n.mu.Unlock()
@@ -827,12 +964,12 @@ func (n *Node) StabilizeOnce() {
 func (n *Node) liveSuccessor() (NodeInfo, bool) {
 	for {
 		n.mu.Lock()
-		if n.stopped || len(n.succs) == 0 {
+		if n.stopped || len(n.succRefs) == 0 {
 			stoppedOrEmpty := n.stopped
 			if !stoppedOrEmpty {
 				// Successor list exhausted: fall back to self; the ring
 				// will heal through incoming notifies.
-				n.succs = []NodeInfo{n.self}
+				n.setSuccSelfLocked()
 				n.noteTopologyChange()
 			}
 			self := n.self
@@ -842,7 +979,7 @@ func (n *Node) liveSuccessor() (NodeInfo, bool) {
 			}
 			return self, true
 		}
-		succ := n.succs[0]
+		succ := n.arena.Resolve(n.succRefs[0])
 		n.mu.Unlock()
 		if succ.Addr == n.self.Addr || n.net.Registered(succ.Addr) {
 			return succ, true
@@ -855,8 +992,8 @@ func (n *Node) liveSuccessor() (NodeInfo, bool) {
 func (n *Node) dropSuccessor(dead NodeInfo) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if len(n.succs) > 0 && n.succs[0].Addr == dead.Addr {
-		n.succs = n.succs[1:]
+	if head, ok := n.succHeadLocked(); ok && head.Addr == dead.Addr {
+		n.popSuccLocked()
 		n.noteTopologyChange()
 		n.emitf(trace.KindRepair, "dropped dead successor %s", dead.Addr)
 	}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package runtime
+
+// raceEnabled reports whether the race detector instruments this build;
+// heavyweight tests shrink their populations under it.
+const raceEnabled = false

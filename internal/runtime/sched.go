@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"camcast/internal/obsv"
+	"camcast/internal/ring"
 	"camcast/internal/timing"
 )
 
@@ -40,6 +41,7 @@ type Scheduler struct {
 	clock   timing.Clock
 	virtual *timing.Virtual // non-nil when driven by Advance
 	shards  []*schedShard
+	arenas  []*NodeArena // one neighbor-table arena per shard (see ArenaFor)
 
 	membersG *obsv.Gauge
 	rounds   *obsv.Counter
@@ -157,14 +159,38 @@ func NewScheduler(cfg SchedulerConfig) *Scheduler {
 	}
 	now := s.clock.Now().UnixNano()
 	s.shards = make([]*schedShard, cfg.Shards)
+	s.arenas = make([]*NodeArena, cfg.Shards)
 	for i := range s.shards {
 		s.shards[i] = &schedShard{
 			wheel: timing.NewWheel(cfg.WheelTick, now),
 			index: make(map[*Node]int32),
 			kick:  make(chan struct{}, 1),
 		}
+		s.arenas[i] = NewNodeArena()
 	}
 	return s
+}
+
+// ArenaFor returns the shard-local neighbor-table arena for the member
+// owning identifier id — the same partition shardFor uses, so a member's
+// arena writes always happen on its own shard's event loop. Owners pass it
+// as Config.Arena before NewNode so every member of a shard shares one
+// interned node table.
+func (s *Scheduler) ArenaFor(id ring.ID) *NodeArena {
+	return s.arenas[uint64(id)%uint64(len(s.shards))]
+}
+
+// ArenaStats aggregates occupancy across every shard arena.
+func (s *Scheduler) ArenaStats() ArenaStats {
+	var total ArenaStats
+	for _, a := range s.arenas {
+		st := a.Stats()
+		total.Slots += st.Slots
+		total.Live += st.Live
+		total.Free += st.Free
+		total.Reused += st.Reused
+	}
+	return total
 }
 
 // Shards returns the number of shard partitions (and, in wall mode, shard

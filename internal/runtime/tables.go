@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"sort"
+	"sync"
 
 	"camcast/internal/ring"
 	"camcast/internal/trace"
@@ -13,28 +14,79 @@ type tableKey struct {
 	seq   uint32
 }
 
-// target is one routing-table slot to maintain: the slot key and the
-// identifier whose responsible node fills it.
-type target struct {
-	key tableKey
-	id  ring.ID
+// packed orders keys the way specFor emits slots: ascending (level, seq).
+func (k tableKey) packed() uint64 { return uint64(k.level)<<32 | uint64(k.seq) }
+
+// Slot identifier forms. A slot's target identifier is a pure function of
+// the node's own identifier x, so the table layout never stores per-node
+// identifiers — it stores the recipe.
+const (
+	specChord  uint8 = iota // id = space.Add(x, a)           (x_{i,j} = x + j*c^i, Section 3.1)
+	specKoorde              // id = TopBits(a, b) | Shr(x, b) (de Bruijn groups, Section 4.1)
+)
+
+// slotSpec is one routing-table slot recipe: the slot key plus the
+// parameters that turn a node identifier into the slot's target.
+type slotSpec struct {
+	key  tableKey
+	kind uint8
+	a, b uint64
 }
 
-// targetsFor enumerates the neighbor identifiers a node must track, mode
-// dependent. CAM-Chord: x_{i,j} = x + j*c^i (Section 3.1). CAM-Koorde: the
-// non-ring basic identifiers x/2 and 2^{b-1}+x/2 plus the second and third
-// groups (Section 4.1); predecessor/successor come from ring maintenance.
-//
-// The enumeration depends only on the node's identity and configuration, so
-// NewNode computes it once: the slice (and the key->slot index map derived
-// from it) is immutable for the node's lifetime, and the mutable table state
-// is just the dense slots slice indexed the same way. Slots appear in
-// ascending (level, seq) order — koordeNeighbors and the replay engine rely
-// on that being the iteration order.
-func targetsFor(s ring.Space, mode Mode, capacity int, x ring.ID) []target {
-	c := uint64(capacity)
-	var out []target
+// tableSpec is the immutable routing-table layout shared by every node
+// with the same (identifier space, mode, capacity): which slots exist and
+// how each slot's target identifier derives from the node's own. Nodes
+// used to carry this per instance — a targets slice plus a key->index map,
+// several KB per member; now a membership of a million nodes holds a few
+// dozen specs between them and computes slot identifiers on demand.
+type tableSpec struct {
+	slots []slotSpec // ascending (level, seq); koordeNeighbors and replay rely on this order
+}
 
+func (ts *tableSpec) len() int { return len(ts.slots) }
+
+// id computes slot i's target identifier for a node with identifier x.
+func (ts *tableSpec) id(s ring.Space, x ring.ID, i int) ring.ID {
+	sp := &ts.slots[i]
+	if sp.kind == specChord {
+		return s.Add(x, sp.a)
+	}
+	return s.TopBits(sp.a, uint(sp.b)) | s.Shr(x, uint(sp.b))
+}
+
+// slotIndex resolves a tableKey to its slot index by binary search over the
+// sorted slot list — the per-node key->index map this replaces cost ~3KB
+// per member for a lookup that happens once per planned child segment.
+func (ts *tableSpec) slotIndex(key tableKey) (int, bool) {
+	want := key.packed()
+	i := sort.Search(len(ts.slots), func(j int) bool { return ts.slots[j].key.packed() >= want })
+	if i < len(ts.slots) && ts.slots[i].key == key {
+		return i, true
+	}
+	return 0, false
+}
+
+// specKey identifies one shared layout.
+type specKey struct {
+	bits     uint
+	mode     Mode
+	capacity int
+}
+
+var specCache sync.Map // specKey -> *tableSpec
+
+// specFor returns the shared routing-table layout for (space, mode,
+// capacity), building and caching it on first use. CAM-Chord: x_{i,j} =
+// x + j*c^i (Section 3.1). CAM-Koorde: the non-ring basic identifiers x/2
+// and 2^{b-1}+x/2 plus the second and third groups (Section 4.1);
+// predecessor/successor come from ring maintenance.
+func specFor(s ring.Space, mode Mode, capacity int) *tableSpec {
+	k := specKey{bits: s.Bits(), mode: mode, capacity: capacity}
+	if v, ok := specCache.Load(k); ok {
+		return v.(*tableSpec)
+	}
+	ts := &tableSpec{}
+	c := uint64(capacity)
 	switch mode {
 	case ModeCAMChord:
 		level := uint32(0)
@@ -44,9 +96,8 @@ func targetsFor(s ring.Space, mode Mode, capacity int, x ring.ID) []target {
 				if d >= s.Size() {
 					break
 				}
-				out = append(out, target{
-					key: tableKey{level: level, seq: uint32(j)},
-					id:  s.Add(x, d),
+				ts.slots = append(ts.slots, slotSpec{
+					key: tableKey{level: level, seq: uint32(j)}, kind: specChord, a: d,
 				})
 			}
 			if pow > s.Size()/c {
@@ -55,9 +106,10 @@ func targetsFor(s ring.Space, mode Mode, capacity int, x ring.ID) []target {
 			level++
 		}
 	case ModeCAMKoorde:
-		out = append(out,
-			target{key: tableKey{level: 0, seq: 0}, id: s.Shr(x, 1)},
-			target{key: tableKey{level: 0, seq: 1}, id: s.Add(s.Half(), s.Shr(x, 1))},
+		// x/2 is TopBits(0,1)|Shr(x,1); 2^{b-1}+x/2 is TopBits(1,1)|Shr(x,1).
+		ts.slots = append(ts.slots,
+			slotSpec{key: tableKey{level: 0, seq: 0}, kind: specKoorde, a: 0, b: 1},
+			slotSpec{key: tableKey{level: 0, seq: 1}, kind: specKoorde, a: 1, b: 1},
 		)
 		remaining := capacity - 4
 		if remaining <= 0 {
@@ -68,22 +120,23 @@ func targetsFor(s ring.Space, mode Mode, capacity int, x ring.ID) []target {
 		if shift > 1 {
 			t = 1 << shift
 			for i := 0; i < t; i++ {
-				out = append(out, target{
-					key: tableKey{level: 1, seq: uint32(i)},
-					id:  s.TopBits(uint64(i), shift) | s.Shr(x, shift),
+				ts.slots = append(ts.slots, slotSpec{
+					key: tableKey{level: 1, seq: uint32(i)}, kind: specKoorde,
+					a: uint64(i), b: uint64(shift),
 				})
 			}
 		}
 		tPrime := remaining - t
 		sPrime := shift + 1
 		for i := 0; i < tPrime; i++ {
-			out = append(out, target{
-				key: tableKey{level: 2, seq: uint32(i)},
-				id:  s.TopBits(uint64(i), sPrime) | s.Shr(x, sPrime),
+			ts.slots = append(ts.slots, slotSpec{
+				key: tableKey{level: 2, seq: uint32(i)}, kind: specKoorde,
+				a: uint64(i), b: uint64(sPrime),
 			})
 		}
 	}
-	return out
+	v, _ := specCache.LoadOrStore(k, ts)
+	return v.(*tableSpec)
 }
 
 // FixOnce refreshes a batch of routing-table slots (round-robin, like
@@ -96,11 +149,11 @@ func (n *Node) FixOnce() {
 
 // FixAll refreshes the entire routing table in one pass.
 func (n *Node) FixAll() {
-	n.fix(len(n.targets))
+	n.fix(n.spec.len())
 }
 
 func (n *Node) fix(batch int) {
-	all := n.targets
+	all := n.spec.slots
 	if len(all) == 0 {
 		return
 	}
@@ -117,19 +170,19 @@ func (n *Node) fix(batch int) {
 		n.cursor++
 		n.mu.Unlock()
 
-		tgt := all[idx]
-		info, _, err := n.FindSuccessor(tgt.id)
+		id := n.spec.id(n.space, n.self.ID, idx)
+		info, _, err := n.FindSuccessor(id)
 		if err != nil {
 			continue // retry on a later pass
 		}
 		n.mu.Lock()
-		old := n.slots[idx]
-		n.slots[idx] = info
+		old := n.setSlotLocked(idx, info)
 		n.mu.Unlock()
 		n.noteTopologyChange()
 		if old.Addr != info.Addr {
+			key := all[idx].key
 			n.emitf(trace.KindRepair,
-				"slot (%d,%d) id=%d -> %s", tgt.key.level, tgt.key.seq, tgt.id, info.Addr)
+				"slot (%d,%d) id=%d -> %s", key.level, key.seq, id, info.Addr)
 		}
 	}
 }
@@ -141,8 +194,8 @@ func (n *Node) fix(batch int) {
 // fall through the list when a candidate is unreachable.
 func (n *Node) routingCandidates(k ring.ID) []NodeInfo {
 	n.mu.Lock()
-	seen := make(map[string]bool, len(n.slots)+len(n.succs)+1)
-	cands := make([]NodeInfo, 0, len(n.slots)+len(n.succs))
+	seen := make(map[string]bool, len(n.slotRefs)+len(n.succRefs)+1)
+	cands := make([]NodeInfo, 0, len(n.slotRefs)+len(n.succRefs))
 	add := func(info NodeInfo) {
 		if info.zero() || info.Addr == n.self.Addr || seen[info.Addr] || n.isSuspect(info.Addr) {
 			return
@@ -153,11 +206,11 @@ func (n *Node) routingCandidates(k ring.ID) []NodeInfo {
 		seen[info.Addr] = true
 		cands = append(cands, info)
 	}
-	for _, info := range n.slots {
-		add(info)
+	for _, ref := range n.slotRefs {
+		add(n.arena.Resolve(ref))
 	}
-	for _, info := range n.succs {
-		add(info)
+	for _, ref := range n.succRefs {
+		add(n.arena.Resolve(ref))
 	}
 	n.mu.Unlock()
 
@@ -170,12 +223,15 @@ func (n *Node) routingCandidates(k ring.ID) []NodeInfo {
 	return cands
 }
 
-// tableSnapshot copies the current slot contents, indexed like targets
-// (resolve a tableKey with slotOf). Unfilled slots are zero NodeInfos.
+// tableSnapshot resolves the current slot contents, indexed like the
+// node's tableSpec (resolve a tableKey with slotIndex). Unfilled slots are
+// zero NodeInfos.
 func (n *Node) tableSnapshot() []NodeInfo {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	out := make([]NodeInfo, len(n.slots))
-	copy(out, n.slots)
+	out := make([]NodeInfo, len(n.slotRefs))
+	for i, ref := range n.slotRefs {
+		out[i] = n.arena.Resolve(ref)
+	}
 	return out
 }

@@ -40,8 +40,15 @@ Cells are matched by key ("<transport>/<mode>/<members>") and compared on
 the intersection only — a smoke run that measures one cell is gated against
 just that cell of the committed baseline, so CI does not have to re-host
 the 100k membership. The gate block lists ratio-gated metrics (higher is
-worse, tolerance_pct applies) and absolute "floors" (fractions the measured
-cell must reach, e.g. ring_correct). At least one cell must overlap.
+worse, tolerance_pct applies), absolute "floors" (fractions the measured
+cell must reach, e.g. ring_correct), and absolute "ceilings" (values the
+measured cell must not exceed, e.g. bytes_per_member). A ceiling is either
+a number, applied to every measured cell, or a {"<cell key>": number}
+mapping gating just those cells — how "the 10k ramp finishes in 3 s" is
+enforced without imposing the same wall-clock bound on the 100k cell.
+Unlike the ratio gate, ceilings hold even if the committed baseline drifts:
+they encode the claims the documentation makes. At least one cell must
+overlap.
 """
 
 import json
@@ -105,6 +112,7 @@ def scale_gate(doc, measured_path, baseline_path):
 
     tolerance = gate.get("tolerance_pct", 50) / 100.0
     floors = gate.get("floors", {})
+    ceilings = gate.get("ceilings", {})
     failures, checked, overlap = [], 0, 0
     for key in sorted(measured.get("cells", {})):
         base = doc["cells"].get(key)
@@ -141,6 +149,17 @@ def scale_gate(doc, measured_path, baseline_path):
             print(f"{flag:4} {key} {metric}: floor {floor:g}, measured {got:g}")
             if got < floor:
                 failures.append(f"{key} {metric}: {got:g} below floor {floor:g}")
+        for metric, lim in ceilings.items():
+            if isinstance(lim, dict):
+                lim = lim.get(key)
+            got = have.get(metric)
+            if lim is None or got is None:
+                continue
+            checked += 1
+            flag = "FAIL" if got > lim else "ok"
+            print(f"{flag:4} {key} {metric}: ceiling {lim:g}, measured {got:g}")
+            if got > lim:
+                failures.append(f"{key} {metric}: {got:g} above ceiling {lim:g}")
 
     if overlap == 0:
         failures.append("no measured cell matches any baseline cell")
