@@ -1,0 +1,239 @@
+package camcast_test
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateAPI = flag.Bool("update", false, "rewrite testdata/api.txt from the current exported surface")
+
+// TestAPISurface snapshots every exported identifier of the root camcast
+// package into testdata/api.txt. An unreviewed addition, removal, or
+// signature-shape change fails here first; intentional changes are
+// recorded with `go test -run TestAPISurface -update .` and reviewed as
+// part of the diff. Built on go/parser alone so it runs offline.
+func TestAPISurface(t *testing.T) {
+	got := strings.Join(exportedSurface(t, "."), "\n") + "\n"
+	const golden = "testdata/api.txt"
+	if *updateAPI {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to record the surface)", err)
+	}
+	if got != string(want) {
+		t.Errorf("exported API surface drifted from %s:\n%s\nIf the change is intentional, rerun with -update and commit the new snapshot.", golden, surfaceDiff(string(want), got))
+	}
+}
+
+// exportedSurface parses the package in dir (tests excluded) and returns
+// one sorted line per exported identifier: package-level funcs, methods
+// (receiver-qualified), types with their exported fields, consts and vars.
+func exportedSurface(t *testing.T, dir string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	for name, pkg := range pkgs {
+		if strings.HasSuffix(name, "_test") {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				lines = append(lines, declSurface(decl)...)
+			}
+		}
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+func declSurface(decl ast.Decl) []string {
+	var lines []string
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() {
+			return nil
+		}
+		if d.Recv != nil {
+			recv := typeString(d.Recv.List[0].Type)
+			if !ast.IsExported(strings.TrimPrefix(recv, "*")) {
+				return nil
+			}
+			lines = append(lines, fmt.Sprintf("method (%s) %s%s", recv, d.Name.Name, funcSig(d.Type)))
+		} else {
+			lines = append(lines, "func "+d.Name.Name+funcSig(d.Type))
+		}
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if !s.Name.IsExported() {
+					continue
+				}
+				lines = append(lines, typeSurface(s)...)
+			case *ast.ValueSpec:
+				kind := "var"
+				if d.Tok == token.CONST {
+					kind = "const"
+				}
+				for _, n := range s.Names {
+					if n.IsExported() {
+						lines = append(lines, kind+" "+n.Name)
+					}
+				}
+			}
+		}
+	}
+	return lines
+}
+
+func typeSurface(s *ast.TypeSpec) []string {
+	lines := []string{"type " + s.Name.Name + " " + typeKind(s.Type)}
+	switch typ := s.Type.(type) {
+	case *ast.StructType:
+		for _, f := range typ.Fields.List {
+			for _, n := range f.Names {
+				if n.IsExported() {
+					lines = append(lines, fmt.Sprintf("field %s.%s %s", s.Name.Name, n.Name, typeString(f.Type)))
+				}
+			}
+			if len(f.Names) == 0 { // embedded
+				emb := typeString(f.Type)
+				if ast.IsExported(strings.TrimPrefix(emb, "*")) {
+					lines = append(lines, fmt.Sprintf("field %s.%s (embedded)", s.Name.Name, emb))
+				}
+			}
+		}
+	case *ast.InterfaceType:
+		for _, m := range typ.Methods.List {
+			for _, n := range m.Names {
+				if n.IsExported() {
+					if ft, ok := m.Type.(*ast.FuncType); ok {
+						lines = append(lines, fmt.Sprintf("ifacemethod %s.%s%s", s.Name.Name, n.Name, funcSig(ft)))
+					}
+				}
+			}
+		}
+	}
+	return lines
+}
+
+func typeKind(e ast.Expr) string {
+	switch e.(type) {
+	case *ast.StructType:
+		return "struct"
+	case *ast.InterfaceType:
+		return "interface"
+	case *ast.FuncType:
+		return "func"
+	default:
+		return "= " + typeString(e)
+	}
+}
+
+func funcSig(ft *ast.FuncType) string {
+	return "(" + fieldTypes(ft.Params) + ")" + funcResults(ft)
+}
+
+func funcResults(ft *ast.FuncType) string {
+	if ft.Results == nil || len(ft.Results.List) == 0 {
+		return ""
+	}
+	out := fieldTypes(ft.Results)
+	if len(ft.Results.List) == 1 && len(ft.Results.List[0].Names) == 0 {
+		return " " + out
+	}
+	return " (" + out + ")"
+}
+
+func fieldTypes(fl *ast.FieldList) string {
+	if fl == nil {
+		return ""
+	}
+	var parts []string
+	for _, f := range fl.List {
+		typ := typeString(f.Type)
+		n := len(f.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			parts = append(parts, typ)
+		}
+	}
+	return strings.Join(parts, ", ")
+}
+
+// typeString renders a type expression compactly. It covers the shapes the
+// camcast surface actually uses; anything novel renders as ? so the
+// snapshot still changes (and the test still catches the drift).
+func typeString(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return "*" + typeString(t.X)
+	case *ast.SelectorExpr:
+		return typeString(t.X) + "." + t.Sel.Name
+	case *ast.ArrayType:
+		if t.Len == nil {
+			return "[]" + typeString(t.Elt)
+		}
+		return "[n]" + typeString(t.Elt)
+	case *ast.MapType:
+		return "map[" + typeString(t.Key) + "]" + typeString(t.Value)
+	case *ast.FuncType:
+		return "func" + funcSig(t)
+	case *ast.Ellipsis:
+		return "..." + typeString(t.Elt)
+	case *ast.ChanType:
+		return "chan " + typeString(t.Value)
+	case *ast.InterfaceType:
+		return "interface{}"
+	default:
+		return "?"
+	}
+}
+
+// surfaceDiff renders a set-style diff of snapshot lines — enough to see
+// what appeared or vanished without a diff library.
+func surfaceDiff(want, got string) string {
+	wantSet := map[string]bool{}
+	for _, l := range strings.Split(strings.TrimSpace(want), "\n") {
+		wantSet[l] = true
+	}
+	gotSet := map[string]bool{}
+	for _, l := range strings.Split(strings.TrimSpace(got), "\n") {
+		gotSet[l] = true
+	}
+	var missing, extra []string
+	for l := range wantSet {
+		if !gotSet[l] {
+			missing = append(missing, "- "+l)
+		}
+	}
+	for l := range gotSet {
+		if !wantSet[l] {
+			extra = append(extra, "+ "+l)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(extra)
+	return strings.Join(append(missing, extra...), "\n")
+}

@@ -24,11 +24,28 @@
 //	bob, _ := net.Join("bob", "alice", camcast.Options{Capacity: 4, OnDeliver: ...})
 //
 //	net.Settle()                      // let maintenance converge
-//	_, _ = bob.Multicast([]byte("hi")) // any member can send
+//	_, _ = bob.MulticastContext(ctx, []byte("hi")) // any member can send
 //
 // Network here is an in-process simulated transport (internal/transport)
 // with injectable latency, loss and partitions; the protocol code in
 // internal/runtime is transport-agnostic.
+//
+// # Groups
+//
+// A Network hosts any number of named multicast groups, each an isolated
+// overlay with its own members, forwarding counters, and compact wire
+// flow label. Create and Join operate on the always-present default
+// group; CreateGroup/JoinGroup return *Group handles for tenant-style
+// multi-group use, optionally protected by a token:
+//
+//	tenant, _ := net.CreateGroup("tenant-7", camcast.GroupOptions{Token: "s3cret"})
+//	root, _ := tenant.Create("t7-root", camcast.Options{Capacity: 6})
+//
+// TCP members of many groups can share one process, one listener, and —
+// because every frame carries its group's flow label — one TCP
+// connection per peer pair: see TCPHost and Group.ListenOn. The same
+// lifecycle is scriptable over HTTP at /debug/camcast/groups (see
+// Network.DebugHandler).
 //
 // For the paper's large-scale measurements (100,000-node trees, the
 // Figure 6-11 experiment suite) see the static simulator under
@@ -40,12 +57,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"net/http"
 	"sort"
 	"sync"
 	"time"
 
-	"camcast/internal/metrics"
 	"camcast/internal/obsv"
 	"camcast/internal/ring"
 	"camcast/internal/runtime"
@@ -134,14 +149,20 @@ type Node interface {
 	ID() uint64
 	// Capacity returns the member's multicast capacity c_x.
 	Capacity() int
-	// Multicast sends payload to every group member (including this one)
-	// and returns the message ID. MulticastContext is the cancellable
-	// form: a canceled context abandons outstanding child sends.
+	// MulticastContext sends payload to every group member (including
+	// this one) and returns the message ID; a canceled context abandons
+	// outstanding child sends. Multicast is the context-less form.
+	//
+	// Deprecated: Multicast is kept as a thin wrapper for existing
+	// callers; new code should pass a context via MulticastContext.
 	Multicast(payload []byte) (string, error)
 	MulticastContext(ctx context.Context, payload []byte) (string, error)
-	// Request sends a unicast request to the member at addr; the remote
-	// member must have configured Options.OnRequest. RequestContext is
-	// the cancellable form.
+	// RequestContext sends a unicast request to the member at addr; the
+	// remote member must have configured Options.OnRequest. Request is
+	// the context-less form.
+	//
+	// Deprecated: Request is kept as a thin wrapper for existing
+	// callers; new code should pass a context via RequestContext.
 	Request(addr string, payload []byte) ([]byte, error)
 	RequestContext(ctx context.Context, addr string, payload []byte) ([]byte, error)
 	// Stats returns a snapshot of the member's protocol counters.
@@ -163,6 +184,7 @@ type NeighborInfo struct {
 	Addr        string   `json:"addr"`
 	ID          uint64   `json:"id"`
 	Capacity    int      `json:"capacity"`
+	Group       string   `json:"group,omitempty"` // set in multi-group aggregates; empty for the default group
 	Predecessor string   `json:"predecessor,omitempty"`
 	Successors  []string `json:"successors"`
 }
@@ -279,6 +301,11 @@ type Options struct {
 	// comparison. Peers decode by tag, so members with different codecs
 	// interoperate.
 	Codec string
+	// GroupBacklogLimit bounds, per group and per connection, the bytes
+	// of unflushed outbound requests (ListenTCP and Group.Listen members
+	// only — members added to a shared host with Group.ListenOn inherit
+	// the host's HostOptions.GroupBacklogLimit). Zero disables the quota.
+	GroupBacklogLimit int
 
 	// Tracer optionally records protocol events.
 	Tracer *trace.Tracer
@@ -306,29 +333,36 @@ const (
 	defaultFix       = 20 * time.Millisecond
 )
 
-// Network is an in-process multicast group: a simulated transport plus the
-// members running on it. It is safe for concurrent use.
+// Network is an in-process multicast fabric: a simulated transport plus
+// the groups — and their members — running on it. A fresh Network has one
+// open group named "default" that Create/Join/Member/Members operate on;
+// CreateGroup adds further isolated groups multiplexed over the same
+// transport. It is safe for concurrent use.
 type Network struct {
-	tr       *transport.Network
-	counters *metrics.Counters
-	bus      *obsv.Bus
-	reg      *obsv.Registry
+	tr  *transport.Network
+	bus *obsv.Bus
+	reg *obsv.Registry
+	def *Group // the always-present "default" group, flow label 0
 
-	mu      sync.Mutex
-	members map[string]*Member
-	closed  bool
+	mu     sync.Mutex
+	groups map[string]*Group // by name
+	flows  map[uint64]*Group // by flow label, to reject hash collisions
+	closed bool
 }
 
-// NewNetwork creates an empty in-process network.
+// NewNetwork creates an empty in-process network with its default group.
 func NewNetwork() *Network {
 	n := &Network{
-		tr:       transport.NewNetwork(1),
-		counters: &metrics.Counters{},
-		bus:      obsv.NewBus(),
-		reg:      obsv.NewRegistry(),
-		members:  make(map[string]*Member),
+		tr:     transport.NewNetwork(1),
+		bus:    obsv.NewBus(),
+		reg:    obsv.NewRegistry(),
+		groups: make(map[string]*Group),
+		flows:  make(map[uint64]*Group),
 	}
 	n.tr.Instrument(n.reg)
+	n.def = n.newGroup("default", transport.DefaultGroup, "")
+	n.groups["default"] = n.def
+	n.flows[transport.DefaultGroup] = n.def
 	return n
 }
 
@@ -336,8 +370,9 @@ func NewNetwork() *Network {
 // (latency, loss, partitions, fault plans).
 func (n *Network) Transport() *transport.Network { return n.tr }
 
-// CountersSnapshot is the group-wide forwarding-outcome tally, aggregated
-// across every member of a Network.
+// CountersSnapshot is a forwarding-outcome tally: per group from
+// Group.CountersSnapshot, network-wide (summed over every group) from
+// Network.CountersSnapshot.
 type CountersSnapshot struct {
 	ForwardAcked    uint64 `json:"forward_acked"`    // child sends acknowledged
 	ForwardRetries  uint64 `json:"forward_retries"`  // send retries after a failure
@@ -345,23 +380,19 @@ type CountersSnapshot struct {
 	ForwardLost     uint64 `json:"forward_lost"`     // segments abandoned after repair failed
 }
 
-// CountersSnapshot returns the group-wide forwarding-outcome counters.
+// CountersSnapshot returns the forwarding-outcome counters summed across
+// every group of the network.
 func (n *Network) CountersSnapshot() CountersSnapshot {
-	snap := n.counters.Snapshot()
-	return CountersSnapshot{
-		ForwardAcked:    snap[metrics.CounterForwardAcked],
-		ForwardRetries:  snap[metrics.CounterForwardRetries],
-		ForwardRepaired: snap[metrics.CounterForwardRepaired],
-		ForwardLost:     snap[metrics.CounterForwardLost],
+	var total CountersSnapshot
+	for _, g := range n.groupSnapshot() {
+		snap := g.CountersSnapshot()
+		total.ForwardAcked += snap.ForwardAcked
+		total.ForwardRetries += snap.ForwardRetries
+		total.ForwardRepaired += snap.ForwardRepaired
+		total.ForwardLost += snap.ForwardLost
 	}
+	return total
 }
-
-// Counters returns the forwarding-outcome counters as a map keyed by the
-// legacy metric names ("forward.acked", "forward.retries",
-// "forward.repaired", "forward.lost").
-//
-// Deprecated: use CountersSnapshot, which returns typed fields.
-func (n *Network) Counters() map[string]uint64 { return n.counters.Snapshot() }
 
 // Metrics returns a point-in-time snapshot of the group's metrics
 // registry: RPC latencies and in-flight counts, flush batch sizes,
@@ -376,152 +407,69 @@ func (n *Network) Observe(fn func(Event)) (stop func()) {
 	return observe(n.bus, n.reg, "", fn)
 }
 
-// DebugHandler returns the group's live debug surface —
-// /debug/camcast/{stats,neighbors,events} plus net/http/pprof — ready to
-// mount on an HTTP server. cmd/camnode's -debug-addr flag serves exactly
-// this.
-func (n *Network) DebugHandler() http.Handler {
-	return obsv.Debug{
-		Registry:  n.reg,
-		Bus:       n.bus,
-		Neighbors: func() any { return n.Neighbors() },
-		Extra:     func() any { return n.CountersSnapshot() },
-	}.Handler()
-}
-
-// Neighbors reports every live member's ring neighborhood, sorted by ring
-// identifier.
+// Neighbors reports every live member's ring neighborhood across all
+// groups, sorted by ring identifier. Members outside the default group
+// carry their group's name in NeighborInfo.Group.
 func (n *Network) Neighbors() []NeighborInfo {
-	members := n.snapshot()
-	out := make([]NeighborInfo, 0, len(members))
-	for _, m := range members {
-		out = append(out, m.Neighbors())
+	var out []NeighborInfo
+	for _, g := range n.groupSnapshot() {
+		out = append(out, g.Neighbors()...)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
-}
-
-// Create starts the first member of a fresh group at addr.
-func (n *Network) Create(addr string, opts Options) (*Member, error) {
-	return n.start(addr, "", opts)
-}
-
-// Join adds a member at addr, entering the group through the existing
-// member at via.
-func (n *Network) Join(addr, via string, opts Options) (*Member, error) {
-	if via == "" {
-		return nil, fmt.Errorf("camcast: join requires a bootstrap address")
-	}
-	return n.start(addr, via, opts)
-}
-
-func (n *Network) start(addr, via string, opts Options) (*Member, error) {
-	cfg, err := buildConfig(opts)
-	if err != nil {
-		return nil, err
-	}
-	n.mu.Lock()
-	if n.closed {
-		n.mu.Unlock()
-		return nil, errors.New("camcast: network closed")
-	}
-	if _, ok := n.members[addr]; ok {
-		n.mu.Unlock()
-		return nil, fmt.Errorf("%w: %s", ErrMemberExists, addr)
-	}
-	n.mu.Unlock()
-
-	m := &Member{net: n, addr: addr}
-	cfg.OnDeliver = func(d runtime.Delivery) {
-		if opts.OnDeliver != nil {
-			opts.OnDeliver(Message{ID: d.MsgID, From: d.Source.Addr, Payload: d.Payload, Hops: d.Hops})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ID != out[j].ID {
+			return out[i].ID < out[j].ID
 		}
-	}
-	cfg.OnRequest = opts.OnRequest
-	cfg.Counters = n.counters
-	cfg.Bus = n.bus
-	cfg.Metrics = n.reg
-	if opts.Observer != nil {
-		// Subscribe before the node exists so the observer sees the join
-		// itself.
-		m.stopObs = observe(n.bus, n.reg, addr, opts.Observer)
-	}
-	node, err := runtime.NewNode(n.tr, addr, cfg)
-	if err != nil {
-		m.stopObserver()
-		return nil, err
-	}
-	m.node = node
-
-	if via == "" {
-		err = node.Bootstrap()
-	} else {
-		err = node.Join(via)
-	}
-	if err != nil {
-		m.stopObserver()
-		return nil, err
-	}
-
-	n.mu.Lock()
-	if _, ok := n.members[addr]; ok {
-		n.mu.Unlock()
-		node.Stop()
-		m.stopObserver()
-		return nil, fmt.Errorf("%w: %s", ErrMemberExists, addr)
-	}
-	n.members[addr] = m
-	n.mu.Unlock()
-	return m, nil
-}
-
-// Member returns the live member at addr.
-func (n *Network) Member(addr string) (*Member, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	m, ok := n.members[addr]
-	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrNoSuchMember, addr)
-	}
-	return m, nil
-}
-
-// Members returns the addresses of all live members, unordered.
-func (n *Network) Members() []string {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	out := make([]string, 0, len(n.members))
-	for addr := range n.members {
-		out = append(out, addr)
-	}
+		return out[i].Group < out[j].Group
+	})
 	return out
+}
+
+// Create starts the first member of the default group at addr; see
+// Group.Create for named groups.
+func (n *Network) Create(addr string, opts Options) (*Member, error) {
+	return n.def.Create(addr, opts)
+}
+
+// Join adds a member of the default group at addr, entering through the
+// existing member at via; see Group.Join for named groups.
+func (n *Network) Join(addr, via string, opts Options) (*Member, error) {
+	return n.def.Join(addr, via, opts)
+}
+
+// Member returns the default group's live member at addr.
+func (n *Network) Member(addr string) (*Member, error) {
+	return n.def.Member(addr)
+}
+
+// Members returns the addresses of the default group's live members,
+// unordered.
+func (n *Network) Members() []string {
+	return n.def.Members()
 }
 
 // Settle drives maintenance to convergence synchronously: the given number
 // of global stabilize rounds, each followed by a full routing-table refresh
-// at every member. Tests and batch tools call this instead of sleeping.
+// at every member of every group. Tests and batch tools call this instead
+// of sleeping.
 func (n *Network) Settle(rounds int) {
 	for r := 0; r < rounds; r++ {
-		for _, m := range n.snapshot() {
-			m.node.StabilizeOnce()
-		}
-		for _, m := range n.snapshot() {
-			m.node.FixAll()
+		for _, g := range n.groupSnapshot() {
+			g.Settle(1)
 		}
 	}
 }
 
-func (n *Network) snapshot() []*Member {
+func (n *Network) groupSnapshot() []*Group {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	out := make([]*Member, 0, len(n.members))
-	for _, m := range n.members {
-		out = append(out, m)
+	out := make([]*Group, 0, len(n.groups))
+	for _, g := range n.groups {
+		out = append(out, g)
 	}
 	return out
 }
 
-// Close stops every member and shuts the network down.
+// Close stops every member of every group and shuts the network down.
 func (n *Network) Close() {
 	n.mu.Lock()
 	if n.closed {
@@ -529,31 +477,38 @@ func (n *Network) Close() {
 		return
 	}
 	n.closed = true
-	members := make([]*Member, 0, len(n.members))
-	for _, m := range n.members {
-		members = append(members, m)
+	groups := make([]*Group, 0, len(n.groups))
+	for _, g := range n.groups {
+		groups = append(groups, g)
 	}
-	n.members = make(map[string]*Member)
 	n.mu.Unlock()
-	for _, m := range members {
-		m.node.Stop()
-		m.stopObserver()
+	for _, g := range groups {
+		g.mu.Lock()
+		members := make([]*Member, 0, len(g.members))
+		for _, m := range g.members {
+			members = append(members, m)
+		}
+		g.members = make(map[string]*Member)
+		g.mu.Unlock()
+		for _, m := range members {
+			m.node.Stop()
+			m.stopObserver()
+		}
 	}
 }
 
-func (n *Network) remove(addr string) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	delete(n.members, addr)
-}
-
-// Member is one live group member.
+// Member is one live in-process group member.
 type Member struct {
 	net     *Network
+	grp     *Group
 	addr    string
 	node    *runtime.Node
 	stopObs func() // detaches Options.Observer; nil when unset
 }
+
+// Group returns the name of the group the member belongs to ("default"
+// for members started with Network.Create/Join).
+func (m *Member) Group() string { return m.grp.name }
 
 func (m *Member) stopObserver() {
 	if m.stopObs != nil {
@@ -572,6 +527,9 @@ func (m *Member) Capacity() int { return m.node.Capacity() }
 
 // Multicast sends payload to every group member (including this one) and
 // returns the message ID.
+//
+// Deprecated: use MulticastContext. Multicast remains a thin
+// background-context wrapper.
 func (m *Member) Multicast(payload []byte) (string, error) {
 	return m.node.Multicast(payload)
 }
@@ -586,7 +544,7 @@ func (m *Member) MulticastContext(ctx context.Context, payload []byte) (string, 
 // Leave departs gracefully, telling ring neighbors to splice the member out.
 func (m *Member) Leave() error {
 	err := m.node.Leave()
-	m.net.remove(m.addr)
+	m.grp.remove(m.addr)
 	m.stopObserver()
 	return err
 }
@@ -594,7 +552,7 @@ func (m *Member) Leave() error {
 // Crash stops the member without any notification, as a real failure would.
 func (m *Member) Crash() {
 	m.node.Stop()
-	m.net.remove(m.addr)
+	m.grp.remove(m.addr)
 	m.stopObserver()
 }
 
@@ -612,6 +570,9 @@ func (m *Member) Observe(fn func(Event)) (stop func()) {
 
 // Request sends a unicast request to the member at addr and returns its
 // response; the remote member must have configured Options.OnRequest.
+//
+// Deprecated: use RequestContext. Request remains a thin
+// background-context wrapper.
 func (m *Member) Request(addr string, payload []byte) ([]byte, error) {
 	return m.node.Request(addr, payload)
 }
@@ -684,177 +645,4 @@ func buildConfig(opts Options) (runtime.Config, error) {
 		SuspicionWindow: opts.SuspicionWindow,
 		Tracer:          opts.Tracer,
 	}, nil
-}
-
-// TCPMember is one group member hosted on its own TCP transport — its own
-// listener on a real socket, exactly as a separate process or host would
-// run. Create with ListenTCP; a TCPMember owns its transport and must be
-// Closed when done.
-type TCPMember struct {
-	node    *runtime.Node
-	tr      *transport.TCP
-	bus     *obsv.Bus
-	reg     *obsv.Registry
-	stopObs func() // detaches Options.Observer; nil when unset
-}
-
-func (m *TCPMember) stopObserver() {
-	if m.stopObs != nil {
-		m.stopObs()
-	}
-}
-
-// ListenTCP starts a member on a real TCP socket at listenAddr (use
-// "127.0.0.1:0" to pick a free port). With via == "" the member bootstraps
-// a fresh group; otherwise it joins the group through the existing member
-// listening at via (a "host:port" string). Options.SuspicionWindow,
-// DialTimeout and RPCTimeout tune the transport's failure detection and
-// per-RPC deadlines.
-func ListenTCP(listenAddr, via string, opts Options) (*TCPMember, error) {
-	cfg, err := buildConfig(opts)
-	if err != nil {
-		return nil, err
-	}
-	codec, err := transport.ParseCodec(opts.Codec)
-	if err != nil {
-		return nil, err
-	}
-	runtime.RegisterWireTypes()
-	tr, err := transport.NewTCP(listenAddr)
-	if err != nil {
-		return nil, err
-	}
-	tr.Codec = codec
-	if opts.SuspicionWindow > 0 {
-		tr.SuspicionWindow = opts.SuspicionWindow
-	}
-	if opts.DialTimeout > 0 {
-		tr.DialTimeout = opts.DialTimeout
-	}
-	if opts.RPCTimeout > 0 {
-		tr.RPCTimeout = opts.RPCTimeout
-	}
-
-	addr := tr.Addr()
-	cfg.OnDeliver = func(d runtime.Delivery) {
-		if opts.OnDeliver != nil {
-			opts.OnDeliver(Message{ID: d.MsgID, From: d.Source.Addr, Payload: d.Payload, Hops: d.Hops})
-		}
-	}
-	cfg.OnRequest = opts.OnRequest
-
-	// Each TCPMember is its own process-equivalent, so it carries its own
-	// event bus and metrics registry rather than sharing a group-wide one.
-	m := &TCPMember{tr: tr, bus: obsv.NewBus(), reg: obsv.NewRegistry()}
-	tr.Instrument(m.reg)
-	cfg.Bus = m.bus
-	cfg.Metrics = m.reg
-	if opts.Observer != nil {
-		m.stopObs = observe(m.bus, m.reg, addr, opts.Observer)
-	}
-
-	node, err := runtime.NewNode(tr, addr, cfg)
-	if err != nil {
-		m.stopObserver()
-		tr.Close()
-		return nil, err
-	}
-	m.node = node
-	if via == "" {
-		err = node.Bootstrap()
-	} else {
-		err = node.Join(via)
-	}
-	if err != nil {
-		m.stopObserver()
-		tr.Close()
-		return nil, err
-	}
-	return m, nil
-}
-
-// Addr returns the member's bound "host:port" address — what other members
-// pass to ListenTCP as via.
-func (m *TCPMember) Addr() string { return m.node.Self().Addr }
-
-// ID returns the member's ring identifier.
-func (m *TCPMember) ID() uint64 { return m.node.Self().ID }
-
-// Capacity returns the member's multicast capacity c_x.
-func (m *TCPMember) Capacity() int { return m.node.Capacity() }
-
-// Multicast sends payload to every group member (including this one) and
-// returns the message ID.
-func (m *TCPMember) Multicast(payload []byte) (string, error) {
-	return m.node.Multicast(payload)
-}
-
-// MulticastContext is Multicast under a context: cancellation abandons
-// outstanding child sends without counting them as losses.
-func (m *TCPMember) MulticastContext(ctx context.Context, payload []byte) (string, error) {
-	return m.node.MulticastContext(ctx, payload)
-}
-
-// Stats returns a snapshot of the member's protocol counters.
-func (m *TCPMember) Stats() Stats { return m.node.Stats() }
-
-// Metrics returns a snapshot of this member's metrics registry, covering
-// both its protocol counters and its TCP transport (RPC latency,
-// in-flight calls, flush batch sizes).
-func (m *TCPMember) Metrics() MetricsSnapshot { return m.reg.Snapshot() }
-
-// Neighbors reports the member's current ring neighborhood.
-func (m *TCPMember) Neighbors() NeighborInfo { return neighborInfo(m.node) }
-
-// Observe attaches fn to this member's live event stream and returns a
-// function that detaches it.
-func (m *TCPMember) Observe(fn func(Event)) (stop func()) {
-	return observe(m.bus, m.reg, m.Addr(), fn)
-}
-
-// DebugHandler returns this member's live debug surface —
-// /debug/camcast/{stats,neighbors,events} plus net/http/pprof — ready to
-// mount on an HTTP server.
-func (m *TCPMember) DebugHandler() http.Handler {
-	return obsv.Debug{
-		Registry:  m.reg,
-		Bus:       m.bus,
-		Neighbors: func() any { return []NeighborInfo{m.Neighbors()} },
-		Extra:     func() any { return m.Stats() },
-	}.Handler()
-}
-
-// Request sends a unicast request to the member at addr; the remote member
-// must have configured Options.OnRequest.
-func (m *TCPMember) Request(addr string, payload []byte) ([]byte, error) {
-	return m.node.Request(addr, payload)
-}
-
-// RequestContext is Request under a context, which bounds or cancels the
-// round-trip.
-func (m *TCPMember) RequestContext(ctx context.Context, addr string, payload []byte) ([]byte, error) {
-	return m.node.RequestContext(ctx, addr, payload)
-}
-
-// StabilizeOnce and FixAll drive one maintenance round explicitly, for
-// deployments that disabled background maintenance.
-func (m *TCPMember) StabilizeOnce() { m.node.StabilizeOnce() }
-
-// FixAll refreshes the member's entire routing table in one pass.
-func (m *TCPMember) FixAll() { m.node.FixAll() }
-
-// Leave departs gracefully, then releases the transport.
-func (m *TCPMember) Leave() error {
-	err := m.node.Leave()
-	m.tr.Close()
-	m.stopObserver()
-	return err
-}
-
-// Close stops the member abruptly (a crash, as other members see it) and
-// releases the transport. Safe to call multiple times.
-func (m *TCPMember) Close() {
-	m.node.Stop()
-	m.tr.Close()
-	m.stopObserver()
 }

@@ -295,18 +295,18 @@ func TestNetworkCounters(t *testing.T) {
 			t.Fatalf("%s delivered %d times, want 1", addr, got)
 		}
 	}
-	counters := net.Counters()
-	if counters["forward.acked"] == 0 {
+	counters := net.CountersSnapshot()
+	if counters.ForwardAcked == 0 {
 		t.Error("clean multicast recorded no acked forwards")
 	}
-	if counters["forward.lost"] != 0 {
-		t.Errorf("clean multicast recorded %d lost segments", counters["forward.lost"])
+	if counters.ForwardLost != 0 {
+		t.Errorf("clean multicast recorded %d lost segments", counters.ForwardLost)
 	}
 
 	// Crash a member without letting maintenance notice: the next
 	// multicast must still reach every survivor, with the recovery fully
 	// accounted (acks grew, nothing reported lost).
-	before := counters["forward.acked"]
+	before := counters.ForwardAcked
 	victim, _ := net.Member(addrs[6])
 	victim.Crash()
 	msgID, err = src.Multicast([]byte("after crash"))
@@ -321,12 +321,12 @@ func TestNetworkCounters(t *testing.T) {
 			t.Errorf("survivor %s delivered %d times, want 1", addr, got)
 		}
 	}
-	counters = net.Counters()
-	if counters["forward.acked"] <= before {
+	counters = net.CountersSnapshot()
+	if counters.ForwardAcked <= before {
 		t.Error("post-crash multicast recorded no new acked forwards")
 	}
-	if counters["forward.lost"] != 0 {
-		t.Errorf("crash recovery reported %d lost segments", counters["forward.lost"])
+	if counters.ForwardLost != 0 {
+		t.Errorf("crash recovery reported %d lost segments", counters.ForwardLost)
 	}
 }
 

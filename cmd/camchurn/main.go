@@ -11,7 +11,7 @@
 //	         [-transport mem|tcp] [-codec binary|gob]
 //	         [-debug-addr host:port]
 //	camchurn -live 1000,10000,100000 [-mode cam-chord] [-shards 0]
-//	         [-ramp bulk|join] [-churn 0] [-probes 0]
+//	         [-live-groups 1] [-ramp bulk|join] [-churn 0] [-probes 0]
 //	         [-transport mem|tcp] [-json BENCH_scale.json]
 //	         [-min-ring 0.99] [-min-delivery 0.95]
 //	camchurn -scenarios
@@ -85,14 +85,15 @@ func run(args []string, out io.Writer) error {
 		record   = fs.String("record", "", "with -scenario: write the run's replay log to this file (needs a single -mode)")
 		replayIn = fs.String("replay", "", "replay a recorded log twice and require the replays to agree; ignores other flags")
 
-		live    = fs.String("live", "", "run the live scale sweep at these comma-separated member counts (e.g. 1000,10000,100000) instead of the budget sweep")
-		shards  = fs.Int("shards", 0, "with -live: scheduler shard count (0 = GOMAXPROCS)")
-		ramp    = fs.String("ramp", "", "with -live: initial-membership construction, bulk (sorted-array install, default) or join (incremental)")
-		churn   = fs.Int("churn", 0, "with -live: membership events after the ramp (0 = scaled default)")
-		probes  = fs.Int("probes", 0, "with -live: measurement multicasts across churn (0 = default 20)")
-		jsonOut = fs.String("json", "", "with -live: write results as BENCH_scale.json cells to this file")
-		minRing = fs.Float64("min-ring", 0, "with -live: fail unless final ring correctness reaches this fraction")
-		minDlv  = fs.Float64("min-delivery", 0, "with -live: fail unless mean probe delivery reaches this fraction")
+		live       = fs.String("live", "", "run the live scale sweep at these comma-separated member counts (e.g. 1000,10000,100000) instead of the budget sweep")
+		liveGroups = fs.Int("live-groups", 1, "with -live: partition the membership across this many tenant flows (independent overlays multiplexed over one transport)")
+		shards     = fs.Int("shards", 0, "with -live: scheduler shard count (0 = GOMAXPROCS)")
+		ramp       = fs.String("ramp", "", "with -live: initial-membership construction, bulk (sorted-array install, default) or join (incremental)")
+		churn      = fs.Int("churn", 0, "with -live: membership events after the ramp (0 = scaled default)")
+		probes     = fs.Int("probes", 0, "with -live: measurement multicasts across churn (0 = default 20)")
+		jsonOut    = fs.String("json", "", "with -live: write results as BENCH_scale.json cells to this file")
+		minRing    = fs.Float64("min-ring", 0, "with -live: fail unless final ring correctness reaches this fraction")
+		minDlv     = fs.Float64("min-delivery", 0, "with -live: fail unless mean probe delivery reaches this fraction")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -114,7 +115,7 @@ func run(args []string, out io.Writer) error {
 		}
 		return runLiveSweep(liveSweepConfig{
 			spec: *live, modes: modes, transport: *trans, shards: *shards,
-			ramp: *ramp, churn: *churn, probes: *probes,
+			groups: *liveGroups, ramp: *ramp, churn: *churn, probes: *probes,
 			capLo: *capLo, capHi: *capHi, seed: *seed,
 			jsonOut: *jsonOut, minRing: *minRing, minDelivery: *minDlv,
 		}, out)
@@ -214,6 +215,7 @@ type liveSweepConfig struct {
 	modes        []runtime.Mode
 	transport    string
 	shards       int
+	groups       int
 	ramp         string
 	churn        int
 	probes       int
@@ -255,6 +257,7 @@ func runLiveSweep(cfg liveSweepConfig, out io.Writer) error {
 				Mode:        mode,
 				Members:     members,
 				Transport:   cfg.transport,
+				Groups:      cfg.groups,
 				Shards:      cfg.shards,
 				Ramp:        cfg.ramp,
 				ChurnEvents: cfg.churn,
@@ -267,7 +270,13 @@ func runLiveSweep(cfg liveSweepConfig, out io.Writer) error {
 			if err != nil {
 				return fmt.Errorf("%v live %d: %w", mode, members, err)
 			}
-			doc.Cells[fmt.Sprintf("%s/%s/%d", cfg.transport, mode, members)] = res
+			key := fmt.Sprintf("%s/%s/%d", cfg.transport, mode, members)
+			if cfg.groups > 1 {
+				// Multi-tenant cells carry the group count so they never
+				// collide with (or gate against) the single-overlay cells.
+				key += fmt.Sprintf("/g%d", cfg.groups)
+			}
+			doc.Cells[key] = res
 			fmt.Fprintf(w, "%v\t%d\t%.3g/%.3g/%.3g\t%.3g/%.3g/%.3g\t%.3g/%.3g/%.3g\t%.1f%%\t%.1f%%\t%.1f%%\t%d\t%.0f\t%.0f\t%.0f\n",
 				mode, members,
 				res.JoinP50Ms, res.JoinP95Ms, res.JoinP99Ms,

@@ -24,6 +24,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -61,6 +62,12 @@ type group interface {
 	settle(rounds int)
 	leave(label string) error
 	crash(label string) error
+	// Tenant-group control plane: groupCreate registers a named group
+	// (optionally token-protected), groupUse switches the session's
+	// member commands onto it, groupList describes every group.
+	groupCreate(name, token string) error
+	groupUse(name, token string) (string, error)
+	groupList() []camcast.GroupInfo
 	// debugHandler serves the group's live observability surface for the
 	// -debug-addr endpoint.
 	debugHandler() http.Handler
@@ -91,13 +98,13 @@ func run(protocolName string, tcp bool, codec, debugAddr string, in io.Reader, o
 	var grp group
 	mode := "in-process"
 	if tcp {
-		grp = &tcpGroup{codec: codec, members: make(map[string]*camcast.TCPMember)}
+		grp = newTCPGroup(codec)
 		mode = "tcp"
 		if codec != "" {
 			mode = "tcp, " + codec + " codec"
 		}
 	} else {
-		grp = &memGroup{net: camcast.NewNetwork()}
+		grp = newMemGroup()
 	}
 	s := &session{grp: grp, protocol: protocol, out: out}
 	defer s.grp.close()
@@ -153,6 +160,10 @@ func (s *session) execute(line string) (quit bool, err error) {
 		return false, s.send(args)
 	case "members":
 		s.members()
+	case "groups":
+		s.groups()
+	case "group":
+		return false, s.group(args)
 	case "stats":
 		return false, s.stats(args)
 	case "settle":
@@ -172,7 +183,10 @@ func (s *session) help() {
   leave <addr>                    graceful departure
   crash <addr>                    fail without notice
   send <addr> <text...>           multicast from a member
-  members                         list members (sorted by ring id)
+  members                         list members of the current group (sorted by ring id)
+  groups                          list tenant groups
+  group create <name> [token]     register a tenant group (token-protected if given)
+  group use <name> [token]        switch member commands onto a group
   stats <addr>                    protocol counters of a member
   settle                          run maintenance to convergence
   quit                            exit
@@ -261,7 +275,7 @@ func (s *session) send(args []string) error {
 	if err != nil {
 		return err
 	}
-	msgID, err := m.Multicast([]byte(strings.Join(args[1:], " ")))
+	msgID, err := m.MulticastContext(context.Background(), []byte(strings.Join(args[1:], " ")))
 	if err != nil {
 		return err
 	}
@@ -293,6 +307,42 @@ func (s *session) members() {
 	fmt.Fprintf(s.out, "  %d members\n", len(rows))
 }
 
+func (s *session) groups() {
+	for _, info := range s.grp.groupList() {
+		prot := ""
+		if info.Protected {
+			prot = " (token-protected)"
+		}
+		fmt.Fprintf(s.out, "  %-16s flow=%#016x members=%d%s\n", info.Name, info.Flow, info.MemberCount, prot)
+	}
+}
+
+func (s *session) group(args []string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("usage: group create|use <name> [token]")
+	}
+	token := ""
+	if len(args) > 2 {
+		token = args[2]
+	}
+	switch args[0] {
+	case "create":
+		if err := s.grp.groupCreate(args[1], token); err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "  group %s created\n", args[1])
+		return nil
+	case "use":
+		name, err := s.grp.groupUse(args[1], token)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "  now operating in group %s\n", name)
+		return nil
+	}
+	return fmt.Errorf("usage: group create|use <name> [token]")
+}
+
 func (s *session) stats(args []string) error {
 	if len(args) < 1 {
 		return fmt.Errorf("usage: stats <addr>")
@@ -309,29 +359,37 @@ func (s *session) stats(args []string) error {
 	return nil
 }
 
-// memGroup hosts members on one in-process simulated network.
+// memGroup hosts members on one in-process simulated network. Member
+// commands act on cur, the tenant group selected with 'group use'
+// (initially the default group).
 type memGroup struct {
 	net *camcast.Network
+	cur *camcast.Group
+}
+
+func newMemGroup() *memGroup {
+	n := camcast.NewNetwork()
+	return &memGroup{net: n, cur: n.DefaultGroup()}
 }
 
 func (g *memGroup) create(label string, opts camcast.Options) (camcast.Node, error) {
-	return g.net.Create(label, opts)
+	return g.cur.Create(label, opts)
 }
 
 func (g *memGroup) join(label, via string, opts camcast.Options) (camcast.Node, error) {
-	return g.net.Join(label, via, opts)
+	return g.cur.Join(label, via, opts)
 }
 
-func (g *memGroup) member(label string) (camcast.Node, error) { return g.net.Member(label) }
+func (g *memGroup) member(label string) (camcast.Node, error) { return g.cur.Member(label) }
 
-func (g *memGroup) labels() []string { return g.net.Members() }
+func (g *memGroup) labels() []string { return g.cur.Members() }
 
 func (g *memGroup) debugHandler() http.Handler { return g.net.DebugHandler() }
 
-func (g *memGroup) settle(rounds int) { g.net.Settle(rounds) }
+func (g *memGroup) settle(rounds int) { g.cur.Settle(rounds) }
 
 func (g *memGroup) leave(label string) error {
-	m, err := g.net.Member(label)
+	m, err := g.cur.Member(label)
 	if err != nil {
 		return err
 	}
@@ -339,7 +397,7 @@ func (g *memGroup) leave(label string) error {
 }
 
 func (g *memGroup) crash(label string) error {
-	m, err := g.net.Member(label)
+	m, err := g.cur.Member(label)
 	if err != nil {
 		return err
 	}
@@ -347,17 +405,42 @@ func (g *memGroup) crash(label string) error {
 	return nil
 }
 
+func (g *memGroup) groupCreate(name, token string) error {
+	_, err := g.net.CreateGroup(name, camcast.GroupOptions{Token: token})
+	return err
+}
+
+func (g *memGroup) groupUse(name, token string) (string, error) {
+	grp, err := g.net.JoinGroup(name, token)
+	if err != nil {
+		return "", err
+	}
+	g.cur = grp
+	return grp.Name(), nil
+}
+
+func (g *memGroup) groupList() []camcast.GroupInfo { return g.net.Groups() }
+
 func (g *memGroup) close() { g.net.Close() }
 
 // tcpGroup hosts each member on its own real TCP listener (loopback).
 // Labels name members at the REPL; the transport uses the bound
-// "127.0.0.1:port" addresses underneath. The mutex covers the member map:
+// "127.0.0.1:port" addresses underneath. Tenant groups come from the same
+// control plane as the in-process mode: cur selects which group new
+// listeners register their flow under. The mutex covers the member map:
 // the REPL goroutine mutates it while the -debug-addr HTTP server reads it.
 type tcpGroup struct {
 	codec string
+	net   *camcast.Network
+	cur   *camcast.Group
 
 	mu      sync.Mutex
 	members map[string]*camcast.TCPMember
+}
+
+func newTCPGroup(codec string) *tcpGroup {
+	n := camcast.NewNetwork()
+	return &tcpGroup{codec: codec, net: n, cur: n.DefaultGroup(), members: make(map[string]*camcast.TCPMember)}
 }
 
 func (g *tcpGroup) tcpOptions(opts camcast.Options) camcast.Options {
@@ -380,7 +463,7 @@ func (g *tcpGroup) create(label string, opts camcast.Options) (camcast.Node, err
 	if _, ok := g.lookup(label); ok {
 		return nil, fmt.Errorf("member %q already exists", label)
 	}
-	m, err := camcast.ListenTCP("127.0.0.1:0", "", g.tcpOptions(opts))
+	m, err := g.cur.Listen("127.0.0.1:0", "", g.tcpOptions(opts))
 	if err != nil {
 		return nil, err
 	}
@@ -398,7 +481,10 @@ func (g *tcpGroup) join(label, via string, opts camcast.Options) (camcast.Node, 
 	if !ok {
 		return nil, fmt.Errorf("no member %q to join through", via)
 	}
-	m, err := camcast.ListenTCP("127.0.0.1:0", boot.Addr(), g.tcpOptions(opts))
+	if boot.Group() != g.cur.Name() {
+		return nil, fmt.Errorf("member %q is in group %q, not the current group %q", via, boot.Group(), g.cur.Name())
+	}
+	m, err := g.cur.Listen("127.0.0.1:0", boot.Addr(), g.tcpOptions(opts))
 	if err != nil {
 		return nil, err
 	}
@@ -420,10 +506,45 @@ func (g *tcpGroup) labels() []string {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	out := make([]string, 0, len(g.members))
-	for label := range g.members {
-		out = append(out, label)
+	for label, m := range g.members {
+		if m.Group() == g.cur.Name() {
+			out = append(out, label)
+		}
 	}
 	return out
+}
+
+func (g *tcpGroup) groupCreate(name, token string) error {
+	_, err := g.net.CreateGroup(name, camcast.GroupOptions{Token: token})
+	return err
+}
+
+func (g *tcpGroup) groupUse(name, token string) (string, error) {
+	grp, err := g.net.JoinGroup(name, token)
+	if err != nil {
+		return "", err
+	}
+	g.cur = grp
+	return grp.Name(), nil
+}
+
+func (g *tcpGroup) groupList() []camcast.GroupInfo {
+	// Network-level membership tracks the in-process members only; count
+	// the REPL's TCP listeners per group instead so the listing reflects
+	// what the user built.
+	infos := g.net.Groups()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for i := range infos {
+		n := 0
+		for _, m := range g.members {
+			if m.Group() == infos[i].Name {
+				n++
+			}
+		}
+		infos[i].MemberCount = n
+	}
+	return infos
 }
 
 func (g *tcpGroup) snapshot() []*camcast.TCPMember {
@@ -506,4 +627,5 @@ func (g *tcpGroup) close() {
 	for _, m := range g.snapshot() {
 		m.Close()
 	}
+	g.net.Close()
 }

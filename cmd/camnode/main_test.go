@@ -22,7 +22,7 @@ func newDebugRequest(t *testing.T, path string) (*http.Request, *httptest.Respon
 func newTestSession(t *testing.T) (*session, *strings.Builder) {
 	t.Helper()
 	out := &strings.Builder{}
-	s := &session{grp: &memGroup{net: camcast.NewNetwork()}, protocol: camcast.CAMChord, out: out}
+	s := &session{grp: newMemGroup(), protocol: camcast.CAMChord, out: out}
 	t.Cleanup(s.grp.close)
 	return s, out
 }
@@ -31,7 +31,7 @@ func newTestTCPSession(t *testing.T) (*session, *strings.Builder) {
 	t.Helper()
 	out := &strings.Builder{}
 	s := &session{
-		grp:      &tcpGroup{members: make(map[string]*camcast.TCPMember)},
+		grp:      newTCPGroup(""),
 		protocol: camcast.CAMChord,
 		out:      out,
 	}

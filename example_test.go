@@ -1,6 +1,7 @@
 package camcast_test
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -51,7 +52,7 @@ func Example() {
 		fmt.Println("member:", err)
 		return
 	}
-	if _, err := sender.Multicast([]byte("hello group")); err != nil {
+	if _, err := sender.MulticastContext(context.Background(), []byte("hello group")); err != nil {
 		fmt.Println("multicast:", err)
 		return
 	}
@@ -61,4 +62,76 @@ func Example() {
 	sort.Strings(received)
 	fmt.Println(received)
 	// Output: [laptop phone server tablet]
+}
+
+// ExampleNetwork_CreateGroup runs two tenants side by side on one Network.
+// Each group is its own overlay: a multicast in one never reaches the
+// other, even though both carry a member named "node".
+func ExampleNetwork_CreateGroup() {
+	net := camcast.NewNetwork()
+	defer net.Close()
+
+	var (
+		mu   sync.Mutex
+		seen = map[string]int{}
+	)
+	build := func(g *camcast.Group) {
+		opts := func(tenant string) camcast.Options {
+			return camcast.Options{
+				Protocol:  camcast.CAMChord,
+				Capacity:  4,
+				Stabilize: -1,
+				Fix:       -1,
+				OnDeliver: func(camcast.Message) {
+					mu.Lock()
+					seen[tenant]++
+					mu.Unlock()
+				},
+			}
+		}
+		if _, err := g.Create("node", opts(g.Name())); err != nil {
+			fmt.Println("create:", err)
+			return
+		}
+		if _, err := g.Join("node-2", "node", opts(g.Name())); err != nil {
+			fmt.Println("join:", err)
+			return
+		}
+		g.Settle(3)
+	}
+
+	alpha, err := net.CreateGroup("alpha", camcast.GroupOptions{})
+	if err != nil {
+		fmt.Println("group:", err)
+		return
+	}
+	beta, err := net.CreateGroup("beta", camcast.GroupOptions{Token: "s3cret"})
+	if err != nil {
+		fmt.Println("group:", err)
+		return
+	}
+	build(alpha)
+	build(beta)
+
+	// Re-attaching to a protected group needs its token.
+	if _, err := net.JoinGroup("beta", "wrong"); err != nil {
+		fmt.Println("join beta:", err)
+	}
+
+	sender, err := alpha.Member("node")
+	if err != nil {
+		fmt.Println("member:", err)
+		return
+	}
+	if _, err := sender.MulticastContext(context.Background(), []byte("tenants stay apart")); err != nil {
+		fmt.Println("multicast:", err)
+		return
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	fmt.Printf("alpha=%d beta=%d\n", seen["alpha"], seen["beta"])
+	// Output:
+	// join beta: camcast: group token mismatch: beta
+	// alpha=2 beta=0
 }

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sort"
@@ -76,7 +77,7 @@ func run() error {
 		if err != nil {
 			return "", err
 		}
-		return m.Multicast([]byte(text))
+		return m.MulticastContext(context.Background(), []byte(text))
 	}
 
 	// waitFor polls until msgID reached want members (maintenance is

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"text/tabwriter"
@@ -108,7 +109,7 @@ func liveCrashRecovery() error {
 	if err != nil {
 		return err
 	}
-	_, err = src.Multicast([]byte("before crash"))
+	_, err = src.MulticastContext(context.Background(), []byte("before crash"))
 	fmt.Printf("before crashes:            %d/20 members reached\n", count(err))
 
 	// Five members crash without any notification.
@@ -119,12 +120,12 @@ func liveCrashRecovery() error {
 		}
 		m.Crash()
 	}
-	_, err = src.Multicast([]byte("right after crash"))
+	_, err = src.MulticastContext(context.Background(), []byte("right after crash"))
 	fmt.Printf("immediately after 5 crash: %d/15 survivors reached (stale tables)\n", count(err))
 
 	// Repair: stabilization prunes dead successors, table refresh re-routes.
 	net.Settle(4)
-	_, err = src.Multicast([]byte("after repair"))
+	_, err = src.MulticastContext(context.Background(), []byte("after repair"))
 	fmt.Printf("after repair rounds:       %d/15 survivors reached\n", count(err))
 	return nil
 }

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sort"
@@ -80,7 +81,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		msgID, err := m.Multicast([]byte("hello from " + sender))
+		msgID, err := m.MulticastContext(context.Background(), []byte("hello from "+sender))
 		if err != nil {
 			return err
 		}
@@ -124,7 +125,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	msgID, err := m.Multicast([]byte("after departure"))
+	msgID, err := m.MulticastContext(context.Background(), []byte("after departure"))
 	if err != nil {
 		return err
 	}

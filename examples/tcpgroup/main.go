@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sort"
@@ -98,7 +99,7 @@ func run() error {
 		}
 	}
 	src := nodes[groupSize-1]
-	msgID, err := src.Multicast([]byte("hello over TCP"))
+	msgID, err := src.MulticastContext(context.Background(), []byte("hello over TCP"))
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,372 @@
+package camcast
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sync"
+	"testing"
+)
+
+func quietOpts(col *collector, addr string) Options {
+	return Options{
+		Protocol:  CAMChord,
+		Capacity:  4,
+		Stabilize: -1,
+		Fix:       -1,
+		OnDeliver: col.handler(addr),
+	}
+}
+
+// buildGroupMembers populates g with n members addressed "<prefix>-<i>",
+// bootstrapping through the first.
+func buildGroupMembers(t *testing.T, g *Group, col *collector, prefix string, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	addrs[0] = prefix + "-0"
+	if _, err := g.Create(addrs[0], quietOpts(col, addrs[0])); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < n; i++ {
+		addrs[i] = fmt.Sprintf("%s-%d", prefix, i)
+		if _, err := g.Join(addrs[i], addrs[0], quietOpts(col, addrs[i])); err != nil {
+			t.Fatal(err)
+		}
+		g.Settle(1)
+	}
+	g.Settle(3)
+	return addrs
+}
+
+func TestGroupLifecycle(t *testing.T) {
+	net := NewNetwork()
+	defer net.Close()
+
+	g, err := net.CreateGroup("tenant-a", GroupOptions{Token: "secret"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name() != "tenant-a" || !g.Protected() {
+		t.Errorf("group = %q protected=%v, want tenant-a protected", g.Name(), g.Protected())
+	}
+	if g.FlowLabel() == 0 {
+		t.Error("named group got the default flow label 0")
+	}
+
+	if _, err := net.CreateGroup("tenant-a", GroupOptions{}); !errors.Is(err, ErrGroupExists) {
+		t.Errorf("duplicate create error = %v, want ErrGroupExists", err)
+	}
+	if _, err := net.CreateGroup("default", GroupOptions{}); !errors.Is(err, ErrGroupExists) {
+		t.Errorf("creating \"default\" error = %v, want ErrGroupExists", err)
+	}
+	if _, err := net.CreateGroup("", GroupOptions{}); err == nil {
+		t.Error("empty group name accepted")
+	}
+
+	if _, err := net.JoinGroup("tenant-a", "wrong"); !errors.Is(err, ErrBadToken) {
+		t.Errorf("bad token error = %v, want ErrBadToken", err)
+	}
+	if _, err := net.JoinGroup("nope", ""); !errors.Is(err, ErrNoSuchGroup) {
+		t.Errorf("unknown group error = %v, want ErrNoSuchGroup", err)
+	}
+	g2, err := net.JoinGroup("tenant-a", "secret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2 != g {
+		t.Error("JoinGroup returned a different handle than CreateGroup")
+	}
+
+	col := newCollector()
+	addrs := buildGroupMembers(t, g, col, "a", 4)
+	info := g.Describe()
+	if info.MemberCount != 4 || len(info.Members) != 4 {
+		t.Errorf("describe reports %d members (%d listed), want 4", info.MemberCount, len(info.Members))
+	}
+	if info.Flow != g.FlowLabel() || !info.Protected {
+		t.Errorf("describe = %+v, want flow %d protected", info, g.FlowLabel())
+	}
+
+	// The network-wide listing shows both groups, summaries only.
+	groups := net.Groups()
+	if len(groups) != 2 {
+		t.Fatalf("Groups() returned %d entries, want 2 (default + tenant-a)", len(groups))
+	}
+	if groups[0].Name != "default" || groups[1].Name != "tenant-a" {
+		t.Errorf("Groups() order = %s, %s; want default, tenant-a", groups[0].Name, groups[1].Name)
+	}
+	if groups[1].Members != nil {
+		t.Error("group listing leaked the member list")
+	}
+
+	// Member handles know their group; leave shrinks it.
+	m, err := g.Member(addrs[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Group() != "tenant-a" {
+		t.Errorf("member group = %q, want tenant-a", m.Group())
+	}
+	if err := m.Leave(); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Describe().MemberCount; got != 3 {
+		t.Errorf("after leave member count = %d, want 3", got)
+	}
+	if net.DefaultGroup().Name() != "default" {
+		t.Errorf("default group name = %q", net.DefaultGroup().Name())
+	}
+}
+
+// TestGroupIsolation pins the core multi-tenancy invariant: groups hosted
+// on one Network are fully isolated overlays — even members at the same
+// transport address — and a multicast in one group never reaches another.
+func TestGroupIsolation(t *testing.T) {
+	net := NewNetwork()
+	defer net.Close()
+
+	ga, err := net.CreateGroup("iso-a", GroupOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := net.CreateGroup("iso-b", GroupOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	colA, colB := newCollector(), newCollector()
+	addrsA := buildGroupMembers(t, ga, colA, "node", 5)
+	// Group B reuses the exact same addresses: endpoint identity is
+	// (flow label, addr), so this must neither collide nor cross-talk.
+	addrsB := buildGroupMembers(t, gb, colB, "node", 5)
+
+	srcA, err := ga.Member(addrsA[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgA, err := srcA.MulticastContext(context.Background(), []byte("for A only"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, addr := range addrsA {
+		if got := colA.count(addr, msgA); got != 1 {
+			t.Errorf("group A member %s delivered %d times, want 1", addr, got)
+		}
+	}
+	for _, addr := range addrsB {
+		if got := colB.count(addr, msgA); got != 0 {
+			t.Errorf("group B member %s received group A's message %d times", addr, got)
+		}
+	}
+
+	// Counters are per group: A's multicast left B untouched.
+	if snap := gb.CountersSnapshot(); snap.ForwardAcked != 0 {
+		t.Errorf("group B recorded %d acked forwards from group A traffic", snap.ForwardAcked)
+	}
+	if snap := ga.CountersSnapshot(); snap.ForwardAcked == 0 {
+		t.Error("group A recorded no acked forwards")
+	}
+
+	// The network-wide tally sums the groups.
+	total := net.CountersSnapshot()
+	sum := ga.CountersSnapshot().ForwardAcked + gb.CountersSnapshot().ForwardAcked
+	if total.ForwardAcked != sum {
+		t.Errorf("network acked %d != group sum %d", total.ForwardAcked, sum)
+	}
+
+	// Network.Neighbors spans groups and tags non-default members.
+	var tagged int
+	for _, ni := range net.Neighbors() {
+		if ni.Group == "iso-a" || ni.Group == "iso-b" {
+			tagged++
+		}
+	}
+	if tagged != 10 {
+		t.Errorf("aggregate neighbors tagged %d members with group names, want 10", tagged)
+	}
+}
+
+func TestGroupHTTPControlPlane(t *testing.T) {
+	net := NewNetwork()
+	defer net.Close()
+	srv := httptest.NewServer(net.DebugHandler())
+	defer srv.Close()
+
+	post := func(path string, form url.Values) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.PostForm(srv.URL+path, form)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, body
+	}
+	get := func(path string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, body
+	}
+
+	// Create a protected group.
+	resp, _ := post("/debug/camcast/groups", url.Values{"name": {"web"}, "token": {"t0k"}})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create status = %d, want 201", resp.StatusCode)
+	}
+	// Duplicate name conflicts.
+	resp, _ = post("/debug/camcast/groups", url.Values{"name": {"web"}})
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("duplicate create status = %d, want 409", resp.StatusCode)
+	}
+
+	// Bootstrap a member, then join a second through it.
+	resp, _ = post("/debug/camcast/groups/web/join", url.Values{
+		"addr": {"w-0"}, "token": {"t0k"}, "capacity": {"4"},
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("bootstrap join status = %d, want 201", resp.StatusCode)
+	}
+	resp, _ = post("/debug/camcast/groups/web/join", url.Values{
+		"addr": {"w-1"}, "via": {"w-0"}, "token": {"t0k"}, "capacity": {"4"},
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("join status = %d, want 201", resp.StatusCode)
+	}
+
+	// Token gates describe/join/leave.
+	resp, _ = get("/debug/camcast/groups/web?token=wrong")
+	if resp.StatusCode != http.StatusForbidden {
+		t.Errorf("describe with bad token status = %d, want 403", resp.StatusCode)
+	}
+	resp, body := get("/debug/camcast/groups/web?token=t0k")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("describe status = %d, want 200", resp.StatusCode)
+	}
+	var info GroupInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatalf("describe body %q: %v", body, err)
+	}
+	if info.Name != "web" || info.MemberCount != 2 || !info.Protected {
+		t.Errorf("describe = %+v, want web with 2 members, protected", info)
+	}
+
+	// Unknown groups and members map to 404.
+	resp, _ = get("/debug/camcast/groups/nope")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown group status = %d, want 404", resp.StatusCode)
+	}
+	resp, _ = post("/debug/camcast/groups/web/leave", url.Values{"addr": {"ghost"}, "token": {"t0k"}})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("leave of unknown member status = %d, want 404", resp.StatusCode)
+	}
+
+	// Leave through the control plane shrinks the group.
+	resp, _ = post("/debug/camcast/groups/web/leave", url.Values{"addr": {"w-1"}, "token": {"t0k"}})
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("leave status = %d, want 200", resp.StatusCode)
+	}
+
+	// Listing is open and shows summaries for default + web.
+	resp, body = get("/debug/camcast/groups")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("list status = %d, want 200", resp.StatusCode)
+	}
+	var list []GroupInfo
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatalf("list body %q: %v", body, err)
+	}
+	if len(list) != 2 || list[1].Name != "web" || list[1].MemberCount != 1 {
+		t.Errorf("list = %+v, want [default, web(1 member)]", list)
+	}
+
+	// The pre-existing debug surface still answers underneath the mux.
+	resp, _ = get("/debug/camcast/stats")
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("stats status = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestGroupMulticastConcurrent exercises several groups multicasting at
+// once on one Network, checking deliveries stay within their group.
+func TestGroupMulticastConcurrent(t *testing.T) {
+	net := NewNetwork()
+	defer net.Close()
+
+	const groups, members, msgs = 4, 4, 8
+	type tenant struct {
+		g     *Group
+		col   *collector
+		addrs []string
+	}
+	tenants := make([]tenant, groups)
+	for i := range tenants {
+		g, err := net.CreateGroup(fmt.Sprintf("tenant-%d", i), GroupOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		col := newCollector()
+		tenants[i] = tenant{g: g, col: col, addrs: buildGroupMembers(t, g, col, fmt.Sprintf("t%d", i), members)}
+	}
+
+	var wg sync.WaitGroup
+	ids := make([][]string, groups)
+	for i := range tenants {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			src, err := tenants[i].g.Member(tenants[i].addrs[0])
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for k := 0; k < msgs; k++ {
+				id, err := src.MulticastContext(context.Background(), []byte(fmt.Sprintf("g%d-m%d", i, k)))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				ids[i] = append(ids[i], id)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	for i, tn := range tenants {
+		for _, id := range ids[i] {
+			for _, addr := range tn.addrs {
+				if got := tn.col.count(addr, id); got != 1 {
+					t.Errorf("tenant %d member %s got message %s %d times, want 1", i, addr, id, got)
+				}
+			}
+		}
+		// No other tenant's collector saw any of tenant i's messages.
+		for j, other := range tenants {
+			if j == i {
+				continue
+			}
+			for _, id := range ids[i] {
+				for _, addr := range other.addrs {
+					if got := other.col.count(addr, id); got != 0 {
+						t.Errorf("tenant %d message %s leaked to tenant %d member %s", i, id, j, addr)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package camcast
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"camcast/internal/obsv"
+)
+
+// DebugHandler returns the network's live debug surface ready to mount on
+// an HTTP server: /debug/camcast/{stats,neighbors,events} plus
+// net/http/pprof as before, and the group control plane under
+// /debug/camcast/groups. cmd/camnode's -debug-addr flag serves exactly
+// this.
+//
+// The control plane mirrors the programmatic lifecycle:
+//
+//	GET  /debug/camcast/groups                  list group summaries
+//	POST /debug/camcast/groups                  create (form: name, token)
+//	GET  /debug/camcast/groups/{name}           describe (query: token)
+//	POST /debug/camcast/groups/{name}/join      add an in-process member
+//	                                            (form: addr, via, token,
+//	                                            capacity, protocol)
+//	POST /debug/camcast/groups/{name}/leave     remove a member (form: addr, token)
+//
+// Protected groups require their token on describe, join, and leave; the
+// listing shows only summaries (no member addresses) and is open. join
+// with an empty via bootstraps the group's overlay.
+func (n *Network) DebugHandler() http.Handler {
+	inner := obsv.Debug{
+		Registry:  n.reg,
+		Bus:       n.bus,
+		Neighbors: func() any { return n.Neighbors() },
+		Extra:     func() any { return n.CountersSnapshot() },
+	}.Handler()
+	mux := http.NewServeMux()
+	mux.Handle("/", inner)
+	mux.HandleFunc("/debug/camcast/groups", n.serveGroups)
+	mux.HandleFunc("/debug/camcast/groups/", n.serveGroupOp)
+	return mux
+}
+
+func (n *Network) serveGroups(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		httpJSON(w, http.StatusOK, n.Groups())
+	case http.MethodPost:
+		name := r.FormValue("name")
+		g, err := n.CreateGroup(name, GroupOptions{Token: r.FormValue("token")})
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		httpJSON(w, http.StatusCreated, g.summary())
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+// serveGroupOp routes /debug/camcast/groups/{name}[/join|/leave]. Every
+// operation below the listing authenticates with the group's token, so
+// the lookup goes through JoinGroup — the same capability check the
+// programmatic API applies.
+func (n *Network) serveGroupOp(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/debug/camcast/groups/")
+	name, op, _ := strings.Cut(rest, "/")
+	if name == "" {
+		http.Error(w, "missing group name", http.StatusBadRequest)
+		return
+	}
+	g, err := n.JoinGroup(name, r.FormValue("token"))
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	switch {
+	case op == "" && r.Method == http.MethodGet:
+		httpJSON(w, http.StatusOK, g.Describe())
+	case op == "join" && r.Method == http.MethodPost:
+		n.serveJoin(w, r, g)
+	case op == "leave" && r.Method == http.MethodPost:
+		m, err := g.Member(r.FormValue("addr"))
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		if err := m.Leave(); err != nil {
+			httpError(w, err)
+			return
+		}
+		httpJSON(w, http.StatusOK, g.summary())
+	default:
+		http.Error(w, "unknown group operation", http.StatusNotFound)
+	}
+}
+
+func (n *Network) serveJoin(w http.ResponseWriter, r *http.Request, g *Group) {
+	var opts Options
+	if s := r.FormValue("capacity"); s != "" {
+		c, err := strconv.Atoi(s)
+		if err != nil {
+			http.Error(w, "bad capacity: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		opts.Capacity = c
+	}
+	switch r.FormValue("protocol") {
+	case "", "chord":
+		opts.Protocol = CAMChord
+	case "koorde":
+		opts.Protocol = CAMKoorde
+	default:
+		http.Error(w, "unknown protocol (want chord or koorde)", http.StatusBadRequest)
+		return
+	}
+	addr := r.FormValue("addr")
+	if addr == "" {
+		http.Error(w, "missing member addr", http.StatusBadRequest)
+		return
+	}
+	var m *Member
+	var err error
+	if via := r.FormValue("via"); via == "" {
+		m, err = g.Create(addr, opts)
+	} else {
+		m, err = g.Join(addr, via, opts)
+	}
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	httpJSON(w, http.StatusCreated, struct {
+		Addr     string `json:"addr"`
+		ID       uint64 `json:"id"`
+		Capacity int    `json:"capacity"`
+		Group    string `json:"group"`
+	}{m.Addr(), m.ID(), m.Capacity(), m.Group()})
+}
+
+// httpError maps the control plane's sentinel errors onto HTTP statuses.
+func httpError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	switch {
+	case errors.Is(err, ErrNoSuchGroup), errors.Is(err, ErrNoSuchMember):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrBadToken):
+		status = http.StatusForbidden
+	case errors.Is(err, ErrGroupExists), errors.Is(err, ErrMemberExists):
+		status = http.StatusConflict
+	}
+	http.Error(w, err.Error(), status)
+}
+
+func httpJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -29,6 +29,15 @@ type LiveConfig struct {
 	Members   int    // target live membership after the ramp
 	Transport string // "mem" (default, virtual time) or "tcp" (wall time)
 
+	// Groups partitions the membership across this many tenant flows
+	// (member idx mod Groups): each group is an independent overlay
+	// multiplexed over the same underlying transport, exactly how the
+	// public Group API shards tenants. 1 (the default) keeps the
+	// single-overlay behavior. Probes and ring correctness are measured
+	// within the probed member's own group; RingCorrect reports the
+	// worst group.
+	Groups int
+
 	// Ramp selects how the initial membership is built: "bulk" (default)
 	// creates every member up front and installs the sorted-membership ring
 	// directly (runtime.BulkInstall) followed by one verification
@@ -67,6 +76,9 @@ func (c *LiveConfig) applyDefaults() {
 	if c.Transport == "" {
 		c.Transport = "mem"
 	}
+	if c.Groups == 0 {
+		c.Groups = 1
+	}
 	if c.Ramp == "" {
 		c.Ramp = "bulk"
 	}
@@ -93,6 +105,9 @@ func (c *LiveConfig) applyDefaults() {
 func (c *LiveConfig) validate() error {
 	if c.Members < 2 {
 		return fmt.Errorf("churnsim: live run needs at least 2 members, got %d", c.Members)
+	}
+	if c.Groups < 1 || c.Members < 2*c.Groups {
+		return fmt.Errorf("churnsim: %d groups need at least %d members, got %d", c.Groups, 2*c.Groups, c.Members)
 	}
 	minCap := 2
 	if c.Mode == runtime.ModeCAMKoorde {
@@ -123,6 +138,7 @@ type LiveResult struct {
 	Transport string `json:"transport"`
 	Mode      string `json:"mode"`
 	Members   int    `json:"members"`
+	Groups    int    `json:"groups,omitempty"`
 	Shards    int    `json:"shards"`
 
 	Joins   int `json:"joins"`
@@ -166,6 +182,27 @@ type LiveResult struct {
 	ArenaSlots     int     `json:"arena_slots,omitempty"`
 	ArenaLive      int     `json:"arena_live,omitempty"`
 	ArenaOccupancy float64 `json:"arena_occupancy,omitempty"`
+}
+
+// pickVictim selects a random live member to depart, never shrinking any
+// group below two members — a tenant ring that churns out entirely has no
+// member left to bootstrap its replacements through.
+func pickVictim(rng *rand.Rand, alive map[int]*runtime.Node, groupOf func(int) int, groups int) (int, bool) {
+	counts := make([]int, groups)
+	for i := range alive {
+		counts[groupOf(i)]++
+	}
+	var idxs []int
+	for i := range alive {
+		if counts[groupOf(i)] > 2 {
+			idxs = append(idxs, i)
+		}
+	}
+	if len(idxs) == 0 {
+		return 0, false
+	}
+	sort.Ints(idxs)
+	return idxs[rng.Intn(len(idxs))], true
 }
 
 // latRecorder accumulates raw samples for exact percentiles. The live
@@ -250,7 +287,20 @@ func RunLive(cfg LiveConfig) (LiveResult, error) {
 	res.Transport = cfg.Transport
 	res.Mode = cfg.Mode.String()
 	res.Members = cfg.Members
+	if cfg.Groups > 1 {
+		res.Groups = cfg.Groups
+	}
 	res.Shards = sched.Shards()
+
+	// One flow label per tenant group; in a multi-group run even group 0
+	// gets its own label so no tenant rides the default flow.
+	gids := make([]uint64, cfg.Groups)
+	if cfg.Groups > 1 {
+		for g := range gids {
+			gids[g] = transport.GroupLabel(fmt.Sprintf("tenant-%d", g))
+		}
+	}
+	groupOf := func(idx int) int { return idx % cfg.Groups }
 	defer func() {
 		sched.Stop()
 		for _, n := range alive {
@@ -288,6 +338,9 @@ func RunLive(cfg LiveConfig) (LiveResult, error) {
 				addr = fmt.Sprintf("m-%d.%d", idx, attempt)
 			}
 			var tr runtime.Transport = net
+			if cfg.Groups > 1 && !useTCP {
+				tr = net.Flow(gids[groupOf(idx)])
+			}
 			var tcp *transport.TCP
 			if useTCP {
 				var err error
@@ -302,6 +355,9 @@ func RunLive(cfg LiveConfig) (LiveResult, error) {
 					tcp.Instrument(cfg.Metrics)
 				}
 				tr = tcp
+				if cfg.Groups > 1 {
+					tr = tcp.Flow(gids[groupOf(idx)])
+				}
 				addr = tcp.Addr()
 			}
 			rcfg.Arena = sched.ArenaFor(hasher.ID(addr))
@@ -346,35 +402,60 @@ func RunLive(cfg LiveConfig) (LiveResult, error) {
 			time.Sleep(d)
 		}
 	}
-	liveNodes := func() []*runtime.Node {
+	liveIdxs := func() []int {
 		idxs := make([]int, 0, len(alive))
 		for i := range alive {
 			idxs = append(idxs, i)
 		}
 		sort.Ints(idxs)
+		return idxs
+	}
+	liveIdxsOf := func(g int) []int {
+		var idxs []int
+		for i := range alive {
+			if groupOf(i) == g {
+				idxs = append(idxs, i)
+			}
+		}
+		sort.Ints(idxs)
+		return idxs
+	}
+	liveNodesOf := func(g int) []*runtime.Node {
+		idxs := liveIdxsOf(g)
 		out := make([]*runtime.Node, 0, len(idxs))
 		for _, i := range idxs {
 			out = append(out, alive[i])
 		}
 		return out
 	}
-	probe := func() error {
-		idxs := make([]int, 0, len(alive))
-		for i := range alive {
-			idxs = append(idxs, i)
+	// ringCorrect is the worst group's correctness: every tenant overlay
+	// must hold its own ring, not just the aggregate.
+	ringCorrect := func() float64 {
+		worst := 1.0
+		for g := 0; g < cfg.Groups; g++ {
+			if rc := ringCorrectness(liveNodesOf(g)); rc < worst {
+				worst = rc
+			}
 		}
+		return worst
+	}
+	probe := func() error {
+		idxs := liveIdxs()
 		if len(idxs) == 0 {
 			return fmt.Errorf("churnsim: no live members to probe")
 		}
-		sort.Ints(idxs)
-		src := alive[idxs[rng.Intn(len(idxs))]]
+		srcIdx := idxs[rng.Intn(len(idxs))]
+		src := alive[srcIdx]
+		groupSize := len(liveIdxsOf(groupOf(srcIdx)))
 		start := time.Now()
 		msgID, err := src.Multicast([]byte("probe"))
 		if err != nil {
 			return err
 		}
 		mcasts.observe(time.Since(start))
-		ratio := float64(col.count(msgID)) / float64(len(idxs))
+		// Delivery is measured against the sender's own group: a probe
+		// multicast must reach that tenant's membership and no one else's.
+		ratio := float64(col.count(msgID)) / float64(groupSize)
 		if ratio > 1 {
 			ratio = 1
 		}
@@ -408,6 +489,7 @@ func RunLive(cfg LiveConfig) (LiveResult, error) {
 		// the ring directly from the sorted identifier array; convergence is
 		// reserved for churn, where membership is genuinely unknown.
 		nodes := make([]*runtime.Node, 0, cfg.Members)
+		byGroup := make([][]*runtime.Node, cfg.Groups)
 		for i := 0; i < cfg.Members; i++ {
 			n, err := newMember(i)
 			if err != nil {
@@ -415,10 +497,14 @@ func RunLive(cfg LiveConfig) (LiveResult, error) {
 			}
 			alive[i] = n
 			nodes = append(nodes, n)
+			byGroup[groupOf(i)] = append(byGroup[groupOf(i)], n)
 			maybeLog("ramp: created %d/%d members (%.0fs)", i+1, cfg.Members, time.Since(rampStart).Seconds())
 		}
-		if err := runtime.BulkInstall(nodes, runtime.BulkOptions{}); err != nil {
-			return LiveResult{}, err
+		// Each group is its own ring: install them independently.
+		for _, part := range byGroup {
+			if err := runtime.BulkInstall(part, runtime.BulkOptions{}); err != nil {
+				return LiveResult{}, err
+			}
 		}
 		for _, n := range nodes {
 			sched.Add(n)
@@ -450,7 +536,7 @@ func RunLive(cfg LiveConfig) (LiveResult, error) {
 			}(nodes[lo:hi])
 		}
 		wg.Wait()
-		rc := ringCorrectness(nodes)
+		rc := ringCorrect()
 		res.VerifySeconds = time.Since(verifyStart).Seconds()
 		logf("ramp: verification round in %.1fs, ring %.3f", res.VerifySeconds, rc)
 		verified = rc >= 1
@@ -471,23 +557,29 @@ func RunLive(cfg LiveConfig) (LiveResult, error) {
 		// accumulate between settles must stay O(1); scaling the batch to
 		// ring size keeps total ramp maintenance at O(n log n)
 		// stabilizations instead of the O(n^2) of maintain-after-every-join.
-		first, err := newMember(0)
-		if err != nil {
-			return LiveResult{}, err
+		// Member idx 0..Groups-1 bootstrap their respective rings; everyone
+		// else joins through a member of their own group.
+		vias := make([][]*runtime.Node, cfg.Groups)
+		for g := 0; g < cfg.Groups; g++ {
+			first, err := newMember(g)
+			if err != nil {
+				return LiveResult{}, err
+			}
+			if err := first.Bootstrap(); err != nil {
+				return LiveResult{}, err
+			}
+			alive[g] = first
+			sched.Add(first)
+			vias[g] = []*runtime.Node{first}
 		}
-		if err := first.Bootstrap(); err != nil {
-			return LiveResult{}, err
-		}
-		alive[0] = first
-		sched.Add(first)
-		vias := []*runtime.Node{first}
 		joinsSince := 0
-		for i := 1; i < cfg.Members; i++ {
+		for i := cfg.Groups; i < cfg.Members; i++ {
 			n, err := newMember(i)
 			if err != nil {
 				return LiveResult{}, err
 			}
-			via := vias[rng.Intn(len(vias))]
+			g := groupOf(i)
+			via := vias[g][rng.Intn(len(vias[g]))]
 			start := time.Now()
 			if err := n.Join(via.Self().Addr); err != nil {
 				return LiveResult{}, fmt.Errorf("churnsim: ramp join %d via %s: %w", i, via.Self().Addr, err)
@@ -496,8 +588,8 @@ func RunLive(cfg LiveConfig) (LiveResult, error) {
 			res.Joins++
 			alive[i] = n
 			sched.Add(n)
-			if len(vias) < 64 {
-				vias = append(vias, n)
+			if len(vias[g]) < 64 {
+				vias[g] = append(vias[g], n)
 			}
 			joinsSince++
 			if joinsSince*16 >= len(alive) {
@@ -517,7 +609,7 @@ func RunLive(cfg LiveConfig) (LiveResult, error) {
 		for r := 0; r < 120; r++ {
 			settle(500 * time.Millisecond)
 			if r%3 == 2 {
-				rc := ringCorrectness(liveNodes())
+				rc := ringCorrect()
 				if rc >= 1 || (r > 30 && rc <= best) {
 					break
 				}
@@ -555,11 +647,10 @@ func RunLive(cfg LiveConfig) (LiveResult, error) {
 			if err != nil {
 				return LiveResult{}, err
 			}
-			idxs := make([]int, 0, len(alive))
-			for i := range alive {
-				idxs = append(idxs, i)
-			}
-			sort.Ints(idxs)
+			// Joins must go through a member of the joiner's own group:
+			// flows are isolated, so a cross-group bootstrap address is
+			// simply unreachable.
+			idxs := liveIdxsOf(groupOf(nextIdx))
 			via := alive[idxs[rng.Intn(len(idxs))]]
 			start := time.Now()
 			if err := n.Join(via.Self().Addr); err != nil {
@@ -581,12 +672,10 @@ func RunLive(cfg LiveConfig) (LiveResult, error) {
 			nextIdx++
 			res.Joins++
 		case r < 0.80:
-			idxs := make([]int, 0, len(alive))
-			for i := range alive {
-				idxs = append(idxs, i)
+			victim, ok := pickVictim(rng, alive, groupOf, cfg.Groups)
+			if !ok {
+				break
 			}
-			sort.Ints(idxs)
-			victim := idxs[rng.Intn(len(idxs))]
 			n := alive[victim]
 			sched.Remove(n)
 			start := time.Now()
@@ -595,12 +684,10 @@ func RunLive(cfg LiveConfig) (LiveResult, error) {
 			dropMember(victim)
 			res.Leaves++
 		default:
-			idxs := make([]int, 0, len(alive))
-			for i := range alive {
-				idxs = append(idxs, i)
+			victim, ok := pickVictim(rng, alive, groupOf, cfg.Groups)
+			if !ok {
+				break
 			}
-			sort.Ints(idxs)
-			victim := idxs[rng.Intn(len(idxs))]
 			n := alive[victim]
 			sched.Remove(n)
 			n.Stop()
@@ -623,7 +710,7 @@ func RunLive(cfg LiveConfig) (LiveResult, error) {
 		return LiveResult{}, err
 	}
 	res.ChurnSeconds = time.Since(churnStart).Seconds()
-	res.RingCorrect = ringCorrectness(liveNodes())
+	res.RingCorrect = ringCorrect()
 	ast := sched.ArenaStats()
 	res.ArenaSlots = ast.Slots
 	res.ArenaLive = ast.Live

@@ -19,6 +19,13 @@ const (
 	MetricBytesReceived  = "transport.bytes_received"  // counter: frame bytes read from sockets
 	MetricPayloadEncodes = "transport.payload_encodes" // counter: payload materializations (blob builds + per-frame fallback encodes)
 
+	// Multi-group transport sharing: per-group flow accounting on the
+	// shared frame writer. One counter per non-default group, named
+	// ForGroup(base, label) where label is the group's registered name (or
+	// its decimal flow label when unnamed).
+	MetricGroupBytesSent    = "transport.group.bytes_sent"    // counter: frame bytes written for one group
+	MetricGroupBacklogDrops = "transport.group.backlog_drops" // counter: requests refused by the group's backlog quota
+
 	// Runtime protocol layer (internal/runtime).
 	MetricForwardAcked    = "runtime.forward.acked"            // counter: child sends acknowledged
 	MetricForwardRetries  = "runtime.forward.retries"          // counter: child sends retried
@@ -37,3 +44,7 @@ const (
 	MetricSchedMembers = "runtime.sched.members" // gauge: members currently owned by the scheduler
 	MetricSchedRounds  = "runtime.sched.rounds"  // counter: maintenance callbacks executed (stabilize + fix + sweeps)
 )
+
+// ForGroup derives the registry name of a per-group metric: the base
+// catalog name with the group label appended.
+func ForGroup(metric, group string) string { return metric + "." + group }

@@ -3,7 +3,9 @@ package runtime
 import (
 	"context"
 	"math"
+	goruntime "runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"camcast/internal/metrics"
@@ -80,12 +82,22 @@ func (n *Node) planSegments(k ring.ID) []childPlan {
 }
 
 // fanOut runs one task per item concurrently, bounded by ForwardParallel
-// in-flight at once, and waits for all of them. With ForwardParallel == 1
+// in flight at once (ForwardParallel-1 pool lanes plus the caller's own
+// goroutine), and waits for all of them. With ForwardParallel == 1
 // (Config.ForwardParallel < 0) the tasks run inline in plan order on the
-// caller's goroutine: a semaphore of one would serialize them too, but in
+// caller's goroutine: a pool of one would serialize them too, but in
 // scheduler order rather than plan order, and the deterministic replay
 // engine (internal/replay) depends on a serialized node behaving
 // identically from run to run.
+//
+// The parallel path hands tasks to a process-wide pool of warm workers
+// rather than spawning a goroutine per child: a child send's call chain
+// (forward -> flow -> mux -> frame writer -> socket) outgrows a fresh
+// goroutine's initial stack, and the per-spawn stack copies were the
+// dominant cost of high-fan-out dissemination over TCP. Handoff is
+// non-blocking — with no lane free the caller runs the task itself — so a
+// nested fan-out (a member of the same process forwarding onward) degrades
+// to inline execution instead of deadlocking the shared pool.
 func (n *Node) fanOut(count int, task func(i int)) {
 	if count == 1 {
 		task(0)
@@ -97,18 +109,90 @@ func (n *Node) fanOut(count int, task func(i int)) {
 		}
 		return
 	}
-	sem := make(chan struct{}, n.cfg.ForwardParallel)
 	var wg sync.WaitGroup
-	for i := 0; i < count; i++ {
-		wg.Add(1)
-		go func(i int) {
+	pooled := 0
+	for i := 1; i < count; i++ {
+		f := func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
 			task(i)
-		}(i)
+		}
+		wg.Add(1)
+		if pooled < n.cfg.ForwardParallel-1 && fwdPool.submit(f) {
+			pooled++
+		} else {
+			f()
+		}
 	}
+	task(0)
 	wg.Wait()
+}
+
+// fwdPool is the process-wide forward-worker pool. It is shared by every
+// node in the process — per-node pools would put the goroutine count back
+// on an O(members) slope, which is exactly what the sharded live runtime
+// exists to avoid — and its workers exit after an idle grace period, so a
+// quiescent process keeps no forward goroutines at all. The pool has no
+// queue: submit either wakes a parked worker, starts one (under the cap),
+// or reports failure and the caller runs the task itself.
+var fwdPool = &taskPool{tasks: make(chan func())}
+
+const fwdIdleExit = time.Second
+
+type taskPool struct {
+	tasks   chan func()  // unbuffered: a send finds a parked worker or fails
+	workers atomic.Int32 // live workers, bounded by capacity()
+}
+
+func (p *taskPool) capacity() int32 {
+	if c := int32(4 * goruntime.GOMAXPROCS(0)); c > 16 {
+		return c
+	}
+	return 16
+}
+
+// submit hands f to a warm worker, or starts a fresh one under the cap.
+// It never blocks; false means the pool is saturated and the caller should
+// run f itself.
+func (p *taskPool) submit(f func()) bool {
+	select {
+	case p.tasks <- f:
+		return true
+	default:
+	}
+	for {
+		w := p.workers.Load()
+		if w >= p.capacity() {
+			return false
+		}
+		if p.workers.CompareAndSwap(w, w+1) {
+			go p.worker(f)
+			return true
+		}
+	}
+}
+
+// worker runs its seed task, then parks on the task channel until the idle
+// grace expires. The first deep call chain grows this goroutine's stack
+// once; every task it picks up afterwards reuses the grown stack.
+func (p *taskPool) worker(f func()) {
+	idle := time.NewTimer(fwdIdleExit)
+	defer idle.Stop()
+	for {
+		f()
+		if !idle.Stop() {
+			select {
+			case <-idle.C:
+			default:
+			}
+		}
+		idle.Reset(fwdIdleExit)
+		select {
+		case f = <-p.tasks:
+		case <-idle.C:
+			p.workers.Add(-1)
+			return
+		}
+	}
 }
 
 // confirmSuccessor is FindSuccessor through the node's per-generation memo,
@@ -264,7 +348,9 @@ func (n *Node) forwardSegment(ctx context.Context, msgID string, source NodeInfo
 		_, err := n.sendTimed(ctx, child.Addr, kindMulticast, req)
 		if err == nil {
 			n.noteAcked()
-			n.emitf(trace.KindForward, "%s -> segment end %d", msgID, cp.segEnd)
+			if n.observed() {
+				n.emitf(trace.KindForward, "%s -> segment end %d", msgID, cp.segEnd)
+			}
 			return
 		}
 		if ctx.Err() != nil {
@@ -430,7 +516,9 @@ func (n *Node) floodOne(ctx context.Context, msgID string, source NodeInfo, payl
 		_, err := n.sendTimed(ctx, nb.Addr, kindFlood, req)
 		if err == nil {
 			n.noteAcked()
-			n.emitf(trace.KindForward, "%s -> %s", msgID, nb.Addr)
+			if n.observed() {
+				n.emitf(trace.KindForward, "%s -> %s", msgID, nb.Addr)
+			}
 			return false, true
 		}
 		if ctx.Err() != nil {

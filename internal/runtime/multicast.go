@@ -73,7 +73,9 @@ func (n *Node) MulticastContext(ctx context.Context, payload []byte) (string, er
 func (n *Node) deliver(d Delivery) {
 	n.delivered.Add(1)
 	n.obs.delivered.Inc()
-	n.emitf(trace.KindDeliver, "%s hops=%d", d.MsgID, d.Hops)
+	if n.observed() {
+		n.emitf(trace.KindDeliver, "%s hops=%d", d.MsgID, d.Hops)
+	}
 	if n.cfg.OnDeliver != nil {
 		n.cfg.OnDeliver(d)
 	}
@@ -83,7 +85,9 @@ func (n *Node) deliver(d Delivery) {
 func (n *Node) noteDuplicate(msgID string) {
 	n.duplicates.Add(1)
 	n.obs.duplicates.Inc()
-	n.emitf(trace.KindDuplicate, "%s", msgID)
+	if n.observed() {
+		n.emitf(trace.KindDuplicate, "%s", msgID)
+	}
 }
 
 func (n *Node) handleMulticast(req multicastReq) (any, error) {

@@ -80,8 +80,13 @@ type Transport interface {
 	Registered(addr string) bool
 }
 
-// The in-memory network must satisfy the node's transport contract.
-var _ Transport = (*transport.Network)(nil)
+// The in-memory network must satisfy the node's transport contract, and so
+// must the per-group Flow views of both transports — a node hosted in a
+// multi-group process runs on a Flow without knowing it.
+var (
+	_ Transport = (*transport.Network)(nil)
+	_ Transport = (*transport.Flow)(nil)
+)
 
 // Delivery is one multicast message handed to the application.
 //
@@ -124,7 +129,9 @@ type Config struct {
 	// fan-out. Zero means the default (2s); negative disables deadlines.
 	ForwardTimeout time.Duration
 	// ForwardParallel bounds concurrent in-flight child sends per
-	// fan-out. Zero means the default (8); negative serializes sends.
+	// fan-out: up to ForwardParallel-1 sends run on the process-wide
+	// warm worker pool, the rest (and always the first) on the caller's
+	// goroutine. Zero means the default (8); negative serializes sends.
 	ForwardParallel int
 	// RetryBackoff is the delay before the first retry; each further
 	// retry doubles it, with ±50% deterministic jitter. Zero means the

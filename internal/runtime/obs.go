@@ -65,8 +65,20 @@ func (n *Node) emit(kind trace.Kind, detail string) {
 // a tracer is attached or a bus subscriber is watching, so unobserved
 // protocol paths skip the fmt call entirely.
 func (n *Node) emitf(kind trace.Kind, format string, args ...any) {
-	if n.cfg.Tracer == nil && !n.obs.bus.Active() {
+	if !n.observed() {
 		return
 	}
 	n.emit(kind, fmt.Sprintf(format, args...))
+}
+
+// observed reports whether anything is listening to this node's protocol
+// events. emitf checks it internally, but that alone does not keep a hot
+// path allocation-free: emitf's variadic args box into a []any at the call
+// site before the guard runs. Hot paths (deliver, duplicate suppression,
+// the forward/flood ack turns) therefore wrap their emitf calls in an
+// `if n.observed()` of their own — the check is small enough to inline, and
+// the boxing moves behind it, which is what the 0 allocs/op dissemination
+// gates measure.
+func (n *Node) observed() bool {
+	return n.cfg.Tracer != nil || n.obs.bus.Active()
 }

@@ -114,10 +114,10 @@ func TestFrameWriterMaxFrame(t *testing.T) {
 	p := blobTestPayload{Key: "k", Data: blob.Bytes(), blob: blob}
 
 	conn := &captureConn{}
-	w := newFrameWriter(conn, func() time.Duration { return 0 }, &instruments{})
+	w := newFrameWriter(conn, func() time.Duration { return 0 }, 0, &instruments{})
 	defer w.close()
 
-	err := w.writeRequest(1, "from", "to", "kind", p, CodecBinary, true)
+	err := w.writeRequest(1, 0, "from", "to", "kind", p, CodecBinary, true)
 	var encErr *encodeError
 	if !errors.As(err, &encErr) {
 		t.Fatalf("oversized frame: err = %v, want encodeError", err)
@@ -128,7 +128,7 @@ func TestFrameWriterMaxFrame(t *testing.T) {
 	}
 
 	// The writer is still clean: a small frame goes through.
-	if err := w.writeRequest(2, "from", "to", "kind", blobTestPayload{Key: "ok"}, CodecBinary, true); err != nil {
+	if err := w.writeRequest(2, 0, "from", "to", "kind", blobTestPayload{Key: "ok"}, CodecBinary, true); err != nil {
 		t.Fatalf("write after rejected frame: %v", err)
 	}
 	if conn.Len() == 0 {

@@ -28,19 +28,57 @@ import (
 // one scatter-gather writev (net.Buffers), releasing each blob once its
 // bytes are on the socket. A capacity-c fan-out therefore carries one
 // payload encoding shared by c frames instead of c private copies.
+//
+// The writer is also where groups sharing one connection meet, so tenant
+// fairness is enforced here. The socket write happens outside mu (the
+// buffer is swapped out as a batch first), so while one batch drains,
+// writers keep encoding into a fresh buffer instead of queueing on the
+// lock. Each buffered frame carries its group label in a frame meta; a
+// batch spanning multiple groups is assembled onto the socket by weighted
+// round-robin over per-group frame queues (groupQuantum bytes per group per
+// round) rather than arrival order, so a group blasting bulk frames cannot
+// push another group's frames arbitrarily far back within the batch. On top
+// of that, an optional per-group backlog quota (TCP.GroupBacklogLimit)
+// refuses new *requests* from a group whose buffered bytes exceed the
+// limit — ErrGroupBacklog, a local non-poisoning rejection — so a hot
+// group sheds its own load instead of growing the shared buffer everyone
+// flushes through. Responses are exempt: dropping a response would turn a
+// served request into a caller-side timeout.
 type frameWriter struct {
 	conn net.Conn
 
-	mu     sync.Mutex
-	buf    []byte      // frame bytes buffered since the last flush
-	exts   []extSeg    // blob-backed segments interleaved into buf, by offset
-	extLen int         // total bytes across exts
-	vecs   net.Buffers // scatter-gather scratch, reused across flushes
-	err    error       // sticky; the conn is broken once set
-	armed  bool        // flusher has been kicked and will flush
-	closed bool        // done has been closed
-	frames int         // frames buffered since the last flush
-	hot    bool        // the flusher is batching: skip inline flushes
+	mu       sync.Mutex
+	buf      []byte      // frame bytes buffered since the last batch was taken
+	exts     []extSeg    // blob-backed segments interleaved into buf, by offset
+	metas    []frameMeta // one per buffered frame, in seal order
+	extLen   int         // total bytes across exts
+	mixed    bool        // metas span more than one group
+	err      error       // sticky; the conn is broken once set
+	armed    bool        // flusher has been kicked and will flush
+	closed   bool        // done has been closed
+	frames   int         // frames buffered since the last batch was taken
+	hot      bool        // the flusher is batching: skip inline flushes
+	flushing bool        // a taken batch is being written outside mu
+
+	// limit/pending implement the per-group backlog quota: pending tracks
+	// buffered-plus-in-flight bytes per group (allocated lazily, only when
+	// the limit is set).
+	limit   int
+	pending map[uint64]int
+
+	// spare* recycle the previous batch's storage so the steady state is
+	// two buffers ping-ponging, not an allocation per batch.
+	spareBuf   []byte
+	spareExts  []extSeg
+	spareMetas []frameMeta
+
+	// Write-side scratch, touched only by the goroutine that owns the
+	// in-flight batch (flushing guarantees there is at most one).
+	vecs     net.Buffers
+	wrrOrder []uint64
+	wrrPos   []int
+	wrrIdx   map[uint64][]int
+	giCache  map[uint64]*groupInstruments
 
 	kick chan struct{}
 	done chan struct{}
@@ -49,7 +87,8 @@ type frameWriter struct {
 	// pin writers (or the flusher) forever.
 	timeout func() time.Duration
 	// obs carries the transport's instruments (flush batch sizes, bytes
-	// sent, payload encodes); every handle is nil-safe.
+	// sent, payload encodes, per-group flow counters); every handle is
+	// nil-safe.
 	obs *instruments
 }
 
@@ -63,6 +102,27 @@ type extSeg struct {
 	own *Blob
 }
 
+// frameMeta locates one sealed frame within the batch buffers and tags it
+// with its group, which is what lets a mixed batch be reordered per group
+// at flush time and lets the quota release the right group's bytes.
+type frameMeta struct {
+	gid              uint64
+	bufStart, bufEnd int // this frame's range in buf (length prefix included)
+	extStart, extEnd int // this frame's range in exts
+	size             int // total wire bytes (prefix + head + ext payloads)
+}
+
+// batch is the buffered state taken from the writer in one swap, owned by
+// the flushing goroutine until finishBatch returns it for recycling.
+type batch struct {
+	buf    []byte
+	exts   []extSeg
+	metas  []frameMeta
+	extLen int
+	frames int
+	mixed  bool
+}
+
 const (
 	// writeThreshold is the buffered-bytes level (heads + blob payloads)
 	// that forces an inline flush, bounding how much one connection buffers
@@ -73,11 +133,16 @@ const (
 	// oversized non-blob payloads (gob fallback) does not pin its peak
 	// footprint forever.
 	maxRetainedBuf = 128 * 1024
+	// groupQuantum is the weighted-round-robin share: bytes of one group's
+	// frames placed per scheduling round of a mixed batch (always at least
+	// one frame, so an oversized frame still makes progress).
+	groupQuantum = 16 * 1024
 )
 
-func newFrameWriter(conn net.Conn, timeout func() time.Duration, obs *instruments) *frameWriter {
+func newFrameWriter(conn net.Conn, timeout func() time.Duration, limit int, obs *instruments) *frameWriter {
 	w := &frameWriter{
 		conn:    conn,
+		limit:   limit,
 		kick:    make(chan struct{}, 1),
 		done:    make(chan struct{}),
 		timeout: timeout,
@@ -100,14 +165,23 @@ func newFrameWriter(conn net.Conn, timeout func() time.Duration, obs *instrument
 // burst (the first caller of a new burst sees an empty pending set), and
 // deferring to the flusher folds that stray frame into the burst's single
 // write syscall. Both return the sticky connection error, if any.
-func (w *frameWriter) writeRequest(callID uint64, from, to, kind string, payload any, codec Codec, inlineFlush bool) error {
+func (w *frameWriter) writeRequest(callID, gid uint64, from, to, kind string, payload any, codec Codec, inlineFlush bool) error {
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	if w.err != nil {
-		return w.err
+		err := w.err
+		w.mu.Unlock()
+		return err
+	}
+	if w.limit > 0 && w.pending[gid] >= w.limit {
+		over := w.pending[gid]
+		w.mu.Unlock()
+		if gi := w.obs.groups.get(gid); gi != nil {
+			gi.drops.Inc()
+		}
+		return &encodeError{fmt.Errorf("%w: group %d has %d bytes buffered (limit %d)", ErrGroupBacklog, gid, over, w.limit)}
 	}
 	lenPos, extMark, extLenMark := w.markLocked()
-	w.buf = appendFrameHeader(w.buf, frameRequest, callID)
+	w.buf = appendFrameHeader(w.buf, frameRequest, callID, gid)
 	w.buf = AppendString(w.buf, from)
 	w.buf = AppendString(w.buf, to)
 	w.buf = AppendString(w.buf, kind)
@@ -115,28 +189,31 @@ func (w *frameWriter) writeRequest(callID uint64, from, to, kind string, payload
 		// Encoding failed; roll the partial frame back — the conn is still
 		// clean, no bytes were exposed to the socket.
 		w.rollbackLocked(lenPos, extMark, extLenMark)
+		w.mu.Unlock()
 		return &encodeError{err}
 	}
-	return w.sealFrameLocked(lenPos, extMark, extLenMark, inlineFlush)
+	return w.sealFrame(gid, lenPos, extMark, extLenMark, inlineFlush)
 }
 
-func (w *frameWriter) writeResponse(callID uint64, errMsg string, payload any, codec Codec, inlineFlush bool) error {
+func (w *frameWriter) writeResponse(callID, gid uint64, errMsg string, payload any, codec Codec, inlineFlush bool) error {
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	if w.err != nil {
-		return w.err
+		err := w.err
+		w.mu.Unlock()
+		return err
 	}
 	lenPos, extMark, extLenMark := w.markLocked()
-	w.buf = appendFrameHeader(w.buf, frameResponse, callID)
+	w.buf = appendFrameHeader(w.buf, frameResponse, callID, gid)
 	w.buf = AppendString(w.buf, errMsg)
 	if errMsg != "" {
 		// Error responses never carry a payload.
 		w.buf = append(w.buf, wireTagNil)
 	} else if err := w.appendPayloadLocked(payload, codec); err != nil {
 		w.rollbackLocked(lenPos, extMark, extLenMark)
+		w.mu.Unlock()
 		return &encodeError{err}
 	}
-	return w.sealFrameLocked(lenPos, extMark, extLenMark, inlineFlush)
+	return w.sealFrame(gid, lenPos, extMark, extLenMark, inlineFlush)
 }
 
 // markLocked records the rollback point for one frame and reserves its
@@ -193,22 +270,41 @@ func (w *frameWriter) rollbackLocked(lenPos, extMark, extLenMark int) {
 	w.extLen = extLenMark
 }
 
-// sealFrameLocked patches the frame's length prefix and applies the flush
-// policy. Callers hold mu.
-func (w *frameWriter) sealFrameLocked(lenPos, extMark, extLenMark int, inlineFlush bool) error {
+// sealFrame patches the frame's length prefix, records its meta, applies
+// the flush policy, and releases mu (callers enter holding it). If the
+// policy says flush and no batch is in flight, the caller's goroutine takes
+// the batch and performs the socket write itself — outside mu, so
+// concurrent writers encode into the fresh buffer meanwhile.
+func (w *frameWriter) sealFrame(gid uint64, lenPos, extMark, extLenMark int, inlineFlush bool) error {
 	body := (len(w.buf) - lenPos - 4) + (w.extLen - extLenMark)
 	if body > maxFrameSize {
 		w.rollbackLocked(lenPos, extMark, extLenMark)
+		w.mu.Unlock()
 		return &encodeError{fmt.Errorf("transport: frame body %d bytes exceeds the %d-byte limit", body, maxFrameSize)}
 	}
 	putFrameLen(w.buf[lenPos:], body)
+	if w.frames > 0 && gid != w.metas[len(w.metas)-1].gid {
+		w.mixed = true
+	}
+	w.metas = append(w.metas, frameMeta{
+		gid:      gid,
+		bufStart: lenPos,
+		bufEnd:   len(w.buf),
+		extStart: extMark,
+		extEnd:   len(w.exts),
+		size:     body + 4,
+	})
 	w.frames++
-	if (inlineFlush && !w.hot) || len(w.buf)+w.extLen >= writeThreshold {
-		if err := w.flushLocked(); err != nil {
-			w.fail(err)
-			return err
+	if w.limit > 0 {
+		if w.pending == nil {
+			w.pending = make(map[uint64]int)
 		}
-		return nil
+		w.pending[gid] += body + 4
+	}
+	if ((inlineFlush && !w.hot) || len(w.buf)+w.extLen >= writeThreshold) && !w.flushing {
+		b := w.takeBatchLocked()
+		w.mu.Unlock()
+		return w.writeBatch(b)
 	}
 	if !w.armed {
 		w.armed = true
@@ -217,59 +313,212 @@ func (w *frameWriter) sealFrameLocked(lenPos, extMark, extLenMark int, inlineFlu
 		default:
 		}
 	}
+	w.mu.Unlock()
 	return nil
 }
 
-// flushLocked writes everything buffered — head bytes and blob-backed
-// payload segments — with one gathered write, then releases the blobs.
-// Callers hold mu.
-func (w *frameWriter) flushLocked() error {
-	if w.frames > 0 {
-		w.obs.flush.Observe(float64(w.frames))
+// takeBatchLocked swaps the buffered frames out as a batch (installing the
+// recycled spare buffers) and marks the writer flushing. Callers hold mu
+// and must call writeBatch with the result after unlocking.
+func (w *frameWriter) takeBatchLocked() batch {
+	b := batch{buf: w.buf, exts: w.exts, metas: w.metas, extLen: w.extLen, frames: w.frames, mixed: w.mixed}
+	w.buf, w.spareBuf = w.spareBuf, nil
+	w.exts, w.spareExts = w.spareExts, nil
+	w.metas, w.spareMetas = w.spareMetas, nil
+	w.extLen, w.frames, w.mixed = 0, 0, false
+	w.hot = b.frames > 1
+	w.flushing = true
+	if b.frames > 0 {
+		w.obs.flush.Observe(float64(b.frames))
 	}
-	w.hot = w.frames > 1
-	w.frames = 0
-	total := len(w.buf) + w.extLen
-	if total == 0 {
-		return nil
-	}
-	w.setWriteDeadline()
+	return b
+}
+
+// writeBatch puts one taken batch on the socket — one gathered write —
+// releases its blob references, and returns its storage for recycling.
+// Runs outside mu; the flushing flag guarantees a single owner, which is
+// what makes the writer's vecs/WRR scratch safe to reuse here.
+func (w *frameWriter) writeBatch(b batch) error {
 	var err error
-	if len(w.exts) == 0 {
-		_, err = w.conn.Write(w.buf)
-	} else {
-		vecs := w.vecs[:0]
-		prev := 0
-		for i := range w.exts {
-			e := &w.exts[i]
-			if e.at > prev {
-				vecs = append(vecs, w.buf[prev:e.at])
-			}
-			vecs = append(vecs, e.b)
-			prev = e.at
+	total := len(b.buf) + b.extLen
+	if total > 0 {
+		w.setWriteDeadline()
+		w.assembleVecs(&b)
+		if len(w.vecs) == 1 {
+			// Plain write for the all-head single-run batch: same syscall
+			// count, and unlike writev it carries the race detector's I/O
+			// synchronization annotation.
+			_, err = w.conn.Write(w.vecs[0])
+		} else {
+			_, err = w.vecs.WriteTo(w.conn) // writev on TCP conns
 		}
-		if prev < len(w.buf) {
-			vecs = append(vecs, w.buf[prev:])
-		}
-		w.vecs = vecs
-		_, err = vecs.WriteTo(w.conn) // writev on TCP conns
 		for i := range w.vecs {
 			w.vecs[i] = nil
 		}
-		w.releaseExtsLocked()
+		w.vecs = w.vecs[:0]
+		for i := range b.exts {
+			b.exts[i].own.Release()
+			b.exts[i] = extSeg{}
+		}
+		// Bytes handed to the socket (the frames are gone from the buffer
+		// either way — on error the conn is torn down).
+		w.obs.bytesSent.Add(uint64(total))
+		w.accountGroups(&b)
 	}
-	// Bytes handed to the socket (the frames are gone from the buffer
-	// either way — on error the conn is torn down).
-	w.obs.bytesSent.Add(uint64(total))
-	if cap(w.buf) > maxRetainedBuf {
-		w.buf = nil
-	} else {
-		w.buf = w.buf[:0]
-	}
+	w.finishBatch(b, err)
 	return err
 }
 
-// releaseExtsLocked releases every pending blob segment. Callers hold mu.
+// assembleVecs lays the batch's frames out as scatter-gather segments in
+// w.vecs. A single-group batch keeps the cheap linear interleave of buffer
+// runs and blob segments; a mixed batch goes through the weighted
+// round-robin ordering instead.
+func (w *frameWriter) assembleVecs(b *batch) {
+	if b.mixed && b.frames > 1 {
+		w.vecs = w.wrrVecs(w.vecs[:0], b)
+		return
+	}
+	vecs := w.vecs[:0]
+	prev := 0
+	for i := range b.exts {
+		e := &b.exts[i]
+		if e.at > prev {
+			vecs = append(vecs, b.buf[prev:e.at])
+		}
+		vecs = append(vecs, e.b)
+		prev = e.at
+	}
+	if prev < len(b.buf) {
+		vecs = append(vecs, b.buf[prev:])
+	}
+	w.vecs = vecs
+}
+
+// wrrVecs orders a mixed batch's frames by weighted round-robin over the
+// groups present: each round places up to groupQuantum bytes (at least one
+// frame) per group, in first-appearance group order, until every frame is
+// placed. Frames keep FIFO order within their group; reordering across
+// groups inside one batch is safe because responses are matched by call ID,
+// not arrival order. The scratch maps/slices live on the writer and are
+// reset (not freed) per batch.
+func (w *frameWriter) wrrVecs(vecs net.Buffers, b *batch) net.Buffers {
+	if w.wrrIdx == nil {
+		w.wrrIdx = make(map[uint64][]int)
+	}
+	order := w.wrrOrder[:0]
+	for i := range b.metas {
+		gid := b.metas[i].gid
+		q := w.wrrIdx[gid]
+		if len(q) == 0 {
+			order = append(order, gid)
+		}
+		w.wrrIdx[gid] = append(q, i)
+	}
+	pos := w.wrrPos[:0]
+	for range order {
+		pos = append(pos, 0)
+	}
+	remaining := b.frames
+	for remaining > 0 {
+		for oi, gid := range order {
+			q := w.wrrIdx[gid]
+			placed := 0
+			for pos[oi] < len(q) && placed < groupQuantum {
+				m := &b.metas[q[pos[oi]]]
+				vecs = appendFrameVecs(vecs, b, m)
+				placed += m.size
+				pos[oi]++
+				remaining--
+			}
+		}
+	}
+	for _, gid := range order {
+		w.wrrIdx[gid] = w.wrrIdx[gid][:0]
+	}
+	w.wrrOrder = order[:0]
+	w.wrrPos = pos[:0]
+	return vecs
+}
+
+// appendFrameVecs appends one frame's wire segments (buffer runs
+// interleaved with its blob payloads) to vecs.
+func appendFrameVecs(vecs net.Buffers, b *batch, m *frameMeta) net.Buffers {
+	prev := m.bufStart
+	for i := m.extStart; i < m.extEnd; i++ {
+		e := &b.exts[i]
+		if e.at > prev {
+			vecs = append(vecs, b.buf[prev:e.at])
+		}
+		vecs = append(vecs, e.b)
+		prev = e.at
+	}
+	if prev < m.bufEnd {
+		vecs = append(vecs, b.buf[prev:m.bufEnd])
+	}
+	return vecs
+}
+
+// accountGroups adds each non-default group's share of the batch to its
+// bytes_sent counter. The per-writer handle cache keeps the resolver's
+// mutex off the steady-state path; like the WRR scratch it is owned by the
+// single in-flight batch writer.
+func (w *frameWriter) accountGroups(b *batch) {
+	if w.obs.groups == nil {
+		return
+	}
+	for i := range b.metas {
+		m := &b.metas[i]
+		if m.gid == DefaultGroup {
+			continue
+		}
+		gi := w.giCache[m.gid]
+		if gi == nil {
+			gi = w.obs.groups.get(m.gid)
+			if w.giCache == nil {
+				w.giCache = make(map[uint64]*groupInstruments)
+			}
+			w.giCache[m.gid] = gi
+		}
+		gi.bytesSent.Add(uint64(m.size))
+	}
+}
+
+// finishBatch returns a written batch's storage to the writer, settles the
+// quota accounting, and decides what happens next: fail the writer on a
+// socket error, or re-kick the flusher if frames accumulated while the
+// batch was in flight.
+func (w *frameWriter) finishBatch(b batch, err error) {
+	w.mu.Lock()
+	w.flushing = false
+	if w.limit > 0 && w.pending != nil {
+		for i := range b.metas {
+			m := &b.metas[i]
+			if rest := w.pending[m.gid] - m.size; rest > 0 {
+				w.pending[m.gid] = rest
+			} else {
+				delete(w.pending, m.gid)
+			}
+		}
+	}
+	if cap(b.buf) <= maxRetainedBuf {
+		w.spareBuf = b.buf[:0]
+	}
+	w.spareExts = b.exts[:0]
+	w.spareMetas = b.metas[:0]
+	if err != nil {
+		w.fail(err)
+	} else if w.frames > 0 && !w.armed && w.err == nil {
+		w.armed = true
+		select {
+		case w.kick <- struct{}{}:
+		default:
+		}
+	}
+	w.mu.Unlock()
+}
+
+// releaseExtsLocked releases every buffered (untaken) blob segment.
+// Callers hold mu.
 func (w *frameWriter) releaseExtsLocked() {
 	for i := range w.exts {
 		w.exts[i].own.Release()
@@ -293,6 +542,8 @@ func (w *frameWriter) fail(err error) {
 		w.err = err
 	}
 	w.releaseExtsLocked()
+	w.metas = w.metas[:0]
+	w.frames = 0
 	w.conn.Close()
 }
 
@@ -303,6 +554,8 @@ func (w *frameWriter) close() {
 		w.err = ErrClosed
 	}
 	w.releaseExtsLocked()
+	w.metas = w.metas[:0]
+	w.frames = 0
 	if !w.closed {
 		w.closed = true
 		close(w.done)
@@ -312,7 +565,8 @@ func (w *frameWriter) close() {
 
 // flushLoop is the backstop flusher: after a kick it yields a few times so
 // every already-runnable writer can append its frame, then flushes the
-// whole batch in one syscall.
+// whole batch in one syscall. If an inline writer has a batch in flight the
+// kick is a no-op — that writer's finishBatch re-kicks if frames remain.
 func (w *frameWriter) flushLoop() {
 	for {
 		select {
@@ -324,11 +578,12 @@ func (w *frameWriter) flushLoop() {
 		runtime.Gosched()
 		w.mu.Lock()
 		w.armed = false
-		if w.err == nil {
-			if err := w.flushLocked(); err != nil {
-				w.fail(err)
-			}
+		if w.err != nil || w.flushing || w.frames == 0 {
+			w.mu.Unlock()
+			continue
 		}
+		b := w.takeBatchLocked()
 		w.mu.Unlock()
+		w.writeBatch(b)
 	}
 }

@@ -14,6 +14,7 @@ import (
 //	[4B big-endian body length]
 //	[1B frame type: 1=request, 2=response]
 //	[8B big-endian call ID]
+//	[uvarint group flow label]
 //	request:  [str From][str To][str Kind][1B payload tag][payload bytes]
 //	response: [str Err]                   [1B payload tag][payload bytes]
 //
@@ -27,9 +28,16 @@ import (
 // floodReq) to put the payload bytes last, which is what lets the frame
 // writer scatter-gather them from a shared blob; v1 peers would misparse
 // those payloads, so the preamble version rejects them outright.
+//
+// Version 3 added the group flow label after the call ID, in both
+// directions: all groups hosted by two processes share one connection per
+// peer pair, and the label routes each inbound frame to the right group's
+// endpoint table. Label 0 is the default group, so single-group traffic
+// pays one extra header byte. Responses echo the request's label, which is
+// what lets the writer account and schedule them per tenant.
 
 const (
-	wireVersion byte = 2
+	wireVersion byte = 3
 
 	frameRequest  byte = 1
 	frameResponse byte = 2
@@ -38,7 +46,9 @@ const (
 	// malformed or hostile length prefix can cause.
 	maxFrameSize = 1 << 26 // 64 MiB
 
-	frameHeaderSize = 1 + 8 // type byte + call ID
+	// frameHeaderSize is the minimum header length: type byte, call ID,
+	// and at least one group-label byte (the label is a uvarint).
+	frameHeaderSize = 1 + 8 + 1
 )
 
 var preamble = [4]byte{'C', 'A', 'M', wireVersion}
@@ -109,15 +119,16 @@ func putFrameLen(dst []byte, n int) {
 	binary.BigEndian.PutUint32(dst, uint32(n))
 }
 
-// appendFrameHeader appends the frame type and call ID.
-func appendFrameHeader(b []byte, frameType byte, callID uint64) []byte {
+// appendFrameHeader appends the frame type, call ID, and group flow label.
+func appendFrameHeader(b []byte, frameType byte, callID, gid uint64) []byte {
 	b = append(b, frameType)
-	return binary.BigEndian.AppendUint64(b, callID)
+	b = binary.BigEndian.AppendUint64(b, callID)
+	return binary.AppendUvarint(b, gid)
 }
 
 // appendRequestBody appends a full request frame body.
-func appendRequestBody(b []byte, callID uint64, from, to, kind string, payload any, codec Codec) ([]byte, error) {
-	b = appendFrameHeader(b, frameRequest, callID)
+func appendRequestBody(b []byte, callID, gid uint64, from, to, kind string, payload any, codec Codec) ([]byte, error) {
+	b = appendFrameHeader(b, frameRequest, callID, gid)
 	b = AppendString(b, from)
 	b = AppendString(b, to)
 	b = AppendString(b, kind)
@@ -125,8 +136,8 @@ func appendRequestBody(b []byte, callID uint64, from, to, kind string, payload a
 }
 
 // appendResponseBody appends a full response frame body.
-func appendResponseBody(b []byte, callID uint64, errMsg string, payload any, codec Codec) ([]byte, error) {
-	b = appendFrameHeader(b, frameResponse, callID)
+func appendResponseBody(b []byte, callID, gid uint64, errMsg string, payload any, codec Codec) ([]byte, error) {
+	b = appendFrameHeader(b, frameResponse, callID, gid)
 	b = AppendString(b, errMsg)
 	if errMsg != "" {
 		// Error responses never carry a payload.
@@ -136,8 +147,14 @@ func appendResponseBody(b []byte, callID uint64, errMsg string, payload any, cod
 }
 
 // frameHeader splits a frame body into its header fields and the rest.
-func frameHeader(body []byte) (frameType byte, callID uint64, rest []byte) {
-	return body[0], binary.BigEndian.Uint64(body[1:9]), body[9:]
+// readFrame guarantees len(body) >= frameHeaderSize, but the group label is
+// variable-width, so a truncated or malformed label is still possible.
+func frameHeader(body []byte) (frameType byte, callID, gid uint64, rest []byte, err error) {
+	gid, n := binary.Uvarint(body[9:])
+	if n <= 0 {
+		return 0, 0, 0, nil, fmt.Errorf("transport: bad group label in frame header")
+	}
+	return body[0], binary.BigEndian.Uint64(body[1:9]), gid, body[9+n:], nil
 }
 
 // parsedRequest is a decoded request frame whose body lives in the pooled
@@ -150,6 +167,7 @@ func frameHeader(body []byte) (frameType byte, callID uint64, rest []byte) {
 // to is a transient view only used for the endpoint lookup.
 type parsedRequest struct {
 	callID  uint64
+	gid     uint64
 	from    string
 	to      string
 	kind    string
@@ -161,10 +179,11 @@ type parsedRequest struct {
 // the frame header). Ownership of the caller's blob reference transfers:
 // on success the returned request holds it, on error parseRequest releases
 // it.
-func parseRequest(callID uint64, rest []byte, blob *Blob) (parsedRequest, error) {
+func parseRequest(callID, gid uint64, rest []byte, blob *Blob) (parsedRequest, error) {
 	r := NewWireReader(rest)
 	req := parsedRequest{
 		callID: callID,
+		gid:    gid,
 		from:   r.String(),
 		to:     r.stringView(),
 		kind:   r.String(),

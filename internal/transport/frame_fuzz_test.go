@@ -20,15 +20,15 @@ func FuzzParseFrame(f *testing.F) {
 	registerBlobTestPayload()
 	// Seed with well-formed request and response frame bodies, covering the
 	// gob fallback, the plain binary codec, and the blob-backed payload.
-	req, err := appendRequestBody(nil, 7, "from", "to", "kind", benchPayload{Key: "k", Value: []byte{1, 2}, Seq: 3}, CodecBinary)
+	req, err := appendRequestBody(nil, 7, 0, "from", "to", "kind", benchPayload{Key: "k", Value: []byte{1, 2}, Seq: 3}, CodecBinary)
 	if err != nil {
 		f.Fatal(err)
 	}
-	breq, err := appendRequestBody(nil, 9, "from", "to", "kind", blobTestPayload{Key: "k", Data: []byte{4, 5, 6}}, CodecBinary)
+	breq, err := appendRequestBody(nil, 9, 5, "from", "to", "kind", blobTestPayload{Key: "k", Data: []byte{4, 5, 6}}, CodecBinary)
 	if err != nil {
 		f.Fatal(err)
 	}
-	resp, err := appendResponseBody(nil, 7, "", benchPayload{Key: "k"}, CodecGob)
+	resp, err := appendResponseBody(nil, 7, 0, "", benchPayload{Key: "k"}, CodecGob)
 	if err != nil {
 		f.Fatal(err)
 	}
@@ -41,10 +41,14 @@ func FuzzParseFrame(f *testing.F) {
 		}
 		blob := BlobFrom(body)
 		bb := blob.Bytes()
-		frameType, callID, rest := frameHeader(bb)
+		frameType, callID, gid, rest, err := frameHeader(bb)
+		if err != nil {
+			blob.Release()
+			return
+		}
 		switch frameType {
 		case frameRequest:
-			pr, err := parseRequest(callID, rest, blob)
+			pr, err := parseRequest(callID, gid, rest, blob)
 			if err != nil {
 				return // parseRequest released the blob
 			}
@@ -137,8 +141,8 @@ func FuzzScatterGatherFrame(f *testing.F) {
 		}
 
 		conn := &captureConn{}
-		w := newFrameWriter(conn, func() time.Duration { return 0 }, &instruments{})
-		werr := w.writeRequest(42, "from", "to", "kind", p, CodecBinary, true)
+		w := newFrameWriter(conn, func() time.Duration { return 0 }, 0, &instruments{})
+		werr := w.writeRequest(42, 3, "from", "to", "kind", p, CodecBinary, true)
 		w.close()
 		if p.blob != nil {
 			p.blob.Release()
@@ -148,7 +152,7 @@ func FuzzScatterGatherFrame(f *testing.F) {
 		}
 
 		// The gathered encoding must be byte-identical to the linear one.
-		linear, err := appendRequestBody(nil, 42, "from", "to", "kind", p, CodecBinary)
+		linear, err := appendRequestBody(nil, 42, 3, "from", "to", "kind", p, CodecBinary)
 		if err != nil {
 			t.Fatalf("appendRequestBody: %v", err)
 		}
@@ -165,11 +169,14 @@ func FuzzScatterGatherFrame(f *testing.F) {
 		if err != nil {
 			t.Fatalf("readFrameBlob: %v", err)
 		}
-		frameType, callID, rest := frameHeader(blob.Bytes())
-		if frameType != frameRequest || callID != 42 {
-			t.Fatalf("frame header = (%d, %d), want (request, 42)", frameType, callID)
+		frameType, callID, gid, rest, err := frameHeader(blob.Bytes())
+		if err != nil {
+			t.Fatalf("frameHeader: %v", err)
 		}
-		pr, err := parseRequest(callID, rest, blob)
+		if frameType != frameRequest || callID != 42 || gid != 3 {
+			t.Fatalf("frame header = (%d, %d, %d), want (request, 42, 3)", frameType, callID, gid)
+		}
+		pr, err := parseRequest(callID, gid, rest, blob)
 		if err != nil {
 			t.Fatalf("parseRequest: %v", err)
 		}

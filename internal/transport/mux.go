@@ -73,7 +73,7 @@ func newMuxConn(t *TCP, to string, nc net.Conn) *muxConn {
 		t:       t,
 		to:      to,
 		conn:    nc,
-		w:       newFrameWriter(nc, t.rpcTimeout, &t.obs),
+		w:       newFrameWriter(nc, t.rpcTimeout, t.GroupBacklogLimit, &t.obs),
 		pending: make(map[uint64]pendingCall),
 	}
 	c.sweepID = t.sweep.register(c)
@@ -82,7 +82,7 @@ func newMuxConn(t *TCP, to string, nc net.Conn) *muxConn {
 
 // roundTrip issues one pipelined request and waits for its response, the
 // context, or the deadline — whichever happens first.
-func (c *muxConn) roundTrip(ctx context.Context, deadline time.Time, from, to, kind string, payload any) (any, error) {
+func (c *muxConn) roundTrip(ctx context.Context, deadline time.Time, gid uint64, from, to, kind string, payload any) (any, error) {
 	id := c.nextID.Add(1)
 	ch := resultChanPool.Get().(chan callResult)
 
@@ -106,7 +106,7 @@ func (c *muxConn) roundTrip(ctx context.Context, deadline time.Time, from, to, k
 		c.t.sweep.arm(c.sweepID, deadline)
 	}
 
-	err := c.w.writeRequest(id, from, to, kind, payload, c.t.codec(), solo)
+	err := c.w.writeRequest(id, gid, from, to, kind, payload, c.t.codec(), solo)
 	if err != nil {
 		c.forget(id)
 		var encErr *encodeError
@@ -184,10 +184,10 @@ func (c *muxConn) readLoop() {
 		}
 		buf = next
 		c.t.obs.bytesRecv.Add(uint64(len(body)) + 4)
-		frameType, callID, rest := frameHeader(body)
-		if frameType != frameResponse {
+		frameType, callID, _, rest, err := frameHeader(body)
+		if err != nil || frameType != frameResponse {
 			c.t.dropConn(c.to, c)
-			c.fail(fmt.Errorf("transport: unexpected frame type %d from %s", frameType, c.to))
+			c.fail(fmt.Errorf("transport: bad frame from %s (type %d, %v)", c.to, frameType, err))
 			return
 		}
 		payload, errMsg, err := parseResponse(rest)

@@ -45,7 +45,7 @@ func (t *TCP) serveConn(conn net.Conn) {
 	// which is what lets the last finishing worker flush all the responses
 	// in one syscall. A full queue (maxWorkers executing + maxWorkers
 	// queued) blocks the decode loop, which is the per-connection bound.
-	s := &serverConn{t: t, w: newFrameWriter(conn, t.rpcTimeout, &t.obs), reqs: make(chan parsedRequest, maxWorkers)}
+	s := &serverConn{t: t, w: newFrameWriter(conn, t.rpcTimeout, t.GroupBacklogLimit, &t.obs), reqs: make(chan parsedRequest, maxWorkers)}
 	defer s.w.close()
 
 	spawned := 0
@@ -60,16 +60,16 @@ func (t *TCP) serveConn(conn net.Conn) {
 		}
 		body := blob.Bytes()
 		t.obs.bytesRecv.Add(uint64(len(body)) + 4)
-		frameType, callID, rest := frameHeader(body)
-		if frameType != frameRequest {
+		frameType, callID, gid, rest, err := frameHeader(body)
+		if err != nil || frameType != frameRequest {
 			blob.Release()
 			return
 		}
-		req, err := parseRequest(callID, rest, blob)
+		req, err := parseRequest(callID, gid, rest, blob)
 		if err != nil {
 			// The frame boundary is intact, so only this call is
 			// poisoned: answer it with an error and keep serving.
-			s.respond(callID, fmt.Sprintf("transport: bad request: %v", err), nil, true)
+			s.respond(callID, gid, fmt.Sprintf("transport: bad request: %v", err), nil, true)
 			continue
 		}
 		n := s.inflight.Add(1)
@@ -93,7 +93,7 @@ func (s *serverConn) worker(wg *sync.WaitGroup) {
 		// The last in-flight worker flushes the whole batch inline;
 		// anyone still behind it leaves the frame to the flusher.
 		inline := s.inflight.Add(-1) == 0
-		s.respond(req.callID, errMsg, payload, inline)
+		s.respond(req.callID, req.gid, errMsg, payload, inline)
 		// The response is written (its writer holds its own blob references
 		// if it shares the payload), so the request's payload lifetime ends:
 		// first the decoded value's reference, then the frame body itself.
@@ -115,9 +115,12 @@ func (s *serverConn) handle(req parsedRequest) (errMsg string, payload, decoded 
 		return fmt.Sprintf("transport: bad payload: %v", err), nil, nil
 	}
 	s.t.mu.Lock()
-	h := s.t.local[req.to]
+	h := s.t.local[req.gid][req.to]
 	s.t.mu.Unlock()
 	if h == nil {
+		if req.gid != DefaultGroup {
+			return fmt.Sprintf("transport: no endpoint %q in group %d here", req.to, req.gid), nil, decoded
+		}
 		return fmt.Sprintf("transport: no endpoint %q here", req.to), nil, decoded
 	}
 	resp, herr := h(req.from, req.kind, decoded)
@@ -127,14 +130,15 @@ func (s *serverConn) handle(req parsedRequest) (errMsg string, payload, decoded 
 	return "", resp, decoded
 }
 
-// respond writes one response frame. An unencodable response payload is
-// downgraded to an error response so the caller fails fast instead of
-// timing out.
-func (s *serverConn) respond(callID uint64, errMsg string, payload any, inline bool) {
-	err := s.w.writeResponse(callID, errMsg, payload, s.t.codec(), inline)
+// respond writes one response frame, echoing the request's group label so
+// the writer's per-group accounting sees both directions. An unencodable
+// response payload is downgraded to an error response so the caller fails
+// fast instead of timing out.
+func (s *serverConn) respond(callID, gid uint64, errMsg string, payload any, inline bool) {
+	err := s.w.writeResponse(callID, gid, errMsg, payload, s.t.codec(), inline)
 	var encErr *encodeError
 	if errors.As(err, &encErr) {
-		_ = s.w.writeResponse(callID, fmt.Sprintf("transport: encode response: %v", encErr.Unwrap()), nil, CodecBinary, inline)
+		_ = s.w.writeResponse(callID, gid, fmt.Sprintf("transport: encode response: %v", encErr.Unwrap()), nil, CodecBinary, inline)
 	}
 	// Any other error is a dead socket; the decode loop exits on its own.
 }

@@ -35,7 +35,7 @@ type TCP struct {
 	listener   net.Listener
 
 	mu       sync.Mutex
-	local    map[string]Handler
+	local    map[uint64]map[string]Handler // group flow label -> addr -> handler
 	conns    map[string]*muxConn
 	accepted map[net.Conn]bool
 	suspects map[string]time.Time
@@ -59,6 +59,15 @@ type TCP struct {
 	// ServerWorkers bounds concurrently running handlers per accepted
 	// connection. Mutable before first use; default 32.
 	ServerWorkers int
+	// GroupBacklogLimit bounds, per group and per connection, how many
+	// request bytes may sit buffered and unflushed in the connection's
+	// writer. Over the limit, new requests from that group fail with
+	// ErrGroupBacklog (responses are exempt — dropping them would break the
+	// RPC contract) until the writer drains, so one saturating group sheds
+	// its own load instead of growing the shared buffer other groups flush
+	// through. 0 (the default) disables the quota. Mutable before first
+	// use.
+	GroupBacklogLimit int
 
 	// obs holds the metric handles installed by Instrument; the zero value
 	// disables all measurement.
@@ -96,7 +105,7 @@ func NewTCP(listenAddr string) (*TCP, error) {
 	t := &TCP{
 		listenAddr:      l.Addr().String(),
 		listener:        l,
-		local:           make(map[string]Handler),
+		local:           make(map[uint64]map[string]Handler),
 		conns:           make(map[string]*muxConn),
 		accepted:        make(map[net.Conn]bool),
 		suspects:        make(map[string]time.Time),
@@ -142,31 +151,58 @@ func (t *TCP) serverWorkers() int {
 	return defaultServerWorkers
 }
 
-// Register attaches a handler for a locally hosted endpoint.
-func (t *TCP) Register(addr string, h Handler) {
+// Register attaches a handler for a locally hosted endpoint in the default
+// group.
+func (t *TCP) Register(addr string, h Handler) { t.RegisterGroup(DefaultGroup, addr, h) }
+
+// Unregister detaches a locally hosted default-group endpoint.
+func (t *TCP) Unregister(addr string) { t.UnregisterGroup(DefaultGroup, addr) }
+
+// Registered reports whether addr is believed reachable in the default
+// group.
+func (t *TCP) Registered(addr string) bool { return t.RegisteredGroup(DefaultGroup, addr) }
+
+// RegisterGroup attaches a handler for a locally hosted endpoint within
+// group gid. The same address may host an endpoint in any number of groups;
+// inbound frames carry the group label and route to the matching handler.
+// The table nests (label, then address) so the per-call lookup uses the
+// runtime's inlined uint64/string map fast paths instead of a generated
+// struct-key hash call (see Network.RegisterGroup).
+func (t *TCP) RegisterGroup(gid uint64, addr string, h Handler) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.local[addr] = h
+	eps := t.local[gid]
+	if eps == nil {
+		eps = make(map[string]Handler)
+		t.local[gid] = eps
+	}
+	eps[addr] = h
 }
 
-// Unregister detaches a locally hosted endpoint.
-func (t *TCP) Unregister(addr string) {
+// UnregisterGroup detaches a locally hosted endpoint within group gid.
+func (t *TCP) UnregisterGroup(gid uint64, addr string) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	delete(t.local, addr)
+	eps := t.local[gid]
+	delete(eps, addr)
+	if len(eps) == 0 {
+		delete(t.local, gid)
+	}
 }
 
-// Registered reports whether addr is believed reachable: local endpoints
-// must be registered here; remote endpoints are reachable unless a call to
-// them failed within SuspicionWindow.
-func (t *TCP) Registered(addr string) bool {
+// RegisteredGroup reports whether addr is believed reachable within group
+// gid: local endpoints must be registered here under that group; remote
+// endpoints are reachable unless a call to them failed within
+// SuspicionWindow (suspicion is per host, not per group — the failure was a
+// socket's, and all groups share it).
+func (t *TCP) RegisteredGroup(gid uint64, addr string) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.closed {
 		return false
 	}
-	if addr == t.listenAddr || t.local[addr] != nil {
-		return t.local[addr] != nil
+	if addr == t.listenAddr || t.local[gid][addr] != nil {
+		return t.local[gid][addr] != nil
 	}
 	if at, ok := t.suspects[addr]; ok {
 		if time.Since(at) < t.SuspicionWindow {
@@ -177,6 +213,22 @@ func (t *TCP) Registered(addr string) bool {
 	return true
 }
 
+// LabelGroup names a group for this transport's per-group metrics, so
+// counters read "transport.group.bytes_sent.video" rather than a raw flow
+// label. Safe at any time; unlabeled groups use the decimal label.
+func (t *TCP) LabelGroup(gid uint64, name string) {
+	t.obs.groups.setLabel(gid, name)
+}
+
+// ConnCount returns the number of live TCP connections this transport
+// holds (pooled outbound plus accepted inbound). Tests use it to assert
+// that many groups share one connection per peer pair.
+func (t *TCP) ConnCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.conns) + len(t.accepted)
+}
+
 // Call delivers one request. Local destinations short-circuit to the
 // handler; remote ones go over the destination's pooled multiplexed
 // connection. The context bounds connection establishment and the
@@ -184,13 +236,18 @@ func (t *TCP) Registered(addr string) bool {
 // sooner) arms a per-call timer, so a hung peer fails the call while other
 // calls keep flowing on the shared connection.
 func (t *TCP) Call(ctx context.Context, from, to, kind string, payload any) (any, error) {
+	return t.CallGroup(ctx, DefaultGroup, from, to, kind, payload)
+}
+
+// CallGroup delivers one request within group gid (see Call).
+func (t *TCP) CallGroup(ctx context.Context, gid uint64, from, to, kind string, payload any) (any, error) {
 	if t.obs.latency == nil {
-		return t.dispatch(ctx, from, to, kind, payload)
+		return t.dispatch(ctx, gid, from, to, kind, payload)
 	}
 	t.obs.calls.Inc()
 	t.obs.inflight.Add(1)
 	start := time.Now()
-	resp, err := t.dispatch(ctx, from, to, kind, payload)
+	resp, err := t.dispatch(ctx, gid, from, to, kind, payload)
 	t.obs.inflight.Add(-1)
 	t.obs.latency.ObserveDuration(time.Since(start))
 	if err != nil {
@@ -199,24 +256,29 @@ func (t *TCP) Call(ctx context.Context, from, to, kind string, payload any) (any
 	return resp, err
 }
 
-func (t *TCP) dispatch(ctx context.Context, from, to, kind string, payload any) (any, error) {
+func (t *TCP) dispatch(ctx context.Context, gid uint64, from, to, kind string, payload any) (any, error) {
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
 		return nil, ErrClosed
 	}
-	if h, ok := t.local[to]; ok {
+	if h, ok := t.local[gid][to]; ok {
 		t.mu.Unlock()
 		return h(from, kind, payload)
 	}
 	t.mu.Unlock()
 
-	resp, err := t.remoteCall(ctx, from, to, kind, payload)
+	resp, err := t.remoteCall(ctx, gid, from, to, kind, payload)
 	if err != nil {
 		var handlerErr *handlerError
 		if errors.As(err, &handlerErr) {
 			// A handler-level error: the endpoint is alive.
 			return nil, errors.New(handlerErr.msg)
+		}
+		if errors.Is(err, ErrGroupBacklog) {
+			// A local quota rejection, not a peer failure: the call never
+			// left this process, so the peer must not be marked suspect.
+			return nil, err
 		}
 		t.suspect(to)
 		return nil, fmt.Errorf("%s -> %s (%s): %w: %w", from, to, kind, ErrUnreachable, err)
@@ -243,12 +305,12 @@ func (t *TCP) rpcDeadline(ctx context.Context) time.Time {
 	return deadline
 }
 
-func (t *TCP) remoteCall(ctx context.Context, from, to, kind string, payload any) (any, error) {
+func (t *TCP) remoteCall(ctx context.Context, gid uint64, from, to, kind string, payload any) (any, error) {
 	c, err := t.conn(ctx, to)
 	if err != nil {
 		return nil, err
 	}
-	return c.roundTrip(ctx, t.rpcDeadline(ctx), from, to, kind, payload)
+	return c.roundTrip(ctx, t.rpcDeadline(ctx), gid, from, to, kind, payload)
 }
 
 // conn returns the pooled multiplexed connection to to, dialing one if

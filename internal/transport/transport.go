@@ -44,7 +44,7 @@ type Handler func(from, kind string, payload any) (any, error)
 // usable; construct with NewNetwork.
 type Network struct {
 	mu        sync.RWMutex
-	endpoints map[string]Handler
+	endpoints map[uint64]map[string]Handler // group flow label -> addr -> handler
 	latency   func(from, to string) time.Duration
 	dropRate  float64
 	partition map[string]int // endpoint -> partition id; missing means 0
@@ -64,7 +64,7 @@ type Network struct {
 // NewNetwork creates an empty network. seed drives loss simulation.
 func NewNetwork(seed int64) *Network {
 	return &Network{
-		endpoints: make(map[string]Handler),
+		endpoints: make(map[uint64]map[string]Handler),
 		partition: make(map[string]int),
 		rng:       rand.New(rand.NewSource(seed)),
 	}
@@ -77,30 +77,62 @@ func (n *Network) Instrument(reg *obsv.Registry) {
 	n.obs = newInstruments(reg)
 }
 
-// Register attaches a handler at addr, replacing any previous registration.
-func (n *Network) Register(addr string, h Handler) {
+// LabelGroup records a human-readable name for a group's flow label,
+// used in the per-group metric names. The in-process network has no
+// frame writer, so only the shared group registry is updated; it is
+// here so both transports offer the same group surface.
+func (n *Network) LabelGroup(gid uint64, name string) { n.obs.groups.setLabel(gid, name) }
+
+// Register attaches a handler at addr in the default group, replacing any
+// previous registration.
+func (n *Network) Register(addr string, h Handler) { n.RegisterGroup(DefaultGroup, addr, h) }
+
+// Unregister removes the default-group endpoint, making it unreachable (a
+// crash or departure as seen by the rest of the network).
+func (n *Network) Unregister(addr string) { n.UnregisterGroup(DefaultGroup, addr) }
+
+// Registered reports whether addr currently has a default-group handler and
+// is not inside an active FaultPlan crash window.
+func (n *Network) Registered(addr string) bool { return n.RegisteredGroup(DefaultGroup, addr) }
+
+// RegisterGroup attaches a handler at addr within group gid. The same
+// address may host endpoints in any number of groups. The table is nested
+// (label, then address) rather than struct-keyed so the per-call lookup
+// stays on the runtime's inlined uint64/string map fast paths — a
+// struct-keyed map calls out to a generated hash func, and that extra
+// frame is what repeatedly grew the short-lived fan-out goroutines' stacks.
+func (n *Network) RegisterGroup(gid uint64, addr string, h Handler) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.endpoints[addr] = h
+	eps := n.endpoints[gid]
+	if eps == nil {
+		eps = make(map[string]Handler)
+		n.endpoints[gid] = eps
+	}
+	eps[addr] = h
 }
 
-// Unregister removes the endpoint, making it unreachable (a crash or
-// departure as seen by the rest of the network).
-func (n *Network) Unregister(addr string) {
+// UnregisterGroup removes addr's endpoint within group gid.
+func (n *Network) UnregisterGroup(gid uint64, addr string) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	delete(n.endpoints, addr)
+	eps := n.endpoints[gid]
+	delete(eps, addr)
+	if len(eps) == 0 {
+		delete(n.endpoints, gid)
+	}
 }
 
-// Registered reports whether addr currently has a handler and is not inside
-// an active FaultPlan crash window.
-func (n *Network) Registered(addr string) bool {
+// RegisteredGroup reports whether addr has a handler within group gid and
+// is not inside an active FaultPlan crash window (fault injection is
+// host-level: a crash window for an address hits it in every group).
+func (n *Network) RegisteredGroup(gid uint64, addr string) bool {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
 	if n.plan.CrashedAt(addr, n.calls) {
 		return false
 	}
-	_, ok := n.endpoints[addr]
+	_, ok := n.endpoints[gid][addr]
 	return ok
 }
 
@@ -258,13 +290,21 @@ func (n *Network) effectivePartition(addr string, step uint64) int {
 // already been reached, mirroring a real network where a timed-out request
 // may still have been processed remotely.
 func (n *Network) Call(ctx context.Context, from, to, kind string, payload any) (any, error) {
+	return n.CallGroup(ctx, DefaultGroup, from, to, kind, payload)
+}
+
+// CallGroup delivers one request within group gid (see Call). Fault
+// injection — crash windows, partitions, loss, latency — applies by
+// address, regardless of group: the simulated failure is the host's or the
+// link's, and every group sharing it fails together.
+func (n *Network) CallGroup(ctx context.Context, gid uint64, from, to, kind string, payload any) (any, error) {
 	if n.obs.latency == nil {
-		return n.dispatch(ctx, from, to, kind, payload)
+		return n.dispatch(ctx, gid, from, to, kind, payload)
 	}
 	n.obs.calls.Inc()
 	n.obs.inflight.Add(1)
 	start := time.Now()
-	resp, err := n.dispatch(ctx, from, to, kind, payload)
+	resp, err := n.dispatch(ctx, gid, from, to, kind, payload)
 	n.obs.inflight.Add(-1)
 	n.obs.latency.ObserveDuration(time.Since(start))
 	if err != nil {
@@ -273,7 +313,7 @@ func (n *Network) Call(ctx context.Context, from, to, kind string, payload any) 
 	return resp, err
 }
 
-func (n *Network) dispatch(ctx context.Context, from, to, kind string, payload any) (any, error) {
+func (n *Network) dispatch(ctx context.Context, gid uint64, from, to, kind string, payload any) (any, error) {
 	n.mu.Lock()
 	step := n.calls
 	n.calls++
@@ -297,7 +337,7 @@ func (n *Network) dispatch(ctx context.Context, from, to, kind string, payload a
 		n.mu.Unlock()
 		return nil, fmt.Errorf("%s -> %s (%s): %w", from, to, kind, ErrDropped)
 	}
-	h, ok := n.endpoints[to]
+	h, ok := n.endpoints[gid][to]
 	latency := n.latency
 	delay := n.plan.delayAt(from, to, step) + linkMatch(n.linkDelay, from, to)
 	n.mu.Unlock()

@@ -170,10 +170,6 @@ func TestMetricsAndCountersSnapshot(t *testing.T) {
 	if typed.ForwardLost != 0 {
 		t.Errorf("ForwardLost = %d, want 0", typed.ForwardLost)
 	}
-	legacy := net.Counters()
-	if legacy["forward.acked"] != typed.ForwardAcked {
-		t.Errorf("legacy map acked %d != typed %d", legacy["forward.acked"], typed.ForwardAcked)
-	}
 
 	snap := net.Metrics()
 	if got := snap.Counters[obsv.MetricDelivered]; got != uint64(len(addrs)) {

@@ -20,6 +20,7 @@ package reliable
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -157,7 +158,7 @@ func (s *Session) Send(payload []byte) (uint64, error) {
 	}
 	s.mu.Unlock()
 
-	if _, err := s.member.Multicast(encodeData(seq, payload)); err != nil {
+	if _, err := s.member.MulticastContext(context.Background(), encodeData(seq, payload)); err != nil {
 		return 0, err
 	}
 	return seq, nil
@@ -169,7 +170,7 @@ func (s *Session) Sync() error {
 	s.mu.Lock()
 	top := s.nextSeq - 1
 	s.mu.Unlock()
-	_, err := s.member.Multicast(encodeSync(top))
+	_, err := s.member.MulticastContext(context.Background(), encodeSync(top))
 	return err
 }
 
@@ -258,7 +259,7 @@ func (s *Session) repair(source string) {
 		return
 	}
 
-	resp, err := s.member.Request(source, encodeRepairReq(missing))
+	resp, err := s.member.RequestContext(context.Background(), source, encodeRepairReq(missing))
 	if err != nil {
 		return // source unreachable; Heal can retry later
 	}

@@ -42,9 +42,9 @@ just that cell of the committed baseline, so CI does not have to re-host
 the 100k membership. The gate block lists ratio-gated metrics (higher is
 worse, tolerance_pct applies), absolute "floors" (fractions the measured
 cell must reach, e.g. ring_correct), and absolute "ceilings" (values the
-measured cell must not exceed, e.g. bytes_per_member). A ceiling is either
-a number, applied to every measured cell, or a {"<cell key>": number}
-mapping gating just those cells — how "the 10k ramp finishes in 3 s" is
+measured cell must not exceed, e.g. bytes_per_member). A floor or ceiling
+is either a number, applied to every measured cell, or a
+{"<cell key>": number} mapping gating just those cells — how "the 10k ramp finishes in 3 s" is
 enforced without imposing the same wall-clock bound on the 100k cell.
 Unlike the ratio gate, ceilings hold even if the committed baseline drifts:
 they encode the claims the documentation makes. At least one cell must
@@ -141,8 +141,10 @@ def scale_gate(doc, measured_path, baseline_path):
                     f"{key} {metric}: {got:g} vs baseline {want:g} "
                     f"(+{(ratio - 1) * 100:.1f}% > {gate.get('tolerance_pct', 50)}% tolerance)")
         for metric, floor in floors.items():
+            if isinstance(floor, dict):
+                floor = floor.get(key)
             got = have.get(metric)
-            if got is None:
+            if floor is None or got is None:
                 continue
             checked += 1
             flag = "FAIL" if got < floor else "ok"

