@@ -142,7 +142,7 @@ func run(args []string, out io.Writer) error {
 		*initial, *events, *join*100, *crash*100, *capLo, *capHi, *trans)
 
 	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "system\tmaintenance budget\tmean delivery\tmin delivery\tring correct\tjoin ms p50/p95/p99\tleave ms p50/p95/p99\tmcast ms p50/p95/p99\ttable faults\tduplicates\tretries\trepaired\tlost")
+	fmt.Fprintln(w, "system\tmaintenance budget\tmean delivery\tmin delivery\tring correct\tjoin ms p50/p95/p99\tleave ms p50/p95/p99\tmcast ms p50/p95/p99\tlookup hops p50/p95/p99\ttable faults\tduplicates\tretries\trepaired\tlost")
 	for _, mode := range []runtime.Mode{runtime.ModeCAMChord, runtime.ModeCAMKoorde} {
 		for _, budget := range []int{4, 2, 1, 0} {
 			// Latency percentiles come from the run's obsv histograms:
@@ -176,12 +176,13 @@ func run(args []string, out io.Writer) error {
 				label = "none (fastest churn)"
 			}
 			hists := rowReg.Snapshot().Histograms
-			fmt.Fprintf(w, "%v\t%s\t%.1f%%\t%.1f%%\t%.0f%%\t%s\t%s\t%s\t%d\t%d\t%d\t%d\t%d\n",
+			fmt.Fprintf(w, "%v\t%s\t%.1f%%\t%.1f%%\t%.0f%%\t%s\t%s\t%s\t%s\t%d\t%d\t%d\t%d\t%d\n",
 				mode, label, res.MeanDelivery*100, res.MinDelivery*100,
 				res.RingCorrect*100,
 				quantileTriple(hists[obsv.MetricJoinTime]),
 				quantileTriple(hists[obsv.MetricLeaveTime]),
 				quantileTriple(hists[obsv.MetricMulticastTime]),
+				hopsTriple(hists[obsv.MetricLookupHops]),
 				res.TableFaults, res.Duplicates,
 				res.Retries, res.SegmentsRepaired, res.SegmentsLost)
 		}
@@ -207,6 +208,17 @@ func quantileTriple(h obsv.HistogramSnapshot) string {
 		return fmt.Sprintf("%.3g", v*1e3)
 	}
 	return one(0.50) + "/" + one(0.95) + "/" + one(0.99)
+}
+
+// hopsTriple renders the lookup hop-count histogram as "p50/p95/p99" hops
+// (counts, not milliseconds). Overflow observations clamp to the last
+// bucket bound, which sits past the runtime's hop budget.
+func hopsTriple(h obsv.HistogramSnapshot) string {
+	if h.Count == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f/%.0f/%.0f",
+		h.BoundedQuantile(0.50), h.BoundedQuantile(0.95), h.BoundedQuantile(0.99))
 }
 
 // liveSweepConfig carries the -live flags into runLiveSweep.
@@ -249,7 +261,7 @@ func runLiveSweep(cfg liveSweepConfig, out io.Writer) error {
 
 	doc := scaleDoc{Format: "scale", Cells: make(map[string]churnsim.LiveResult)}
 	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "system\tmembers\tjoin ms p50/p95/p99\tleave ms p50/p95/p99\tmcast ms p50/p95/p99\tmean delivery\tmin delivery\tring correct\tgoroutines\tB/member\tramp s\tchurn s")
+	fmt.Fprintln(w, "system\tmembers\tjoin ms p50/p95/p99\tleave ms p50/p95/p99\tmcast ms p50/p95/p99\tlookup hops p50/p95/p99\tmean delivery\tmin delivery\tring correct\tgoroutines\tB/member\tramp s\tchurn s")
 	var failures []string
 	for _, mode := range cfg.modes {
 		for _, members := range sizes {
@@ -265,7 +277,10 @@ func runLiveSweep(cfg liveSweepConfig, out io.Writer) error {
 				CapacityLo:  cfg.capLo,
 				CapacityHi:  cfg.capHi,
 				Seed:        cfg.seed,
-				Log:         os.Stderr,
+				// A fresh registry per cell keeps the lookup-hops quantiles
+				// (and any future histogram-derived cell fields) per-run.
+				Metrics: obsv.NewRegistry(),
+				Log:     os.Stderr,
 			})
 			if err != nil {
 				return fmt.Errorf("%v live %d: %w", mode, members, err)
@@ -277,11 +292,12 @@ func runLiveSweep(cfg liveSweepConfig, out io.Writer) error {
 				key += fmt.Sprintf("/g%d", cfg.groups)
 			}
 			doc.Cells[key] = res
-			fmt.Fprintf(w, "%v\t%d\t%.3g/%.3g/%.3g\t%.3g/%.3g/%.3g\t%.3g/%.3g/%.3g\t%.1f%%\t%.1f%%\t%.1f%%\t%d\t%.0f\t%.0f\t%.0f\n",
+			fmt.Fprintf(w, "%v\t%d\t%.3g/%.3g/%.3g\t%.3g/%.3g/%.3g\t%.3g/%.3g/%.3g\t%.0f/%.0f/%.0f\t%.1f%%\t%.1f%%\t%.1f%%\t%d\t%.0f\t%.0f\t%.0f\n",
 				mode, members,
 				res.JoinP50Ms, res.JoinP95Ms, res.JoinP99Ms,
 				res.LeaveP50Ms, res.LeaveP95Ms, res.LeaveP99Ms,
 				res.McastP50Ms, res.McastP95Ms, res.McastP99Ms,
+				res.LookupHopsP50, res.LookupHopsP95, res.LookupHopsP99,
 				res.MeanDelivery*100, res.MinDelivery*100, res.RingCorrect*100,
 				res.Goroutines, res.BytesPerMember, res.RampSeconds, res.ChurnSeconds)
 			if cfg.minRing > 0 && res.RingCorrect < cfg.minRing {

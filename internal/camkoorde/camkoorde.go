@@ -237,12 +237,37 @@ func (n *Network) Lookup(from int, k ring.ID) (resp int, path []int) {
 }
 
 // nextShift picks the widest neighbor-group shift available at node x for
-// the next bits of k (the paper's third -> second -> basic preference,
-// Section 4.2), clamped so the chain never injects past b bits. It returns
-// the shift width and the bit pattern v to place in the top bits.
+// the next bits of k; see NextShift.
 func (n *Network) nextShift(x int, k ring.ID, injected, b uint) (shift uint, v uint64) {
+	_, shift, v = NextShift(n.caps[x], k, injected, b)
+	return shift, v
+}
+
+// Group identifies which of the Section 4.1 neighbor groups one digit-shift
+// step travels through; callers map it onto however they index their
+// neighbor tables (the live runtime keys slots by (group, pattern)).
+type Group int
+
+// The three CAM-Koorde neighbor groups.
+const (
+	GroupBasic  Group = iota // x/2 and 2^{b-1}+x/2: shift 1, patterns {0,1}
+	GroupSecond              // shift s = ⌊log2(c-4)⌋, all 2^s patterns
+	GroupThird               // shift s+1, patterns below t' = c-4-2^s
+)
+
+// NextShift is one digit-shift step of the Section 4.2 LOOKUP chain for a
+// node of capacity c: given that `injected` of target k's bits (counting
+// from bit 0 upward) have already been shifted into the imaginary
+// identifier, it picks the widest neighbor-group shift the capacity affords
+// (third -> second -> basic preference), clamped so the chain never injects
+// past b bits. It returns the group taken, the shift width, and the bit
+// pattern v to place in the top bits: the caller advances its imaginary
+// identifier img to TopBits(v, shift) | Shr(img, shift) and forwards to the
+// neighbor holding that identifier. Callers that only want to resolve the
+// top T bits of k (the live runtime's truncated routing cursor) call with
+// injected = b - left, where left <= T counts the bits still to inject.
+func NextShift(c int, k ring.ID, injected, b uint) (g Group, shift uint, v uint64) {
 	remaining := b - injected
-	c := n.caps[x]
 	bits := func(width uint) uint64 {
 		return (k >> injected) & ((uint64(1) << width) - 1)
 	}
@@ -257,16 +282,16 @@ func (n *Network) nextShift(x int, k ring.ID, injected, b uint) (shift uint, v u
 		// Third group: shift s2+1, but only patterns below t' exist.
 		if s3 := s2 + 1; tPrime > 0 && s3 <= remaining {
 			if want := bits(s3); want < uint64(tPrime) {
-				return s3, want
+				return GroupThird, s3, want
 			}
 		}
 		// Second group: shift s2, all 2^s2 patterns exist.
 		if t > 0 && s2 <= remaining {
-			return s2, bits(s2)
+			return GroupSecond, s2, bits(s2)
 		}
 	}
 	// Basic group: x/2 and 2^{b-1}+x/2 shift one bit with patterns {0, 1}.
-	return 1, bits(1)
+	return GroupBasic, 1, bits(1)
 }
 
 // BuildTree runs the flooding MULTICAST routine of Section 4.3 from the

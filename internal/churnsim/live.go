@@ -156,6 +156,15 @@ type LiveResult struct {
 	McastP95Ms float64 `json:"multicast_p95_ms"`
 	McastP99Ms float64 `json:"multicast_p99_ms"`
 
+	// Lookup hop-count percentiles across every lookup the run performed
+	// (joins, table fixes, probes), read from the runtime's lookup-hops
+	// histogram. Zero when the run has no Metrics registry. Failed lookups
+	// are recorded at the hop budget, so a partitioned run shows up as a
+	// blown p99 rather than a silently clean one.
+	LookupHopsP50 float64 `json:"lookup_hops_p50,omitempty"`
+	LookupHopsP95 float64 `json:"lookup_hops_p95,omitempty"`
+	LookupHopsP99 float64 `json:"lookup_hops_p99,omitempty"`
+
 	MeanDelivery float64 `json:"mean_delivery"`
 	MinDelivery  float64 `json:"min_delivery"`
 	RingCorrect  float64 `json:"ring_correct"`
@@ -730,6 +739,13 @@ func RunLive(cfg LiveConfig) (LiveResult, error) {
 	res.McastP50Ms = mcasts.percentile(0.50)
 	res.McastP95Ms = mcasts.percentile(0.95)
 	res.McastP99Ms = mcasts.percentile(0.99)
+	if cfg.Metrics != nil {
+		if h, ok := cfg.Metrics.Snapshot().Histograms[obsv.MetricLookupHops]; ok && h.Count > 0 {
+			res.LookupHopsP50 = h.BoundedQuantile(0.50)
+			res.LookupHopsP95 = h.BoundedQuantile(0.95)
+			res.LookupHopsP99 = h.BoundedQuantile(0.99)
+		}
+	}
 	logf("churn done: %d events in %.0fs, ring %.3f, delivery mean %.3f min %.3f",
 		cfg.ChurnEvents, res.ChurnSeconds, res.RingCorrect, res.MeanDelivery, res.MinDelivery)
 	return res, nil

@@ -48,15 +48,22 @@ func (n *Network) Ring() *topology.Ring { return n.ring }
 // Degree returns the de Bruijn degree k.
 func (n *Network) Degree() int { return int(n.degree) }
 
+// Step computes one de Bruijn digit step from identifier x: shift x one
+// digit (base k) to the LEFT and append digit j, i.e. (k·x + j) mod N. This
+// is the per-hop state transition of Koorde's imaginary-node routing; the
+// neighbor set of a node is exactly {Step(x, j) : j ∈ [0, k)}.
+func (n *Network) Step(x ring.ID, j uint64) ring.ID {
+	s := n.ring.Space()
+	return s.Add(s.Reduce(x*n.degree), j%n.degree)
+}
+
 // NeighborIDs enumerates the de Bruijn neighbor identifiers k·x + j of the
 // node at ring position pos.
 func (n *Network) NeighborIDs(pos int) []ring.ID {
-	s := n.ring.Space()
 	x := n.ring.IDAt(pos)
 	out := make([]ring.ID, 0, n.degree)
-	base := s.Reduce(x * n.degree) // k·x mod N; wraps like the de Bruijn graph
 	for j := uint64(0); j < n.degree; j++ {
-		out = append(out, s.Add(base, j))
+		out = append(out, n.Step(x, j))
 	}
 	return out
 }

@@ -73,8 +73,23 @@ func (d Debug) serveStats(w http.ResponseWriter, r *http.Request) {
 	out := struct {
 		At      time.Time `json:"at"`
 		Metrics Snapshot  `json:"metrics"`
-		Extra   any       `json:"extra,omitempty"`
+		// Quantiles precomputes p50/p95/p99 per histogram (clamped to the
+		// top bucket bound) so dashboards and scripts read percentiles —
+		// lookup hop counts, RPC latencies — without re-deriving them from
+		// the raw buckets.
+		Quantiles map[string]map[string]float64 `json:"quantiles,omitempty"`
+		Extra     any                           `json:"extra,omitempty"`
 	}{At: time.Now(), Metrics: d.Registry.Snapshot()}
+	if len(out.Metrics.Histograms) > 0 {
+		out.Quantiles = make(map[string]map[string]float64, len(out.Metrics.Histograms))
+		for name, h := range out.Metrics.Histograms {
+			out.Quantiles[name] = map[string]float64{
+				"p50": h.BoundedQuantile(0.50),
+				"p95": h.BoundedQuantile(0.95),
+				"p99": h.BoundedQuantile(0.99),
+			}
+		}
+	}
 	if d.Extra != nil {
 		out.Extra = d.Extra()
 	}

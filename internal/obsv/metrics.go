@@ -200,13 +200,22 @@ var LatencyBuckets = []float64{
 }
 
 // CountBuckets returns linear upper bounds 1..n — suitable for small
-// discrete quantities such as lookup hop counts or flush batch sizes.
+// discrete quantities such as flush batch sizes.
 func CountBuckets(n int) []float64 {
 	out := make([]float64, n)
 	for i := range out {
 		out[i] = float64(i + 1)
 	}
 	return out
+}
+
+// HopBuckets are the upper bounds for lookup hop-count histograms: exact
+// 1..16 for the converged-ring range, then coarser steps out to 512 — past
+// the runtime's lookup hop budget, so even a failed lookup recorded at
+// max-hops lands in a bounded bucket and quantiles stay finite.
+var HopBuckets = []float64{
+	1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16,
+	24, 32, 48, 64, 96, 128, 192, 256, 384, 512,
 }
 
 // Snapshot is a point-in-time copy of a registry, shaped for JSON
@@ -257,6 +266,20 @@ func (h HistogramSnapshot) Quantile(q float64) float64 {
 		}
 	}
 	return math.Inf(1)
+}
+
+// BoundedQuantile is Quantile clamped to the histogram's largest bucket
+// bound, so the estimate stays finite (and JSON-marshalable) even when the
+// rank falls in the overflow bucket.
+func (h HistogramSnapshot) BoundedQuantile(q float64) float64 {
+	v := h.Quantile(q)
+	if math.IsInf(v, 1) {
+		if len(h.Bounds) == 0 {
+			return 0
+		}
+		return h.Bounds[len(h.Bounds)-1]
+	}
+	return v
 }
 
 // Snapshot copies the registry's current state. Nil-safe (returns a zero

@@ -16,27 +16,21 @@ import (
 // -short and under the race detector (whose instrumentation makes large
 // rings take minutes).
 //
-// CAM-Chord runs the full 10k: its table is distance-ordered, so the
-// synchronized nearest-first sweep below keeps every convergence lookup
+// Both modes run the full 10k. CAM-Chord's table is distance-ordered, so
+// the synchronized nearest-first sweep below keeps every convergence lookup
 // within the hop budget at any size. CAM-Koorde's slots are de Bruijn
-// images — all long-range, no short-first ladder — so the first fill
-// routes as a pure successor walk of up to (size-1)/SuccListLen hops, and
-// the size must keep that walk inside the lookup hop budget (384 in the
-// 32-bit space). Beyond ~1.5k members incremental CAM-Koorde convergence
-// needs the paper's digit routing, which handleFindSucc's greedy
-// closest-preceding forwarding does not implement (bulk install has no
-// such limit: it computes tables without routing).
+// images — all long-range, no short-first ladder — so its ramp instead
+// relies on digit routing (lookup.go digitRoute): each joiner runs FixAll
+// right after its join, whose lookups delegate their routing cursor to the
+// joiner's already-converged successor and resolve in O(log n) digit hops.
+// (Before digit routing, greedy closest-preceding forwarding degraded to a
+// successor walk on koorde slots and capped this test at ~1.4k members.)
 func equivSize(mode Mode) int {
 	switch {
 	case testing.Short():
 		return 600
 	case raceEnabled:
-		if mode == ModeCAMKoorde {
-			return 1000
-		}
 		return 1500
-	case mode == ModeCAMKoorde:
-		return 1400
 	default:
 		return 10000
 	}
@@ -124,6 +118,7 @@ func TestBulkEquivalence(t *testing.T) {
 			nodes := make([]*Node, 0, size)
 			joinedIDs := make([]ring.ID, 0, size)
 			joinedAddrs := make([]string, 0, size)
+			refresh := 0
 			for i, m := range members {
 				n, err := NewNode(inet, m.addr, Config{Space: space, Mode: mode, Capacity: m.cap})
 				if err != nil {
@@ -148,6 +143,30 @@ func TestBulkEquivalence(t *testing.T) {
 					// (pred adopts the joiner, the joiner learns its pred).
 					p := (j - 1 + len(joinedIDs)) % len(joinedIDs)
 					inc[joinedAddrs[p]].StabilizeOnce()
+					// CAM-Koorde convergence leans on per-join table fill:
+					// the joiner's all-long-range slots resolve by digit
+					// routing through its successor's converged tables, so
+					// every later lookup in the ring finds filled slots to
+					// advance its cursor through. The rotating FixOnce
+					// cohort stands in for the scheduler's periodic fix
+					// maintenance: without it an early joiner's slots stay
+					// resolved against the ring as of its join, digit
+					// chains land n/s_join gaps from the owner, and the
+					// landing walk eats the hop budget (observed p50=259
+					// hops at 2k members). The cohort scales with ring
+					// size — every live member refreshes on a fixed
+					// interval, so the aggregate fix rate grows with n —
+					// keeping each slot's staleness bounded by a constant
+					// number of joins and landings a few gaps out.
+					// (CAM-Chord skips both — its nearest-first
+					// synchronized sweep below converges without seeding.)
+					if mode == ModeCAMKoorde {
+						n.FixAll()
+						for r := 0; r < 4+len(nodes)/256; r++ {
+							nodes[refresh%len(nodes)].FixOnce()
+							refresh++
+						}
+					}
 				}
 				j := sort.Search(len(joinedIDs), func(k int) bool { return joinedIDs[k] >= m.id })
 				joinedIDs = append(joinedIDs, 0)

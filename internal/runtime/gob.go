@@ -3,9 +3,16 @@ package runtime
 import (
 	"encoding/gob"
 	"sync"
+
+	"camcast/internal/transport"
 )
 
 var wireOnce sync.Once
+
+// statusLookupFailed is the wire status code (v4 response frames) that
+// classifies ErrLookupFailed across the TCP transport, so isLookupFailed
+// can errors.Is-match remote exhaustion instead of parsing message text.
+const statusLookupFailed = 1
 
 // RegisterWireTypes registers every runtime RPC payload type with the
 // transport layer so that nodes can run over the TCP transport
@@ -16,6 +23,7 @@ var wireOnce sync.Once
 func RegisterWireTypes() {
 	wireOnce.Do(func() {
 		registerBinaryWireTypes()
+		transport.RegisterStatusError(statusLookupFailed, ErrLookupFailed)
 		gob.Register(pingReq{})
 		gob.Register(pingResp{})
 		gob.Register(findSuccReq{})

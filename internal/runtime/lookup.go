@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 
+	"camcast/internal/camkoorde"
 	"camcast/internal/ring"
 )
 
@@ -16,10 +17,32 @@ import (
 // backtracking exponentially.
 const failedSubtreePenalty = 64
 
+// cursorMarginBits is how many bits a digit cursor injects beyond the
+// ~log2(n) needed to name the owner's ring segment. Each extra bit halves
+// the landing offset from k's true owner, so 8 bits land the chain within
+// 1/256 of a successor gap — at the owner or its immediate ring neighbor —
+// for the cost of at most 8 extra single-bit hops on capacity-4 paths.
+const cursorMarginBits = 8
+
+// exhaustWalkGaps is how far past k's owner (in mean successor gaps) an
+// exhausted digit cursor still recovers by walking backward through exact
+// predecessor pointers — one hop per stale member — before the landing is
+// treated as flash-crowd staleness and rerouted instead.
+const exhaustWalkGaps = 48
+
+// maxLookupHops is the lookup hop budget (and the value a failed lookup
+// observes in the hop histogram). The generous multiple of the identifier
+// width covers greedy successor walks on small rings and the
+// failed-subtree penalties charged while routing around partitions.
+func (n *Node) maxLookupHops() int {
+	return int(n.space.Bits())*4 + 256
+}
+
 // isLookupFailed reports whether an RPC error is a remote lookup
-// exhaustion. In-process transports preserve the sentinel for errors.Is;
-// wire transports flatten errors to strings, so fall back to matching the
-// sentinel's message.
+// exhaustion. In-process transports preserve the sentinel for errors.Is,
+// and the binary wire protocol (v4+) carries a typed status code that the
+// transport rehydrates into the same sentinel; the string match remains
+// only for gob-legacy peers, whose responses flatten errors to messages.
 func isLookupFailed(err error) bool {
 	return errors.Is(err, ErrLookupFailed) ||
 		(err != nil && strings.Contains(err.Error(), "lookup failed"))
@@ -31,6 +54,10 @@ func isLookupFailed(err error) bool {
 func (n *Node) FindSuccessor(k ring.ID) (NodeInfo, int, error) {
 	resp, err := n.handleFindSucc(findSuccReq{K: k})
 	if err != nil {
+		// A failed lookup burned the whole budget; record it as max-hops so
+		// the histogram's tail reflects partition behavior instead of
+		// silently dropping the most expensive lookups.
+		n.obs.lookupHops.Observe(float64(n.maxLookupHops()))
 		return NodeInfo{}, 0, err
 	}
 	r, ok := resp.(findSuccResp)
@@ -43,7 +70,7 @@ func (n *Node) FindSuccessor(k ring.ID) (NodeInfo, int, error) {
 
 func (n *Node) handleFindSucc(req findSuccReq) (any, error) {
 	n.lookups.Add(1)
-	maxHops := int(n.space.Bits())*4 + 256
+	maxHops := n.maxLookupHops()
 	if req.Hops > maxHops {
 		return nil, fmt.Errorf("%w: exceeded %d hops resolving %d", ErrLookupFailed, maxHops, req.K)
 	}
@@ -72,19 +99,274 @@ func (n *Node) handleFindSucc(req findSuccReq) (any, error) {
 		return findSuccResp{Node: succ, Hops: req.Hops}, nil
 	}
 
-	// Forward to the closest known neighbor preceding k (the CAM lookup
-	// step); fall through the candidate list past unreachable nodes.
-	//
-	// A candidate that RESPONDED with a lookup failure already searched a
-	// whole downstream subtree (or hit the hop limit), and the sibling we
-	// try next routes into largely the same subgraph. Unpenalized, that
-	// backtracking makes an unresolvable lookup — an identifier whose
-	// owner sits behind a partition — an exponential re-exploration of
-	// the reachable graph that livelocks maintenance for minutes. Charging
-	// every failed subtree a large slice of the hop budget bounds the
-	// whole search to a few thousand calls while leaving plenty of budget
-	// for the short sibling paths that succeed in practice.
-	penalty := 0
+	// CAM-Koorde routes by de Bruijn digit shifts (Section 4.2): the request
+	// carries a cursor — imaginary identifier plus remaining key digits —
+	// that each hop advances one base-k digit through its own slot table.
+	// The greedy closest-preceding walk below remains the fallback for
+	// CAM-Chord, for legacy requests without a cursor, and for hops whose
+	// digit target is unreachable.
+	if n.cfg.Mode == ModeCAMKoorde {
+		if resp, err, handled := n.digitRoute(req, self, pred, hasPred); handled {
+			return resp, err
+		}
+	}
+
+	return n.greedyRoute(req, self, 0)
+}
+
+// digitRoute advances a CAM-Koorde lookup by digit shifts. It initializes
+// the cursor on a fresh entry-point request (Hops == 0, no cursor yet) and
+// otherwise takes over only requests that already carry one; handled is
+// false when the request must route greedily instead (legacy cursorless
+// request, or the digit step's owner was unreachable — in which case the
+// greedy fallback runs here directly, seeded with the subtree penalty).
+func (n *Node) digitRoute(req findSuccReq, self, pred NodeInfo, hasPred bool) (resp any, err error, handled bool) {
+	k := req.K
+	b := n.space.Bits()
+	if !req.HasCursor {
+		if req.Hops > 0 {
+			return nil, nil, false // legacy in-flight request: greedy
+		}
+		// Entry point: start the imaginary chain at our own identifier and
+		// plan to inject only k's top cursorBits() — enough to land within a
+		// successor gap of k's owner; the residual low bits are absorbed by
+		// the termination checks and at most a ring step at the landing.
+		req.HasCursor = true
+		req.Img = self.ID
+		req.Left = n.cursorBits()
+	}
+
+	for {
+		if req.Left == 0 {
+			// Chain exhausted: the landing is near k's owner, but the last
+			// hop resolved through another node's slot, and slot contents
+			// lag membership (they are only as fresh as the owner's last
+			// fix pass), so the landing can sit several members PAST the
+			// owner. Up to exhaustWalkGaps mean successor gaps behind —
+			// staleness from normal join traffic — walking backward through
+			// the exact predecessor pointers converges in a hop per stale
+			// member, cheaper than any rerouting. The yardstick is the mean
+			// gap from the successor list, not the landing node's own
+			// predecessor gap, whose exponential variance would randomly
+			// reject cheap walks. k ahead of us (an undershoot) is the
+			// greedy candidates' home turf already.
+			behind := n.space.Dist(k, self.ID)
+			if behind < n.space.Dist(self.ID, k) {
+				gap := n.meanSuccGap()
+				if gap == 0 && hasPred {
+					gap = n.space.Dist(pred.ID, self.ID)
+				}
+				if behind <= exhaustWalkGaps*gap &&
+					hasPred && pred.Addr != self.Addr && !n.isSuspect(pred.Addr) {
+					fwd := req
+					fwd.Hops++
+					r, err := n.call(pred.Addr, kindFindSucc, fwd)
+					if err == nil {
+						if fs, ok := r.(findSuccResp); ok {
+							return fs, nil, true
+						}
+					}
+					if isLookupFailed(err) {
+						r2, err2 := n.greedyRoute(req, self, failedSubtreePenalty)
+						return r2, err2, true
+					}
+				}
+				// Landed a long way past the owner — a flash-crowd's worth of
+				// members joined ahead of us since the final slot's owner last
+				// fixed it, and the backward walk would pay a hop per stale
+				// member. Re-inject a fresh cursor and run a new digit chain
+				// from here: another O(log n) trial through different tables
+				// that usually lands close enough for the predecessor walk
+				// above. Staleness is spatially correlated (everyone's slots
+				// covering a freshly-grown region lag together), so trials
+				// are capped at an eighth of the hop budget; past that the
+				// greedy walk finishes with most of the budget in hand.
+				if req.Hops < n.maxLookupHops()/8 {
+					req.Img = self.ID
+					req.Left = n.cursorBits()
+					continue
+				}
+				return nil, nil, false
+			}
+			return nil, nil, false
+		}
+
+		// One digit step: the widest shift our capacity affords for the next
+		// of k's remaining top bits, looked up in our own slot table.
+		g, shift, v := camkoorde.NextShift(n.cfg.Capacity, k, b-uint(req.Left), b)
+		idx, ok := n.spec.slotIndex(tableKey{level: uint32(g), seq: uint32(v)})
+		var target NodeInfo
+		if ok {
+			n.mu.Lock()
+			if n.stopped {
+				n.mu.Unlock()
+				return nil, ErrStopped, true
+			}
+			target = n.arena.Resolve(n.slotRefs[idx])
+			n.mu.Unlock()
+		}
+
+		// The right-shift de Bruijn map x -> v·2^(b-s) | x>>s is linear, not
+		// circular: two ring-adjacent identifiers straddling zero map half a
+		// ring apart. A slot whose image falls in the empty arc above the
+		// highest member therefore stores a successor that wrapped past the
+		// origin — following it would tear the real chain away from the
+		// imaginary one for the rest of the lookup, degenerating into an
+		// O(n) greedy walk. A wrapped step (target linearly below the slot
+		// image) is genuine only when the image sits just above us — wrap
+		// forces both into the ring's top 2^shift·gap arc — and is then
+		// consumed in place like a self-pointing slot: the cursor stays
+		// within a few gaps of us and the next non-wrapping digit rejoins
+		// the chain. A wrapped target whose image is far from us is instead
+		// a fossil from when the ring was sparse enough for the image's
+		// whole upper arc to be empty; consuming there would tear the cursor
+		// just as badly, so the slot is treated as unresolved below.
+		wrapped := false
+		slotImg := n.space.TopBits(v, shift) | n.space.Shr(self.ID, shift)
+		if !target.zero() && target.ID < slotImg {
+			gap := n.meanSuccGap()
+			if gap == 0 || n.space.Dist(self.ID, slotImg) <= (gap<<shift)<<2 {
+				fwd := req
+				fwd.Img = n.space.TopBits(v, shift) | n.space.Shr(req.Img, shift)
+				fwd.Left = req.Left - uint32(shift)
+				req = fwd
+				continue
+			}
+			wrapped = true
+		}
+
+		if target.zero() || wrapped || n.isSuspect(target.Addr) {
+			// Slot not (yet) resolved — a fresh joiner mid-FixAll, or the
+			// occupant just failed an RPC. Delegate the UNCHANGED cursor to a
+			// live successor-list entry: the cursor is position-independent
+			// state, any node's tables cover the same digit step, and on a
+			// converged ring one such delegation suffices (a fresh joiner's
+			// successor is exactly such a node). Preferring the farthest
+			// entry makes the degenerate everyone-unfilled case a
+			// stride-SuccListLen ring walk instead of a stride-1 one.
+			// Never delegate across the ring origin: the right-shift digit
+			// map is discontinuous at zero, so a cursor carried past the
+			// origin lands its remaining steps half a ring from the
+			// imaginary chain. Such delegates fall through to greedy.
+			if live, ok := n.delegateSuccessor(self); ok && live.ID > self.ID {
+				fwd := req
+				fwd.Hops++
+				r, err := n.call(live.Addr, kindFindSucc, fwd)
+				if err == nil {
+					if fs, ok := r.(findSuccResp); ok {
+						return fs, nil, true
+					}
+				}
+				if isLookupFailed(err) {
+					r2, err2 := n.greedyRoute(req, self, failedSubtreePenalty)
+					return r2, err2, true
+				}
+			}
+			return nil, nil, false
+		}
+
+		// Advance the imaginary chain. The cursor carries the calculated
+		// identifier, not the resolved node's, so sparse-ring resolution
+		// drift never compounds (each hop divides the previous offset by
+		// 2^shift); see camkoorde.Lookup for the static-network analogue.
+		fwd := req
+		fwd.Img = n.space.TopBits(v, shift) | n.space.Shr(req.Img, shift)
+		fwd.Left = req.Left - uint32(shift)
+
+		if target.Addr == self.Addr {
+			// Our own table maps the step back to us (dense capacity or tiny
+			// ring): consume the digit locally and take the next one.
+			req = fwd
+			continue
+		}
+
+		fwd.Hops++
+		r, err := n.call(target.Addr, kindFindSucc, fwd)
+		if err == nil {
+			if fs, ok := r.(findSuccResp); ok {
+				return fs, nil, true
+			}
+			return nil, nil, false
+		}
+		// The digit target is unreachable: fall back to greedy backtracking,
+		// charging the failed-subtree penalty when the target itself already
+		// exhausted a downstream search.
+		penalty := 0
+		if isLookupFailed(err) {
+			penalty = failedSubtreePenalty
+		}
+		r2, err2 := n.greedyRoute(req, self, penalty)
+		return r2, err2, true
+	}
+}
+
+// delegateSuccessor picks the farthest successor-list entry that is not
+// self, not suspect, and still believed reachable — the delegate for a
+// digit step whose slot is unfilled or whose occupant is suspect.
+func (n *Node) delegateSuccessor(self NodeInfo) (NodeInfo, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for i := len(n.succRefs) - 1; i >= 0; i-- {
+		info := n.arena.Resolve(n.succRefs[i])
+		if info.zero() || info.Addr == self.Addr || n.isSuspect(info.Addr) || !n.net.Registered(info.Addr) {
+			continue
+		}
+		return info, true
+	}
+	return NodeInfo{}, false
+}
+
+// cursorBits estimates how many of k's top bits a digit cursor must inject
+// for the truncated chain to land within one successor-list span of k's
+// owner: b - log2(mean successor gap) names the owner's segment, plus
+// cursorMarginBits of safety. The gap estimate comes from the node's own
+// successor list — the only densely sampled ring segment it knows.
+func (n *Node) cursorBits() uint32 {
+	b := int(n.space.Bits())
+	gap := n.meanSuccGap()
+	if gap == 0 {
+		return uint32(b) // alone or unconverged: inject everything
+	}
+	t := b - int(ring.Log2Floor(gap)) + cursorMarginBits
+	if t < 1 {
+		t = 1
+	}
+	if t > b {
+		t = b
+	}
+	return uint32(t)
+}
+
+// meanSuccGap estimates the ring's per-member identifier gap from the
+// node's own successor list — the only densely sampled ring segment it
+// knows. Returns 0 when alone or not yet stabilized.
+func (n *Node) meanSuccGap() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	l := len(n.succRefs)
+	if l == 0 {
+		return 0
+	}
+	span := n.space.Dist(n.self.ID, n.arena.Resolve(n.succRefs[l-1]).ID)
+	return span / uint64(l)
+}
+
+// greedyRoute forwards to the closest known neighbor preceding k (the CAM
+// lookup step), falling through the candidate list past unreachable nodes.
+// penalty seeds the hop-budget surcharge when the caller already burned a
+// failed digit subtree before falling back here.
+//
+// A candidate that RESPONDED with a lookup failure already searched a
+// whole downstream subtree (or hit the hop limit), and the sibling we
+// try next routes into largely the same subgraph. Unpenalized, that
+// backtracking makes an unresolvable lookup — an identifier whose
+// owner sits behind a partition — an exponential re-exploration of
+// the reachable graph that livelocks maintenance for minutes. Charging
+// every failed subtree a large slice of the hop budget bounds the
+// whole search to a few thousand calls while leaving plenty of budget
+// for the short sibling paths that succeed in practice.
+func (n *Node) greedyRoute(req findSuccReq, self NodeInfo, penalty int) (any, error) {
+	k := req.K
 	for _, cand := range n.routingCandidates(k) {
 		resp, err := n.call(cand.Addr, kindFindSucc, findSuccReq{K: k, Hops: req.Hops + 1 + penalty})
 		if err != nil {

@@ -1,0 +1,71 @@
+package runtime
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"camcast/internal/ring"
+	"camcast/internal/transport"
+)
+
+// BenchmarkLookupHops measures lookup cost in forwarding hops on converged
+// rings — the unit the paper's complexity claims are stated in, and one
+// that is hardware-stable enough to gate in CI (BENCH_lookup.json). Each op
+// resolves a uniformly random identifier from a uniformly random member;
+// the benchmark reports the mean (hops/op) and tail (p99hops/op) of the
+// sampled distribution. CAM-Chord rows exercise the distance-ordered
+// finger walk, CAM-Koorde rows the de Bruijn digit routing, at 1k and 10k
+// members.
+func BenchmarkLookupHops(b *testing.B) {
+	for _, mode := range []Mode{ModeCAMChord, ModeCAMKoorde} {
+		for _, size := range []int{1000, 10000} {
+			b.Run(fmt.Sprintf("%s/%d", mode, size), func(b *testing.B) {
+				space := ring.MustSpace(32)
+				members := equivMembers(space, mode, size, 23)
+				net := transport.NewNetwork(5)
+				arena := NewNodeArena()
+				nodes := make([]*Node, size)
+				for i, m := range members {
+					n, err := NewNode(net, m.addr, Config{
+						Space: space, Mode: mode, Capacity: m.cap, Arena: arena,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					nodes[i] = n
+				}
+				defer func() {
+					for _, n := range nodes {
+						n.Stop()
+					}
+				}()
+				if err := BulkInstall(nodes, BulkOptions{}); err != nil {
+					b.Fatal(err)
+				}
+
+				rng := rand.New(rand.NewSource(29))
+				mask := uint64(1)<<space.Bits() - 1
+				hops := make([]int, 0, b.N)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					src := nodes[rng.Intn(len(nodes))]
+					_, h, err := src.FindSuccessor(ring.ID(rng.Uint64() & mask))
+					if err != nil {
+						b.Fatal(err)
+					}
+					hops = append(hops, h)
+				}
+				b.StopTimer()
+				sort.Ints(hops)
+				var sum float64
+				for _, h := range hops {
+					sum += float64(h)
+				}
+				b.ReportMetric(sum/float64(len(hops)), "hops/op")
+				b.ReportMetric(float64(hops[len(hops)*99/100]), "p99hops/op")
+			})
+		}
+	}
+}

@@ -45,7 +45,7 @@ func newNodeObs(bus *obsv.Bus, reg *obsv.Registry) nodeObs {
 		retries:    reg.Counter(obsv.MetricForwardRetries),
 		repaired:   reg.Counter(obsv.MetricForwardRepaired),
 		lost:       reg.Counter(obsv.MetricForwardLost),
-		lookupHops: reg.Histogram(obsv.MetricLookupHops, obsv.CountBuckets(16)),
+		lookupHops: reg.Histogram(obsv.MetricLookupHops, obsv.HopBuckets),
 		treeTime:   reg.Histogram(obsv.MetricMulticastTime, obsv.LatencyBuckets),
 		spreadTime: reg.Histogram(obsv.MetricSegmentSpread, obsv.LatencyBuckets),
 		joinTime:   reg.Histogram(obsv.MetricJoinTime, obsv.LatencyBuckets),

@@ -41,6 +41,17 @@ type pingResp struct {
 type findSuccReq struct {
 	K    ring.ID
 	Hops int
+
+	// Digit-routing cursor (wire v2 fields; DESIGN.md §14). On CAM-Koorde
+	// rings a lookup carries Koorde's (k, kshift, i) state: Img is the
+	// imaginary identifier i and Left counts how many of K's top bits
+	// remain to be shifted in (the remaining digits of kshift). HasCursor
+	// distinguishes a cursor at any state — including exhausted — from a
+	// legacy request; requests without one (CAM-Chord, legacy peers) route
+	// greedily.
+	HasCursor bool
+	Img       ring.ID
+	Left      uint32
 }
 
 type findSuccResp struct {

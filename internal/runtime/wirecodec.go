@@ -121,11 +121,22 @@ func decodePingResp(b []byte) (any, error) {
 func (findSuccReq) WireTag() byte { return tagFindSuccReq }
 func (p findSuccReq) AppendWire(b []byte) []byte {
 	b = transport.AppendUvarint(b, uint64(p.K))
-	return transport.AppendVarint(b, int64(p.Hops))
+	b = transport.AppendVarint(b, int64(p.Hops))
+	// v2: optional digit-routing cursor, presence byte + (Img, Left).
+	b = transport.AppendBool(b, p.HasCursor)
+	if p.HasCursor {
+		b = transport.AppendUvarint(b, uint64(p.Img))
+		b = transport.AppendUvarint(b, uint64(p.Left))
+	}
+	return b
 }
 func decodeFindSuccReq(b []byte) (any, error) {
 	r := transport.NewWireReader(b)
 	p := findSuccReq{K: ring.ID(r.Uvarint()), Hops: int(r.Varint())}
+	if p.HasCursor = r.Bool(); p.HasCursor {
+		p.Img = ring.ID(r.Uvarint())
+		p.Left = uint32(r.Uvarint())
+	}
 	return p, r.Finish()
 }
 

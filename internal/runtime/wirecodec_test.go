@@ -23,7 +23,9 @@ var wireSamples = []struct {
 }{
 	{"pingReq", pingReq{Probe: true}, decodePingReq},
 	{"pingResp", pingResp{Node: NodeInfo{Addr: "10.0.0.1:7000", ID: 0xdeadbeef}}, decodePingResp},
-	{"findSuccReq", findSuccReq{K: 1<<63 + 17, Hops: -3}, decodeFindSuccReq},
+	{"findSuccReq", findSuccReq{K: 1<<63 + 17, Hops: -3, HasCursor: true, Img: 0xfeedface, Left: 27}, decodeFindSuccReq},
+	{"findSuccReq/noCursor", findSuccReq{K: 42, Hops: 1}, decodeFindSuccReq},
+	{"findSuccReq/exhaustedCursor", findSuccReq{K: 9, Hops: 30, HasCursor: true, Img: 1 << 63, Left: 0}, decodeFindSuccReq},
 	{"findSuccResp", findSuccResp{Node: NodeInfo{Addr: "a:1", ID: 1}, Hops: 12}, decodeFindSuccResp},
 	{"neighborsReq", neighborsReq{Full: true}, decodeNeighborsReq},
 	{"neighborsResp", neighborsResp{

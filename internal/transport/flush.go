@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"encoding/binary"
 	"fmt"
 	"net"
 	"runtime"
@@ -195,7 +196,7 @@ func (w *frameWriter) writeRequest(callID, gid uint64, from, to, kind string, pa
 	return w.sealFrame(gid, lenPos, extMark, extLenMark, inlineFlush)
 }
 
-func (w *frameWriter) writeResponse(callID, gid uint64, errMsg string, payload any, codec Codec, inlineFlush bool) error {
+func (w *frameWriter) writeResponse(callID, gid uint64, errMsg string, errCode uint64, payload any, codec Codec, inlineFlush bool) error {
 	w.mu.Lock()
 	if w.err != nil {
 		err := w.err
@@ -206,7 +207,8 @@ func (w *frameWriter) writeResponse(callID, gid uint64, errMsg string, payload a
 	w.buf = appendFrameHeader(w.buf, frameResponse, callID, gid)
 	w.buf = AppendString(w.buf, errMsg)
 	if errMsg != "" {
-		// Error responses never carry a payload.
+		// Error responses carry a status code instead of a payload.
+		w.buf = binary.AppendUvarint(w.buf, errCode)
 		w.buf = append(w.buf, wireTagNil)
 	} else if err := w.appendPayloadLocked(payload, codec); err != nil {
 		w.rollbackLocked(lenPos, extMark, extLenMark)

@@ -16,7 +16,8 @@ import (
 //	[8B big-endian call ID]
 //	[uvarint group flow label]
 //	request:  [str From][str To][str Kind][1B payload tag][payload bytes]
-//	response: [str Err]                   [1B payload tag][payload bytes]
+//	response: [str Err][uvarint status code, only when Err != ""]
+//	          [1B payload tag][payload bytes]
 //
 // where [str] is a uvarint length prefix followed by the bytes. Call IDs
 // are assigned by the requester and echoed in the response; responses may
@@ -35,9 +36,14 @@ import (
 // endpoint table. Label 0 is the default group, so single-group traffic
 // pays one extra header byte. Responses echo the request's label, which is
 // what lets the writer account and schedule them per tenant.
+//
+// Version 4 appends a uvarint status code after a non-empty response Err
+// string, classifying handler errors (see RegisterStatusError) so callers
+// can match sentinel errors with errors.Is instead of parsing message
+// text. Code 0 is unclassified; success responses carry no code.
 
 const (
-	wireVersion byte = 3
+	wireVersion byte = 4
 
 	frameRequest  byte = 1
 	frameResponse byte = 2
@@ -136,11 +142,12 @@ func appendRequestBody(b []byte, callID, gid uint64, from, to, kind string, payl
 }
 
 // appendResponseBody appends a full response frame body.
-func appendResponseBody(b []byte, callID, gid uint64, errMsg string, payload any, codec Codec) ([]byte, error) {
+func appendResponseBody(b []byte, callID, gid uint64, errMsg string, errCode uint64, payload any, codec Codec) ([]byte, error) {
 	b = appendFrameHeader(b, frameResponse, callID, gid)
 	b = AppendString(b, errMsg)
 	if errMsg != "" {
-		// Error responses never carry a payload.
+		// Error responses carry a status code instead of a payload.
+		b = binary.AppendUvarint(b, errCode)
 		return append(b, wireTagNil), nil
 	}
 	return appendPayload(b, payload, codec)
@@ -202,16 +209,21 @@ func parseRequest(callID, gid uint64, rest []byte, blob *Blob) (parsedRequest, e
 }
 
 // parseResponse decodes a response frame body (after the frame header),
-// returning the handler error string and the decoded payload.
-func parseResponse(rest []byte) (payload any, errMsg string, err error) {
+// returning the handler error string, its status code, and the decoded
+// payload.
+func parseResponse(rest []byte) (payload any, errMsg string, errCode uint64, err error) {
 	r := NewWireReader(rest)
 	errMsg = r.String()
 	if r.err != nil {
-		return nil, "", r.err
+		return nil, "", 0, r.err
 	}
 	if errMsg != "" {
-		return nil, errMsg, nil
+		errCode = r.Uvarint()
+		if r.err != nil {
+			return nil, "", 0, r.err
+		}
+		return nil, errMsg, errCode, nil
 	}
 	payload, err = decodePayload(rest[r.off:])
-	return payload, "", err
+	return payload, "", 0, err
 }

@@ -28,13 +28,18 @@ func FuzzParseFrame(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
-	resp, err := appendResponseBody(nil, 7, 0, "", benchPayload{Key: "k"}, CodecGob)
+	resp, err := appendResponseBody(nil, 7, 0, "", 0, benchPayload{Key: "k"}, CodecGob)
+	if err != nil {
+		f.Fatal(err)
+	}
+	eresp, err := appendResponseBody(nil, 8, 0, "lookup failed", 1, nil, CodecBinary)
 	if err != nil {
 		f.Fatal(err)
 	}
 	f.Add(req)
 	f.Add(breq)
 	f.Add(resp)
+	f.Add(eresp)
 	f.Fuzz(func(t *testing.T, body []byte) {
 		if len(body) < frameHeaderSize {
 			return
@@ -59,7 +64,7 @@ func FuzzParseFrame(f *testing.F) {
 			}
 			pr.body.Release()
 		case frameResponse:
-			_, _, _ = parseResponse(rest)
+			_, _, _, _ = parseResponse(rest)
 			blob.Release()
 		default:
 			blob.Release()

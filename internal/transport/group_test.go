@@ -247,7 +247,7 @@ func TestFrameWriterGroupBacklogQuota(t *testing.T) {
 		t.Fatalf("other group throttled by hot group's quota: %v", err)
 	}
 	// Responses are exempt: the hot group can always answer inbound work.
-	if err := w.writeResponse(5, 42, "", fat, CodecBinary, false); err != nil {
+	if err := w.writeResponse(5, 42, "", 0, fat, CodecBinary, false); err != nil {
 		t.Fatalf("response blocked by request quota: %v", err)
 	}
 

@@ -45,6 +45,7 @@ type pendingCall struct {
 type callResult struct {
 	payload any
 	errMsg  string // handler-level error (the peer is alive)
+	errCode uint64 // wire status code classifying errMsg (0 = unclassified)
 	err     error  // transport-level error (the conn is broken)
 }
 
@@ -136,7 +137,7 @@ func (c *muxConn) roundTrip(ctx context.Context, deadline time.Time, gid uint64,
 			return nil, res.err
 		}
 		if res.errMsg != "" {
-			return nil, &handlerError{msg: res.errMsg}
+			return nil, &handlerError{msg: res.errMsg, code: res.errCode}
 		}
 		return res.payload, nil
 	case <-ctx.Done():
@@ -190,8 +191,8 @@ func (c *muxConn) readLoop() {
 			c.fail(fmt.Errorf("transport: bad frame from %s (type %d, %v)", c.to, frameType, err))
 			return
 		}
-		payload, errMsg, err := parseResponse(rest)
-		res := callResult{payload: payload, errMsg: errMsg}
+		payload, errMsg, errCode, err := parseResponse(rest)
+		res := callResult{payload: payload, errMsg: errMsg, errCode: errCode}
 		if err != nil {
 			// One undecodable response poisons only its own call; the
 			// frame boundary is intact, so the stream keeps going.

@@ -69,7 +69,7 @@ func (t *TCP) serveConn(conn net.Conn) {
 		if err != nil {
 			// The frame boundary is intact, so only this call is
 			// poisoned: answer it with an error and keep serving.
-			s.respond(callID, gid, fmt.Sprintf("transport: bad request: %v", err), nil, true)
+			s.respond(callID, gid, fmt.Sprintf("transport: bad request: %v", err), 0, nil, true)
 			continue
 		}
 		n := s.inflight.Add(1)
@@ -88,12 +88,12 @@ func (t *TCP) serveConn(conn net.Conn) {
 func (s *serverConn) worker(wg *sync.WaitGroup) {
 	defer wg.Done()
 	for req := range s.reqs {
-		errMsg, payload, decoded := s.handle(req)
+		errMsg, errCode, payload, decoded := s.handle(req)
 		s.t.obs.served.Inc()
 		// The last in-flight worker flushes the whole batch inline;
 		// anyone still behind it leaves the frame to the flusher.
 		inline := s.inflight.Add(-1) == 0
-		s.respond(req.callID, req.gid, errMsg, payload, inline)
+		s.respond(req.callID, req.gid, errMsg, errCode, payload, inline)
 		// The response is written (its writer holds its own blob references
 		// if it shares the payload), so the request's payload lifetime ends:
 		// first the decoded value's reference, then the frame body itself.
@@ -107,38 +107,39 @@ func (s *serverConn) worker(wg *sync.WaitGroup) {
 }
 
 // handle decodes one request's payload and invokes the handler, returning
-// the response to write plus the decoded payload (so the worker can release
-// a blob-backed payload after the response is out).
-func (s *serverConn) handle(req parsedRequest) (errMsg string, payload, decoded any) {
+// the response to write — error text plus its wire status code — and the
+// decoded payload (so the worker can release a blob-backed payload after
+// the response is out).
+func (s *serverConn) handle(req parsedRequest) (errMsg string, errCode uint64, payload, decoded any) {
 	decoded, err := decodePayloadOwned(req.payload, req.body, s.t.obs.encodes)
 	if err != nil {
-		return fmt.Sprintf("transport: bad payload: %v", err), nil, nil
+		return fmt.Sprintf("transport: bad payload: %v", err), 0, nil, nil
 	}
 	s.t.mu.Lock()
 	h := s.t.local[req.gid][req.to]
 	s.t.mu.Unlock()
 	if h == nil {
 		if req.gid != DefaultGroup {
-			return fmt.Sprintf("transport: no endpoint %q in group %d here", req.to, req.gid), nil, decoded
+			return fmt.Sprintf("transport: no endpoint %q in group %d here", req.to, req.gid), 0, nil, decoded
 		}
-		return fmt.Sprintf("transport: no endpoint %q here", req.to), nil, decoded
+		return fmt.Sprintf("transport: no endpoint %q here", req.to), 0, nil, decoded
 	}
 	resp, herr := h(req.from, req.kind, decoded)
 	if herr != nil {
-		return herr.Error(), nil, decoded
+		return herr.Error(), statusCodeFor(herr), nil, decoded
 	}
-	return "", resp, decoded
+	return "", 0, resp, decoded
 }
 
 // respond writes one response frame, echoing the request's group label so
 // the writer's per-group accounting sees both directions. An unencodable
 // response payload is downgraded to an error response so the caller fails
 // fast instead of timing out.
-func (s *serverConn) respond(callID, gid uint64, errMsg string, payload any, inline bool) {
-	err := s.w.writeResponse(callID, gid, errMsg, payload, s.t.codec(), inline)
+func (s *serverConn) respond(callID, gid uint64, errMsg string, errCode uint64, payload any, inline bool) {
+	err := s.w.writeResponse(callID, gid, errMsg, errCode, payload, s.t.codec(), inline)
 	var encErr *encodeError
 	if errors.As(err, &encErr) {
-		_ = s.w.writeResponse(callID, gid, fmt.Sprintf("transport: encode response: %v", encErr.Unwrap()), nil, CodecBinary, inline)
+		_ = s.w.writeResponse(callID, gid, fmt.Sprintf("transport: encode response: %v", encErr.Unwrap()), 0, nil, CodecBinary, inline)
 	}
 	// Any other error is a dead socket; the decode loop exits on its own.
 }

@@ -1,0 +1,93 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// errStatusTest is the sentinel used by the status-code round-trip tests.
+// Registered once per process (codes are append-only) at a number far from
+// the runtime's real assignments.
+var errStatusTest = errors.New("status test failed")
+
+const testStatusCode = 63
+
+var statusTestOnce = func() func() {
+	var done bool
+	return func() {
+		if !done {
+			RegisterStatusError(testStatusCode, errStatusTest)
+			done = true
+		}
+	}
+}()
+
+// TestStatusErrorRoundTrip asserts that a handler error wrapping a
+// registered sentinel survives a TCP round trip: the caller sees the remote
+// message verbatim AND errors.Is matches the sentinel, with no string
+// parsing involved.
+func TestStatusErrorRoundTrip(t *testing.T) {
+	statusTestOnce()
+	a, b := newTCPPair(t)
+	b.Register(b.Addr(), func(from, kind string, payload any) (any, error) {
+		return nil, fmt.Errorf("%w: while serving %s", errStatusTest, kind)
+	})
+	_, err := a.Call(context.Background(), "client", b.Addr(), "probe", echoPayload{})
+	if err == nil {
+		t.Fatal("want handler error")
+	}
+	if !errors.Is(err, errStatusTest) {
+		t.Fatalf("errors.Is(err, sentinel) = false for %v (%T)", err, err)
+	}
+	if want := "status test failed: while serving probe"; err.Error() != want {
+		t.Fatalf("err = %q, want remote message %q", err, want)
+	}
+	if errors.Is(err, ErrUnreachable) {
+		t.Fatalf("classified handler error marked the peer unreachable: %v", err)
+	}
+}
+
+// TestStatusErrorUnclassified asserts that handler errors without a
+// registered code still arrive as plain opaque errors.
+func TestStatusErrorUnclassified(t *testing.T) {
+	statusTestOnce()
+	a, b := newTCPPair(t)
+	b.Register(b.Addr(), func(from, kind string, payload any) (any, error) {
+		return nil, errors.New("plain failure")
+	})
+	_, err := a.Call(context.Background(), "client", b.Addr(), "probe", echoPayload{})
+	if err == nil || err.Error() != "plain failure" {
+		t.Fatalf("err = %v, want plain failure", err)
+	}
+	if errors.Is(err, errStatusTest) {
+		t.Fatalf("unclassified error matched a sentinel: %v", err)
+	}
+}
+
+// TestRegisterStatusError covers the registry's guardrails.
+func TestRegisterStatusError(t *testing.T) {
+	statusTestOnce()
+	// Same pairing again: idempotent.
+	RegisterStatusError(testStatusCode, errStatusTest)
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: want panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("code 0", func() { RegisterStatusError(0, errStatusTest) })
+	mustPanic("code out of range", func() { RegisterStatusError(maxStatusCode, errStatusTest) })
+	mustPanic("nil sentinel", func() { RegisterStatusError(testStatusCode, nil) })
+	mustPanic("rebind", func() { RegisterStatusError(testStatusCode, errors.New("other")) })
+	if statusSentinelFor(testStatusCode) != errStatusTest {
+		t.Fatal("lookup after rebind attempts")
+	}
+	if statusSentinelFor(0) != nil || statusSentinelFor(maxStatusCode+5) != nil {
+		t.Fatal("out-of-range lookups must return nil")
+	}
+}

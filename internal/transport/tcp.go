@@ -272,7 +272,12 @@ func (t *TCP) dispatch(ctx context.Context, gid uint64, from, to, kind string, p
 	if err != nil {
 		var handlerErr *handlerError
 		if errors.As(err, &handlerErr) {
-			// A handler-level error: the endpoint is alive.
+			// A handler-level error: the endpoint is alive. A registered
+			// status code rehydrates its sentinel so errors.Is matches
+			// across the wire.
+			if s := statusSentinelFor(handlerErr.code); s != nil {
+				return nil, &statusError{msg: handlerErr.msg, sentinel: s}
+			}
 			return nil, errors.New(handlerErr.msg)
 		}
 		if errors.Is(err, ErrGroupBacklog) {
@@ -286,9 +291,13 @@ func (t *TCP) dispatch(ctx context.Context, gid uint64, from, to, kind string, p
 	return resp, nil
 }
 
-// handlerError wraps an error string the remote handler returned, to keep
-// it distinct from transport-level failures (which trigger suspicion).
-type handlerError struct{ msg string }
+// handlerError wraps an error string the remote handler returned (plus its
+// wire status code), to keep it distinct from transport-level failures
+// (which trigger suspicion).
+type handlerError struct {
+	msg  string
+	code uint64
+}
 
 func (e *handlerError) Error() string { return e.msg }
 

@@ -18,8 +18,15 @@ The JSON file declares its own gate:
         "benchmark":    "BenchmarkMulticastThroughput",  # name prefix
         "baseline_key": "post",       # top-level key(s) holding the baseline
         "metrics":      ["ns_op", "B_op"],
-        "tolerance_pct": 15
+        "tolerance_pct": 15,
+        "ceilings":     {"hops_op": {"Benchmark.../cell": 20}}  # optional
     }
+
+Metric keys are the bench-line units with '/' spelled '_': the built-ins
+(ns_op, B_op, allocs_op) plus any custom b.ReportMetric unit (hops_op,
+p99hops_op, ...). "ceilings" adds absolute per-metric limits on the
+measured median — a number for every cell or a {full benchmark name:
+number} mapping — enforced regardless of the committed baseline.
 
 Each baseline key may hold either {"cells": {"<sub/cell>": {...}}} (cells are
 sub-benchmark paths under the benchmark name) or a flat mapping of full
@@ -56,16 +63,19 @@ import re
 import statistics
 import sys
 
-BENCH_LINE = re.compile(
-    r"^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op"
-    r"(?:\s+[\d.]+ MB/s)?"
-    r"(?:\s+(\d+) B/op)?"
-    r"(?:\s+(\d+) allocs/op)?"
-)
+BENCH_LINE = re.compile(r"^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.+ns/op.*)$")
+METRIC_PAIR = re.compile(r"([\d.]+(?:[eE][+-]?\d+)?)\s+(\S+)")
 
 
 def parse_bench(stream):
-    """Collects per-benchmark metric samples from `go test -bench` output."""
+    """Collects per-benchmark metric samples from `go test -bench` output.
+
+    Every "<value> <unit>" pair on a benchmark line becomes a sample under
+    the unit's key with '/' replaced by '_' — the built-ins (ns/op -> ns_op,
+    B/op -> B_op, allocs/op -> allocs_op) and any b.ReportMetric custom unit
+    (e.g. hops/op -> hops_op). MB/s is skipped: it is the one standard
+    metric where higher is better, and the ratio gate reads higher-as-worse.
+    """
     samples = {}
     for line in stream:
         m = BENCH_LINE.match(line.strip())
@@ -73,11 +83,10 @@ def parse_bench(stream):
             continue
         name = m.group(1)
         cell = samples.setdefault(name, {"ns_op": [], "B_op": [], "allocs_op": []})
-        cell["ns_op"].append(float(m.group(2)))
-        if m.group(3) is not None:
-            cell["B_op"].append(float(m.group(3)))
-        if m.group(4) is not None:
-            cell["allocs_op"].append(float(m.group(4)))
+        for value, unit in METRIC_PAIR.findall(m.group(2)):
+            if unit == "MB/s":
+                continue
+            cell.setdefault(unit.replace("/", "_"), []).append(float(value))
     return samples
 
 
@@ -216,6 +225,21 @@ def main(argv):
                 failures.append(
                     f"{name} {metric}: {have:.0f} vs baseline {want:.0f} "
                     f"(+{(ratio - 1) * 100:.1f}% > {gate['tolerance_pct']}% tolerance)")
+        # Absolute ceilings hold even if the committed baseline drifts: they
+        # encode documented claims (e.g. the lookup hop bound). A ceiling is
+        # a number applied to every cell or a {full benchmark name: number}
+        # mapping gating just those cells.
+        for metric, lim in gate.get("ceilings", {}).items():
+            if isinstance(lim, dict):
+                lim = lim.get(name)
+            if lim is None or not got.get(metric):
+                continue
+            have = statistics.median(got[metric])
+            checked += 1
+            flag = "FAIL" if have > lim else "ok"
+            print(f"{flag:4} {name} {metric}: ceiling {lim:g}, median {have:g}")
+            if have > lim:
+                failures.append(f"{name} {metric}: {have:g} above ceiling {lim:g}")
 
     if failures:
         print(f"\n{len(failures)} regression(s) beyond {gate['tolerance_pct']}%:",
